@@ -1,0 +1,4 @@
+//! Workload executors: UM path and tensor-swapping path.
+
+pub mod swap;
+pub mod um;

@@ -1,0 +1,377 @@
+//! The UM execution path: naive UM and DeepUM.
+//!
+//! Replays a workload's step program against a UM backend:
+//!
+//! * allocations go through the PyTorch caching allocator whose segments
+//!   come from UM space (host-memory bound — oversubscription);
+//! * PT-block state changes and segment releases are forwarded to the
+//!   driver through the runtime's interposition layer;
+//! * every kernel is intercepted (execution-ID assignment + callback)
+//!   and executed by the GPU engine, which raises page faults for
+//!   non-resident pages and lets the backend overlap prefetch traffic
+//!   with compute;
+//! * DLRM-style gathers are sampled per iteration with a seeded RNG and
+//!   cached per table so forward lookup and backward update touch the
+//!   same rows.
+
+use std::collections::HashMap;
+
+use deepum_gpu::engine::{GpuEngine, UmBackend};
+use deepum_gpu::fault::AccessKind;
+use deepum_gpu::kernel::{BlockAccess, KernelLaunch};
+use deepum_mem::{BlockNum, ByteRange, PageMask, PAGE_SIZE};
+use deepum_runtime::interpose::{CudaRuntime, LaunchObserver};
+use deepum_sim::clock::SimClock;
+use deepum_sim::costs::CostModel;
+use deepum_sim::energy::EnergyMeter;
+use deepum_sim::metrics::Counters;
+use deepum_sim::rng::DetRng;
+use deepum_sim::time::Ns;
+use deepum_torch::alloc::{AllocError, CachingAllocator, PtEvent};
+use deepum_torch::perf::PerfModel;
+use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
+
+use crate::report::{IterStats, RunError, RunReport};
+
+/// Configuration of a UM-path run.
+#[derive(Debug, Clone)]
+pub struct UmRunConfig {
+    /// Training iterations to execute (the first is the cold warm-up).
+    pub iterations: usize,
+    /// Platform cost model (also defines device/host capacity).
+    pub costs: CostModel,
+    /// Kernel-time model.
+    pub perf: PerfModel,
+    /// Seed for the data-dependent gathers.
+    pub seed: u64,
+}
+
+impl UmRunConfig {
+    /// A config on the paper's primary platform.
+    pub fn new(iterations: usize) -> Self {
+        UmRunConfig {
+            iterations,
+            costs: CostModel::v100_32gb(),
+            perf: PerfModel::v100(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Runs `workload` against `backend` (naive UM, DeepUM, or an ablation).
+///
+/// `system` labels the report. The backend's counters are sampled through
+/// the `counters` closure because the trait surface does not expose them.
+///
+/// # Errors
+///
+/// [`RunError::OutOfMemory`] when the UM backing store (host memory)
+/// cannot hold the workload — the bound probed by Table 3.
+pub fn run_um<B, F>(
+    workload: &Workload,
+    backend: &mut B,
+    system: &str,
+    cfg: &UmRunConfig,
+    counters: F,
+) -> Result<RunReport, RunError>
+where
+    B: UmBackend + LaunchObserver,
+    F: Fn(&B) -> Counters,
+{
+    let mut runtime = CudaRuntime::with_intercept_cost(
+        cfg.costs.host_memory_bytes,
+        cfg.costs.launch_intercept_cost,
+    );
+    let mut allocator = CachingAllocator::new();
+    let mut engine = GpuEngine::new();
+    let mut clock = SimClock::new();
+    let mut energy = EnergyMeter::new();
+    let mut rng = DetRng::seed(cfg.seed);
+
+    let mut tensors: TensorMap = HashMap::new();
+    let mut events = Vec::new();
+
+    // Persistent tensors are allocated once, before the first iteration.
+    for spec in &workload.persistent {
+        alloc_tensor(
+            spec.id,
+            spec.bytes,
+            &mut allocator,
+            &mut runtime,
+            backend,
+            &mut tensors,
+            &mut events,
+            clock.now(),
+        )?;
+    }
+
+    let mut iters = Vec::with_capacity(cfg.iterations);
+    for _iter in 0..cfg.iterations {
+        let t0 = clock.now();
+        let c0 = counters(backend);
+        let mut compute = Ns::ZERO;
+        let mut stall = Ns::ZERO;
+        // Gather samples are stable within an iteration (forward lookup
+        // and backward update touch the same rows) and resampled across
+        // iterations (fresh minibatch).
+        let mut gather_cache: HashMap<TensorId, Vec<BlockAccess>> = HashMap::new();
+
+        for step in &workload.steps {
+            match step {
+                Step::Alloc(spec) => {
+                    alloc_tensor(
+                        spec.id,
+                        spec.bytes,
+                        &mut allocator,
+                        &mut runtime,
+                        backend,
+                        &mut tensors,
+                        &mut events,
+                        clock.now(),
+                    )?;
+                }
+                Step::Free(id) => {
+                    let (block, _) = tensors.remove(id).expect("free of unmapped tensor");
+                    allocator.free(block, &mut events);
+                    forward_events(&mut events, &mut runtime, backend, clock.now());
+                }
+                Step::Kernel(k) => {
+                    let launch = build_launch(k, workload, &tensors, &mut gather_cache, &mut rng, &cfg.perf);
+                    let (_exec, intercept) = runtime.launch(clock.now(), &launch, backend);
+                    clock.advance(intercept);
+                    let stats = engine.execute(&launch, &mut clock, backend, &mut energy);
+                    compute += stats.compute;
+                    stall += stats.stall;
+                }
+            }
+        }
+
+        iters.push(IterStats {
+            elapsed: clock.now() - t0,
+            compute,
+            stall,
+            counters: counters(backend).delta_since(&c0),
+        });
+    }
+
+    Ok(RunReport {
+        workload: workload.name.clone(),
+        system: system.into(),
+        total: clock.now(),
+        energy_joules: energy.joules(),
+        iters,
+        counters: counters(backend),
+        table_bytes: None,
+    })
+}
+
+type TensorMap = HashMap<TensorId, (deepum_torch::alloc::PtBlockId, ByteRange)>;
+
+#[allow(clippy::too_many_arguments)]
+fn alloc_tensor<B: LaunchObserver>(
+    id: TensorId,
+    bytes: u64,
+    allocator: &mut CachingAllocator,
+    runtime: &mut CudaRuntime,
+    backend: &mut B,
+    tensors: &mut TensorMap,
+    events: &mut Vec<PtEvent>,
+    now: Ns,
+) -> Result<(), RunError> {
+    let (block, range) = allocator
+        .alloc(bytes, runtime, events)
+        .map_err(|e| match e {
+            AllocError::OutOfMemory { requested } => RunError::OutOfMemory(format!(
+                "tensor {id} of {requested} bytes exceeds the UM backing store"
+            )),
+            AllocError::ZeroSize => RunError::Unsupported("zero-size tensor".into()),
+        })?;
+    tensors.insert(id, (block, range));
+    forward_events(events, runtime, backend, now);
+    Ok(())
+}
+
+/// Drains allocator events into driver notifications.
+fn forward_events<B: LaunchObserver>(
+    events: &mut Vec<PtEvent>,
+    runtime: &mut CudaRuntime,
+    backend: &mut B,
+    now: Ns,
+) {
+    for event in events.drain(..) {
+        match event {
+            PtEvent::Active(range) => runtime.notify_pt_block(now, range, false, backend),
+            PtEvent::Inactive(range) => runtime.notify_pt_block(now, range, true, backend),
+            PtEvent::Released(range) => backend.on_um_range_released(now, range),
+        }
+    }
+}
+
+/// Converts a kernel step into a concrete launch with block accesses.
+fn build_launch(
+    k: &deepum_torch::step::KernelStep,
+    workload: &Workload,
+    tensors: &TensorMap,
+    gather_cache: &mut HashMap<TensorId, Vec<BlockAccess>>,
+    rng: &mut DetRng,
+    perf: &PerfModel,
+) -> KernelLaunch {
+    let mut accesses = Vec::new();
+    let mut bytes = 0u64;
+    for (ids, kind) in [(&k.reads, AccessKind::Read), (&k.writes, AccessKind::Write)] {
+        for id in ids {
+            let (_, range) = tensors[id];
+            bytes += range.len();
+            for (block, mask) in range.block_footprints() {
+                accesses.push(BlockAccess::new(block, mask, kind));
+            }
+        }
+    }
+    for g in &k.gathers {
+        let sample = gather_cache
+            .entry(g.table)
+            .or_insert_with(|| sample_gather(g, tensors, rng));
+        bytes += sample.iter().map(|a| a.pages.count() as u64 * PAGE_SIZE as u64).sum::<u64>();
+        accesses.extend(sample.iter().cloned());
+    }
+    let _ = workload;
+    KernelLaunch::new(k.name.clone(), &k.args, accesses, perf.kernel_time(k.flops, bytes))
+}
+
+/// Samples the pages touched by a gather: `lookups` skewed random rows of
+/// the table, merged into per-block page masks.
+fn sample_gather(g: &GatherAccess, tensors: &TensorMap, rng: &mut DetRng) -> Vec<BlockAccess> {
+    let (_, range) = tensors[&g.table];
+    let rows = range.len() / g.row_bytes as u64;
+    if rows == 0 {
+        return Vec::new();
+    }
+    let mut blocks: HashMap<BlockNum, PageMask> = HashMap::new();
+    for _ in 0..g.lookups {
+        let row = if g.skew > 0.0 {
+            rng.zipf_like(rows, g.skew)
+        } else {
+            rng.below(rows)
+        };
+        let byte = range.start().raw() + row * g.row_bytes as u64;
+        // A row may span two pages; touching its first page captures the
+        // access pattern at fault granularity.
+        let addr = deepum_mem::UmAddr::new(byte);
+        blocks
+            .entry(addr.block())
+            .or_insert_with(PageMask::empty)
+            .set(addr.page().index_in_block());
+    }
+    let mut out: Vec<(BlockNum, PageMask)> = blocks.into_iter().collect();
+    out.sort_unstable_by_key(|(b, _)| *b);
+    out.into_iter()
+        .map(|(b, m)| BlockAccess::new(b, m, AccessKind::Read))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveUm;
+    use deepum_core::config::DeepumConfig;
+    use deepum_core::driver::DeepumDriver;
+    use deepum_mem::BLOCK_SIZE;
+    use deepum_torch::models::ModelKind;
+
+    fn tiny_costs(device_mb: u64, host_mb: u64) -> CostModel {
+        CostModel::v100_32gb()
+            .with_device_memory(device_mb << 20)
+            .with_host_memory(host_mb << 20)
+    }
+
+    #[test]
+    fn mobilenet_runs_under_naive_um() {
+        let w = ModelKind::MobileNet.build(8);
+        let cfg = UmRunConfig {
+            iterations: 2,
+            costs: tiny_costs(2048, 16384),
+            perf: PerfModel::v100(),
+            seed: 1,
+        };
+        let mut backend = NaiveUm::new(cfg.costs.clone());
+        let r = run_um(&w, &mut backend, "um", &cfg, |b| b.counters()).unwrap();
+        assert_eq!(r.iters.len(), 2);
+        assert!(r.counters.gpu_page_faults > 0);
+        // Ample device memory: warm iteration has ~no faults.
+        assert!(r.iters[1].counters.gpu_page_faults < r.iters[0].counters.gpu_page_faults / 10);
+    }
+
+    #[test]
+    fn deepum_beats_naive_um_when_oversubscribed() {
+        let w = ModelKind::MobileNet.build(48);
+        // ~1.4x oversubscription (the paper's typical regime): the
+        // MobileNet/b48 working set peaks around 115 MiB.
+        let costs = tiny_costs(80, 32768);
+        let cfg = UmRunConfig {
+            iterations: 3,
+            costs: costs.clone(),
+            perf: PerfModel::v100(),
+            seed: 1,
+        };
+        let mut um = NaiveUm::new(costs.clone());
+        let um_report = run_um(&w, &mut um, "um", &cfg, |b| b.counters()).unwrap();
+
+        // A modest look-ahead suits this tiny 87-kernel workload; the
+        // bandwidth-bound regime punishes over-aggressive prefetching
+        // (the paper's Fig. 11 effect).
+        let dm_cfg = DeepumConfig::default().with_prefetch_degree(16);
+        let mut dm = DeepumDriver::new(costs, dm_cfg);
+        let dm_report = run_um(&w, &mut dm, "deepum", &cfg, |b| b.counters()).unwrap();
+
+        assert!(
+            dm_report.counters.pages_prefetched > 0,
+            "DeepUM should prefetch"
+        );
+        assert!(
+            dm_report.steady_faults_per_iter() < um_report.steady_faults_per_iter(),
+            "deepum faults {} vs um faults {}",
+            dm_report.steady_faults_per_iter(),
+            um_report.steady_faults_per_iter()
+        );
+        assert!(
+            dm_report.steady_iter_time() < um_report.steady_iter_time(),
+            "deepum {} vs um {}",
+            dm_report.steady_iter_time(),
+            um_report.steady_iter_time()
+        );
+    }
+
+    #[test]
+    fn host_capacity_bounds_the_run() {
+        let w = ModelKind::MobileNet.build(64);
+        let need = w.peak_bytes();
+        let cfg = UmRunConfig {
+            iterations: 1,
+            costs: tiny_costs(64, (need / 4) >> 20),
+            perf: PerfModel::v100(),
+            seed: 1,
+        };
+        let mut backend = NaiveUm::new(cfg.costs.clone());
+        let err = run_um(&w, &mut backend, "um", &cfg, |b| b.counters()).unwrap_err();
+        assert!(matches!(err, RunError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn gather_sampling_is_deterministic() {
+        let mut tensors = TensorMap::new();
+        let range = ByteRange::new(deepum_mem::UmAddr::new(0), 64 * BLOCK_SIZE as u64);
+        tensors.insert(TensorId(0), (Default::default(), range));
+        let g = GatherAccess {
+            table: TensorId(0),
+            lookups: 1000,
+            row_bytes: 512,
+            skew: 1.05,
+        };
+        let a = sample_gather(&g, &tensors, &mut DetRng::seed(9));
+        let b = sample_gather(&g, &tensors, &mut DetRng::seed(9));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Skew concentrates mass near the start of the table.
+        assert_eq!(a[0].block, BlockNum::new(0));
+    }
+}

@@ -1,0 +1,99 @@
+//! The *Ideal* upper bound.
+//!
+//! "We obtain the upper bounds by measuring the execution times of the
+//! applications when there is no GPU memory oversubscription and scaling
+//! them up with the batch size" (Section 6.2). In the simulator that is
+//! simply the workload's compute and launch time with every page already
+//! resident: no faults, no transfers, no swapping.
+
+use deepum_sim::energy::{EnergyMeter, PowerState};
+use deepum_sim::metrics::Counters;
+use deepum_sim::time::Ns;
+use deepum_torch::perf::PerfModel;
+use deepum_torch::step::{Step, Workload};
+
+use crate::report::{IterStats, RunReport};
+
+/// Runs `iterations` of `workload` with infinite device memory.
+pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> RunReport {
+    let intercept = Ns::from_micros(2);
+    let mut iters = Vec::with_capacity(iterations);
+    let mut energy = EnergyMeter::new();
+
+    // Per-iteration time is identical every iteration: pure compute.
+    let mut iter_time = Ns::ZERO;
+    for step in &workload.steps {
+        if let Step::Kernel(k) = step {
+            let bytes = kernel_bytes(workload, k);
+            iter_time += intercept + perf.kernel_time(k.flops, bytes);
+        }
+    }
+    for _ in 0..iterations {
+        energy.accumulate(PowerState::Compute, iter_time);
+        iters.push(IterStats {
+            elapsed: iter_time,
+            compute: iter_time,
+            stall: Ns::ZERO,
+            counters: Counters::default(),
+        });
+    }
+
+    RunReport {
+        workload: workload.name.clone(),
+        system: "ideal".into(),
+        total: iter_time * iterations as u64,
+        energy_joules: energy.joules(),
+        iters,
+        counters: Counters::default(),
+        table_bytes: None,
+    }
+}
+
+/// Bytes a kernel touches: dense operands plus gathered rows.
+pub(crate) fn kernel_bytes(workload: &Workload, k: &deepum_torch::step::KernelStep) -> u64 {
+    let mut sizes = std::collections::HashMap::new();
+    for t in &workload.persistent {
+        sizes.insert(t.id, t.bytes);
+    }
+    for s in &workload.steps {
+        if let Step::Alloc(t) = s {
+            sizes.insert(t.id, t.bytes);
+        }
+    }
+    let dense: u64 = k
+        .reads
+        .iter()
+        .chain(&k.writes)
+        .map(|id| sizes.get(id).copied().unwrap_or(0))
+        .sum();
+    let gathered: u64 = k
+        .gathers
+        .iter()
+        .map(|g| g.lookups as u64 * g.row_bytes as u64)
+        .sum();
+    dense + gathered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepum_torch::models::ModelKind;
+
+    #[test]
+    fn ideal_has_no_faults_and_repeats_exactly() {
+        let w = ModelKind::MobileNet.build(16);
+        let r = run_ideal(&w, 3, &PerfModel::v100());
+        assert_eq!(r.iters.len(), 3);
+        assert_eq!(r.counters.gpu_page_faults, 0);
+        assert_eq!(r.iters[0].elapsed, r.iters[2].elapsed);
+        assert!(r.total > Ns::ZERO);
+        assert!(r.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn ideal_scales_with_batch() {
+        let small = run_ideal(&ModelKind::MobileNet.build(16), 1, &PerfModel::v100());
+        let big = run_ideal(&ModelKind::MobileNet.build(64), 1, &PerfModel::v100());
+        assert!(big.total > small.total * 2);
+    }
+}

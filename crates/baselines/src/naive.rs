@@ -1,0 +1,119 @@
+//! The naive UM baseline: the bare NVIDIA UM driver, no prefetching.
+
+use deepum_gpu::engine::UmBackend;
+use deepum_gpu::fault::FaultEntry;
+use deepum_gpu::kernel::KernelLaunch;
+use deepum_mem::{BlockNum, ByteRange, PageMask};
+use deepum_runtime::exec_table::ExecId;
+use deepum_runtime::interpose::LaunchObserver;
+use deepum_sim::costs::CostModel;
+use deepum_sim::metrics::Counters;
+use deepum_sim::time::Ns;
+use deepum_um::driver::UmDriver;
+
+/// Newtype over [`UmDriver`] that also implements [`LaunchObserver`]
+/// (ignoring runtime notifications), so the UM executor can drive naive
+/// UM through the same interface as DeepUM.
+///
+/// This is the denominator of every speedup in the paper's evaluation:
+/// "NVIDIA UM without prefetching".
+#[derive(Debug)]
+pub struct NaiveUm {
+    um: UmDriver,
+    kernels_launched: u64,
+}
+
+impl NaiveUm {
+    /// Creates the baseline on the platform described by `costs`.
+    pub fn new(costs: CostModel) -> Self {
+        NaiveUm {
+            um: UmDriver::new(costs),
+            kernels_launched: 0,
+        }
+    }
+
+    /// The wrapped UM driver.
+    pub fn um(&self) -> &UmDriver {
+        &self.um
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> Counters {
+        let mut c = self.um.counters();
+        c.kernels_launched = self.kernels_launched;
+        c
+    }
+}
+
+impl UmBackend for NaiveUm {
+    fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
+        self.um.resident_miss(block, pages)
+    }
+
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+        self.um.handle_faults(now, faults)
+    }
+
+    fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask) {
+        self.um.touch(now, block, pages)
+    }
+
+    fn overlap_compute(&mut self, _now: Ns, _dur: Ns) -> Ns {
+        Ns::ZERO
+    }
+
+    fn kernel_finished(&mut self, _now: Ns) {}
+}
+
+impl LaunchObserver for NaiveUm {
+    fn on_kernel_launch(&mut self, _now: Ns, _exec: ExecId, _kernel: &KernelLaunch) {
+        self.kernels_launched += 1;
+    }
+
+    fn on_pt_block_state(&mut self, _now: Ns, _range: ByteRange, _inactive: bool) {}
+
+    fn on_um_range_released(&mut self, _now: Ns, range: ByteRange) {
+        self.um.release_range(range);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepum_gpu::fault::{AccessKind, SmId};
+
+    #[test]
+    fn naive_um_never_prefetches() {
+        let mut b = NaiveUm::new(CostModel::v100_32gb());
+        let faults: Vec<FaultEntry> = (0..64)
+            .map(|i| FaultEntry {
+                page: BlockNum::new(0).page(i),
+                kind: AccessKind::Read,
+                sm: SmId(0),
+            })
+            .collect();
+        let stall = b.handle_faults(Ns::ZERO, &faults);
+        assert!(stall > Ns::ZERO);
+        assert_eq!(b.counters().pages_prefetched, 0);
+        assert_eq!(b.overlap_compute(Ns::ZERO, Ns::from_millis(1)), Ns::ZERO);
+    }
+
+    #[test]
+    fn release_clears_residency() {
+        let mut b = NaiveUm::new(CostModel::v100_32gb());
+        let faults: Vec<FaultEntry> = (0..64)
+            .map(|i| FaultEntry {
+                page: BlockNum::new(0).page(i),
+                kind: AccessKind::Read,
+                sm: SmId(0),
+            })
+            .collect();
+        b.handle_faults(Ns::ZERO, &faults);
+        assert_eq!(b.um().resident_pages(), 64);
+        b.on_um_range_released(
+            Ns::ZERO,
+            ByteRange::new(deepum_mem::UmAddr::new(0), deepum_mem::BLOCK_SIZE as u64),
+        );
+        assert_eq!(b.um().resident_pages(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Run results: per-iteration stats and report aggregation.
+
+use deepum_sim::metrics::Counters;
+use deepum_sim::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterStats {
+    /// Virtual time the iteration took.
+    pub elapsed: Ns,
+    /// Kernel compute time within the iteration.
+    pub compute: Ns,
+    /// Fault-handling / swap stall within the iteration.
+    pub stall: Ns,
+    /// Event counters accumulated within the iteration.
+    pub counters: Counters,
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunError {
+    /// Allocation failure (device or host backing store exhausted) — the
+    /// condition probed by the maximum-batch-size experiments.
+    OutOfMemory(String),
+    /// The system cannot run this model at all (e.g. vDNN on a
+    /// transformer — "not work" in Table 7).
+    Unsupported(String),
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
+            RunError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The outcome of running a workload under one memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Workload name (`"gpt2-xl/b7"`).
+    pub workload: String,
+    /// Memory system name (`"deepum"`, `"um"`, `"lms"`, ...).
+    pub system: String,
+    /// Per-iteration statistics, in execution order.
+    pub iters: Vec<IterStats>,
+    /// Total virtual time of the measured iterations.
+    pub total: Ns,
+    /// Whole-system energy over the measured iterations, joules.
+    pub energy_joules: f64,
+    /// Final counter totals.
+    pub counters: Counters,
+    /// Correlation-table memory, if the system keeps tables (Table 4).
+    pub table_bytes: Option<u64>,
+}
+
+impl RunReport {
+    /// Mean steady-state iteration time: the first (warm-up) iteration is
+    /// excluded when more than one iteration ran, matching how the paper
+    /// reports training throughput.
+    pub fn steady_iter_time(&self) -> Ns {
+        let (skip, n) = if self.iters.len() > 1 {
+            (1, self.iters.len() - 1)
+        } else {
+            (0, self.iters.len())
+        };
+        if n == 0 {
+            return Ns::ZERO;
+        }
+        let sum: Ns = self.iters.iter().skip(skip).map(|i| i.elapsed).sum();
+        sum / n as u64
+    }
+
+    /// Extrapolated time for `n` iterations: the measured warm-up
+    /// iteration plus `n - 1` steady-state iterations (how the Fig. 9(b)
+    /// 100-iteration numbers are produced).
+    pub fn time_for_iterations(&self, n: usize) -> Ns {
+        if self.iters.is_empty() || n == 0 {
+            return Ns::ZERO;
+        }
+        let first = self.iters[0].elapsed;
+        if n == 1 {
+            return first;
+        }
+        first + self.steady_iter_time() * (n as u64 - 1)
+    }
+
+    /// Throughput speedup of `self` over `base` on steady-state
+    /// iteration time.
+    pub fn speedup_over(&self, base: &RunReport) -> f64 {
+        let own = self.steady_iter_time().as_nanos();
+        if own == 0 {
+            return f64::INFINITY;
+        }
+        base.steady_iter_time().as_nanos() as f64 / own as f64
+    }
+
+    /// Mean energy per steady-state iteration, joules.
+    pub fn steady_iter_energy(&self) -> f64 {
+        if self.total == Ns::ZERO {
+            return 0.0;
+        }
+        // Energy accrues roughly uniformly over virtual time.
+        self.energy_joules * self.steady_iter_time().as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Steady-state page faults per iteration (Table 5).
+    pub fn steady_faults_per_iter(&self) -> u64 {
+        let (skip, n) = if self.iters.len() > 1 {
+            (1, self.iters.len() - 1)
+        } else {
+            (0, self.iters.len())
+        };
+        if n == 0 {
+            return 0;
+        }
+        let sum: u64 = self
+            .iters
+            .iter()
+            .skip(skip)
+            .map(|i| i.counters.gpu_page_faults)
+            .sum();
+        sum / n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(iter_ms: &[u64]) -> RunReport {
+        let iters = iter_ms
+            .iter()
+            .map(|&ms| IterStats {
+                elapsed: Ns::from_millis(ms),
+                compute: Ns::from_millis(ms / 2),
+                stall: Ns::from_millis(ms / 2),
+                counters: Counters::default(),
+            })
+            .collect::<Vec<_>>();
+        let total: Ns = iters.iter().map(|i| i.elapsed).sum();
+        RunReport {
+            workload: "w".into(),
+            system: "s".into(),
+            iters,
+            total,
+            energy_joules: 100.0,
+            counters: Counters::default(),
+            table_bytes: None,
+        }
+    }
+
+    #[test]
+    fn steady_excludes_warmup() {
+        let r = report(&[100, 10, 10, 10]);
+        assert_eq!(r.steady_iter_time(), Ns::from_millis(10));
+    }
+
+    #[test]
+    fn single_iteration_is_its_own_steady_state() {
+        let r = report(&[42]);
+        assert_eq!(r.steady_iter_time(), Ns::from_millis(42));
+    }
+
+    #[test]
+    fn extrapolation_keeps_warmup_once() {
+        let r = report(&[100, 10, 10]);
+        assert_eq!(r.time_for_iterations(100), Ns::from_millis(100 + 99 * 10));
+        assert_eq!(r.time_for_iterations(1), Ns::from_millis(100));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = report(&[50, 10, 10]);
+        let slow = report(&[50, 30, 30]);
+        assert!((fast.speedup_over(&slow) - 3.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faults_per_iter_averages_steady_iters() {
+        let mut r = report(&[100, 10, 10]);
+        r.iters[1].counters.gpu_page_faults = 6;
+        r.iters[2].counters.gpu_page_faults = 4;
+        r.iters[0].counters.gpu_page_faults = 1000;
+        assert_eq!(r.steady_faults_per_iter(), 5);
+    }
+}

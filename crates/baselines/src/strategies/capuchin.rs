@@ -1,0 +1,55 @@
+//! Capuchin (Peng et al., ASPLOS '20).
+//!
+//! Capuchin observes tensor accesses during the first mini-batch at run
+//! time, then schedules eviction, prefetching (and in the original also
+//! recomputation) from the measured access pattern. The stand-in keeps
+//! the runtime-profiling structure: iteration 0 runs on demand (no
+//! schedule), after which the measured schedule drives next-use victim
+//! selection and a moderate look-ahead prefetch. Recomputation is not
+//! modelled (it trades memory traffic for FLOPs and mostly matters for
+//! activation-heavy CNNs); DESIGN.md records the approximation.
+
+use super::policy::{PolicyStrategy, VictimPolicy};
+use super::Capabilities;
+
+/// Capuchin.
+pub struct Capuchin;
+
+impl Capuchin {
+    /// Capability row (Table 8: TensorFlow base, framework modification,
+    /// no user-script change, runtime profiling).
+    pub const CAPS: Capabilities = Capabilities {
+        name: "capuchin",
+        base_framework: "TensorFlow",
+        framework_modification: true,
+        user_script_modification: false,
+        runtime_profiling: true,
+    };
+
+    /// Builds the Capuchin policy.
+    pub fn policy() -> PolicyStrategy {
+        let mut p = PolicyStrategy::new(Self::CAPS);
+        p.lookahead = 3;
+        p.victims = VictimPolicy::Belady;
+        // Measurement pass: a mild slowdown on the first iteration for
+        // the access-pattern instrumentation.
+        p.profile_overhead_frac = 0.05;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::SwapStrategy;
+    use deepum_sim::time::Ns;
+
+    #[test]
+    fn capuchin_profiles_then_plans() {
+        let s = Capuchin::policy();
+        assert!(!s.schedule_known(0));
+        assert!(s.schedule_known(1));
+        assert!(s.profiling_overhead(0, Ns::from_secs(10)) > Ns::ZERO);
+        assert_eq!(s.profiling_overhead(1, Ns::from_secs(10)), Ns::ZERO);
+    }
+}

@@ -1,0 +1,76 @@
+//! IBM Large Model Support (LMS) and the paper's LMS-mod variant.
+//!
+//! LMS (the PyTorch flavour the paper runs directly) swaps inactive
+//! tensors out of device memory with an LRU policy and brings operands
+//! back shortly before use once it has observed the execution order —
+//! the paper notes "LMS moves data at the whole tensor level". **LMS-mod**
+//! is the paper's modification "to periodically free cached PT blocks in
+//! the PyTorch memory pool", trading a little speed (segments must be
+//! re-allocated) for fewer fragmentation OOMs and therefore larger
+//! runnable batch sizes (Fig. 9, Table 3).
+
+use super::policy::{PolicyStrategy, VictimPolicy};
+use super::Capabilities;
+
+/// IBM LMS.
+pub struct Lms;
+
+impl Lms {
+    /// LMS capability row (Table 8: PyTorch base, framework modified, no
+    /// user-script change, runtime profiling).
+    pub const CAPS: Capabilities = Capabilities {
+        name: "lms",
+        base_framework: "PyTorch",
+        framework_modification: true,
+        user_script_modification: false,
+        runtime_profiling: true,
+    };
+
+    /// Builds the LMS policy.
+    pub fn policy() -> PolicyStrategy {
+        let mut p = PolicyStrategy::new(Self::CAPS);
+        p.lookahead = 1;
+        p.victims = VictimPolicy::Lru;
+        p
+    }
+}
+
+/// LMS-mod: LMS plus a cache flush every iteration.
+pub struct LmsMod;
+
+impl LmsMod {
+    /// Capability row: identical to LMS.
+    pub const CAPS: Capabilities = Capabilities {
+        name: "lms-mod",
+        ..Lms::CAPS
+    };
+
+    /// Builds the LMS-mod policy.
+    pub fn policy() -> PolicyStrategy {
+        let mut p = PolicyStrategy::new(Self::CAPS);
+        p.lookahead = 1;
+        p.victims = VictimPolicy::Lru;
+        p.flush_every = Some(1);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::SwapStrategy;
+
+    #[test]
+    fn lms_mod_flushes_lms_does_not() {
+        assert_eq!(Lms::policy().flush_cache_every(), None);
+        assert_eq!(LmsMod::policy().flush_cache_every(), Some(1));
+    }
+
+    #[test]
+    fn lms_learns_schedule_at_runtime() {
+        let s = Lms::policy();
+        assert!(!s.schedule_known(0));
+        assert!(s.schedule_known(1));
+        assert!(s.capabilities().runtime_profiling);
+    }
+}

@@ -1,0 +1,124 @@
+//! Tensor-swapping strategies: the paper's six comparison systems.
+//!
+//! All six systems move data at **tensor granularity** between device
+//! and host; they differ in who decides *what* to move *when*:
+//!
+//! | System      | Schedule source                  | Victim policy     |
+//! |-------------|----------------------------------|-------------------|
+//! | LMS         | runtime, 1-kernel look-ahead     | LRU               |
+//! | LMS-mod     | as LMS + periodic cache flush    | LRU               |
+//! | vDNN        | layer structure (CNN only)       | activations, LRU  |
+//! | AutoTM      | offline plan (ILP stand-in)      | Belady            |
+//! | SwapAdvisor | randomized search (GA stand-in)  | searched          |
+//! | Capuchin    | first-iteration measurement      | Belady            |
+//! | Sentinel    | page-fault profiling iteration   | Belady + hot pins |
+//!
+//! Each module documents how its policy maps to the original system's
+//! mechanism and what was approximated.
+
+pub mod autotm;
+pub mod capuchin;
+pub mod lms;
+pub mod policy;
+pub mod program;
+pub mod sentinel;
+pub mod swapadvisor;
+pub mod vdnn;
+
+pub use autotm::AutoTm;
+pub use capuchin::Capuchin;
+pub use lms::{Lms, LmsMod};
+pub use policy::{PolicyStrategy, VictimPolicy};
+pub use program::{KernelInfo, ProgramInfo};
+pub use sentinel::Sentinel;
+pub use swapadvisor::SwapAdvisor;
+pub use vdnn::Vdnn;
+
+use deepum_sim::time::Ns;
+use deepum_torch::step::TensorId;
+use serde::{Deserialize, Serialize};
+
+/// Qualitative capability matrix entries (paper Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// System name.
+    pub name: &'static str,
+    /// Base deep-learning framework (empty = built from scratch).
+    pub base_framework: &'static str,
+    /// Whether the DL framework itself must be modified.
+    pub framework_modification: bool,
+    /// Whether user training scripts must change.
+    pub user_script_modification: bool,
+    /// Whether the system profiles at run time.
+    pub runtime_profiling: bool,
+}
+
+/// Executor-visible state passed to strategy callbacks.
+#[derive(Debug)]
+pub struct SwapCtx<'a> {
+    /// Index of the kernel about to run, within the iteration program.
+    pub kernel_index: usize,
+    /// Current training iteration (0 = first).
+    pub iteration: usize,
+    /// Whether the strategy can rely on the kernel schedule (static
+    /// planners always can; runtime profilers only after iteration 0).
+    pub schedule_known: bool,
+    /// The iteration program.
+    pub program: &'a ProgramInfo,
+    /// Virtual time the last use of each tensor completed (LRU input),
+    /// indexed by `TensorId`.
+    pub last_use: &'a [Ns],
+}
+
+/// A tensor-granularity swapping policy.
+pub trait SwapStrategy {
+    /// Table-8 capability row.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Inspects the program before execution. Static planners (AutoTM,
+    /// SwapAdvisor) compute their schedule here.
+    fn plan(&mut self, program: &ProgramInfo) {
+        let _ = program;
+    }
+
+    /// Whether the system can run this workload at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason string when unsupported (vDNN on non-CNNs —
+    /// "not work" in Table 7).
+    fn supports(&self, program: &ProgramInfo) -> Result<(), String> {
+        let _ = program;
+        Ok(())
+    }
+
+    /// Whether the strategy knows the schedule during `iteration`.
+    fn schedule_known(&self, iteration: usize) -> bool {
+        iteration >= 1
+    }
+
+    /// Orders eviction candidates, best victim first. `candidates` are
+    /// device-resident tensors not used by the current kernel.
+    fn rank_victims(&mut self, ctx: &SwapCtx<'_>, candidates: &mut Vec<TensorId>);
+
+    /// Tensors to start swapping in while the current kernel computes.
+    fn prefetch(&mut self, ctx: &SwapCtx<'_>) -> Vec<TensorId>;
+
+    /// Called at the end of each iteration.
+    fn end_iteration(&mut self, iteration: usize) {
+        let _ = iteration;
+    }
+
+    /// `Some(n)`: flush the allocator cache every `n` iterations
+    /// (LMS-mod's periodic cleanup).
+    fn flush_cache_every(&self) -> Option<usize> {
+        None
+    }
+
+    /// Extra overhead charged to iteration `iteration` (profiling
+    /// phases), as a function of the iteration's base elapsed time.
+    fn profiling_overhead(&self, iteration: usize, base: Ns) -> Ns {
+        let _ = (iteration, base);
+        Ns::ZERO
+    }
+}

@@ -1,0 +1,275 @@
+//! The configurable core shared by the concrete strategies.
+//!
+//! Every comparison system reduces to a point in a small policy space:
+//! *look-ahead depth* (how many kernels ahead operands are swapped in),
+//! *victim ordering* (who leaves the device when space is needed), and
+//! whether the schedule is known statically or learned at run time.
+//! [`PolicyStrategy`] implements that space once; each system module
+//! instantiates it with its own parameters and quirks.
+
+use deepum_sim::time::Ns;
+use deepum_torch::step::TensorId;
+
+use super::{Capabilities, ProgramInfo, SwapCtx, SwapStrategy};
+
+/// How eviction candidates are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Least recently used first (IBM LMS).
+    Lru,
+    /// Furthest next use first (Belady; the offline planners approximate
+    /// this with their ILP / search / measured schedules).
+    Belady,
+    /// Like LRU, but only transient (activation) tensors are eligible
+    /// unless nothing else remains (vDNN offloads activations only).
+    ActivationsLru,
+}
+
+/// A concrete point in the swapping-policy space.
+#[derive(Debug, Clone)]
+pub struct PolicyStrategy {
+    caps: Capabilities,
+    /// Kernels of look-ahead for swap-in scheduling.
+    pub lookahead: usize,
+    /// Victim ordering.
+    pub victims: VictimPolicy,
+    /// Static planners know the schedule from iteration 0.
+    pub static_planner: bool,
+    /// Tensors at or below this size are pinned on device
+    /// (Sentinel's hot-data separation).
+    pub pin_small_bytes: u64,
+    /// Periodic cache flush interval (iterations), if any.
+    pub flush_every: Option<usize>,
+    /// Fractional overhead charged to iteration 0 (profiling phase).
+    pub profile_overhead_frac: f64,
+    /// CNN-only restriction (vDNN).
+    pub cnn_only: bool,
+}
+
+impl PolicyStrategy {
+    /// Creates a policy with the given capability row; remaining fields
+    /// start from a neutral default and are set by the system modules.
+    pub fn new(caps: Capabilities) -> Self {
+        PolicyStrategy {
+            caps,
+            lookahead: 1,
+            victims: VictimPolicy::Lru,
+            static_planner: false,
+            pin_small_bytes: 0,
+            flush_every: None,
+            profile_overhead_frac: 0.0,
+            cnn_only: false,
+        }
+    }
+}
+
+impl SwapStrategy for PolicyStrategy {
+    fn capabilities(&self) -> Capabilities {
+        self.caps
+    }
+
+    fn supports(&self, program: &ProgramInfo) -> Result<(), String> {
+        if self.cnn_only && !program.is_cnn {
+            return Err(format!(
+                "{} supports convolutional networks only",
+                self.caps.name
+            ));
+        }
+        Ok(())
+    }
+
+    fn schedule_known(&self, iteration: usize) -> bool {
+        self.static_planner || iteration >= 1
+    }
+
+    fn rank_victims(&mut self, ctx: &SwapCtx<'_>, candidates: &mut Vec<TensorId>) {
+        // Pinned tensors are only eligible if nothing else exists.
+        if self.pin_small_bytes > 0 {
+            let (unpinned, pinned): (Vec<_>, Vec<_>) = candidates
+                .iter()
+                .copied()
+                .partition(|&t| ctx.program.bytes(t) > self.pin_small_bytes);
+            if !unpinned.is_empty() {
+                *candidates = unpinned;
+            } else {
+                *candidates = pinned;
+            }
+        }
+        match self.victims {
+            VictimPolicy::Lru => {
+                candidates.sort_by_key(|&t| ctx.last_use[t.index()]);
+            }
+            VictimPolicy::Belady if ctx.schedule_known => {
+                candidates.sort_by_key(|&t| {
+                    core::cmp::Reverse(ctx.program.next_use(t, ctx.kernel_index))
+                });
+            }
+            VictimPolicy::Belady => {
+                // Schedule not known yet: fall back to LRU.
+                candidates.sort_by_key(|&t| ctx.last_use[t.index()]);
+            }
+            VictimPolicy::ActivationsLru => {
+                let (acts, params): (Vec<_>, Vec<_>) = candidates
+                    .iter()
+                    .copied()
+                    .partition(|&t| !ctx.program.persistent[t.index()]);
+                let mut acts = acts;
+                let mut params = params;
+                acts.sort_by_key(|&t| ctx.last_use[t.index()]);
+                params.sort_by_key(|&t| ctx.last_use[t.index()]);
+                *candidates = acts;
+                candidates.extend(params);
+            }
+        }
+    }
+
+    fn prefetch(&mut self, ctx: &SwapCtx<'_>) -> Vec<TensorId> {
+        if !ctx.schedule_known || self.lookahead == 0 {
+            return Vec::new();
+        }
+        let n = ctx.program.kernel_count();
+        let mut out = Vec::new();
+        for ahead in 1..=self.lookahead {
+            let idx = (ctx.kernel_index + ahead) % n;
+            for &t in &ctx.program.kernels[idx].operands {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    fn flush_cache_every(&self) -> Option<usize> {
+        self.flush_every
+    }
+
+    fn profiling_overhead(&self, iteration: usize, base: Ns) -> Ns {
+        if iteration == 0 && self.profile_overhead_frac > 0.0 {
+            base.scale(self.profile_overhead_frac)
+        } else {
+            Ns::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepum_torch::step::WorkloadBuilder;
+
+    fn caps() -> Capabilities {
+        Capabilities {
+            name: "test",
+            base_framework: "none",
+            framework_modification: false,
+            user_script_modification: false,
+            runtime_profiling: false,
+        }
+    }
+
+    fn toy_program() -> ProgramInfo {
+        let mut b = WorkloadBuilder::new("t", "t", 1);
+        let w = b.persistent(10 << 20);
+        let a0 = b.alloc(1 << 20);
+        let a1 = b.alloc(2 << 20);
+        b.kernel("k0").reads(&[w]).writes(&[a0]).launch();
+        b.kernel("k1").reads(&[a0]).writes(&[a1]).launch();
+        b.kernel("k2").reads(&[a1, w]).launch();
+        b.free(a0);
+        b.free(a1);
+        ProgramInfo::compile(&b.build())
+    }
+
+    fn ctx<'a>(program: &'a ProgramInfo, last_use: &'a [Ns], known: bool) -> SwapCtx<'a> {
+        SwapCtx {
+            kernel_index: 0,
+            iteration: if known { 1 } else { 0 },
+            schedule_known: known,
+            program,
+            last_use,
+        }
+    }
+
+    #[test]
+    fn lru_orders_by_last_use() {
+        let program = toy_program();
+        let last_use = vec![Ns::from_nanos(30), Ns::from_nanos(10), Ns::from_nanos(20)];
+        let mut s = PolicyStrategy::new(caps());
+        s.victims = VictimPolicy::Lru;
+        let mut cands = vec![TensorId(0), TensorId(1), TensorId(2)];
+        s.rank_victims(&ctx(&program, &last_use, true), &mut cands);
+        assert_eq!(cands, vec![TensorId(1), TensorId(2), TensorId(0)]);
+    }
+
+    #[test]
+    fn belady_orders_by_next_use() {
+        let program = toy_program();
+        let last_use = vec![Ns::ZERO; 3];
+        let mut s = PolicyStrategy::new(caps());
+        s.victims = VictimPolicy::Belady;
+        // After kernel 0: a0 (t1) and a1 (t2) are both used at k1 (read
+        // and write respectively); w (t0) is not needed until k2, so it
+        // is the best victim and ranks first.
+        let mut cands = vec![TensorId(1), TensorId(2), TensorId(0)];
+        s.rank_victims(&ctx(&program, &last_use, true), &mut cands);
+        assert_eq!(cands[0], TensorId(0));
+    }
+
+    #[test]
+    fn activations_policy_prefers_transients() {
+        let program = toy_program();
+        let last_use = vec![Ns::from_nanos(1), Ns::from_nanos(99), Ns::from_nanos(98)];
+        let mut s = PolicyStrategy::new(caps());
+        s.victims = VictimPolicy::ActivationsLru;
+        let mut cands = vec![TensorId(0), TensorId(1), TensorId(2)];
+        s.rank_victims(&ctx(&program, &last_use, true), &mut cands);
+        // Persistent tensor 0 goes last despite oldest last-use.
+        assert_eq!(*cands.last().unwrap(), TensorId(0));
+    }
+
+    #[test]
+    fn pinning_excludes_small_tensors() {
+        let program = toy_program();
+        let last_use = vec![Ns::ZERO; 3];
+        let mut s = PolicyStrategy::new(caps());
+        s.pin_small_bytes = 1 << 20; // pin t1 (1 MiB)
+        let mut cands = vec![TensorId(0), TensorId(1), TensorId(2)];
+        s.rank_victims(&ctx(&program, &last_use, true), &mut cands);
+        assert!(!cands.contains(&TensorId(1)));
+    }
+
+    #[test]
+    fn prefetch_respects_lookahead_and_schedule() {
+        let program = toy_program();
+        let last_use = vec![Ns::ZERO; 3];
+        let mut s = PolicyStrategy::new(caps());
+        s.lookahead = 1;
+        assert!(s.prefetch(&ctx(&program, &last_use, false)).is_empty());
+        let got = s.prefetch(&ctx(&program, &last_use, true));
+        // Kernel 1 uses a0 and a1.
+        assert_eq!(got, vec![TensorId(1), TensorId(2)]);
+        s.lookahead = 2;
+        let got = s.prefetch(&ctx(&program, &last_use, true));
+        assert!(got.contains(&TensorId(0))); // kernel 2 uses w
+    }
+
+    #[test]
+    fn static_planner_knows_schedule_at_iteration_zero() {
+        let mut s = PolicyStrategy::new(caps());
+        assert!(!s.schedule_known(0));
+        s.static_planner = true;
+        assert!(s.schedule_known(0));
+    }
+
+    #[test]
+    fn profiling_overhead_hits_iteration_zero_only() {
+        let mut s = PolicyStrategy::new(caps());
+        s.profile_overhead_frac = 0.5;
+        assert_eq!(
+            s.profiling_overhead(0, Ns::from_secs(2)),
+            Ns::from_secs(1)
+        );
+        assert_eq!(s.profiling_overhead(1, Ns::from_secs(2)), Ns::ZERO);
+    }
+}

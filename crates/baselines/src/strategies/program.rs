@@ -1,0 +1,165 @@
+//! Precomputed per-iteration program information.
+//!
+//! The swap executor compiles a workload's step sequence into a
+//! kernel-indexed view that strategies query: operand lists, per-tensor
+//! use positions (for Belady / next-use decisions), and structural
+//! hints (is this a CNN?).
+
+use std::sync::Arc;
+
+use deepum_torch::step::{Step, TensorId, Workload};
+
+/// One kernel of the iteration program.
+#[derive(Debug, Clone)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: Arc<str>,
+    /// All tensors the kernel touches (reads, writes, gather tables).
+    pub operands: Vec<TensorId>,
+    /// FLOPs, for internal cost estimates.
+    pub flops: f64,
+}
+
+/// The compiled program of one training iteration.
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    /// Tensor sizes in bytes, indexed by `TensorId`.
+    pub tensor_bytes: Vec<u64>,
+    /// Whether each tensor is persistent (weights/optimizer state).
+    pub persistent: Vec<bool>,
+    /// Kernels in execution order.
+    pub kernels: Vec<KernelInfo>,
+    /// For each tensor, the sorted kernel indices that use it.
+    pub uses: Vec<Vec<usize>>,
+    /// Heuristic: the model is convolutional (vDNN's supported class).
+    pub is_cnn: bool,
+}
+
+impl ProgramInfo {
+    /// Compiles `workload` into the kernel-indexed view.
+    pub fn compile(workload: &Workload) -> Self {
+        let tensor_count = workload
+            .persistent
+            .iter()
+            .map(|t| t.id.index() + 1)
+            .chain(workload.steps.iter().filter_map(|s| match s {
+                Step::Alloc(t) => Some(t.id.index() + 1),
+                _ => None,
+            }))
+            .max()
+            .unwrap_or(0);
+
+        let mut tensor_bytes = vec![0u64; tensor_count];
+        let mut persistent = vec![false; tensor_count];
+        for t in &workload.persistent {
+            tensor_bytes[t.id.index()] = t.bytes;
+            persistent[t.id.index()] = true;
+        }
+
+        let mut kernels = Vec::new();
+        let mut uses: Vec<Vec<usize>> = vec![Vec::new(); tensor_count];
+        let mut conv_kernels = 0usize;
+
+        for step in &workload.steps {
+            match step {
+                Step::Alloc(t) => tensor_bytes[t.id.index()] = t.bytes,
+                Step::Free(_) => {}
+                Step::Kernel(k) => {
+                    let idx = kernels.len();
+                    let mut operands: Vec<TensorId> = Vec::new();
+                    for id in k
+                        .reads
+                        .iter()
+                        .chain(&k.writes)
+                        .chain(k.gathers.iter().map(|g| &g.table))
+                    {
+                        if !operands.contains(id) {
+                            operands.push(*id);
+                        }
+                        if uses[id.index()].last() != Some(&idx) {
+                            uses[id.index()].push(idx);
+                        }
+                    }
+                    let name: &str = &k.name;
+                    if name.contains(".c") || name.contains(".dw") || name.contains("stem") {
+                        conv_kernels += 1;
+                    }
+                    kernels.push(KernelInfo {
+                        name: k.name.clone(),
+                        operands,
+                        flops: k.flops,
+                    });
+                }
+            }
+        }
+
+        let is_cnn = conv_kernels * 4 > kernels.len();
+        ProgramInfo {
+            tensor_bytes,
+            persistent,
+            kernels,
+            uses,
+            is_cnn,
+        }
+    }
+
+    /// Number of kernels per iteration.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The next kernel index (≥ `after`, exclusive) that uses `tensor`,
+    /// wrapping into the next iteration (index + kernel count).
+    pub fn next_use(&self, tensor: TensorId, after: usize) -> usize {
+        let uses = &self.uses[tensor.index()];
+        match uses.iter().find(|&&u| u > after) {
+            Some(&u) => u,
+            None => uses.first().map(|&u| u + self.kernel_count()).unwrap_or(usize::MAX),
+        }
+    }
+
+    /// Bytes of `tensor`.
+    pub fn bytes(&self, tensor: TensorId) -> u64 {
+        self.tensor_bytes[tensor.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepum_torch::models::ModelKind;
+    use deepum_torch::step::WorkloadBuilder;
+
+    #[test]
+    fn compiles_models() {
+        let conv = ProgramInfo::compile(&ModelKind::MobileNet.build(4));
+        assert!(conv.is_cnn);
+        let trans = ProgramInfo::compile(&ModelKind::BertBase.build(2));
+        assert!(!trans.is_cnn);
+        assert!(conv.kernel_count() > 10);
+    }
+
+    #[test]
+    fn next_use_wraps_to_next_iteration() {
+        let mut b = WorkloadBuilder::new("t", "t", 1);
+        let w = b.persistent(1024);
+        let a = b.alloc(1024);
+        b.kernel("k0").reads(&[w]).writes(&[a]).launch(); // kernel 0
+        b.kernel("k1").reads(&[a]).launch(); // kernel 1
+        b.free(a);
+        let p = ProgramInfo::compile(&b.build());
+        assert_eq!(p.next_use(w, 0), 2); // wraps: kernel 0 of next iter
+        assert_eq!(p.next_use(a, 0), 1);
+        assert_eq!(p.kernel_count(), 2);
+    }
+
+    #[test]
+    fn operands_deduplicate() {
+        let mut b = WorkloadBuilder::new("t", "t", 1);
+        let w = b.persistent(1024);
+        b.kernel("k").reads(&[w, w]).writes(&[w]).launch();
+        let p = ProgramInfo::compile(&b.build());
+        assert_eq!(p.kernels[0].operands.len(), 1);
+        assert_eq!(p.uses[w.index()], vec![0]);
+    }
+}

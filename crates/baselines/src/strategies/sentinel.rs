@@ -1,0 +1,60 @@
+//! Sentinel (Ren et al., HPCA '21).
+//!
+//! Sentinel is the paper's strongest software baseline. It profiles one
+//! iteration through *CPU* page faults (tensors placed in pinned host
+//! memory so every GPU access is observable), then co-optimizes tensor
+//! placement with lifetime: short-lived/small tensors are kept on fast
+//! (device) memory, large long-lived tensors migrate on a near-optimal
+//! schedule. The stand-in keeps those properties: an expensive
+//! profiling iteration (GPU accesses through pinned host memory run far
+//! slower), then Belady victims, deep look-ahead, and small-tensor
+//! pinning.
+
+use super::policy::{PolicyStrategy, VictimPolicy};
+use super::Capabilities;
+
+/// Sentinel.
+pub struct Sentinel;
+
+impl Sentinel {
+    /// Capability row (Table 8: TensorFlow base, framework + user-script
+    /// modification, runtime profiling).
+    pub const CAPS: Capabilities = Capabilities {
+        name: "sentinel",
+        base_framework: "TensorFlow",
+        framework_modification: true,
+        user_script_modification: true,
+        runtime_profiling: true,
+    };
+
+    /// Builds the Sentinel policy.
+    pub fn policy() -> PolicyStrategy {
+        let mut p = PolicyStrategy::new(Self::CAPS);
+        p.lookahead = 4;
+        p.victims = VictimPolicy::Belady;
+        // Hot/cold separation: tensors up to 1 MiB stay on device.
+        p.pin_small_bytes = 1 << 20;
+        // The profiling iteration routes accesses through CPU-pinned
+        // memory: substantially slower than a normal iteration.
+        p.profile_overhead_frac = 1.0;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::SwapStrategy;
+    use deepum_sim::time::Ns;
+
+    #[test]
+    fn sentinel_pays_for_profiling_then_excels() {
+        let s = Sentinel::policy();
+        assert_eq!(
+            s.profiling_overhead(0, Ns::from_secs(5)),
+            Ns::from_secs(5)
+        );
+        assert!(s.schedule_known(1));
+        assert!(s.capabilities().user_script_modification);
+    }
+}

@@ -1,0 +1,58 @@
+//! vDNN (Rhu et al., MICRO '16).
+//!
+//! The first DNN swapping system: it offloads the feature maps
+//! (activations) of convolutional layers to host memory during the
+//! forward pass and prefetches them back during backward, driven by the
+//! layer structure. "The DNN models must use vDNN API functions, and it
+//! supports only convolutional neural networks" — on the transformer
+//! workloads it reports "not work" (paper Table 7).
+//!
+//! Policy mapping: activation-only LRU eviction (weights stay resident,
+//! as vDNN never offloads filters) with a one-layer look-ahead prefetch,
+//! and a hard CNN-only support check.
+
+use super::policy::{PolicyStrategy, VictimPolicy};
+use super::Capabilities;
+
+/// vDNN.
+pub struct Vdnn;
+
+impl Vdnn {
+    /// Capability row (Table 8: built from scratch, user code must call
+    /// vDNN APIs, no runtime profiling).
+    pub const CAPS: Capabilities = Capabilities {
+        name: "vdnn",
+        base_framework: "",
+        framework_modification: true,
+        user_script_modification: true,
+        runtime_profiling: false,
+    };
+
+    /// Builds the vDNN policy.
+    pub fn policy() -> PolicyStrategy {
+        let mut p = PolicyStrategy::new(Self::CAPS);
+        p.lookahead = 1;
+        p.victims = VictimPolicy::ActivationsLru;
+        p.cnn_only = true;
+        // The layer structure is static, so the schedule is known from
+        // the first iteration.
+        p.static_planner = true;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{ProgramInfo, SwapStrategy};
+    use deepum_torch::models::ModelKind;
+
+    #[test]
+    fn rejects_transformers() {
+        let s = Vdnn::policy();
+        let bert = ProgramInfo::compile(&ModelKind::BertBase.build(2));
+        assert!(s.supports(&bert).is_err());
+        let mobilenet = ProgramInfo::compile(&ModelKind::MobileNet.build(2));
+        assert!(s.supports(&mobilenet).is_ok());
+    }
+}

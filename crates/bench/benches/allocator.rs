@@ -1,0 +1,48 @@
+//! Caching-allocator churn: the alloc/free pattern of one training
+//! iteration (activations allocated forward, freed backward).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use deepum_torch::alloc::{CachingAllocator, DeviceHeap};
+
+fn churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caching_allocator");
+    g.bench_function("iteration_churn_64_tensors", |b| {
+        b.iter_batched(
+            || (CachingAllocator::new(), DeviceHeap::new(4 << 30), Vec::new()),
+            |(mut alloc, mut heap, mut ev)| {
+                let mut blocks = Vec::new();
+                for i in 0..64u64 {
+                    let bytes = ((i % 7) + 1) << 20;
+                    blocks.push(alloc.alloc(bytes, &mut heap, &mut ev).unwrap().0);
+                }
+                for b in blocks.into_iter().rev() {
+                    alloc.free(b, &mut ev);
+                }
+                black_box(alloc.cached_bytes());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("steady_state_reuse", |b| {
+        let mut alloc = CachingAllocator::new();
+        let mut heap = DeviceHeap::new(4 << 30);
+        let mut ev = Vec::new();
+        // Warm the pool.
+        let warm: Vec<_> = (0..32u64)
+            .map(|i| alloc.alloc(((i % 7) + 1) << 20, &mut heap, &mut ev).unwrap().0)
+            .collect();
+        for b in warm {
+            alloc.free(b, &mut ev);
+        }
+        b.iter(|| {
+            let (id, r) = alloc.alloc(3 << 20, &mut heap, &mut ev).unwrap();
+            black_box(r);
+            alloc.free(id, &mut ev);
+            ev.clear();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, churn);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Chaining-walk throughput: how fast the prefetching thread can turn a
+//! fault into a stream of prefetch commands across kernel boundaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepum_core::chain::{ChainStep, ChainWalk};
+use deepum_core::correlation::{BlockCorrelationTable, ExecCorrelationTable};
+use deepum_mem::BlockNum;
+use deepum_runtime::exec_table::ExecId;
+
+/// Builds `kernels` block tables of `blocks_per_kernel` chained blocks and
+/// an exec table that predicts the ring k -> k+1.
+fn build(kernels: u32, blocks_per_kernel: u64) -> (Vec<Option<BlockCorrelationTable>>, ExecCorrelationTable) {
+    let mut tables = Vec::new();
+    let mut exec = ExecCorrelationTable::new();
+    for k in 0..kernels {
+        let base = k as u64 * blocks_per_kernel;
+        let mut t = BlockCorrelationTable::new(2048, 2, 4);
+        for i in 0..blocks_per_kernel - 1 {
+            t.record_pair(BlockNum::new(base + i), BlockNum::new(base + i + 1));
+        }
+        t.set_start(BlockNum::new(base));
+        t.set_end(BlockNum::new(base + blocks_per_kernel - 1));
+        tables.push(Some(t));
+        let e = |x: u32| ExecId(x % kernels);
+        exec.record(e(k), [e(k + kernels - 3), e(k + kernels - 2), e(k + kernels - 1)], e(k + 1));
+    }
+    (tables, exec)
+}
+
+fn chaining(c: &mut Criterion) {
+    let (tables, exec) = build(64, 32);
+    c.bench_function("chain_walk_32_kernels_ahead", |b| {
+        b.iter(|| {
+            let mut walk = ChainWalk::new(
+                ExecId(0),
+                [ExecId(61), ExecId(62), ExecId(63)],
+                BlockNum::new(0),
+            );
+            let mut emitted = 0u64;
+            loop {
+                match walk.step(&tables, &exec, 32) {
+                    ChainStep::Emit(_) => emitted += 1,
+                    ChainStep::Transition { .. } => {}
+                    ChainStep::Paused | ChainStep::Ended => break,
+                }
+            }
+            black_box(emitted);
+        });
+    });
+}
+
+criterion_group!(benches, chaining);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the correlation tables — the structures on the
+//! DeepUM driver's hot path (one update per faulted block, one lookup
+//! per chaining step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepum_core::correlation::{BlockCorrelationTable, ExecCorrelationTable, PairCorrelationTable};
+use deepum_mem::BlockNum;
+use deepum_runtime::exec_table::ExecId;
+
+fn block_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_table");
+    // Paper Config9: 2048 rows, 2-way, 4 successors.
+    g.bench_function("record_pair", |b| {
+        let mut t = BlockCorrelationTable::new(2048, 2, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            t.record_pair(BlockNum::new(i % 4096), BlockNum::new((i + 1) % 4096));
+            i += 1;
+        });
+    });
+    g.bench_function("successors_hit", |b| {
+        let mut t = BlockCorrelationTable::new(2048, 2, 4);
+        for i in 0..4096u64 {
+            t.record_pair(BlockNum::new(i), BlockNum::new(i + 1));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let s = t.successors(BlockNum::new(i % 4096));
+            black_box(s);
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn exec_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_table");
+    g.bench_function("record", |b| {
+        let mut t = ExecCorrelationTable::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let e = |x: u32| ExecId(x % 2000);
+            t.record(e(i), [e(i + 1), e(i + 2), e(i + 3)], e(i + 4));
+            i += 1;
+        });
+    });
+    g.bench_function("predict_hit", |b| {
+        let mut t = ExecCorrelationTable::new();
+        for i in 0..2000u32 {
+            t.record(
+                ExecId(i),
+                [ExecId(i + 1), ExecId(i + 2), ExecId(i + 3)],
+                ExecId(i + 4),
+            );
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let p = t.predict(
+                ExecId(i % 2000),
+                [
+                    ExecId(i % 2000 + 1),
+                    ExecId(i % 2000 + 2),
+                    ExecId(i % 2000 + 3),
+                ],
+            );
+            black_box(p);
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn pair_table(c: &mut Criterion) {
+    c.bench_function("pair_table_on_miss", |b| {
+        let mut t = PairCorrelationTable::new(2048, 2, 2, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            let v = t.on_miss(i % 8192);
+            black_box(v);
+            i = i.wrapping_add(2654435761);
+        });
+    });
+}
+
+criterion_group!(benches, block_table, exec_table, pair_table);
+criterion_main!(benches);

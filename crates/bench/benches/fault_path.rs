@@ -1,0 +1,65 @@
+//! The fault-handling pipeline: entry grouping (Fig. 3 step 2) and the
+//! full handler on batches of demand faults.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use deepum_gpu::fault::{AccessKind, FaultEntry, SmId};
+use deepum_mem::BlockNum;
+use deepum_sim::costs::CostModel;
+use deepum_sim::time::Ns;
+use deepum_um::driver::{group_faults, UmDriver};
+
+fn batch(pages: usize, blocks: u64) -> Vec<FaultEntry> {
+    (0..pages)
+        .map(|i| FaultEntry {
+            page: BlockNum::new(i as u64 % blocks).page(i % 512),
+            kind: AccessKind::Read,
+            sm: SmId((i % 80) as u16),
+        })
+        .collect()
+}
+
+fn grouping(c: &mut Criterion) {
+    let faults = batch(256, 4);
+    c.bench_function("group_faults_256", |b| {
+        b.iter(|| black_box(group_faults(&faults)));
+    });
+}
+
+fn handler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handle_faults");
+    for &pages in &[256usize, 2048] {
+        let faults = batch(pages, pages as u64 / 128);
+        g.bench_function(format!("{pages}_pages"), |b| {
+            b.iter_batched(
+                || UmDriver::new(CostModel::v100_32gb()),
+                |mut d| black_box(d.handle_faults(Ns::ZERO, &faults)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn eviction_pressure(c: &mut Criterion) {
+    // A device of 16 blocks, continuously faulting fresh blocks: every
+    // handler call pays the (critical-path) eviction cost.
+    c.bench_function("handler_with_eviction", |b| {
+        let costs = CostModel::v100_32gb().with_device_memory(32 << 20);
+        let mut d = UmDriver::new(costs);
+        let mut next = 0u64;
+        b.iter(|| {
+            let faults = (0..512)
+                .map(|i| FaultEntry {
+                    page: BlockNum::new(next).page(i),
+                    kind: AccessKind::Write,
+                    sm: SmId(0),
+                })
+                .collect::<Vec<_>>();
+            next += 1;
+            black_box(d.handle_faults(Ns::from_nanos(next), &faults));
+        });
+    });
+}
+
+criterion_group!(benches, grouping, handler, eviction_pressure);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! SPSC queue throughput and page-mask algebra — the per-fault
+//! constant factors of the simulated driver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deepum_core::queues::{PrefetchCommand, SpscQueue};
+use deepum_mem::{BlockNum, PageMask};
+use deepum_runtime::exec_table::ExecId;
+
+fn queue(c: &mut Criterion) {
+    c.bench_function("spsc_push_pop", |b| {
+        let mut q: SpscQueue<PrefetchCommand> = SpscQueue::new(8192);
+        let cmd = PrefetchCommand {
+            block: BlockNum::new(1),
+            exec: ExecId(0),
+        };
+        b.iter(|| {
+            q.try_push(cmd).unwrap();
+            black_box(q.pop());
+        });
+    });
+}
+
+fn masks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_mask");
+    let a = PageMask::from_range(0..300);
+    let bm = PageMask::from_range(200..512);
+    g.bench_function("subtract", |b| b.iter(|| black_box(a.subtract(&bm))));
+    g.bench_function("union_count", |b| {
+        b.iter(|| black_box(a.union(&bm).count()))
+    });
+    g.bench_function("iter_ones_300", |b| {
+        b.iter(|| black_box(a.iter_ones().sum::<usize>()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, queue, masks);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 9(a)/(b)/(c) and, from the same runs, feeds the
+//! Table 4/5 caches.
+
+use deepum_bench::experiments::fig09;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let cells = fig09::run_grid(&opts);
+    fig09::table_speedup(&cells).print();
+    fig09::table_elapsed(&cells).print();
+    fig09::table_energy(&cells).print();
+    write_json(&opts.out, "fig09", &cells);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10: prefetching / pre-eviction / invalidation
+//! ablation, normalized to naive UM.
+
+use deepum_bench::experiments::fig10;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let rows = fig10::run(&opts);
+    fig10::table(&rows).print();
+    write_json(&opts.out, "fig10", &rows);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 11: sensitivity to the prefetch degree N
+//! (speedup and energy relative to N = 8).
+
+use deepum_bench::experiments::fig11;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let rows = fig11::run(&opts);
+    fig11::table_speedup(&rows).print();
+    fig11::table_energy(&rows).print();
+    write_json(&opts.out, "fig11", &rows);
+}

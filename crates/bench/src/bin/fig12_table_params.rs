@@ -1,0 +1,14 @@
+//! Regenerates Table 6 + Fig. 12: UM-block correlation-table geometry
+//! sweep (speedup over Config0).
+
+use deepum_bench::experiments::fig12;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    fig12::table_configs().print();
+    let rows = fig12::run(&opts);
+    fig12::table(&rows).print();
+    write_json(&opts.out, "fig12", &rows);
+}

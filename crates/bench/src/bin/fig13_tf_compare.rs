@@ -1,0 +1,13 @@
+//! Regenerates Fig. 13: comparison with the TensorFlow-based systems on
+//! the V100 16 GB.
+
+use deepum_bench::experiments::fig13;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let rows = fig13::run(&opts);
+    fig13::table(&rows).print();
+    write_json(&opts.out, "fig13", &rows);
+}

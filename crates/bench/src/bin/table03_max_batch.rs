@@ -1,0 +1,12 @@
+//! Regenerates Table 3: maximum possible batch sizes, LMS vs DeepUM.
+
+use deepum_bench::experiments::table03;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let rows = table03::run(&opts);
+    table03::table(&rows).print();
+    write_json(&opts.out, "table03", &rows);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 5: page faults per training iteration, UM vs
+//! DeepUM. Shares the Fig. 9 run cache.
+
+use deepum_bench::experiments::fig09;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let cells = fig09::run_grid(&opts);
+    fig09::table_faults(&cells).print();
+    write_json(&opts.out, "table05", &cells);
+}

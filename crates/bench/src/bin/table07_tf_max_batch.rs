@@ -1,0 +1,13 @@
+//! Regenerates Table 7: maximum batch sizes of the TF-based approaches
+//! and DeepUM (V100 16 GB, 128 GB host).
+
+use deepum_bench::experiments::table07;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let rows = table07::run(&opts);
+    table07::table(&rows).print();
+    write_json(&opts.out, "table07", &rows);
+}

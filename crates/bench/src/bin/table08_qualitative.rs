@@ -1,0 +1,12 @@
+//! Regenerates Table 8: the qualitative capability matrix.
+
+use deepum_bench::experiments::table08;
+use deepum_bench::table::write_json;
+use deepum_bench::Opts;
+
+fn main() {
+    let opts = Opts::from_args();
+    let t = table08::table();
+    t.print();
+    write_json(&opts.out, "table08", &t);
+}

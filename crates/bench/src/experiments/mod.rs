@@ -1,0 +1,10 @@
+//! One module per paper artifact.
+
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod table03;
+pub mod table07;
+pub mod table08;

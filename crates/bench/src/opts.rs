@@ -1,0 +1,122 @@
+//! Common command-line options for the experiment binaries.
+
+use std::path::PathBuf;
+
+/// Options shared by all experiment binaries.
+///
+/// Parsed from `std::env::args` — the binaries deliberately avoid an
+/// argument-parsing dependency.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Training iterations per run (first is warm-up).
+    pub iters: usize,
+    /// Scale factor applied to batch sizes and device/host memory
+    /// together; 1.0 reproduces the paper's configuration.
+    pub scale: f64,
+    /// Output directory for JSON results.
+    pub out: PathBuf,
+    /// Seed for workload randomness.
+    pub seed: u64,
+    /// Restrict to models whose label contains this substring.
+    pub only: Option<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            iters: 3,
+            scale: 1.0,
+            out: PathBuf::from("results"),
+            seed: 0x5eed,
+            only: None,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses options from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = Opts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--iters" => opts.iters = value("--iters").parse().expect("--iters: integer"),
+                "--scale" => opts.scale = value("--scale").parse().expect("--scale: float"),
+                "--out" => opts.out = PathBuf::from(value("--out")),
+                "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
+                "--only" => opts.only = Some(value("--only")),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --iters N  --scale F  --out DIR  --seed N  --only SUBSTR"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option: {other}"),
+            }
+        }
+        assert!(opts.iters >= 1, "--iters must be at least 1");
+        assert!(opts.scale > 0.0 && opts.scale <= 1.0, "--scale in (0, 1]");
+        opts
+    }
+
+    /// Scales a batch size, keeping it at least 1.
+    pub fn batch(&self, paper_batch: usize) -> usize {
+        ((paper_batch as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Scales a memory capacity in bytes.
+    pub fn memory(&self, bytes: u64) -> u64 {
+        ((bytes as f64 * self.scale) as u64).max(1 << 20)
+    }
+
+    /// True if `label` passes the `--only` filter.
+    pub fn selected(&self, label: &str) -> bool {
+        match &self.only {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = Opts::default();
+        assert_eq!(o.iters, 3);
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.batch(1536), 1536);
+    }
+
+    #[test]
+    fn scaling_applies_to_batch_and_memory() {
+        let o = Opts {
+            scale: 0.25,
+            ..Opts::default()
+        };
+        assert_eq!(o.batch(1536), 384);
+        assert_eq!(o.batch(3), 1);
+        assert_eq!(o.memory(32 << 30), 8 << 30);
+    }
+
+    #[test]
+    fn only_filter() {
+        let o = Opts {
+            only: Some("bert".into()),
+            ..Opts::default()
+        };
+        assert!(o.selected("bert-large"));
+        assert!(!o.selected("gpt2-xl"));
+        assert!(Opts::default().selected("anything"));
+    }
+}

@@ -1,0 +1,3 @@
+//! Re-export of the uniform system runner from `deepum-baselines`.
+
+pub use deepum_baselines::suite::{run_system, RunParams, System};

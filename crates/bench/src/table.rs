@@ -1,0 +1,136 @@
+//! Plain-text table rendering plus JSON export for experiment output.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A printable experiment table.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table {
+    /// Table title (printed above).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Writes `value` as pretty JSON to `dir/name.json`, creating `dir`.
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiment binaries want loud failures).
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    let body = serde_json::to_string_pretty(value).expect("serialize results");
+    f.write_all(body.as_bytes()).expect("write results");
+    eprintln!("[written] {}", path.display());
+}
+
+/// Formats a ratio with two decimals, or `-` for absent runs.
+pub fn ratio(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:.2}"),
+        _ => "-".into(),
+    }
+}
+
+/// Formats virtual seconds with three decimals.
+pub fn secs(ns: deepum_sim::time::Ns) -> String {
+    format!("{:.3}", ns.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["model", "speedup"]);
+        t.row(["gpt2-xl", "3.06"]);
+        t.row(["dlrm", "1.10"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("gpt2-xl"));
+        // Both rows align to the same column width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(Some(1.234)), "1.23");
+        assert_eq!(ratio(None), "-");
+        assert_eq!(ratio(Some(f64::INFINITY)), "-");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let dir = std::env::temp_dir().join("deepum-table-test");
+        let mut t = Table::new("x", &["a"]);
+        t.row(["1"]);
+        write_json(&dir, "t", &t);
+        let body = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert!(body.contains("\"title\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

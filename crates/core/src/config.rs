@@ -1,0 +1,143 @@
+//! DeepUM configuration knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the DeepUM driver.
+///
+/// Defaults follow the paper's evaluation configuration: UM-block
+/// correlation tables with 2048 rows, two-way associativity, and four
+/// successors (Section 6.2 / Config9 of Table 6). The prefetch degree is
+/// measured in *simulated* kernels, each standing for several real CUDA
+/// launches, so its default (256) sits above the paper's N = 32 sweet
+/// spot while playing the same role (Fig. 11). The three `enable_*`
+/// toggles drive the Figure-10 ablation.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::config::DeepumConfig;
+///
+/// let prefetch_only = DeepumConfig {
+///     enable_preevict: false,
+///     enable_invalidate: false,
+///     ..DeepumConfig::default()
+/// };
+/// assert!(prefetch_only.enable_prefetch);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeepumConfig {
+    /// `NumRows`: rows per UM-block correlation table.
+    pub block_table_rows: usize,
+    /// `Assoc`: ways per row.
+    pub block_table_assoc: usize,
+    /// `NumSuccs`: MRU-ordered successor slots per way.
+    pub block_table_succs: usize,
+    /// `N`: chaining looks ahead this many predicted kernels
+    /// (Section 4.2's pause bound, swept in Fig. 11). One simulated
+    /// kernel stands for several real CUDA launches (cuDNN/cuBLAS emit
+    /// many kernels per operator), so the default is correspondingly
+    /// larger than the paper's sweet spot of 32.
+    pub prefetch_degree: usize,
+    /// Capacity of the prefetch command queue.
+    pub prefetch_queue_capacity: usize,
+    /// Correlation prefetching on/off (Fig. 10 ablation).
+    pub enable_prefetch: bool,
+    /// Page pre-eviction on/off (Section 5.1, Fig. 10 ablation).
+    pub enable_preevict: bool,
+    /// Inactive-PT-block invalidation on/off (Section 5.2, Fig. 10).
+    pub enable_invalidate: bool,
+    /// Pre-eviction keeps at least this many UM blocks of device memory
+    /// free so demand faults find room without critical-path eviction.
+    pub preevict_headroom_blocks: u64,
+}
+
+impl DeepumConfig {
+    /// The paper's evaluation configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Ablation step 1: correlation prefetching only (Fig. 10
+    /// "Prefetching").
+    pub fn prefetch_only() -> Self {
+        DeepumConfig {
+            enable_preevict: false,
+            enable_invalidate: false,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation step 2: prefetching + pre-eviction (Fig. 10
+    /// "Prefetching+Preeviction").
+    pub fn prefetch_preevict() -> Self {
+        DeepumConfig {
+            enable_invalidate: false,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the configuration with a different prefetch degree `N`.
+    pub fn with_prefetch_degree(mut self, n: usize) -> Self {
+        self.prefetch_degree = n;
+        self
+    }
+
+    /// Returns the configuration with different UM-block table geometry
+    /// (Table 6's `Assoc`, `NumSuccs`, `NumRows`).
+    pub fn with_block_table(mut self, assoc: usize, succs: usize, rows: usize) -> Self {
+        self.block_table_assoc = assoc;
+        self.block_table_succs = succs;
+        self.block_table_rows = rows;
+        self
+    }
+}
+
+impl Default for DeepumConfig {
+    fn default() -> Self {
+        DeepumConfig {
+            block_table_rows: 2048,
+            block_table_assoc: 2,
+            block_table_succs: 4,
+            prefetch_degree: 256,
+            prefetch_queue_capacity: 8192,
+            enable_prefetch: true,
+            enable_preevict: true,
+            enable_invalidate: true,
+            preevict_headroom_blocks: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_config9() {
+        let c = DeepumConfig::default();
+        assert_eq!(c.block_table_rows, 2048);
+        assert_eq!(c.block_table_assoc, 2);
+        assert_eq!(c.block_table_succs, 4);
+        assert!(c.enable_prefetch && c.enable_preevict && c.enable_invalidate);
+    }
+
+    #[test]
+    fn ablation_presets_disable_progressively() {
+        let p = DeepumConfig::prefetch_only();
+        assert!(p.enable_prefetch && !p.enable_preevict && !p.enable_invalidate);
+        let pp = DeepumConfig::prefetch_preevict();
+        assert!(pp.enable_prefetch && pp.enable_preevict && !pp.enable_invalidate);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = DeepumConfig::default()
+            .with_prefetch_degree(8)
+            .with_block_table(4, 8, 512);
+        assert_eq!(c.prefetch_degree, 8);
+        assert_eq!(
+            (c.block_table_assoc, c.block_table_succs, c.block_table_rows),
+            (4, 8, 512)
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The execution ID correlation table (paper Fig. 6).
+
+use deepum_runtime::exec_table::ExecId;
+use serde::{Deserialize, Serialize};
+
+/// One record in an execution-table entry: "the first three IDs represent
+/// the previously executed kernels right before the last kernel [...] the
+/// last ID represents the next kernel to execute".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecRecord {
+    /// The three kernels executed before the entry's kernel, oldest
+    /// first.
+    pub prev: [ExecId; 3],
+    /// The kernel observed to execute next.
+    pub next: ExecId,
+}
+
+/// The single, global execution-ID correlation table.
+///
+/// Entries are indexed densely by [`ExecId`]. "The number of records each
+/// entry contains is variable [...] each entry can hold all history of
+/// successor kernels' execution IDs. DeepUM chooses this scheme to
+/// predict the next kernel to be executed as accurately as possible."
+///
+/// Records within an entry are MRU-ordered; prediction requires an exact
+/// match on the three-kernel context, which is what makes next-kernel
+/// prediction essentially perfect once a training iteration has repeated.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::correlation::ExecCorrelationTable;
+/// use deepum_runtime::exec_table::ExecId;
+///
+/// let mut t = ExecCorrelationTable::new();
+/// let ctx = [ExecId(7), ExecId(9), ExecId(92)];
+/// t.record(ExecId(0), ctx, ExecId(75));
+/// assert_eq!(t.predict(ExecId(0), ctx), Some(ExecId(75)));
+/// assert_eq!(t.predict(ExecId(0), [ExecId(1); 3]), None);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ExecCorrelationTable {
+    entries: Vec<Vec<ExecRecord>>,
+    records: usize,
+}
+
+impl ExecCorrelationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that kernel `current`, executed after the context `prev`
+    /// (oldest first), was followed by kernel `next`.
+    ///
+    /// If a record with the same context exists its successor is updated
+    /// and it moves to MRU position; otherwise a record is added.
+    pub fn record(&mut self, current: ExecId, prev: [ExecId; 3], next: ExecId) {
+        let idx = current.index();
+        if idx >= self.entries.len() {
+            self.entries.resize_with(idx + 1, Vec::new);
+        }
+        let entry = &mut self.entries[idx];
+        if let Some(pos) = entry.iter().position(|r| r.prev == prev) {
+            let mut rec = entry.remove(pos);
+            rec.next = next;
+            entry.insert(0, rec);
+        } else {
+            entry.insert(0, ExecRecord { prev, next });
+            self.records += 1;
+        }
+    }
+
+    /// Predicts the kernel that will follow `current` given the context
+    /// `prev`; `None` if no record matches the context exactly.
+    pub fn predict(&self, current: ExecId, prev: [ExecId; 3]) -> Option<ExecId> {
+        self.entries
+            .get(current.index())?
+            .iter()
+            .find(|r| r.prev == prev)
+            .map(|r| r.next)
+    }
+
+    /// Records for `current`'s entry, MRU first (diagnostics).
+    pub fn records_of(&self, current: ExecId) -> &[ExecRecord] {
+        self.entries
+            .get(current.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of entries (distinct execution IDs seen as `current`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Total records across all entries.
+    pub fn total_records(&self) -> usize {
+        self.records
+    }
+
+    /// Approximate memory footprint, for Table 4 accounting.
+    pub fn memory_bytes(&self) -> usize {
+        let base = core::mem::size_of::<Self>();
+        let vecs = self.entries.len() * core::mem::size_of::<Vec<ExecRecord>>();
+        let recs = self.records * core::mem::size_of::<ExecRecord>();
+        base + vecs + recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const fn e(i: u32) -> ExecId {
+        ExecId(i)
+    }
+
+    #[test]
+    fn exact_context_predicts() {
+        let mut t = ExecCorrelationTable::new();
+        t.record(e(0), [e(7), e(9), e(92)], e(75));
+        assert_eq!(t.predict(e(0), [e(7), e(9), e(92)]), Some(e(75)));
+    }
+
+    #[test]
+    fn different_context_does_not_predict() {
+        let mut t = ExecCorrelationTable::new();
+        t.record(e(0), [e(7), e(9), e(92)], e(75));
+        assert_eq!(t.predict(e(0), [e(9), e(7), e(92)]), None);
+        assert_eq!(t.predict(e(1), [e(7), e(9), e(92)]), None);
+    }
+
+    #[test]
+    fn same_context_updates_in_place() {
+        let mut t = ExecCorrelationTable::new();
+        let ctx = [e(1), e(2), e(3)];
+        t.record(e(0), ctx, e(10));
+        t.record(e(0), ctx, e(11));
+        assert_eq!(t.predict(e(0), ctx), Some(e(11)));
+        assert_eq!(t.total_records(), 1);
+    }
+
+    #[test]
+    fn entries_hold_variable_records() {
+        let mut t = ExecCorrelationTable::new();
+        for i in 0..10 {
+            t.record(e(1), [e(i), e(i + 1), e(i + 2)], e(100 + i));
+        }
+        assert_eq!(t.records_of(e(1)).len(), 10);
+        // MRU order: last recorded first.
+        assert_eq!(t.records_of(e(1))[0].next, e(109));
+        // All contexts remain predictable.
+        for i in 0..10 {
+            assert_eq!(t.predict(e(1), [e(i), e(i + 1), e(i + 2)]), Some(e(100 + i)));
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_records() {
+        let mut t = ExecCorrelationTable::new();
+        let before = t.memory_bytes();
+        for i in 0..100 {
+            t.record(e(i), [e(0), e(1), e(2)], e(i + 1));
+        }
+        assert!(t.memory_bytes() > before);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn empty_entry_lookup_is_none() {
+        let t = ExecCorrelationTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.predict(e(42), [e(0); 3]), None);
+        assert!(t.records_of(e(42)).is_empty());
+    }
+}

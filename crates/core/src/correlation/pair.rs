@@ -1,0 +1,199 @@
+//! The original pair-based correlation prefetcher (paper Section 4.1,
+//! Fig. 5).
+//!
+//! Kept as a faithful reference implementation of the cache-line scheme
+//! DeepUM adapts: a single set-associative table whose entries hold
+//! `NumLevels` levels of `NumSucc` MRU-ordered successor addresses, with
+//! `Last` and `SecondLast` pointers to the two most recent misses. DeepUM
+//! departs from this by (a) splitting kernel-level and block-level
+//! correlation into two table kinds and (b) using a single level plus
+//! chaining. The benchmark suite ablates DeepUM's tables against this
+//! classic design.
+
+/// One entry: a tagged address and its per-level successor lists.
+#[derive(Debug, Clone)]
+struct Entry {
+    tag: u64,
+    /// `levels[l]` holds successors at distance `l + 1`, MRU first.
+    levels: Vec<Vec<u64>>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Set {
+    entries: Vec<Entry>,
+}
+
+/// Classic pair-based correlation table over abstract `u64` addresses.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::correlation::PairCorrelationTable;
+///
+/// let mut t = PairCorrelationTable::new(64, 1, 2, 2);
+/// t.on_miss(10); // a
+/// t.on_miss(20); // b
+/// t.on_miss(30); // c  -> recorded under both a (level 2) and b (level 1)
+/// let prefetch = t.on_miss(10); // miss a again: prefetch its successors
+/// assert!(prefetch.contains(&20) && prefetch.contains(&30));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PairCorrelationTable {
+    sets: Vec<Set>,
+    assoc: usize,
+    num_levels: usize,
+    num_succ: usize,
+    last: Option<u64>,
+    second_last: Option<u64>,
+}
+
+impl PairCorrelationTable {
+    /// Creates a table with `num_rows` sets of `assoc` ways, each way
+    /// holding `num_levels` levels of `num_succ` successors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(num_rows: usize, assoc: usize, num_levels: usize, num_succ: usize) -> Self {
+        assert!(num_rows > 0 && assoc > 0 && num_levels > 0 && num_succ > 0);
+        PairCorrelationTable {
+            sets: vec![Set::default(); num_rows],
+            assoc,
+            num_levels,
+            num_succ,
+            last: None,
+            second_last: None,
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.sets.len()
+    }
+
+    /// Processes a miss on `addr`: records it as a successor of the last
+    /// (level 1) and second-last (level 2, if configured) misses, shifts
+    /// the pointers, and returns the prefetch candidates correlated with
+    /// `addr` (all levels, MRU first within each level).
+    pub fn on_miss(&mut self, addr: u64) -> Vec<u64> {
+        if let Some(last) = self.last {
+            self.record(last, addr, 0);
+        }
+        if self.num_levels >= 2 {
+            if let Some(second) = self.second_last {
+                self.record(second, addr, 1);
+            }
+        }
+        self.second_last = self.last;
+        self.last = Some(addr);
+
+        self.candidates(addr)
+    }
+
+    /// Prefetch candidates for `addr` without updating any state.
+    pub fn candidates(&self, addr: u64) -> Vec<u64> {
+        let set = &self.sets[self.set_of(addr)];
+        match set.entries.iter().find(|e| e.tag == addr) {
+            Some(entry) => entry
+                .levels
+                .iter()
+                .flatten()
+                .copied()
+                .filter(|&s| s != addr)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn record(&mut self, predecessor: u64, succ: u64, level: usize) {
+        if predecessor == succ {
+            return;
+        }
+        let assoc = self.assoc;
+        let num_levels = self.num_levels;
+        let num_succ = self.num_succ;
+        let set_idx = self.set_of(predecessor);
+        let set = &mut self.sets[set_idx];
+
+        let mut entry = match set.entries.iter().position(|e| e.tag == predecessor) {
+            Some(pos) => set.entries.remove(pos),
+            None => Entry {
+                tag: predecessor,
+                levels: vec![Vec::new(); num_levels],
+            },
+        };
+        let slot = &mut entry.levels[level];
+        if let Some(pos) = slot.iter().position(|&s| s == succ) {
+            slot.remove(pos);
+        }
+        slot.insert(0, succ);
+        slot.truncate(num_succ);
+
+        set.entries.insert(0, entry);
+        set.entries.truncate(assoc);
+    }
+
+    /// Number of occupied entries across all sets.
+    pub fn occupied(&self) -> usize {
+        self.sets.iter().map(|s| s.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_figure_5() {
+        // Fig. 5: misses a, b, c, then a again.
+        let (a, b, c) = (100u64, 200u64, 300u64);
+        let mut t = PairCorrelationTable::new(64, 1, 2, 2);
+        assert!(t.on_miss(a).is_empty());
+        assert!(t.on_miss(b).is_empty());
+        assert!(t.on_miss(c).is_empty());
+        // Entry for a now holds b (level 1) and c (level 2);
+        // missing a again prefetches both.
+        let prefetch = t.on_miss(a);
+        assert_eq!(prefetch, vec![b, c]);
+    }
+
+    #[test]
+    fn single_level_records_immediate_successors_only() {
+        let mut t = PairCorrelationTable::new(64, 1, 1, 2);
+        t.on_miss(1);
+        t.on_miss(2);
+        t.on_miss(3);
+        assert_eq!(t.candidates(1), vec![2]);
+        assert_eq!(t.candidates(2), vec![3]);
+    }
+
+    #[test]
+    fn successors_are_mru_bounded() {
+        let mut t = PairCorrelationTable::new(64, 1, 1, 2);
+        for succ in [10u64, 11, 12] {
+            t.on_miss(1);
+            t.on_miss(succ);
+        }
+        // Capacity 2, MRU first: 12 then 11.
+        assert_eq!(t.candidates(1), vec![12, 11]);
+    }
+
+    #[test]
+    fn set_conflict_evicts_lru_entry() {
+        let mut t = PairCorrelationTable::new(1, 1, 1, 2);
+        t.on_miss(1);
+        t.on_miss(2); // entry for 1 created
+        t.on_miss(3); // entry for 2 created, evicting 1
+        assert!(t.candidates(1).is_empty());
+        assert_eq!(t.candidates(2), vec![3]);
+        assert_eq!(t.occupied(), 1);
+    }
+
+    #[test]
+    fn repeated_miss_of_same_addr_is_harmless() {
+        let mut t = PairCorrelationTable::new(64, 2, 2, 2);
+        t.on_miss(5);
+        let p = t.on_miss(5);
+        assert!(p.is_empty());
+        assert!(t.candidates(5).is_empty());
+    }
+}

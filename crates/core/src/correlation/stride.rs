@@ -1,0 +1,187 @@
+//! Stride-based correlation prefetching (paper Section 4, Chen &
+//! Baer '92).
+//!
+//! The paper contrasts two classic correlation-prefetching families and
+//! picks the pair-based one: "The stride-based correlation
+//! prefetching finds stride patterns in the sequence of missed
+//! addresses, while the pair-based correlation prefetching finds a
+//! correlation between missed addresses. DeepUM is based on the
+//! pair-based correlation prefetching technique."
+//!
+//! This module implements the road not taken, as a reference point for
+//! ablations: a classic reference-prediction table keyed by a context
+//! (here: the execution ID, standing in for the PC of the cache-line
+//! original), tracking the last address, the last stride, and a 2-bit
+//! confidence state.
+
+use deepum_runtime::exec_table::ExecId;
+
+/// Per-context predictor state (a reference-prediction-table row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    tag: ExecId,
+    last: u64,
+    stride: i64,
+    /// 0 = invalid, 1 = training, 2 = steady, 3 = locked-in.
+    confidence: u8,
+}
+
+/// A stride predictor over abstract `u64` addresses (UM block numbers),
+/// keyed by execution ID.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::correlation::StridePrefetcher;
+/// use deepum_runtime::exec_table::ExecId;
+///
+/// let mut p = StridePrefetcher::new(64, 4);
+/// let k = ExecId(0);
+/// p.on_miss(k, 10);
+/// p.on_miss(k, 12); // stride 2 observed
+/// p.on_miss(k, 14); // confirmed once
+/// let predictions = p.on_miss(k, 16); // confirmed twice: predict
+/// assert_eq!(predictions, vec![18, 20, 22, 24]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    entries: Vec<Option<Entry>>,
+    degree: usize,
+}
+
+impl StridePrefetcher {
+    /// Creates a predictor with `rows` table rows issuing `degree`
+    /// prefetches per confirmed stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `degree` is zero.
+    pub fn new(rows: usize, degree: usize) -> Self {
+        assert!(rows > 0 && degree > 0);
+        StridePrefetcher {
+            entries: vec![None; rows],
+            degree,
+        }
+    }
+
+    fn row(&self, exec: ExecId) -> usize {
+        (exec.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % self.entries.len()
+    }
+
+    /// Observes a miss on `addr` in context `exec`; returns addresses to
+    /// prefetch (empty until a stride is confirmed twice).
+    pub fn on_miss(&mut self, exec: ExecId, addr: u64) -> Vec<u64> {
+        let row = self.row(exec);
+        let entry = &mut self.entries[row];
+        match entry {
+            Some(e) if e.tag == exec => {
+                let stride = addr as i64 - e.last as i64;
+                if stride == e.stride && stride != 0 {
+                    e.confidence = (e.confidence + 1).min(3);
+                } else {
+                    // A broken stride returns the entry to training; a
+                    // decrement would keep mispredicting through the
+                    // transition (classic RPT transient state).
+                    e.confidence = 0;
+                    e.stride = stride;
+                }
+                e.last = addr;
+                if e.confidence >= 2 && e.stride != 0 {
+                    let stride = e.stride;
+                    return (1..=self.degree as i64)
+                        .filter_map(|i| addr.checked_add_signed(stride * i))
+                        .collect();
+                }
+                Vec::new()
+            }
+            _ => {
+                *entry = Some(Entry {
+                    tag: exec,
+                    last: addr,
+                    stride: 0,
+                    confidence: 0,
+                });
+                Vec::new()
+            }
+        }
+    }
+
+    /// Number of live entries (diagnostics).
+    pub fn occupied(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: ExecId = ExecId(7);
+
+    #[test]
+    fn constant_stride_locks_in() {
+        let mut p = StridePrefetcher::new(16, 2);
+        assert!(p.on_miss(K, 100).is_empty()); // entry created
+        assert!(p.on_miss(K, 104).is_empty()); // stride learned
+        assert!(p.on_miss(K, 108).is_empty()); // first confirmation
+        assert_eq!(p.on_miss(K, 112), vec![116, 120]); // confirmed twice
+        assert_eq!(p.on_miss(K, 116), vec![120, 124]);
+    }
+
+    #[test]
+    fn irregular_pattern_never_predicts() {
+        let mut p = StridePrefetcher::new(16, 4);
+        let mut out = Vec::new();
+        for addr in [5u64, 90, 13, 77, 2, 64, 31] {
+            out.extend(p.on_miss(K, addr));
+        }
+        assert!(out.is_empty(), "predicted {out:?} from noise");
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(16, 1);
+        for a in [0u64, 2, 4, 6] {
+            p.on_miss(K, a);
+        }
+        assert!(!p.on_miss(K, 8).is_empty());
+        // Break the pattern: prediction stops until retrained.
+        assert!(p.on_miss(K, 100).is_empty());
+        assert!(p.on_miss(K, 103).is_empty());
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let mut p = StridePrefetcher::new(64, 1);
+        let a = ExecId(1);
+        let b = ExecId(2);
+        for i in 0..5u64 {
+            p.on_miss(a, i * 4);
+            p.on_miss(b, 1000 - i * 8);
+        }
+        assert_eq!(p.on_miss(a, 20), vec![24]);
+        assert_eq!(p.on_miss(b, 960), vec![952]);
+    }
+
+    #[test]
+    fn zero_stride_is_not_predicted() {
+        let mut p = StridePrefetcher::new(16, 4);
+        for _ in 0..6 {
+            assert!(p.on_miss(K, 42).is_empty());
+        }
+    }
+
+    #[test]
+    fn row_conflicts_evict() {
+        let mut p = StridePrefetcher::new(1, 1);
+        for i in 0..4u64 {
+            p.on_miss(ExecId(1), i * 2);
+        }
+        // A different context steals the single row.
+        p.on_miss(ExecId(2), 5);
+        assert_eq!(p.occupied(), 1);
+        // Context 1 must retrain.
+        assert!(p.on_miss(ExecId(1), 8).is_empty());
+        assert!(p.on_miss(ExecId(1), 10).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Learned per-block page footprints.
+//!
+//! DeepUM "prefetches all pages in the UM blocks correlated to the
+//! faulted UM block" (Section 4.2). The driver only knows which pages a
+//! block *uses* from the fault/access stream, so it accumulates a page
+//! mask per block and prefetches that mask. For DNN training the
+//! footprint stabilizes after the first iteration because the access
+//! pattern repeats.
+
+use std::collections::HashMap;
+
+use deepum_mem::{BlockNum, PageMask};
+
+/// Map from UM block to the union of pages ever observed in use.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::footprint::FootprintMap;
+/// use deepum_mem::{BlockNum, PageMask};
+///
+/// let mut fp = FootprintMap::new();
+/// fp.record(BlockNum::new(1), &PageMask::first_n(10));
+/// fp.record(BlockNum::new(1), &PageMask::from_range(20..30));
+/// assert_eq!(fp.get(BlockNum::new(1)).count(), 20);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FootprintMap {
+    map: HashMap<BlockNum, PageMask>,
+}
+
+impl FootprintMap {
+    /// Creates an empty footprint map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges `pages` into `block`'s footprint.
+    pub fn record(&mut self, block: BlockNum, pages: &PageMask) {
+        self.map
+            .entry(block)
+            .or_insert_with(PageMask::empty)
+            .union_with(pages);
+    }
+
+    /// The learned footprint of `block` (empty if never observed).
+    pub fn get(&self, block: BlockNum) -> PageMask {
+        self.map.get(&block).copied().unwrap_or_else(PageMask::empty)
+    }
+
+    /// Forgets a block (e.g. after its allocation is freed).
+    pub fn forget(&mut self, block: BlockNum) {
+        self.map.remove(&block);
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate memory footprint (Table 4 accounting).
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>()
+            + self.map.len()
+                * (core::mem::size_of::<BlockNum>() + core::mem::size_of::<PageMask>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_unions() {
+        let mut fp = FootprintMap::new();
+        fp.record(BlockNum::new(0), &PageMask::first_n(5));
+        fp.record(BlockNum::new(0), &PageMask::from_range(3..8));
+        assert_eq!(fp.get(BlockNum::new(0)).count(), 8);
+    }
+
+    #[test]
+    fn unknown_block_is_empty() {
+        let fp = FootprintMap::new();
+        assert!(fp.get(BlockNum::new(99)).is_empty());
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut fp = FootprintMap::new();
+        fp.record(BlockNum::new(1), &PageMask::first_n(1));
+        assert_eq!(fp.len(), 1);
+        fp.forget(BlockNum::new(1));
+        assert!(fp.is_empty());
+    }
+
+    #[test]
+    fn memory_tracks_entries() {
+        let mut fp = FootprintMap::new();
+        let before = fp.memory_bytes();
+        for i in 0..64 {
+            fp.record(BlockNum::new(i), &PageMask::first_n(1));
+        }
+        assert!(fp.memory_bytes() > before);
+    }
+}

@@ -1,0 +1,228 @@
+//! The driver's single-producer/single-consumer queues.
+//!
+//! "The *fault queue* is a single-producer/single-consumer queue that
+//! stores the UM block addresses of the faulted pages. [...] The
+//! prefetching thread [...] enqueues the prefetch commands to the
+//! *prefetch queue*, a single-producer/single-consumer queue. A prefetch
+//! command consists of a UM block address to prefetch and the execution
+//! ID for which the corresponding UM block is predicted to be used."
+//! (Section 3.1.)
+//!
+//! The simulation is single-threaded-deterministic, so the queue is a
+//! fixed-capacity ring buffer with the same semantics a lock-free SPSC
+//! ring would have: bounded, FIFO, `try_push` fails when full.
+
+use deepum_mem::BlockNum;
+use deepum_runtime::exec_table::ExecId;
+use serde::{Deserialize, Serialize};
+
+/// One prefetch command: which block to bring in, and for which predicted
+/// kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrefetchCommand {
+    /// UM block to prefetch.
+    pub block: BlockNum,
+    /// Execution ID of the kernel predicted to use the block.
+    pub exec: ExecId,
+}
+
+/// A bounded FIFO queue with SPSC ring-buffer semantics.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::queues::SpscQueue;
+///
+/// let mut q: SpscQueue<u32> = SpscQueue::new(2);
+/// assert!(q.try_push(1).is_ok());
+/// assert!(q.try_push(2).is_ok());
+/// assert!(q.try_push(3).is_err()); // full
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpscQueue<T> {
+    buf: Vec<Option<T>>,
+    head: usize,
+    tail: usize,
+    len: usize,
+    rejected: u64,
+    total_pushed: u64,
+}
+
+impl<T> SpscQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let mut buf = Vec::with_capacity(capacity);
+        buf.resize_with(capacity, || None);
+        SpscQueue {
+            buf,
+            head: 0,
+            tail: 0,
+            len: 0,
+            rejected: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Appends `item`; fails (returning the item) when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when at capacity; the rejection is counted.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.len == self.buf.len() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.buf[self.tail] = Some(item);
+        self.tail = (self.tail + 1) % self.buf.len();
+        self.len += 1;
+        self.total_pushed += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.buf[self.head].take();
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        item
+    }
+
+    /// Oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[self.head].as_ref()
+        }
+    }
+
+    /// Discards all queued items.
+    pub fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Lifetime count of rejected pushes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Lifetime count of accepted pushes.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = SpscQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!((0..4).map(|_| q.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut q = SpscQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn full_rejects_and_counts() {
+        let mut q = SpscQueue::new(1);
+        q.try_push(7).unwrap();
+        assert_eq!(q.try_push(8), Err(8));
+        assert!(q.is_full());
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.total_pushed(), 1);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut q = SpscQueue::new(3);
+        q.try_push(5).unwrap();
+        q.try_push(6).unwrap();
+        assert_eq!(q.peek(), Some(&5));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: SpscQueue<u8> = SpscQueue::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The ring buffer behaves exactly like a VecDeque under any
+        /// push/pop interleaving.
+        #[test]
+        fn matches_vecdeque_model(ops in prop::collection::vec(prop::bool::ANY, 0..200)) {
+            let mut q: SpscQueue<u32> = SpscQueue::new(8);
+            let mut model = std::collections::VecDeque::new();
+            let mut next = 0u32;
+            for push in ops {
+                if push {
+                    let accepted = q.try_push(next).is_ok();
+                    prop_assert_eq!(accepted, model.len() < 8);
+                    if accepted {
+                        model.push_back(next);
+                    }
+                    next += 1;
+                } else {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(q.peek(), model.front());
+            }
+        }
+    }
+}

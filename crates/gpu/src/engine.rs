@@ -1,0 +1,388 @@
+//! Kernel execution engine.
+//!
+//! Executes [`KernelLaunch`] descriptors against a memory backend (the UM
+//! driver), reproducing the GPU-side fault protocol:
+//!
+//! 1. the kernel touches a UM block; pages without a valid device mapping
+//!    raise faults into the [`FaultBuffer`];
+//! 2. faulting SMs stall (their TLBs lock), so the GPU only accumulates a
+//!    bounded batch of fault entries before the driver must intervene;
+//! 3. the driver drains the buffer, migrates pages, sends the replay
+//!    signal; the engine charges the handling time as kernel stall;
+//! 4. compute proceeds; background migrations (prefetches issued by the
+//!    driver) overlap with compute via [`UmBackend::overlap_compute`].
+//!
+//! Compute time is spread across the access trace, so a kernel whose later
+//! blocks are still being prefetched can hide that latency behind its own
+//! earlier compute — the mechanism DeepUM's intra-kernel chaining exploits.
+
+use deepum_mem::{BlockNum, PageMask};
+use deepum_sim::clock::SimClock;
+use deepum_sim::energy::{EnergyMeter, PowerState};
+use deepum_sim::time::Ns;
+
+use crate::fault::{FaultBuffer, FaultEntry, SmId};
+use crate::kernel::KernelLaunch;
+
+/// The driver-side interface the engine executes against.
+///
+/// Implemented by the naive UM driver, by DeepUM, and by the tensor-level
+/// swapping baselines (which pin everything they manage and therefore see
+/// no faults).
+pub trait UmBackend {
+    /// Subset of `pages` in `block` with no valid device mapping.
+    fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask;
+
+    /// Handles a drained fault batch: migrate the faulted pages and remap.
+    /// Returns the stall time observed by the GPU (fault handling is on
+    /// the critical path). After this call every faulted page must be
+    /// resident.
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns;
+
+    /// Records a successful (resident) access for recency/prefetch-hit
+    /// bookkeeping.
+    fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask);
+
+    /// The GPU computes for `dur` starting at `now`; the backend may
+    /// overlap background work (prefetch migrations). Returns how much of
+    /// `dur` carried PCIe traffic, for energy accounting.
+    fn overlap_compute(&mut self, now: Ns, dur: Ns) -> Ns;
+
+    /// Called when the current kernel retires; lets the driver resume any
+    /// paused prefetch chaining (Section 4.2).
+    fn kernel_finished(&mut self, now: Ns);
+}
+
+/// Statistics for one kernel execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelRunStats {
+    /// Compute time charged.
+    pub compute: Ns,
+    /// Fault-handling stall charged.
+    pub stall: Ns,
+    /// Page-fault entries delivered to the driver.
+    pub faults: u64,
+    /// Fault-buffer drains (handler invocations).
+    pub fault_batches: u64,
+}
+
+impl KernelRunStats {
+    /// Total virtual time the kernel occupied the GPU.
+    pub fn elapsed(&self) -> Ns {
+        self.compute + self.stall
+    }
+
+    /// Accumulates another kernel's stats into `self`.
+    pub fn merge(&mut self, other: &KernelRunStats) {
+        self.compute += other.compute;
+        self.stall += other.stall;
+        self.faults += other.faults;
+        self.fault_batches += other.fault_batches;
+    }
+}
+
+/// The simulated GPU front end.
+///
+/// # Example
+///
+/// See the crate-level integration tests; driving the engine requires a
+/// [`UmBackend`] implementation, typically `deepum_um::UmDriver`.
+#[derive(Debug)]
+pub struct GpuEngine {
+    fault_buffer: FaultBuffer,
+    num_sms: u16,
+    next_sm: u16,
+    demand_batch: usize,
+}
+
+impl GpuEngine {
+    /// V100 streaming-multiprocessor count.
+    pub const V100_SMS: u16 = 80;
+
+    /// Pages the GPU accumulates before stalled SMs force a handler pass.
+    /// Small relative to the buffer capacity: faulting warps stall quickly,
+    /// so hardware delivers faults in modest groups.
+    pub const DEFAULT_DEMAND_BATCH: usize = 256;
+
+    /// Creates an engine with V100-like parameters.
+    pub fn new() -> Self {
+        Self::with_params(
+            FaultBuffer::default(),
+            Self::V100_SMS,
+            Self::DEFAULT_DEMAND_BATCH,
+        )
+    }
+
+    /// Creates an engine with explicit fault buffer, SM count, and demand
+    /// batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sms` or `demand_batch` is zero.
+    pub fn with_params(fault_buffer: FaultBuffer, num_sms: u16, demand_batch: usize) -> Self {
+        assert!(num_sms > 0, "GPU needs at least one SM");
+        assert!(demand_batch > 0, "demand batch must be positive");
+        GpuEngine {
+            fault_buffer,
+            num_sms,
+            next_sm: 0,
+            demand_batch,
+        }
+    }
+
+    /// Lifetime page-fault entries accepted by the fault buffer.
+    pub fn total_faults(&self) -> u64 {
+        self.fault_buffer.total_pushed()
+    }
+
+    fn next_sm(&mut self) -> SmId {
+        let sm = SmId(self.next_sm);
+        self.next_sm = (self.next_sm + 1) % self.num_sms;
+        sm
+    }
+
+    /// Executes one kernel to completion against `backend`, advancing
+    /// `clock` and charging `energy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend fails to make faulted pages resident (a
+    /// driver bug: the replay would loop forever on real hardware).
+    pub fn execute<B>(
+        &mut self,
+        kernel: &KernelLaunch,
+        clock: &mut SimClock,
+        backend: &mut B,
+        energy: &mut EnergyMeter,
+    ) -> KernelRunStats
+    where
+        B: UmBackend + ?Sized,
+    {
+        let mut stats = KernelRunStats::default();
+        let n = kernel.accesses.len();
+        let slice = if n == 0 {
+            kernel.compute
+        } else {
+            kernel.compute / n as u64
+        };
+
+        for (i, access) in kernel.accesses.iter().enumerate() {
+            // Resolve residency for this access; each round models the
+            // stalled SMs delivering a bounded batch of fault entries.
+            loop {
+                let miss = backend.resident_miss(access.block, &access.pages);
+                if miss.is_empty() {
+                    break;
+                }
+                let before = miss.count();
+                for idx in miss.iter_ones().take(self.demand_batch) {
+                    let sm = self.next_sm();
+                    self.fault_buffer.push(FaultEntry {
+                        page: access.block.page(idx),
+                        kind: access.kind,
+                        sm,
+                    });
+                }
+                let batch = self.fault_buffer.drain();
+                stats.faults += batch.len() as u64;
+                stats.fault_batches += 1;
+                let stall = backend.handle_faults(clock.now(), &batch);
+                clock.advance(stall);
+                energy.accumulate(PowerState::Transfer, stall);
+                stats.stall += stall;
+
+                let after = backend.resident_miss(access.block, &access.pages).count();
+                assert!(
+                    after < before,
+                    "backend made no progress on faults for {} ({} pages missing)",
+                    access.block,
+                    after
+                );
+            }
+            backend.touch(clock.now(), access.block, &access.pages);
+
+            // Compute slice following the access; the last access absorbs
+            // the rounding remainder.
+            let this_slice = if i + 1 == n {
+                kernel.compute - slice * (n as u64 - 1)
+            } else {
+                slice
+            };
+            self.run_compute(this_slice, clock, backend, energy, &mut stats);
+        }
+
+        if n == 0 {
+            self.run_compute(slice, clock, backend, energy, &mut stats);
+        }
+
+        backend.kernel_finished(clock.now());
+        stats
+    }
+
+    fn run_compute<B>(
+        &mut self,
+        dur: Ns,
+        clock: &mut SimClock,
+        backend: &mut B,
+        energy: &mut EnergyMeter,
+        stats: &mut KernelRunStats,
+    ) where
+        B: UmBackend + ?Sized,
+    {
+        if dur == Ns::ZERO {
+            return;
+        }
+        let busy = backend.overlap_compute(clock.now(), dur).min(dur);
+        clock.advance(dur);
+        energy.accumulate(PowerState::ComputeTransfer, busy);
+        energy.accumulate(PowerState::Compute, dur - busy);
+        stats.compute += dur;
+    }
+}
+
+impl Default for GpuEngine {
+    fn default() -> Self {
+        GpuEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::AccessKind;
+    use crate::kernel::BlockAccess;
+    use std::collections::HashMap;
+
+    /// A toy backend: everything is non-resident until faulted in, then
+    /// stays resident. Each handled fault costs 1 µs.
+    #[derive(Default)]
+    struct ToyBackend {
+        resident: HashMap<BlockNum, PageMask>,
+        touched: u64,
+        finished: u64,
+        overlap_calls: u64,
+    }
+
+    impl UmBackend for ToyBackend {
+        fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
+            match self.resident.get(&block) {
+                Some(res) => pages.subtract(res),
+                None => *pages,
+            }
+        }
+
+        fn handle_faults(&mut self, _now: Ns, faults: &[FaultEntry]) -> Ns {
+            for f in faults {
+                self.resident
+                    .entry(f.page.block())
+                    .or_insert_with(PageMask::empty)
+                    .set(f.page.index_in_block());
+            }
+            Ns::from_micros(faults.len() as u64)
+        }
+
+        fn touch(&mut self, _now: Ns, _block: BlockNum, pages: &PageMask) {
+            self.touched += pages.count() as u64;
+        }
+
+        fn overlap_compute(&mut self, _now: Ns, _dur: Ns) -> Ns {
+            self.overlap_calls += 1;
+            Ns::ZERO
+        }
+
+        fn kernel_finished(&mut self, _now: Ns) {
+            self.finished += 1;
+        }
+    }
+
+    fn kernel(blocks: &[(u64, usize)], compute_us: u64) -> KernelLaunch {
+        let accesses = blocks
+            .iter()
+            .map(|&(b, pages)| {
+                BlockAccess::new(BlockNum::new(b), PageMask::first_n(pages), AccessKind::Read)
+            })
+            .collect();
+        KernelLaunch::new("toy", &[], accesses, Ns::from_micros(compute_us))
+    }
+
+    #[test]
+    fn cold_kernel_faults_every_page() {
+        let mut engine = GpuEngine::new();
+        let mut clock = SimClock::new();
+        let mut backend = ToyBackend::default();
+        let mut energy = EnergyMeter::new();
+
+        let k = kernel(&[(0, 100), (1, 50)], 30);
+        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+
+        assert_eq!(stats.faults, 150);
+        assert_eq!(stats.compute, Ns::from_micros(30));
+        assert_eq!(stats.stall, Ns::from_micros(150));
+        assert_eq!(clock.now(), stats.elapsed());
+        assert_eq!(backend.touched, 150);
+        assert_eq!(backend.finished, 1);
+    }
+
+    #[test]
+    fn warm_kernel_faults_nothing() {
+        let mut engine = GpuEngine::new();
+        let mut clock = SimClock::new();
+        let mut backend = ToyBackend::default();
+        let mut energy = EnergyMeter::new();
+
+        let k = kernel(&[(0, 100)], 10);
+        engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        let warm = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        assert_eq!(warm.faults, 0);
+        assert_eq!(warm.stall, Ns::ZERO);
+        assert_eq!(warm.compute, Ns::from_micros(10));
+    }
+
+    #[test]
+    fn demand_batch_bounds_each_handler_pass() {
+        let mut engine = GpuEngine::with_params(FaultBuffer::new(4096), 4, 64);
+        let mut clock = SimClock::new();
+        let mut backend = ToyBackend::default();
+        let mut energy = EnergyMeter::new();
+
+        let k = kernel(&[(0, 512)], 10);
+        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        assert_eq!(stats.faults, 512);
+        assert_eq!(stats.fault_batches, 8); // 512 / 64
+    }
+
+    #[test]
+    fn compute_only_kernel_advances_clock() {
+        let mut engine = GpuEngine::new();
+        let mut clock = SimClock::new();
+        let mut backend = ToyBackend::default();
+        let mut energy = EnergyMeter::new();
+
+        let k = kernel(&[], 42);
+        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        assert_eq!(stats.compute, Ns::from_micros(42));
+        assert_eq!(clock.now(), Ns::from_micros(42));
+        assert_eq!(backend.overlap_calls, 1);
+    }
+
+    #[test]
+    fn compute_is_fully_distributed_across_accesses() {
+        let mut engine = GpuEngine::new();
+        let mut clock = SimClock::new();
+        let mut backend = ToyBackend::default();
+        let mut energy = EnergyMeter::new();
+
+        // 3 accesses over a compute time not divisible by 3.
+        let k = kernel(&[(0, 1), (1, 1), (2, 1)], 100);
+        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        assert_eq!(stats.compute, Ns::from_micros(100));
+    }
+
+    #[test]
+    fn sm_ids_round_robin() {
+        let mut engine = GpuEngine::with_params(FaultBuffer::new(16), 2, 16);
+        assert_eq!(engine.next_sm(), SmId(0));
+        assert_eq!(engine.next_sm(), SmId(1));
+        assert_eq!(engine.next_sm(), SmId(0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Kernel launch descriptors.
+//!
+//! A CUDA kernel, from the memory system's point of view, is a named
+//! computation that touches an ordered sequence of UM blocks (each with a
+//! per-block page footprint) and burns a certain amount of compute time.
+//! DeepUM identifies kernels by the hash of their name and arguments
+//! (Section 3.1); [`ExecSignature`] is that hash.
+
+use core::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use deepum_mem::{BlockNum, PageMask};
+use deepum_sim::time::Ns;
+use serde::{Deserialize, Serialize};
+
+use crate::fault::AccessKind;
+
+/// Hash of a kernel's name and launch arguments.
+///
+/// The DeepUM runtime computes this for every launch and uses it to look
+/// up (or allot) the kernel's *execution ID* in the execution ID table.
+///
+/// # Example
+///
+/// ```
+/// use deepum_gpu::kernel::ExecSignature;
+///
+/// let a = ExecSignature::of("volta_sgemm_128x64", &[256, 1024]);
+/// let b = ExecSignature::of("volta_sgemm_128x64", &[256, 1024]);
+/// let c = ExecSignature::of("volta_sgemm_128x64", &[512, 1024]);
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ExecSignature(pub u64);
+
+impl ExecSignature {
+    /// Hashes a kernel name plus its scalar launch arguments.
+    pub fn of(name: &str, args: &[u64]) -> Self {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        args.hash(&mut hasher);
+        ExecSignature(hasher.finish())
+    }
+}
+
+impl fmt::Display for ExecSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig:{:016x}", self.0)
+    }
+}
+
+/// One ordered access a kernel makes to a UM block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockAccess {
+    /// The UM block touched.
+    pub block: BlockNum,
+    /// Which of the block's pages the kernel touches.
+    pub pages: PageMask,
+    /// Read or write intent.
+    pub kind: AccessKind,
+}
+
+impl BlockAccess {
+    /// Convenience constructor for an access touching the given pages.
+    pub fn new(block: BlockNum, pages: PageMask, kind: AccessKind) -> Self {
+        BlockAccess { block, pages, kind }
+    }
+}
+
+/// A kernel launch: identity, ordered page-access trace, and compute time.
+///
+/// The access trace order is the order in which page faults would be
+/// observed by the driver if nothing is resident — the signal DeepUM's
+/// UM-block correlation tables record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelLaunch {
+    /// Human-readable kernel name (e.g. `"resnet200.conv2d_34.fwd"`).
+    pub name: Arc<str>,
+    /// Hash of name + arguments identifying repeated launches.
+    pub signature: ExecSignature,
+    /// Ordered UM-block accesses.
+    pub accesses: Vec<BlockAccess>,
+    /// Pure compute time of the kernel with all data resident.
+    pub compute: Ns,
+}
+
+impl KernelLaunch {
+    /// Creates a launch descriptor, deriving the signature from `name` and
+    /// `args`.
+    pub fn new(name: impl Into<Arc<str>>, args: &[u64], accesses: Vec<BlockAccess>, compute: Ns) -> Self {
+        let name = name.into();
+        let signature = ExecSignature::of(&name, args);
+        KernelLaunch {
+            name,
+            signature,
+            accesses,
+            compute,
+        }
+    }
+
+    /// Total number of pages touched (counting each access separately).
+    pub fn touched_pages(&self) -> u64 {
+        self.accesses.iter().map(|a| a.pages.count() as u64).sum()
+    }
+
+    /// Total bytes touched (pages × page size, counting each access).
+    pub fn touched_bytes(&self) -> u64 {
+        self.touched_pages() * deepum_mem::PAGE_SIZE as u64
+    }
+
+    /// Distinct UM blocks in the access trace, in first-touch order.
+    pub fn distinct_blocks(&self) -> Vec<BlockNum> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for a in &self.accesses {
+            if seen.insert(a.block) {
+                out.push(a.block);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for KernelLaunch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} accesses, {} compute)",
+            self.name,
+            self.accesses.len(),
+            self.compute
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(n: usize) -> PageMask {
+        PageMask::first_n(n)
+    }
+
+    #[test]
+    fn signature_depends_on_name_and_args() {
+        let a = ExecSignature::of("k", &[1, 2]);
+        assert_eq!(a, ExecSignature::of("k", &[1, 2]));
+        assert_ne!(a, ExecSignature::of("k", &[2, 1]));
+        assert_ne!(a, ExecSignature::of("k2", &[1, 2]));
+    }
+
+    #[test]
+    fn launch_accounting() {
+        let k = KernelLaunch::new(
+            "test.kernel",
+            &[7],
+            vec![
+                BlockAccess::new(BlockNum::new(0), mask(10), AccessKind::Read),
+                BlockAccess::new(BlockNum::new(1), mask(20), AccessKind::Write),
+                BlockAccess::new(BlockNum::new(0), mask(5), AccessKind::Read),
+            ],
+            Ns::from_micros(50),
+        );
+        assert_eq!(k.touched_pages(), 35);
+        assert_eq!(k.touched_bytes(), 35 * 4096);
+        assert_eq!(
+            k.distinct_blocks(),
+            vec![BlockNum::new(0), BlockNum::new(1)]
+        );
+        assert_eq!(k.signature, ExecSignature::of("test.kernel", &[7]));
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let k = KernelLaunch::new("my.kernel", &[], vec![], Ns::from_micros(1));
+        assert!(k.to_string().contains("my.kernel"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated GPU device.
+//!
+//! The paper's platform is an NVIDIA Tesla V100. DeepUM interacts with the
+//! GPU through exactly three hardware mechanisms, all reproduced here:
+//!
+//! * the **fault buffer** — a circular queue in the GPU that accumulates
+//!   faulted-access records until the driver drains it
+//!   ([`fault::FaultBuffer`], Section 2.3);
+//! * the **page-fault / replay protocol** — an SM whose thread touches a
+//!   non-resident page stalls (its TLB locks) until the driver migrates the
+//!   page and sends a replay signal ([`engine::GpuEngine`], Section 2.2);
+//! * **kernel launches** — the unit of work whose page-access pattern
+//!   DeepUM's correlation tables memorize ([`kernel::KernelLaunch`]).
+//!
+//! The engine is generic over a [`engine::UmBackend`], the interface the
+//! UM driver implements. This keeps the device model free of driver
+//! policy, mirroring the hardware/driver split of the real system.
+
+pub mod engine;
+pub mod fault;
+pub mod kernel;
+
+pub use engine::{GpuEngine, KernelRunStats, UmBackend};
+pub use fault::{AccessKind, FaultBuffer, FaultEntry, SmId};
+pub use kernel::{BlockAccess, ExecSignature, KernelLaunch};

@@ -1,0 +1,234 @@
+//! Strongly typed UM addresses.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PAGE_SIZE, PAGES_PER_BLOCK};
+
+/// A byte address in the unified memory space.
+///
+/// # Example
+///
+/// ```
+/// use deepum_mem::{UmAddr, PAGE_SIZE};
+///
+/// let addr = UmAddr::new(3 * PAGE_SIZE as u64 + 17);
+/// assert_eq!(addr.page().index(), 3);
+/// assert_eq!(addr.page_offset(), 17);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UmAddr(u64);
+
+impl UmAddr {
+    /// The null UM address.
+    pub const NULL: UmAddr = UmAddr(0);
+
+    /// Creates an address from a raw byte offset into the UM space.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        UmAddr(raw)
+    }
+
+    /// Raw byte offset.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// The UM block containing this address.
+    #[inline]
+    pub const fn block(self) -> BlockNum {
+        BlockNum(self.0 / (PAGE_SIZE as u64 * PAGES_PER_BLOCK as u64))
+    }
+
+    /// Byte offset within the containing page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE as u64
+    }
+
+    /// Address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> UmAddr {
+        UmAddr(self.0 + bytes)
+    }
+
+    /// True if the address is page-aligned.
+    #[inline]
+    pub const fn is_page_aligned(self) -> bool {
+        self.0.is_multiple_of(PAGE_SIZE as u64)
+    }
+}
+
+impl fmt::Display for UmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for UmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Index of a 4 KiB page in the UM space.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Creates a page number from a raw index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        PageNum(index)
+    }
+
+    /// Raw page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the page's first byte.
+    #[inline]
+    pub const fn addr(self) -> UmAddr {
+        UmAddr(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// The UM block containing this page.
+    #[inline]
+    pub const fn block(self) -> BlockNum {
+        BlockNum(self.0 / PAGES_PER_BLOCK as u64)
+    }
+
+    /// Index of this page within its UM block, in `0..PAGES_PER_BLOCK`.
+    #[inline]
+    pub const fn index_in_block(self) -> usize {
+        (self.0 % PAGES_PER_BLOCK as u64) as usize
+    }
+
+    /// Page advanced by `count` pages.
+    #[inline]
+    pub const fn offset(self, count: u64) -> PageNum {
+        PageNum(self.0 + count)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// Index of a UM block (512 contiguous pages) in the UM space.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockNum(u64);
+
+impl BlockNum {
+    /// Creates a block number from a raw index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        BlockNum(index)
+    }
+
+    /// Raw block index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first page of the block.
+    #[inline]
+    pub const fn first_page(self) -> PageNum {
+        PageNum(self.0 * PAGES_PER_BLOCK as u64)
+    }
+
+    /// Byte address of the block's first byte.
+    #[inline]
+    pub const fn addr(self) -> UmAddr {
+        self.first_page().addr()
+    }
+
+    /// The `i`-th page of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= PAGES_PER_BLOCK`.
+    #[inline]
+    pub fn page(self, i: usize) -> PageNum {
+        debug_assert!(i < PAGES_PER_BLOCK);
+        PageNum(self.0 * PAGES_PER_BLOCK as u64 + i as u64)
+    }
+
+    /// Block advanced by `count` blocks.
+    #[inline]
+    pub const fn offset(self, count: u64) -> BlockNum {
+        BlockNum(self.0 + count)
+    }
+}
+
+impl fmt::Display for BlockNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BLOCK_SIZE;
+
+    #[test]
+    fn addr_page_block_relations() {
+        let a = UmAddr::new(BLOCK_SIZE as u64 + 5 * PAGE_SIZE as u64 + 9);
+        assert_eq!(a.block().index(), 1);
+        assert_eq!(a.page().index(), PAGES_PER_BLOCK as u64 + 5);
+        assert_eq!(a.page_offset(), 9);
+        assert!(!a.is_page_aligned());
+        assert!(a.page().addr().is_page_aligned());
+    }
+
+    #[test]
+    fn page_within_block() {
+        let p = PageNum::new(PAGES_PER_BLOCK as u64 * 3 + 100);
+        assert_eq!(p.block().index(), 3);
+        assert_eq!(p.index_in_block(), 100);
+        assert_eq!(p.block().page(100), p);
+    }
+
+    #[test]
+    fn block_page_addr_round_trip() {
+        let b = BlockNum::new(7);
+        assert_eq!(b.addr().block(), b);
+        assert_eq!(b.first_page().index_in_block(), 0);
+        assert_eq!(b.addr().raw(), 7 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn offsets_advance() {
+        assert_eq!(UmAddr::new(10).offset(5).raw(), 15);
+        assert_eq!(PageNum::new(10).offset(5).index(), 15);
+        assert_eq!(BlockNum::new(10).offset(5).index(), 15);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UmAddr::new(255).to_string(), "0xff");
+        assert_eq!(PageNum::new(3).to_string(), "page#3");
+        assert_eq!(BlockNum::new(4).to_string(), "block#4");
+        assert_eq!(format!("{:x}", UmAddr::new(255)), "ff");
+    }
+}

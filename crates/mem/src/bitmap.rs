@@ -1,0 +1,296 @@
+//! Fixed-size 512-bit page mask.
+//!
+//! A UM block contains up to 512 pages; the driver tracks per-block page
+//! residency and kernels' per-block access footprints with one bit per
+//! page. [`PageMask`] packs those 512 bits into eight `u64` words.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::PAGES_PER_BLOCK;
+
+const WORDS: usize = PAGES_PER_BLOCK / 64;
+
+/// A bitset with one bit per page of a UM block.
+///
+/// # Example
+///
+/// ```
+/// use deepum_mem::PageMask;
+///
+/// let mut mask = PageMask::empty();
+/// mask.set(0);
+/// mask.set(511);
+/// assert_eq!(mask.count(), 2);
+/// assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 511]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageMask {
+    words: [u64; WORDS],
+}
+
+impl PageMask {
+    /// A mask with no pages set.
+    pub const fn empty() -> Self {
+        PageMask { words: [0; WORDS] }
+    }
+
+    /// A mask with all 512 pages set.
+    pub const fn full() -> Self {
+        PageMask {
+            words: [u64::MAX; WORDS],
+        }
+    }
+
+    /// A mask with the first `n` pages set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > PAGES_PER_BLOCK`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= PAGES_PER_BLOCK, "n out of range: {n}");
+        let mut m = PageMask::empty();
+        for i in 0..n {
+            m.set(i);
+        }
+        m
+    }
+
+    /// A mask with pages `range` set (end exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds `PAGES_PER_BLOCK`.
+    pub fn from_range(range: core::ops::Range<usize>) -> Self {
+        assert!(range.end <= PAGES_PER_BLOCK, "range out of bounds");
+        let mut m = PageMask::empty();
+        for i in range {
+            m.set(i);
+        }
+        m
+    }
+
+    /// Sets the bit for page `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= PAGES_PER_BLOCK`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < PAGES_PER_BLOCK);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears the bit for page `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= PAGES_PER_BLOCK`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < PAGES_PER_BLOCK);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// True if the bit for page `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= PAGES_PER_BLOCK`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < PAGES_PER_BLOCK);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if every bit is set.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.words.iter().all(|&w| w == u64::MAX)
+    }
+
+    /// Bitwise union.
+    #[inline]
+    pub fn union(&self, other: &PageMask) -> PageMask {
+        let mut words = [0u64; WORDS];
+        for (w, (a, b)) in words.iter_mut().zip(self.words.iter().zip(&other.words)) {
+            *w = a | b;
+        }
+        PageMask { words }
+    }
+
+    /// Bitwise intersection.
+    #[inline]
+    pub fn intersect(&self, other: &PageMask) -> PageMask {
+        let mut words = [0u64; WORDS];
+        for (w, (a, b)) in words.iter_mut().zip(self.words.iter().zip(&other.words)) {
+            *w = a & b;
+        }
+        PageMask { words }
+    }
+
+    /// Bits set in `self` but not in `other`.
+    #[inline]
+    pub fn subtract(&self, other: &PageMask) -> PageMask {
+        let mut words = [0u64; WORDS];
+        for (w, (a, b)) in words.iter_mut().zip(self.words.iter().zip(&other.words)) {
+            *w = a & !b;
+        }
+        PageMask { words }
+    }
+
+    /// Merges `other` into `self` in place.
+    #[inline]
+    pub fn union_with(&mut self, other: &PageMask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Removes `other`'s bits from `self` in place.
+    #[inline]
+    pub fn subtract_with(&mut self, other: &PageMask) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            mask: self,
+            word: 0,
+            bits: self.words[0],
+        }
+    }
+}
+
+impl Default for PageMask {
+    fn default() -> Self {
+        PageMask::empty()
+    }
+}
+
+impl fmt::Debug for PageMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageMask({} set)", self.count())
+    }
+}
+
+/// Iterator over set-bit indices of a [`PageMask`], produced by
+/// [`PageMask::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    mask: &'a PageMask,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + tz);
+            }
+            self.word += 1;
+            if self.word >= WORDS {
+                return None;
+            }
+            self.bits = self.mask.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_full_and_counts() {
+        assert_eq!(PageMask::empty().count(), 0);
+        assert!(PageMask::empty().is_empty());
+        assert_eq!(PageMask::full().count(), PAGES_PER_BLOCK);
+        assert!(PageMask::full().is_full());
+        assert_eq!(PageMask::first_n(100).count(), 100);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut m = PageMask::empty();
+        m.set(63);
+        m.set(64);
+        m.set(511);
+        assert!(m.get(63) && m.get(64) && m.get(511));
+        assert!(!m.get(0));
+        m.clear(64);
+        assert!(!m.get(64));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn set_is_idempotent() {
+        let mut m = PageMask::empty();
+        m.set(7);
+        m.set(7);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = PageMask::from_range(0..100);
+        let b = PageMask::from_range(50..150);
+        assert_eq!(a.union(&b).count(), 150);
+        assert_eq!(a.intersect(&b).count(), 50);
+        assert_eq!(a.subtract(&b).count(), 50);
+        assert_eq!(b.subtract(&a).count(), 50);
+
+        let mut c = a;
+        c.union_with(&b);
+        assert_eq!(c, a.union(&b));
+        c.subtract_with(&a);
+        assert_eq!(c, b.subtract(&a));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut m = PageMask::empty();
+        for i in [3usize, 64, 65, 200, 511] {
+            m.set(i);
+        }
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![3, 64, 65, 200, 511]);
+    }
+
+    #[test]
+    fn iter_ones_on_empty_and_full() {
+        assert_eq!(PageMask::empty().iter_ones().count(), 0);
+        assert_eq!(PageMask::full().iter_ones().count(), PAGES_PER_BLOCK);
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn from_range_validates() {
+        let _ = PageMask::from_range(0..513);
+    }
+
+    #[test]
+    fn debug_shows_count() {
+        assert_eq!(format!("{:?}", PageMask::first_n(3)), "PageMask(3 set)");
+    }
+}

@@ -1,0 +1,41 @@
+//! Unified Memory address-space primitives.
+//!
+//! CUDA Unified Memory manages a single virtual address space shared by
+//! host and device. The NVIDIA driver (and therefore DeepUM) manages that
+//! space at two granularities:
+//!
+//! * a **page** — 4 KiB, the fault granularity, and
+//! * a **UM block** — up to 512 contiguous pages (2 MiB), the driver's unit
+//!   of fault grouping, migration bookkeeping, and DeepUM's prefetching
+//!   granularity (Sections 2.3 and 4.2 of the paper).
+//!
+//! This crate provides the strongly typed addresses ([`UmAddr`],
+//! [`PageNum`], [`BlockNum`]), byte/page/block ranges, and the 512-bit
+//! [`PageMask`] used for per-block residency and access footprints.
+//!
+//! # Example
+//!
+//! ```
+//! use deepum_mem::{ByteRange, UmAddr, PAGE_SIZE, PAGES_PER_BLOCK};
+//!
+//! let range = ByteRange::new(UmAddr::new(0), 3 * PAGE_SIZE as u64 + 1);
+//! assert_eq!(range.pages().count(), 4); // partial pages round up
+//! assert_eq!(PAGES_PER_BLOCK, 512);
+//! ```
+
+pub mod addr;
+pub mod bitmap;
+pub mod range;
+
+pub use addr::{BlockNum, PageNum, UmAddr};
+pub use bitmap::PageMask;
+pub use range::{BlockRange, ByteRange, PageRange};
+
+/// Size of a UM page in bytes (4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Maximum number of contiguous pages grouped into one UM block.
+pub const PAGES_PER_BLOCK: usize = 512;
+
+/// Size of a full UM block in bytes (2 MiB).
+pub const BLOCK_SIZE: usize = PAGE_SIZE * PAGES_PER_BLOCK;

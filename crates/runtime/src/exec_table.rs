@@ -1,0 +1,136 @@
+//! The execution ID table.
+//!
+//! "The DeepUM runtime manages a table called the *execution ID table*.
+//! The table holds kernel launch history and contains the hash value of
+//! each kernel's name and arguments. [...] If it finds a matching
+//! command, it gives the same *execution ID* to the kernel. Otherwise, it
+//! assigns a new execution ID to the kernel and saves the information in
+//! the table." (Section 3.1.)
+
+use core::fmt;
+use std::collections::HashMap;
+
+use deepum_gpu::kernel::ExecSignature;
+use serde::{Deserialize, Serialize};
+
+/// Identifier assigned to a (kernel name, arguments) combination.
+///
+/// Execution IDs are dense (0, 1, 2, ...) in first-seen order, which is
+/// what lets the correlation tables in `deepum-core` index by them
+/// directly.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ExecId(pub u32);
+
+impl ExecId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exec#{}", self.0)
+    }
+}
+
+/// Maps kernel signatures to execution IDs, assigning new IDs on demand.
+///
+/// # Example
+///
+/// ```
+/// use deepum_gpu::kernel::ExecSignature;
+/// use deepum_runtime::exec_table::ExecutionIdTable;
+///
+/// let mut table = ExecutionIdTable::new();
+/// let sig = ExecSignature::of("gemm", &[128]);
+/// let (id, new) = table.lookup_or_assign(sig);
+/// assert!(new);
+/// let (same, new) = table.lookup_or_assign(sig);
+/// assert_eq!(id, same);
+/// assert!(!new);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ExecutionIdTable {
+    ids: HashMap<ExecSignature, ExecId>,
+}
+
+impl ExecutionIdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds the execution ID of `signature`, assigning the next dense ID
+    /// if unseen. Returns `(id, was_new)`.
+    pub fn lookup_or_assign(&mut self, signature: ExecSignature) -> (ExecId, bool) {
+        let next = ExecId(self.ids.len() as u32);
+        match self.ids.entry(signature) {
+            std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(next);
+                (next, true)
+            }
+        }
+    }
+
+    /// Execution ID of `signature`, if already assigned.
+    pub fn get(&self, signature: ExecSignature) -> Option<ExecId> {
+        self.ids.get(&signature).copied()
+    }
+
+    /// Number of distinct execution IDs assigned so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no kernel has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_in_first_seen_order() {
+        let mut t = ExecutionIdTable::new();
+        let (a, _) = t.lookup_or_assign(ExecSignature::of("a", &[]));
+        let (b, _) = t.lookup_or_assign(ExecSignature::of("b", &[]));
+        let (c, _) = t.lookup_or_assign(ExecSignature::of("c", &[]));
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn repeat_launches_reuse_ids() {
+        let mut t = ExecutionIdTable::new();
+        let sig = ExecSignature::of("k", &[1, 2, 3]);
+        let (id1, new1) = t.lookup_or_assign(sig);
+        let (id2, new2) = t.lookup_or_assign(sig);
+        assert_eq!(id1, id2);
+        assert!(new1 && !new2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_without_assign() {
+        let mut t = ExecutionIdTable::new();
+        let sig = ExecSignature::of("k", &[]);
+        assert_eq!(t.get(sig), None);
+        let (id, _) = t.lookup_or_assign(sig);
+        assert_eq!(t.get(sig), Some(id));
+    }
+
+    #[test]
+    fn different_args_different_ids() {
+        let mut t = ExecutionIdTable::new();
+        let (a, _) = t.lookup_or_assign(ExecSignature::of("k", &[1]));
+        let (b, _) = t.lookup_or_assign(ExecSignature::of("k", &[2]));
+        assert_ne!(a, b);
+    }
+}

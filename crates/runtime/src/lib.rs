@@ -1,0 +1,20 @@
+//! The DeepUM runtime (user-space half of the system).
+//!
+//! In the paper (Section 3.1) the DeepUM runtime is an `LD_PRELOAD`
+//! library that wraps the CUDA runtime:
+//!
+//! * every GPU memory allocation is redirected into **UM space**, which is
+//!   what enables oversubscription with zero user-code changes;
+//! * every kernel launch (including launches made internally by cuDNN /
+//!   cuBLAS) is intercepted, hashed (kernel name + arguments) and mapped
+//!   to an **execution ID** through the [`exec_table::ExecutionIdTable`];
+//! * just before enqueueing the launch, a callback delivers that
+//!   execution ID to the DeepUM driver through an `ioctl` — modelled here
+//!   by the [`interpose::LaunchObserver`] trait, which `deepum-core`'s
+//!   driver implements.
+
+pub mod exec_table;
+pub mod interpose;
+
+pub use exec_table::{ExecId, ExecutionIdTable};
+pub use interpose::{CudaRuntime, LaunchObserver, NullObserver};

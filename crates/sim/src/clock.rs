@@ -1,0 +1,98 @@
+//! The virtual simulation clock.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Ns;
+
+/// A monotonically advancing virtual clock.
+///
+/// Every component of the simulated system (GPU engine, UM driver, DeepUM
+/// driver threads) charges its latencies against a single `SimClock`, which
+/// makes runs exactly reproducible and lets experiments report virtual
+/// elapsed time instead of noisy wall-clock measurements.
+///
+/// # Example
+///
+/// ```
+/// use deepum_sim::clock::SimClock;
+/// use deepum_sim::time::Ns;
+///
+/// let mut clock = SimClock::new();
+/// clock.advance(Ns::from_micros(10));
+/// clock.advance_to(Ns::from_micros(5)); // earlier targets are ignored
+/// assert_eq!(clock.now(), Ns::from_micros(10));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now: Ns,
+}
+
+impl SimClock {
+    /// Creates a clock at the simulation origin (`Ns::ZERO`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual instant.
+    #[inline]
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Advances the clock by `delta`.
+    #[inline]
+    pub fn advance(&mut self, delta: Ns) {
+        self.now += delta;
+    }
+
+    /// Advances the clock to `instant` if it lies in the future; a target in
+    /// the past or present leaves the clock unchanged (monotonicity).
+    #[inline]
+    pub fn advance_to(&mut self, instant: Ns) {
+        if instant > self.now {
+            self.now = instant;
+        }
+    }
+
+    /// Virtual time elapsed since `earlier`. Returns [`Ns::ZERO`] if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn since(&self, earlier: Ns) -> Ns {
+        self.now.saturating_sub(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), Ns::ZERO);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance(Ns::from_nanos(5));
+        c.advance(Ns::from_nanos(7));
+        assert_eq!(c.now(), Ns::from_nanos(12));
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = SimClock::new();
+        c.advance_to(Ns::from_nanos(100));
+        assert_eq!(c.now(), Ns::from_nanos(100));
+        c.advance_to(Ns::from_nanos(50));
+        assert_eq!(c.now(), Ns::from_nanos(100));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let mut c = SimClock::new();
+        c.advance(Ns::from_nanos(30));
+        assert_eq!(c.since(Ns::from_nanos(10)), Ns::from_nanos(20));
+        assert_eq!(c.since(Ns::from_nanos(40)), Ns::ZERO);
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulation substrate for the DeepUM reproduction.
+//!
+//! The original DeepUM system runs against real hardware: an NVIDIA V100,
+//! the NVIDIA device driver's Unified Memory (UM) fault handler, and a
+//! Hioki power meter for energy measurements. This crate provides the
+//! deterministic, discrete-event replacements used throughout the
+//! reproduction:
+//!
+//! * [`time::Ns`] — virtual-time nanoseconds, the base unit of the whole
+//!   simulation.
+//! * [`clock::SimClock`] — a monotonically advancing virtual clock.
+//! * [`costs::CostModel`] — calibrated latency/bandwidth constants for the
+//!   paper's evaluation platform (V100 PCIe 16 GB / 32 GB, Table 1).
+//! * [`energy`] — a piecewise power-state model integrating to joules,
+//!   standing in for the paper's full-system power meter.
+//! * [`metrics::Counters`] — named event counters (page faults, migrations,
+//!   prefetch hits, ...) used by every experiment.
+//! * [`rng::DetRng`] — seeded RNG so that every run is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use deepum_sim::clock::SimClock;
+//! use deepum_sim::costs::CostModel;
+//! use deepum_sim::time::Ns;
+//!
+//! let costs = CostModel::v100_32gb();
+//! let mut clock = SimClock::new();
+//! // Transferring one UM block (2 MiB) over PCIe:
+//! clock.advance(costs.transfer_time(2 * 1024 * 1024));
+//! assert!(clock.now() > Ns::ZERO);
+//! ```
+
+pub mod clock;
+pub mod costs;
+pub mod energy;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use clock::SimClock;
+pub use costs::CostModel;
+pub use energy::{EnergyMeter, PowerModel, PowerState};
+pub use metrics::Counters;
+pub use rng::DetRng;
+pub use time::Ns;

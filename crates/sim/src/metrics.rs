@@ -1,0 +1,237 @@
+//! Event counters shared by every layer of the simulation.
+//!
+//! The paper's key quantitative instrument is the *number of GPU page
+//! faults per training iteration* (Table 5), because the V100 exposes no
+//! prefetch-accuracy counter. `Counters` records that and the surrounding
+//! traffic (migrations, evictions, invalidations, prefetches) so each
+//! experiment can report exactly what the paper reports.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Passive bag of monotonically increasing event counters.
+///
+/// Fields are public on purpose: this is compound, passive data written by
+/// the simulator's hot paths and read by the reporting layer.
+///
+/// # Example
+///
+/// ```
+/// use deepum_sim::metrics::Counters;
+///
+/// let mut a = Counters::default();
+/// a.gpu_page_faults += 10;
+/// let mut b = Counters::default();
+/// b.gpu_page_faults += 5;
+/// a.merge(&b);
+/// assert_eq!(a.gpu_page_faults, 15);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// GPU page faults observed by the fault handler (post fault-buffer,
+    /// pre deduplication) — the quantity in Table 5.
+    pub gpu_page_faults: u64,
+    /// Fault-handler invocations (one per fault-buffer drain).
+    pub fault_batches: u64,
+    /// Faulted UM blocks processed by the handler loop (after grouping).
+    pub faulted_blocks: u64,
+    /// Pages migrated host → device on demand (fault path).
+    pub pages_faulted_in: u64,
+    /// Pages migrated host → device by the prefetcher.
+    pub pages_prefetched: u64,
+    /// Prefetch commands consumed by the migration thread.
+    pub prefetch_commands: u64,
+    /// Prefetched blocks later touched by the GPU before eviction.
+    pub prefetch_hits: u64,
+    /// Prefetched blocks evicted (or invalidated) untouched.
+    pub prefetch_wasted: u64,
+    /// Prefetch commands dropped because no device space was free and
+    /// pre-eviction was disabled.
+    pub prefetch_dropped: u64,
+    /// Pages evicted device → host on the fault-handling critical path.
+    pub pages_evicted_demand: u64,
+    /// Pages evicted device → host by DeepUM's pre-eviction (off-path).
+    pub pages_preevicted: u64,
+    /// Pages dropped without write-back because their PT block was
+    /// inactive (Section 5.2).
+    pub pages_invalidated: u64,
+    /// Bytes moved host → device.
+    pub bytes_h2d: u64,
+    /// Bytes moved device → host.
+    pub bytes_d2h: u64,
+    /// Kernel launches intercepted by the runtime.
+    pub kernels_launched: u64,
+    /// Next-kernel predictions made from the execution-ID table.
+    pub exec_predictions: u64,
+    /// Next-kernel predictions that turned out wrong.
+    pub exec_mispredictions: u64,
+    /// Chaining walks started by the prefetching thread.
+    pub chain_walks: u64,
+    /// UM-block correlation-table lookups.
+    pub block_table_lookups: u64,
+    /// UM-block correlation-table insertions/updates.
+    pub block_table_updates: u64,
+}
+
+impl Counters {
+    /// Creates a zeroed counter bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        let Counters {
+            gpu_page_faults,
+            fault_batches,
+            faulted_blocks,
+            pages_faulted_in,
+            pages_prefetched,
+            prefetch_commands,
+            prefetch_hits,
+            prefetch_wasted,
+            prefetch_dropped,
+            pages_evicted_demand,
+            pages_preevicted,
+            pages_invalidated,
+            bytes_h2d,
+            bytes_d2h,
+            kernels_launched,
+            exec_predictions,
+            exec_mispredictions,
+            chain_walks,
+            block_table_lookups,
+            block_table_updates,
+        } = other;
+        self.gpu_page_faults += gpu_page_faults;
+        self.fault_batches += fault_batches;
+        self.faulted_blocks += faulted_blocks;
+        self.pages_faulted_in += pages_faulted_in;
+        self.pages_prefetched += pages_prefetched;
+        self.prefetch_commands += prefetch_commands;
+        self.prefetch_hits += prefetch_hits;
+        self.prefetch_wasted += prefetch_wasted;
+        self.prefetch_dropped += prefetch_dropped;
+        self.pages_evicted_demand += pages_evicted_demand;
+        self.pages_preevicted += pages_preevicted;
+        self.pages_invalidated += pages_invalidated;
+        self.bytes_h2d += bytes_h2d;
+        self.bytes_d2h += bytes_d2h;
+        self.kernels_launched += kernels_launched;
+        self.exec_predictions += exec_predictions;
+        self.exec_mispredictions += exec_mispredictions;
+        self.chain_walks += chain_walks;
+        self.block_table_lookups += block_table_lookups;
+        self.block_table_updates += block_table_updates;
+    }
+
+    /// Difference `self - earlier`, for per-interval (e.g. per-iteration)
+    /// reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds the
+    /// corresponding counter of `self` (counters are monotonic).
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            gpu_page_faults: self.gpu_page_faults - earlier.gpu_page_faults,
+            fault_batches: self.fault_batches - earlier.fault_batches,
+            faulted_blocks: self.faulted_blocks - earlier.faulted_blocks,
+            pages_faulted_in: self.pages_faulted_in - earlier.pages_faulted_in,
+            pages_prefetched: self.pages_prefetched - earlier.pages_prefetched,
+            prefetch_commands: self.prefetch_commands - earlier.prefetch_commands,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            prefetch_wasted: self.prefetch_wasted - earlier.prefetch_wasted,
+            prefetch_dropped: self.prefetch_dropped - earlier.prefetch_dropped,
+            pages_evicted_demand: self.pages_evicted_demand - earlier.pages_evicted_demand,
+            pages_preevicted: self.pages_preevicted - earlier.pages_preevicted,
+            pages_invalidated: self.pages_invalidated - earlier.pages_invalidated,
+            bytes_h2d: self.bytes_h2d - earlier.bytes_h2d,
+            bytes_d2h: self.bytes_d2h - earlier.bytes_d2h,
+            kernels_launched: self.kernels_launched - earlier.kernels_launched,
+            exec_predictions: self.exec_predictions - earlier.exec_predictions,
+            exec_mispredictions: self.exec_mispredictions - earlier.exec_mispredictions,
+            chain_walks: self.chain_walks - earlier.chain_walks,
+            block_table_lookups: self.block_table_lookups - earlier.block_table_lookups,
+            block_table_updates: self.block_table_updates - earlier.block_table_updates,
+        }
+    }
+
+    /// Total pages moved host → device (fault path + prefetch path).
+    pub fn pages_migrated_in(&self) -> u64 {
+        self.pages_faulted_in + self.pages_prefetched
+    }
+
+    /// Total pages moved or dropped device → host.
+    pub fn pages_evicted(&self) -> u64 {
+        self.pages_evicted_demand + self.pages_preevicted + self.pages_invalidated
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gpu_page_faults:      {:>14}", self.gpu_page_faults)?;
+        writeln!(f, "fault_batches:        {:>14}", self.fault_batches)?;
+        writeln!(f, "pages_faulted_in:     {:>14}", self.pages_faulted_in)?;
+        writeln!(f, "pages_prefetched:     {:>14}", self.pages_prefetched)?;
+        writeln!(f, "prefetch_hits:        {:>14}", self.prefetch_hits)?;
+        writeln!(f, "prefetch_wasted:      {:>14}", self.prefetch_wasted)?;
+        writeln!(f, "pages_evicted_demand: {:>14}", self.pages_evicted_demand)?;
+        writeln!(f, "pages_preevicted:     {:>14}", self.pages_preevicted)?;
+        writeln!(f, "pages_invalidated:    {:>14}", self.pages_invalidated)?;
+        writeln!(f, "bytes_h2d:            {:>14}", self.bytes_h2d)?;
+        writeln!(f, "bytes_d2h:            {:>14}", self.bytes_d2h)?;
+        write!(f, "kernels_launched:     {:>14}", self.kernels_launched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters::new();
+        a.gpu_page_faults = 3;
+        a.bytes_h2d = 100;
+        let mut b = Counters::new();
+        b.gpu_page_faults = 4;
+        b.pages_prefetched = 7;
+        a.merge(&b);
+        assert_eq!(a.gpu_page_faults, 7);
+        assert_eq!(a.pages_prefetched, 7);
+        assert_eq!(a.bytes_h2d, 100);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let mut early = Counters::new();
+        early.kernels_launched = 10;
+        let mut late = early;
+        late.kernels_launched = 25;
+        late.gpu_page_faults = 5;
+        let d = late.delta_since(&early);
+        assert_eq!(d.kernels_launched, 15);
+        assert_eq!(d.gpu_page_faults, 5);
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = Counters {
+            pages_faulted_in: 2,
+            pages_prefetched: 3,
+            pages_evicted_demand: 1,
+            pages_preevicted: 4,
+            pages_invalidated: 5,
+            ..Counters::default()
+        };
+        assert_eq!(c.pages_migrated_in(), 5);
+        assert_eq!(c.pages_evicted(), 10);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Counters::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! Virtual-time representation.
+//!
+//! All latencies, bandwidth computations, and the simulation clock use
+//! [`Ns`], a newtype over `u64` nanoseconds. Using a dedicated type (rather
+//! than a bare integer) keeps durations from being confused with counts or
+//! byte sizes across the workspace (C-NEWTYPE).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration or instant measured in virtual nanoseconds.
+///
+/// `Ns` is both a duration and a point in virtual time; the simulation
+/// starts at `Ns::ZERO`, and instants are durations since that origin.
+///
+/// # Example
+///
+/// ```
+/// use deepum_sim::time::Ns;
+///
+/// let a = Ns::from_micros(3);
+/// let b = Ns::from_nanos(500);
+/// assert_eq!((a + b).as_nanos(), 3_500);
+/// assert_eq!(a.saturating_sub(Ns::from_millis(1)), Ns::ZERO);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ns(u64);
+
+impl Ns {
+    /// Zero duration / the simulation origin.
+    pub const ZERO: Ns = Ns(0);
+    /// The largest representable instant.
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Ns(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Ns(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        Ns(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Ns(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            Ns::ZERO
+        } else {
+            Ns((secs * 1e9).round() as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in microseconds (truncating).
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Duration in milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Duration as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: never underflows below [`Ns::ZERO`].
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition: never overflows past [`Ns::MAX`].
+    #[inline]
+    pub const fn saturating_add(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Ns) -> Ns {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Ns) -> Ns {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scales the duration by a non-negative floating factor, rounding to
+    /// the nearest nanosecond.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Ns {
+        debug_assert!(factor >= 0.0, "durations cannot be negative");
+        Ns((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    #[inline]
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`; use
+    /// [`Ns::saturating_sub`] when underflow is expected.
+    #[inline]
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    #[inline]
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if n >= 1_000_000 {
+            write!(f, "{:.3}ms", n as f64 / 1e6)
+        } else if n >= 1_000 {
+            write!(f, "{:.3}us", n as f64 / 1e3)
+        } else {
+            write!(f, "{n}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Ns::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Ns::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Ns::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Ns::from_secs_f64(1.5).as_millis(), 1_500);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(Ns::from_secs_f64(-1.0), Ns::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Ns::from_nanos(100);
+        let b = Ns::from_nanos(40);
+        assert_eq!(a + b, Ns::from_nanos(140));
+        assert_eq!(a - b, Ns::from_nanos(60));
+        assert_eq!(a * 3, Ns::from_nanos(300));
+        assert_eq!(a / 4, Ns::from_nanos(25));
+        assert_eq!(b.saturating_sub(a), Ns::ZERO);
+        assert_eq!(Ns::MAX.saturating_add(a), Ns::MAX);
+    }
+
+    #[test]
+    fn min_max_and_scale() {
+        let a = Ns::from_nanos(100);
+        let b = Ns::from_nanos(200);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.scale(0.5), a);
+        assert_eq!(a.scale(2.0), b);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Ns = (1..=4).map(Ns::from_nanos).sum();
+        assert_eq!(total, Ns::from_nanos(10));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Ns::from_nanos(7).to_string(), "7ns");
+        assert_eq!(Ns::from_micros(7).to_string(), "7.000us");
+        assert_eq!(Ns::from_millis(7).to_string(), "7.000ms");
+        assert_eq!(Ns::from_secs(7).to_string(), "7.000s");
+    }
+}

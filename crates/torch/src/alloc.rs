@@ -1,0 +1,684 @@
+//! The PyTorch CUDA caching allocator (paper Section 5.2).
+//!
+//! "PyTorch's GPU memory allocator manages device memory pools to
+//! minimize memory allocation/free time and to reduce memory
+//! fragmentation. Two types of memory pools are managed: *large* and
+//! *small*. [...] When multiple PT blocks in the pool match the
+//! requested size, the allocator returns the smallest available PT
+//! block. In addition, the PT block is split when its size is much
+//! larger than the requested size."
+//!
+//! This reproduction implements the allocator's observable behaviour:
+//!
+//! * size rounding (512 B in the small pool, 2 MiB in the large pool);
+//! * pool selection at the 1 MiB boundary;
+//! * best-fit over inactive PT blocks, with splitting;
+//! * segment acquisition from an abstract [`SegmentSource`] (UM space
+//!   for DeepUM, raw device memory for the non-UM baselines) — 2 MiB
+//!   segments for the small pool, 20 MiB for mid-size requests, exact
+//!   for large ones, as in PyTorch's `kSmallBuffer`/`kLargeBuffer`;
+//! * coalescing of adjacent inactive blocks within a segment;
+//! * cache flush on OOM, then one retry;
+//! * the **active/inactive notifications** DeepUM's invalidation
+//!   optimization hooks ([`PtEvent`]).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use deepum_mem::{ByteRange, UmAddr};
+use deepum_um::space::{UmAllocError, UmSpace};
+use serde::{Deserialize, Serialize};
+
+/// Requests ≤ 1 MiB go to the small pool.
+pub const SMALL_LIMIT: u64 = 1 << 20;
+/// Small-pool sizes round up to 512 B.
+pub const SMALL_ROUND: u64 = 512;
+/// Large-pool sizes round up to 2 MiB.
+pub const LARGE_ROUND: u64 = 2 << 20;
+/// Small-pool segments are 2 MiB.
+pub const SMALL_SEGMENT: u64 = 2 << 20;
+/// Requests in (1 MiB, 10 MiB] are served from 20 MiB segments.
+pub const MEDIUM_LIMIT: u64 = 10 << 20;
+/// Segment size for mid-size requests.
+pub const LARGE_SEGMENT: u64 = 20 << 20;
+/// A large block is split when the remainder is at least this big.
+pub const LARGE_SPLIT_REMAINDER: u64 = 1 << 20;
+
+/// Which pool a PT block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// PT blocks ≤ 1 MiB.
+    Small,
+    /// PT blocks > 1 MiB.
+    Large,
+}
+
+/// Identifier of a PT block.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PtBlockId(u64);
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The segment source is exhausted even after flushing the cache —
+    /// PyTorch's `CUDA out of memory` error.
+    OutOfMemory {
+        /// Bytes requested (after rounding).
+        requested: u64,
+    },
+    /// Zero-byte request.
+    ZeroSize,
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "CUDA out of memory: tried to allocate {requested} bytes")
+            }
+            AllocError::ZeroSize => write!(f, "zero-byte allocation"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocator → driver notification (the "few lines of code" added to the
+/// PyTorch allocator, Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtEvent {
+    /// A PT block became active: its pages hold live data again and must
+    /// no longer be invalidated on eviction.
+    Active(ByteRange),
+    /// A PT block became inactive: its pages may be dropped without
+    /// write-back when chosen as eviction victims.
+    Inactive(ByteRange),
+    /// A whole segment was returned to the memory source (cache flush);
+    /// any residency for these addresses is meaningless now.
+    Released(ByteRange),
+}
+
+/// Where the allocator gets segments from.
+///
+/// For DeepUM and naive UM this is the UM space (host-memory bound); for
+/// the tensor-swapping baselines it is raw device memory (device bound —
+/// which is why they hit fragmentation OOMs that UM avoids, Table 3).
+pub trait SegmentSource {
+    /// Acquires a contiguous segment of exactly `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the source cannot satisfy
+    /// the request.
+    fn alloc_segment(&mut self, bytes: u64) -> Result<ByteRange, AllocError>;
+
+    /// Returns a segment previously acquired.
+    fn free_segment(&mut self, range: ByteRange);
+}
+
+impl SegmentSource for UmSpace {
+    fn alloc_segment(&mut self, bytes: u64) -> Result<ByteRange, AllocError> {
+        self.alloc(bytes).map_err(|e| match e {
+            UmAllocError::OutOfMemory { requested, .. } => AllocError::OutOfMemory { requested },
+            UmAllocError::ZeroSize => AllocError::ZeroSize,
+        })
+    }
+
+    fn free_segment(&mut self, range: ByteRange) {
+        self.free(range);
+    }
+}
+
+/// Raw device memory as a segment source: the non-UM baselines'
+/// configuration (`cudaMalloc` on plain device memory).
+///
+/// Only *physical* capacity bounds allocation — the CUDA VA space is
+/// effectively unlimited, so segment addresses are handed out from a
+/// monotone bump pointer and never constrain placement. Fragmentation
+/// for these systems therefore lives where it does in reality: inside
+/// the caching allocator's partially-used segments, which
+/// [`CachingAllocator::empty_cache`] cannot release while any PT block
+/// in them is active.
+#[derive(Debug, Clone)]
+pub struct DeviceHeap {
+    capacity: u64,
+    allocated: u64,
+    next_va: u64,
+}
+
+impl DeviceHeap {
+    /// Creates a heap of `capacity` bytes of device memory.
+    pub fn new(capacity: u64) -> Self {
+        DeviceHeap {
+            capacity,
+            allocated: 0,
+            next_va: 0,
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+}
+
+impl SegmentSource for DeviceHeap {
+    fn alloc_segment(&mut self, bytes: u64) -> Result<ByteRange, AllocError> {
+        if bytes == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        if self.allocated + bytes > self.capacity {
+            return Err(AllocError::OutOfMemory { requested: bytes });
+        }
+        self.allocated += bytes;
+        let start = self.next_va;
+        // Keep segments block-aligned so PT blocks never straddle UM
+        // blocks in mixed setups.
+        self.next_va = (start + bytes).div_ceil(crate::alloc::LARGE_ROUND) * crate::alloc::LARGE_ROUND;
+        Ok(ByteRange::new(UmAddr::new(start), bytes))
+    }
+
+    fn free_segment(&mut self, range: ByteRange) {
+        debug_assert!(self.allocated >= range.len());
+        self.allocated -= range.len();
+    }
+}
+
+/// Segments from the interposed CUDA runtime (`cudaMalloc` → UM space),
+/// the DeepUM / naive-UM configuration.
+impl SegmentSource for deepum_runtime::interpose::CudaRuntime {
+    fn alloc_segment(&mut self, bytes: u64) -> Result<ByteRange, AllocError> {
+        self.malloc_managed(bytes).map_err(|e| match e {
+            UmAllocError::OutOfMemory { requested, .. } => AllocError::OutOfMemory { requested },
+            UmAllocError::ZeroSize => AllocError::ZeroSize,
+        })
+    }
+
+    fn free_segment(&mut self, range: ByteRange) {
+        self.free_managed(range);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PtBlock {
+    range: ByteRange,
+    segment: u64,
+    pool: PoolKind,
+    active: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    range: ByteRange,
+}
+
+/// The caching allocator.
+///
+/// # Example
+///
+/// ```
+/// use deepum_torch::alloc::CachingAllocator;
+/// use deepum_um::space::UmSpace;
+///
+/// let mut source = UmSpace::new(64 << 20);
+/// let mut alloc = CachingAllocator::new();
+/// let mut events = Vec::new();
+/// let (block, range) = alloc.alloc(3 << 20, &mut source, &mut events)?;
+/// assert!(range.len() >= 3 << 20);
+/// alloc.free(block, &mut events);
+/// # Ok::<(), deepum_torch::alloc::AllocError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CachingAllocator {
+    next_id: u64,
+    blocks: HashMap<PtBlockId, PtBlock>,
+    /// Inactive blocks per pool, keyed for best-fit (size, id).
+    free_small: BTreeSet<(u64, PtBlockId)>,
+    free_large: BTreeSet<(u64, PtBlockId)>,
+    /// Every block by start address, for neighbour coalescing.
+    by_addr: BTreeMap<u64, PtBlockId>,
+    segments: HashMap<u64, Segment>,
+    active_bytes: u64,
+    reserved_bytes: u64,
+}
+
+impl CachingAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes in active PT blocks.
+    pub fn active_bytes(&self) -> u64 {
+        self.active_bytes
+    }
+
+    /// Bytes in segments held from the source (active + cached).
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Bytes cached in inactive PT blocks.
+    pub fn cached_bytes(&self) -> u64 {
+        self.reserved_bytes - self.active_bytes
+    }
+
+    /// Number of segments held.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of inactive PT blocks across both pools.
+    pub fn inactive_blocks(&self) -> usize {
+        self.free_small.len() + self.free_large.len()
+    }
+
+    /// The address range of a live PT block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist.
+    pub fn range_of(&self, block: PtBlockId) -> ByteRange {
+        self.blocks[&block].range
+    }
+
+    fn rounded(bytes: u64) -> u64 {
+        if bytes <= SMALL_LIMIT {
+            bytes.div_ceil(SMALL_ROUND) * SMALL_ROUND
+        } else {
+            bytes.div_ceil(LARGE_ROUND) * LARGE_ROUND
+        }
+    }
+
+    fn pool_of(rounded: u64) -> PoolKind {
+        if rounded <= SMALL_LIMIT {
+            PoolKind::Small
+        } else {
+            PoolKind::Large
+        }
+    }
+
+    fn split_remainder(pool: PoolKind) -> u64 {
+        match pool {
+            PoolKind::Small => SMALL_ROUND,
+            PoolKind::Large => LARGE_SPLIT_REMAINDER,
+        }
+    }
+
+    fn free_set(&mut self, pool: PoolKind) -> &mut BTreeSet<(u64, PtBlockId)> {
+        match pool {
+            PoolKind::Small => &mut self.free_small,
+            PoolKind::Large => &mut self.free_large,
+        }
+    }
+
+    /// Allocates a PT block of at least `bytes`, notifying state changes
+    /// through `events`. On source exhaustion the cache is flushed and
+    /// the segment allocation retried once (PyTorch's OOM recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::ZeroSize`] for `bytes == 0`;
+    /// [`AllocError::OutOfMemory`] when the source remains exhausted
+    /// after the cache flush.
+    pub fn alloc(
+        &mut self,
+        bytes: u64,
+        source: &mut dyn SegmentSource,
+        events: &mut Vec<PtEvent>,
+    ) -> Result<(PtBlockId, ByteRange), AllocError> {
+        if bytes == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let size = Self::rounded(bytes);
+        let pool = Self::pool_of(size);
+
+        // Best fit: the smallest inactive block that fits.
+        let found = self
+            .free_set(pool)
+            .range((size, PtBlockId(0))..)
+            .next()
+            .copied();
+        let id = match found {
+            Some(key) => {
+                self.free_set(pool).remove(&key);
+                let id = key.1;
+                self.maybe_split(id, size);
+                id
+            }
+            None => {
+                let segment_size = match size {
+                    s if s <= SMALL_LIMIT => SMALL_SEGMENT,
+                    s if s <= MEDIUM_LIMIT => LARGE_SEGMENT,
+                    s => s,
+                };
+                let seg_range = match source.alloc_segment(segment_size) {
+                    Ok(r) => r,
+                    Err(AllocError::OutOfMemory { .. }) => {
+                        // PyTorch: free cached blocks and retry once.
+                        self.empty_cache(source, events);
+                        source.alloc_segment(segment_size)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                self.reserved_bytes += seg_range.len();
+                self.segments
+                    .insert(seg_range.start().raw(), Segment { range: seg_range });
+                let id = self.insert_block(seg_range, seg_range.start().raw(), pool);
+                self.maybe_split(id, size);
+                id
+            }
+        };
+
+        let block = self.blocks.get_mut(&id).expect("block exists");
+        debug_assert!(!block.active);
+        block.active = true;
+        let range = block.range;
+        self.active_bytes += range.len();
+        events.push(PtEvent::Active(range));
+        Ok((id, range))
+    }
+
+    /// Returns a PT block to its pool, coalescing with inactive
+    /// neighbours in the same segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or an unknown block id.
+    pub fn free(&mut self, id: PtBlockId, events: &mut Vec<PtEvent>) {
+        let block = self.blocks.get_mut(&id).expect("free of unknown PT block");
+        assert!(block.active, "double free of PT block");
+        block.active = false;
+        let range = block.range;
+        let pool = block.pool;
+        let segment = block.segment;
+        self.active_bytes -= range.len();
+        events.push(PtEvent::Inactive(range));
+
+        // Coalesce with the previous neighbour if inactive.
+        let mut id = id;
+        let mut range = range;
+        if let Some((&prev_start, &prev_id)) = self.by_addr.range(..range.start().raw()).next_back()
+        {
+            let prev = &self.blocks[&prev_id];
+            if !prev.active
+                && prev.segment == segment
+                && prev_start + prev.range.len() == range.start().raw()
+            {
+                let merged =
+                    ByteRange::new(prev.range.start(), prev.range.len() + range.len());
+                self.remove_free_entry(prev_id);
+                self.by_addr.remove(&range.start().raw());
+                self.blocks.remove(&id);
+                let prev = self.blocks.get_mut(&prev_id).expect("prev exists");
+                prev.range = merged;
+                id = prev_id;
+                range = merged;
+            }
+        }
+        // Coalesce with the next neighbour if inactive.
+        if let Some((&next_start, &next_id)) = self.by_addr.range(range.end().raw()..).next() {
+            let next = &self.blocks[&next_id];
+            if !next.active && next.segment == segment && next_start == range.end().raw() {
+                let merged = ByteRange::new(range.start(), range.len() + next.range.len());
+                self.remove_free_entry(next_id);
+                self.by_addr.remove(&next_start);
+                self.blocks.remove(&next_id);
+                let blk = self.blocks.get_mut(&id).expect("block exists");
+                blk.range = merged;
+                range = merged;
+            }
+        }
+
+        self.free_set(pool).insert((range.len(), id));
+    }
+
+    /// Releases every segment that is entirely cached (one inactive block
+    /// spanning it) back to the source. Returns the bytes released.
+    /// This is PyTorch's `emptyCache`, run automatically on OOM and
+    /// periodically by the LMS-mod baseline.
+    pub fn empty_cache(
+        &mut self,
+        source: &mut dyn SegmentSource,
+        events: &mut Vec<PtEvent>,
+    ) -> u64 {
+        let mut released = 0u64;
+        let seg_starts: Vec<u64> = self.segments.keys().copied().collect();
+        for seg_start in seg_starts {
+            let seg = self.segments[&seg_start].clone();
+            // The segment is releasable iff a single inactive block
+            // covers it exactly.
+            let Some(&id) = self.by_addr.get(&seg_start) else {
+                continue;
+            };
+            let block = &self.blocks[&id];
+            if block.active || block.range != seg.range {
+                continue;
+            }
+            self.remove_free_entry(id);
+            self.by_addr.remove(&seg_start);
+            self.blocks.remove(&id);
+            self.segments.remove(&seg_start);
+            self.reserved_bytes -= seg.range.len();
+            released += seg.range.len();
+            source.free_segment(seg.range);
+            events.push(PtEvent::Released(seg.range));
+        }
+        released
+    }
+
+    fn insert_block(&mut self, range: ByteRange, segment: u64, pool: PoolKind) -> PtBlockId {
+        let id = PtBlockId(self.next_id);
+        self.next_id += 1;
+        self.blocks.insert(
+            id,
+            PtBlock {
+                range,
+                segment,
+                pool,
+                active: false,
+            },
+        );
+        self.by_addr.insert(range.start().raw(), id);
+        id
+    }
+
+    /// Splits `id` (inactive, not in a free set) down to `size`, putting
+    /// the remainder back in the pool.
+    fn maybe_split(&mut self, id: PtBlockId, size: u64) {
+        let block = &self.blocks[&id];
+        let pool = block.pool;
+        let remainder = block.range.len() - size;
+        if remainder < Self::split_remainder(pool) {
+            return;
+        }
+        let (head, segment) = {
+            let block = self.blocks.get_mut(&id).expect("block exists");
+            let head = ByteRange::new(block.range.start(), size);
+            let seg = block.segment;
+            block.range = head;
+            (head, seg)
+        };
+        let tail = ByteRange::new(UmAddr::new(head.end().raw()), remainder);
+        let tail_id = self.insert_block(tail, segment, pool);
+        self.free_set(pool).insert((remainder, tail_id));
+    }
+
+    fn remove_free_entry(&mut self, id: PtBlockId) {
+        let (len, pool) = {
+            let b = &self.blocks[&id];
+            (b.range.len(), b.pool)
+        };
+        self.free_set(pool).remove(&(len, id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cap_mb: u64) -> (UmSpace, CachingAllocator, Vec<PtEvent>) {
+        (
+            UmSpace::new(cap_mb << 20),
+            CachingAllocator::new(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn small_requests_round_to_512() {
+        let (mut src, mut a, mut ev) = setup(64);
+        let (_, r) = a.alloc(100, &mut src, &mut ev).unwrap();
+        assert_eq!(r.len(), 512);
+        assert_eq!(a.active_bytes(), 512);
+        // Small pool reserves a whole 2 MiB segment.
+        assert_eq!(a.reserved_bytes(), SMALL_SEGMENT);
+    }
+
+    #[test]
+    fn large_requests_round_to_2mb() {
+        let (mut src, mut a, mut ev) = setup(64);
+        let (_, r) = a.alloc((1 << 20) + 1, &mut src, &mut ev).unwrap();
+        assert_eq!(r.len(), 2 << 20);
+    }
+
+    #[test]
+    fn mid_size_requests_get_20mb_segments() {
+        let (mut src, mut a, mut ev) = setup(64);
+        let (_, r) = a.alloc(3 << 20, &mut src, &mut ev).unwrap();
+        assert_eq!(r.len(), 4 << 20); // rounded... no: 3MB rounds to 4MB
+        assert_eq!(a.reserved_bytes(), LARGE_SEGMENT);
+        // The 16 MiB remainder is cached.
+        assert_eq!(a.cached_bytes(), LARGE_SEGMENT - (4 << 20));
+    }
+
+    #[test]
+    fn huge_requests_get_exact_segments() {
+        let (mut src, mut a, mut ev) = setup(128);
+        let (_, r) = a.alloc(50 << 20, &mut src, &mut ev).unwrap();
+        assert_eq!(r.len(), 50 << 20);
+        assert_eq!(a.reserved_bytes(), 50 << 20);
+    }
+
+    #[test]
+    fn free_and_reuse_is_best_fit() {
+        // Sizes above 10 MiB get exact segments, so the two blocks are
+        // independent and best-fit is observable.
+        let (mut src, mut a, mut ev) = setup(256);
+        let (b1, r1) = a.alloc(16 << 20, &mut src, &mut ev).unwrap();
+        let (b2, r2) = a.alloc(12 << 20, &mut src, &mut ev).unwrap();
+        a.free(b1, &mut ev);
+        a.free(b2, &mut ev);
+        // An 11 MiB request (rounds to 12 MiB) best-fits the 12 MiB block.
+        let (_, r3) = a.alloc(11 << 20, &mut src, &mut ev).unwrap();
+        assert_eq!(r3.start(), r2.start());
+        assert_ne!(r3.start(), r1.start());
+    }
+
+    #[test]
+    fn split_produces_cached_remainder() {
+        let (mut src, mut a, mut ev) = setup(256);
+        let (b1, _) = a.alloc(18 << 20, &mut src, &mut ev).unwrap();
+        a.free(b1, &mut ev);
+        let before_segments = a.segment_count();
+        // 2 MiB out of the cached 20 MiB segment: split, no new segment.
+        let (_, r) = a.alloc(2 << 20, &mut src, &mut ev).unwrap();
+        assert_eq!(r.len(), 2 << 20);
+        assert_eq!(a.segment_count(), before_segments);
+        assert!(a.cached_bytes() >= 16 << 20);
+    }
+
+    #[test]
+    fn coalescing_rebuilds_big_blocks() {
+        let (mut src, mut a, mut ev) = setup(256);
+        let (b1, _) = a.alloc(20 << 20, &mut src, &mut ev).unwrap();
+        a.free(b1, &mut ev);
+        let (c1, _) = a.alloc(6 << 20, &mut src, &mut ev).unwrap();
+        let (c2, _) = a.alloc(6 << 20, &mut src, &mut ev).unwrap();
+        let (c3, _) = a.alloc(8 << 20, &mut src, &mut ev).unwrap();
+        assert_eq!(a.segment_count(), 1);
+        a.free(c1, &mut ev);
+        a.free(c3, &mut ev);
+        a.free(c2, &mut ev); // middle free merges all three
+        assert_eq!(a.inactive_blocks(), 1);
+        // The whole 20 MiB is one block again.
+        let (_, r) = a.alloc(20 << 20, &mut src, &mut ev).unwrap();
+        assert_eq!(r.len(), 20 << 20);
+    }
+
+    #[test]
+    fn oom_flushes_cache_and_retries() {
+        let (mut src, mut a, mut ev) = setup(32);
+        let (b1, _) = a.alloc(30 << 20, &mut src, &mut ev).unwrap();
+        a.free(b1, &mut ev);
+        // Source is fully reserved by the cached 30 MiB segment; a
+        // request too big for the cached block forces a flush-and-retry.
+        let got = a.alloc(31 << 20, &mut src, &mut ev);
+        assert!(got.is_ok());
+        assert!(ev.iter().any(|e| matches!(e, PtEvent::Released(_))));
+    }
+
+    #[test]
+    fn oom_surfaces_when_flush_insufficient() {
+        let (mut src, mut a, mut ev) = setup(16);
+        let err = a.alloc(64 << 20, &mut src, &mut ev).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn events_track_block_lifecycle() {
+        let (mut src, mut a, mut ev) = setup(64);
+        let (b, r) = a.alloc(2 << 20, &mut src, &mut ev).unwrap();
+        assert!(ev.contains(&PtEvent::Active(r)));
+        ev.clear();
+        a.free(b, &mut ev);
+        assert!(ev.contains(&PtEvent::Inactive(r)));
+    }
+
+    #[test]
+    fn empty_cache_releases_only_fully_inactive_segments() {
+        let (mut src, mut a, mut ev) = setup(256);
+        let (b1, _) = a.alloc(20 << 20, &mut src, &mut ev).unwrap();
+        let (_b2, _) = a.alloc(2 << 20, &mut src, &mut ev).unwrap(); // splits a new segment
+        a.free(b1, &mut ev);
+        let released = a.empty_cache(&mut src, &mut ev);
+        assert_eq!(released, 20 << 20);
+        // The second segment still has an active block; kept.
+        assert_eq!(a.segment_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let (mut src, mut a, mut ev) = setup(64);
+        let (b, _) = a.alloc(1024, &mut src, &mut ev).unwrap();
+        a.free(b, &mut ev);
+        a.free(b, &mut ev);
+    }
+
+    #[test]
+    fn small_pool_carves_from_2mb_segments() {
+        let (mut src, mut a, mut ev) = setup(64);
+        let mut blocks = Vec::new();
+        for _ in 0..8 {
+            blocks.push(a.alloc(100 << 10, &mut src, &mut ev).unwrap());
+        }
+        // Eight 100 KiB (rounded) blocks fit in one 2 MiB segment.
+        assert_eq!(a.segment_count(), 1);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (mut src, mut a, mut ev) = setup(64);
+        assert_eq!(
+            a.alloc(0, &mut src, &mut ev).unwrap_err(),
+            AllocError::ZeroSize
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Mini-PyTorch: the deep-learning-framework substrate.
+//!
+//! DeepUM's two optimizations depend on PyTorch internals — the CUDA
+//! caching allocator's large/small pools and PT-block life cycle
+//! (Section 5.2) — and its evaluation depends on nine DNN training
+//! workloads (Table 2). This crate reproduces both:
+//!
+//! * [`alloc::CachingAllocator`] — best-fit pooled allocation with block
+//!   splitting/coalescing, active/inactive PT-block state, OOM-triggered
+//!   cache flush, and the inactive-block notifications DeepUM hooks;
+//! * [`step`] — the workload representation: a training iteration is a
+//!   sequence of allocate / kernel / free steps over named tensors, with
+//!   dense and gather (data-dependent) access patterns;
+//! * [`models`] — shape-faithful workload generators for the paper's
+//!   models: GPT-2 XL/L, BERT Large/Base, DLRM, ResNet-152/200, DCGAN,
+//!   and MobileNet;
+//! * [`perf`] — the V100 kernel-time model (FLOP throughput and HBM
+//!   bandwidth bound) that converts a kernel's work into virtual compute
+//!   time.
+//!
+//! Datasets only determine tensor shapes (and DLRM's lookup
+//! distribution); no numerical computation happens — the memory system
+//! under study sees sizes and access order, never values.
+
+pub mod alloc;
+pub mod models;
+pub mod perf;
+pub mod step;
+
+pub use alloc::{AllocError, CachingAllocator, DeviceHeap, PoolKind, SegmentSource};
+pub use perf::PerfModel;
+pub use step::{GatherAccess, KernelStep, Step, TensorId, TensorSpec, Workload, WorkloadBuilder};

@@ -1,0 +1,455 @@
+//! Convolutional training workloads: ResNet-152/200, DCGAN, MobileNet.
+//!
+//! The builder models each network as a chain of convolution kernels
+//! (batch-norm and activation folded into the conv kernel, as cuDNN
+//! fusion does), saving each conv's input for the backward pass and
+//! releasing it as backward consumes it — the allocate/free churn that
+//! exercises the caching allocator and DeepUM's invalidation.
+
+use crate::step::{TensorId, Workload, WorkloadBuilder};
+
+const F32: u64 = 4;
+
+/// A convolution's parameters with gradient and SGD momentum.
+struct ConvParam {
+    w: TensorId,
+    g: TensorId,
+    m: TensorId,
+    bytes: u64,
+}
+
+/// One recorded conv in the forward chain.
+struct Rec {
+    tag: String,
+    param: ConvParam,
+    input: TensorId,
+    input_bytes: u64,
+    out_bytes: u64,
+    flops: f64,
+    /// Keep `input` alive after backward (e.g. the image batch, or a
+    /// tensor shared with a skip connection freed elsewhere).
+    input_shared: bool,
+}
+
+/// Sequential conv-chain builder. State only — every method takes the
+/// [`WorkloadBuilder`] explicitly so multiple chains can interleave
+/// (DCGAN builds the generator and discriminator together).
+struct Chain {
+    batch: u64,
+    recs: Vec<Rec>,
+    /// Current activation, spatial size, channels.
+    x: TensorId,
+    h: u64,
+    c: u64,
+    x_bytes: u64,
+}
+
+impl Chain {
+    /// Starts a chain from an input image batch of `h`×`h`×`c`.
+    fn start(b: &mut WorkloadBuilder, batch: u64, h: u64, c: u64) -> Self {
+        let bytes = batch * h * h * c * F32;
+        let x = b.alloc(bytes);
+        b.kernel("input.load")
+            .args(&[batch, h, c])
+            .writes(&[x])
+            .flops((batch * h * h * c) as f64)
+            .launch();
+        Chain {
+            batch,
+            recs: Vec::new(),
+            x,
+            h,
+            c,
+            x_bytes: bytes,
+        }
+    }
+
+    /// Starts a chain from an existing activation (DCGAN generator).
+    fn from_tensor(batch: u64, x: TensorId, h: u64, c: u64) -> Self {
+        let x_bytes = batch * h * h * c * F32;
+        Chain {
+            batch,
+            recs: Vec::new(),
+            x,
+            h,
+            c,
+            x_bytes,
+        }
+    }
+
+    fn param(&mut self, b: &mut WorkloadBuilder, bytes: u64) -> ConvParam {
+        ConvParam {
+            w: b.persistent(bytes),
+            g: b.persistent(bytes),
+            m: b.persistent(bytes),
+            bytes,
+        }
+    }
+
+    /// Emits a conv (+BN+activation) layer: `k`×`k`, stride `s`,
+    /// `cout` output channels. `upsample` doubles instead of dividing
+    /// the spatial size (transposed conv).
+    fn conv(&mut self, b: &mut WorkloadBuilder, tag: &str, cout: u64, k: u64, s: u64, upsample: bool) {
+        let h_out = if upsample { self.h * s } else { self.h.div_ceil(s) };
+        let w_bytes = k * k * self.c * cout * F32;
+        let param = self.param(b, w_bytes);
+        let out_bytes = self.batch * h_out * h_out * cout * F32;
+        let out = b.alloc(out_bytes);
+        let flops = (2 * k * k * self.c * cout * h_out * h_out * self.batch) as f64;
+        b.kernel(format!("{tag}.fwd"))
+            .args(&[self.batch, self.c, cout, k, s])
+            .reads(&[self.x, param.w])
+            .writes(&[out])
+            .flops(flops)
+            .launch();
+        self.recs.push(Rec {
+            tag: tag.to_string(),
+            param,
+            input: self.x,
+            input_bytes: self.x_bytes,
+            out_bytes,
+            flops,
+            input_shared: self.recs.is_empty(),
+        });
+        self.x = out;
+        self.x_bytes = out_bytes;
+        self.h = h_out;
+        self.c = cout;
+    }
+
+    /// Emits a residual bottleneck (1×1 → 3×3 → 1×1 with skip).
+    fn bottleneck(&mut self, b: &mut WorkloadBuilder, tag: &str, width: u64, cout: u64, stride: u64) {
+        let block_in = self.x;
+        let block_in_bytes = self.x_bytes;
+        let cin = self.c;
+        self.conv(b, &format!("{tag}.c1"), width, 1, 1, false);
+        self.conv(b, &format!("{tag}.c2"), width, 3, stride, false);
+        self.conv(b, &format!("{tag}.c3"), cout, 1, 1, false);
+        if cin != cout || stride != 1 {
+            // Projection shortcut read during the add.
+            let w_bytes = cin * cout * F32;
+            let param = self.param(b, w_bytes);
+            let out = b.alloc(self.x_bytes);
+            b.kernel(format!("{tag}.skip.fwd"))
+                .reads(&[block_in, param.w, self.x])
+                .writes(&[out])
+                .flops((2 * cin * cout * self.h * self.h * self.batch) as f64)
+                .launch();
+            self.recs.push(Rec {
+                tag: format!("{tag}.skip"),
+                param,
+                input: block_in,
+                input_bytes: block_in_bytes,
+                out_bytes: self.x_bytes,
+                flops: (2 * cin * cout * self.h * self.h * self.batch) as f64,
+                // `block_in` is also some earlier conv's saved input.
+                input_shared: true,
+            });
+            let old = self.x;
+            b.free(old);
+            self.x = out;
+        } else {
+            // Identity skip: elementwise add into the chain output.
+            b.kernel(format!("{tag}.add.fwd"))
+                .reads(&[block_in, self.x])
+                .writes(&[self.x])
+                .flops((self.x_bytes / F32 * 2) as f64)
+                .launch();
+        }
+    }
+
+    /// Emits a depthwise-separable block (MobileNet).
+    fn dw_separable(&mut self, b: &mut WorkloadBuilder, tag: &str, cout: u64, stride: u64) {
+        let c = self.c;
+        // Depthwise 3×3: weights k*k*c.
+        let h_out = self.h.div_ceil(stride);
+        let dw_param = self.param(b, 9 * c * F32);
+        let dw_bytes = self.batch * h_out * h_out * c * F32;
+        let dw_out = b.alloc(dw_bytes);
+        b.kernel(format!("{tag}.dw.fwd"))
+            .args(&[self.batch, c, stride])
+            .reads(&[self.x, dw_param.w])
+            .writes(&[dw_out])
+            .flops((2 * 9 * c * h_out * h_out * self.batch) as f64)
+            .launch();
+        self.recs.push(Rec {
+            tag: format!("{tag}.dw"),
+            param: dw_param,
+            input: self.x,
+            input_bytes: self.x_bytes,
+            out_bytes: dw_bytes,
+            flops: (2 * 9 * c * h_out * h_out * self.batch) as f64,
+            input_shared: self.recs.is_empty(),
+        });
+        self.x = dw_out;
+        self.x_bytes = dw_bytes;
+        self.h = h_out;
+        // Pointwise 1×1 to cout.
+        self.conv(b, &format!("{tag}.pw"), cout, 1, 1, false);
+    }
+
+    /// Classifier head: global pool + linear to `classes`, loss.
+    fn head(&mut self, b: &mut WorkloadBuilder, classes: u64) -> TensorId {
+        let pooled = b.alloc(self.batch * self.c * F32);
+        b.kernel("head.pool.fwd")
+            .reads(&[self.x])
+            .writes(&[pooled])
+            .flops((self.x_bytes / F32) as f64)
+            .launch();
+        let fc = self.param(b, self.c * classes * F32);
+        let logits = b.alloc(self.batch * classes * F32);
+        b.kernel("head.fc.fwd")
+            .reads(&[pooled, fc.w])
+            .writes(&[logits])
+            .flops((2 * self.batch * self.c * classes) as f64)
+            .launch();
+        // Loss backward seeds the gradient chain.
+        let grad = b.alloc(self.x_bytes);
+        b.kernel("head.bwd")
+            .reads(&[logits, pooled, fc.w, self.x])
+            .writes(&[grad, fc.g])
+            .flops((4 * self.batch * self.c * classes) as f64)
+            .launch();
+        b.free(logits);
+        b.free(pooled);
+        self.recs.push(Rec {
+            tag: "head.fc".into(),
+            param: fc,
+            input: self.x,
+            input_bytes: self.x_bytes,
+            out_bytes: self.batch * classes * F32,
+            flops: (2 * self.batch * self.c * classes) as f64,
+            input_shared: false,
+        });
+        // head.fc's "input" (self.x) is freed by the backward sweep.
+        grad
+    }
+
+    /// Emits the backward sweep and SGD updates; consumes the chain.
+    fn backward(self, b: &mut WorkloadBuilder, mut grad: TensorId) {
+        // The last rec's input is freed by the sweep; pop head rec input
+        // handling is uniform.
+        for rec in self.recs.iter().rev() {
+            let grad_in = b.alloc(rec.input_bytes);
+            b.kernel(format!("{}.bwd", rec.tag))
+                .reads(&[grad, rec.input, rec.param.w])
+                .writes(&[grad_in, rec.param.g])
+                .flops(2.0 * rec.flops)
+                .launch();
+            b.free(grad);
+            if !rec.input_shared {
+                b.free(rec.input);
+            }
+            grad = grad_in;
+            let _ = rec.out_bytes;
+        }
+        b.free(grad);
+        // Free the original network input (first rec's shared input).
+        if let Some(first) = self.recs.first() {
+            if first.input_shared {
+                b.free(first.input);
+            }
+        }
+        // SGD with momentum per parameter tensor.
+        for rec in &self.recs {
+            let n = rec.param.bytes / F32;
+            b.kernel(format!("{}.sgd", rec.tag))
+                .reads(&[rec.param.g, rec.param.m])
+                .writes(&[rec.param.w, rec.param.m])
+                .flops(4.0 * n as f64)
+                .launch();
+        }
+    }
+}
+
+fn resnet(model: &'static str, blocks: [usize; 4], batch: usize, image: u64) -> Workload {
+    let mut b = WorkloadBuilder::new(format!("{model}/b{batch}"), model, batch);
+    let bt = batch as u64;
+    let mut chain = if image >= 64 {
+        let mut c = Chain::start(&mut b, bt, image, 3);
+        c.conv(&mut b, "stem", 64, 7, 2, false);
+        // Max-pool halves the spatial size; modelled as a cheap kernel.
+        c.h /= 2;
+        c.x_bytes /= 4;
+        c
+    } else {
+        let mut c = Chain::start(&mut b, bt, image, 3);
+        c.conv(&mut b, "stem", 64, 3, 1, false);
+        c
+    };
+
+    let widths = [64u64, 128, 256, 512];
+    for (stage, (&n, &w)) in blocks.iter().zip(widths.iter()).enumerate() {
+        let cout = w * 4;
+        for blk in 0..n {
+            let stride = if blk == 0 && stage > 0 { 2 } else { 1 };
+            chain.bottleneck(&mut b, &format!("s{stage}.b{blk}"), w, cout, stride);
+        }
+    }
+    let grad = chain.head(&mut b, 1000);
+    chain.backward(&mut b, grad);
+    let w = b.build();
+    debug_assert!(w.validate().is_ok(), "{:?}", w.validate());
+    w
+}
+
+/// ResNet-152 on ImageNet (paper Table 2).
+pub fn resnet152(batch: usize) -> Workload {
+    resnet("resnet152", [3, 8, 36, 3], batch, 224)
+}
+
+/// ResNet-200 on ImageNet (paper Table 2).
+pub fn resnet200(batch: usize) -> Workload {
+    resnet("resnet200", [3, 24, 36, 3], batch, 224)
+}
+
+/// ResNet-200 on CIFAR-10 (Section 6.4 comparison).
+pub fn resnet200_cifar(batch: usize) -> Workload {
+    resnet("resnet200-cifar", [3, 24, 36, 3], batch, 32)
+}
+
+/// MobileNet(V1) on CIFAR-100 (paper Table 2).
+pub fn mobilenet(batch: usize) -> Workload {
+    let mut b = WorkloadBuilder::new(format!("mobilenet/b{batch}"), "mobilenet", batch);
+    let bt = batch as u64;
+    let mut chain = Chain::start(&mut b, bt, 32, 3);
+    chain.conv(&mut b, "stem", 32, 3, 1, false);
+    let plan: [(u64, u64); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    for (i, (cout, stride)) in plan.into_iter().enumerate() {
+        chain.dw_separable(&mut b, &format!("dw{i}"), cout, stride);
+    }
+    let grad = chain.head(&mut b, 100);
+    chain.backward(&mut b, grad);
+    let w = b.build();
+    debug_assert!(w.validate().is_ok(), "{:?}", w.validate());
+    w
+}
+
+/// DCGAN on celebA 64×64 (paper Table 2): one iteration trains the
+/// discriminator on a real and a generated batch, then the generator.
+pub fn dcgan(batch: usize) -> Workload {
+    let mut b = WorkloadBuilder::new(format!("dcgan/b{batch}"), "dcgan", batch);
+    let bt = batch as u64;
+
+    // Generator: z(100) -> 4x4x1024 -> ... -> 64x64x3.
+    let z = b.alloc(bt * 100 * F32);
+    b.kernel("g.sample_z").writes(&[z]).flops((bt * 100) as f64).launch();
+    let seed_bytes = bt * 4 * 4 * 1024 * F32;
+    let seed = b.alloc(seed_bytes);
+    let g_fc = (
+        b.persistent(100 * 4 * 4 * 1024 * F32),
+        b.persistent(100 * 4 * 4 * 1024 * F32),
+        b.persistent(100 * 4 * 4 * 1024 * F32),
+    );
+    b.kernel("g.project.fwd")
+        .reads(&[z, g_fc.0])
+        .writes(&[seed])
+        .flops((2 * bt * 100 * 4 * 4 * 1024) as f64)
+        .launch();
+    let mut gen = Chain::from_tensor(bt, seed, 4, 1024);
+    gen.conv(&mut b, "g.up1", 512, 4, 2, true); // 8x8
+    gen.conv(&mut b, "g.up2", 256, 4, 2, true); // 16x16
+    gen.conv(&mut b, "g.up3", 128, 4, 2, true); // 32x32
+    gen.conv(&mut b, "g.up4", 3, 4, 2, true); // 64x64
+    let fake = gen.x;
+
+    // Discriminator on the fake batch.
+    let mut d_fake = Chain::from_tensor(bt, fake, 64, 3);
+    d_fake.conv(&mut b, "d.c1", 128, 4, 2, false); // 32
+    d_fake.conv(&mut b, "d.c2", 256, 4, 2, false); // 16
+    d_fake.conv(&mut b, "d.c3", 512, 4, 2, false); // 8
+    d_fake.conv(&mut b, "d.c4", 1024, 4, 2, false); // 4
+    let grad_fake = d_fake.head(&mut b, 1);
+    // Backward through D (training D on fakes) and into G.
+    d_fake.backward(&mut b, grad_fake);
+
+    // Discriminator on a real batch (separate activations, same params
+    // would double-declare tensors; a second parameter set keeps the
+    // memory footprint equivalent while the step program stays simple).
+    let mut d_real = Chain::start(&mut b, bt, 64, 3);
+    d_real.conv(&mut b, "d2.c1", 128, 4, 2, false);
+    d_real.conv(&mut b, "d2.c2", 256, 4, 2, false);
+    d_real.conv(&mut b, "d2.c3", 512, 4, 2, false);
+    d_real.conv(&mut b, "d2.c4", 1024, 4, 2, false);
+    let grad_real = d_real.head(&mut b, 1);
+    d_real.backward(&mut b, grad_real);
+
+    // Generator backward + update.
+    let g_grad = b.alloc(seed_bytes);
+    b.kernel("g.bwd")
+        .reads(&[seed, g_fc.0])
+        .writes(&[g_grad, g_fc.1])
+        .flops((4 * bt * 100 * 4 * 4 * 1024) as f64)
+        .launch();
+    gen.backward(&mut b, g_grad);
+    b.kernel("g.project.sgd")
+        .reads(&[g_fc.1, g_fc.2])
+        .writes(&[g_fc.0, g_fc.2])
+        .flops((100 * 4 * 4 * 1024) as f64)
+        .launch();
+    b.free(z);
+
+    let w = b.build();
+    debug_assert!(w.validate().is_ok(), "{:?}", w.validate());
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnets_validate() {
+        for w in [resnet152(4), resnet200(4), resnet200_cifar(64)] {
+            w.validate().unwrap();
+            assert!(w.kernel_count() > 200);
+        }
+    }
+
+    #[test]
+    fn imagenet_activations_dwarf_cifar() {
+        let inet = resnet200(8);
+        let cifar = resnet200_cifar(8);
+        // CIFAR stages run at 32/16/8/4 vs ImageNet's 56/28/14/7 plus the
+        // 112×112 stem, so ImageNet activations are a few times larger.
+        assert!(inet.peak_transient_bytes() > 2 * cifar.peak_transient_bytes());
+    }
+
+    #[test]
+    fn resnet_params_plausible() {
+        // ResNet-152 has ~60M params; w+g+m = ~720 MB.
+        let w = resnet152(1);
+        let mb = w.persistent_bytes() / (1 << 20);
+        assert!((500..1200).contains(&mb), "persistent: {mb} MiB");
+    }
+
+    #[test]
+    fn mobilenet_is_small() {
+        let w = mobilenet(64);
+        w.validate().unwrap();
+        // MobileNet ~4M params.
+        assert!(w.persistent_bytes() < 200 << 20);
+    }
+
+    #[test]
+    fn dcgan_validates_and_scales() {
+        let small = dcgan(64);
+        small.validate().unwrap();
+        let big = dcgan(512);
+        assert!(big.peak_transient_bytes() > 4 * small.peak_transient_bytes());
+    }
+}

@@ -1,0 +1,233 @@
+//! DLRM (Deep Learning Recommendation Model) on Criteo Kaggle.
+//!
+//! DLRM is the paper's irregular workload: "most of the memory space is
+//! used to store embedding tables [and] its memory access pattern is
+//! irregular because the embedding table lookups highly depend on the
+//! input data. This is why prefetching strategies of both LMS and DeepUM
+//! do not work well." The gathers here carry that data-dependence into
+//! the simulator: each iteration samples skewed random rows.
+
+use crate::step::{TensorId, Workload, WorkloadBuilder};
+
+const F32: u64 = 4;
+/// Embedding dimension (MLPerf DLRM configuration).
+const EMBED_DIM: u64 = 128;
+/// Popularity skew of Criteo categorical values.
+const SKEW: f64 = 1.05;
+
+/// Row counts of the 26 Criteo Kaggle categorical features
+/// (approximate published cardinalities; the long-tailed mix is what
+/// matters for the access pattern).
+const TABLE_ROWS: [u64; 26] = [
+    10_131_227, 8_351_593, 3_194, 27, 14_992, 5_461_306, 10, 5_652, 2_173, 4, 7_046_547, 18, 15,
+    286_181, 105, 142_572, 10, 968, 15, 9_994_222, 7_158_650, 9_946_608, 415_421, 12_420, 101, 36,
+];
+
+/// Builds one DLRM training iteration at `batch`.
+pub fn dlrm(batch: usize) -> Workload {
+    assert!(batch > 0);
+    let mut b = WorkloadBuilder::new(format!("dlrm/b{batch}"), "dlrm", batch);
+    let bt = batch as u64;
+
+    // Embedding tables (persistent; updated sparsely with SGD, so no
+    // dense optimizer state).
+    let tables: Vec<TensorId> = TABLE_ROWS
+        .iter()
+        .map(|&rows| b.persistent(rows * EMBED_DIM * F32))
+        .collect();
+
+    // Dense MLPs with Adam state.
+    struct Mlp {
+        layers: Vec<(TensorId, TensorId, TensorId, TensorId, u64)>, // w,g,m,v,bytes
+        dims: Vec<u64>,
+    }
+    let mlp = |b: &mut WorkloadBuilder, dims: &[u64]| -> Mlp {
+        let layers = dims
+            .windows(2)
+            .map(|d| {
+                let bytes = d[0] * d[1] * F32;
+                (
+                    b.persistent(bytes),
+                    b.persistent(bytes),
+                    b.persistent(bytes),
+                    b.persistent(bytes),
+                    bytes,
+                )
+            })
+            .collect();
+        Mlp {
+            layers,
+            dims: dims.to_vec(),
+        }
+    };
+    let bottom = mlp(&mut b, &[13, 512, 256, EMBED_DIM]);
+    // Interaction output: pairwise dots of 27 feature vectors + dense.
+    let interact_dim = EMBED_DIM + (27 * 26) / 2;
+    let top = mlp(&mut b, &[interact_dim, 1024, 1024, 512, 256, 1]);
+
+    let run_mlp_fwd = |b: &mut WorkloadBuilder, name: &str, m: &Mlp, mut x: TensorId| {
+        let mut acts = vec![x];
+        for (i, (w, _, _, _, bytes)) in m.layers.iter().enumerate() {
+            let out = b.alloc(bt * m.dims[i + 1] * F32);
+            b.kernel(format!("{name}.l{i}.fwd"))
+                .args(&[bt])
+                .reads(&[x, *w])
+                .writes(&[out])
+                .flops((2 * bt * (bytes / F32)) as f64)
+                .launch();
+            x = out;
+            acts.push(out);
+        }
+        acts
+    };
+
+    // ---- Forward ----
+    let dense_in = b.alloc(bt * 13 * F32);
+    b.kernel("input.dense").writes(&[dense_in]).flops((bt * 13) as f64).launch();
+    let bottom_acts = run_mlp_fwd(&mut b, "bottom", &bottom, dense_in);
+
+    // Embedding lookups: one gather per table, batch rows each.
+    let emb_out = b.alloc(bt * 26 * EMBED_DIM * F32);
+    {
+        let mut k = b
+            .kernel("embed.lookup")
+            .args(&[bt])
+            .writes(&[emb_out])
+            .flops((bt * 26 * EMBED_DIM) as f64);
+        for &t in &tables {
+            k = k.gather(t, bt.min(u32::MAX as u64) as u32, (EMBED_DIM * F32) as u32, SKEW);
+        }
+        k.launch();
+    }
+
+    let interact = b.alloc(bt * interact_dim * F32);
+    b.kernel("interact.fwd")
+        .reads(&[*bottom_acts.last().unwrap(), emb_out])
+        .writes(&[interact])
+        .flops((bt * 27 * 27 * EMBED_DIM) as f64)
+        .launch();
+
+    let top_acts = run_mlp_fwd(&mut b, "top", &top, interact);
+
+    // ---- Backward ----
+    let mut grad = b.alloc(bt * F32);
+    b.kernel("loss.bwd")
+        .reads(&[*top_acts.last().unwrap()])
+        .writes(&[grad])
+        .flops((bt * 4) as f64)
+        .launch();
+
+    let run_mlp_bwd =
+        |b: &mut WorkloadBuilder, name: &str, m: &Mlp, acts: &[TensorId], mut grad: TensorId| {
+            for (i, (w, g, _, _, bytes)) in m.layers.iter().enumerate().rev() {
+                let grad_in = b.alloc(bt * m.dims[i] * F32);
+                b.kernel(format!("{name}.l{i}.bwd"))
+                    .reads(&[grad, acts[i], *w])
+                    .writes(&[grad_in, *g])
+                    .flops((4 * bt * (bytes / F32)) as f64)
+                    .launch();
+                b.free(grad);
+                if i + 1 < m.layers.len() {
+                    b.free(acts[i + 1]);
+                }
+                grad = grad_in;
+            }
+            grad
+        };
+
+    let grad_interact = run_mlp_bwd(&mut b, "top", &top, &top_acts, grad);
+    b.free(*top_acts.last().unwrap());
+
+    let grad_bottom_out = b.alloc(bt * EMBED_DIM * F32);
+    let grad_emb = b.alloc(bt * 26 * EMBED_DIM * F32);
+    b.kernel("interact.bwd")
+        .reads(&[grad_interact, *bottom_acts.last().unwrap(), emb_out])
+        .writes(&[grad_bottom_out, grad_emb])
+        .flops((bt * 27 * 27 * EMBED_DIM * 2) as f64)
+        .launch();
+    b.free(grad_interact);
+    b.free(interact);
+    b.free(emb_out);
+
+    // Sparse embedding update: scatter back into the same rows.
+    {
+        let mut k = b
+            .kernel("embed.update")
+            .args(&[bt])
+            .reads(&[grad_emb])
+            .flops((bt * 26 * EMBED_DIM * 2) as f64);
+        for &t in &tables {
+            k = k.gather(t, bt.min(u32::MAX as u64) as u32, (EMBED_DIM * F32) as u32, SKEW);
+        }
+        k.launch();
+    }
+    b.free(grad_emb);
+
+    grad = run_mlp_bwd(&mut b, "bottom", &bottom, &bottom_acts, grad_bottom_out);
+    b.free(*bottom_acts.last().unwrap());
+    b.free(grad);
+    b.free(dense_in); // bottom_acts[0]
+
+    // ---- Dense optimizer ----
+    for (name, m) in [("bottom", &bottom), ("top", &top)] {
+        for (i, (w, g, mm, vv, bytes)) in m.layers.iter().enumerate() {
+            let n = bytes / F32;
+            b.kernel(format!("{name}.l{i}.adam"))
+                .reads(&[*g, *mm, *vv])
+                .writes(&[*w, *mm, *vv])
+                .flops(10.0 * n as f64)
+                .launch();
+        }
+    }
+
+    let w = b.build();
+    debug_assert!(w.validate().is_ok(), "{:?}", w.validate());
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_dominate_memory() {
+        let w = dlrm(4096);
+        w.validate().unwrap();
+        // 33.8M rows × 512 B ≈ 17 GB of tables.
+        assert!(w.persistent_bytes() > 15 << 30);
+        // Transients are comparatively small at this batch.
+        assert!(w.peak_transient_bytes() < 2 << 30);
+    }
+
+    #[test]
+    fn lookups_scale_with_batch() {
+        let small = dlrm(1024);
+        let big = dlrm(8192);
+        let count = |w: &Workload| -> u64 {
+            w.steps
+                .iter()
+                .map(|s| match s {
+                    crate::step::Step::Kernel(k) => {
+                        k.gathers.iter().map(|g| g.lookups as u64).sum()
+                    }
+                    _ => 0,
+                })
+                .sum()
+        };
+        assert_eq!(count(&big), 8 * count(&small));
+    }
+
+    #[test]
+    fn gathers_cover_all_26_tables() {
+        let w = dlrm(128);
+        let lookup_kernel = w
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                crate::step::Step::Kernel(k) if &*k.name == "embed.lookup" => Some(k),
+                _ => None,
+            })
+            .expect("lookup kernel");
+        assert_eq!(lookup_kernel.gathers.len(), 26);
+    }
+}

@@ -1,0 +1,184 @@
+//! Workload generators for the paper's nine DNN configurations
+//! (Table 2).
+//!
+//! Each generator compiles a model description into a [`Workload`]: the
+//! persistent tensors (weights, gradients, Adam state, embedding tables)
+//! and one training iteration's step program (forward, backward,
+//! optimizer). Shapes follow the published architectures; datasets enter
+//! only through input shapes (sequence length, image size) and, for
+//! DLRM, the skewed embedding-lookup distribution.
+
+pub mod convnet;
+pub mod dlrm;
+pub mod transformer;
+
+use crate::step::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The nine model/dataset configurations of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// GPT-2 XL (48 layers, d=1600) on Wikitext, seq 1024.
+    Gpt2Xl,
+    /// GPT-2 Large (36 layers, d=1280) on Wikitext, seq 1024.
+    Gpt2L,
+    /// BERT Large (24 layers, d=1024) on Wikitext, seq 512.
+    BertLarge,
+    /// BERT Base (12 layers, d=768) on Wikitext, seq 512.
+    BertBase,
+    /// BERT Large on GLUE CoLA, seq 128 (the Section 6.4 configuration).
+    BertLargeCola,
+    /// DLRM on Criteo Kaggle.
+    Dlrm,
+    /// ResNet-152 on ImageNet (224×224).
+    ResNet152,
+    /// ResNet-200 on ImageNet (224×224).
+    ResNet200,
+    /// ResNet-200 on CIFAR-10 (32×32, the Section 6.4 configuration).
+    ResNet200Cifar,
+    /// DCGAN on celebA (64×64).
+    Dcgan,
+    /// MobileNet on CIFAR-100 (32×32).
+    MobileNet,
+}
+
+impl ModelKind {
+    /// All kinds, for sweep-style experiments.
+    pub const ALL: [ModelKind; 11] = [
+        ModelKind::Gpt2Xl,
+        ModelKind::Gpt2L,
+        ModelKind::BertLarge,
+        ModelKind::BertBase,
+        ModelKind::BertLargeCola,
+        ModelKind::Dlrm,
+        ModelKind::ResNet152,
+        ModelKind::ResNet200,
+        ModelKind::ResNet200Cifar,
+        ModelKind::Dcgan,
+        ModelKind::MobileNet,
+    ];
+
+    /// Short identifier used in reports (matches the paper's labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Gpt2Xl => "gpt2-xl",
+            ModelKind::Gpt2L => "gpt2-l",
+            ModelKind::BertLarge => "bert-large",
+            ModelKind::BertBase => "bert-base",
+            ModelKind::BertLargeCola => "bert-large-cola",
+            ModelKind::Dlrm => "dlrm",
+            ModelKind::ResNet152 => "resnet152",
+            ModelKind::ResNet200 => "resnet200",
+            ModelKind::ResNet200Cifar => "resnet200-cifar",
+            ModelKind::Dcgan => "dcgan",
+            ModelKind::MobileNet => "mobilenet",
+        }
+    }
+
+    /// Builds the training workload at `batch`.
+    pub fn build(self, batch: usize) -> Workload {
+        match self {
+            ModelKind::Gpt2Xl => transformer::gpt2_xl(batch),
+            ModelKind::Gpt2L => transformer::gpt2_l(batch),
+            ModelKind::BertLarge => transformer::bert_large(batch),
+            ModelKind::BertBase => transformer::bert_base(batch),
+            ModelKind::BertLargeCola => transformer::bert_large_cola(batch),
+            ModelKind::Dlrm => dlrm::dlrm(batch),
+            ModelKind::ResNet152 => convnet::resnet152(batch),
+            ModelKind::ResNet200 => convnet::resnet200(batch),
+            ModelKind::ResNet200Cifar => convnet::resnet200_cifar(batch),
+            ModelKind::Dcgan => convnet::dcgan(batch),
+            ModelKind::MobileNet => convnet::mobilenet(batch),
+        }
+    }
+}
+
+impl core::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_builds_a_valid_workload() {
+        for kind in ModelKind::ALL {
+            let batch = match kind {
+                ModelKind::Dlrm => 4096,
+                ModelKind::Gpt2Xl | ModelKind::Gpt2L => 3,
+                _ => 4,
+            };
+            let w = kind.build(batch);
+            w.validate()
+                .unwrap_or_else(|e| panic!("{kind}: invalid workload: {e}"));
+            assert!(w.kernel_count() > 10, "{kind}: too few kernels");
+            assert!(w.peak_bytes() > 0);
+            assert_eq!(w.batch, batch);
+        }
+    }
+
+    #[test]
+    fn transformer_sizes_are_ordered() {
+        let xl = ModelKind::Gpt2Xl.build(3);
+        let l = ModelKind::Gpt2L.build(3);
+        let bl = ModelKind::BertLarge.build(3);
+        let bb = ModelKind::BertBase.build(3);
+        assert!(xl.persistent_bytes() > l.persistent_bytes());
+        assert!(l.persistent_bytes() > bl.persistent_bytes());
+        assert!(bl.persistent_bytes() > bb.persistent_bytes());
+    }
+
+    #[test]
+    fn gpt2_xl_parameter_count_is_plausible() {
+        // GPT-2 XL has ~1.5B parameters; persistent state is
+        // w + g + m + v = 4 copies in FP32 = ~25 GB.
+        let w = ModelKind::Gpt2Xl.build(1);
+        let gb = w.persistent_bytes() as f64 / (1u64 << 30) as f64;
+        assert!((20.0..32.0).contains(&gb), "persistent: {gb} GiB");
+    }
+
+    #[test]
+    fn peak_scales_with_batch() {
+        for kind in [ModelKind::BertLarge, ModelKind::ResNet152, ModelKind::Dcgan] {
+            let small = kind.build(2);
+            let big = kind.build(8);
+            assert!(
+                big.peak_transient_bytes() > 2 * small.peak_transient_bytes(),
+                "{kind}: transient did not scale"
+            );
+        }
+    }
+
+    #[test]
+    fn resnet200_deeper_than_152() {
+        let r200 = ModelKind::ResNet200.build(4);
+        let r152 = ModelKind::ResNet152.build(4);
+        assert!(r200.kernel_count() > r152.kernel_count());
+        assert!(r200.persistent_bytes() > r152.persistent_bytes());
+    }
+
+    #[test]
+    fn dlrm_has_gathers() {
+        let w = ModelKind::Dlrm.build(4096);
+        let gathers: usize = w
+            .steps
+            .iter()
+            .map(|s| match s {
+                crate::step::Step::Kernel(k) => k.gathers.len(),
+                _ => 0,
+            })
+            .sum();
+        assert!(gathers > 0, "DLRM must have data-dependent lookups");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = ModelKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ModelKind::ALL.len());
+    }
+}

@@ -1,0 +1,97 @@
+//! V100 kernel-time model.
+//!
+//! Converts a kernel's work (FLOPs and touched bytes) into virtual
+//! compute time under a roofline model: a kernel runs at the slower of
+//! its compute bound and its memory-bandwidth bound, derated by an
+//! achievable-efficiency factor. Constants approximate a Tesla V100
+//! PCIe training in FP32 (the paper's PyTorch 1.8 default).
+
+use deepum_sim::time::Ns;
+use serde::{Deserialize, Serialize};
+
+/// Throughput model of the simulated device.
+///
+/// # Example
+///
+/// ```
+/// use deepum_torch::perf::PerfModel;
+///
+/// let perf = PerfModel::v100();
+/// // A 1-GFLOP kernel over 100 MiB: memory-bound on V100.
+/// let t = perf.kernel_time(1e9, 100 << 20);
+/// assert!(t.as_micros() > 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Peak floating-point throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// Peak device-memory bandwidth, bytes/s.
+    pub peak_membw: f64,
+    /// Fraction of peak compute real kernels achieve.
+    pub compute_efficiency: f64,
+    /// Fraction of peak bandwidth real kernels achieve.
+    pub membw_efficiency: f64,
+    /// Fixed per-kernel launch/dispatch latency.
+    pub launch_overhead: Ns,
+}
+
+impl PerfModel {
+    /// Tesla V100 (FP32 training mix): 15.7 TFLOP/s peak, 900 GB/s HBM2.
+    pub fn v100() -> Self {
+        PerfModel {
+            peak_flops: 15.7e12,
+            peak_membw: 900.0e9,
+            compute_efficiency: 0.45,
+            membw_efficiency: 0.65,
+            launch_overhead: Ns::from_micros(5),
+        }
+    }
+
+    /// Time for a kernel doing `flops` of work over `bytes` of data.
+    pub fn kernel_time(&self, flops: f64, bytes: u64) -> Ns {
+        let compute = flops / (self.peak_flops * self.compute_efficiency);
+        let memory = bytes as f64 / (self.peak_membw * self.membw_efficiency);
+        self.launch_overhead + Ns::from_secs_f64(compute.max(memory))
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_scales_with_flops() {
+        let p = PerfModel::v100();
+        let small = p.kernel_time(1e9, 1 << 10);
+        let big = p.kernel_time(1e12, 1 << 10);
+        assert!(big > small * 100);
+    }
+
+    #[test]
+    fn memory_bound_scales_with_bytes() {
+        let p = PerfModel::v100();
+        let small = p.kernel_time(0.0, 1 << 20);
+        let big = p.kernel_time(0.0, 1 << 30);
+        assert!(big > small * 100);
+    }
+
+    #[test]
+    fn launch_overhead_is_floor() {
+        let p = PerfModel::v100();
+        assert!(p.kernel_time(0.0, 0) >= p.launch_overhead);
+    }
+
+    #[test]
+    fn roofline_takes_the_max() {
+        let p = PerfModel::v100();
+        let t_mem = p.kernel_time(0.0, 1 << 30);
+        let t_both = p.kernel_time(1e6, 1 << 30);
+        assert_eq!(t_mem, t_both); // tiny flops hidden under memory time
+    }
+}

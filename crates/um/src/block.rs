@@ -1,0 +1,70 @@
+//! Per-UM-block driver state.
+
+use deepum_mem::PageMask;
+use deepum_sim::time::Ns;
+
+/// Driver bookkeeping for one UM block (up to 512 pages).
+///
+/// "Each UM block object contains the information of all pages in the UM
+/// block, such as which processor has the pages" (Section 2.3). The
+/// simulated driver additionally tracks when the block last migrated
+/// pages to the GPU (the NVIDIA eviction policy is least-recently-
+/// *migrated*), which pages arrived via prefetch and have not yet been
+/// touched (prefetch-accuracy accounting), and which pages belong to
+/// inactive PyTorch blocks and may be dropped without write-back
+/// (Section 5.2).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BlockState {
+    /// Pages of this block currently resident in GPU memory.
+    pub resident: PageMask,
+    /// Virtual time of the last host→device migration into this block.
+    pub last_migrated: Ns,
+    /// Resident pages that arrived via prefetch and have not been touched.
+    pub prefetched_untouched: PageMask,
+    /// Pages whose PT block is inactive: evicting them requires no
+    /// write-back (they are invalidated instead).
+    pub invalidatable: PageMask,
+    /// Pages whose current valid copy lives in host memory. A page that
+    /// is neither `resident` nor `host_valid` is *unpopulated*: its
+    /// first GPU touch populates device memory directly, with no PCIe
+    /// transfer (CUDA managed pages are allocated on first touch).
+    pub host_valid: PageMask,
+}
+
+impl BlockState {
+    /// Creates an empty (fully host-resident) block state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of GPU-resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.count()
+    }
+
+    /// True if no page of the block is on the GPU.
+    pub fn is_evicted(&self) -> bool {
+        self.resident.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_host_resident() {
+        let b = BlockState::new();
+        assert!(b.is_evicted());
+        assert_eq!(b.resident_pages(), 0);
+        assert_eq!(b.last_migrated, Ns::ZERO);
+    }
+
+    #[test]
+    fn residency_counts() {
+        let mut b = BlockState::new();
+        b.resident = PageMask::first_n(17);
+        assert_eq!(b.resident_pages(), 17);
+        assert!(!b.is_evicted());
+    }
+}

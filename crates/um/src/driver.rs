@@ -1,0 +1,691 @@
+//! The UM driver: fault handling, migration, and eviction.
+//!
+//! [`UmDriver`] implements the NVIDIA fault-handling pipeline of paper
+//! Figure 3. On its own it reproduces the **naive UM baseline** (every
+//! experiment's denominator): pages migrate on demand, evictions use the
+//! least-recently-migrated policy and sit on the fault-handling critical
+//! path. The hook points used by DeepUM are:
+//!
+//! * [`UmDriver::protected_set`] — blocks the eviction scan must avoid
+//!   (the pre-eviction victim filter, Section 5.1);
+//! * [`UmDriver::prefetch_into_gpu`] — block migration off the fault
+//!   path, charged to the compute-overlap budget;
+//! * [`UmDriver::preevict`] — eviction off the fault path (Section 5.1);
+//! * [`UmDriver::mark_invalidatable`] — pages of inactive PT blocks that
+//!   may be dropped without write-back (Section 5.2).
+
+use std::collections::HashMap;
+
+use deepum_gpu::fault::FaultEntry;
+use deepum_mem::{BlockNum, ByteRange, PageMask, PAGE_SIZE};
+use deepum_sim::costs::CostModel;
+use deepum_sim::metrics::Counters;
+use deepum_sim::time::Ns;
+
+use crate::block::BlockState;
+use crate::evict::{LruMigrated, SharedBlockSet};
+
+/// Which path a host→device migration took; determines counter
+/// attribution and prefetch-provenance tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigratePath {
+    /// On-demand, inside the fault handler (critical path).
+    Demand,
+    /// Issued by a prefetcher, overlapped with compute.
+    Prefetch,
+}
+
+/// Which path an eviction took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvictPath {
+    /// Inside the fault handler (step 4 of Fig. 3) — critical path.
+    Demand,
+    /// DeepUM pre-eviction — off the critical path.
+    Pre,
+}
+
+/// Cost of an eviction, split by resource.
+///
+/// Demand eviction runs synchronously inside the fault handler, so both
+/// components land on the GPU's critical path. Pre-eviction runs on the
+/// migration thread: the write-back rides the device→host DMA channel,
+/// which is full duplex with host→device prefetch traffic — the split
+/// lets DeepUM charge the two against separate budgets.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvictCost {
+    /// Driver bookkeeping (unmap, victim selection).
+    pub bookkeeping: Ns,
+    /// Device→host write-back transfer time.
+    pub writeback: Ns,
+}
+
+impl EvictCost {
+    /// Total serialized cost (critical-path view).
+    pub fn total(&self) -> Ns {
+        self.bookkeeping + self.writeback
+    }
+}
+
+/// The simulated NVIDIA UM driver for one GPU.
+///
+/// # Example
+///
+/// ```
+/// use deepum_sim::costs::CostModel;
+/// use deepum_um::driver::UmDriver;
+///
+/// let driver = UmDriver::new(CostModel::v100_32gb());
+/// assert_eq!(driver.free_pages(), driver.capacity_pages());
+/// ```
+#[derive(Debug)]
+pub struct UmDriver {
+    costs: CostModel,
+    capacity_pages: u64,
+    resident_pages: u64,
+    blocks: HashMap<BlockNum, BlockState>,
+    lru: LruMigrated,
+    protected: SharedBlockSet,
+    counters: Counters,
+}
+
+impl UmDriver {
+    /// Creates a driver for a device whose capacity comes from `costs`.
+    pub fn new(costs: CostModel) -> Self {
+        let capacity_pages = costs.device_memory_bytes / PAGE_SIZE as u64;
+        UmDriver {
+            costs,
+            capacity_pages,
+            resident_pages: 0,
+            blocks: HashMap::new(),
+            lru: LruMigrated::new(),
+            protected: SharedBlockSet::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Device capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Pages currently resident on the device.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident_pages
+    }
+
+    /// Pages of device memory still free.
+    pub fn free_pages(&self) -> u64 {
+        self.capacity_pages - self.resident_pages
+    }
+
+    /// The cost model in effect.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Snapshot of the driver's event counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Handle to the eviction-protected block set. Clones share state, so
+    /// DeepUM keeps one clone and updates it as predictions change.
+    pub fn protected_set(&self) -> SharedBlockSet {
+        self.protected.clone()
+    }
+
+    /// Subset of `pages` in `block` not resident on the device.
+    pub fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
+        match self.blocks.get(&block) {
+            Some(state) => pages.subtract(&state.resident),
+            None => *pages,
+        }
+    }
+
+    /// Subset of `pages` whose valid copy is on the host (these — and
+    /// only these — cost a PCIe transfer to migrate in; the rest of a
+    /// miss is unpopulated and populates on device for free).
+    pub fn host_valid(&self, block: BlockNum, pages: &PageMask) -> PageMask {
+        match self.blocks.get(&block) {
+            Some(state) => pages.intersect(&state.host_valid),
+            None => PageMask::empty(),
+        }
+    }
+
+    /// Resident-page mask of `block` (empty if never migrated).
+    pub fn resident_mask(&self, block: BlockNum) -> PageMask {
+        self.blocks
+            .get(&block)
+            .map(|s| s.resident)
+            .unwrap_or_else(PageMask::empty)
+    }
+
+    /// Records a successful device access: clears prefetch provenance
+    /// (those prefetches were useful).
+    pub fn touch(&mut self, _now: Ns, block: BlockNum, pages: &PageMask) {
+        if let Some(state) = self.blocks.get_mut(&block) {
+            let hits = state.prefetched_untouched.intersect(pages);
+            if !hits.is_empty() {
+                state.prefetched_untouched.subtract_with(&hits);
+                self.counters.prefetch_hits += hits.count() as u64;
+            }
+        }
+    }
+
+    /// Marks (`invalid = true`) or unmarks the pages of `range` as
+    /// belonging to an inactive PT block. Marked pages are dropped
+    /// without write-back when evicted (Section 5.2).
+    pub fn mark_invalidatable(&mut self, range: ByteRange, invalid: bool) {
+        for (block, mask) in range.block_footprints() {
+            let state = self.blocks.entry(block).or_default();
+            if invalid {
+                state.invalidatable.union_with(&mask);
+            } else {
+                state.invalidatable.subtract_with(&mask);
+            }
+        }
+    }
+
+    /// Forgets all driver state for `range`: its UM space was freed back
+    /// to the system (e.g. a cached PyTorch segment was released), so any
+    /// device residency is meaningless and is dropped without write-back.
+    pub fn release_range(&mut self, range: ByteRange) {
+        for (block, mask) in range.block_footprints() {
+            if let Some(state) = self.blocks.get_mut(&block) {
+                let dropped = state.resident.intersect(&mask);
+                if !dropped.is_empty() {
+                    let untouched = state.prefetched_untouched.intersect(&dropped);
+                    self.counters.prefetch_wasted += untouched.count() as u64;
+                    state.prefetched_untouched.subtract_with(&dropped);
+                    state.resident.subtract_with(&dropped);
+                    self.resident_pages -= dropped.count() as u64;
+                    if state.resident.is_empty() {
+                        self.lru.remove(block, state.last_migrated);
+                    }
+                }
+                state.invalidatable.subtract_with(&mask);
+                state.host_valid.subtract_with(&mask);
+            }
+        }
+    }
+
+    /// The Figure-3 fault-handling pipeline. Returns the GPU-visible
+    /// stall time. All faulted pages are resident afterwards.
+    pub fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+        if faults.is_empty() {
+            return Ns::ZERO;
+        }
+        self.counters.gpu_page_faults += faults.len() as u64;
+        self.counters.fault_batches += 1;
+
+        // (1) fetch from the fault buffer + (9) replay signal.
+        let mut cost = self.costs.fault_batch_overhead + self.costs.tlb_lock_stall;
+        // (2) preprocess: dedup + group by UM block, order preserved.
+        cost += self.costs.fault_entry_cost * faults.len() as u64;
+        let groups = group_faults(faults);
+        self.counters.faulted_blocks += groups.len() as u64;
+
+        // (3)-(8) per faulted UM block.
+        for (block, mask) in groups {
+            cost += self.costs.fault_block_overhead;
+            cost += self.migrate_into_gpu(now, block, &mask, MigratePath::Demand);
+        }
+        cost
+    }
+
+    /// Migrates `pages` of `block` to the device via `path`. Returns the
+    /// time the migration cost (the caller decides whether that time is
+    /// critical-path stall or overlapped).
+    pub fn migrate_into_gpu(
+        &mut self,
+        now: Ns,
+        block: BlockNum,
+        pages: &PageMask,
+        path: MigratePath,
+    ) -> Ns {
+        let missing = self.resident_miss(block, pages);
+        let count = missing.count() as u64;
+        if count == 0 {
+            return Ns::ZERO;
+        }
+
+        let mut cost = Ns::ZERO;
+        // (4) evict if no space (demand) — or make room for a prefetch.
+        if self.free_pages() < count {
+            let needed = count - self.free_pages();
+            let evict_path = match path {
+                MigratePath::Demand => EvictPath::Demand,
+                MigratePath::Prefetch => EvictPath::Pre,
+            };
+            cost += self.evict_to_free(now, needed, evict_path, Some(block)).total();
+        }
+        if self.free_pages() < count {
+            match path {
+                MigratePath::Demand => panic!(
+                    "device cannot hold {count} pages even after eviction \
+                     (capacity {} pages)",
+                    self.capacity_pages
+                ),
+                // Best-effort: everything evictable is predicted-in-use,
+                // so the prefetch is abandoned (the page will fault on
+                // demand instead).
+                MigratePath::Prefetch => {
+                    self.counters.prefetch_dropped += 1;
+                    return cost;
+                }
+            }
+        }
+
+        // (5) populate + (6) transfer + (7) map. Only pages whose valid
+        // copy lives on the host move over PCIe; unpopulated pages are
+        // allocated device-side on first touch (no transfer).
+        let transferable = self
+            .blocks
+            .get(&block)
+            .map(|s| missing.intersect(&s.host_valid))
+            .unwrap_or_else(PageMask::empty);
+        let bytes = transferable.count() as u64 * PAGE_SIZE as u64;
+        cost += self.costs.populate_page_cost * count;
+        cost += self.costs.transfer_time(bytes);
+        cost += self.costs.map_page_cost * count;
+
+        let state = self.blocks.entry(block).or_default();
+        let was_resident = !state.resident.is_empty();
+        let prev_key = if was_resident || !state.prefetched_untouched.is_empty() {
+            Some(state.last_migrated)
+        } else {
+            None
+        };
+        state.resident.union_with(&missing);
+        state.host_valid.subtract_with(&missing);
+        match path {
+            MigratePath::Demand => {
+                self.counters.pages_faulted_in += count;
+            }
+            MigratePath::Prefetch => {
+                state.prefetched_untouched.union_with(&missing);
+                self.counters.pages_prefetched += count;
+            }
+        }
+        let prev_key = if was_resident { prev_key } else { None };
+        state.last_migrated = now;
+        self.lru.record_migration(block, prev_key, now);
+        self.resident_pages += count;
+        self.counters.bytes_h2d += bytes;
+        cost
+    }
+
+    /// DeepUM prefetch entry point: migrate a whole-block page mask off
+    /// the fault path. Returns the migration cost to charge against the
+    /// compute-overlap budget.
+    pub fn prefetch_into_gpu(&mut self, now: Ns, block: BlockNum, pages: &PageMask) -> Ns {
+        self.migrate_into_gpu(now, block, pages, MigratePath::Prefetch)
+    }
+
+    /// DeepUM pre-eviction: evict least-recently-migrated unprotected
+    /// blocks until at least `target_free` pages are free. Returns the
+    /// split eviction cost: bookkeeping belongs on the migration
+    /// thread's CPU budget and the write-back on the device→host DMA
+    /// channel.
+    pub fn preevict(&mut self, now: Ns, target_free: u64) -> EvictCost {
+        let target_free = target_free.min(self.capacity_pages);
+        if self.free_pages() >= target_free {
+            return EvictCost::default();
+        }
+        let needed = target_free - self.free_pages();
+        self.evict_to_free(now, needed, EvictPath::Pre, None)
+    }
+
+    fn evict_to_free(
+        &mut self,
+        now: Ns,
+        needed: u64,
+        path: EvictPath,
+        exclude: Option<BlockNum>,
+    ) -> EvictCost {
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        // First pass: honour the protected set.
+        for (key, block) in self.lru.iter() {
+            if freed >= needed {
+                break;
+            }
+            if Some(block) == exclude || self.protected.contains(block) {
+                continue;
+            }
+            let pages = self.blocks[&block].resident.count() as u64;
+            if pages == 0 {
+                continue;
+            }
+            victims.push((key, block));
+            freed += pages;
+        }
+        // Second pass (demand only): correctness over prediction — if
+        // protected blocks are all that remain, evict them anyway (LRU
+        // order). Pre-eviction is best-effort and never touches blocks
+        // the predictor says are about to be used.
+        if freed < needed && path == EvictPath::Demand {
+            for (key, block) in self.lru.iter() {
+                if freed >= needed {
+                    break;
+                }
+                if Some(block) == exclude || victims.iter().any(|&(_, b)| b == block) {
+                    continue;
+                }
+                let pages = self.blocks[&block].resident.count() as u64;
+                if pages == 0 {
+                    continue;
+                }
+                victims.push((key, block));
+                freed += pages;
+            }
+        }
+
+        let mut cost = EvictCost::default();
+        for (key, block) in victims {
+            let c = self.evict_block(now, block, key, path);
+            cost.bookkeeping += c.bookkeeping;
+            cost.writeback += c.writeback;
+        }
+        cost
+    }
+
+    fn evict_block(&mut self, _now: Ns, block: BlockNum, lru_key: Ns, path: EvictPath) -> EvictCost {
+        let state = self.blocks.get_mut(&block).expect("victim block exists");
+        let resident = state.resident;
+        let count = resident.count() as u64;
+        debug_assert!(count > 0, "evicting empty block");
+
+        let wasted = state.prefetched_untouched.intersect(&resident);
+        self.counters.prefetch_wasted += wasted.count() as u64;
+
+        // Pages of inactive PT blocks are invalidated: no write-back.
+        let invalidated = resident.intersect(&state.invalidatable);
+        let writeback = resident.subtract(&invalidated);
+        let writeback_bytes = writeback.count() as u64 * PAGE_SIZE as u64;
+
+        state.resident = PageMask::empty();
+        state.prefetched_untouched = PageMask::empty();
+        state.host_valid.union_with(&writeback);
+        self.lru.remove(block, lru_key);
+        self.resident_pages -= count;
+
+        self.counters.pages_invalidated += invalidated.count() as u64;
+        match path {
+            EvictPath::Demand => {
+                self.counters.pages_evicted_demand += writeback.count() as u64
+            }
+            EvictPath::Pre => self.counters.pages_preevicted += writeback.count() as u64,
+        }
+        self.counters.bytes_d2h += writeback_bytes;
+
+        EvictCost {
+            bookkeeping: self.costs.evict_page_cost * count,
+            writeback: self.costs.transfer_time(writeback_bytes),
+        }
+    }
+}
+
+/// The naive UM baseline: the bare driver as a GPU memory backend.
+/// Pages migrate on demand, nothing is prefetched, nothing overlaps —
+/// the denominator of every speedup in the paper's evaluation.
+impl deepum_gpu::engine::UmBackend for UmDriver {
+    fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
+        UmDriver::resident_miss(self, block, pages)
+    }
+
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+        UmDriver::handle_faults(self, now, faults)
+    }
+
+    fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask) {
+        UmDriver::touch(self, now, block, pages)
+    }
+
+    fn overlap_compute(&mut self, _now: Ns, _dur: Ns) -> Ns {
+        Ns::ZERO
+    }
+
+    fn kernel_finished(&mut self, _now: Ns) {}
+}
+
+/// Deduplicates fault entries and groups them per UM block, preserving
+/// first-fault order of blocks (step 2 of Fig. 3).
+pub fn group_faults(faults: &[FaultEntry]) -> Vec<(BlockNum, PageMask)> {
+    let mut index: HashMap<BlockNum, usize> = HashMap::new();
+    let mut groups: Vec<(BlockNum, PageMask)> = Vec::new();
+    for f in faults {
+        let block = f.page.block();
+        let slot = *index.entry(block).or_insert_with(|| {
+            groups.push((block, PageMask::empty()));
+            groups.len() - 1
+        });
+        groups[slot].1.set(f.page.index_in_block());
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepum_gpu::fault::{AccessKind, SmId};
+    use deepum_mem::{PageNum, UmAddr, BLOCK_SIZE};
+
+    fn small_driver(capacity_blocks: u64) -> UmDriver {
+        let costs = CostModel::v100_32gb()
+            .with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
+        UmDriver::new(costs)
+    }
+
+    fn faults_for(block: u64, pages: core::ops::Range<usize>) -> Vec<FaultEntry> {
+        pages
+            .map(|i| FaultEntry {
+                page: BlockNum::new(block).page(i),
+                kind: AccessKind::Read,
+                sm: SmId(0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn faults_make_pages_resident() {
+        let mut d = small_driver(4);
+        let cost = d.handle_faults(Ns::ZERO, &faults_for(0, 0..100));
+        assert!(cost > Ns::ZERO);
+        assert_eq!(d.resident_pages(), 100);
+        assert!(d
+            .resident_miss(BlockNum::new(0), &PageMask::first_n(100))
+            .is_empty());
+        let c = d.counters();
+        assert_eq!(c.gpu_page_faults, 100);
+        assert_eq!(c.pages_faulted_in, 100);
+        assert_eq!(c.fault_batches, 1);
+        assert_eq!(c.faulted_blocks, 1);
+    }
+
+    #[test]
+    fn duplicate_faults_dedup_before_migration() {
+        let mut d = small_driver(4);
+        let mut faults = faults_for(0, 0..10);
+        faults.extend(faults_for(0, 0..10));
+        d.handle_faults(Ns::ZERO, &faults);
+        let c = d.counters();
+        assert_eq!(c.gpu_page_faults, 20); // raw entries counted
+        assert_eq!(c.pages_faulted_in, 10); // but migrated once
+    }
+
+    #[test]
+    fn group_faults_preserves_block_order() {
+        let mut faults = faults_for(3, 0..2);
+        faults.extend(faults_for(1, 0..2));
+        faults.extend(faults_for(3, 2..4));
+        let groups = group_faults(&faults);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, BlockNum::new(3));
+        assert_eq!(groups[0].1.count(), 4);
+        assert_eq!(groups[1].0, BlockNum::new(1));
+    }
+
+    #[test]
+    fn oversubscription_evicts_lru_migrated() {
+        let mut d = small_driver(2); // 2 blocks of device memory
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        assert_eq!(d.free_pages(), 0);
+        // Block 2 needs space: block 0 (least recently migrated) goes.
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        assert_eq!(d.resident_mask(BlockNum::new(1)).count(), 512);
+        assert_eq!(d.resident_mask(BlockNum::new(2)).count(), 512);
+        let c = d.counters();
+        assert_eq!(c.pages_evicted_demand, 512);
+        assert_eq!(c.bytes_d2h, 512 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn protected_blocks_survive_eviction_when_possible() {
+        let mut d = small_driver(2);
+        let protected = d.protected_set();
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        protected.insert(BlockNum::new(0)); // oldest, but protected
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+        // Block 1 was evicted instead of the protected block 0.
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
+        assert!(d.resident_mask(BlockNum::new(1)).is_empty());
+    }
+
+    #[test]
+    fn protection_yields_when_nothing_else_fits() {
+        let mut d = small_driver(1);
+        let protected = d.protected_set();
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        protected.insert(BlockNum::new(0));
+        // Only the protected block is resident; it must still be evicted.
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        assert_eq!(d.resident_mask(BlockNum::new(1)).count(), 512);
+    }
+
+    #[test]
+    fn invalidatable_pages_skip_writeback() {
+        let mut d = small_driver(1);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        // Mark the whole block as belonging to an inactive PT block.
+        d.mark_invalidatable(
+            ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64),
+            true,
+        );
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        let c = d.counters();
+        assert_eq!(c.pages_invalidated, 512);
+        assert_eq!(c.pages_evicted_demand, 0);
+        assert_eq!(c.bytes_d2h, 0);
+    }
+
+    #[test]
+    fn invalidation_can_be_cleared() {
+        let mut d = small_driver(1);
+        let range = ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64);
+        d.mark_invalidatable(range, true);
+        d.mark_invalidatable(range, false);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        assert_eq!(d.counters().pages_invalidated, 0);
+        assert_eq!(d.counters().pages_evicted_demand, 512);
+    }
+
+    #[test]
+    fn prefetch_tracks_hits_and_waste() {
+        let mut d = small_driver(2);
+        let mask = PageMask::first_n(512);
+        d.prefetch_into_gpu(Ns::from_nanos(1), BlockNum::new(0), &mask);
+        d.prefetch_into_gpu(Ns::from_nanos(2), BlockNum::new(1), &mask);
+        assert_eq!(d.counters().pages_prefetched, 1024);
+
+        // Block 0 gets touched (hit); block 1 never is.
+        d.touch(Ns::from_nanos(3), BlockNum::new(0), &mask);
+        assert_eq!(d.counters().prefetch_hits, 512);
+        // Evict both: block 0 first (LRU, already touched → no waste),
+        // then block 1 (untouched prefetch → counted as waste).
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512));
+        assert_eq!(d.counters().prefetch_wasted, 0);
+        d.handle_faults(Ns::from_nanos(5), &faults_for(3, 0..512));
+        assert_eq!(d.counters().prefetch_wasted, 512);
+    }
+
+    #[test]
+    fn preevict_frees_ahead_of_time() {
+        let mut d = small_driver(2);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        let cost = d.preevict(Ns::from_nanos(3), 512);
+        assert!(cost.total() > Ns::ZERO);
+        assert!(cost.writeback > Ns::ZERO);
+        assert_eq!(d.free_pages(), 512);
+        assert_eq!(d.counters().pages_preevicted, 512);
+        // Demand fault for a new block now needs no critical-path evict.
+        let before = d.counters().pages_evicted_demand;
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512));
+        assert_eq!(d.counters().pages_evicted_demand, before);
+    }
+
+    #[test]
+    fn preevict_noop_when_enough_free() {
+        let mut d = small_driver(2);
+        assert_eq!(d.preevict(Ns::ZERO, 512), EvictCost::default());
+    }
+
+    #[test]
+    fn touch_of_nonresident_block_is_harmless() {
+        let mut d = small_driver(2);
+        d.touch(Ns::ZERO, BlockNum::new(9), &PageMask::first_n(5));
+        assert_eq!(d.counters().prefetch_hits, 0);
+    }
+
+    #[test]
+    fn empty_fault_batch_is_free() {
+        let mut d = small_driver(2);
+        assert_eq!(d.handle_faults(Ns::ZERO, &[]), Ns::ZERO);
+        assert_eq!(d.counters().fault_batches, 0);
+    }
+
+    #[test]
+    fn remigration_updates_lru_position() {
+        let mut d = small_driver(2);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        // Remigrate part of block 0 is impossible (it's resident), but a
+        // new fault after eviction re-keys it. Instead, fault more pages
+        // of block 1? Both full. Re-fault block 0's pages after evicting:
+        // simplest check: migrate new pages into block 1 via prefetch.
+        // Block 1 currently full; migrating zero pages should not re-key.
+        let cost = d.prefetch_into_gpu(Ns::from_nanos(3), BlockNum::new(1), &PageMask::first_n(10));
+        assert_eq!(cost, Ns::ZERO);
+        // Block 0 still the LRU victim.
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512));
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+    }
+
+    #[test]
+    fn partial_block_faults() {
+        let mut d = small_driver(4);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 100..200));
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 100);
+        let miss = d.resident_miss(BlockNum::new(0), &PageMask::first_n(512));
+        assert_eq!(miss.count(), 412);
+    }
+
+    #[test]
+    fn fault_entry_page_block_mapping() {
+        // Guard against PageNum/BlockNum confusion: page 512 is block 1.
+        let f = FaultEntry {
+            page: PageNum::new(512),
+            kind: AccessKind::Read,
+            sm: SmId(0),
+        };
+        let groups = group_faults(&[f]);
+        assert_eq!(groups[0].0, BlockNum::new(1));
+        assert!(groups[0].1.get(0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Eviction ordering and the DeepUM protection hook.
+//!
+//! The NVIDIA driver evicts pages that were **least recently migrated**
+//! to the GPU (Section 5.1, citing Kim et al.). DeepUM keeps that
+//! ordering but additionally skips blocks "expected to be accessed by
+//! the currently executing kernel and the next N kernels predicted to
+//! execute". The prediction lives in `deepum-core`; this crate only sees
+//! it as a shared *protected set* of blocks consulted at victim-selection
+//! time.
+
+use std::collections::HashSet;
+use std::sync::{Arc, RwLock};
+
+use deepum_mem::BlockNum;
+use deepum_sim::time::Ns;
+
+/// A set of UM blocks the eviction scan must avoid, shared between the
+/// DeepUM prefetcher (writer) and the UM driver (reader).
+///
+/// # Example
+///
+/// ```
+/// use deepum_um::evict::SharedBlockSet;
+/// use deepum_mem::BlockNum;
+///
+/// let set = SharedBlockSet::new();
+/// set.insert(BlockNum::new(3));
+/// assert!(set.contains(BlockNum::new(3)));
+/// set.clear();
+/// assert!(!set.contains(BlockNum::new(3)));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SharedBlockSet {
+    inner: Arc<RwLock<HashSet<BlockNum>>>,
+}
+
+impl SharedBlockSet {
+    /// Creates an empty shared set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block to the set.
+    pub fn insert(&self, block: BlockNum) {
+        self.inner.write().expect("protected set poisoned").insert(block);
+    }
+
+    /// Removes a block from the set.
+    pub fn remove(&self, block: BlockNum) {
+        self.inner.write().expect("protected set poisoned").remove(&block);
+    }
+
+    /// Replaces the whole set in one write.
+    pub fn replace<I: IntoIterator<Item = BlockNum>>(&self, blocks: I) {
+        let mut guard = self.inner.write().expect("protected set poisoned");
+        guard.clear();
+        guard.extend(blocks);
+    }
+
+    /// Empties the set.
+    pub fn clear(&self) {
+        self.inner.write().expect("protected set poisoned").clear();
+    }
+
+    /// True if `block` is protected from eviction.
+    pub fn contains(&self, block: BlockNum) -> bool {
+        self.inner.read().expect("protected set poisoned").contains(&block)
+    }
+
+    /// Number of protected blocks.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("protected set poisoned").len()
+    }
+
+    /// True if nothing is protected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Least-recently-migrated ordering over blocks.
+///
+/// A `BTreeSet<(Ns, BlockNum)>` would also work; this type wraps it so
+/// re-keying on migration is a single call and the invariant (key matches
+/// the block's `last_migrated`) has one owner.
+#[derive(Debug, Default, Clone)]
+pub struct LruMigrated {
+    order: std::collections::BTreeSet<(Ns, BlockNum)>,
+}
+
+impl LruMigrated {
+    /// Creates an empty ordering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or re-keys `block` at migration time `at`.
+    pub fn record_migration(&mut self, block: BlockNum, previous: Option<Ns>, at: Ns) {
+        if let Some(prev) = previous {
+            self.order.remove(&(prev, block));
+        }
+        self.order.insert((at, block));
+    }
+
+    /// Removes a fully evicted block from the ordering.
+    pub fn remove(&mut self, block: BlockNum, keyed_at: Ns) {
+        self.order.remove(&(keyed_at, block));
+    }
+
+    /// Blocks in least-recently-migrated-first order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ns, BlockNum)> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Number of tracked blocks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no block is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_set_round_trip() {
+        let s = SharedBlockSet::new();
+        assert!(s.is_empty());
+        s.insert(BlockNum::new(1));
+        s.insert(BlockNum::new(2));
+        assert_eq!(s.len(), 2);
+        s.remove(BlockNum::new(1));
+        assert!(!s.contains(BlockNum::new(1)));
+        s.replace([BlockNum::new(9)]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(BlockNum::new(9)));
+    }
+
+    #[test]
+    fn shared_set_clones_share_state() {
+        let a = SharedBlockSet::new();
+        let b = a.clone();
+        a.insert(BlockNum::new(5));
+        assert!(b.contains(BlockNum::new(5)));
+    }
+
+    #[test]
+    fn lru_orders_by_migration_time() {
+        let mut lru = LruMigrated::new();
+        lru.record_migration(BlockNum::new(10), None, Ns::from_nanos(30));
+        lru.record_migration(BlockNum::new(20), None, Ns::from_nanos(10));
+        lru.record_migration(BlockNum::new(30), None, Ns::from_nanos(20));
+        let order: Vec<_> = lru.iter().map(|(_, b)| b.index()).collect();
+        assert_eq!(order, vec![20, 30, 10]);
+    }
+
+    #[test]
+    fn remigration_rekeys() {
+        let mut lru = LruMigrated::new();
+        lru.record_migration(BlockNum::new(1), None, Ns::from_nanos(1));
+        lru.record_migration(BlockNum::new(2), None, Ns::from_nanos(2));
+        lru.record_migration(BlockNum::new(1), Some(Ns::from_nanos(1)), Ns::from_nanos(3));
+        let order: Vec<_> = lru.iter().map(|(_, b)| b.index()).collect();
+        assert_eq!(order, vec![2, 1]);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn remove_drops_block() {
+        let mut lru = LruMigrated::new();
+        lru.record_migration(BlockNum::new(1), None, Ns::from_nanos(1));
+        lru.remove(BlockNum::new(1), Ns::from_nanos(1));
+        assert!(lru.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+//! Unified virtual address space allocation.
+//!
+//! Every GPU memory request in DeepUM is redirected to UM space
+//! (Section 3.1), whose capacity is bounded by *host* memory — that is
+//! what makes oversubscription work and what bounds the maximum batch
+//! size in Table 3. `UmSpace` is a page-granular first-fit allocator with
+//! a coalescing free list; allocations of a UM block (2 MiB) or more are
+//! block-aligned, matching how PyTorch's large-pool segments map onto UM
+//! blocks.
+
+use std::collections::BTreeMap;
+
+use deepum_mem::{ByteRange, UmAddr, BLOCK_SIZE, PAGE_SIZE};
+
+/// Error returned when a UM allocation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UmAllocError {
+    /// The backing store (host memory) cannot hold the request.
+    OutOfMemory {
+        /// Bytes requested (after page rounding).
+        requested: u64,
+        /// Bytes still available in the backing store.
+        available: u64,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroSize,
+}
+
+impl core::fmt::Display for UmAllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UmAllocError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "unified memory exhausted: requested {requested} bytes, {available} available"
+            ),
+            UmAllocError::ZeroSize => write!(f, "zero-byte allocation requested"),
+        }
+    }
+}
+
+impl std::error::Error for UmAllocError {}
+
+/// The unified memory address space and its backing-store budget.
+///
+/// # Example
+///
+/// ```
+/// use deepum_um::space::UmSpace;
+/// use deepum_mem::PAGE_SIZE;
+///
+/// let mut space = UmSpace::new(1 << 20); // 1 MiB backing store
+/// let a = space.alloc(10_000)?; // rounds up to 3 pages
+/// assert_eq!(a.len(), 3 * PAGE_SIZE as u64);
+/// space.free(a);
+/// assert_eq!(space.allocated_bytes(), 0);
+/// # Ok::<(), deepum_um::space::UmAllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct UmSpace {
+    capacity: u64,
+    allocated: u64,
+    /// High-water bump pointer; fresh VA comes from here.
+    next: u64,
+    /// Free extents `start -> len`, kept coalesced.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations `start -> len`, for validation on free.
+    live: BTreeMap<u64, u64>,
+}
+
+impl UmSpace {
+    /// Creates a UM space backed by `capacity` bytes of host memory.
+    pub fn new(capacity: u64) -> Self {
+        UmSpace {
+            capacity,
+            allocated: 0,
+            next: 0,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// Backing-store capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated (page-rounded).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes still allocatable.
+    pub fn available_bytes(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocates `bytes` of UM space, rounded up to whole pages.
+    /// Requests of one UM block or larger are aligned to a block
+    /// boundary; smaller requests are page-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UmAllocError::ZeroSize`] for `bytes == 0` and
+    /// [`UmAllocError::OutOfMemory`] when the backing store is exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Result<ByteRange, UmAllocError> {
+        if bytes == 0 {
+            return Err(UmAllocError::ZeroSize);
+        }
+        let size = round_up(bytes, PAGE_SIZE as u64);
+        if size > self.available_bytes() {
+            return Err(UmAllocError::OutOfMemory {
+                requested: size,
+                available: self.available_bytes(),
+            });
+        }
+        let align = if size >= BLOCK_SIZE as u64 {
+            BLOCK_SIZE as u64
+        } else {
+            PAGE_SIZE as u64
+        };
+
+        let start = match self.take_from_free(size, align) {
+            Some(start) => start,
+            None => {
+                let start = round_up(self.next, align);
+                if start > self.next {
+                    // The alignment gap becomes a free extent.
+                    self.insert_free(self.next, start - self.next);
+                }
+                self.next = start + size;
+                start
+            }
+        };
+
+        self.allocated += size;
+        self.live.insert(start, size);
+        Ok(ByteRange::new(UmAddr::new(start), size))
+    }
+
+    /// Returns an allocation to the space, coalescing free extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not a live allocation returned by
+    /// [`UmSpace::alloc`] (double free or corruption).
+    pub fn free(&mut self, range: ByteRange) {
+        let len = self
+            .live
+            .remove(&range.start().raw())
+            .expect("free of unknown UM range");
+        assert_eq!(len, range.len(), "free with mismatched length");
+        self.allocated -= len;
+        self.insert_free(range.start().raw(), len);
+    }
+
+    fn take_from_free(&mut self, size: u64, align: u64) -> Option<u64> {
+        // First fit: smallest start whose extent can host an aligned
+        // allocation of `size`.
+        let mut found = None;
+        for (&start, &len) in &self.free {
+            let aligned = round_up(start, align);
+            let pad = aligned - start;
+            if len >= pad + size {
+                found = Some((start, len, aligned, pad));
+                break;
+            }
+        }
+        let (start, len, aligned, pad) = found?;
+        self.free.remove(&start);
+        if pad > 0 {
+            self.free.insert(start, pad);
+        }
+        let tail = len - pad - size;
+        if tail > 0 {
+            self.free.insert(aligned + size, tail);
+        }
+        Some(aligned)
+    }
+
+    fn insert_free(&mut self, mut start: u64, mut len: u64) {
+        if len == 0 {
+            return;
+        }
+        // Coalesce with predecessor.
+        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+            debug_assert!(pstart + plen <= start, "overlapping free extents");
+            if pstart + plen == start {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&nstart, &nlen)) = self.free.range(start + len..).next() {
+            if start + len == nstart {
+                self.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Number of free extents (diagnostic; low is well-coalesced).
+    pub fn free_extents(&self) -> usize {
+        self.free.len()
+    }
+}
+
+fn round_up(v: u64, to: u64) -> u64 {
+    v.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_pages() {
+        let mut s = UmSpace::new(1 << 20);
+        let r = s.alloc(1).unwrap();
+        assert_eq!(r.len(), PAGE_SIZE as u64);
+        assert_eq!(s.allocated_bytes(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut s = UmSpace::new(1 << 20);
+        assert_eq!(s.alloc(0), Err(UmAllocError::ZeroSize));
+    }
+
+    #[test]
+    fn oom_when_capacity_exceeded() {
+        let mut s = UmSpace::new(2 * PAGE_SIZE as u64);
+        s.alloc(PAGE_SIZE as u64).unwrap();
+        let err = s.alloc(2 * PAGE_SIZE as u64).unwrap_err();
+        assert!(matches!(err, UmAllocError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn large_allocations_are_block_aligned() {
+        let mut s = UmSpace::new(1 << 30);
+        s.alloc(PAGE_SIZE as u64).unwrap();
+        let big = s.alloc(BLOCK_SIZE as u64).unwrap();
+        assert_eq!(big.start().raw() % BLOCK_SIZE as u64, 0);
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut s = UmSpace::new(1 << 20);
+        let a = s.alloc(4 * PAGE_SIZE as u64).unwrap();
+        let b = s.alloc(4 * PAGE_SIZE as u64).unwrap();
+        s.free(a);
+        let c = s.alloc(2 * PAGE_SIZE as u64).unwrap();
+        // c reuses the freed extent before bumping.
+        assert!(c.start() < b.start());
+        assert!(!c.overlaps(&b));
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut s = UmSpace::new(1 << 20);
+        let a = s.alloc(PAGE_SIZE as u64).unwrap();
+        let b = s.alloc(PAGE_SIZE as u64).unwrap();
+        let c = s.alloc(PAGE_SIZE as u64).unwrap();
+        s.free(a);
+        s.free(c);
+        assert_eq!(s.free_extents(), 2);
+        s.free(b);
+        assert_eq!(s.free_extents(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unknown UM range")]
+    fn double_free_panics() {
+        let mut s = UmSpace::new(1 << 20);
+        let a = s.alloc(PAGE_SIZE as u64).unwrap();
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn freeing_restores_capacity() {
+        let mut s = UmSpace::new(4 * PAGE_SIZE as u64);
+        let a = s.alloc(4 * PAGE_SIZE as u64).unwrap();
+        assert!(s.alloc(PAGE_SIZE as u64).is_err());
+        s.free(a);
+        assert!(s.alloc(4 * PAGE_SIZE as u64).is_ok());
+    }
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut s = UmSpace::new(1 << 24);
+        let mut live = Vec::new();
+        for i in 1..100u64 {
+            let r = s.alloc(i * 100).unwrap();
+            for other in &live {
+                assert!(!r.overlaps(other), "{r} overlaps {other}");
+            }
+            live.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Arbitrary alloc/free interleavings keep the space consistent:
+        /// no overlaps, exact accounting, and free always coalesces back
+        /// to a usable state.
+        #[test]
+        fn alloc_free_interleavings_stay_consistent(
+            ops in prop::collection::vec((prop::bool::ANY, 1u64..5_000_000), 1..60)
+        ) {
+            let mut s = UmSpace::new(256 << 20);
+            let mut live: Vec<ByteRange> = Vec::new();
+            let mut accounted = 0u64;
+            for (do_alloc, size) in ops {
+                if do_alloc || live.is_empty() {
+                    if let Ok(r) = s.alloc(size) {
+                        for other in &live {
+                            prop_assert!(!r.overlaps(other), "{r} overlaps {other}");
+                        }
+                        accounted += r.len();
+                        live.push(r);
+                    }
+                } else {
+                    let r = live.swap_remove((size as usize) % live.len());
+                    accounted -= r.len();
+                    s.free(r);
+                }
+                prop_assert_eq!(s.allocated_bytes(), accounted);
+                prop_assert!(s.allocated_bytes() <= s.capacity_bytes());
+            }
+            // Draining everything restores full capacity.
+            for r in live.drain(..) {
+                s.free(r);
+            }
+            prop_assert_eq!(s.allocated_bytes(), 0);
+            prop_assert!(s.alloc(200 << 20).is_ok());
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! PyTorch caching-allocator walkthrough (paper Section 5.2).
+//!
+//! Shows the allocator behaviours DeepUM's invalidation optimization
+//! depends on: pool selection, size rounding, block splitting, best-fit
+//! reuse, coalescing, the OOM cache flush — and the active/inactive
+//! notifications that tell the driver which pages can be dropped without
+//! write-back.
+//!
+//! Run with: `cargo run --example allocator_demo`
+
+use deepum::torch::alloc::{CachingAllocator, PtEvent};
+use deepum::um::space::UmSpace;
+
+fn show(events: &mut Vec<PtEvent>) {
+    for e in events.drain(..) {
+        match e {
+            PtEvent::Active(r) => println!("    -> driver: range {r} ACTIVE (clear invalidatable)"),
+            PtEvent::Inactive(r) => println!("    -> driver: range {r} INACTIVE (evict = drop)"),
+            PtEvent::Released(r) => println!("    -> driver: range {r} RELEASED (cudaFree)"),
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut source = UmSpace::new(128 << 20);
+    let mut alloc = CachingAllocator::new();
+    let mut ev = Vec::new();
+
+    println!("1) small allocation (100 KiB): rounds to 512 B multiples, 2 MiB segment");
+    let (small, r) = alloc.alloc(100 << 10, &mut source, &mut ev)?;
+    println!("    got {} KiB at {r}", r.len() >> 10);
+    show(&mut ev);
+    println!(
+        "    reserved {} MiB (cached {} MiB)\n",
+        alloc.reserved_bytes() >> 20,
+        alloc.cached_bytes() >> 20
+    );
+
+    println!("2) mid-size allocation (6 MiB): served from a 20 MiB segment, split");
+    let (mid, r) = alloc.alloc(6 << 20, &mut source, &mut ev)?;
+    println!("    got {} MiB at {r}", r.len() >> 20);
+    show(&mut ev);
+    println!("    inactive blocks cached: {}\n", alloc.inactive_blocks());
+
+    println!("3) free + realloc: best-fit reuses the cached remainder");
+    alloc.free(mid, &mut ev);
+    show(&mut ev);
+    let (mid2, r2) = alloc.alloc(5 << 20, &mut source, &mut ev)?;
+    println!("    5 MiB request landed at {r2} (same segment)");
+    show(&mut ev);
+
+    println!("\n4) coalescing: free everything, the 20 MiB segment reassembles");
+    alloc.free(mid2, &mut ev);
+    alloc.free(small, &mut ev);
+    ev.clear();
+    println!(
+        "    inactive blocks: {} (one per segment)",
+        alloc.inactive_blocks()
+    );
+
+    println!("\n5) OOM recovery: a 120 MiB request forces a cache flush first");
+    let (big, r) = alloc.alloc(120 << 20, &mut source, &mut ev)?;
+    println!("    got {} MiB at {r}", r.len() >> 20);
+    show(&mut ev);
+    alloc.free(big, &mut ev);
+    ev.clear();
+
+    println!("\nfinal: reserved {} MiB, active {} MiB", alloc.reserved_bytes() >> 20, alloc.active_bytes() >> 20);
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Correlation-table explorer: watch DeepUM learn a training loop.
+//!
+//! Builds a tiny hand-written "model" with an obvious repeating pattern,
+//! trains it for a few iterations under DeepUM, and dumps what the
+//! correlation machinery learned: the execution-ID records (paper
+//! Fig. 6), each kernel's UM-block table with its start/end anchors
+//! (Fig. 7), and the resulting next-kernel prediction accuracy.
+//!
+//! Run with: `cargo run --example correlation_explorer`
+
+use deepum::baselines::executor::um::{run_um, UmRunConfig};
+use deepum::core::config::DeepumConfig;
+use deepum::core::driver::DeepumDriver;
+use deepum::runtime::exec_table::ExecId;
+use deepum::sim::costs::CostModel;
+use deepum::torch::perf::PerfModel;
+use deepum::torch::step::{Workload, WorkloadBuilder};
+
+/// Three kernels in a loop; each reads the previous one's output plus a
+/// weight matrix — a miniature of a DNN layer pipeline.
+fn toy_model() -> Workload {
+    let mut b = WorkloadBuilder::new("toy-pipeline/b1", "toy-pipeline", 1);
+    let w: Vec<_> = (0..3).map(|_| b.persistent(24 << 20)).collect();
+    let mut x = b.alloc(16 << 20);
+    b.kernel("load").writes(&[x]).flops(1e6).launch();
+    for (i, &wi) in w.iter().enumerate() {
+        let y = b.alloc(16 << 20);
+        b.kernel(format!("layer{i}"))
+            .reads(&[x, wi])
+            .writes(&[y])
+            .flops(5e9)
+            .launch();
+        b.free(x);
+        x = y;
+    }
+    b.free(x);
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = toy_model();
+    // Device holds only half the ~140 MiB working set, so blocks cycle.
+    let costs = CostModel::v100_32gb()
+        .with_device_memory(64 << 20)
+        .with_host_memory(1 << 30);
+    let cfg = UmRunConfig {
+        iterations: 5,
+        costs: costs.clone(),
+        perf: PerfModel::v100(),
+        seed: 7,
+    };
+    let mut driver = DeepumDriver::new(costs, DeepumConfig::default().with_prefetch_degree(2));
+    let report = run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters())?;
+
+    println!("=== execution-ID correlation table (Fig. 6) ===");
+    let exec_corr = driver.exec_correlation();
+    for id in 0..driver.block_table_count() as u32 {
+        let records = exec_corr.records_of(ExecId(id));
+        if records.is_empty() {
+            continue;
+        }
+        print!("exec#{id}: ");
+        for r in records {
+            let ctx: Vec<String> = r
+                .prev
+                .iter()
+                .map(|e| {
+                    if e.0 == u32::MAX {
+                        "-".into()
+                    } else {
+                        e.0.to_string()
+                    }
+                })
+                .collect();
+            print!("({}, next={})  ", ctx.join(","), r.next.0);
+        }
+        println!();
+    }
+
+    println!("\n=== UM-block correlation tables (Fig. 7) ===");
+    for id in 0..driver.block_table_count() as u32 {
+        let Some(table) = driver.block_table(ExecId(id)) else {
+            continue;
+        };
+        let (rows, assoc, succs) = table.geometry();
+        println!(
+            "exec#{id}: geometry {rows}x{assoc}way x{succs}succ, start={:?}, end={:?}, {} ways used",
+            table.start().map(|b| b.index()),
+            table.end().map(|b| b.index()),
+            table.occupied_ways()
+        );
+        if let Some(start) = table.start() {
+            let succ: Vec<u64> = table.successors(start).iter().map(|b| b.index()).collect();
+            println!("    successors(start) = {succ:?}");
+        }
+    }
+
+    let c = report.counters;
+    println!("\n=== outcome over {} iterations ===", report.iters.len());
+    println!("next-kernel predictions: {} ({} wrong)", c.exec_predictions, c.exec_mispredictions);
+    println!("pages prefetched: {} (hits {})", c.pages_prefetched, c.prefetch_hits);
+    for (i, it) in report.iters.iter().enumerate() {
+        println!(
+            "iteration {i}: {} elapsed, {} faults",
+            it.elapsed, it.counters.gpu_page_faults
+        );
+    }
+    println!(
+        "\ncorrelation state memory: {} KiB (Table 4 accounting)",
+        driver.table_memory_bytes() >> 10
+    );
+    Ok(())
+}

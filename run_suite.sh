@@ -1,0 +1,23 @@
+#!/bin/bash
+# Regenerates the paper artifacts. Cheap experiments first; the shared
+# run cache under results/cache lets later binaries reuse earlier runs.
+# Heavy sensitivity sweeps (Figs 10-12) run restricted passes first so
+# partial results land early; the unrestricted passes follow.
+set -x
+cd "$(dirname "$0")"
+B="cargo run -q --release -p deepum-bench --bin"
+$B table08_qualitative 2>&1
+$B fig09_speedup -- --iters 2 2>&1
+$B table05_faults -- --iters 2 2>&1
+$B table04_table_size -- --iters 2 2>&1
+$B table03_max_batch 2>&1
+$B fig13_tf_compare -- --iters 2 2>&1
+$B table07_tf_max_batch 2>&1
+$B fig10_ablation -- --iters 2 --only bert-large 2>&1
+$B fig10_ablation -- --iters 2 --only gpt2 2>&1
+$B fig10_ablation -- --iters 2 2>&1
+$B fig11_degree -- --iters 2 --only gpt2-l 2>&1
+$B fig11_degree -- --iters 2 2>&1
+$B fig12_table_params -- --iters 2 --only bert-large 2>&1
+$B fig12_table_params -- --iters 2 2>&1
+echo SUITE-COMPLETE

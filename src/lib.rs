@@ -1,0 +1,59 @@
+//! # DeepUM — a reproduction of *DeepUM: Tensor Migration and Prefetching
+//! in Unified Memory* (ASPLOS '23)
+//!
+//! DeepUM lets deep-learning training oversubscribe GPU memory through
+//! CUDA Unified Memory, hiding the page-fault cost with a correlation
+//! prefetcher that memorizes the repeated kernel-launch and page-access
+//! patterns of DNN training, plus two fault-handling optimizations
+//! (page pre-eviction and invalidation of inactive PyTorch blocks).
+//!
+//! This crate is a **full-system reproduction in pure Rust**: since the
+//! original runs against an NVIDIA GPU, the CUDA driver, and PyTorch,
+//! every one of those substrates is reimplemented as a deterministic
+//! simulation (see `DESIGN.md` for the substitution map):
+//!
+//! * [`sim`] — virtual clock, V100 cost model, energy meter, counters;
+//! * [`mem`] — pages, 2 MiB UM blocks, ranges, page masks;
+//! * [`gpu`] — fault buffer, kernel launches, the execution engine;
+//! * [`um`] — the NVIDIA UM driver: Fig.-3 fault pipeline, eviction,
+//!   migration;
+//! * [`runtime`] — CUDA interposition and the execution-ID table;
+//! * [`core`] — **the paper's contribution**: correlation tables,
+//!   chaining prefetcher, pre-eviction, invalidation;
+//! * [`torch`] — mini-PyTorch: caching allocator and the nine DNN
+//!   workload generators of Table 2;
+//! * [`baselines`] — IBM LMS, vDNN, AutoTM, SwapAdvisor, Capuchin,
+//!   Sentinel, and the executors that drive everything.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deepum::{Session, SystemKind};
+//! use deepum::torch::models::ModelKind;
+//!
+//! // A small model, heavily oversubscribed: device memory is ~40% of
+//! // the working set.
+//! let session = Session::new(ModelKind::MobileNet, 48)
+//!     .iterations(3)
+//!     .device_memory(48 << 20)
+//!     .host_memory(8 << 30);
+//!
+//! let um = session.run(SystemKind::Um)?;
+//! let deepum = session.run(SystemKind::DeepUm)?;
+//! assert!(deepum.steady_iter_time() < um.steady_iter_time());
+//! println!("speedup over naive UM: {:.2}x", deepum.speedup_over(&um));
+//! # Ok::<(), deepum::baselines::report::RunError>(())
+//! ```
+
+pub use deepum_baselines as baselines;
+pub use deepum_core as core;
+pub use deepum_gpu as gpu;
+pub use deepum_mem as mem;
+pub use deepum_runtime as runtime;
+pub use deepum_sim as sim;
+pub use deepum_torch as torch;
+pub use deepum_um as um;
+
+pub mod session;
+
+pub use session::{Session, SystemKind};

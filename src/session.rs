@@ -1,0 +1,225 @@
+//! High-level one-stop API: pick a model, a platform, and a memory
+//! system; get a [`RunReport`].
+
+use deepum_baselines::report::{RunError, RunReport};
+use deepum_baselines::suite::{run_system, RunParams, System};
+use deepum_core::config::DeepumConfig;
+use deepum_sim::costs::CostModel;
+use deepum_torch::models::ModelKind;
+use deepum_torch::perf::PerfModel;
+use deepum_torch::step::Workload;
+
+/// Which memory system a [`Session`] run uses.
+///
+/// A simplified, `Copy` surface over
+/// [`deepum_baselines::suite::System`]; use
+/// [`Session::run_configured`] for a custom [`DeepumConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Naive CUDA UM without prefetching.
+    Um,
+    /// DeepUM with its default configuration.
+    DeepUm,
+    /// Infinite-memory upper bound.
+    Ideal,
+    /// IBM Large Model Support.
+    Lms,
+    /// LMS with periodic cache flushes.
+    LmsMod,
+    /// vDNN (CNNs only).
+    Vdnn,
+    /// AutoTM.
+    AutoTm,
+    /// SwapAdvisor.
+    SwapAdvisor,
+    /// Capuchin.
+    Capuchin,
+    /// Sentinel.
+    Sentinel,
+}
+
+impl From<SystemKind> for System {
+    fn from(kind: SystemKind) -> System {
+        match kind {
+            SystemKind::Um => System::Um,
+            SystemKind::DeepUm => System::deepum(),
+            SystemKind::Ideal => System::Ideal,
+            SystemKind::Lms => System::Lms,
+            SystemKind::LmsMod => System::LmsMod,
+            SystemKind::Vdnn => System::Vdnn,
+            SystemKind::AutoTm => System::AutoTm,
+            SystemKind::SwapAdvisor => System::SwapAdvisor,
+            SystemKind::Capuchin => System::Capuchin,
+            SystemKind::Sentinel => System::Sentinel,
+        }
+    }
+}
+
+/// A configured experiment: model + batch + platform + iteration count.
+///
+/// Construct with [`Session::new`], adjust with the builder methods, and
+/// execute with [`Session::run`]. The same session can run multiple
+/// systems for direct comparison; each run is independent and
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use deepum::{Session, SystemKind};
+/// use deepum::torch::models::ModelKind;
+///
+/// let report = Session::new(ModelKind::MobileNet, 16)
+///     .iterations(2)
+///     .device_memory(256 << 20)
+///     .run(SystemKind::DeepUm)?;
+/// assert_eq!(report.iters.len(), 2);
+/// # Ok::<(), deepum::baselines::report::RunError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    model: ModelKind,
+    batch: usize,
+    iterations: usize,
+    costs: CostModel,
+    perf: PerfModel,
+    seed: u64,
+}
+
+impl Session {
+    /// Creates a session for `model` at `batch` on the paper's primary
+    /// platform (V100 32 GB, 512 GB host), three iterations.
+    pub fn new(model: ModelKind, batch: usize) -> Self {
+        Session {
+            model,
+            batch,
+            iterations: 3,
+            costs: CostModel::v100_32gb(),
+            perf: PerfModel::v100(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sets the number of training iterations (first is cold).
+    pub fn iterations(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one iteration");
+        self.iterations = n;
+        self
+    }
+
+    /// Sets GPU device memory capacity in bytes.
+    pub fn device_memory(mut self, bytes: u64) -> Self {
+        self.costs.device_memory_bytes = bytes;
+        self
+    }
+
+    /// Sets host (UM backing store) capacity in bytes.
+    pub fn host_memory(mut self, bytes: u64) -> Self {
+        self.costs.host_memory_bytes = bytes;
+        self
+    }
+
+    /// Replaces the whole platform cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Replaces the kernel-time model.
+    pub fn perf(mut self, perf: PerfModel) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    /// Sets the workload randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the workload this session runs.
+    pub fn workload(&self) -> Workload {
+        self.model.build(self.batch)
+    }
+
+    /// Runs the session under `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::OutOfMemory`] when the system cannot hold the
+    /// workload; [`RunError::Unsupported`] when it cannot run the model
+    /// at all (e.g. vDNN on a transformer).
+    pub fn run(&self, kind: SystemKind) -> Result<RunReport, RunError> {
+        self.run_system(&kind.into())
+    }
+
+    /// Runs DeepUM with a custom configuration (ablations, sweeps).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn run_configured(&self, config: DeepumConfig) -> Result<RunReport, RunError> {
+        self.run_system(&System::DeepUm(config))
+    }
+
+    fn run_system(&self, system: &System) -> Result<RunReport, RunError> {
+        let params = RunParams {
+            costs: self.costs.clone(),
+            perf: self.perf.clone(),
+            iters: self.iterations,
+            seed: self.seed,
+        };
+        run_system(system, &self.workload(), &params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Session {
+        Session::new(ModelKind::MobileNet, 8)
+            .iterations(2)
+            .device_memory(256 << 20)
+            .host_memory(8 << 30)
+    }
+
+    #[test]
+    fn session_runs_all_kinds() {
+        let s = small();
+        for kind in [
+            SystemKind::Um,
+            SystemKind::DeepUm,
+            SystemKind::Ideal,
+            SystemKind::Lms,
+            SystemKind::Sentinel,
+        ] {
+            let r = s.run(kind).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(r.iters.len(), 2);
+        }
+    }
+
+    #[test]
+    fn custom_config_runs() {
+        let r = small()
+            .run_configured(DeepumConfig::prefetch_only())
+            .unwrap();
+        assert_eq!(r.system, "deepum");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let s = small();
+        let a = s.run(SystemKind::DeepUm).unwrap();
+        let b = s.run(SystemKind::DeepUm).unwrap();
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn different_seed_changes_nothing_for_dense_models() {
+        // MobileNet has no data-dependent gathers; seeds are inert.
+        let a = small().seed(1).run(SystemKind::Um).unwrap();
+        let b = small().seed(2).run(SystemKind::Um).unwrap();
+        assert_eq!(a.total, b.total);
+    }
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration: the whole stack (workload generator → caching
+//! allocator → CUDA interposition → GPU engine → UM driver → DeepUM)
+//! driven through the public `Session` API.
+
+use deepum::baselines::report::RunError;
+use deepum::core::config::DeepumConfig;
+use deepum::torch::models::ModelKind;
+use deepum::{Session, SystemKind};
+
+/// A small oversubscribed session that runs in a few seconds in debug.
+fn oversubscribed() -> Session {
+    Session::new(ModelKind::MobileNet, 48)
+        .iterations(3)
+        .device_memory(64 << 20)
+        .host_memory(8 << 30)
+}
+
+/// Modest look-ahead fits this 87-kernel stream.
+fn tuned() -> DeepumConfig {
+    DeepumConfig::default().with_prefetch_degree(16)
+}
+
+#[test]
+fn deepum_outperforms_naive_um() {
+    let s = oversubscribed();
+    let um = s.run(SystemKind::Um).unwrap();
+    let dm = s.run_configured(tuned()).unwrap();
+    assert!(
+        dm.steady_iter_time() < um.steady_iter_time(),
+        "deepum {} vs um {}",
+        dm.steady_iter_time(),
+        um.steady_iter_time()
+    );
+    assert!(dm.counters.pages_prefetched > 0);
+    assert!(dm.counters.prefetch_hits > 0);
+    assert!(dm.counters.pages_invalidated > 0);
+}
+
+#[test]
+fn ideal_bounds_everything() {
+    let s = oversubscribed();
+    let ideal = s.run(SystemKind::Ideal).unwrap();
+    for kind in [SystemKind::Um, SystemKind::Lms, SystemKind::AutoTm] {
+        let r = s.run(kind).unwrap();
+        assert!(
+            ideal.steady_iter_time() <= r.steady_iter_time(),
+            "{:?} beat ideal",
+            kind
+        );
+    }
+}
+
+#[test]
+fn full_runs_are_deterministic() {
+    let s = oversubscribed();
+    let a = s.run_configured(tuned()).unwrap();
+    let b = s.run_configured(tuned()).unwrap();
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.energy_joules, b.energy_joules);
+    assert_eq!(a.counters, b.counters);
+    for (x, y) in a.iters.iter().zip(&b.iters) {
+        assert_eq!(x.elapsed, y.elapsed);
+        assert_eq!(x.counters, y.counters);
+    }
+}
+
+#[test]
+fn ablation_layers_stack() {
+    // Each optimization may only help (within a small tolerance for
+    // scheduling noise): UM >= prefetch >= +preevict >= +invalidate.
+    let s = oversubscribed();
+    let um = s.run(SystemKind::Um).unwrap().steady_iter_time();
+    let p = s
+        .run_configured(DeepumConfig::prefetch_only().with_prefetch_degree(16))
+        .unwrap()
+        .steady_iter_time();
+    let pe = s
+        .run_configured(DeepumConfig::prefetch_preevict().with_prefetch_degree(16))
+        .unwrap()
+        .steady_iter_time();
+    let all = s.run_configured(tuned()).unwrap().steady_iter_time();
+
+    let tol = |t: deepum::sim::time::Ns| t.scale(1.05);
+    assert!(p <= tol(um), "prefetch {p} vs um {um}");
+    assert!(pe <= tol(p), "preevict {pe} vs prefetch {p}");
+    assert!(all <= tol(pe), "invalidate {all} vs preevict {pe}");
+}
+
+#[test]
+fn steady_state_is_stable() {
+    // Once the schedule is learned, iteration times settle: the last
+    // iteration stays within noise of the second. (The *first* iteration
+    // can legitimately be the cheapest on the UM path — first touches of
+    // unpopulated pages populate device-side without PCIe transfers.)
+    let s = oversubscribed();
+    for kind in [SystemKind::Um, SystemKind::Lms, SystemKind::Sentinel] {
+        let r = s.run(kind).unwrap();
+        let second = r.iters[1].elapsed;
+        let last = r.iters.last().unwrap().elapsed;
+        assert!(
+            last <= second.scale(1.15),
+            "{kind:?}: last {last} vs second {second}"
+        );
+    }
+}
+
+#[test]
+fn energy_tracks_runtime() {
+    let s = oversubscribed();
+    let um = s.run(SystemKind::Um).unwrap();
+    let dm = s.run_configured(tuned()).unwrap();
+    // DeepUM finishes faster and burns less total energy (Fig. 9(c)).
+    assert!(dm.energy_joules < um.energy_joules);
+}
+
+#[test]
+fn vdnn_runs_cnns_but_not_transformers() {
+    let cnn = Session::new(ModelKind::MobileNet, 8)
+        .iterations(1)
+        .device_memory(256 << 20)
+        .host_memory(4 << 30);
+    assert!(cnn.run(SystemKind::Vdnn).is_ok());
+
+    let bert = Session::new(ModelKind::BertBase, 1)
+        .iterations(1)
+        .device_memory(8 << 30)
+        .host_memory(32 << 30);
+    assert!(matches!(
+        bert.run(SystemKind::Vdnn),
+        Err(RunError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn um_oversubscription_succeeds_where_memory_is_short() {
+    // The working set (~115 MiB) exceeds device memory 3x; UM still
+    // completes because pages migrate on demand.
+    let s = Session::new(ModelKind::MobileNet, 48)
+        .iterations(1)
+        .device_memory(40 << 20)
+        .host_memory(8 << 30);
+    let r = s.run(SystemKind::Um).unwrap();
+    assert!(r.counters.gpu_page_faults > 0);
+    assert!(r.counters.pages_evicted() > 0);
+}
+
+#[test]
+fn host_memory_bounds_um_allocation() {
+    let s = Session::new(ModelKind::MobileNet, 48)
+        .iterations(1)
+        .device_memory(40 << 20)
+        .host_memory(32 << 20); // smaller than the working set
+    assert!(matches!(
+        s.run(SystemKind::Um),
+        Err(RunError::OutOfMemory(_))
+    ));
+}
+
+#[test]
+fn tensor_swapping_systems_report_zero_faults() {
+    let s = oversubscribed();
+    for kind in [SystemKind::Lms, SystemKind::Capuchin, SystemKind::Sentinel] {
+        let r = s.run(kind).unwrap();
+        assert_eq!(r.counters.gpu_page_faults, 0, "{kind:?}");
+        assert!(r.counters.bytes_h2d > 0, "{kind:?} must swap data in");
+    }
+}
+
+#[test]
+fn dlrm_gathers_resist_prefetching() {
+    // The paper's DLRM result: irregular embedding lookups defeat
+    // correlation prefetching — DeepUM's fault reduction is marginal
+    // compared to a regular CNN at similar oversubscription.
+    let dlrm = Session::new(ModelKind::Dlrm, 512)
+        .iterations(3)
+        .device_memory(24 << 30)
+        .host_memory(64 << 30);
+    let um = dlrm.run(SystemKind::Um).unwrap();
+    let dm = dlrm.run(SystemKind::DeepUm).unwrap();
+    // DeepUM never does *worse* than ~UM, but the win stays small.
+    let speedup = dm.speedup_over(&um);
+    assert!(speedup < 1.5, "DLRM speedup unexpectedly large: {speedup}");
+}

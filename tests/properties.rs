@@ -1,0 +1,128 @@
+//! Property-based integration tests: randomly generated workloads and
+//! platform shapes must never break the stack's invariants.
+
+use deepum::baselines::executor::um::{run_um, UmRunConfig};
+use deepum::baselines::naive::NaiveUm;
+use deepum::core::config::DeepumConfig;
+use deepum::core::driver::DeepumDriver;
+use deepum::gpu::engine::UmBackend as _;
+use deepum::sim::costs::CostModel;
+use deepum::torch::perf::PerfModel;
+use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
+use proptest::prelude::*;
+
+/// Builds a random-but-valid layered workload: `layers` kernels, each
+/// reading the previous activation and one weight, with sizes drawn from
+/// `sizes_kb`.
+fn build_workload(layers: usize, sizes_kb: &[u64]) -> Workload {
+    let mut b = WorkloadBuilder::new("prop/b1", "prop", 1);
+    let weights: Vec<TensorId> = sizes_kb
+        .iter()
+        .map(|&kb| b.persistent((kb + 1) << 10))
+        .collect();
+    let mut x = b.alloc(256 << 10);
+    b.kernel("load").writes(&[x]).flops(1e6).launch();
+    for i in 0..layers {
+        let w = weights[i % weights.len()];
+        let y = b.alloc(((sizes_kb[i % sizes_kb.len()] + 1) << 10).max(4096));
+        b.kernel(format!("layer{i}"))
+            .args(&[i as u64])
+            .reads(&[x, w])
+            .writes(&[y])
+            .flops(1e8)
+            .launch();
+        b.free(x);
+        x = y;
+    }
+    b.free(x);
+    let w = b.build();
+    w.validate().expect("generated workload is valid");
+    w
+}
+
+fn platform(device_kb: u64) -> CostModel {
+    CostModel::v100_32gb()
+        .with_device_memory((device_kb << 10).max(8 << 20))
+        .with_host_memory(1 << 30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DeepUM completes any layered workload on any (sane) device size,
+    /// and its counters stay internally consistent.
+    #[test]
+    fn deepum_never_breaks_on_random_workloads(
+        layers in 2usize..12,
+        sizes_kb in prop::collection::vec(64u64..4096, 1..5),
+        device_mb in 8u64..64,
+        degree in 1usize..64,
+    ) {
+        let workload = build_workload(layers, &sizes_kb);
+        let costs = platform(device_mb << 10);
+        let cfg = UmRunConfig {
+            iterations: 2,
+            costs: costs.clone(),
+            perf: PerfModel::v100(),
+            seed: 7,
+        };
+        let dcfg = DeepumConfig::default().with_prefetch_degree(degree);
+        let mut driver = DeepumDriver::new(costs.clone(), dcfg);
+        let report = run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters()).unwrap();
+
+        // Residency never exceeds device capacity.
+        prop_assert!(driver.um().resident_pages() <= driver.um().capacity_pages());
+        let c = report.counters;
+        // Hits + waste never exceed what was prefetched.
+        prop_assert!(c.prefetch_hits + c.prefetch_wasted <= c.pages_prefetched);
+        // PCIe traffic never exceeds the pages made resident (first-touch
+        // populations are free).
+        prop_assert!(c.bytes_h2d <= (c.pages_faulted_in + c.pages_prefetched) * 4096);
+        // Mispredictions are a subset of predictions.
+        prop_assert!(c.exec_mispredictions <= c.exec_predictions);
+        // Virtual time advanced and is the sum of the iterations.
+        let sum: deepum::sim::time::Ns = report.iters.iter().map(|i| i.elapsed).sum();
+        prop_assert_eq!(sum, report.total);
+    }
+
+    /// Naive UM and DeepUM agree on what was computed (same kernels, same
+    /// compute time) even though their memory traffic differs.
+    #[test]
+    fn um_and_deepum_compute_the_same_work(
+        layers in 2usize..8,
+        device_mb in 8u64..32,
+    ) {
+        let workload = build_workload(layers, &[512, 1024]);
+        let costs = platform(device_mb << 10);
+        let cfg = UmRunConfig { iterations: 2, costs: costs.clone(), perf: PerfModel::v100(), seed: 7 };
+
+        let mut um = NaiveUm::new(costs.clone());
+        let um_r = run_um(&workload, &mut um, "um", &cfg, |b| b.counters()).unwrap();
+        let mut dm = DeepumDriver::new(costs, DeepumConfig::default());
+        let dm_r = run_um(&workload, &mut dm, "deepum", &cfg, |d| d.counters()).unwrap();
+
+        prop_assert_eq!(um_r.counters.kernels_launched, workload.kernel_count() as u64 * 2);
+        for (a, b) in um_r.iters.iter().zip(&dm_r.iters) {
+            prop_assert_eq!(a.compute, b.compute);
+        }
+        // DeepUM never loses to UM by more than scheduling noise.
+        prop_assert!(dm_r.total <= um_r.total.scale(1.10));
+    }
+
+    /// After a run, the DeepUM driver's UM state is still sane enough to
+    /// answer residency queries for arbitrary blocks.
+    #[test]
+    fn residency_queries_are_total(
+        layers in 2usize..6,
+        probe in 0u64..10_000,
+    ) {
+        let workload = build_workload(layers, &[256]);
+        let costs = platform(16 << 10);
+        let cfg = UmRunConfig { iterations: 1, costs: costs.clone(), perf: PerfModel::v100(), seed: 7 };
+        let mut driver = DeepumDriver::new(costs, DeepumConfig::default());
+        run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters()).unwrap();
+        let mask = deepum::mem::PageMask::full();
+        let miss = driver.resident_miss(deepum::mem::BlockNum::new(probe), &mask);
+        prop_assert!(miss.count() <= 512);
+    }
+}
