@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI: build, tests, lints, formatting — all against the
+# committed Cargo.lock so results are reproducible offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --locked
+
+echo "== tests =="
+cargo test -q --locked --workspace
+
+echo "== clippy =="
+cargo clippy --locked --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "CI OK"

@@ -13,6 +13,8 @@
 //! * evictions write back on the device→host channel; a swap-in that
 //!   reuses the evicted space cannot start before the write-back ends.
 
+use crate::report::{IterStats, RunError, RunReport};
+use crate::strategies::{ProgramInfo, SwapCtx, SwapStrategy};
 use deepum_sim::clock::SimClock;
 use deepum_sim::costs::CostModel;
 use deepum_sim::energy::{EnergyMeter, PowerState};
@@ -21,8 +23,6 @@ use deepum_sim::time::Ns;
 use deepum_torch::alloc::{AllocError, CachingAllocator, DeviceHeap, PtBlockId, PtEvent};
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{Step, TensorId, Workload};
-use crate::report::{IterStats, RunError, RunReport};
-use crate::strategies::{ProgramInfo, SwapCtx, SwapStrategy};
 
 /// Configuration of a swap-path run.
 #[derive(Debug, Clone)]
@@ -94,9 +94,7 @@ pub fn run_swap(
     cfg: &SwapRunConfig,
 ) -> Result<RunReport, RunError> {
     let program = ProgramInfo::compile(workload);
-    strategy
-        .supports(&program)
-        .map_err(RunError::Unsupported)?;
+    strategy.supports(&program).map_err(RunError::Unsupported)?;
     strategy.plan(&program);
 
     let mut exec = SwapExec {
@@ -173,7 +171,8 @@ pub fn run_swap(
         // program; flush the cache if the strategy asks (LMS-mod).
         if let Some(every) = strategy.flush_cache_every() {
             if every > 0 && (iteration + 1) % every == 0 {
-                exec.allocator.empty_cache(&mut exec.device, &mut exec.events);
+                exec.allocator
+                    .empty_cache(&mut exec.device, &mut exec.events);
                 exec.events.clear();
             }
         }
@@ -200,6 +199,7 @@ pub fn run_swap(
         iters,
         counters: exec.counters,
         table_bytes: None,
+        health: None,
     })
 }
 
@@ -318,7 +318,10 @@ impl SwapExec<'_> {
         // Keep the kernel's working set resident while we evict.
         let segments_before = self.allocator.segment_count();
         let (block, _range) = loop {
-            match self.allocator.alloc(bytes, &mut self.device, &mut self.events) {
+            match self
+                .allocator
+                .alloc(bytes, &mut self.device, &mut self.events)
+            {
                 Ok(x) => break x,
                 Err(AllocError::OutOfMemory { requested }) => {
                     // Evict by the strategy's ranking until something
@@ -349,10 +352,14 @@ impl SwapExec<'_> {
         };
         self.events.clear();
         // Fresh segments cost a cudaMalloc.
-        let new_segments = self.allocator.segment_count().saturating_sub(segments_before)
+        let new_segments = self
+            .allocator
+            .segment_count()
+            .saturating_sub(segments_before)
             + self.segments_seen_delta();
         if new_segments > 0 {
-            self.clock.advance(self.cfg.cuda_malloc_cost * new_segments as u64);
+            self.clock
+                .advance(self.cfg.cuda_malloc_cost * new_segments as u64);
         }
 
         // Swap-in transfer only if the tensor carries data.
@@ -495,7 +502,7 @@ mod tests {
     }
 
     #[test]
-    fn lms_mod_is_slower_but_equivalent(){
+    fn lms_mod_is_slower_but_equivalent() {
         let w = ModelKind::MobileNet.build(24);
         let c = cfg(256, 3);
         let mut lms = Lms::policy();

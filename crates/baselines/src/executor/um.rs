@@ -24,6 +24,7 @@ use deepum_runtime::interpose::{CudaRuntime, LaunchObserver};
 use deepum_sim::clock::SimClock;
 use deepum_sim::costs::CostModel;
 use deepum_sim::energy::EnergyMeter;
+use deepum_sim::faultinject::{BackendHealth, InjectionPlan};
 use deepum_sim::metrics::Counters;
 use deepum_sim::rng::DetRng;
 use deepum_sim::time::Ns;
@@ -31,7 +32,7 @@ use deepum_torch::alloc::{AllocError, CachingAllocator, PtEvent};
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
 
-use crate::report::{IterStats, RunError, RunReport};
+use crate::report::{HealthReport, IterStats, RunError, RunReport};
 
 /// Configuration of a UM-path run.
 #[derive(Debug, Clone)]
@@ -44,6 +45,12 @@ pub struct UmRunConfig {
     pub perf: PerfModel,
     /// Seed for the data-dependent gathers.
     pub seed: u64,
+    /// Fault-injection plan; the default (empty) plan changes nothing.
+    pub plan: InjectionPlan,
+    /// Assert the backend's invariants after every fault drain (used by
+    /// injection tests; walks the backend's block map, so off by
+    /// default).
+    pub validate_after_drain: bool,
 }
 
 impl UmRunConfig {
@@ -54,6 +61,8 @@ impl UmRunConfig {
             costs: CostModel::v100_32gb(),
             perf: PerfModel::v100(),
             seed: 0x5eed,
+            plan: InjectionPlan::default(),
+            validate_after_drain: false,
         }
     }
 }
@@ -87,6 +96,19 @@ where
     let mut clock = SimClock::new();
     let mut energy = EnergyMeter::new();
     let mut rng = DetRng::seed(cfg.seed);
+
+    // An empty plan installs no injector at all, keeping the run
+    // bit-identical to one that never heard of fault injection.
+    let injector = if cfg.plan.is_empty() {
+        None
+    } else {
+        Some(cfg.plan.build_shared())
+    };
+    if let Some(inj) = &injector {
+        backend.install_injector(inj.clone());
+        engine.set_injector(inj.clone());
+    }
+    engine.set_validate_after_drain(cfg.validate_after_drain);
 
     let mut tensors: TensorMap = HashMap::new();
     let mut events = Vec::new();
@@ -136,9 +158,21 @@ where
                     forward_events(&mut events, &mut runtime, backend, clock.now());
                 }
                 Step::Kernel(k) => {
-                    let launch = build_launch(k, workload, &tensors, &mut gather_cache, &mut rng, &cfg.perf);
+                    let launch = build_launch(
+                        k,
+                        workload,
+                        &tensors,
+                        &mut gather_cache,
+                        &mut rng,
+                        &cfg.perf,
+                    );
                     let (_exec, intercept) = runtime.launch(clock.now(), &launch, backend);
                     clock.advance(intercept);
+                    if let Some(inj) = &injector {
+                        if let Some(delay) = inj.borrow_mut().roll_launch_delay() {
+                            clock.advance(delay);
+                        }
+                    }
                     let stats = engine.execute(&launch, &mut clock, backend, &mut energy);
                     compute += stats.compute;
                     stall += stats.stall;
@@ -154,6 +188,21 @@ where
         });
     }
 
+    // The health section appears when anything robustness-related
+    // happened: faults were injectable, or the backend degraded.
+    let backend_health = backend.health();
+    let health = if injector.is_some() || backend_health != BackendHealth::default() {
+        Some(HealthReport {
+            injected: injector
+                .as_ref()
+                .map(|i| *i.borrow().stats())
+                .unwrap_or_default(),
+            backend: backend_health,
+        })
+    } else {
+        None
+    };
+
     Ok(RunReport {
         workload: workload.name.clone(),
         system: system.into(),
@@ -162,6 +211,7 @@ where
         iters,
         counters: counters(backend),
         table_bytes: None,
+        health,
     })
 }
 
@@ -231,11 +281,19 @@ fn build_launch(
         let sample = gather_cache
             .entry(g.table)
             .or_insert_with(|| sample_gather(g, tensors, rng));
-        bytes += sample.iter().map(|a| a.pages.count() as u64 * PAGE_SIZE as u64).sum::<u64>();
+        bytes += sample
+            .iter()
+            .map(|a| a.pages.count() as u64 * PAGE_SIZE as u64)
+            .sum::<u64>();
         accesses.extend(sample.iter().cloned());
     }
     let _ = workload;
-    KernelLaunch::new(k.name.clone(), &k.args, accesses, perf.kernel_time(k.flops, bytes))
+    KernelLaunch::new(
+        k.name.clone(),
+        &k.args,
+        accesses,
+        perf.kernel_time(k.flops, bytes),
+    )
 }
 
 /// Samples the pages touched by a gather: `lookups` skewed random rows of
@@ -288,10 +346,9 @@ mod tests {
     fn mobilenet_runs_under_naive_um() {
         let w = ModelKind::MobileNet.build(8);
         let cfg = UmRunConfig {
-            iterations: 2,
             costs: tiny_costs(2048, 16384),
-            perf: PerfModel::v100(),
             seed: 1,
+            ..UmRunConfig::new(2)
         };
         let mut backend = NaiveUm::new(cfg.costs.clone());
         let r = run_um(&w, &mut backend, "um", &cfg, |b| b.counters()).unwrap();
@@ -308,10 +365,9 @@ mod tests {
         // MobileNet/b48 working set peaks around 115 MiB.
         let costs = tiny_costs(80, 32768);
         let cfg = UmRunConfig {
-            iterations: 3,
             costs: costs.clone(),
-            perf: PerfModel::v100(),
             seed: 1,
+            ..UmRunConfig::new(3)
         };
         let mut um = NaiveUm::new(costs.clone());
         let um_report = run_um(&w, &mut um, "um", &cfg, |b| b.counters()).unwrap();
@@ -346,10 +402,9 @@ mod tests {
         let w = ModelKind::MobileNet.build(64);
         let need = w.peak_bytes();
         let cfg = UmRunConfig {
-            iterations: 1,
             costs: tiny_costs(64, (need / 4) >> 20),
-            perf: PerfModel::v100(),
             seed: 1,
+            ..UmRunConfig::new(1)
         };
         let mut backend = NaiveUm::new(cfg.costs.clone());
         let err = run_um(&w, &mut backend, "um", &cfg, |b| b.counters()).unwrap_err();

@@ -46,6 +46,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         iters,
         counters: Counters::default(),
         table_bytes: None,
+        health: None,
     }
 }
 

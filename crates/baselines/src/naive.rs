@@ -7,6 +7,7 @@ use deepum_mem::{BlockNum, ByteRange, PageMask};
 use deepum_runtime::exec_table::ExecId;
 use deepum_runtime::interpose::LaunchObserver;
 use deepum_sim::costs::CostModel;
+use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use deepum_um::driver::UmDriver;
@@ -63,6 +64,14 @@ impl UmBackend for NaiveUm {
     }
 
     fn kernel_finished(&mut self, _now: Ns) {}
+
+    fn install_injector(&mut self, injector: SharedInjector) {
+        self.um.install_injector(injector);
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.um.validate()
+    }
 }
 
 impl LaunchObserver for NaiveUm {

@@ -1,5 +1,6 @@
 //! Run results: per-iteration stats and report aggregation.
 
+use deepum_sim::faultinject::{BackendHealth, InjectionStats};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,17 @@ impl core::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Robustness section of a run report: what the chaos layer injected
+/// and how the stack degraded and recovered. `None` on [`RunReport`]
+/// when the run had no injection plan and nothing degraded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Faults injected and reactions (retries, backoff, fallbacks).
+    pub injected: InjectionStats,
+    /// Backend-side degradation (watchdog transitions, backpressure).
+    pub backend: BackendHealth,
+}
+
 /// The outcome of running a workload under one memory system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -56,6 +68,8 @@ pub struct RunReport {
     pub counters: Counters,
     /// Correlation-table memory, if the system keeps tables (Table 4).
     pub table_bytes: Option<u64>,
+    /// Injected-fault and degradation summary, when applicable.
+    pub health: Option<HealthReport>,
 }
 
 impl RunReport {
@@ -151,6 +165,7 @@ mod tests {
             energy_joules: 100.0,
             counters: Counters::default(),
             table_bytes: None,
+            health: None,
         }
     }
 

@@ -36,10 +36,13 @@ pub use vdnn::Vdnn;
 
 use deepum_sim::time::Ns;
 use deepum_torch::step::TensorId;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Qualitative capability matrix entries (paper Table 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` fields cannot be rebuilt from
+/// parsed JSON, and nothing reads this table back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Capabilities {
     /// System name.
     pub name: &'static str,

@@ -266,10 +266,7 @@ mod tests {
     fn profiling_overhead_hits_iteration_zero_only() {
         let mut s = PolicyStrategy::new(caps());
         s.profile_overhead_frac = 0.5;
-        assert_eq!(
-            s.profiling_overhead(0, Ns::from_secs(2)),
-            Ns::from_secs(1)
-        );
+        assert_eq!(s.profiling_overhead(0, Ns::from_secs(2)), Ns::from_secs(1));
         assert_eq!(s.profiling_overhead(1, Ns::from_secs(2)), Ns::ZERO);
     }
 }

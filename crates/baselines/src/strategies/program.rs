@@ -114,7 +114,10 @@ impl ProgramInfo {
         let uses = &self.uses[tensor.index()];
         match uses.iter().find(|&&u| u > after) {
             Some(&u) => u,
-            None => uses.first().map(|&u| u + self.kernel_count()).unwrap_or(usize::MAX),
+            None => uses
+                .first()
+                .map(|&u| u + self.kernel_count())
+                .unwrap_or(usize::MAX),
         }
     }
 

@@ -50,10 +50,7 @@ mod tests {
     #[test]
     fn sentinel_pays_for_profiling_then_excels() {
         let s = Sentinel::policy();
-        assert_eq!(
-            s.profiling_overhead(0, Ns::from_secs(5)),
-            Ns::from_secs(5)
-        );
+        assert_eq!(s.profiling_overhead(0, Ns::from_secs(5)), Ns::from_secs(5));
         assert!(s.schedule_known(1));
         assert!(s.capabilities().user_script_modification);
     }

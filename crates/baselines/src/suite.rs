@@ -5,15 +5,14 @@
 
 use crate::executor::swap::{run_swap, SwapRunConfig};
 use crate::executor::um::{run_um, UmRunConfig};
+use crate::ideal::run_ideal;
 use crate::naive::NaiveUm;
 use crate::report::{RunError, RunReport};
-use crate::ideal::run_ideal;
-use crate::strategies::{
-    AutoTm, Capuchin, Lms, LmsMod, Sentinel, SwapAdvisor, SwapStrategy, Vdnn,
-};
+use crate::strategies::{AutoTm, Capuchin, Lms, LmsMod, Sentinel, SwapAdvisor, SwapStrategy, Vdnn};
 use deepum_core::config::DeepumConfig;
 use deepum_core::driver::DeepumDriver;
 use deepum_sim::costs::CostModel;
+use deepum_sim::faultinject::InjectionPlan;
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::Workload;
 use serde::{Deserialize, Serialize};
@@ -77,6 +76,10 @@ pub struct RunParams {
     pub iters: usize,
     /// Seed for data-dependent workload randomness.
     pub seed: u64,
+    /// Chaos-injection plan for UM-based systems (`Um` / `DeepUm`).
+    /// Empty (the default) keeps runs bit-identical to a build without
+    /// the fault-injection layer; swap baselines ignore it.
+    pub plan: InjectionPlan,
 }
 
 impl RunParams {
@@ -87,6 +90,7 @@ impl RunParams {
             perf: PerfModel::v100(),
             iters,
             seed,
+            plan: InjectionPlan::default(),
         }
     }
 
@@ -97,6 +101,7 @@ impl RunParams {
             perf: PerfModel::v100(),
             iters,
             seed,
+            plan: InjectionPlan::default(),
         }
     }
 }
@@ -141,6 +146,8 @@ fn um_cfg(params: &RunParams) -> UmRunConfig {
         costs: params.costs.clone(),
         perf: params.perf.clone(),
         seed: params.seed,
+        plan: params.plan.clone(),
+        validate_after_drain: false,
     }
 }
 
@@ -174,6 +181,7 @@ mod tests {
             perf: PerfModel::v100(),
             iters: 2,
             seed: 1,
+            plan: InjectionPlan::default(),
         };
         for system in [
             System::Um,
@@ -208,6 +216,7 @@ mod tests {
             perf: PerfModel::v100(),
             iters: 1,
             seed: 1,
+            plan: InjectionPlan::default(),
         };
         let r = run_system(&System::deepum(), &w, &params).unwrap();
         assert!(r.table_bytes.unwrap() > 0);

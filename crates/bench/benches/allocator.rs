@@ -8,7 +8,13 @@ fn churn(c: &mut Criterion) {
     let mut g = c.benchmark_group("caching_allocator");
     g.bench_function("iteration_churn_64_tensors", |b| {
         b.iter_batched(
-            || (CachingAllocator::new(), DeviceHeap::new(4 << 30), Vec::new()),
+            || {
+                (
+                    CachingAllocator::new(),
+                    DeviceHeap::new(4 << 30),
+                    Vec::new(),
+                )
+            },
             |(mut alloc, mut heap, mut ev)| {
                 let mut blocks = Vec::new();
                 for i in 0..64u64 {
@@ -29,7 +35,12 @@ fn churn(c: &mut Criterion) {
         let mut ev = Vec::new();
         // Warm the pool.
         let warm: Vec<_> = (0..32u64)
-            .map(|i| alloc.alloc(((i % 7) + 1) << 20, &mut heap, &mut ev).unwrap().0)
+            .map(|i| {
+                alloc
+                    .alloc(((i % 7) + 1) << 20, &mut heap, &mut ev)
+                    .unwrap()
+                    .0
+            })
             .collect();
         for b in warm {
             alloc.free(b, &mut ev);

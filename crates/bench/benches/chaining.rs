@@ -9,7 +9,10 @@ use deepum_runtime::exec_table::ExecId;
 
 /// Builds `kernels` block tables of `blocks_per_kernel` chained blocks and
 /// an exec table that predicts the ring k -> k+1.
-fn build(kernels: u32, blocks_per_kernel: u64) -> (Vec<Option<BlockCorrelationTable>>, ExecCorrelationTable) {
+fn build(
+    kernels: u32,
+    blocks_per_kernel: u64,
+) -> (Vec<Option<BlockCorrelationTable>>, ExecCorrelationTable) {
     let mut tables = Vec::new();
     let mut exec = ExecCorrelationTable::new();
     for k in 0..kernels {
@@ -22,7 +25,11 @@ fn build(kernels: u32, blocks_per_kernel: u64) -> (Vec<Option<BlockCorrelationTa
         t.set_end(BlockNum::new(base + blocks_per_kernel - 1));
         tables.push(Some(t));
         let e = |x: u32| ExecId(x % kernels);
-        exec.record(e(k), [e(k + kernels - 3), e(k + kernels - 2), e(k + kernels - 1)], e(k + 1));
+        exec.record(
+            e(k),
+            [e(k + kernels - 3), e(k + kernels - 2), e(k + kernels - 1)],
+            e(k + 1),
+        );
     }
     (tables, exec)
 }

@@ -36,8 +36,9 @@ fn deepum_tables(c: &mut Criterion) {
     c.bench_function("prefetchers/deepum_tables_layered", |b| {
         b.iter(|| {
             let mut exec = ExecCorrelationTable::new();
-            let mut tables: Vec<BlockCorrelationTable> =
-                (0..16).map(|_| BlockCorrelationTable::new(2048, 2, 4)).collect();
+            let mut tables: Vec<BlockCorrelationTable> = (0..16)
+                .map(|_| BlockCorrelationTable::new(2048, 2, 4))
+                .collect();
             let mut prev: Option<(ExecId, u64)> = None;
             for &(k, addr) in &stream {
                 if let Some((pk, pa)) = prev {

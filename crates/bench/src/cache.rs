@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics change enough to
 /// invalidate stored reports.
-const VERSION: &str = "v7";
+const VERSION: &str = "v8";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -41,7 +41,13 @@ impl RunCache {
     fn path(&self, key: &str) -> PathBuf {
         let safe: String = key
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.dir.join(format!("{VERSION}-{safe}.json"))
     }
@@ -99,6 +105,7 @@ mod tests {
             energy_joules: 1.0,
             counters: Counters::default(),
             table_bytes: None,
+            health: None,
         }
     }
 
@@ -145,10 +152,12 @@ mod tests {
         cache.enabled = false;
         let mut calls = 0;
         for _ in 0..2 {
-            cache.run("k", || {
-                calls += 1;
-                Ok(dummy())
-            }).unwrap();
+            cache
+                .run("k", || {
+                    calls += 1;
+                    Ok(dummy())
+                })
+                .unwrap();
         }
         assert_eq!(calls, 2);
         std::fs::remove_dir_all(&dir).ok();

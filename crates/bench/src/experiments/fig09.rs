@@ -208,7 +208,13 @@ pub fn table_faults(cells: &[Cell]) -> Table {
         let (um, dm) = match (&c.um, &c.deepum) {
             (Ok(u), Ok(d)) => (u.steady_faults_per_iter(), d.steady_faults_per_iter()),
             _ => {
-                t.row([c.model.clone(), c.batch.to_string(), "-".into(), "-".into(), "-".into()]);
+                t.row([
+                    c.model.clone(),
+                    c.batch.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };

@@ -55,11 +55,16 @@ pub fn run(opts: &Opts) -> Vec<AblationRow> {
                 opts.seed,
                 opts.scale
             );
-            cache.run(&key, || run_system(&system, &workload, &params)).ok()
+            cache
+                .run(&key, || run_system(&system, &workload, &params))
+                .ok()
         };
 
         let um = run("um", System::Um);
-        let pf = run("abl-prefetch", System::DeepUm(DeepumConfig::prefetch_only()));
+        let pf = run(
+            "abl-prefetch",
+            System::DeepUm(DeepumConfig::prefetch_only()),
+        );
         let pe = run(
             "abl-preevict",
             System::DeepUm(DeepumConfig::prefetch_preevict()),

@@ -100,7 +100,11 @@ pub fn table(rows: &[TfMaxBatchRow]) -> Table {
     for r in rows {
         let mut cells = vec![r.model.clone()];
         for &b in &r.per_system {
-            cells.push(if b == 0 { "not work".into() } else { b.to_string() });
+            cells.push(if b == 0 {
+                "not work".into()
+            } else {
+                b.to_string()
+            });
         }
         cells.push(r.deepum.to_string());
         t.row(cells);

@@ -54,9 +54,7 @@ impl Opts {
                 "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
                 "--only" => opts.only = Some(value("--only")),
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --iters N  --scale F  --out DIR  --seed N  --only SUBSTR"
-                    );
+                    eprintln!("options: --iters N  --scale F  --out DIR  --seed N  --only SUBSTR");
                     std::process::exit(0);
                 }
                 other => panic!("unknown option: {other}"),

@@ -274,7 +274,13 @@ mod tests {
         (vec![Some(t0), Some(t1)], exec)
     }
 
-    fn drain(walk: &mut ChainWalk, tables: &[Option<BlockCorrelationTable>], exec: &ExecCorrelationTable, max_ahead: usize, max_steps: usize) -> Vec<ChainStep> {
+    fn drain(
+        walk: &mut ChainWalk,
+        tables: &[Option<BlockCorrelationTable>],
+        exec: &ExecCorrelationTable,
+        max_ahead: usize,
+        max_steps: usize,
+    ) -> Vec<ChainStep> {
         let mut out = Vec::new();
         for _ in 0..max_steps {
             let s = walk.step(tables, exec, max_ahead);

@@ -49,6 +49,27 @@ pub struct DeepumConfig {
     /// Pre-eviction keeps at least this many UM blocks of device memory
     /// free so demand faults find room without critical-path eviction.
     pub preevict_headroom_blocks: u64,
+    /// Prefetch-accuracy watchdog on/off. Off by default: the watchdog
+    /// only changes behaviour when mispredictions are rampant, which in
+    /// this simulation means chaos-injection runs.
+    pub enable_watchdog: bool,
+    /// Kernel launches per watchdog evaluation window.
+    pub watchdog_window_kernels: u64,
+    /// Wasted-prefetch percentage at which the watchdog halves the
+    /// prefetch degree. Integer percent to keep the config `Eq`.
+    pub watchdog_throttle_pct: u64,
+    /// Wasted-prefetch percentage at which the watchdog disables
+    /// correlation prefetching until the cooldown elapses.
+    pub watchdog_disable_pct: u64,
+    /// Kernel launches the watchdog keeps prefetching disabled before
+    /// re-enabling it.
+    pub watchdog_cooldown_kernels: u64,
+    /// Upper bound on the predicted-window (eviction-protection) queue;
+    /// entries past it are dropped oldest-first (backpressure) and
+    /// counted in the run's health report. The default is sized so
+    /// normal runs never hit it — it is a safety valve against
+    /// pathological chain churn, not a tuning knob.
+    pub predicted_window_capacity: usize,
 }
 
 impl DeepumConfig {
@@ -90,6 +111,24 @@ impl DeepumConfig {
         self.block_table_rows = rows;
         self
     }
+
+    /// Enables the prefetch-accuracy watchdog with explicit window,
+    /// throttle/disable thresholds (integer percent of wasted prefetched
+    /// pages), and cooldown.
+    pub fn with_watchdog(
+        mut self,
+        window_kernels: u64,
+        throttle_pct: u64,
+        disable_pct: u64,
+        cooldown_kernels: u64,
+    ) -> Self {
+        self.enable_watchdog = true;
+        self.watchdog_window_kernels = window_kernels;
+        self.watchdog_throttle_pct = throttle_pct;
+        self.watchdog_disable_pct = disable_pct;
+        self.watchdog_cooldown_kernels = cooldown_kernels;
+        self
+    }
 }
 
 impl Default for DeepumConfig {
@@ -104,6 +143,12 @@ impl Default for DeepumConfig {
             enable_preevict: true,
             enable_invalidate: true,
             preevict_headroom_blocks: 8,
+            enable_watchdog: false,
+            watchdog_window_kernels: 8,
+            watchdog_throttle_pct: 50,
+            watchdog_disable_pct: 90,
+            watchdog_cooldown_kernels: 16,
+            predicted_window_capacity: 1 << 20,
         }
     }
 }
@@ -139,5 +184,16 @@ mod tests {
             (c.block_table_assoc, c.block_table_succs, c.block_table_rows),
             (4, 8, 512)
         );
+    }
+
+    #[test]
+    fn watchdog_defaults_off_and_builder_enables() {
+        assert!(!DeepumConfig::default().enable_watchdog);
+        let c = DeepumConfig::default().with_watchdog(4, 30, 60, 8);
+        assert!(c.enable_watchdog);
+        assert_eq!(c.watchdog_window_kernels, 4);
+        assert_eq!(c.watchdog_throttle_pct, 30);
+        assert_eq!(c.watchdog_disable_pct, 60);
+        assert_eq!(c.watchdog_cooldown_kernels, 8);
     }
 }

@@ -157,7 +157,10 @@ mod tests {
         assert_eq!(t.records_of(e(1))[0].next, e(109));
         // All contexts remain predictable.
         for i in 0..10 {
-            assert_eq!(t.predict(e(1), [e(i), e(i + 1), e(i + 2)]), Some(e(100 + i)));
+            assert_eq!(
+                t.predict(e(1), [e(i), e(i + 1), e(i + 2)]),
+                Some(e(100 + i))
+            );
         }
     }
 

@@ -28,6 +28,7 @@ use deepum_mem::{BlockNum, ByteRange, PageMask, PAGES_PER_BLOCK};
 use deepum_runtime::exec_table::ExecId;
 use deepum_runtime::interpose::LaunchObserver;
 use deepum_sim::costs::CostModel;
+use deepum_sim::faultinject::{BackendHealth, DegradationState, SharedInjector};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use deepum_um::driver::{group_faults, UmDriver};
@@ -38,6 +39,7 @@ use crate::config::DeepumConfig;
 use crate::correlation::{BlockCorrelationTable, ExecCorrelationTable};
 use crate::footprint::FootprintMap;
 use crate::queues::{PrefetchCommand, SpscQueue};
+use crate::watchdog::PrefetchWatchdog;
 
 /// Sentinel for "no kernel yet" in execution history.
 const NO_EXEC: ExecId = ExecId(u32::MAX);
@@ -86,6 +88,16 @@ pub struct DeepumDriver {
     h2d_debt: Ns,
     d2h_debt: Ns,
 
+    // Graceful degradation: the prefetch-accuracy watchdog throttles,
+    // then disables, correlation prefetching when the misprediction rate
+    // crosses its thresholds (re-enabling after a cooldown). The deltas
+    // remember the counter values at the previous watchdog feeding.
+    injector: Option<SharedInjector>,
+    watchdog: Option<PrefetchWatchdog>,
+    wd_last_prefetched: u64,
+    wd_last_wasted: u64,
+    window_dropped: u64,
+
     local: Counters,
 }
 
@@ -96,6 +108,16 @@ impl DeepumDriver {
         let um = UmDriver::new(costs.clone());
         let protected = um.protected_set();
         let prefetch_q = SpscQueue::new(cfg.prefetch_queue_capacity);
+        let watchdog = if cfg.enable_watchdog {
+            Some(PrefetchWatchdog::new(
+                cfg.watchdog_window_kernels,
+                cfg.watchdog_throttle_pct,
+                cfg.watchdog_disable_pct,
+                cfg.watchdog_cooldown_kernels,
+            ))
+        } else {
+            None
+        };
         DeepumDriver {
             um,
             cfg,
@@ -117,6 +139,11 @@ impl DeepumDriver {
             kernel_seq: 0,
             h2d_debt: Ns::ZERO,
             d2h_debt: Ns::ZERO,
+            injector: None,
+            watchdog,
+            wd_last_prefetched: 0,
+            wd_last_wasted: 0,
+            window_dropped: 0,
             local: Counters::new(),
         }
     }
@@ -190,27 +217,49 @@ impl DeepumDriver {
     /// cheap on fault-storm workloads like DLRM.
     const PUMP_STEP_BUDGET: usize = 512;
 
+    /// Whether correlation prefetching is currently allowed to run: the
+    /// config switch, minus a watchdog disable.
+    fn prefetch_active(&self) -> bool {
+        self.cfg.enable_prefetch
+            && self
+                .watchdog
+                .as_ref()
+                .is_none_or(|w| w.state() != DegradationState::Disabled)
+    }
+
     /// Runs the prefetching thread: advance the chain walk and enqueue
     /// commands until the queue fills, the look-ahead window closes, the
     /// chain ends, or the step budget is spent.
     fn pump_chain(&mut self) {
-        if !self.cfg.enable_prefetch {
+        if !self.prefetch_active() {
             return;
         }
+        // A throttled watchdog halves the look-ahead: a wrong chain does
+        // half the damage while the tables relearn.
+        let degree = match self.watchdog.as_ref().map(PrefetchWatchdog::state) {
+            Some(DegradationState::Throttled) => (self.cfg.prefetch_degree / 2).max(1),
+            _ => self.cfg.prefetch_degree,
+        };
         let Some(chain) = self.chain.as_mut() else {
             return;
         };
         let mut steps = 0;
         while !self.prefetch_q.is_full() && steps < Self::PUMP_STEP_BUDGET {
             steps += 1;
-            match chain.step(&self.block_tables, &self.exec_corr, self.cfg.prefetch_degree) {
+            match chain.step(&self.block_tables, &self.exec_corr, degree) {
                 ChainStep::Emit(cmd) => {
                     self.local.block_table_lookups += 1;
                     // Every predicted block is protected from (pre-)
                     // eviction for the look-ahead window, but only
                     // blocks that are neither queued already nor fully
-                    // resident spend a queue slot.
+                    // resident spend a queue slot. The window itself is
+                    // bounded: past capacity the oldest entry yields
+                    // (backpressure, reported via `health`).
                     let expires = self.kernel_seq + chain.kernels_ahead() as u64;
+                    if self.predicted_window.len() >= self.cfg.predicted_window_capacity {
+                        self.predicted_window.pop_front();
+                        self.window_dropped += 1;
+                    }
                     self.predicted_window.push_back((expires, cmd.block));
                     self.protected.insert(cmd.block);
                     if self.enqueued.contains(&cmd.block) {
@@ -298,14 +347,29 @@ impl DeepumDriver {
         // Protecting more blocks than the device can hold would pin the
         // whole memory and leave pre-eviction with no victims; protect
         // only the nearest-future predictions up to half of capacity.
-        let max_protected =
-            (self.um.capacity_pages() / PAGES_PER_BLOCK as u64 / 2).max(1) as usize;
+        let max_protected = (self.um.capacity_pages() / PAGES_PER_BLOCK as u64 / 2).max(1) as usize;
         self.protected.replace(
             self.predicted_window
                 .iter()
                 .take(max_protected)
                 .map(|&(_, b)| b),
         );
+    }
+
+    /// Graceful-degradation report: watchdog state and transition
+    /// history plus predicted-window backpressure drops.
+    pub fn health(&self) -> BackendHealth {
+        BackendHealth {
+            watchdog_state: self
+                .watchdog
+                .as_ref()
+                .map_or(DegradationState::Normal, PrefetchWatchdog::state),
+            watchdog_transitions: self
+                .watchdog
+                .as_ref()
+                .map_or_else(Vec::new, |w| w.transitions().to_vec()),
+            predicted_window_dropped: self.window_dropped,
+        }
     }
 }
 
@@ -340,6 +404,24 @@ impl LaunchObserver for DeepumDriver {
         self.prev_fault_block = None;
         self.last_fault_block = None;
         self.kernel_seq += 1;
+
+        // Feed the watchdog the per-kernel prefetch accuracy deltas; on
+        // a fresh disable, flush every in-flight prediction so the queue
+        // stops competing with demand traffic immediately.
+        if let Some(wd) = self.watchdog.as_mut() {
+            let c = self.um.counters();
+            let prefetched = c.pages_prefetched - self.wd_last_prefetched;
+            let wasted = c.prefetch_wasted - self.wd_last_wasted;
+            self.wd_last_prefetched = c.pages_prefetched;
+            self.wd_last_wasted = c.prefetch_wasted;
+            let before = wd.state();
+            let after = wd.observe(self.kernel_seq, prefetched, wasted);
+            if after == DegradationState::Disabled && before != after {
+                while self.prefetch_q.pop().is_some() {}
+                self.enqueued.clear();
+                self.chain = None;
+            }
+        }
 
         // The look-ahead window slides by one kernel.
         if let Some(chain) = self.chain.as_mut() {
@@ -388,8 +470,18 @@ impl UmBackend for DeepumDriver {
                 }
                 if let Some(prev) = self.prev_fault_block {
                     if prev != *block {
-                        table.record_pair(prev, *block);
-                        self.local.block_table_updates += 1;
+                        // Injected correlation-table entry drop: the pair
+                        // record is lost before it reaches the table, so
+                        // the prefetcher must live with holes in the
+                        // learned chain.
+                        let dropped = match &self.injector {
+                            Some(inj) => inj.borrow_mut().roll_corr_drop(),
+                            None => false,
+                        };
+                        if !dropped {
+                            table.record_pair(prev, *block);
+                            self.local.block_table_updates += 1;
+                        }
                     }
                 }
                 self.prev_fault_block = Some(*block);
@@ -397,7 +489,7 @@ impl UmBackend for DeepumDriver {
             }
 
             // Prefetching thread: chaining restarts at every new fault.
-            if self.cfg.enable_prefetch {
+            if self.prefetch_active() {
                 if let Some(&(block, _)) = groups.last() {
                     self.chain = Some(ChainWalk::new(cur, self.history, block));
                     self.local.chain_walks += 1;
@@ -461,6 +553,19 @@ impl UmBackend for DeepumDriver {
         // kernel finishes."
         self.pump_chain();
     }
+
+    fn install_injector(&mut self, injector: SharedInjector) {
+        self.um.install_injector(injector.clone());
+        self.injector = Some(injector);
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.um.validate()
+    }
+
+    fn health(&self) -> BackendHealth {
+        DeepumDriver::health(self)
+    }
 }
 
 #[cfg(test)]
@@ -470,8 +575,7 @@ mod tests {
     use deepum_mem::{UmAddr, BLOCK_SIZE};
 
     fn driver(capacity_blocks: u64, cfg: DeepumConfig) -> DeepumDriver {
-        let costs = CostModel::v100_32gb()
-            .with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
+        let costs = CostModel::v100_32gb().with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
         DeepumDriver::new(costs, cfg)
     }
 
@@ -558,8 +662,7 @@ mod tests {
         // chain keeps rolling across the loop and hides the migrations.
         let cfg = DeepumConfig::default().with_prefetch_degree(1);
         let mut d = driver(4, cfg);
-        let kernels: Vec<KernelLaunch> =
-            (0..4).map(|i| kernel(&format!("K{i}"))).collect();
+        let kernels: Vec<KernelLaunch> = (0..4).map(|i| kernel(&format!("K{i}"))).collect();
         let mut now = Ns::ZERO;
         let full = PageMask::full();
         let mut faults_at_iter = Vec::new();
@@ -662,6 +765,141 @@ mod tests {
         train_loop(&mut d, 1);
         assert!(d.table_memory_bytes() > before);
         assert_eq!(d.block_table_count(), 2);
+    }
+
+    /// Runs one iteration of a 4-kernel loop where kernel `ki` faults
+    /// blocks `base + 2*ki` and `base + 2*ki + 1` (full blocks), with
+    /// generous overlap so prefetches actually land.
+    fn loop_iteration(d: &mut DeepumDriver, base: u64, now: &mut Ns) {
+        let full = PageMask::full();
+        for ki in 0..4u32 {
+            let k = kernel(&format!("K{ki}"));
+            d.on_kernel_launch(*now, ExecId(ki), &k);
+            for b in [base + 2 * ki as u64, base + 2 * ki as u64 + 1] {
+                let miss = d.resident_miss(BlockNum::new(b), &full);
+                if !miss.is_empty() {
+                    let entries: Vec<FaultEntry> = miss
+                        .iter_ones()
+                        .map(|i| FaultEntry {
+                            page: BlockNum::new(b).page(i),
+                            kind: AccessKind::Read,
+                            sm: SmId(0),
+                        })
+                        .collect();
+                    d.handle_faults(*now, &entries);
+                }
+                d.touch(*now, BlockNum::new(b), &full);
+                d.overlap_compute(*now, Ns::from_millis(50));
+            }
+            d.kernel_finished(*now);
+            *now += Ns::from_millis(10);
+        }
+    }
+
+    #[test]
+    fn watchdog_disables_under_misprediction_storm_and_recovers() {
+        // Oversubscribed device (4 blocks, 8-block working set) with an
+        // aggressive watchdog. Phase 1 trains the correlation tables on
+        // a stable loop. Phase 2 moves the working set to fresh blocks
+        // every iteration, so the chain keeps prefetching last
+        // iteration's blocks — pure waste — until the watchdog disables
+        // prefetching. Phase 3 returns to a stable loop; during the
+        // cooldown the correlator re-learns it from demand faults, and
+        // the watchdog re-enables prefetching into a workload it now
+        // predicts well.
+        let cfg = DeepumConfig::default()
+            .with_prefetch_degree(1)
+            .with_watchdog(2, 25, 50, 6);
+        let mut d = driver(4, cfg);
+        let mut now = Ns::ZERO;
+
+        for _ in 0..4 {
+            loop_iteration(&mut d, 0, &mut now);
+        }
+        assert_eq!(d.health().watchdog_state, DegradationState::Normal);
+
+        let mut base = 1000;
+        for _ in 0..12 {
+            loop_iteration(&mut d, base, &mut now);
+            base += 100;
+            if d.health().watchdog_state == DegradationState::Disabled {
+                break;
+            }
+        }
+        let mid = d.health();
+        assert_eq!(
+            mid.watchdog_state,
+            DegradationState::Disabled,
+            "sustained waste should disable prefetching; transitions: {:?}",
+            mid.watchdog_transitions
+        );
+        assert!(d.counters().prefetch_wasted > 0);
+
+        for _ in 0..8 {
+            loop_iteration(&mut d, 0, &mut now);
+        }
+        let end = d.health();
+        assert_eq!(
+            end.watchdog_state,
+            DegradationState::Normal,
+            "cooldown should re-enable prefetching; transitions: {:?}",
+            end.watchdog_transitions
+        );
+        let recovered = end
+            .watchdog_transitions
+            .iter()
+            .any(|t| t.from == DegradationState::Disabled && t.to == DegradationState::Normal);
+        assert!(recovered, "transitions: {:?}", end.watchdog_transitions);
+        d.validate()
+            .expect("degradation cycle leaves state consistent");
+    }
+
+    #[test]
+    fn corr_drops_suppress_table_updates() {
+        let plan = deepum_sim::faultinject::InjectionPlan {
+            corr_drop_rate: 1.0,
+            ..Default::default()
+        };
+        let mut clean = driver(16, DeepumConfig::default());
+        train_loop(&mut clean, 3);
+        assert!(clean.counters().block_table_updates > 0);
+
+        let mut d = driver(16, DeepumConfig::default());
+        let inj = plan.build_shared();
+        UmBackend::install_injector(&mut d, inj.clone());
+        train_loop(&mut d, 3);
+        assert_eq!(d.counters().block_table_updates, 0);
+        assert!(inj.borrow().stats().corr_records_dropped > 0);
+    }
+
+    #[test]
+    fn predicted_window_backpressure_drops_and_reports() {
+        // A tiny window capacity forces the bounded queue to shed its
+        // oldest entries while an oversubscribed loop keeps predicting.
+        let cfg = DeepumConfig {
+            predicted_window_capacity: 2,
+            ..DeepumConfig::default().with_prefetch_degree(4)
+        };
+        let mut d = driver(4, cfg);
+        let mut now = Ns::ZERO;
+        for _ in 0..6 {
+            loop_iteration(&mut d, 0, &mut now);
+        }
+        let health = d.health();
+        assert!(
+            health.predicted_window_dropped > 0,
+            "capacity 4 must overflow: {health:?}"
+        );
+        d.validate().expect("backpressure leaves state consistent");
+
+        // The default capacity is a safety valve: the same loop never
+        // touches it, so clean runs report default health.
+        let mut clean = driver(4, DeepumConfig::default().with_prefetch_degree(4));
+        let mut now = Ns::ZERO;
+        for _ in 0..6 {
+            loop_iteration(&mut clean, 0, &mut now);
+        }
+        assert_eq!(clean.health().predicted_window_dropped, 0);
     }
 
     #[test]

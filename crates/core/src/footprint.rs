@@ -45,7 +45,10 @@ impl FootprintMap {
 
     /// The learned footprint of `block` (empty if never observed).
     pub fn get(&self, block: BlockNum) -> PageMask {
-        self.map.get(&block).copied().unwrap_or_else(PageMask::empty)
+        self.map
+            .get(&block)
+            .copied()
+            .unwrap_or_else(PageMask::empty)
     }
 
     /// Forgets a block (e.g. after its allocation is freed).
@@ -66,8 +69,7 @@ impl FootprintMap {
     /// Approximate memory footprint (Table 4 accounting).
     pub fn memory_bytes(&self) -> usize {
         core::mem::size_of::<Self>()
-            + self.map.len()
-                * (core::mem::size_of::<BlockNum>() + core::mem::size_of::<PageMask>())
+            + self.map.len() * (core::mem::size_of::<BlockNum>() + core::mem::size_of::<PageMask>())
     }
 }
 

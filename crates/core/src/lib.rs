@@ -32,9 +32,11 @@ pub mod correlation;
 pub mod driver;
 pub mod footprint;
 pub mod queues;
+pub mod watchdog;
 
 pub use config::DeepumConfig;
 pub use correlation::{BlockCorrelationTable, ExecCorrelationTable};
 pub use driver::DeepumDriver;
 pub use footprint::FootprintMap;
 pub use queues::{PrefetchCommand, SpscQueue};
+pub use watchdog::PrefetchWatchdog;

@@ -152,7 +152,10 @@ mod tests {
         for i in 0..4 {
             q.try_push(i).unwrap();
         }
-        assert_eq!((0..4).map(|_| q.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            (0..4).map(|_| q.pop().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert!(q.pop().is_none());
     }
 

@@ -1,0 +1,236 @@
+//! Prefetch-accuracy watchdog: graceful degradation for the correlation
+//! prefetcher.
+//!
+//! Correlation prefetching is a bet that the recorded fault order
+//! repeats. When it does not — a workload phase change, a correlation
+//! table thrashed by injected entry drops — every wrong prefetch steals
+//! PCIe bandwidth from demand migrations and evicts pages the GPU still
+//! needs. The watchdog watches the bet's hit rate over a sliding window
+//! of kernels and degrades in two steps:
+//!
+//! 1. **Throttle** — waste crossed [`PrefetchWatchdog`]'s throttle
+//!    threshold: the driver halves its effective prefetch degree (the
+//!    chain looks less far ahead, so a wrong chain does less damage);
+//! 2. **Disable** — waste crossed the disable threshold: correlation
+//!    prefetching stops entirely; after a cooldown of quiet kernels the
+//!    watchdog re-enables it and the tables get another chance (they
+//!    kept learning from demand faults the whole time).
+//!
+//! Thresholds are integer percentages of wasted-to-issued prefetched
+//! pages, keeping the config `Eq`-comparable and the state machine free
+//! of float drift.
+
+use deepum_sim::faultinject::{DegradationState, WatchdogTransition};
+
+/// Sliding-window misprediction watchdog over the prefetcher.
+///
+/// Fed once per kernel launch with the *delta* of prefetched and wasted
+/// page counts; evaluates the waste percentage every `window_kernels`
+/// launches.
+///
+/// # Example
+///
+/// ```
+/// use deepum_core::watchdog::PrefetchWatchdog;
+/// use deepum_sim::faultinject::DegradationState;
+///
+/// let mut wd = PrefetchWatchdog::new(2, 50, 90, 4);
+/// wd.observe(1, 100, 95); // 95% waste
+/// wd.observe(2, 100, 95);
+/// assert_eq!(wd.state(), DegradationState::Disabled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchWatchdog {
+    window_kernels: u64,
+    throttle_pct: u64,
+    disable_pct: u64,
+    cooldown_kernels: u64,
+
+    state: DegradationState,
+    kernels_in_window: u64,
+    window_prefetched: u64,
+    window_wasted: u64,
+    cooldown_left: u64,
+    transitions: Vec<WatchdogTransition>,
+}
+
+impl PrefetchWatchdog {
+    /// Creates a watchdog evaluating every `window_kernels` launches,
+    /// throttling at `throttle_pct`% waste, disabling at `disable_pct`%,
+    /// and re-enabling `cooldown_kernels` launches after a disable.
+    pub fn new(
+        window_kernels: u64,
+        throttle_pct: u64,
+        disable_pct: u64,
+        cooldown_kernels: u64,
+    ) -> Self {
+        PrefetchWatchdog {
+            window_kernels: window_kernels.max(1),
+            throttle_pct,
+            disable_pct,
+            cooldown_kernels: cooldown_kernels.max(1),
+            state: DegradationState::Normal,
+            kernels_in_window: 0,
+            window_prefetched: 0,
+            window_wasted: 0,
+            cooldown_left: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current degradation state.
+    pub fn state(&self) -> DegradationState {
+        self.state
+    }
+
+    /// Every state change so far, in order.
+    pub fn transitions(&self) -> &[WatchdogTransition] {
+        &self.transitions
+    }
+
+    /// Feeds one kernel launch: `prefetched` and `wasted` are the page
+    /// counts accumulated since the previous call (deltas, not totals).
+    /// Returns the state in effect for the upcoming kernel.
+    pub fn observe(&mut self, kernel_seq: u64, prefetched: u64, wasted: u64) -> DegradationState {
+        if self.state == DegradationState::Disabled {
+            // Quiet period: prefetching is off, nothing to measure. Count
+            // down the cooldown and give the prefetcher a fresh window.
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.transition(kernel_seq, DegradationState::Normal);
+                self.reset_window();
+            }
+            return self.state;
+        }
+
+        self.kernels_in_window += 1;
+        self.window_prefetched += prefetched;
+        self.window_wasted += wasted;
+        if self.kernels_in_window < self.window_kernels {
+            return self.state;
+        }
+
+        // A window with no prefetch traffic carries no signal; keep the
+        // current state rather than "recovering" on silence.
+        if self.window_prefetched > 0 {
+            let pct = self
+                .window_wasted
+                .saturating_mul(100)
+                .checked_div(self.window_prefetched)
+                .unwrap_or(0);
+            let next = if pct >= self.disable_pct {
+                DegradationState::Disabled
+            } else if pct >= self.throttle_pct {
+                DegradationState::Throttled
+            } else {
+                DegradationState::Normal
+            };
+            if next != self.state {
+                self.transition(kernel_seq, next);
+                if next == DegradationState::Disabled {
+                    self.cooldown_left = self.cooldown_kernels;
+                }
+            }
+        }
+        self.reset_window();
+        self.state
+    }
+
+    fn transition(&mut self, kernel_seq: u64, to: DegradationState) {
+        self.transitions.push(WatchdogTransition {
+            kernel_seq,
+            from: self.state,
+            to,
+        });
+        self.state = to;
+    }
+
+    fn reset_window(&mut self) {
+        self.kernels_in_window = 0;
+        self.window_prefetched = 0;
+        self.window_wasted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_windows_stay_normal() {
+        let mut wd = PrefetchWatchdog::new(4, 50, 90, 8);
+        for seq in 1..=16 {
+            wd.observe(seq, 100, 5);
+        }
+        assert_eq!(wd.state(), DegradationState::Normal);
+        assert!(wd.transitions().is_empty());
+    }
+
+    #[test]
+    fn moderate_waste_throttles() {
+        let mut wd = PrefetchWatchdog::new(4, 50, 90, 8);
+        for seq in 1..=4 {
+            wd.observe(seq, 100, 60);
+        }
+        assert_eq!(wd.state(), DegradationState::Throttled);
+        assert_eq!(wd.transitions().len(), 1);
+        assert_eq!(wd.transitions()[0].from, DegradationState::Normal);
+    }
+
+    #[test]
+    fn throttled_recovers_when_waste_subsides() {
+        let mut wd = PrefetchWatchdog::new(4, 50, 90, 8);
+        for seq in 1..=4 {
+            wd.observe(seq, 100, 60);
+        }
+        assert_eq!(wd.state(), DegradationState::Throttled);
+        for seq in 5..=8 {
+            wd.observe(seq, 100, 5);
+        }
+        assert_eq!(wd.state(), DegradationState::Normal);
+        assert_eq!(wd.transitions().len(), 2);
+    }
+
+    #[test]
+    fn sustained_storm_disables_then_cooldown_reenables() {
+        let mut wd = PrefetchWatchdog::new(2, 50, 90, 3);
+        let mut seq = 0;
+        for _ in 0..2 {
+            seq += 1;
+            wd.observe(seq, 100, 95);
+        }
+        assert_eq!(wd.state(), DegradationState::Disabled);
+
+        // Two quiet kernels: still disabled (cooldown is 3).
+        for _ in 0..2 {
+            seq += 1;
+            assert_eq!(wd.observe(seq, 0, 0), DegradationState::Disabled);
+        }
+        // Third quiet kernel ends the cooldown.
+        seq += 1;
+        assert_eq!(wd.observe(seq, 0, 0), DegradationState::Normal);
+
+        let t = wd.transitions();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            (t[0].from, t[0].to),
+            (DegradationState::Normal, DegradationState::Disabled)
+        );
+        assert_eq!(
+            (t[1].from, t[1].to),
+            (DegradationState::Disabled, DegradationState::Normal)
+        );
+    }
+
+    #[test]
+    fn silent_window_carries_no_signal() {
+        let mut wd = PrefetchWatchdog::new(2, 50, 90, 3);
+        wd.observe(1, 100, 60);
+        wd.observe(2, 100, 60);
+        assert_eq!(wd.state(), DegradationState::Throttled);
+        // No prefetch traffic at all: state holds rather than recovering.
+        wd.observe(3, 0, 0);
+        wd.observe(4, 0, 0);
+        assert_eq!(wd.state(), DegradationState::Throttled);
+    }
+}

@@ -19,6 +19,7 @@
 use deepum_mem::{BlockNum, PageMask};
 use deepum_sim::clock::SimClock;
 use deepum_sim::energy::{EnergyMeter, PowerState};
+use deepum_sim::faultinject::{BackendHealth, SharedInjector};
 use deepum_sim::time::Ns;
 
 use crate::fault::{FaultBuffer, FaultEntry, SmId};
@@ -51,6 +52,31 @@ pub trait UmBackend {
     /// Called when the current kernel retires; lets the driver resume any
     /// paused prefetch chaining (Section 4.2).
     fn kernel_finished(&mut self, now: Ns);
+
+    /// Installs a shared fault injector; the backend rolls its DMA /
+    /// host-OOM / table-drop faults against it. Backends without
+    /// injectable failure paths ignore the handle.
+    fn install_injector(&mut self, injector: SharedInjector) {
+        let _ = injector;
+    }
+
+    /// Checks the backend's internal invariants (residency accounting,
+    /// LRU consistency). The engine asserts this after every fault drain
+    /// when validation is enabled; injection tests lean on it to prove
+    /// that injected faults never corrupt driver state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Graceful-degradation report (watchdog transitions, backpressure
+    /// drops). Backends without degradation machinery report the default.
+    fn health(&self) -> BackendHealth {
+        BackendHealth::default()
+    }
 }
 
 /// Statistics for one kernel execution.
@@ -93,6 +119,9 @@ pub struct GpuEngine {
     num_sms: u16,
     next_sm: u16,
     demand_batch: usize,
+    injector: Option<SharedInjector>,
+    validate_after_drain: bool,
+    scratch: Vec<FaultEntry>,
 }
 
 impl GpuEngine {
@@ -127,7 +156,23 @@ impl GpuEngine {
             num_sms,
             next_sm: 0,
             demand_batch,
+            injector: None,
+            validate_after_drain: false,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Installs a shared fault injector; fault storms then shrink the
+    /// effective demand batch for the storm's duration.
+    pub fn set_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// When enabled, the engine asserts [`UmBackend::validate`] after
+    /// every fault drain, panicking on the first violated invariant.
+    /// Off by default (it walks the backend's full block map).
+    pub fn set_validate_after_drain(&mut self, on: bool) {
+        self.validate_after_drain = on;
     }
 
     /// Lifetime page-fault entries accepted by the fault buffer.
@@ -175,7 +220,13 @@ impl GpuEngine {
                     break;
                 }
                 let before = miss.count();
-                for idx in miss.iter_ones().take(self.demand_batch) {
+                // A fault storm shrinks the batch the stalled SMs can
+                // deliver before the handler must run.
+                let batch_limit = match &self.injector {
+                    Some(inj) => inj.borrow_mut().effective_fault_batch(self.demand_batch),
+                    None => self.demand_batch,
+                };
+                for idx in miss.iter_ones().take(batch_limit) {
                     let sm = self.next_sm();
                     self.fault_buffer.push(FaultEntry {
                         page: access.block.page(idx),
@@ -183,13 +234,23 @@ impl GpuEngine {
                         sm,
                     });
                 }
-                let batch = self.fault_buffer.drain();
-                stats.faults += batch.len() as u64;
+                let GpuEngine {
+                    fault_buffer,
+                    scratch,
+                    ..
+                } = self;
+                fault_buffer.drain_into(scratch);
+                stats.faults += scratch.len() as u64;
                 stats.fault_batches += 1;
-                let stall = backend.handle_faults(clock.now(), &batch);
+                let stall = backend.handle_faults(clock.now(), scratch);
                 clock.advance(stall);
                 energy.accumulate(PowerState::Transfer, stall);
                 stats.stall += stall;
+                if self.validate_after_drain {
+                    if let Err(msg) = backend.validate() {
+                        panic!("backend invariant violated after fault drain: {msg}");
+                    }
+                }
 
                 let after = backend.resident_miss(access.block, &access.pages).count();
                 assert!(
@@ -376,6 +437,66 @@ mod tests {
         let k = kernel(&[(0, 1), (1, 1), (2, 1)], 100);
         let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
         assert_eq!(stats.compute, Ns::from_micros(100));
+    }
+
+    #[test]
+    fn storm_shrinks_demand_batches() {
+        use deepum_sim::faultinject::InjectionPlan;
+
+        let plan = InjectionPlan {
+            storm_rate: 1.0,
+            storm_capacity_frac: 0.25,
+            storm_duration_drains: u32::MAX,
+            ..InjectionPlan::default()
+        };
+        let mut engine = GpuEngine::with_params(FaultBuffer::new(4096), 4, 64);
+        engine.set_injector(plan.build_shared());
+        let mut clock = SimClock::new();
+        let mut backend = ToyBackend::default();
+        let mut energy = EnergyMeter::new();
+
+        let k = kernel(&[(0, 512)], 10);
+        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        assert_eq!(stats.faults, 512);
+        assert_eq!(stats.fault_batches, 32); // 512 / (64 * 0.25)
+    }
+
+    #[test]
+    fn validate_hook_panics_on_violation() {
+        struct BrokenBackend(ToyBackend);
+        impl UmBackend for BrokenBackend {
+            fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
+                self.0.resident_miss(block, pages)
+            }
+            fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+                self.0.handle_faults(now, faults)
+            }
+            fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask) {
+                self.0.touch(now, block, pages);
+            }
+            fn overlap_compute(&mut self, now: Ns, dur: Ns) -> Ns {
+                self.0.overlap_compute(now, dur)
+            }
+            fn kernel_finished(&mut self, now: Ns) {
+                self.0.kernel_finished(now);
+            }
+            fn validate(&self) -> Result<(), String> {
+                Err("synthetic violation".into())
+            }
+        }
+
+        let run = |validate: bool| {
+            std::panic::catch_unwind(move || {
+                let mut engine = GpuEngine::new();
+                engine.set_validate_after_drain(validate);
+                let mut clock = SimClock::new();
+                let mut backend = BrokenBackend(ToyBackend::default());
+                let mut energy = EnergyMeter::new();
+                engine.execute(&kernel(&[(0, 4)], 1), &mut clock, &mut backend, &mut energy);
+            })
+        };
+        assert!(run(false).is_ok());
+        assert!(run(true).is_err());
     }
 
     #[test]

@@ -122,6 +122,17 @@ impl FaultBuffer {
         self.entries.drain(..).collect()
     }
 
+    /// Drains all buffered entries into `out`, clearing the overflow
+    /// flag. `out` is cleared first, so its allocation is reused across
+    /// drains — the engine calls this once per fault batch on the hot
+    /// path, where [`FaultBuffer::drain`] would allocate a fresh `Vec`
+    /// every time.
+    pub fn drain_into(&mut self, out: &mut Vec<FaultEntry>) {
+        self.overflowed = false;
+        out.clear();
+        out.extend(self.entries.drain(..));
+    }
+
     /// Number of buffered entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -204,5 +215,44 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = FaultBuffer::new(0);
+    }
+
+    #[test]
+    fn drain_into_matches_drain() {
+        let mut a = FaultBuffer::new(8);
+        let mut b = FaultBuffer::new(8);
+        for i in 0..5 {
+            a.push(entry(i));
+            b.push(entry(i));
+        }
+        let mut out = Vec::new();
+        a.drain_into(&mut out);
+        assert_eq!(out, b.drain());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn drain_into_clears_previous_contents_and_reuses_capacity() {
+        let mut buf = FaultBuffer::new(8);
+        let mut out = vec![entry(99); 6];
+        let cap = out.capacity();
+        buf.push(entry(1));
+        buf.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], entry(1));
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn drain_into_clears_overflow_flag() {
+        let mut buf = FaultBuffer::new(2);
+        for i in 0..4 {
+            buf.push(entry(i));
+        }
+        assert!(buf.overflowed());
+        let mut out = Vec::new();
+        buf.drain_into(&mut out);
+        assert!(!buf.overflowed());
+        assert_eq!(out.len(), 2);
     }
 }

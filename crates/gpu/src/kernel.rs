@@ -91,7 +91,12 @@ pub struct KernelLaunch {
 impl KernelLaunch {
     /// Creates a launch descriptor, deriving the signature from `name` and
     /// `args`.
-    pub fn new(name: impl Into<Arc<str>>, args: &[u64], accesses: Vec<BlockAccess>, compute: Ns) -> Self {
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        args: &[u64],
+        accesses: Vec<BlockAccess>,
+        compute: Ns,
+    ) -> Self {
         let name = name.into();
         let signature = ExecSignature::of(&name, args);
         KernelLaunch {

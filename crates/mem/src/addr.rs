@@ -4,7 +4,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{PAGE_SIZE, PAGES_PER_BLOCK};
+use crate::{PAGES_PER_BLOCK, PAGE_SIZE};
 
 /// A byte address in the unified memory space.
 ///

@@ -5,7 +5,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{BlockNum, PageNum, UmAddr};
-use crate::{PageMask, BLOCK_SIZE, PAGE_SIZE, PAGES_PER_BLOCK};
+use crate::{PageMask, BLOCK_SIZE, PAGES_PER_BLOCK, PAGE_SIZE};
 
 /// A contiguous byte range `[start, start + len)` in the UM space.
 ///
@@ -56,7 +56,10 @@ impl ByteRange {
 
     /// True if the two ranges share at least one byte.
     pub fn overlaps(&self, other: &ByteRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
     }
 
     /// Iterator over every page touched by the range (partial pages count).
@@ -224,7 +227,10 @@ mod tests {
 
     #[test]
     fn blocks_across_boundary() {
-        let r = ByteRange::new(UmAddr::new(BLOCK_SIZE as u64 - PAGE_SIZE as u64), 2 * PAGE_SIZE as u64);
+        let r = ByteRange::new(
+            UmAddr::new(BLOCK_SIZE as u64 - PAGE_SIZE as u64),
+            2 * PAGE_SIZE as u64,
+        );
         let blocks: Vec<_> = r.blocks().collect();
         assert_eq!(blocks, vec![BlockNum::new(0), BlockNum::new(1)]);
     }

@@ -1,0 +1,329 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the real serde cannot be vendored. This crate provides the small
+//! slice of serde's surface the workspace actually uses — the
+//! [`Serialize`]/[`Deserialize`] traits and their derive macros — built
+//! on an explicit JSON-like [`value::Value`] model instead of serde's
+//! visitor architecture. The companion `serde_json` shim renders and
+//! parses that model.
+//!
+//! Design constraints inherited from the workspace:
+//!
+//! * **Determinism.** Object fields serialize in declaration order, so a
+//!   given report always renders to byte-identical JSON.
+//! * **Lossless round-trips.** Integers are carried as `i64`/`u64`
+//!   variants (never squeezed through `f64`), because simulation reports
+//!   cache virtual-time nanosecond counts that must survive a
+//!   write/read cycle exactly.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Value, ValueError};
+
+/// Types that can turn themselves into a [`Value`] tree.
+///
+/// The derive macro implements this for structs and enums following
+/// serde's JSON data model: named structs become objects, newtype
+/// structs are transparent, tuple structs become arrays, unit enum
+/// variants become strings, and data-carrying variants become
+/// single-key objects.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError`] when the tree's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, ValueError>;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, ValueError> {
+                let n = v.as_u64().ok_or_else(|| ValueError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| ValueError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, ValueError> {
+                let n = v.as_i64().ok_or_else(|| ValueError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| ValueError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ValueError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        v.as_f64().ok_or_else(|| ValueError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(ValueError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(ValueError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(ValueError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(ValueError::expected("fixed-size array", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::String(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(ValueError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(x) => Value::Object(vec![("Ok".to_string(), x.to_value())]),
+            Err(e) => Value::Object(vec![("Err".to_string(), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Object(members) if members.len() == 1 => match members[0].0.as_str() {
+                "Ok" => T::from_value(&members[0].1).map(Ok),
+                "Err" => E::from_value(&members[0].1).map(Err),
+                other => Err(ValueError::msg(format!(
+                    "expected `Ok` or `Err`, found `{other}`"
+                ))),
+            },
+            other => Err(ValueError::expected("result object", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(ValueError::expected("2-element array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u64>::from_value(&None::<u64>.to_value()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn u64_survives_without_f64_loss() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let a = [1u64, 2, 3, 4];
+        let v = a.to_value();
+        assert_eq!(<[u64; 4]>::from_value(&v).unwrap(), a);
+        assert!(<[u64; 3]>::from_value(&v).is_err());
+    }
+}

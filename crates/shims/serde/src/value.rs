@@ -1,0 +1,119 @@
+//! The JSON-like value tree shared by the `serde` and `serde_json` shims.
+
+use core::fmt;
+
+/// A JSON document as a tree of owned values.
+///
+/// Object members keep insertion order (a `Vec` of pairs, not a map), so
+/// serializing the same struct always yields the same bytes — the
+/// workspace's determinism tests compare rendered reports directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A negative integer (or any integer parsed with a leading `-`).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A number with a fractional part or exponent.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered members.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Integer view accepting both integer variants.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view accepting both integer variants.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view accepting every number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Object-member lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required object-member lookup, for derive-generated code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValueError`] if `self` is not an object or lacks `key`.
+    pub fn field(&self, key: &str) -> Result<&Value, ValueError> {
+        self.get(key)
+            .ok_or_else(|| ValueError::msg(format!("missing field `{key}`")))
+    }
+
+    /// One-line description of the variant, for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Shape mismatch produced while rebuilding a type from a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError {
+    message: String,
+}
+
+impl ValueError {
+    /// An error with a literal message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        ValueError {
+            message: message.into(),
+        }
+    }
+
+    /// An "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        ValueError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ValueError {}

@@ -1,0 +1,452 @@
+//! Seeded, deterministic fault injection for robustness testing.
+//!
+//! Real UM deployments degrade in ways the happy-path simulation never
+//! exercises: DMA engines time out and retry, the host runs out of free
+//! pages mid-write-back, fault buffers overflow under storm loads, and
+//! driver tables shed entries under memory pressure. This module provides
+//! the **chaos layer** the stack reacts to:
+//!
+//! * [`InjectionPlan`] — a declarative description of which faults to
+//!   inject and how often;
+//! * [`FaultInjector`] — the seeded roll engine threaded through the GPU
+//!   engine, the UM driver, and the DeepUM driver;
+//! * [`InjectionStats`] — counts of everything injected and of the
+//!   stack's reactions (retries, backoff time, fallbacks);
+//! * [`BackendHealth`] / [`DegradationState`] — the backend-side health
+//!   surface (prefetch-watchdog transitions, queue backpressure).
+//!
+//! Two properties are load-bearing:
+//!
+//! 1. **Determinism.** The injector owns one [`DetRng`] seeded from the
+//!    plan; the simulation is single-threaded, so the same seed and plan
+//!    reproduce the exact same fault trace, byte for byte.
+//! 2. **Zero cost when disabled.** A roll whose rate is `0.0` draws *no*
+//!    random number, so an empty plan leaves the RNG stream — and
+//!    therefore every simulation result — identical to a run with no
+//!    injector installed at all.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::Ns;
+
+/// Declarative description of the faults to inject into one run.
+///
+/// All `*_rate` fields are per-event probabilities in `[0.0, 1.0]`; a
+/// rate of `0.0` disables that fault class entirely (no RNG draw). The
+/// default plan is empty: every rate is zero.
+///
+/// # Example
+///
+/// ```
+/// use deepum_sim::faultinject::InjectionPlan;
+///
+/// let plan = InjectionPlan {
+///     seed: 7,
+///     dma_h2d_fail_rate: 0.05,
+///     ..InjectionPlan::default()
+/// };
+/// assert!(!plan.is_empty());
+/// assert!(InjectionPlan::default().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionPlan {
+    /// Seed of the injector's RNG stream (independent of the workload
+    /// seed, so chaos can vary while the workload stays fixed).
+    pub seed: u64,
+    /// Probability that a host→device DMA attempt fails transiently.
+    /// The driver retries with exponential backoff ([`Self::backoff_base`],
+    /// at most [`Self::max_retries`] retries); demand migrations then
+    /// force through (the replay loop cannot abandon), prefetch
+    /// migrations are abandoned and fall back to the demand path.
+    pub dma_h2d_fail_rate: f64,
+    /// Probability that a device→host write-back DMA fails transiently.
+    /// Write-backs can never be abandoned (that would lose data), so
+    /// after `max_retries` backoffs the transfer is forced through.
+    pub dma_d2h_fail_rate: f64,
+    /// Probability that an eviction episode hits a transient host OOM:
+    /// victim selection then prefers blocks evictable *without*
+    /// write-back (invalidatable pages, Section 5.2), and every victim
+    /// that still must write back pays one extra `backoff_base` stall.
+    pub host_oom_rate: f64,
+    /// Probability per fault-buffer drain that a fault storm begins,
+    /// shrinking the effective demand batch to
+    /// [`Self::storm_capacity_frac`] for [`Self::storm_duration_drains`]
+    /// drains (more drains, more per-batch overhead).
+    pub storm_rate: f64,
+    /// Effective fault-batch capacity fraction during a storm, clamped
+    /// to `[0.0, 1.0]`; the batch never shrinks below one entry.
+    pub storm_capacity_frac: f64,
+    /// How many drains a storm lasts once triggered.
+    pub storm_duration_drains: u32,
+    /// Probability that a correlation-table pair record is dropped
+    /// before it reaches the table (models table-update loss under
+    /// memory pressure); the prefetcher must cope with holes.
+    pub corr_drop_rate: f64,
+    /// Probability that a kernel launch hits a delay spike of
+    /// [`Self::launch_delay`].
+    pub launch_delay_rate: f64,
+    /// Magnitude of an injected kernel-launch delay spike.
+    pub launch_delay: Ns,
+    /// Bounded retry attempts for transient DMA failures.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt (simulated time).
+    pub backoff_base: Ns,
+}
+
+impl Default for InjectionPlan {
+    fn default() -> Self {
+        InjectionPlan {
+            seed: 0,
+            dma_h2d_fail_rate: 0.0,
+            dma_d2h_fail_rate: 0.0,
+            host_oom_rate: 0.0,
+            storm_rate: 0.0,
+            storm_capacity_frac: 0.25,
+            storm_duration_drains: 4,
+            corr_drop_rate: 0.0,
+            launch_delay_rate: 0.0,
+            launch_delay: Ns::from_micros(50),
+            max_retries: 4,
+            backoff_base: Ns::from_micros(2),
+        }
+    }
+}
+
+impl InjectionPlan {
+    /// True if every fault class is disabled: installing an injector for
+    /// an empty plan changes nothing about a run.
+    pub fn is_empty(&self) -> bool {
+        self.dma_h2d_fail_rate <= 0.0
+            && self.dma_d2h_fail_rate <= 0.0
+            && self.host_oom_rate <= 0.0
+            && self.storm_rate <= 0.0
+            && self.corr_drop_rate <= 0.0
+            && self.launch_delay_rate <= 0.0
+    }
+
+    /// Builds the shared injector handle the executor threads through
+    /// the engine and the driver stack.
+    pub fn build_shared(&self) -> SharedInjector {
+        Rc::new(RefCell::new(FaultInjector::new(self.clone())))
+    }
+}
+
+/// Counts of injected faults and of the stack's reactions. Part of the
+/// run report's health section.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionStats {
+    /// Host→device DMA attempts that failed transiently.
+    pub dma_h2d_failures: u64,
+    /// Device→host write-back DMA attempts that failed transiently.
+    pub dma_d2h_failures: u64,
+    /// Eviction episodes that hit a transient host OOM.
+    pub host_oom_events: u64,
+    /// Fault storms triggered.
+    pub storms: u64,
+    /// Fault-buffer drains executed at storm-shrunk capacity.
+    pub storm_drains: u64,
+    /// Correlation-table pair records dropped before insertion.
+    pub corr_records_dropped: u64,
+    /// Kernel launches hit by a delay spike.
+    pub launch_delays: u64,
+    /// Total injected launch-delay time.
+    pub launch_delay_time: Ns,
+    /// DMA retry attempts performed by the driver.
+    pub migration_retries: u64,
+    /// Total simulated backoff time charged for retries.
+    pub backoff_time: Ns,
+    /// Prefetch migrations abandoned after retry exhaustion (the pages
+    /// fall back to the demand path).
+    pub prefetches_abandoned: u64,
+    /// Eviction victims chosen by the host-OOM fallback because they
+    /// needed no write-back (fully invalidatable residency).
+    pub writeback_fallbacks: u64,
+}
+
+/// Shared handle to one run's injector: the executor owns it and clones
+/// it into the GPU engine and the driver stack. `Rc<RefCell<..>>` is
+/// deliberate — the simulation is single-threaded, and a single shared
+/// RNG stream is what makes the fault trace reproducible.
+pub type SharedInjector = Rc<RefCell<FaultInjector>>;
+
+/// The seeded roll engine behind an [`InjectionPlan`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: InjectionPlan,
+    rng: DetRng,
+    stats: InjectionStats,
+    storm_drains_left: u32,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`, seeding its RNG from `plan.seed`.
+    pub fn new(plan: InjectionPlan) -> Self {
+        let rng = DetRng::seed(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            stats: InjectionStats::default(),
+            storm_drains_left: 0,
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &InjectionPlan {
+        &self.plan
+    }
+
+    /// Snapshot of everything injected (and reacted to) so far.
+    pub fn stats(&self) -> &InjectionStats {
+        &self.stats
+    }
+
+    /// One Bernoulli roll. The zero-rate early-out is the module's
+    /// zero-cost guarantee: disabled fault classes consume no randomness.
+    fn roll(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        self.rng.unit_f64() < rate
+    }
+
+    /// Rolls a transient host→device DMA failure.
+    pub fn roll_h2d_failure(&mut self) -> bool {
+        let hit = self.roll(self.plan.dma_h2d_fail_rate);
+        if hit {
+            self.stats.dma_h2d_failures += 1;
+        }
+        hit
+    }
+
+    /// Rolls a transient device→host write-back DMA failure.
+    pub fn roll_d2h_failure(&mut self) -> bool {
+        let hit = self.roll(self.plan.dma_d2h_fail_rate);
+        if hit {
+            self.stats.dma_d2h_failures += 1;
+        }
+        hit
+    }
+
+    /// Rolls a transient host OOM for one eviction episode.
+    pub fn roll_host_oom(&mut self) -> bool {
+        let hit = self.roll(self.plan.host_oom_rate);
+        if hit {
+            self.stats.host_oom_events += 1;
+        }
+        hit
+    }
+
+    /// Rolls whether a correlation-table pair record is dropped.
+    pub fn roll_corr_drop(&mut self) -> bool {
+        let hit = self.roll(self.plan.corr_drop_rate);
+        if hit {
+            self.stats.corr_records_dropped += 1;
+        }
+        hit
+    }
+
+    /// Rolls a kernel-launch delay spike; returns the delay to charge.
+    pub fn roll_launch_delay(&mut self) -> Option<Ns> {
+        if self.roll(self.plan.launch_delay_rate) {
+            self.stats.launch_delays += 1;
+            self.stats.launch_delay_time += self.plan.launch_delay;
+            Some(self.plan.launch_delay)
+        } else {
+            None
+        }
+    }
+
+    /// Fault-storm hook, called once per fault-buffer drain with the
+    /// engine's configured demand batch. During a storm the effective
+    /// batch shrinks (never below one entry), so resolving the same miss
+    /// set takes more drains and pays more per-batch overhead — the
+    /// fault-pipeline shape of a buffer-capacity collapse.
+    pub fn effective_fault_batch(&mut self, base: usize) -> usize {
+        if self.storm_drains_left == 0 && self.roll(self.plan.storm_rate) {
+            self.stats.storms += 1;
+            self.storm_drains_left = self.plan.storm_duration_drains.max(1);
+        }
+        if self.storm_drains_left > 0 {
+            self.storm_drains_left -= 1;
+            self.stats.storm_drains += 1;
+            let frac = self.plan.storm_capacity_frac.clamp(0.0, 1.0);
+            return ((base as f64 * frac) as usize).max(1);
+        }
+        base
+    }
+
+    /// Records one retry attempt and its backoff delay.
+    pub fn note_retry(&mut self, backoff: Ns) {
+        self.stats.migration_retries += 1;
+        self.stats.backoff_time += backoff;
+    }
+
+    /// Records a prefetch migration abandoned after retry exhaustion.
+    pub fn note_prefetch_abandoned(&mut self) {
+        self.stats.prefetches_abandoned += 1;
+    }
+
+    /// Records `n` eviction victims chosen by the no-write-back fallback.
+    pub fn note_writeback_fallbacks(&mut self, n: u64) {
+        self.stats.writeback_fallbacks += n;
+    }
+}
+
+/// Degradation level of the DeepUM prefetch watchdog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationState {
+    /// Prefetching at full configured degree.
+    #[default]
+    Normal,
+    /// Misprediction rate crossed the throttle threshold: prefetch
+    /// degree halved.
+    Throttled,
+    /// Misprediction rate crossed the disable threshold: correlation
+    /// prefetching off until the cooldown elapses.
+    Disabled,
+}
+
+/// One watchdog state change, stamped with the kernel sequence number at
+/// which it happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogTransition {
+    /// Kernel sequence number (per-run launch counter) of the change.
+    pub kernel_seq: u64,
+    /// State before.
+    pub from: DegradationState,
+    /// State after.
+    pub to: DegradationState,
+}
+
+/// Backend-side health surface: graceful-degradation history reported by
+/// a [`UmBackend`](https://docs.rs/deepum-gpu) implementation. The naive
+/// UM baseline reports the default (nothing degraded).
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendHealth {
+    /// Final watchdog state at end of run.
+    pub watchdog_state: DegradationState,
+    /// Every watchdog state change, in order.
+    pub watchdog_transitions: Vec<WatchdogTransition>,
+    /// Predicted-window entries dropped to the capacity bound
+    /// (backpressure on the protection window).
+    pub predicted_window_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_draws_no_randomness() {
+        let mut inj = FaultInjector::new(InjectionPlan::default());
+        // Exercise every roll; none may consume RNG state.
+        assert!(!inj.roll_h2d_failure());
+        assert!(!inj.roll_d2h_failure());
+        assert!(!inj.roll_host_oom());
+        assert!(!inj.roll_corr_drop());
+        assert!(inj.roll_launch_delay().is_none());
+        assert_eq!(inj.effective_fault_batch(256), 256);
+        let mut pristine = DetRng::seed(0);
+        assert_eq!(inj.rng.next_u64(), pristine.next_u64());
+        assert_eq!(*inj.stats(), InjectionStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = InjectionPlan {
+            seed: 99,
+            dma_h2d_fail_rate: 0.3,
+            corr_drop_rate: 0.2,
+            launch_delay_rate: 0.1,
+            ..InjectionPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..256 {
+            assert_eq!(a.roll_h2d_failure(), b.roll_h2d_failure());
+            assert_eq!(a.roll_corr_drop(), b.roll_corr_drop());
+            assert_eq!(a.roll_launch_delay(), b.roll_launch_delay());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn certain_rates_fire_without_drawing() {
+        let plan = InjectionPlan {
+            dma_h2d_fail_rate: 1.0,
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.roll_h2d_failure());
+        let mut pristine = DetRng::seed(0);
+        assert_eq!(inj.rng.next_u64(), pristine.next_u64());
+    }
+
+    #[test]
+    fn storm_shrinks_batches_for_its_duration() {
+        let plan = InjectionPlan {
+            storm_rate: 1.0,
+            storm_capacity_frac: 0.25,
+            storm_duration_drains: 3,
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        // Storm triggers on the first drain and covers three drains;
+        // storm_rate == 1.0 immediately re-triggers afterwards.
+        for _ in 0..3 {
+            assert_eq!(inj.effective_fault_batch(256), 64);
+        }
+        assert_eq!(inj.stats().storms, 1);
+        assert_eq!(inj.stats().storm_drains, 3);
+    }
+
+    #[test]
+    fn storm_floor_is_one_entry() {
+        let plan = InjectionPlan {
+            storm_rate: 1.0,
+            storm_capacity_frac: 0.0,
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.effective_fault_batch(256), 1);
+    }
+
+    #[test]
+    fn stats_round_trip_through_serde() {
+        let mut inj = FaultInjector::new(InjectionPlan {
+            launch_delay_rate: 1.0,
+            ..InjectionPlan::default()
+        });
+        inj.roll_launch_delay();
+        inj.note_retry(Ns::from_micros(2));
+        let v = serde::Serialize::to_value(inj.stats());
+        let back: InjectionStats = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, *inj.stats());
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = InjectionPlan {
+            seed: 5,
+            storm_rate: 0.5,
+            ..InjectionPlan::default()
+        };
+        let v = serde::Serialize::to_value(&plan);
+        let back: InjectionPlan = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn backend_health_defaults_to_normal() {
+        let h = BackendHealth::default();
+        assert_eq!(h.watchdog_state, DegradationState::Normal);
+        assert!(h.watchdog_transitions.is_empty());
+    }
+}

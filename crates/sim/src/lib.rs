@@ -16,6 +16,9 @@
 //! * [`metrics::Counters`] — named event counters (page faults, migrations,
 //!   prefetch hits, ...) used by every experiment.
 //! * [`rng::DetRng`] — seeded RNG so that every run is reproducible.
+//! * [`faultinject`] — seeded, deterministic fault injection (DMA
+//!   failures, host OOM, fault storms, table drops, launch delays) for
+//!   robustness testing of the layers above.
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 pub mod clock;
 pub mod costs;
 pub mod energy;
+pub mod faultinject;
 pub mod metrics;
 pub mod rng;
 pub mod time;
@@ -41,6 +45,10 @@ pub mod time;
 pub use clock::SimClock;
 pub use costs::CostModel;
 pub use energy::{EnergyMeter, PowerModel, PowerState};
+pub use faultinject::{
+    BackendHealth, DegradationState, FaultInjector, InjectionPlan, InjectionStats, SharedInjector,
+    WatchdogTransition,
+};
 pub use metrics::Counters;
 pub use rng::DetRng;
 pub use time::Ns;

@@ -1,19 +1,19 @@
 //! Deterministic random number generation.
 //!
 //! The only stochastic element of the reproduction is workload-side:
-//! DLRM's data-dependent embedding lookups and the randomized-search
-//! baseline (SwapAdvisor). Both draw from [`DetRng`], a small seeded
-//! generator, so that a given seed reproduces the exact same fault trace
-//! and schedule on every run.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! DLRM's data-dependent embedding lookups, the randomized-search
+//! baseline (SwapAdvisor), and the fault-injection layer. All draw from
+//! [`DetRng`], a small seeded generator, so that a given seed reproduces
+//! the exact same fault trace and schedule on every run.
 
 /// A seeded, reproducible random number generator.
 ///
-/// Thin wrapper around [`rand::rngs::StdRng`] that fixes the seeding
-/// discipline (explicit `u64` seeds only — no OS entropy) and offers the
-/// couple of draw shapes the workloads need.
+/// Self-contained xoshiro256++ core with SplitMix64 seed expansion — no
+/// OS entropy, no external dependency — exposing the couple of draw
+/// shapes the workloads need. The algorithm choice is part of the
+/// repo's determinism contract: reports cached under a given seed stay
+/// valid across toolchain updates because the stream is fixed here, not
+/// inherited from a library.
 ///
 /// # Example
 ///
@@ -26,26 +26,50 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand one `u64` seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from an explicit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derives an independent child generator; used to give each model /
     /// iteration its own stream without coupling draw counts.
     pub fn fork(&mut self) -> Self {
-        Self::seed(self.inner.gen())
+        Self::seed(self.next_u64())
     }
 
-    /// Next raw 64-bit draw.
+    /// Next raw 64-bit draw (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        self.state = [n0, n1, n2, n3.rotate_left(45)];
+        result
     }
 
     /// Uniform draw in `[0, bound)`.
@@ -55,12 +79,20 @@ impl DetRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Debiased multiply-shift (Lemire): retry on the short tail.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound || bound.is_power_of_two() {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform draw in `[0.0, 1.0)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// A draw from a truncated power-law over `[0, n)`, approximating the
@@ -122,13 +154,20 @@ mod tests {
     }
 
     #[test]
+    fn unit_f64_stays_in_range() {
+        let mut r = DetRng::seed(21);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
     fn zipf_like_is_skewed() {
         let mut r = DetRng::seed(11);
         let n = 10_000u64;
         let draws = 20_000;
-        let hot = (0..draws)
-            .filter(|_| r.zipf_like(n, 1.2) < n / 100)
-            .count();
+        let hot = (0..draws).filter(|_| r.zipf_like(n, 1.2) < n / 100).count();
         // With skew, far more than 1% of draws land in the hottest 1%.
         assert!(hot > draws / 20, "hot draws: {hot}");
     }
@@ -161,5 +200,14 @@ mod tests {
         let mut parent2 = DetRng::seed(9);
         let mut child2 = parent2.fork();
         assert_eq!(c1, child2.next_u64());
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The exact stream is part of the determinism contract; cached
+        // reports depend on it. If this changes, bump the bench cache
+        // VERSION.
+        let mut r = DetRng::seed(42);
+        assert_eq!(r.next_u64(), 0xd076_4d4f_4476_689f);
     }
 }

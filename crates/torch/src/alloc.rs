@@ -180,7 +180,8 @@ impl SegmentSource for DeviceHeap {
         let start = self.next_va;
         // Keep segments block-aligned so PT blocks never straddle UM
         // blocks in mixed setups.
-        self.next_va = (start + bytes).div_ceil(crate::alloc::LARGE_ROUND) * crate::alloc::LARGE_ROUND;
+        self.next_va =
+            (start + bytes).div_ceil(crate::alloc::LARGE_ROUND) * crate::alloc::LARGE_ROUND;
         Ok(ByteRange::new(UmAddr::new(start), bytes))
     }
 
@@ -411,8 +412,7 @@ impl CachingAllocator {
                 && prev.segment == segment
                 && prev_start + prev.range.len() == range.start().raw()
             {
-                let merged =
-                    ByteRange::new(prev.range.start(), prev.range.len() + range.len());
+                let merged = ByteRange::new(prev.range.start(), prev.range.len() + range.len());
                 self.remove_free_entry(prev_id);
                 self.by_addr.remove(&range.start().raw());
                 self.blocks.remove(&id);

@@ -89,8 +89,20 @@ impl Chain {
     /// Emits a conv (+BN+activation) layer: `k`×`k`, stride `s`,
     /// `cout` output channels. `upsample` doubles instead of dividing
     /// the spatial size (transposed conv).
-    fn conv(&mut self, b: &mut WorkloadBuilder, tag: &str, cout: u64, k: u64, s: u64, upsample: bool) {
-        let h_out = if upsample { self.h * s } else { self.h.div_ceil(s) };
+    fn conv(
+        &mut self,
+        b: &mut WorkloadBuilder,
+        tag: &str,
+        cout: u64,
+        k: u64,
+        s: u64,
+        upsample: bool,
+    ) {
+        let h_out = if upsample {
+            self.h * s
+        } else {
+            self.h.div_ceil(s)
+        };
         let w_bytes = k * k * self.c * cout * F32;
         let param = self.param(b, w_bytes);
         let out_bytes = self.batch * h_out * h_out * cout * F32;
@@ -118,7 +130,14 @@ impl Chain {
     }
 
     /// Emits a residual bottleneck (1×1 → 3×3 → 1×1 with skip).
-    fn bottleneck(&mut self, b: &mut WorkloadBuilder, tag: &str, width: u64, cout: u64, stride: u64) {
+    fn bottleneck(
+        &mut self,
+        b: &mut WorkloadBuilder,
+        tag: &str,
+        width: u64,
+        cout: u64,
+        stride: u64,
+    ) {
         let block_in = self.x;
         let block_in_bytes = self.x_bytes;
         let cin = self.c;
@@ -347,7 +366,10 @@ pub fn dcgan(batch: usize) -> Workload {
 
     // Generator: z(100) -> 4x4x1024 -> ... -> 64x64x3.
     let z = b.alloc(bt * 100 * F32);
-    b.kernel("g.sample_z").writes(&[z]).flops((bt * 100) as f64).launch();
+    b.kernel("g.sample_z")
+        .writes(&[z])
+        .flops((bt * 100) as f64)
+        .launch();
     let seed_bytes = bt * 4 * 4 * 1024 * F32;
     let seed = b.alloc(seed_bytes);
     let g_fc = (

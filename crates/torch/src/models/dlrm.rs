@@ -83,7 +83,10 @@ pub fn dlrm(batch: usize) -> Workload {
 
     // ---- Forward ----
     let dense_in = b.alloc(bt * 13 * F32);
-    b.kernel("input.dense").writes(&[dense_in]).flops((bt * 13) as f64).launch();
+    b.kernel("input.dense")
+        .writes(&[dense_in])
+        .flops((bt * 13) as f64)
+        .launch();
     let bottom_acts = run_mlp_fwd(&mut b, "bottom", &bottom, dense_in);
 
     // Embedding lookups: one gather per table, batch rows each.
@@ -95,7 +98,12 @@ pub fn dlrm(batch: usize) -> Workload {
             .writes(&[emb_out])
             .flops((bt * 26 * EMBED_DIM) as f64);
         for &t in &tables {
-            k = k.gather(t, bt.min(u32::MAX as u64) as u32, (EMBED_DIM * F32) as u32, SKEW);
+            k = k.gather(
+                t,
+                bt.min(u32::MAX as u64) as u32,
+                (EMBED_DIM * F32) as u32,
+                SKEW,
+            );
         }
         k.launch();
     }
@@ -157,7 +165,12 @@ pub fn dlrm(batch: usize) -> Workload {
             .reads(&[grad_emb])
             .flops((bt * 26 * EMBED_DIM * 2) as f64);
         for &t in &tables {
-            k = k.gather(t, bt.min(u32::MAX as u64) as u32, (EMBED_DIM * F32) as u32, SKEW);
+            k = k.gather(
+                t,
+                bt.min(u32::MAX as u64) as u32,
+                (EMBED_DIM * F32) as u32,
+                SKEW,
+            );
         }
         k.launch();
     }

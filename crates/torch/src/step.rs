@@ -185,10 +185,7 @@ impl Workload {
                 Step::Kernel(k) => {
                     for id in k.reads.iter().chain(&k.writes) {
                         if !live.contains(id) {
-                            return Err(format!(
-                                "step {i} ({}): uses dead tensor {id}",
-                                k.name
-                            ));
+                            return Err(format!("step {i} ({}): uses dead tensor {id}", k.name));
                         }
                     }
                     for g in &k.gathers {
@@ -370,9 +367,17 @@ mod tests {
             .flops(1e9)
             .launch();
         let a2 = b.alloc(2 << 20);
-        b.kernel("l2.fwd").reads(&[a1]).writes(&[a2]).flops(2e9).launch();
+        b.kernel("l2.fwd")
+            .reads(&[a1])
+            .writes(&[a2])
+            .flops(2e9)
+            .launch();
         b.free(a1);
-        b.kernel("l2.bwd").reads(&[a2]).writes(&[w]).flops(2e9).launch();
+        b.kernel("l2.bwd")
+            .reads(&[a2])
+            .writes(&[w])
+            .flops(2e9)
+            .launch();
         b.free(a2);
         b.build()
     }

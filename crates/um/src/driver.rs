@@ -14,11 +14,12 @@
 //! * [`UmDriver::mark_invalidatable`] — pages of inactive PT blocks that
 //!   may be dropped without write-back (Section 5.2).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use deepum_gpu::fault::FaultEntry;
 use deepum_mem::{BlockNum, ByteRange, PageMask, PAGE_SIZE};
 use deepum_sim::costs::CostModel;
+use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 
@@ -86,6 +87,7 @@ pub struct UmDriver {
     lru: LruMigrated,
     protected: SharedBlockSet,
     counters: Counters,
+    injector: Option<SharedInjector>,
 }
 
 impl UmDriver {
@@ -100,7 +102,16 @@ impl UmDriver {
             lru: LruMigrated::new(),
             protected: SharedBlockSet::new(),
             counters: Counters::new(),
+            injector: None,
         }
+    }
+
+    /// Installs a shared fault injector. Migrations then roll transient
+    /// DMA failures (retried with exponential backoff) and evictions
+    /// roll transient host OOMs (victim selection prefers blocks that
+    /// need no write-back).
+    pub fn install_injector(&mut self, injector: SharedInjector) {
+        self.injector = Some(injector);
     }
 
     /// Device capacity in pages.
@@ -257,7 +268,9 @@ impl UmDriver {
                 MigratePath::Demand => EvictPath::Demand,
                 MigratePath::Prefetch => EvictPath::Pre,
             };
-            cost += self.evict_to_free(now, needed, evict_path, Some(block)).total();
+            cost += self
+                .evict_to_free(now, needed, evict_path, Some(block))
+                .total();
         }
         if self.free_pages() < count {
             match path {
@@ -285,6 +298,37 @@ impl UmDriver {
             .map(|s| missing.intersect(&s.host_valid))
             .unwrap_or_else(PageMask::empty);
         let bytes = transferable.count() as u64 * PAGE_SIZE as u64;
+
+        // Injected transient DMA failures: retry with exponential backoff
+        // (simulated time). When retries run out, a demand migration is
+        // forced through — the replay loop cannot abandon a faulted page —
+        // while a prefetch is abandoned and left to the demand path.
+        if bytes > 0 {
+            if let Some(handle) = self.injector.clone() {
+                let mut inj = handle.borrow_mut();
+                let max_retries = inj.plan().max_retries;
+                let mut backoff = inj.plan().backoff_base;
+                let mut failures = 0u32;
+                while inj.roll_h2d_failure() {
+                    inj.note_retry(backoff);
+                    cost += backoff;
+                    backoff = backoff.saturating_add(backoff);
+                    failures += 1;
+                    if failures > max_retries {
+                        match path {
+                            MigratePath::Demand => break,
+                            MigratePath::Prefetch => {
+                                inj.note_prefetch_abandoned();
+                                drop(inj);
+                                self.counters.prefetch_dropped += 1;
+                                return cost;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         cost += self.costs.populate_page_cost * count;
         cost += self.costs.transfer_time(bytes);
         cost += self.costs.map_page_cost * count;
@@ -345,12 +389,48 @@ impl UmDriver {
     ) -> EvictCost {
         let mut victims = Vec::new();
         let mut freed = 0u64;
+
+        // Injected transient host OOM: the host cannot take write-back
+        // pages right now, so victim selection first prefers blocks whose
+        // whole residency is invalidatable (Section 5.2) — they free
+        // device pages without touching host memory at all.
+        let host_oom = match &self.injector {
+            Some(inj) => inj.borrow_mut().roll_host_oom(),
+            None => false,
+        };
+        if host_oom {
+            for (key, block) in self.lru.iter() {
+                if freed >= needed {
+                    break;
+                }
+                if Some(block) == exclude || self.protected.contains(block) {
+                    continue;
+                }
+                let state = &self.blocks[&block];
+                let pages = state.resident.count() as u64;
+                if pages == 0 || !state.resident.subtract(&state.invalidatable).is_empty() {
+                    continue;
+                }
+                victims.push((key, block));
+                freed += pages;
+            }
+            if !victims.is_empty() {
+                if let Some(inj) = &self.injector {
+                    inj.borrow_mut()
+                        .note_writeback_fallbacks(victims.len() as u64);
+                }
+            }
+        }
+
         // First pass: honour the protected set.
         for (key, block) in self.lru.iter() {
             if freed >= needed {
                 break;
             }
-            if Some(block) == exclude || self.protected.contains(block) {
+            if Some(block) == exclude
+                || self.protected.contains(block)
+                || victims.iter().any(|&(_, b)| b == block)
+            {
                 continue;
             }
             let pages = self.blocks[&block].resident.count() as u64;
@@ -383,14 +463,21 @@ impl UmDriver {
 
         let mut cost = EvictCost::default();
         for (key, block) in victims {
-            let c = self.evict_block(now, block, key, path);
+            let c = self.evict_block(now, block, key, path, host_oom);
             cost.bookkeeping += c.bookkeeping;
             cost.writeback += c.writeback;
         }
         cost
     }
 
-    fn evict_block(&mut self, _now: Ns, block: BlockNum, lru_key: Ns, path: EvictPath) -> EvictCost {
+    fn evict_block(
+        &mut self,
+        _now: Ns,
+        block: BlockNum,
+        lru_key: Ns,
+        path: EvictPath,
+        host_oom: bool,
+    ) -> EvictCost {
         let state = self.blocks.get_mut(&block).expect("victim block exists");
         let resident = state.resident;
         let count = resident.count() as u64;
@@ -412,17 +499,108 @@ impl UmDriver {
 
         self.counters.pages_invalidated += invalidated.count() as u64;
         match path {
-            EvictPath::Demand => {
-                self.counters.pages_evicted_demand += writeback.count() as u64
-            }
+            EvictPath::Demand => self.counters.pages_evicted_demand += writeback.count() as u64,
             EvictPath::Pre => self.counters.pages_preevicted += writeback.count() as u64,
         }
         self.counters.bytes_d2h += writeback_bytes;
 
+        let mut writeback_cost = self.costs.transfer_time(writeback_bytes);
+        if writeback_bytes > 0 {
+            if let Some(handle) = self.injector.clone() {
+                let mut inj = handle.borrow_mut();
+                // A write-back can never be abandoned — that would lose
+                // the only valid copy — so DMA failures retry with
+                // exponential backoff until they run out of budget, then
+                // force through.
+                let max_retries = inj.plan().max_retries;
+                let mut backoff = inj.plan().backoff_base;
+                let mut failures = 0u32;
+                while failures < max_retries && inj.roll_d2h_failure() {
+                    inj.note_retry(backoff);
+                    writeback_cost += backoff;
+                    backoff = backoff.saturating_add(backoff);
+                    failures += 1;
+                }
+                if host_oom {
+                    // Host page reclaim stalls this write-back once.
+                    writeback_cost += inj.plan().backoff_base;
+                }
+            }
+        }
+
         EvictCost {
             bookkeeping: self.costs.evict_page_cost * count,
-            writeback: self.costs.transfer_time(writeback_bytes),
+            writeback: writeback_cost,
         }
+    }
+
+    /// Checks the driver's internal invariants, returning the first
+    /// violation found. The GPU engine asserts this after every fault
+    /// drain when validation is enabled; injection tests use it to show
+    /// injected faults never corrupt residency accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut total = 0u64;
+        for (block, state) in &self.blocks {
+            total += state.resident.count() as u64;
+            if !state
+                .prefetched_untouched
+                .subtract(&state.resident)
+                .is_empty()
+            {
+                return Err(format!("{block}: prefetched_untouched pages not resident"));
+            }
+            if !state.resident.intersect(&state.host_valid).is_empty() {
+                return Err(format!(
+                    "{block}: pages both device-resident and host-valid"
+                ));
+            }
+        }
+        if total != self.resident_pages {
+            return Err(format!(
+                "resident_pages counter {} != per-block sum {total}",
+                self.resident_pages
+            ));
+        }
+        if self.resident_pages > self.capacity_pages {
+            return Err(format!(
+                "resident_pages {} exceeds capacity {}",
+                self.resident_pages, self.capacity_pages
+            ));
+        }
+        let mut lru_blocks = HashSet::new();
+        let mut lru_len = 0usize;
+        for (key, block) in self.lru.iter() {
+            lru_len += 1;
+            if !lru_blocks.insert(block) {
+                return Err(format!("{block} appears twice in the LRU order"));
+            }
+            match self.blocks.get(&block) {
+                Some(state) if !state.resident.is_empty() => {
+                    if state.last_migrated != key {
+                        return Err(format!(
+                            "{block}: LRU key {key} != last_migrated {}",
+                            state.last_migrated
+                        ));
+                    }
+                }
+                _ => return Err(format!("{block} in LRU but not resident")),
+            }
+        }
+        let resident_blocks = self
+            .blocks
+            .values()
+            .filter(|s| !s.resident.is_empty())
+            .count();
+        if resident_blocks != lru_len {
+            return Err(format!(
+                "{resident_blocks} resident blocks but {lru_len} LRU entries"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -447,6 +625,14 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
     }
 
     fn kernel_finished(&mut self, _now: Ns) {}
+
+    fn install_injector(&mut self, injector: SharedInjector) {
+        UmDriver::install_injector(self, injector)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        UmDriver::validate(self)
+    }
 }
 
 /// Deduplicates fault entries and groups them per UM block, preserving
@@ -472,8 +658,7 @@ mod tests {
     use deepum_mem::{PageNum, UmAddr, BLOCK_SIZE};
 
     fn small_driver(capacity_blocks: u64) -> UmDriver {
-        let costs = CostModel::v100_32gb()
-            .with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
+        let costs = CostModel::v100_32gb().with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
         UmDriver::new(costs)
     }
 
@@ -572,10 +757,7 @@ mod tests {
         let mut d = small_driver(1);
         d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
         // Mark the whole block as belonging to an inactive PT block.
-        d.mark_invalidatable(
-            ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64),
-            true,
-        );
+        d.mark_invalidatable(ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64), true);
         d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
         let c = d.counters();
         assert_eq!(c.pages_invalidated, 512);
@@ -674,6 +856,146 @@ mod tests {
         assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 100);
         let miss = d.resident_miss(BlockNum::new(0), &PageMask::first_n(512));
         assert_eq!(miss.count(), 412);
+    }
+
+    #[test]
+    fn validate_passes_through_fault_evict_churn() {
+        let mut d = small_driver(2);
+        for b in 0..6 {
+            d.handle_faults(Ns::from_nanos(b + 1), &faults_for(b, 0..512));
+            d.validate().expect("healthy driver");
+        }
+        d.prefetch_into_gpu(
+            Ns::from_nanos(10),
+            BlockNum::new(9),
+            &PageMask::first_n(100),
+        );
+        d.preevict(Ns::from_nanos(11), 256);
+        d.validate().expect("healthy after prefetch + preevict");
+    }
+
+    #[test]
+    fn validate_detects_corrupt_residency_counter() {
+        let mut d = small_driver(2);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..10));
+        d.resident_pages += 1;
+        assert!(d.validate().is_err());
+    }
+
+    fn always_fail_plan() -> deepum_sim::faultinject::InjectionPlan {
+        deepum_sim::faultinject::InjectionPlan {
+            dma_h2d_fail_rate: 1.0,
+            max_retries: 3,
+            backoff_base: Ns::from_micros(2),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn demand_migration_retries_then_forces_through() {
+        // Fault block 0 in, push it out with block 1 (now block 0 has a
+        // host-valid copy), then re-fault it so the migration needs a
+        // real DMA — first-touch faults populate device-side for free.
+        let setup = |d: &mut UmDriver| {
+            d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+            d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        };
+        let mut clean = small_driver(1);
+        setup(&mut clean);
+        let base_cost = clean.handle_faults(Ns::from_nanos(3), &faults_for(0, 0..512));
+
+        let mut d = small_driver(1);
+        setup(&mut d);
+        let inj = always_fail_plan().build_shared();
+        d.install_injector(inj.clone());
+        let cost = d.handle_faults(Ns::from_nanos(3), &faults_for(0, 0..512));
+
+        // Pages end up resident regardless (the replay loop cannot give
+        // up), but the retries cost extra simulated time.
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
+        assert!(cost > base_cost);
+        let stats = *inj.borrow().stats();
+        assert_eq!(stats.migration_retries, 4); // max_retries + 1 failures
+        assert!(stats.backoff_time > Ns::ZERO);
+        d.validate().expect("retries leave state consistent");
+    }
+
+    #[test]
+    fn prefetch_abandons_after_retry_exhaustion() {
+        let mut d = small_driver(4);
+        // Give the block a host-valid copy so the prefetch needs a DMA.
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(4), &faults_for(3, 0..512));
+        d.handle_faults(Ns::from_nanos(5), &faults_for(4, 0..512)); // evicts 0
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+
+        let inj = always_fail_plan().build_shared();
+        d.install_injector(inj.clone());
+        let dropped_before = d.counters().prefetch_dropped;
+        d.prefetch_into_gpu(Ns::from_nanos(6), BlockNum::new(0), &PageMask::first_n(512));
+
+        // The prefetch was abandoned: nothing became resident, and the
+        // pages are left to fault on demand.
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        assert_eq!(inj.borrow().stats().prefetches_abandoned, 1);
+        assert_eq!(d.counters().prefetch_dropped, dropped_before + 1);
+        d.validate()
+            .expect("abandoned prefetch leaves state consistent");
+    }
+
+    #[test]
+    fn host_oom_prefers_invalidatable_victims() {
+        let mut d = small_driver(2);
+        // Block 1 is the LRU victim; block 0 is newer but invalidatable.
+        d.handle_faults(Ns::from_nanos(1), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(0, 0..512));
+        d.mark_invalidatable(ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64), true);
+
+        let inj = deepum_sim::faultinject::InjectionPlan {
+            host_oom_rate: 1.0,
+            ..Default::default()
+        }
+        .build_shared();
+        d.install_injector(inj.clone());
+
+        let d2h_before = d.counters().bytes_d2h;
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+
+        // The invalidatable block went first despite being newer, so the
+        // eviction touched no host memory.
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        assert_eq!(d.resident_mask(BlockNum::new(1)).count(), 512);
+        assert_eq!(d.counters().bytes_d2h, d2h_before);
+        assert_eq!(inj.borrow().stats().writeback_fallbacks, 1);
+        d.validate()
+            .expect("fallback eviction leaves state consistent");
+    }
+
+    #[test]
+    fn d2h_failures_stretch_writeback_cost() {
+        let plan = deepum_sim::faultinject::InjectionPlan {
+            dma_d2h_fail_rate: 1.0,
+            max_retries: 3,
+            backoff_base: Ns::from_micros(2),
+            ..Default::default()
+        };
+        let mut clean = small_driver(1);
+        clean.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        let base = clean.preevict(Ns::from_nanos(2), 512);
+
+        let mut d = small_driver(1);
+        let inj = plan.build_shared();
+        d.install_injector(inj.clone());
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        let cost = d.preevict(Ns::from_nanos(2), 512);
+
+        assert_eq!(d.free_pages(), d.capacity_pages());
+        assert!(cost.writeback > base.writeback);
+        assert_eq!(inj.borrow().stats().dma_d2h_failures, 3);
+        d.validate()
+            .expect("write-back retries leave state consistent");
     }
 
     #[test]

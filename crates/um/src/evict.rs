@@ -42,12 +42,18 @@ impl SharedBlockSet {
 
     /// Adds a block to the set.
     pub fn insert(&self, block: BlockNum) {
-        self.inner.write().expect("protected set poisoned").insert(block);
+        self.inner
+            .write()
+            .expect("protected set poisoned")
+            .insert(block);
     }
 
     /// Removes a block from the set.
     pub fn remove(&self, block: BlockNum) {
-        self.inner.write().expect("protected set poisoned").remove(&block);
+        self.inner
+            .write()
+            .expect("protected set poisoned")
+            .remove(&block);
     }
 
     /// Replaces the whole set in one write.
@@ -64,7 +70,10 @@ impl SharedBlockSet {
 
     /// True if `block` is protected from eviction.
     pub fn contains(&self, block: BlockNum) -> bool {
-        self.inner.read().expect("protected set poisoned").contains(&block)
+        self.inner
+            .read()
+            .expect("protected set poisoned")
+            .contains(&block)
     }
 
     /// Number of protected blocks.

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("{:<20} {:>12} {:>18} {:>14}", "configuration", "iter time", "normalized to UM", "faults/iter");
+    println!(
+        "{:<20} {:>12} {:>18} {:>14}",
+        "configuration", "iter time", "normalized to UM", "faults/iter"
+    );
     for (name, cfg) in steps {
         let r = session.run_configured(cfg)?;
         println!(

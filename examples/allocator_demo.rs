@@ -65,6 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     alloc.free(big, &mut ev);
     ev.clear();
 
-    println!("\nfinal: reserved {} MiB, active {} MiB", alloc.reserved_bytes() >> 20, alloc.active_bytes() >> 20);
+    println!(
+        "\nfinal: reserved {} MiB, active {} MiB",
+        alloc.reserved_bytes() >> 20,
+        alloc.active_bytes() >> 20
+    );
     Ok(())
 }

@@ -13,7 +13,6 @@ use deepum::core::config::DeepumConfig;
 use deepum::core::driver::DeepumDriver;
 use deepum::runtime::exec_table::ExecId;
 use deepum::sim::costs::CostModel;
-use deepum::torch::perf::PerfModel;
 use deepum::torch::step::{Workload, WorkloadBuilder};
 
 /// Three kernels in a loop; each reads the previous one's output plus a
@@ -44,10 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_device_memory(64 << 20)
         .with_host_memory(1 << 30);
     let cfg = UmRunConfig {
-        iterations: 5,
         costs: costs.clone(),
-        perf: PerfModel::v100(),
         seed: 7,
+        ..UmRunConfig::new(5)
     };
     let mut driver = DeepumDriver::new(costs, DeepumConfig::default().with_prefetch_degree(2));
     let report = run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters())?;
@@ -97,8 +95,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let c = report.counters;
     println!("\n=== outcome over {} iterations ===", report.iters.len());
-    println!("next-kernel predictions: {} ({} wrong)", c.exec_predictions, c.exec_mispredictions);
-    println!("pages prefetched: {} (hits {})", c.pages_prefetched, c.prefetch_hits);
+    println!(
+        "next-kernel predictions: {} ({} wrong)",
+        c.exec_predictions, c.exec_mispredictions
+    );
+    println!(
+        "pages prefetched: {} (hits {})",
+        c.pages_prefetched, c.prefetch_hits
+    );
     for (i, it) in report.iters.iter().enumerate() {
         println!(
             "iteration {i}: {} elapsed, {} faults",

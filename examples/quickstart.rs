@@ -28,11 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let um = session.run(SystemKind::Um)?;
     // The default look-ahead targets full-scale models (hundreds of
     // kernels per iteration); this small stream wants a shorter one.
-    let deepum =
-        session.run_configured(DeepumConfig::default().with_prefetch_degree(16))?;
+    let deepum = session.run_configured(DeepumConfig::default().with_prefetch_degree(16))?;
     let ideal = session.run(SystemKind::Ideal)?;
 
-    println!("{:<8} {:>14} {:>16} {:>12}", "system", "iter time", "page faults/iter", "speedup");
+    println!(
+        "{:<8} {:>14} {:>16} {:>12}",
+        "system", "iter time", "page faults/iter", "speedup"
+    );
     for r in [&um, &deepum, &ideal] {
         println!(
             "{:<8} {:>14} {:>16} {:>11.2}x",

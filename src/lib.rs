@@ -56,4 +56,6 @@ pub use deepum_um as um;
 
 pub mod session;
 
+pub use deepum_baselines::report::HealthReport;
+pub use deepum_sim::faultinject::InjectionPlan;
 pub use session::{Session, SystemKind};

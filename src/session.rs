@@ -5,6 +5,7 @@ use deepum_baselines::report::{RunError, RunReport};
 use deepum_baselines::suite::{run_system, RunParams, System};
 use deepum_core::config::DeepumConfig;
 use deepum_sim::costs::CostModel;
+use deepum_sim::faultinject::InjectionPlan;
 use deepum_torch::models::ModelKind;
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::Workload;
@@ -83,6 +84,7 @@ pub struct Session {
     costs: CostModel,
     perf: PerfModel,
     seed: u64,
+    plan: InjectionPlan,
 }
 
 impl Session {
@@ -96,6 +98,7 @@ impl Session {
             costs: CostModel::v100_32gb(),
             perf: PerfModel::v100(),
             seed: 0x5eed,
+            plan: InjectionPlan::default(),
         }
     }
 
@@ -136,6 +139,19 @@ impl Session {
         self
     }
 
+    /// Installs a chaos-injection plan for UM-based systems
+    /// ([`SystemKind::Um`] / [`SystemKind::DeepUm`]).
+    ///
+    /// An empty plan (the default) leaves the run bit-identical to a
+    /// session without this call; a non-empty plan makes the run's
+    /// [`RunReport::health`] section `Some`. Swap baselines ignore the
+    /// plan. Deterministic: the same plan and seed always reproduce the
+    /// same injected faults and the same report.
+    pub fn injection_plan(mut self, plan: InjectionPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
     /// Builds the workload this session runs.
     pub fn workload(&self) -> Workload {
         self.model.build(self.batch)
@@ -167,6 +183,7 @@ impl Session {
             perf: self.perf.clone(),
             iters: self.iterations,
             seed: self.seed,
+            plan: self.plan.clone(),
         };
         run_system(system, &self.workload(), &params)
     }

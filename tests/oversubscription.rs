@@ -7,7 +7,6 @@ use deepum::core::config::DeepumConfig;
 use deepum::core::driver::DeepumDriver;
 use deepum::sim::costs::CostModel;
 use deepum::torch::models::ModelKind;
-use deepum::torch::perf::PerfModel;
 use deepum::{Session, SystemKind};
 
 #[test]
@@ -19,10 +18,9 @@ fn residency_never_exceeds_device_capacity() {
         .with_device_memory(48 << 20)
         .with_host_memory(8 << 30);
     let cfg = UmRunConfig {
-        iterations: 3,
         costs: costs.clone(),
-        perf: PerfModel::v100(),
         seed: 7,
+        ..UmRunConfig::new(3)
     };
     let mut driver = DeepumDriver::new(costs, DeepumConfig::default());
     run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters()).unwrap();
@@ -46,12 +44,18 @@ fn deepum_batch_frontier_exceeds_swap_systems() {
     };
     // Find a batch DeepUM handles.
     let batch = 512;
-    assert!(runs(batch, SystemKind::DeepUm).is_ok(), "deepum at b{batch}");
+    assert!(
+        runs(batch, SystemKind::DeepUm).is_ok(),
+        "deepum at b{batch}"
+    );
     // The swap path needs whole operand tensors on device at once; at
     // this batch a single kernel's operands no longer fit 96 MiB.
     let lms = runs(batch, SystemKind::Lms);
     assert!(
-        matches!(lms, Err(RunError::OutOfMemory(_)) | Err(RunError::Unsupported(_))),
+        matches!(
+            lms,
+            Err(RunError::OutOfMemory(_)) | Err(RunError::Unsupported(_))
+        ),
         "lms unexpectedly ran: {lms:?}"
     );
 }
@@ -81,10 +85,9 @@ fn um_runs_single_kernels_larger_than_device_memory() {
         .with_device_memory(single_kernel_footprint / 2)
         .with_host_memory(8 << 30);
     let cfg = UmRunConfig {
-        iterations: 1,
         costs: costs.clone(),
-        perf: PerfModel::v100(),
         seed: 7,
+        ..UmRunConfig::new(1)
     };
     let mut driver = DeepumDriver::new(costs, DeepumConfig::default());
     let report = run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters());

@@ -7,7 +7,6 @@ use deepum::core::config::DeepumConfig;
 use deepum::core::driver::DeepumDriver;
 use deepum::gpu::engine::UmBackend as _;
 use deepum::sim::costs::CostModel;
-use deepum::torch::perf::PerfModel;
 use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
 use proptest::prelude::*;
 
@@ -61,10 +60,9 @@ proptest! {
         let workload = build_workload(layers, &sizes_kb);
         let costs = platform(device_mb << 10);
         let cfg = UmRunConfig {
-            iterations: 2,
             costs: costs.clone(),
-            perf: PerfModel::v100(),
             seed: 7,
+            ..UmRunConfig::new(2)
         };
         let dcfg = DeepumConfig::default().with_prefetch_degree(degree);
         let mut driver = DeepumDriver::new(costs.clone(), dcfg);
@@ -94,7 +92,7 @@ proptest! {
     ) {
         let workload = build_workload(layers, &[512, 1024]);
         let costs = platform(device_mb << 10);
-        let cfg = UmRunConfig { iterations: 2, costs: costs.clone(), perf: PerfModel::v100(), seed: 7 };
+        let cfg = UmRunConfig { costs: costs.clone(), seed: 7, ..UmRunConfig::new(2) };
 
         let mut um = NaiveUm::new(costs.clone());
         let um_r = run_um(&workload, &mut um, "um", &cfg, |b| b.counters()).unwrap();
@@ -118,7 +116,7 @@ proptest! {
     ) {
         let workload = build_workload(layers, &[256]);
         let costs = platform(16 << 10);
-        let cfg = UmRunConfig { iterations: 1, costs: costs.clone(), perf: PerfModel::v100(), seed: 7 };
+        let cfg = UmRunConfig { costs: costs.clone(), seed: 7, ..UmRunConfig::new(1) };
         let mut driver = DeepumDriver::new(costs, DeepumConfig::default());
         run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters()).unwrap();
         let mask = deepum::mem::PageMask::full();
