@@ -10,6 +10,9 @@ cargo build --release --locked
 echo "== tests =="
 cargo test -q --locked --workspace
 
+echo "== deepum-tidy =="
+cargo run -q --locked -p deepum-analysis -- --check .
+
 echo "== clippy =="
 cargo clippy --locked --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,255 @@
+//! Lint registry and per-line pattern matching.
+//!
+//! Lints are lexical: they run over masked code lines (see
+//! [`crate::scan`]), so occurrences inside string literals and comments
+//! never fire. Scoping (which crates / which files a lint covers) lives
+//! here next to the patterns so the whole policy reads in one place.
+
+/// A registered lint.
+#[derive(Debug, Clone, Copy)]
+pub struct Lint {
+    /// Stable id used in `--only`/`--skip` and suppressions.
+    pub id: &'static str,
+    /// One-line description for `--list` and docs.
+    pub summary: &'static str,
+}
+
+/// Every lint `deepum-tidy` knows about, in reporting order.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        id: "determinism-container",
+        summary: "forbid default-hasher HashMap/HashSet in sim/core/um/gpu/runtime (iteration order must be deterministic)",
+    },
+    Lint {
+        id: "determinism-wallclock",
+        summary: "forbid wall-clock, ambient randomness, threads, and env reads outside bench and shims",
+    },
+    Lint {
+        id: "panic-safety",
+        summary: "forbid unwrap/expect/panic!/map-indexing on the fault-drain and eviction critical paths",
+    },
+    Lint {
+        id: "cast-safety",
+        summary: "flag `as usize`/`as u64` in address/page arithmetic (mem, um); use typed helpers or try_into",
+    },
+    Lint {
+        id: "unsafe-attr",
+        summary: "every non-shim crate root must carry #![forbid(unsafe_code)]",
+    },
+    Lint {
+        id: "suppression-hygiene",
+        summary: "suppressions must be well-formed with a reason, name a known lint, and actually suppress something",
+    },
+];
+
+/// True if `id` names a registered lint.
+pub fn is_known(id: &str) -> bool {
+    LINTS.iter().any(|l| l.id == id)
+}
+
+/// Crates whose containers must iterate deterministically.
+const CONTAINER_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime"];
+
+/// Identifier patterns for `determinism-container`.
+const CONTAINER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+
+/// Crates allowed to read wall clocks etc. (shims are skipped wholesale
+/// by the walker and never reach the lints).
+const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Patterns for `determinism-wallclock`.
+const WALLCLOCK_PATTERNS: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "thread::spawn",
+    "env::var",
+];
+
+/// Files on the fault-drain / eviction critical path for `panic-safety`.
+const PANIC_FILES: &[&str] = &[
+    "crates/um/src/driver.rs",
+    "crates/um/src/evict.rs",
+    "crates/gpu/src/engine.rs",
+    "crates/core/src/driver.rs",
+];
+
+/// Patterns for `panic-safety`. `[&` catches `map[&key]` indexing, which
+/// panics on a missing key.
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "[&"];
+
+/// Crates doing address/page arithmetic for `cast-safety`.
+const CAST_CRATES: &[&str] = &["mem", "um"];
+
+/// Patterns for `cast-safety`.
+const CAST_PATTERNS: &[&str] = &[" as usize", " as u64"];
+
+/// A raw lint hit before suppression resolution.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// 1-based source line.
+    pub line: usize,
+    /// Lint id.
+    pub lint: &'static str,
+    /// Human-readable explanation with the steer toward the fix.
+    pub message: String,
+}
+
+/// Where a file sits in the workspace, as far as lint scoping cares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileScope {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Crate the file belongs to (`deepum` for the root crate).
+    pub crate_name: String,
+    /// True for `src/lib.rs` / `crates/<name>/src/lib.rs`.
+    pub crate_root: bool,
+}
+
+fn is_word(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `pat` in `code` respecting identifier boundaries on the
+/// pattern's word-character ends. Returns true on any hit.
+fn matches_pattern(code: &str, pat: &str) -> bool {
+    let first_is_word = pat.chars().next().is_some_and(is_word);
+    let last_is_word = pat.chars().next_back().is_some_and(is_word);
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(pat) {
+        let at = start + pos;
+        let before_ok =
+            !first_is_word || at == 0 || !code[..at].chars().next_back().is_some_and(is_word);
+        let end = at + pat.len();
+        let after_ok = !last_is_word || !code[end..].chars().next().is_some_and(is_word);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + pat.len().max(1);
+    }
+    false
+}
+
+fn first_hit<'p>(code: &str, patterns: &[&'p str]) -> Option<&'p str> {
+    patterns.iter().find(|p| matches_pattern(code, p)).copied()
+}
+
+/// Runs every enabled per-line lint over one masked line. Test-region
+/// lines are exempt from all of them.
+pub fn check_line(
+    scope: &FileScope,
+    line_no: usize,
+    code: &str,
+    in_test: bool,
+    enabled: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Candidate>,
+) {
+    if in_test {
+        return;
+    }
+    if enabled("determinism-container") && CONTAINER_CRATES.contains(&scope.crate_name.as_str()) {
+        if let Some(pat) = first_hit(code, CONTAINER_PATTERNS) {
+            out.push(Candidate {
+                line: line_no,
+                lint: "determinism-container",
+                message: format!(
+                    "`{pat}` iterates in hash order; use BTreeMap/BTreeSet (or a seeded hasher) so replays are bit-identical"
+                ),
+            });
+        }
+    }
+    if enabled("determinism-wallclock")
+        && !WALLCLOCK_EXEMPT_CRATES.contains(&scope.crate_name.as_str())
+    {
+        if let Some(pat) = first_hit(code, WALLCLOCK_PATTERNS) {
+            out.push(Candidate {
+                line: line_no,
+                lint: "determinism-wallclock",
+                message: format!(
+                    "`{pat}` injects ambient nondeterminism; thread simulated time / seeded RNG through instead (only `bench` may touch the host)"
+                ),
+            });
+        }
+    }
+    if enabled("panic-safety") && PANIC_FILES.contains(&scope.rel_path.as_str()) {
+        if let Some(pat) = first_hit(code, PANIC_PATTERNS) {
+            let steer = if pat == "[&" {
+                "use .get(..) and propagate the miss as an error"
+            } else {
+                "return a Result and let the caller decide"
+            };
+            out.push(Candidate {
+                line: line_no,
+                lint: "panic-safety",
+                message: format!("`{pat}` can abort the fault-drain/eviction path; {steer}"),
+            });
+        }
+    }
+    if enabled("cast-safety") && CAST_CRATES.contains(&scope.crate_name.as_str()) {
+        if let Some(pat) = first_hit(code, CAST_PATTERNS) {
+            out.push(Candidate {
+                line: line_no,
+                lint: "cast-safety",
+                message: format!(
+                    "`{}` on address/page arithmetic can truncate; use the typed u64 constants / helpers in deepum-mem or try_into",
+                    pat.trim_start()
+                ),
+            });
+        }
+    }
+}
+
+/// File-level pass: crate roots must forbid unsafe code. The violation
+/// anchors on the first code line so a standalone suppression comment
+/// directly above it applies.
+pub fn check_file(
+    scope: &FileScope,
+    lines: &[crate::scan::Line],
+    enabled: &dyn Fn(&str) -> bool,
+    out: &mut Vec<Candidate>,
+) {
+    if !enabled("unsafe-attr") || !scope.crate_root {
+        return;
+    }
+    let has_attr = lines.iter().any(|l| {
+        l.code.contains("#![forbid(unsafe_code)]") || l.code.contains("#![deny(unsafe_code)]")
+    });
+    if !has_attr {
+        let anchor = lines
+            .iter()
+            .position(|l| !l.code.trim().is_empty())
+            .map(|i| i + 1)
+            .unwrap_or(1);
+        out.push(Candidate {
+            line: anchor,
+            lint: "unsafe-attr",
+            message: format!(
+                "crate root `{}` must carry #![forbid(unsafe_code)] (or deny with a justified suppression)",
+                scope.rel_path
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries_hold() {
+        assert!(matches_pattern("use std::collections::HashMap;", "HashMap"));
+        assert!(!matches_pattern("MyHashMapLike", "HashMap"));
+        assert!(!matches_pattern("HashMapper", "HashMap"));
+        assert!(matches_pattern("let t = Instant::now();", "Instant::now"));
+        assert!(!matches_pattern("env::vars()", "env::var"));
+        assert!(matches_pattern("std::env::var(\"X\")", "env::var"));
+    }
+
+    #[test]
+    fn punctuation_patterns_match_anywhere() {
+        assert!(matches_pattern("x.unwrap()", ".unwrap()"));
+        assert!(matches_pattern("self.blocks[&b]", "[&"));
+        assert!(matches_pattern("n as u64 + 1", " as u64"));
+        assert!(!matches_pattern("n as u64x", " as u64"));
+    }
+}

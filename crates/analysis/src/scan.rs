@@ -1,0 +1,330 @@
+//! Lexical scanner: comment/string masking and test-region tracking.
+//!
+//! The offline build has no `syn`, so `deepum-tidy` works at the token
+//! level. The scanner turns a source file into per-line records where
+//! string-literal and comment bytes are blanked out (so lint patterns
+//! never match inside them), line-comment text is kept aside (that is
+//! where suppressions live), and `#[cfg(test)]` regions are flagged so
+//! lints can exempt test code.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comment and string-literal contents replaced by
+    /// spaces. Lint patterns run against this.
+    pub code: String,
+    /// Text of the `//` comment on this line, if any (without the
+    /// leading slashes). Suppressions are parsed from here.
+    pub comment: Option<String>,
+    /// True if the line sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A file reduced to maskable lines.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Lines in order; index 0 is source line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Scans `source` into masked lines.
+pub fn scan(source: &str) -> ScannedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut has_comment = false;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: if std::mem::take(&mut has_comment) {
+                    Some(std::mem::take(&mut comment))
+                } else {
+                    None
+                },
+                in_test: false,
+            });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Line comments end at the newline; strings legally continue.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    has_comment = true;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    // A quote opens either a plain/byte string or, when
+                    // preceded by `r`/`br` (+ hashes), a raw string.
+                    if let Some(hashes) = raw_prefix(&chars, i) {
+                        state = State::RawStr(hashes);
+                    } else {
+                        state = State::Str;
+                    }
+                    code.push('"');
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal is `'x'` or an
+                    // escape; anything else (e.g. `'a` in generics) is a
+                    // lifetime and stays in the code stream.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        // Skip the escape payload up to the closing quote.
+                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(chars.len() - 1) {
+                            code.push(' ');
+                        }
+                        i = (j + 1).min(chars.len());
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        code.push(' ');
+                        code.push(' ');
+                        code.push(' ');
+                        i += 3;
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    code.pop();
+                    code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || has_comment {
+        flush_line!();
+    }
+
+    let mut file = ScannedFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+/// If the `"` at `chars[quote]` is the opening of a raw string literal
+/// (`r"`, `r#"`, `br##"` ...), returns the number of hashes.
+fn raw_prefix(chars: &[char], quote: usize) -> Option<u32> {
+    let mut j = quote;
+    let mut hashes = 0u32;
+    while j > 0 && chars[j - 1] == '#' {
+        hashes += 1;
+        j -= 1;
+    }
+    if j == 0 || chars[j - 1] != 'r' {
+        return None;
+    }
+    j -= 1;
+    if j > 0 && chars[j - 1] == 'b' {
+        j -= 1;
+    }
+    // The prefix must not be the tail of an identifier (`attr"` is not
+    // valid Rust anyway, but stay safe).
+    if j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+        return None;
+    }
+    Some(hashes)
+}
+
+/// True if the `"` at `chars[quote]` is followed by `hashes` `#`s,
+/// closing a raw string.
+fn closes_raw(chars: &[char], quote: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(quote + k) == Some(&'#'))
+}
+
+/// Flags lines inside `#[cfg(test)]` items (typically `mod tests { .. }`)
+/// by brace matching over the masked code.
+fn mark_test_regions(file: &mut ScannedFile) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut region_depth: Option<i64> = None;
+
+    for line in &mut file.lines {
+        let code = line.code.as_str();
+        if region_depth.is_none() && code.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        let opens = code.chars().filter(|&c| c == '{').count() as i64;
+        let closes = code.chars().filter(|&c| c == '}').count() as i64;
+
+        if armed && region_depth.is_none() {
+            let trimmed = code.trim();
+            if opens > 0 {
+                // The gated item's body starts here (e.g. `mod tests {`).
+                region_depth = Some(depth);
+                armed = false;
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                // Single-line gated item without a body (`#[cfg(test)] use ...;`).
+                line.in_test = true;
+                armed = false;
+            }
+        }
+        if region_depth.is_some() {
+            line.in_test = true;
+        }
+        depth += opens - closes;
+        if let Some(rd) = region_depth {
+            if depth <= rd {
+                region_depth = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let f = scan("let x = \"HashMap\"; // HashMap in comment\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.as_deref().unwrap().contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let f = scan("let x = r#\"panic!(\"boom\")\"#; let y = 1;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = scan("/* HashMap\n still HashMap */ let z = 0;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].code.contains("let z = 0;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan("fn f<'a>(x: &'a str) -> char { '\"' }\n");
+        // The quote char literal must not open a string state.
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+        let f = scan("let c = 'x'; let d = \"HashSet\";\n");
+        assert!(!f.lines[0].code.contains("HashSet"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_flagged() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn single_line_cfg_test_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() {}\n";
+        let f = scan(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn escaped_quote_inside_string() {
+        let f = scan("let s = \"a\\\"HashMap\\\"b\"; let t = 2;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let t = 2;"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Fixture round-trip: every lint must catch its `fail/` fixture and
+//! stay quiet on the matching `pass/` fixture — and the live workspace
+//! must be clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use deepum_analysis::{analyze_source, analyze_tree, Config, Violation};
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn lints_hit(violations: &[Violation]) -> BTreeSet<String> {
+    violations.iter().map(|v| v.lint.clone()).collect()
+}
+
+/// (fixture stem, synthetic workspace path it is analyzed as, lint that
+/// the fail fixture must trigger).
+///
+/// The synthetic paths put each fixture in a crate/file where its lint
+/// is in scope; `pass/` twins are analyzed at the same path.
+const CASES: &[(&str, &str, &str)] = &[
+    (
+        "determinism_container.rs",
+        "crates/core/src/fixture.rs",
+        "determinism-container",
+    ),
+    (
+        "determinism_wallclock.rs",
+        "crates/sim/src/fixture.rs",
+        "determinism-wallclock",
+    ),
+    ("panic_safety.rs", "crates/um/src/driver.rs", "panic-safety"),
+    ("cast_safety.rs", "crates/mem/src/fixture.rs", "cast-safety"),
+    ("unsafe_attr.rs", "crates/um/src/lib.rs", "unsafe-attr"),
+    (
+        "suppression_hygiene.rs",
+        "crates/runtime/src/fixture.rs",
+        "suppression-hygiene",
+    ),
+];
+
+#[test]
+fn fail_fixtures_are_caught() {
+    let cfg = Config::all();
+    for (file, as_path, lint) in CASES {
+        let src = fixture("fail", file);
+        let violations = analyze_source(as_path, &src, &cfg);
+        assert!(
+            lints_hit(&violations).contains(*lint),
+            "fail/{file} analyzed as {as_path} should trigger {lint}, got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn pass_fixtures_are_clean() {
+    let cfg = Config::all();
+    for (file, as_path, _lint) in CASES {
+        let src = fixture("pass", file);
+        let violations = analyze_source(as_path, &src, &cfg);
+        assert!(
+            violations.is_empty(),
+            "pass/{file} analyzed as {as_path} should be clean, got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn fail_fixtures_are_quiet_when_their_lint_is_skipped() {
+    for (file, as_path, lint) in CASES {
+        // suppression-hygiene violations in this fixture set stem from
+        // suppressions of *other* lints, so skipping has no effect there.
+        if *lint == "suppression-hygiene" {
+            continue;
+        }
+        let cfg = Config::all()
+            .skip(&[(*lint).to_string()])
+            .expect("known lint id");
+        let src = fixture("fail", file);
+        let violations = analyze_source(as_path, &src, &cfg);
+        assert!(
+            !lints_hit(&violations).contains(*lint),
+            "fail/{file} with {lint} skipped should not report it, got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = analyze_tree(&root, &Config::all()).expect("workspace scan succeeds");
+    assert!(
+        violations.is_empty(),
+        "the workspace must be deepum-tidy clean:\n{}",
+        deepum_analysis::render_human(&violations)
+    );
+}

@@ -1,0 +1,9 @@
+//! Bad: bare `as` casts in address arithmetic.
+
+pub fn bytes_for(pages: usize, page_size: usize) -> u64 {
+    (pages * page_size) as u64
+}
+
+pub fn narrow(total: u64) -> usize {
+    total as usize
+}

@@ -1,0 +1,15 @@
+//! Bad: default-hasher containers in a simulation crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    seen: HashSet<u64>,
+    counts: HashMap<u64, u64>,
+}
+
+pub fn build() -> Tracker {
+    Tracker {
+        seen: HashSet::new(),
+        counts: HashMap::new(),
+    }
+}

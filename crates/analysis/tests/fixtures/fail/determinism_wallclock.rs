@@ -1,0 +1,9 @@
+//! Bad: wall-clock time and ambient state leak into simulation logic.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn seed_from_env() -> Option<String> {
+    std::env::var("DEEPUM_SEED").ok()
+}

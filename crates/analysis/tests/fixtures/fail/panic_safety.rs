@@ -1,0 +1,12 @@
+//! Bad: panicking operations on the fault-handling hot path.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u64, u64>, key: u64) -> u64 {
+    let direct = map[&key];
+    let checked = map.get(&key).unwrap();
+    if direct != checked {
+        panic!("bookkeeping diverged");
+    }
+    map.get(&key).copied().expect("key present")
+}

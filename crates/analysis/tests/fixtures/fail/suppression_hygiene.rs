@@ -1,0 +1,14 @@
+//! Bad: reasonless, stale, and unknown-lint suppressions.
+
+use std::collections::BTreeMap;
+
+// deepum-tidy: allow(determinism-container) --
+pub struct Reasonless;
+
+// deepum-tidy: allow(determinism-container) -- nothing on the next line needs this
+pub struct Stale;
+
+// deepum-tidy: allow(made-up-lint) -- no such lint exists
+pub struct Unknown;
+
+pub fn noop(_: &BTreeMap<u64, u64>) {}

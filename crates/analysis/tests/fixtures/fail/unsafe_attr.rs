@@ -1,0 +1,7 @@
+//! Bad: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub mod inner;
+
+pub fn answer() -> u64 {
+    42
+}

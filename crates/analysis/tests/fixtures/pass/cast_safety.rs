@@ -1,0 +1,9 @@
+//! Good: widening goes through the blessed helper, narrowing is checked.
+
+pub fn bytes_for(pages: u64, page_bytes: u64) -> u64 {
+    pages * page_bytes
+}
+
+pub fn narrow(total: u64) -> usize {
+    usize::try_from(total).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,15 @@
+//! Good: ordered containers keep iteration deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Tracker {
+    seen: BTreeSet<u64>,
+    counts: BTreeMap<u64, u64>,
+}
+
+pub fn build() -> Tracker {
+    Tracker {
+        seen: BTreeSet::new(),
+        counts: BTreeMap::new(),
+    }
+}

@@ -1,0 +1,9 @@
+//! Good: time comes from the simulated clock, config from parameters.
+
+pub fn stamp(now_ns: u64) -> u64 {
+    now_ns
+}
+
+pub fn seed_from_config(seed: u64) -> u64 {
+    seed
+}

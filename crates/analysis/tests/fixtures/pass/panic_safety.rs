@@ -1,0 +1,10 @@
+//! Good: hot-path lookups surface errors instead of panicking.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u64, u64>, key: u64) -> Result<u64, String> {
+    match map.get(&key) {
+        Some(v) => Ok(*v),
+        None => Err(format!("missing key {key}")),
+    }
+}

@@ -1,0 +1,6 @@
+//! Good: justified suppressions in both trailing and standalone form.
+
+use std::collections::HashMap; // deepum-tidy: allow(determinism-container) -- scratch map; iteration order never observed
+
+// deepum-tidy: allow(determinism-container) -- same scratch map; alias definition site
+pub type Scratch = HashMap<u64, u64>;

@@ -1,0 +1,9 @@
+//! Good: the crate root forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod inner;
+
+pub fn answer() -> u64 {
+    42
+}

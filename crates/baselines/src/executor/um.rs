@@ -173,7 +173,9 @@ where
                             clock.advance(delay);
                         }
                     }
-                    let stats = engine.execute(&launch, &mut clock, backend, &mut energy);
+                    let stats = engine
+                        .execute(&launch, &mut clock, backend, &mut energy)
+                        .map_err(|e| RunError::Driver(e.to_string()))?;
                     compute += stats.compute;
                     stall += stats.stall;
                 }

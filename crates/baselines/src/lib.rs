@@ -25,6 +25,8 @@
 //! published mechanism, not line-for-line ports; see each module's
 //! documentation for the mapping and the approximations taken.
 
+#![forbid(unsafe_code)]
+
 pub mod executor;
 pub mod ideal;
 pub mod naive;

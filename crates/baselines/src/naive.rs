@@ -1,6 +1,6 @@
 //! The naive UM baseline: the bare NVIDIA UM driver, no prefetching.
 
-use deepum_gpu::engine::UmBackend;
+use deepum_gpu::engine::{BackendError, UmBackend};
 use deepum_gpu::fault::FaultEntry;
 use deepum_gpu::kernel::KernelLaunch;
 use deepum_mem::{BlockNum, ByteRange, PageMask};
@@ -51,7 +51,7 @@ impl UmBackend for NaiveUm {
         self.um.resident_miss(block, pages)
     }
 
-    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
         self.um.handle_faults(now, faults)
     }
 
@@ -101,7 +101,7 @@ mod tests {
                 sm: SmId(0),
             })
             .collect();
-        let stall = b.handle_faults(Ns::ZERO, &faults);
+        let stall = b.handle_faults(Ns::ZERO, &faults).expect("faults handled");
         assert!(stall > Ns::ZERO);
         assert_eq!(b.counters().pages_prefetched, 0);
         assert_eq!(b.overlap_compute(Ns::ZERO, Ns::from_millis(1)), Ns::ZERO);
@@ -117,7 +117,7 @@ mod tests {
                 sm: SmId(0),
             })
             .collect();
-        b.handle_faults(Ns::ZERO, &faults);
+        b.handle_faults(Ns::ZERO, &faults).expect("faults handled");
         assert_eq!(b.um().resident_pages(), 64);
         b.on_um_range_released(
             Ns::ZERO,

@@ -27,6 +27,9 @@ pub enum RunError {
     /// The system cannot run this model at all (e.g. vDNN on a
     /// transformer — "not work" in Table 7).
     Unsupported(String),
+    /// The UM driver or GPU engine aborted the run (capacity exhausted
+    /// mid-kernel, bookkeeping invariant broken).
+    Driver(String),
 }
 
 impl core::fmt::Display for RunError {
@@ -34,6 +37,7 @@ impl core::fmt::Display for RunError {
         match self {
             RunError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
             RunError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            RunError::Driver(m) => write!(f, "driver error: {m}"),
         }
     }
 }

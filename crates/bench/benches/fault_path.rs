@@ -32,7 +32,7 @@ fn handler(c: &mut Criterion) {
         g.bench_function(format!("{pages}_pages"), |b| {
             b.iter_batched(
                 || UmDriver::new(CostModel::v100_32gb()),
-                |mut d| black_box(d.handle_faults(Ns::ZERO, &faults)),
+                |mut d| black_box(d.handle_faults(Ns::ZERO, &faults).expect("faults handled")),
                 BatchSize::SmallInput,
             );
         });
@@ -56,7 +56,10 @@ fn eviction_pressure(c: &mut Criterion) {
                 })
                 .collect::<Vec<_>>();
             next += 1;
-            black_box(d.handle_faults(Ns::from_nanos(next), &faults));
+            black_box(
+                d.handle_faults(Ns::from_nanos(next), &faults)
+                    .expect("faults handled"),
+            );
         });
     });
 }

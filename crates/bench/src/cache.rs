@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics change enough to
 /// invalidate stored reports.
-const VERSION: &str = "v8";
+const VERSION: &str = "v9";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {

@@ -29,6 +29,8 @@
 //! prefetcher, SPSC queue throughput, fault grouping, page-mask algebra,
 //! and the caching allocator's alloc/free churn.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod experiments;
 pub mod grids;

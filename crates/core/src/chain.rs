@@ -14,7 +14,7 @@
 //! prefetching thread resumes after the currently executing kernel
 //! finishes."
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use deepum_mem::BlockNum;
 use deepum_runtime::exec_table::ExecId;
@@ -59,7 +59,7 @@ pub struct ChainWalk {
     emit_q: VecDeque<BlockNum>,
     /// Blocks whose successors have not been expanded yet.
     frontier: VecDeque<BlockNum>,
-    visited: HashSet<BlockNum>,
+    visited: BTreeSet<BlockNum>,
 }
 
 impl ChainWalk {
@@ -67,7 +67,7 @@ impl ChainWalk {
     /// the kernel with execution ID `exec`; `history` is the three
     /// kernels that ran before `exec` (oldest first).
     pub fn new(exec: ExecId, history: [ExecId; 3], fault_block: BlockNum) -> Self {
-        let mut visited = HashSet::new();
+        let mut visited = BTreeSet::new();
         visited.insert(fault_block);
         ChainWalk {
             exec,

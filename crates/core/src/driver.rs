@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use deepum_gpu::engine::UmBackend;
+use deepum_gpu::engine::{BackendError, UmBackend};
 use deepum_gpu::fault::FaultEntry;
 use deepum_gpu::kernel::KernelLaunch;
 use deepum_mem::{BlockNum, ByteRange, PageMask, PAGES_PER_BLOCK};
@@ -76,7 +76,7 @@ pub struct DeepumDriver {
     /// Blocks currently sitting in the prefetch queue; chain restarts
     /// re-discover the same blocks, and duplicate commands would starve
     /// the far look-ahead out of the bounded queue.
-    enqueued: std::collections::HashSet<BlockNum>,
+    enqueued: std::collections::BTreeSet<BlockNum>,
     protected: SharedBlockSet,
     predicted_window: VecDeque<(u64, BlockNum)>,
     kernel_seq: u64,
@@ -133,7 +133,7 @@ impl DeepumDriver {
             pending_prediction: None,
             chain: None,
             prefetch_q,
-            enqueued: std::collections::HashSet::new(),
+            enqueued: std::collections::BTreeSet::new(),
             protected,
             predicted_window: VecDeque::new(),
             kernel_seq: 0,
@@ -194,20 +194,20 @@ impl DeepumDriver {
         self.block_tables.get(exec.index()).and_then(Option::as_ref)
     }
 
-    fn ensure_block_table(&mut self, exec: ExecId) {
+    fn ensure_block_table(&mut self, exec: ExecId) -> &mut BlockCorrelationTable {
         let idx = exec.index();
         if idx >= self.block_tables.len() {
             self.block_tables.resize_with(idx + 1, || None);
         }
-        if self.block_tables[idx].is_none() {
-            // "DeepUM dynamically allocates a UM block correlation table
-            // when it finds a kernel with a new execution ID."
-            self.block_tables[idx] = Some(BlockCorrelationTable::new(
+        // "DeepUM dynamically allocates a UM block correlation table
+        // when it finds a kernel with a new execution ID."
+        self.block_tables[idx].get_or_insert_with(|| {
+            BlockCorrelationTable::new(
                 self.cfg.block_table_rows,
                 self.cfg.block_table_assoc,
                 self.cfg.block_table_succs,
-            ));
-        }
+            )
+        })
     }
 
     /// Steps the prefetching thread runs per pump before yielding. The
@@ -382,11 +382,7 @@ impl LaunchObserver for DeepumDriver {
             // that just finished, and close out its block table.
             self.exec_corr.record(cur, self.history, exec);
             if let Some(end) = self.last_fault_block {
-                self.ensure_block_table(cur);
-                self.block_tables[cur.index()]
-                    .as_mut()
-                    .expect("table just ensured")
-                    .set_end(end);
+                self.ensure_block_table(cur).set_end(end);
             }
             // Prediction-accuracy accounting for the chain's first hop.
             if let Some(predicted) = self.pending_prediction.take() {
@@ -452,24 +448,21 @@ impl UmBackend for DeepumDriver {
         self.um.resident_miss(block, pages)
     }
 
-    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
         let groups = group_faults(faults);
 
         // Correlator thread: learn footprints, start/end anchors, and
         // block-successor pairs from the fault stream.
         if let Some(cur) = self.current_exec {
             self.ensure_block_table(cur);
+            // First pass: footprints and injected pair-drop rolls. The
+            // table borrow below locks `self`, so every decision that
+            // needs other fields is made up front.
+            let mut pairs: Vec<(BlockNum, Option<BlockNum>)> = Vec::with_capacity(groups.len());
             for (block, mask) in &groups {
                 self.footprints.record(*block, mask);
-                let table = self.block_tables[cur.index()]
-                    .as_mut()
-                    .expect("table just ensured");
-                if self.first_fault_pending {
-                    table.set_start(*block);
-                    self.first_fault_pending = false;
-                }
-                if let Some(prev) = self.prev_fault_block {
-                    if prev != *block {
+                let recorded = match self.prev_fault_block {
+                    Some(prev) if prev != *block => {
                         // Injected correlation-table entry drop: the pair
                         // record is lost before it reaches the table, so
                         // the prefetcher must live with holes in the
@@ -478,15 +471,37 @@ impl UmBackend for DeepumDriver {
                             Some(inj) => inj.borrow_mut().roll_corr_drop(),
                             None => false,
                         };
-                        if !dropped {
-                            table.record_pair(prev, *block);
-                            self.local.block_table_updates += 1;
+                        if dropped {
+                            None
+                        } else {
+                            Some(prev)
                         }
                     }
-                }
+                    _ => None,
+                };
+                pairs.push((*block, recorded));
                 self.prev_fault_block = Some(*block);
                 self.last_fault_block = Some(*block);
             }
+            let set_start = match pairs.first() {
+                Some(&(first, _)) if self.first_fault_pending => {
+                    self.first_fault_pending = false;
+                    Some(first)
+                }
+                _ => None,
+            };
+            let mut recorded_pairs = 0u64;
+            let table = self.ensure_block_table(cur);
+            if let Some(start) = set_start {
+                table.set_start(start);
+            }
+            for &(block, prev) in &pairs {
+                if let Some(prev) = prev {
+                    table.record_pair(prev, block);
+                    recorded_pairs += 1;
+                }
+            }
+            self.local.block_table_updates += recorded_pairs;
 
             // Prefetching thread: chaining restarts at every new fault.
             if self.prefetch_active() {
@@ -605,7 +620,7 @@ mod tests {
                 let miss = d.resident_miss(BlockNum::new(b), &PageMask::first_n(64));
                 if !miss.is_empty() {
                     let entries = faults(b, 0..64);
-                    d.handle_faults(now, &entries);
+                    d.handle_faults(now, &entries).expect("faults handled");
                 }
                 d.touch(now, BlockNum::new(b), &PageMask::first_n(64));
             }
@@ -617,7 +632,7 @@ mod tests {
                 let miss = d.resident_miss(BlockNum::new(b), &PageMask::first_n(64));
                 if !miss.is_empty() {
                     let entries = faults(b, 0..64);
-                    d.handle_faults(now, &entries);
+                    d.handle_faults(now, &entries).expect("faults handled");
                 }
                 d.touch(now, BlockNum::new(b), &PageMask::first_n(64));
             }
@@ -681,7 +696,7 @@ mod tests {
                                 sm: SmId(0),
                             })
                             .collect();
-                        d.handle_faults(now, &entries);
+                        d.handle_faults(now, &entries).expect("faults handled");
                     }
                     d.touch(now, BlockNum::new(b), &full);
                     // Compute slice during which migrations overlap.
@@ -720,11 +735,12 @@ mod tests {
 
         for d in [&mut on, &mut off] {
             let entries = faults(0, 0..512);
-            d.handle_faults(Ns::ZERO, &entries);
+            d.handle_faults(Ns::ZERO, &entries).expect("faults handled");
             // Force eviction of block 0 by filling the rest of memory.
             for b in 1..=4u64 {
                 let entries = faults(b, 0..512);
-                d.handle_faults(Ns::from_nanos(b), &entries);
+                d.handle_faults(Ns::from_nanos(b), &entries)
+                    .expect("faults handled");
             }
         }
         assert!(on.counters().pages_invalidated >= 512);
@@ -786,7 +802,7 @@ mod tests {
                             sm: SmId(0),
                         })
                         .collect();
-                    d.handle_faults(*now, &entries);
+                    d.handle_faults(*now, &entries).expect("faults handled");
                 }
                 d.touch(*now, BlockNum::new(b), &full);
                 d.overlap_compute(*now, Ns::from_millis(50));
@@ -909,7 +925,7 @@ mod tests {
         // Queue some prefetch work by faulting fresh blocks.
         d.on_kernel_launch(Ns::ZERO, ExecId(0), &kernel("A"));
         let entries = faults(0, 0..64);
-        d.handle_faults(Ns::ZERO, &entries);
+        d.handle_faults(Ns::ZERO, &entries).expect("faults handled");
         // A tiny overlap budget cannot cover a whole migration: busy time
         // never exceeds the budget.
         let busy = d.overlap_compute(Ns::ZERO, Ns::from_nanos(100));

@@ -7,7 +7,7 @@
 //! footprint stabilizes after the first iteration because the access
 //! pattern repeats.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use deepum_mem::{BlockNum, PageMask};
 
@@ -26,7 +26,7 @@ use deepum_mem::{BlockNum, PageMask};
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct FootprintMap {
-    map: HashMap<BlockNum, PageMask>,
+    map: BTreeMap<BlockNum, PageMask>,
 }
 
 impl FootprintMap {

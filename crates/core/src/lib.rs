@@ -26,6 +26,8 @@
 //!   inactive PT blocks** (Section 5.2), toggled via
 //!   [`config::DeepumConfig`].
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod config;
 pub mod correlation;

@@ -22,8 +22,88 @@ use deepum_sim::energy::{EnergyMeter, PowerState};
 use deepum_sim::faultinject::{BackendHealth, SharedInjector};
 use deepum_sim::time::Ns;
 
+use core::fmt;
+
 use crate::fault::{FaultBuffer, FaultEntry, SmId};
 use crate::kernel::KernelLaunch;
+
+/// Failure surfaced by a [`UmBackend`] while draining a fault batch.
+///
+/// These are *driver* failures, distinct from the injected transient
+/// faults the backends already retry internally: when one of these
+/// escapes `handle_faults`, the replayed access could never succeed and
+/// the run must stop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// A demand migration needed more device pages than the GPU holds
+    /// even with every evictable block evicted.
+    CapacityExceeded {
+        /// Pages the faulting access required to become resident.
+        needed_pages: u64,
+        /// Total device capacity in pages.
+        capacity_pages: u64,
+    },
+    /// Driver bookkeeping lost track of a block the fault path needed —
+    /// an internal inconsistency, reported instead of a panic so the
+    /// simulation can surface it as a failed run.
+    MissingBlock(BlockNum),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::CapacityExceeded {
+                needed_pages,
+                capacity_pages,
+            } => write!(
+                f,
+                "demand migration of {needed_pages} pages exceeds device capacity of {capacity_pages} pages"
+            ),
+            BackendError::MissingBlock(block) => {
+                write!(f, "driver bookkeeping lost track of {block}")
+            }
+        }
+    }
+}
+
+/// Failure of one kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The backend failed while handling a fault drain.
+    Backend(BackendError),
+    /// [`UmBackend::validate`] reported a broken invariant after a drain
+    /// (only checked when validation is enabled).
+    InvariantViolated(String),
+    /// A fault drain resolved nothing: the replay would loop forever on
+    /// real hardware.
+    NoProgress {
+        /// Block whose pages stayed non-resident.
+        block: BlockNum,
+        /// Pages still missing after the drain.
+        missing: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Backend(e) => write!(f, "backend failed during fault drain: {e}"),
+            EngineError::InvariantViolated(msg) => {
+                write!(f, "backend invariant violated after fault drain: {msg}")
+            }
+            EngineError::NoProgress { block, missing } => write!(
+                f,
+                "backend made no progress on faults for {block} ({missing} pages missing)"
+            ),
+        }
+    }
+}
+
+impl From<BackendError> for EngineError {
+    fn from(e: BackendError) -> Self {
+        EngineError::Backend(e)
+    }
+}
 
 /// The driver-side interface the engine executes against.
 ///
@@ -38,7 +118,13 @@ pub trait UmBackend {
     /// Returns the stall time observed by the GPU (fault handling is on
     /// the critical path). After this call every faulted page must be
     /// resident.
-    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] when the batch can never be made
+    /// resident (capacity exhausted, bookkeeping inconsistency); the
+    /// engine aborts the kernel with [`EngineError::Backend`].
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError>;
 
     /// Records a successful (resident) access for recency/prefetch-hit
     /// bookkeeping.
@@ -168,8 +254,9 @@ impl GpuEngine {
         self.injector = Some(injector);
     }
 
-    /// When enabled, the engine asserts [`UmBackend::validate`] after
-    /// every fault drain, panicking on the first violated invariant.
+    /// When enabled, the engine checks [`UmBackend::validate`] after
+    /// every fault drain and fails the kernel with
+    /// [`EngineError::InvariantViolated`] on the first broken invariant.
     /// Off by default (it walks the backend's full block map).
     pub fn set_validate_after_drain(&mut self, on: bool) {
         self.validate_after_drain = on;
@@ -189,17 +276,20 @@ impl GpuEngine {
     /// Executes one kernel to completion against `backend`, advancing
     /// `clock` and charging `energy`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the backend fails to make faulted pages resident (a
-    /// driver bug: the replay would loop forever on real hardware).
+    /// Fails when the backend cannot make faulted pages resident
+    /// ([`EngineError::Backend`], [`EngineError::NoProgress`]) or, with
+    /// validation enabled, when a post-drain invariant check fails
+    /// ([`EngineError::InvariantViolated`]). The clock and energy meter
+    /// keep whatever they accumulated before the failure.
     pub fn execute<B>(
         &mut self,
         kernel: &KernelLaunch,
         clock: &mut SimClock,
         backend: &mut B,
         energy: &mut EnergyMeter,
-    ) -> KernelRunStats
+    ) -> Result<KernelRunStats, EngineError>
     where
         B: UmBackend + ?Sized,
     {
@@ -242,23 +332,23 @@ impl GpuEngine {
                 fault_buffer.drain_into(scratch);
                 stats.faults += scratch.len() as u64;
                 stats.fault_batches += 1;
-                let stall = backend.handle_faults(clock.now(), scratch);
+                let stall = backend.handle_faults(clock.now(), scratch)?;
                 clock.advance(stall);
                 energy.accumulate(PowerState::Transfer, stall);
                 stats.stall += stall;
                 if self.validate_after_drain {
                     if let Err(msg) = backend.validate() {
-                        panic!("backend invariant violated after fault drain: {msg}");
+                        return Err(EngineError::InvariantViolated(msg));
                     }
                 }
 
                 let after = backend.resident_miss(access.block, &access.pages).count();
-                assert!(
-                    after < before,
-                    "backend made no progress on faults for {} ({} pages missing)",
-                    access.block,
-                    after
-                );
+                if after >= before {
+                    return Err(EngineError::NoProgress {
+                        block: access.block,
+                        missing: after as u64,
+                    });
+                }
             }
             backend.touch(clock.now(), access.block, &access.pages);
 
@@ -277,7 +367,7 @@ impl GpuEngine {
         }
 
         backend.kernel_finished(clock.now());
-        stats
+        Ok(stats)
     }
 
     fn run_compute<B>(
@@ -332,14 +422,14 @@ mod tests {
             }
         }
 
-        fn handle_faults(&mut self, _now: Ns, faults: &[FaultEntry]) -> Ns {
+        fn handle_faults(&mut self, _now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
             for f in faults {
                 self.resident
                     .entry(f.page.block())
                     .or_insert_with(PageMask::empty)
                     .set(f.page.index_in_block());
             }
-            Ns::from_micros(faults.len() as u64)
+            Ok(Ns::from_micros(faults.len() as u64))
         }
 
         fn touch(&mut self, _now: Ns, _block: BlockNum, pages: &PageMask) {
@@ -374,7 +464,9 @@ mod tests {
         let mut energy = EnergyMeter::new();
 
         let k = kernel(&[(0, 100), (1, 50)], 30);
-        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        let stats = engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("kernel runs");
 
         assert_eq!(stats.faults, 150);
         assert_eq!(stats.compute, Ns::from_micros(30));
@@ -392,8 +484,12 @@ mod tests {
         let mut energy = EnergyMeter::new();
 
         let k = kernel(&[(0, 100)], 10);
-        engine.execute(&k, &mut clock, &mut backend, &mut energy);
-        let warm = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("cold kernel runs");
+        let warm = engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("warm kernel runs");
         assert_eq!(warm.faults, 0);
         assert_eq!(warm.stall, Ns::ZERO);
         assert_eq!(warm.compute, Ns::from_micros(10));
@@ -407,7 +503,9 @@ mod tests {
         let mut energy = EnergyMeter::new();
 
         let k = kernel(&[(0, 512)], 10);
-        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        let stats = engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("kernel runs");
         assert_eq!(stats.faults, 512);
         assert_eq!(stats.fault_batches, 8); // 512 / 64
     }
@@ -420,7 +518,9 @@ mod tests {
         let mut energy = EnergyMeter::new();
 
         let k = kernel(&[], 42);
-        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        let stats = engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("kernel runs");
         assert_eq!(stats.compute, Ns::from_micros(42));
         assert_eq!(clock.now(), Ns::from_micros(42));
         assert_eq!(backend.overlap_calls, 1);
@@ -435,7 +535,9 @@ mod tests {
 
         // 3 accesses over a compute time not divisible by 3.
         let k = kernel(&[(0, 1), (1, 1), (2, 1)], 100);
-        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        let stats = engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("kernel runs");
         assert_eq!(stats.compute, Ns::from_micros(100));
     }
 
@@ -456,19 +558,25 @@ mod tests {
         let mut energy = EnergyMeter::new();
 
         let k = kernel(&[(0, 512)], 10);
-        let stats = engine.execute(&k, &mut clock, &mut backend, &mut energy);
+        let stats = engine
+            .execute(&k, &mut clock, &mut backend, &mut energy)
+            .expect("kernel runs");
         assert_eq!(stats.faults, 512);
         assert_eq!(stats.fault_batches, 32); // 512 / (64 * 0.25)
     }
 
     #[test]
-    fn validate_hook_panics_on_violation() {
+    fn validate_hook_fails_the_kernel_on_violation() {
         struct BrokenBackend(ToyBackend);
         impl UmBackend for BrokenBackend {
             fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
                 self.0.resident_miss(block, pages)
             }
-            fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+            fn handle_faults(
+                &mut self,
+                now: Ns,
+                faults: &[FaultEntry],
+            ) -> Result<Ns, BackendError> {
                 self.0.handle_faults(now, faults)
             }
             fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask) {
@@ -486,17 +594,98 @@ mod tests {
         }
 
         let run = |validate: bool| {
-            std::panic::catch_unwind(move || {
-                let mut engine = GpuEngine::new();
-                engine.set_validate_after_drain(validate);
-                let mut clock = SimClock::new();
-                let mut backend = BrokenBackend(ToyBackend::default());
-                let mut energy = EnergyMeter::new();
-                engine.execute(&kernel(&[(0, 4)], 1), &mut clock, &mut backend, &mut energy);
-            })
+            let mut engine = GpuEngine::new();
+            engine.set_validate_after_drain(validate);
+            let mut clock = SimClock::new();
+            let mut backend = BrokenBackend(ToyBackend::default());
+            let mut energy = EnergyMeter::new();
+            engine.execute(&kernel(&[(0, 4)], 1), &mut clock, &mut backend, &mut energy)
         };
         assert!(run(false).is_ok());
-        assert!(run(true).is_err());
+        assert_eq!(
+            run(true),
+            Err(EngineError::InvariantViolated("synthetic violation".into()))
+        );
+    }
+
+    #[test]
+    fn stuck_backend_reports_no_progress() {
+        /// Accepts faults but never maps anything in.
+        #[derive(Default)]
+        struct StuckBackend;
+        impl UmBackend for StuckBackend {
+            fn resident_miss(&self, _block: BlockNum, pages: &PageMask) -> PageMask {
+                *pages
+            }
+            fn handle_faults(
+                &mut self,
+                _now: Ns,
+                _faults: &[FaultEntry],
+            ) -> Result<Ns, BackendError> {
+                Ok(Ns::ZERO)
+            }
+            fn touch(&mut self, _now: Ns, _block: BlockNum, _pages: &PageMask) {}
+            fn overlap_compute(&mut self, _now: Ns, _dur: Ns) -> Ns {
+                Ns::ZERO
+            }
+            fn kernel_finished(&mut self, _now: Ns) {}
+        }
+
+        let mut engine = GpuEngine::new();
+        let mut clock = SimClock::new();
+        let mut backend = StuckBackend;
+        let mut energy = EnergyMeter::new();
+        let err = engine
+            .execute(&kernel(&[(0, 4)], 1), &mut clock, &mut backend, &mut energy)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NoProgress {
+                block: BlockNum::new(0),
+                missing: 4
+            }
+        );
+        assert!(err.to_string().contains("no progress"));
+    }
+
+    #[test]
+    fn backend_errors_abort_the_kernel() {
+        /// Fails the very first drain with a capacity error.
+        #[derive(Default)]
+        struct FailingBackend;
+        impl UmBackend for FailingBackend {
+            fn resident_miss(&self, _block: BlockNum, pages: &PageMask) -> PageMask {
+                *pages
+            }
+            fn handle_faults(
+                &mut self,
+                _now: Ns,
+                _faults: &[FaultEntry],
+            ) -> Result<Ns, BackendError> {
+                Err(BackendError::CapacityExceeded {
+                    needed_pages: 600,
+                    capacity_pages: 512,
+                })
+            }
+            fn touch(&mut self, _now: Ns, _block: BlockNum, _pages: &PageMask) {}
+            fn overlap_compute(&mut self, _now: Ns, _dur: Ns) -> Ns {
+                Ns::ZERO
+            }
+            fn kernel_finished(&mut self, _now: Ns) {}
+        }
+
+        let mut engine = GpuEngine::new();
+        let mut clock = SimClock::new();
+        let mut backend = FailingBackend;
+        let mut energy = EnergyMeter::new();
+        let err = engine
+            .execute(&kernel(&[(0, 4)], 1), &mut clock, &mut backend, &mut energy)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Backend(BackendError::CapacityExceeded { .. })
+        ));
+        assert!(err.to_string().contains("capacity"));
     }
 
     #[test]

@@ -114,12 +114,12 @@ impl KernelLaunch {
 
     /// Total bytes touched (pages × page size, counting each access).
     pub fn touched_bytes(&self) -> u64 {
-        self.touched_pages() * deepum_mem::PAGE_SIZE as u64
+        self.touched_pages() * deepum_mem::PAGE_BYTES
     }
 
     /// Distinct UM blocks in the access trace, in first-touch order.
     pub fn distinct_blocks(&self) -> Vec<BlockNum> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut out = Vec::new();
         for a in &self.accesses {
             if seen.insert(a.block) {

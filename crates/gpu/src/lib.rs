@@ -16,10 +16,12 @@
 //! UM driver implements. This keeps the device model free of driver
 //! policy, mirroring the hardware/driver split of the real system.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod fault;
 pub mod kernel;
 
-pub use engine::{GpuEngine, KernelRunStats, UmBackend};
+pub use engine::{BackendError, EngineError, GpuEngine, KernelRunStats, UmBackend};
 pub use fault::{AccessKind, FaultBuffer, FaultEntry, SmId};
 pub use kernel::{BlockAccess, ExecSignature, KernelLaunch};

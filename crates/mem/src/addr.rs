@@ -4,16 +4,16 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{PAGES_PER_BLOCK, PAGE_SIZE};
+use crate::{u64_from_usize, PAGES_PER_BLOCK, PAGES_PER_BLOCK_U64, PAGE_BYTES};
 
 /// A byte address in the unified memory space.
 ///
 /// # Example
 ///
 /// ```
-/// use deepum_mem::{UmAddr, PAGE_SIZE};
+/// use deepum_mem::{UmAddr, PAGE_BYTES};
 ///
-/// let addr = UmAddr::new(3 * PAGE_SIZE as u64 + 17);
+/// let addr = UmAddr::new(3 * PAGE_BYTES + 17);
 /// assert_eq!(addr.page().index(), 3);
 /// assert_eq!(addr.page_offset(), 17);
 /// ```
@@ -41,19 +41,19 @@ impl UmAddr {
     /// The page containing this address.
     #[inline]
     pub const fn page(self) -> PageNum {
-        PageNum(self.0 / PAGE_SIZE as u64)
+        PageNum(self.0 / PAGE_BYTES)
     }
 
     /// The UM block containing this address.
     #[inline]
     pub const fn block(self) -> BlockNum {
-        BlockNum(self.0 / (PAGE_SIZE as u64 * PAGES_PER_BLOCK as u64))
+        BlockNum(self.0 / (PAGE_BYTES * PAGES_PER_BLOCK_U64))
     }
 
     /// Byte offset within the containing page.
     #[inline]
     pub const fn page_offset(self) -> u64 {
-        self.0 % PAGE_SIZE as u64
+        self.0 % PAGE_BYTES
     }
 
     /// Address advanced by `bytes`.
@@ -65,7 +65,7 @@ impl UmAddr {
     /// True if the address is page-aligned.
     #[inline]
     pub const fn is_page_aligned(self) -> bool {
-        self.0.is_multiple_of(PAGE_SIZE as u64)
+        self.0.is_multiple_of(PAGE_BYTES)
     }
 }
 
@@ -103,19 +103,20 @@ impl PageNum {
     /// Byte address of the page's first byte.
     #[inline]
     pub const fn addr(self) -> UmAddr {
-        UmAddr(self.0 * PAGE_SIZE as u64)
+        UmAddr(self.0 * PAGE_BYTES)
     }
 
     /// The UM block containing this page.
     #[inline]
     pub const fn block(self) -> BlockNum {
-        BlockNum(self.0 / PAGES_PER_BLOCK as u64)
+        BlockNum(self.0 / PAGES_PER_BLOCK_U64)
     }
 
     /// Index of this page within its UM block, in `0..PAGES_PER_BLOCK`.
     #[inline]
     pub const fn index_in_block(self) -> usize {
-        (self.0 % PAGES_PER_BLOCK as u64) as usize
+        // deepum-tidy: allow(cast-safety) -- the modulo bounds the value below 512, so the narrowing cannot truncate
+        (self.0 % PAGES_PER_BLOCK_U64) as usize
     }
 
     /// Page advanced by `count` pages.
@@ -153,7 +154,7 @@ impl BlockNum {
     /// The first page of the block.
     #[inline]
     pub const fn first_page(self) -> PageNum {
-        PageNum(self.0 * PAGES_PER_BLOCK as u64)
+        PageNum(self.0 * PAGES_PER_BLOCK_U64)
     }
 
     /// Byte address of the block's first byte.
@@ -170,7 +171,7 @@ impl BlockNum {
     #[inline]
     pub fn page(self, i: usize) -> PageNum {
         debug_assert!(i < PAGES_PER_BLOCK);
-        PageNum(self.0 * PAGES_PER_BLOCK as u64 + i as u64)
+        PageNum(self.0 * PAGES_PER_BLOCK_U64 + u64_from_usize(i))
     }
 
     /// Block advanced by `count` blocks.
@@ -189,7 +190,7 @@ impl fmt::Display for BlockNum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::BLOCK_SIZE;
+    use crate::{BLOCK_SIZE, PAGE_SIZE};
 
     #[test]
     fn addr_page_block_relations() {

@@ -107,7 +107,15 @@ impl PageMask {
     /// Number of set bits.
     #[inline]
     pub fn count(&self) -> usize {
+        // deepum-tidy: allow(cast-safety) -- count_ones() of a u64 is at most 64, far below usize::MAX
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits as `u64`, for page-count arithmetic in the
+    /// address domain.
+    #[inline]
+    pub fn count_u64(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
     }
 
     /// True if no bit is set.
@@ -205,6 +213,7 @@ impl Iterator for IterOnes<'_> {
     fn next(&mut self) -> Option<usize> {
         loop {
             if self.bits != 0 {
+                // deepum-tidy: allow(cast-safety) -- trailing_zeros() of a u64 is at most 64, far below usize::MAX
                 let tz = self.bits.trailing_zeros() as usize;
                 self.bits &= self.bits - 1;
                 return Some(self.word * 64 + tz);

@@ -16,12 +16,14 @@
 //! # Example
 //!
 //! ```
-//! use deepum_mem::{ByteRange, UmAddr, PAGE_SIZE, PAGES_PER_BLOCK};
+//! use deepum_mem::{ByteRange, UmAddr, PAGE_BYTES, PAGES_PER_BLOCK};
 //!
-//! let range = ByteRange::new(UmAddr::new(0), 3 * PAGE_SIZE as u64 + 1);
+//! let range = ByteRange::new(UmAddr::new(0), 3 * PAGE_BYTES + 1);
 //! assert_eq!(range.pages().count(), 4); // partial pages round up
 //! assert_eq!(PAGES_PER_BLOCK, 512);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod addr;
 pub mod bitmap;
@@ -39,3 +41,28 @@ pub const PAGES_PER_BLOCK: usize = 512;
 
 /// Size of a full UM block in bytes (2 MiB).
 pub const BLOCK_SIZE: usize = PAGE_SIZE * PAGES_PER_BLOCK;
+
+// The three `u64` mirrors below and `u64_from_usize` are the blessed
+// widening sites for the whole workspace: address math is done in u64,
+// sizes are configured in usize, and every other file goes through these
+// instead of scattering `as` casts (see DESIGN.md §10, lint cast-safety).
+
+/// [`PAGE_SIZE`] as `u64`, for byte-address arithmetic.
+// deepum-tidy: allow(cast-safety) -- widening a 4096 literal; definition site of the typed constant
+pub const PAGE_BYTES: u64 = PAGE_SIZE as u64;
+
+/// [`PAGES_PER_BLOCK`] as `u64`, for page-index arithmetic.
+// deepum-tidy: allow(cast-safety) -- widening a 512 literal; definition site of the typed constant
+pub const PAGES_PER_BLOCK_U64: u64 = PAGES_PER_BLOCK as u64;
+
+/// [`BLOCK_SIZE`] as `u64`, for byte-address arithmetic.
+// deepum-tidy: allow(cast-safety) -- widening a 2 MiB literal; definition site of the typed constant
+pub const BLOCK_BYTES: u64 = BLOCK_SIZE as u64;
+
+/// Widens a host `usize` (page counts, indices) into the `u64` address
+/// domain. Lossless on every supported target (`usize` ≤ 64 bits).
+#[inline]
+pub const fn u64_from_usize(n: usize) -> u64 {
+    // deepum-tidy: allow(cast-safety) -- usize -> u64 is a widening cast on all supported targets
+    n as u64
+}

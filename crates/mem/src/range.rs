@@ -5,7 +5,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{BlockNum, PageNum, UmAddr};
-use crate::{PageMask, BLOCK_SIZE, PAGES_PER_BLOCK, PAGE_SIZE};
+use crate::{PageMask, BLOCK_BYTES, PAGES_PER_BLOCK};
 
 /// A contiguous byte range `[start, start + len)` in the UM space.
 ///
@@ -116,11 +116,11 @@ impl ByteRange {
         }
         for block in self.blocks() {
             let block_start = block.addr().raw();
-            let block_end = block_start + BLOCK_SIZE as u64;
+            let block_end = block_start + BLOCK_BYTES;
             let lo = self.start.raw().max(block_start);
             let hi = self.end().raw().min(block_end);
-            let first_page = ((lo - block_start) / PAGE_SIZE as u64) as usize;
-            let last_page = ((hi - 1 - block_start) / PAGE_SIZE as u64) as usize;
+            let first_page = UmAddr::new(lo).page().index_in_block();
+            let last_page = UmAddr::new(hi - 1).page().index_in_block();
             debug_assert!(last_page < PAGES_PER_BLOCK);
             out.push((block, PageMask::from_range(first_page..last_page + 1)));
         }
@@ -155,7 +155,7 @@ impl Iterator for PageRange {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = (self.end.index() - self.next.index()) as usize;
+        let remaining = usize::try_from(self.end.index() - self.next.index()).unwrap_or(usize::MAX);
         (remaining, Some(remaining))
     }
 }
@@ -183,7 +183,7 @@ impl Iterator for BlockRange {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = (self.end.index() - self.next.index()) as usize;
+        let remaining = usize::try_from(self.end.index() - self.next.index()).unwrap_or(usize::MAX);
         (remaining, Some(remaining))
     }
 }
@@ -193,6 +193,7 @@ impl ExactSizeIterator for BlockRange {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BLOCK_SIZE, PAGE_SIZE};
 
     #[test]
     fn empty_range_touches_nothing() {

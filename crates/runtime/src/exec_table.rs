@@ -8,7 +8,7 @@
 //! the table." (Section 3.1.)
 
 use core::fmt;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use deepum_gpu::kernel::ExecSignature;
 use serde::{Deserialize, Serialize};
@@ -54,7 +54,7 @@ impl fmt::Display for ExecId {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct ExecutionIdTable {
-    ids: HashMap<ExecSignature, ExecId>,
+    ids: BTreeMap<ExecSignature, ExecId>,
 }
 
 impl ExecutionIdTable {
@@ -68,8 +68,8 @@ impl ExecutionIdTable {
     pub fn lookup_or_assign(&mut self, signature: ExecSignature) -> (ExecId, bool) {
         let next = ExecId(self.ids.len() as u32);
         match self.ids.entry(signature) {
-            std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
-            std::collections::hash_map::Entry::Vacant(v) => {
+            std::collections::btree_map::Entry::Occupied(e) => (*e.get(), false),
+            std::collections::btree_map::Entry::Vacant(v) => {
                 v.insert(next);
                 (next, true)
             }

@@ -13,6 +13,8 @@
 //!   by the [`interpose::LaunchObserver`] trait, which `deepum-core`'s
 //!   driver implements.
 
+#![forbid(unsafe_code)]
+
 pub mod exec_table;
 pub mod interpose;
 

@@ -34,6 +34,8 @@
 //! assert!(clock.now() > Ns::ZERO);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod costs;
 pub mod energy;

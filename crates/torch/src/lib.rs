@@ -22,6 +22,8 @@
 //! distribution); no numerical computation happens — the memory system
 //! under study sees sizes and access order, never values.
 
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod models;
 pub mod perf;

@@ -19,6 +19,11 @@ pub struct BlockState {
     pub resident: PageMask,
     /// Virtual time of the last host→device migration into this block.
     pub last_migrated: Ns,
+    /// Drain-batch epoch paired with `last_migrated`. Migrations that
+    /// happen at the same virtual time share an epoch, so two resident
+    /// blocks with equal timestamps but different epochs mean the clock
+    /// ran backwards — a nondeterminism symptom `validate()` rejects.
+    pub last_epoch: u64,
     /// Resident pages that arrived via prefetch and have not been touched.
     pub prefetched_untouched: PageMask,
     /// Pages whose PT block is inactive: evicting them requires no

@@ -14,10 +14,11 @@
 //! * [`UmDriver::mark_invalidatable`] — pages of inactive PT blocks that
 //!   may be dropped without write-back (Section 5.2).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
+use deepum_gpu::engine::BackendError;
 use deepum_gpu::fault::FaultEntry;
-use deepum_mem::{BlockNum, ByteRange, PageMask, PAGE_SIZE};
+use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, PAGE_BYTES};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
@@ -83,26 +84,33 @@ pub struct UmDriver {
     costs: CostModel,
     capacity_pages: u64,
     resident_pages: u64,
-    blocks: HashMap<BlockNum, BlockState>,
+    blocks: BTreeMap<BlockNum, BlockState>,
     lru: LruMigrated,
     protected: SharedBlockSet,
     counters: Counters,
     injector: Option<SharedInjector>,
+    /// Monotone drain-batch epoch; bumps whenever a migration happens at
+    /// a different virtual time than the previous one.
+    migrate_epoch: u64,
+    /// Virtual time of the current epoch's migrations.
+    epoch_now: Ns,
 }
 
 impl UmDriver {
     /// Creates a driver for a device whose capacity comes from `costs`.
     pub fn new(costs: CostModel) -> Self {
-        let capacity_pages = costs.device_memory_bytes / PAGE_SIZE as u64;
+        let capacity_pages = costs.device_memory_bytes / PAGE_BYTES;
         UmDriver {
             costs,
             capacity_pages,
             resident_pages: 0,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             lru: LruMigrated::new(),
             protected: SharedBlockSet::new(),
             counters: Counters::new(),
             injector: None,
+            migrate_epoch: 0,
+            epoch_now: Ns::ZERO,
         }
     }
 
@@ -178,7 +186,7 @@ impl UmDriver {
             let hits = state.prefetched_untouched.intersect(pages);
             if !hits.is_empty() {
                 state.prefetched_untouched.subtract_with(&hits);
-                self.counters.prefetch_hits += hits.count() as u64;
+                self.counters.prefetch_hits += hits.count_u64();
             }
         }
     }
@@ -206,10 +214,10 @@ impl UmDriver {
                 let dropped = state.resident.intersect(&mask);
                 if !dropped.is_empty() {
                     let untouched = state.prefetched_untouched.intersect(&dropped);
-                    self.counters.prefetch_wasted += untouched.count() as u64;
+                    self.counters.prefetch_wasted += untouched.count_u64();
                     state.prefetched_untouched.subtract_with(&dropped);
                     state.resident.subtract_with(&dropped);
-                    self.resident_pages -= dropped.count() as u64;
+                    self.resident_pages -= dropped.count_u64();
                     if state.resident.is_empty() {
                         self.lru.remove(block, state.last_migrated);
                     }
@@ -222,42 +230,57 @@ impl UmDriver {
 
     /// The Figure-3 fault-handling pipeline. Returns the GPU-visible
     /// stall time. All faulted pages are resident afterwards.
-    pub fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::CapacityExceeded`] when a faulted batch
+    /// cannot fit on the device even after evicting everything
+    /// evictable, and [`BackendError::MissingBlock`] if driver
+    /// bookkeeping turns out inconsistent mid-drain. Both mean the
+    /// replay could never succeed; the engine aborts the kernel.
+    pub fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
         if faults.is_empty() {
-            return Ns::ZERO;
+            return Ok(Ns::ZERO);
         }
-        self.counters.gpu_page_faults += faults.len() as u64;
+        self.counters.gpu_page_faults += u64_from_usize(faults.len());
         self.counters.fault_batches += 1;
 
         // (1) fetch from the fault buffer + (9) replay signal.
         let mut cost = self.costs.fault_batch_overhead + self.costs.tlb_lock_stall;
         // (2) preprocess: dedup + group by UM block, order preserved.
-        cost += self.costs.fault_entry_cost * faults.len() as u64;
+        cost += self.costs.fault_entry_cost * u64_from_usize(faults.len());
         let groups = group_faults(faults);
-        self.counters.faulted_blocks += groups.len() as u64;
+        self.counters.faulted_blocks += u64_from_usize(groups.len());
 
         // (3)-(8) per faulted UM block.
         for (block, mask) in groups {
             cost += self.costs.fault_block_overhead;
-            cost += self.migrate_into_gpu(now, block, &mask, MigratePath::Demand);
+            cost += self.migrate_into_gpu(now, block, &mask, MigratePath::Demand)?;
         }
-        cost
+        Ok(cost)
     }
 
     /// Migrates `pages` of `block` to the device via `path`. Returns the
     /// time the migration cost (the caller decides whether that time is
     /// critical-path stall or overlapped).
+    ///
+    /// # Errors
+    ///
+    /// On the demand path, fails with [`BackendError::CapacityExceeded`]
+    /// when the pages cannot fit even after eviction. The prefetch path
+    /// never fails: it abandons the prefetch instead (the pages fault on
+    /// demand later).
     pub fn migrate_into_gpu(
         &mut self,
         now: Ns,
         block: BlockNum,
         pages: &PageMask,
         path: MigratePath,
-    ) -> Ns {
+    ) -> Result<Ns, BackendError> {
         let missing = self.resident_miss(block, pages);
-        let count = missing.count() as u64;
+        let count = missing.count_u64();
         if count == 0 {
-            return Ns::ZERO;
+            return Ok(Ns::ZERO);
         }
 
         let mut cost = Ns::ZERO;
@@ -269,22 +292,23 @@ impl UmDriver {
                 MigratePath::Prefetch => EvictPath::Pre,
             };
             cost += self
-                .evict_to_free(now, needed, evict_path, Some(block))
+                .evict_to_free(now, needed, evict_path, Some(block))?
                 .total();
         }
         if self.free_pages() < count {
             match path {
-                MigratePath::Demand => panic!(
-                    "device cannot hold {count} pages even after eviction \
-                     (capacity {} pages)",
-                    self.capacity_pages
-                ),
+                MigratePath::Demand => {
+                    return Err(BackendError::CapacityExceeded {
+                        needed_pages: count,
+                        capacity_pages: self.capacity_pages,
+                    });
+                }
                 // Best-effort: everything evictable is predicted-in-use,
                 // so the prefetch is abandoned (the page will fault on
                 // demand instead).
                 MigratePath::Prefetch => {
                     self.counters.prefetch_dropped += 1;
-                    return cost;
+                    return Ok(cost);
                 }
             }
         }
@@ -297,7 +321,7 @@ impl UmDriver {
             .get(&block)
             .map(|s| missing.intersect(&s.host_valid))
             .unwrap_or_else(PageMask::empty);
-        let bytes = transferable.count() as u64 * PAGE_SIZE as u64;
+        let bytes = transferable.count_u64() * PAGE_BYTES;
 
         // Injected transient DMA failures: retry with exponential backoff
         // (simulated time). When retries run out, a demand migration is
@@ -321,7 +345,7 @@ impl UmDriver {
                                 inj.note_prefetch_abandoned();
                                 drop(inj);
                                 self.counters.prefetch_dropped += 1;
-                                return cost;
+                                return Ok(cost);
                             }
                         }
                     }
@@ -333,6 +357,14 @@ impl UmDriver {
         cost += self.costs.transfer_time(bytes);
         cost += self.costs.map_page_cost * count;
 
+        // Migrations drained at the same virtual instant share an epoch;
+        // a new `now` opens a new one. `validate()` leans on this to
+        // reject equal LRU timestamps that came from different drains.
+        if self.migrate_epoch == 0 || now != self.epoch_now {
+            self.migrate_epoch += 1;
+            self.epoch_now = now;
+        }
+        let epoch = self.migrate_epoch;
         let state = self.blocks.entry(block).or_default();
         let was_resident = !state.resident.is_empty();
         let prev_key = if was_resident || !state.prefetched_untouched.is_empty() {
@@ -353,17 +385,23 @@ impl UmDriver {
         }
         let prev_key = if was_resident { prev_key } else { None };
         state.last_migrated = now;
+        state.last_epoch = epoch;
         self.lru.record_migration(block, prev_key, now);
         self.resident_pages += count;
         self.counters.bytes_h2d += bytes;
-        cost
+        Ok(cost)
     }
 
     /// DeepUM prefetch entry point: migrate a whole-block page mask off
     /// the fault path. Returns the migration cost to charge against the
     /// compute-overlap budget.
     pub fn prefetch_into_gpu(&mut self, now: Ns, block: BlockNum, pages: &PageMask) -> Ns {
+        // The prefetch path is best-effort by construction — capacity
+        // shortfalls and DMA-retry exhaustion abandon the prefetch with
+        // Ok — so an error here is unreachable; cost Ns::ZERO keeps the
+        // signature infallible for the overlap budget accounting.
         self.migrate_into_gpu(now, block, pages, MigratePath::Prefetch)
+            .unwrap_or(Ns::ZERO)
     }
 
     /// DeepUM pre-eviction: evict least-recently-migrated unprotected
@@ -377,7 +415,12 @@ impl UmDriver {
             return EvictCost::default();
         }
         let needed = target_free - self.free_pages();
+        // Pre-eviction is best-effort and runs off the fault path, so a
+        // bookkeeping inconsistency (the only failure mode of the Pre
+        // path) degrades to "freed nothing"; the next enabled
+        // `validate()` pass reports the corruption itself.
         self.evict_to_free(now, needed, EvictPath::Pre, None)
+            .unwrap_or_default()
     }
 
     fn evict_to_free(
@@ -386,7 +429,7 @@ impl UmDriver {
         needed: u64,
         path: EvictPath,
         exclude: Option<BlockNum>,
-    ) -> EvictCost {
+    ) -> Result<EvictCost, BackendError> {
         let mut victims = Vec::new();
         let mut freed = 0u64;
 
@@ -406,8 +449,10 @@ impl UmDriver {
                 if Some(block) == exclude || self.protected.contains(block) {
                     continue;
                 }
-                let state = &self.blocks[&block];
-                let pages = state.resident.count() as u64;
+                let Some(state) = self.blocks.get(&block) else {
+                    return Err(BackendError::MissingBlock(block));
+                };
+                let pages = state.resident.count_u64();
                 if pages == 0 || !state.resident.subtract(&state.invalidatable).is_empty() {
                     continue;
                 }
@@ -417,7 +462,7 @@ impl UmDriver {
             if !victims.is_empty() {
                 if let Some(inj) = &self.injector {
                     inj.borrow_mut()
-                        .note_writeback_fallbacks(victims.len() as u64);
+                        .note_writeback_fallbacks(u64_from_usize(victims.len()));
                 }
             }
         }
@@ -433,7 +478,10 @@ impl UmDriver {
             {
                 continue;
             }
-            let pages = self.blocks[&block].resident.count() as u64;
+            let Some(state) = self.blocks.get(&block) else {
+                return Err(BackendError::MissingBlock(block));
+            };
+            let pages = state.resident.count_u64();
             if pages == 0 {
                 continue;
             }
@@ -452,7 +500,10 @@ impl UmDriver {
                 if Some(block) == exclude || victims.iter().any(|&(_, b)| b == block) {
                     continue;
                 }
-                let pages = self.blocks[&block].resident.count() as u64;
+                let Some(state) = self.blocks.get(&block) else {
+                    return Err(BackendError::MissingBlock(block));
+                };
+                let pages = state.resident.count_u64();
                 if pages == 0 {
                     continue;
                 }
@@ -463,11 +514,11 @@ impl UmDriver {
 
         let mut cost = EvictCost::default();
         for (key, block) in victims {
-            let c = self.evict_block(now, block, key, path, host_oom);
+            let c = self.evict_block(now, block, key, path, host_oom)?;
             cost.bookkeeping += c.bookkeeping;
             cost.writeback += c.writeback;
         }
-        cost
+        Ok(cost)
     }
 
     fn evict_block(
@@ -477,19 +528,21 @@ impl UmDriver {
         lru_key: Ns,
         path: EvictPath,
         host_oom: bool,
-    ) -> EvictCost {
-        let state = self.blocks.get_mut(&block).expect("victim block exists");
+    ) -> Result<EvictCost, BackendError> {
+        let Some(state) = self.blocks.get_mut(&block) else {
+            return Err(BackendError::MissingBlock(block));
+        };
         let resident = state.resident;
-        let count = resident.count() as u64;
+        let count = resident.count_u64();
         debug_assert!(count > 0, "evicting empty block");
 
         let wasted = state.prefetched_untouched.intersect(&resident);
-        self.counters.prefetch_wasted += wasted.count() as u64;
+        self.counters.prefetch_wasted += wasted.count_u64();
 
         // Pages of inactive PT blocks are invalidated: no write-back.
         let invalidated = resident.intersect(&state.invalidatable);
         let writeback = resident.subtract(&invalidated);
-        let writeback_bytes = writeback.count() as u64 * PAGE_SIZE as u64;
+        let writeback_bytes = writeback.count_u64() * PAGE_BYTES;
 
         state.resident = PageMask::empty();
         state.prefetched_untouched = PageMask::empty();
@@ -497,10 +550,10 @@ impl UmDriver {
         self.lru.remove(block, lru_key);
         self.resident_pages -= count;
 
-        self.counters.pages_invalidated += invalidated.count() as u64;
+        self.counters.pages_invalidated += invalidated.count_u64();
         match path {
-            EvictPath::Demand => self.counters.pages_evicted_demand += writeback.count() as u64,
-            EvictPath::Pre => self.counters.pages_preevicted += writeback.count() as u64,
+            EvictPath::Demand => self.counters.pages_evicted_demand += writeback.count_u64(),
+            EvictPath::Pre => self.counters.pages_preevicted += writeback.count_u64(),
         }
         self.counters.bytes_d2h += writeback_bytes;
 
@@ -528,10 +581,10 @@ impl UmDriver {
             }
         }
 
-        EvictCost {
+        Ok(EvictCost {
             bookkeeping: self.costs.evict_page_cost * count,
             writeback: writeback_cost,
-        }
+        })
     }
 
     /// Checks the driver's internal invariants, returning the first
@@ -545,7 +598,7 @@ impl UmDriver {
     pub fn validate(&self) -> Result<(), String> {
         let mut total = 0u64;
         for (block, state) in &self.blocks {
-            total += state.resident.count() as u64;
+            total += state.resident.count_u64();
             if !state
                 .prefetched_untouched
                 .subtract(&state.resident)
@@ -571,7 +624,7 @@ impl UmDriver {
                 self.resident_pages, self.capacity_pages
             ));
         }
-        let mut lru_blocks = HashSet::new();
+        let mut lru_blocks = BTreeSet::new();
         let mut lru_len = 0usize;
         for (key, block) in self.lru.iter() {
             lru_len += 1;
@@ -600,6 +653,29 @@ impl UmDriver {
                 "{resident_blocks} resident blocks but {lru_len} LRU entries"
             ));
         }
+        // No two resident blocks may share an LRU timestamp unless they
+        // migrated in the same drain batch (same epoch). Equal stamps
+        // from different epochs mean virtual time regressed — exactly
+        // the nondeterminism symptom the D1 lints guard against.
+        let mut stamp_epochs: BTreeMap<Ns, (u64, BlockNum)> = BTreeMap::new();
+        for (block, state) in &self.blocks {
+            if state.resident.is_empty() {
+                continue;
+            }
+            match stamp_epochs.get(&state.last_migrated) {
+                Some(&(epoch, first)) if epoch != state.last_epoch => {
+                    return Err(format!(
+                        "{first} and {block} share LRU timestamp {} but migrated \
+                         in different drain batches (epochs {epoch} vs {})",
+                        state.last_migrated, state.last_epoch
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    stamp_epochs.insert(state.last_migrated, (state.last_epoch, *block));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -612,7 +688,7 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
         UmDriver::resident_miss(self, block, pages)
     }
 
-    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Ns {
+    fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
         UmDriver::handle_faults(self, now, faults)
     }
 
@@ -638,7 +714,7 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
 /// Deduplicates fault entries and groups them per UM block, preserving
 /// first-fault order of blocks (step 2 of Fig. 3).
 pub fn group_faults(faults: &[FaultEntry]) -> Vec<(BlockNum, PageMask)> {
-    let mut index: HashMap<BlockNum, usize> = HashMap::new();
+    let mut index: BTreeMap<BlockNum, usize> = BTreeMap::new();
     let mut groups: Vec<(BlockNum, PageMask)> = Vec::new();
     for f in faults {
         let block = f.page.block();
@@ -655,7 +731,7 @@ pub fn group_faults(faults: &[FaultEntry]) -> Vec<(BlockNum, PageMask)> {
 mod tests {
     use super::*;
     use deepum_gpu::fault::{AccessKind, SmId};
-    use deepum_mem::{PageNum, UmAddr, BLOCK_SIZE};
+    use deepum_mem::{PageNum, UmAddr, BLOCK_SIZE, PAGE_SIZE};
 
     fn small_driver(capacity_blocks: u64) -> UmDriver {
         let costs = CostModel::v100_32gb().with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
@@ -675,7 +751,9 @@ mod tests {
     #[test]
     fn faults_make_pages_resident() {
         let mut d = small_driver(4);
-        let cost = d.handle_faults(Ns::ZERO, &faults_for(0, 0..100));
+        let cost = d
+            .handle_faults(Ns::ZERO, &faults_for(0, 0..100))
+            .expect("faults handled");
         assert!(cost > Ns::ZERO);
         assert_eq!(d.resident_pages(), 100);
         assert!(d
@@ -693,7 +771,7 @@ mod tests {
         let mut d = small_driver(4);
         let mut faults = faults_for(0, 0..10);
         faults.extend(faults_for(0, 0..10));
-        d.handle_faults(Ns::ZERO, &faults);
+        d.handle_faults(Ns::ZERO, &faults).expect("faults handled");
         let c = d.counters();
         assert_eq!(c.gpu_page_faults, 20); // raw entries counted
         assert_eq!(c.pages_faulted_in, 10); // but migrated once
@@ -714,11 +792,14 @@ mod tests {
     #[test]
     fn oversubscription_evicts_lru_migrated() {
         let mut d = small_driver(2); // 2 blocks of device memory
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         assert_eq!(d.free_pages(), 0);
         // Block 2 needs space: block 0 (least recently migrated) goes.
-        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
         assert!(d.resident_mask(BlockNum::new(0)).is_empty());
         assert_eq!(d.resident_mask(BlockNum::new(1)).count(), 512);
         assert_eq!(d.resident_mask(BlockNum::new(2)).count(), 512);
@@ -731,10 +812,13 @@ mod tests {
     fn protected_blocks_survive_eviction_when_possible() {
         let mut d = small_driver(2);
         let protected = d.protected_set();
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         protected.insert(BlockNum::new(0)); // oldest, but protected
-        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
         // Block 1 was evicted instead of the protected block 0.
         assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
         assert!(d.resident_mask(BlockNum::new(1)).is_empty());
@@ -744,10 +828,12 @@ mod tests {
     fn protection_yields_when_nothing_else_fits() {
         let mut d = small_driver(1);
         let protected = d.protected_set();
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
         protected.insert(BlockNum::new(0));
         // Only the protected block is resident; it must still be evicted.
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         assert!(d.resident_mask(BlockNum::new(0)).is_empty());
         assert_eq!(d.resident_mask(BlockNum::new(1)).count(), 512);
     }
@@ -755,10 +841,12 @@ mod tests {
     #[test]
     fn invalidatable_pages_skip_writeback() {
         let mut d = small_driver(1);
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
         // Mark the whole block as belonging to an inactive PT block.
         d.mark_invalidatable(ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64), true);
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         let c = d.counters();
         assert_eq!(c.pages_invalidated, 512);
         assert_eq!(c.pages_evicted_demand, 0);
@@ -771,8 +859,10 @@ mod tests {
         let range = ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64);
         d.mark_invalidatable(range, true);
         d.mark_invalidatable(range, false);
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         assert_eq!(d.counters().pages_invalidated, 0);
         assert_eq!(d.counters().pages_evicted_demand, 512);
     }
@@ -790,17 +880,21 @@ mod tests {
         assert_eq!(d.counters().prefetch_hits, 512);
         // Evict both: block 0 first (LRU, already touched → no waste),
         // then block 1 (untouched prefetch → counted as waste).
-        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512))
+            .expect("faults handled");
         assert_eq!(d.counters().prefetch_wasted, 0);
-        d.handle_faults(Ns::from_nanos(5), &faults_for(3, 0..512));
+        d.handle_faults(Ns::from_nanos(5), &faults_for(3, 0..512))
+            .expect("faults handled");
         assert_eq!(d.counters().prefetch_wasted, 512);
     }
 
     #[test]
     fn preevict_frees_ahead_of_time() {
         let mut d = small_driver(2);
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         let cost = d.preevict(Ns::from_nanos(3), 512);
         assert!(cost.total() > Ns::ZERO);
         assert!(cost.writeback > Ns::ZERO);
@@ -808,7 +902,8 @@ mod tests {
         assert_eq!(d.counters().pages_preevicted, 512);
         // Demand fault for a new block now needs no critical-path evict.
         let before = d.counters().pages_evicted_demand;
-        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512))
+            .expect("faults handled");
         assert_eq!(d.counters().pages_evicted_demand, before);
     }
 
@@ -828,15 +923,17 @@ mod tests {
     #[test]
     fn empty_fault_batch_is_free() {
         let mut d = small_driver(2);
-        assert_eq!(d.handle_faults(Ns::ZERO, &[]), Ns::ZERO);
+        assert_eq!(d.handle_faults(Ns::ZERO, &[]), Ok(Ns::ZERO));
         assert_eq!(d.counters().fault_batches, 0);
     }
 
     #[test]
     fn remigration_updates_lru_position() {
         let mut d = small_driver(2);
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
         // Remigrate part of block 0 is impossible (it's resident), but a
         // new fault after eviction re-keys it. Instead, fault more pages
         // of block 1? Both full. Re-fault block 0's pages after evicting:
@@ -845,14 +942,16 @@ mod tests {
         let cost = d.prefetch_into_gpu(Ns::from_nanos(3), BlockNum::new(1), &PageMask::first_n(10));
         assert_eq!(cost, Ns::ZERO);
         // Block 0 still the LRU victim.
-        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512))
+            .expect("faults handled");
         assert!(d.resident_mask(BlockNum::new(0)).is_empty());
     }
 
     #[test]
     fn partial_block_faults() {
         let mut d = small_driver(4);
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 100..200));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 100..200))
+            .expect("faults handled");
         assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 100);
         let miss = d.resident_miss(BlockNum::new(0), &PageMask::first_n(512));
         assert_eq!(miss.count(), 412);
@@ -862,7 +961,8 @@ mod tests {
     fn validate_passes_through_fault_evict_churn() {
         let mut d = small_driver(2);
         for b in 0..6 {
-            d.handle_faults(Ns::from_nanos(b + 1), &faults_for(b, 0..512));
+            d.handle_faults(Ns::from_nanos(b + 1), &faults_for(b, 0..512))
+                .expect("faults handled");
             d.validate().expect("healthy driver");
         }
         d.prefetch_into_gpu(
@@ -877,7 +977,8 @@ mod tests {
     #[test]
     fn validate_detects_corrupt_residency_counter() {
         let mut d = small_driver(2);
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..10));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..10))
+            .expect("faults handled");
         d.resident_pages += 1;
         assert!(d.validate().is_err());
     }
@@ -897,18 +998,24 @@ mod tests {
         // host-valid copy), then re-fault it so the migration needs a
         // real DMA — first-touch faults populate device-side for free.
         let setup = |d: &mut UmDriver| {
-            d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-            d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
+            d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+                .expect("faults handled");
+            d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+                .expect("faults handled");
         };
         let mut clean = small_driver(1);
         setup(&mut clean);
-        let base_cost = clean.handle_faults(Ns::from_nanos(3), &faults_for(0, 0..512));
+        let base_cost = clean
+            .handle_faults(Ns::from_nanos(3), &faults_for(0, 0..512))
+            .expect("faults handled");
 
         let mut d = small_driver(1);
         setup(&mut d);
         let inj = always_fail_plan().build_shared();
         d.install_injector(inj.clone());
-        let cost = d.handle_faults(Ns::from_nanos(3), &faults_for(0, 0..512));
+        let cost = d
+            .handle_faults(Ns::from_nanos(3), &faults_for(0, 0..512))
+            .expect("faults handled");
 
         // Pages end up resident regardless (the replay loop cannot give
         // up), but the retries cost extra simulated time.
@@ -924,11 +1031,16 @@ mod tests {
     fn prefetch_abandons_after_retry_exhaustion() {
         let mut d = small_driver(4);
         // Give the block a host-valid copy so the prefetch needs a DMA.
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512));
-        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
-        d.handle_faults(Ns::from_nanos(4), &faults_for(3, 0..512));
-        d.handle_faults(Ns::from_nanos(5), &faults_for(4, 0..512)); // evicts 0
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(4), &faults_for(3, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(5), &faults_for(4, 0..512))
+            .expect("faults handled"); // evicts 0
         assert!(d.resident_mask(BlockNum::new(0)).is_empty());
 
         let inj = always_fail_plan().build_shared();
@@ -949,8 +1061,10 @@ mod tests {
     fn host_oom_prefers_invalidatable_victims() {
         let mut d = small_driver(2);
         // Block 1 is the LRU victim; block 0 is newer but invalidatable.
-        d.handle_faults(Ns::from_nanos(1), &faults_for(1, 0..512));
-        d.handle_faults(Ns::from_nanos(2), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(1, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(0, 0..512))
+            .expect("faults handled");
         d.mark_invalidatable(ByteRange::new(UmAddr::new(0), BLOCK_SIZE as u64), true);
 
         let inj = deepum_sim::faultinject::InjectionPlan {
@@ -961,7 +1075,8 @@ mod tests {
         d.install_injector(inj.clone());
 
         let d2h_before = d.counters().bytes_d2h;
-        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512));
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
 
         // The invalidatable block went first despite being newer, so the
         // eviction touched no host memory.
@@ -982,13 +1097,16 @@ mod tests {
             ..Default::default()
         };
         let mut clean = small_driver(1);
-        clean.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        clean
+            .handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
         let base = clean.preevict(Ns::from_nanos(2), 512);
 
         let mut d = small_driver(1);
         let inj = plan.build_shared();
         d.install_injector(inj.clone());
-        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512));
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
         let cost = d.preevict(Ns::from_nanos(2), 512);
 
         assert_eq!(d.free_pages(), d.capacity_pages());
@@ -1009,5 +1127,67 @@ mod tests {
         let groups = group_faults(&[f]);
         assert_eq!(groups[0].0, BlockNum::new(1));
         assert!(groups[0].1.get(0));
+    }
+
+    #[test]
+    fn demand_overflow_is_a_backend_error() {
+        // 100 pages of device memory cannot hold a 512-page demand batch
+        // no matter what gets evicted.
+        let costs = CostModel::v100_32gb().with_device_memory(100 * PAGE_SIZE as u64);
+        let mut d = UmDriver::new(costs);
+        let err = d
+            .handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect_err("batch larger than the device must fail");
+        assert_eq!(
+            err,
+            BackendError::CapacityExceeded {
+                needed_pages: 512,
+                capacity_pages: 100,
+            }
+        );
+    }
+
+    #[test]
+    fn same_drain_batch_may_share_a_timestamp() {
+        let mut d = small_driver(4);
+        let mut faults = faults_for(0, 0..512);
+        faults.extend(faults_for(1, 0..512));
+        d.handle_faults(Ns::from_nanos(5), &faults)
+            .expect("faults handled");
+        let b0 = &d.blocks[&BlockNum::new(0)];
+        let b1 = &d.blocks[&BlockNum::new(1)];
+        assert_eq!(b0.last_migrated, b1.last_migrated);
+        assert_eq!(b0.last_epoch, b1.last_epoch);
+        d.validate()
+            .expect("equal stamps from one drain batch are legal");
+    }
+
+    #[test]
+    fn clock_regression_fails_validate() {
+        let mut d = small_driver(4);
+        d.handle_faults(Ns::from_nanos(5), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(7), &faults_for(1, 0..512))
+            .expect("faults handled");
+        // Virtual time runs backwards: a third drain reuses stamp 5.
+        // Blocks 0 and 2 now share an LRU timestamp across different
+        // drain batches, which validate() must reject.
+        d.handle_faults(Ns::from_nanos(5), &faults_for(2, 0..512))
+            .expect("faults handled");
+        let err = d.validate().expect_err("regressed clock must be caught");
+        assert!(err.contains("drain batches"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn epochs_advance_with_virtual_time() {
+        let mut d = small_driver(4);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        let e0 = d.blocks[&BlockNum::new(0)].last_epoch;
+        let e1 = d.blocks[&BlockNum::new(1)].last_epoch;
+        assert!(e1 > e0, "distinct drain times must get distinct epochs");
+        d.validate().expect("distinct stamps validate");
     }
 }

@@ -8,14 +8,19 @@
 //! it as a shared *protected set* of blocks consulted at victim-selection
 //! time.
 
-use std::collections::HashSet;
-use std::sync::{Arc, RwLock};
+use std::collections::BTreeSet;
+use std::sync::{Arc, PoisonError, RwLock};
 
 use deepum_mem::BlockNum;
 use deepum_sim::time::Ns;
 
 /// A set of UM blocks the eviction scan must avoid, shared between the
 /// DeepUM prefetcher (writer) and the UM driver (reader).
+///
+/// A `BTreeSet` keeps membership checks deterministic to iterate (the
+/// driver never iterates it today, but D1 keeps the door shut), and a
+/// poisoned lock is recovered by taking the inner set: every mutation
+/// below leaves the set valid, so a panic mid-write cannot corrupt it.
 ///
 /// # Example
 ///
@@ -31,7 +36,7 @@ use deepum_sim::time::Ns;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct SharedBlockSet {
-    inner: Arc<RwLock<HashSet<BlockNum>>>,
+    inner: Arc<RwLock<BTreeSet<BlockNum>>>,
 }
 
 impl SharedBlockSet {
@@ -44,7 +49,7 @@ impl SharedBlockSet {
     pub fn insert(&self, block: BlockNum) {
         self.inner
             .write()
-            .expect("protected set poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(block);
     }
 
@@ -52,33 +57,39 @@ impl SharedBlockSet {
     pub fn remove(&self, block: BlockNum) {
         self.inner
             .write()
-            .expect("protected set poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&block);
     }
 
     /// Replaces the whole set in one write.
     pub fn replace<I: IntoIterator<Item = BlockNum>>(&self, blocks: I) {
-        let mut guard = self.inner.write().expect("protected set poisoned");
+        let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         guard.clear();
         guard.extend(blocks);
     }
 
     /// Empties the set.
     pub fn clear(&self) {
-        self.inner.write().expect("protected set poisoned").clear();
+        self.inner
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// True if `block` is protected from eviction.
     pub fn contains(&self, block: BlockNum) -> bool {
         self.inner
             .read()
-            .expect("protected set poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains(&block)
     }
 
     /// Number of protected blocks.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("protected set poisoned").len()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True if nothing is protected.

@@ -21,6 +21,8 @@
 //! [`driver::UmDriver::preevict`], and
 //! [`driver::UmDriver::mark_invalidatable`]).
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod driver;
 pub mod evict;

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use deepum_mem::{ByteRange, UmAddr, BLOCK_SIZE, PAGE_SIZE};
+use deepum_mem::{ByteRange, UmAddr, BLOCK_BYTES, PAGE_BYTES};
 
 /// Error returned when a UM allocation cannot be satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,17 +114,17 @@ impl UmSpace {
         if bytes == 0 {
             return Err(UmAllocError::ZeroSize);
         }
-        let size = round_up(bytes, PAGE_SIZE as u64);
+        let size = round_up(bytes, PAGE_BYTES);
         if size > self.available_bytes() {
             return Err(UmAllocError::OutOfMemory {
                 requested: size,
                 available: self.available_bytes(),
             });
         }
-        let align = if size >= BLOCK_SIZE as u64 {
-            BLOCK_SIZE as u64
+        let align = if size >= BLOCK_BYTES {
+            BLOCK_BYTES
         } else {
-            PAGE_SIZE as u64
+            PAGE_BYTES
         };
 
         let start = match self.take_from_free(size, align) {
@@ -221,6 +221,7 @@ fn round_up(v: u64, to: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use deepum_mem::{BLOCK_SIZE, PAGE_SIZE};
 
     #[test]
     fn alloc_rounds_to_pages() {

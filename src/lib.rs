@@ -45,6 +45,8 @@
 //! # Ok::<(), deepum::baselines::report::RunError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use deepum_baselines as baselines;
 pub use deepum_core as core;
 pub use deepum_gpu as gpu;

@@ -51,6 +51,21 @@ fn empty_plan_is_bit_identical_to_no_plan() {
 }
 
 #[test]
+fn clean_seeded_runs_reproduce_byte_identically() {
+    // No fault plan at all: two fresh sessions over the same seed must
+    // produce byte-identical reports. Guards the determinism contract
+    // (DESIGN.md §10) that deepum-tidy's container/wallclock lints
+    // enforce statically.
+    let a = small().run(SystemKind::DeepUm).unwrap();
+    let b = small().run(SystemKind::DeepUm).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+#[test]
 fn seeded_chaos_reproduces_byte_identically() {
     let run = || {
         small()
