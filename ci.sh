@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Full local CI: build, tests, lints, formatting — all against the
 # committed Cargo.lock so results are reproducible offline.
+#
+# Optional stages:
+#   --soak   run the deepum-chaos crash-recovery soak (fixed seed grid,
+#            wall-clock budgeted). Off by default: tier-1 stays fast.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+SOAK=0
+for arg in "$@"; do
+  case "$arg" in
+    --soak) SOAK=1 ;;
+    *) echo "unknown option: $arg (known: --soak)" >&2; exit 2 ;;
+  esac
+done
 
 echo "== build (release) =="
 cargo build --release --locked
@@ -18,5 +30,11 @@ cargo clippy --locked --workspace --all-targets -- -D warnings
 
 echo "== rustfmt =="
 cargo fmt --check
+
+if [ "$SOAK" -eq 1 ]; then
+  echo "== chaos soak =="
+  cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
+    --seeds 16 --budget-secs 300 --iters 2
+fi
 
 echo "CI OK"

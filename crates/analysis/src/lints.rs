@@ -66,12 +66,17 @@ const WALLCLOCK_PATTERNS: &[&str] = &[
     "env::var",
 ];
 
-/// Files on the fault-drain / eviction critical path for `panic-safety`.
+/// Files on the fault-drain / eviction / recovery critical path for
+/// `panic-safety`. The snapshot codec and the restore path run while
+/// the simulated system is already degraded, so a panic there turns a
+/// recoverable hard fault into an abort.
 const PANIC_FILES: &[&str] = &[
     "crates/um/src/driver.rs",
     "crates/um/src/evict.rs",
+    "crates/um/src/snapshot.rs",
     "crates/gpu/src/engine.rs",
     "crates/core/src/driver.rs",
+    "crates/core/src/recovery.rs",
 ];
 
 /// Patterns for `panic-safety`. `[&` catches `map[&key]` indexing, which

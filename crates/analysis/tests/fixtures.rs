@@ -36,6 +36,16 @@ const CASES: &[(&str, &str, &str)] = &[
         "determinism-wallclock",
     ),
     ("panic_safety.rs", "crates/um/src/driver.rs", "panic-safety"),
+    (
+        "snapshot_panic.rs",
+        "crates/um/src/snapshot.rs",
+        "panic-safety",
+    ),
+    (
+        "recovery_panic.rs",
+        "crates/core/src/recovery.rs",
+        "panic-safety",
+    ),
     ("cast_safety.rs", "crates/mem/src/fixture.rs", "cast-safety"),
     ("unsafe_attr.rs", "crates/um/src/lib.rs", "unsafe-attr"),
     (

@@ -1,0 +1,12 @@
+//! Bad: the restore path indexes journal state that may be absent,
+//! turning a recoverable hard fault into an abort.
+
+use std::collections::BTreeMap;
+
+pub fn replay_from(journal: &BTreeMap<u64, u64>, seq: u64) -> u64 {
+    let iter = journal[&seq];
+    if iter == u64::MAX {
+        panic!("journal entry for seq {seq} was tombstoned");
+    }
+    iter
+}

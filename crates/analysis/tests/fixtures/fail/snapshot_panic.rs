@@ -1,0 +1,11 @@
+//! Bad: the snapshot codec panics on malformed input instead of
+//! returning a typed SnapshotError.
+
+pub fn decode_u64(bytes: &[u8], at: usize) -> u64 {
+    let word: [u8; 8] = bytes[at..at + 8].try_into().unwrap();
+    u64::from_le_bytes(word)
+}
+
+pub fn decode_count(bytes: &[u8]) -> usize {
+    usize::try_from(decode_u64(bytes, 0)).expect("count fits usize")
+}

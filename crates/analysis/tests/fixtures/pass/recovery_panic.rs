@@ -1,0 +1,12 @@
+//! Good: the restore path reports missing journal state as an error
+//! the recovery protocol can act on.
+
+use std::collections::BTreeMap;
+
+pub fn replay_from(journal: &BTreeMap<u64, u64>, seq: u64) -> Result<u64, String> {
+    match journal.get(&seq) {
+        Some(&iter) if iter != u64::MAX => Ok(iter),
+        Some(_) => Err(format!("journal entry for seq {seq} was tombstoned")),
+        None => Err(format!("no journal entry for seq {seq}")),
+    }
+}

@@ -1,0 +1,12 @@
+//! Good: the snapshot codec surfaces malformed input as a typed error.
+
+pub fn decode_u64(bytes: &[u8], at: usize) -> Result<u64, String> {
+    match bytes.get(at..at + 8).map(TryInto::<[u8; 8]>::try_into) {
+        Some(Ok(word)) => Ok(u64::from_le_bytes(word)),
+        _ => Err(format!("truncated snapshot at offset {at}")),
+    }
+}
+
+pub fn decode_count(bytes: &[u8]) -> Result<usize, String> {
+    usize::try_from(decode_u64(bytes, 0)?).map_err(|_| "count overflows usize".to_string())
+}

@@ -200,6 +200,7 @@ pub fn run_swap(
         counters: exec.counters,
         table_bytes: None,
         health: None,
+        recovery: None,
     })
 }
 

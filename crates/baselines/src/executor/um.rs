@@ -16,7 +16,8 @@
 
 use std::collections::HashMap;
 
-use deepum_gpu::engine::{GpuEngine, UmBackend};
+use deepum_core::recovery::{JournalEntry, LaunchJournal, RecoveryReport};
+use deepum_gpu::engine::{BackendError, EngineError, EngineSnapshot, GpuEngine, UmBackend};
 use deepum_gpu::fault::AccessKind;
 use deepum_gpu::kernel::{BlockAccess, KernelLaunch};
 use deepum_mem::{BlockNum, ByteRange, PageMask, PAGE_SIZE};
@@ -24,7 +25,9 @@ use deepum_runtime::interpose::{CudaRuntime, LaunchObserver};
 use deepum_sim::clock::SimClock;
 use deepum_sim::costs::CostModel;
 use deepum_sim::energy::EnergyMeter;
-use deepum_sim::faultinject::{BackendHealth, InjectionPlan};
+use deepum_sim::faultinject::{
+    BackendHealth, InjectionPlan, SharedInjector, TransientInjectorState,
+};
 use deepum_sim::metrics::Counters;
 use deepum_sim::rng::DetRng;
 use deepum_sim::time::Ns;
@@ -33,6 +36,16 @@ use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
 
 use crate::report::{HealthReport, IterStats, RunError, RunReport};
+
+/// Kernel boundaries the journal holds before a checkpoint is forced.
+const JOURNAL_CAPACITY: usize = 256;
+
+/// Restores a run survives before it reports a typed recovery failure.
+const MAX_RESTORES: u64 = 64;
+
+/// Default checkpoint cadence (kernel launches) when the plan schedules
+/// hard faults but the config does not pick one.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
 
 /// Configuration of a UM-path run.
 #[derive(Debug, Clone)]
@@ -51,6 +64,11 @@ pub struct UmRunConfig {
     /// injection tests; walks the backend's block map, so off by
     /// default).
     pub validate_after_drain: bool,
+    /// Checkpoint cadence in kernel launches. `None` enables
+    /// checkpointing only when the plan schedules hard faults (at
+    /// [`DEFAULT_CHECKPOINT_EVERY`]); `Some(n)` forces a checkpoint
+    /// every `n` launches regardless of the plan.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl UmRunConfig {
@@ -63,8 +81,122 @@ impl UmRunConfig {
             seed: 0x5eed,
             plan: InjectionPlan::default(),
             validate_after_drain: false,
+            checkpoint_every: None,
         }
     }
+
+    /// The effective checkpoint cadence: the configured one, or the
+    /// default when the plan makes hard faults possible.
+    fn checkpoint_cadence(&self) -> Option<u64> {
+        self.checkpoint_every
+            .or_else(|| {
+                self.plan
+                    .has_hard_faults()
+                    .then_some(DEFAULT_CHECKPOINT_EVERY)
+            })
+            .map(|n| n.max(1))
+    }
+}
+
+/// Everything the run loop mutates that lives *outside* the backend,
+/// runtime, allocator, and engine. Cloning it is the in-memory half of a
+/// checkpoint; assigning it back is the in-memory half of a restore.
+#[derive(Clone)]
+struct LoopState {
+    clock: SimClock,
+    energy: EnergyMeter,
+    rng: DetRng,
+    tensors: TensorMap,
+    gather_cache: HashMap<TensorId, Vec<BlockAccess>>,
+    iters: Vec<IterStats>,
+    /// Current iteration index.
+    iter: usize,
+    /// Next step to execute within the iteration.
+    step: usize,
+    /// Iteration start time.
+    t0: Ns,
+    /// Counter baseline at iteration start.
+    c0: Counters,
+    /// Compute time accumulated this iteration.
+    compute: Ns,
+    /// Stall time accumulated this iteration.
+    stall: Ns,
+    /// Global kernel-launch sequence number (the next launch's seq).
+    kernel_seq: u64,
+}
+
+/// A full checkpoint: the cloned loop state plus binary images of the
+/// stateful components and the transient slice of the injector.
+struct Checkpoint {
+    state: LoopState,
+    backend: Vec<u8>,
+    runtime: Vec<u8>,
+    allocator: Vec<u8>,
+    engine: EngineSnapshot,
+    transient: Option<TransientInjectorState>,
+}
+
+impl Checkpoint {
+    fn bytes(&self) -> u64 {
+        (self.backend.len() + self.runtime.len() + self.allocator.len()) as u64
+    }
+}
+
+/// Rewinds the whole run to `cp` after a hard fault and charges the
+/// downtime (reset penalty + demand-only refill of the checkpoint's
+/// resident set) to the recovery report, out of band of the simulation
+/// clock so recovered runs stay byte-comparable to uninterrupted ones.
+#[allow(clippy::too_many_arguments)]
+fn recover<B: UmBackend + LaunchObserver>(
+    cp: &Checkpoint,
+    st: &mut LoopState,
+    backend: &mut B,
+    runtime: &mut CudaRuntime,
+    allocator: &mut CachingAllocator,
+    engine: &mut GpuEngine,
+    injector: Option<&SharedInjector>,
+    plan: &InjectionPlan,
+    costs: &CostModel,
+    journal: &mut LaunchJournal,
+    rec: &mut RecoveryReport,
+    reason: &str,
+) -> Result<(), RunError> {
+    rec.restores += 1;
+    if rec.restores > MAX_RESTORES {
+        return Err(RunError::Recovery(format!(
+            "gave up after {MAX_RESTORES} restores (last hard fault: {reason})"
+        )));
+    }
+    rec.replay_kernels += journal.len() as u64;
+    journal.clear();
+
+    *st = cp.state.clone();
+    backend
+        .restore_state(&cp.backend)
+        .map_err(|e| RunError::Recovery(format!("backend restore failed: {e}")))?;
+    runtime
+        .restore(&cp.runtime)
+        .map_err(|e| RunError::Recovery(format!("runtime restore failed: {e}")))?;
+    allocator
+        .restore(&cp.allocator)
+        .map_err(|e| RunError::Recovery(format!("allocator restore failed: {e}")))?;
+    engine.restore(&cp.engine);
+    if let (Some(inj), Some(tr)) = (injector, &cp.transient) {
+        inj.borrow_mut().restore_transient(tr);
+    }
+    backend
+        .validate()
+        .map_err(|e| RunError::Recovery(format!("restored backend failed validation: {e}")))?;
+
+    // The reset wiped device memory: every page the checkpoint had
+    // resident comes back over PCIe at demand-paging granularity before
+    // the replay reaches steady state.
+    let refill = costs.transfer_time(backend.resident_pages() * PAGE_SIZE as u64);
+    rec.downtime_ns = rec
+        .downtime_ns
+        .saturating_add(plan.reset_penalty.as_nanos())
+        .saturating_add(refill.as_nanos());
+    Ok(())
 }
 
 /// Runs `workload` against `backend` (naive UM, DeepUM, or an ablation).
@@ -93,9 +225,9 @@ where
     );
     let mut allocator = CachingAllocator::new();
     let mut engine = GpuEngine::new();
-    let mut clock = SimClock::new();
-    let mut energy = EnergyMeter::new();
-    let mut rng = DetRng::seed(cfg.seed);
+    let clock = SimClock::new();
+    let energy = EnergyMeter::new();
+    let rng = DetRng::seed(cfg.seed);
 
     // An empty plan installs no injector at all, keeping the run
     // bit-identical to one that never heard of fault injection.
@@ -127,73 +259,200 @@ where
         )?;
     }
 
-    let mut iters = Vec::with_capacity(cfg.iterations);
-    for _iter in 0..cfg.iterations {
-        let t0 = clock.now();
-        let c0 = counters(backend);
-        let mut compute = Ns::ZERO;
-        let mut stall = Ns::ZERO;
+    // Checkpointing is active when hard faults can happen or the config
+    // asked for it; otherwise the loop below is behaviorally identical
+    // to a plain nested iteration/step walk.
+    let cadence = cfg.checkpoint_cadence();
+    let mut recovery = cadence.map(|_| RecoveryReport::default());
+    let mut checkpoint: Option<Checkpoint> = None;
+    let mut checkpoint_due = cadence.is_some();
+    let mut journal = LaunchJournal::new(JOURNAL_CAPACITY);
+
+    let mut st = LoopState {
+        t0: clock.now(),
+        c0: counters(backend),
+        clock,
+        energy,
+        rng,
+        tensors,
         // Gather samples are stable within an iteration (forward lookup
         // and backward update touch the same rows) and resampled across
         // iterations (fresh minibatch).
-        let mut gather_cache: HashMap<TensorId, Vec<BlockAccess>> = HashMap::new();
+        gather_cache: HashMap::new(),
+        iters: Vec::with_capacity(cfg.iterations),
+        iter: 0,
+        step: 0,
+        compute: Ns::ZERO,
+        stall: Ns::ZERO,
+        kernel_seq: 0,
+    };
 
-        for step in &workload.steps {
-            match step {
-                Step::Alloc(spec) => {
-                    alloc_tensor(
-                        spec.id,
-                        spec.bytes,
-                        &mut allocator,
-                        &mut runtime,
+    while st.iter < cfg.iterations {
+        // Checkpoints land on kernel boundaries: the position (iter,
+        // step) plus the component images fully determine the rest of
+        // the run.
+        if checkpoint_due {
+            checkpoint_due = false;
+            let backend_image = backend.snapshot_state().ok_or_else(|| {
+                RunError::Unsupported(format!(
+                    "{system} backend does not support checkpointing, \
+                     required by the hard-fault plan"
+                ))
+            })?;
+            let cp = Checkpoint {
+                state: st.clone(),
+                backend: backend_image,
+                runtime: runtime.snapshot(),
+                allocator: allocator.snapshot(),
+                engine: engine.snapshot(),
+                transient: injector.as_ref().map(|i| i.borrow().transient_snapshot()),
+            };
+            if let Some(rec) = recovery.as_mut() {
+                rec.checkpoints += 1;
+                rec.snapshot_bytes = cp.bytes();
+            }
+            journal.clear();
+            checkpoint = Some(cp);
+        }
+
+        match &workload.steps[st.step] {
+            Step::Alloc(spec) => {
+                alloc_tensor(
+                    spec.id,
+                    spec.bytes,
+                    &mut allocator,
+                    &mut runtime,
+                    backend,
+                    &mut st.tensors,
+                    &mut events,
+                    st.clock.now(),
+                )?;
+            }
+            Step::Free(id) => {
+                let (block, _) = st.tensors.remove(id).expect("free of unmapped tensor");
+                allocator.free(block, &mut events);
+                forward_events(&mut events, &mut runtime, backend, st.clock.now());
+            }
+            Step::Kernel(k) => {
+                // A scheduled device reset fires at this launch's global
+                // sequence number, before the kernel runs.
+                let reset = injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.borrow_mut().take_scheduled_reset(st.kernel_seq));
+                if reset {
+                    let cp = checkpoint.as_ref().ok_or_else(|| {
+                        RunError::Recovery("device reset before the first checkpoint".into())
+                    })?;
+                    let rec = recovery.as_mut().expect("recovery active with injector");
+                    recover(
+                        cp,
+                        &mut st,
                         backend,
-                        &mut tensors,
-                        &mut events,
-                        clock.now(),
+                        &mut runtime,
+                        &mut allocator,
+                        &mut engine,
+                        injector.as_ref(),
+                        &cfg.plan,
+                        &cfg.costs,
+                        &mut journal,
+                        rec,
+                        "scheduled device reset",
                     )?;
+                    continue;
                 }
-                Step::Free(id) => {
-                    let (block, _) = tensors.remove(id).expect("free of unmapped tensor");
-                    allocator.free(block, &mut events);
-                    forward_events(&mut events, &mut runtime, backend, clock.now());
+                // A full journal means too much un-checkpointed work:
+                // force a checkpoint, then retry this step.
+                if cadence.is_some()
+                    && !journal.record(JournalEntry {
+                        seq: st.kernel_seq,
+                        iter: st.iter as u64,
+                        step: st.step as u64,
+                    })
+                {
+                    checkpoint_due = true;
+                    continue;
                 }
-                Step::Kernel(k) => {
-                    let launch = build_launch(
-                        k,
-                        workload,
-                        &tensors,
-                        &mut gather_cache,
-                        &mut rng,
-                        &cfg.perf,
-                    );
-                    let (_exec, intercept) = runtime.launch(clock.now(), &launch, backend);
-                    clock.advance(intercept);
-                    if let Some(inj) = &injector {
-                        if let Some(delay) = inj.borrow_mut().roll_launch_delay() {
-                            clock.advance(delay);
-                        }
+                let launch = build_launch(
+                    k,
+                    workload,
+                    &st.tensors,
+                    &mut st.gather_cache,
+                    &mut st.rng,
+                    &cfg.perf,
+                );
+                let (_exec, intercept) = runtime.launch(st.clock.now(), &launch, backend);
+                st.clock.advance(intercept);
+                if let Some(inj) = &injector {
+                    if let Some(delay) = inj.borrow_mut().roll_launch_delay() {
+                        st.clock.advance(delay);
                     }
-                    let stats = engine
-                        .execute(&launch, &mut clock, backend, &mut energy)
-                        .map_err(|e| RunError::Driver(e.to_string()))?;
-                    compute += stats.compute;
-                    stall += stats.stall;
+                }
+                match engine.execute(&launch, &mut st.clock, backend, &mut st.energy) {
+                    Ok(stats) => {
+                        st.compute += stats.compute;
+                        st.stall += stats.stall;
+                    }
+                    Err(EngineError::Backend(BackendError::DriverCrash)) => {
+                        let cp = checkpoint.as_ref().ok_or_else(|| {
+                            RunError::Recovery("driver crash before the first checkpoint".into())
+                        })?;
+                        let rec = recovery.as_mut().expect("recovery active with injector");
+                        recover(
+                            cp,
+                            &mut st,
+                            backend,
+                            &mut runtime,
+                            &mut allocator,
+                            &mut engine,
+                            injector.as_ref(),
+                            &cfg.plan,
+                            &cfg.costs,
+                            &mut journal,
+                            rec,
+                            "driver crash during fault drain",
+                        )?;
+                        continue;
+                    }
+                    Err(e) => return Err(RunError::Driver(e.to_string())),
+                }
+                st.kernel_seq += 1;
+                if let Some(every) = cadence {
+                    if st.kernel_seq.is_multiple_of(every) {
+                        checkpoint_due = true;
+                    }
                 }
             }
         }
 
-        iters.push(IterStats {
-            elapsed: clock.now() - t0,
-            compute,
-            stall,
-            counters: counters(backend).delta_since(&c0),
-        });
+        st.step += 1;
+        if st.step == workload.steps.len() {
+            let elapsed = st.clock.now() - st.t0;
+            st.iters.push(IterStats {
+                elapsed,
+                compute: st.compute,
+                stall: st.stall,
+                counters: counters(backend).delta_since(&st.c0),
+            });
+            st.iter += 1;
+            st.step = 0;
+            st.t0 = st.clock.now();
+            st.c0 = counters(backend);
+            st.compute = Ns::ZERO;
+            st.stall = Ns::ZERO;
+            st.gather_cache.clear();
+        }
+    }
+
+    if let (Some(rec), Some(inj)) = (recovery.as_mut(), injector.as_ref()) {
+        rec.ecc_poisonings = inj.borrow().ecc_hits();
     }
 
     // The health section appears when anything robustness-related
-    // happened: faults were injectable, or the backend degraded.
+    // happened: transient faults were injectable, or the backend
+    // degraded. A purely hard-fault plan leaves it out so such runs stay
+    // byte-identical to plan-free ones (modulo the recovery section).
     let backend_health = backend.health();
-    let health = if injector.is_some() || backend_health != BackendHealth::default() {
+    let health = if cfg.plan.has_transients() || backend_health != BackendHealth::default() {
         Some(HealthReport {
             injected: injector
                 .as_ref()
@@ -208,12 +467,13 @@ where
     Ok(RunReport {
         workload: workload.name.clone(),
         system: system.into(),
-        total: clock.now(),
-        energy_joules: energy.joules(),
-        iters,
+        total: st.clock.now(),
+        energy_joules: st.energy.joules(),
+        iters: st.iters,
         counters: counters(backend),
         table_bytes: None,
         health,
+        recovery,
     })
 }
 

@@ -47,6 +47,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         counters: Counters::default(),
         table_bytes: None,
         health: None,
+        recovery: None,
     }
 }
 

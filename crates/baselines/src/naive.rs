@@ -11,6 +11,7 @@ use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use deepum_um::driver::UmDriver;
+use deepum_um::snapshot::{SnapshotReader, SnapshotWriter};
 
 /// Newtype over [`UmDriver`] that also implements [`LaunchObserver`]
 /// (ignoring runtime notifications), so the UM executor can drive naive
@@ -72,6 +73,29 @@ impl UmBackend for NaiveUm {
     fn validate(&self) -> Result<(), String> {
         self.um.validate()
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        let mut w = SnapshotWriter::new();
+        w.u64(self.kernels_launched);
+        deepum_um::snapshot::write_driver_state(&self.um, &mut w);
+        Some(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let restore = |um: &mut UmDriver| -> Result<u64, deepum_um::snapshot::SnapshotError> {
+            let mut r = SnapshotReader::new(bytes)?;
+            let kernels_launched = r.u64()?;
+            deepum_um::snapshot::read_driver_state(um, &mut r)?;
+            r.finish()?;
+            Ok(kernels_launched)
+        };
+        self.kernels_launched = restore(&mut self.um).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.um.resident_pages()
+    }
 }
 
 impl LaunchObserver for NaiveUm {
@@ -124,5 +148,36 @@ mod tests {
             ByteRange::new(deepum_mem::UmAddr::new(0), deepum_mem::BLOCK_SIZE as u64),
         );
         assert_eq!(b.um().resident_pages(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut b = NaiveUm::new(CostModel::v100_32gb());
+        b.on_kernel_launch(
+            Ns::ZERO,
+            ExecId(0),
+            &KernelLaunch::new("k", &[], vec![], Ns::from_micros(1)),
+        );
+        let faults: Vec<FaultEntry> = (0..64)
+            .map(|i| FaultEntry {
+                page: BlockNum::new(3).page(i),
+                kind: AccessKind::Read,
+                sm: SmId(0),
+            })
+            .collect();
+        b.handle_faults(Ns::ZERO, &faults).expect("faults handled");
+        let bytes = b.snapshot_state().expect("naive um snapshots");
+
+        let mut restored = NaiveUm::new(CostModel::v100_32gb());
+        restored.restore_state(&bytes).expect("restore succeeds");
+        restored.validate().expect("restored baseline validates");
+        assert_eq!(restored.counters(), b.counters());
+        assert_eq!(restored.um().resident_pages(), 64);
+        assert_eq!(restored.snapshot_state().expect("re-snapshot"), bytes);
+
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(restored.restore_state(&corrupt).is_err());
     }
 }

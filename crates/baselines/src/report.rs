@@ -1,8 +1,10 @@
 //! Run results: per-iteration stats and report aggregation.
 
+use deepum_core::recovery::RecoveryReport;
 use deepum_sim::faultinject::{BackendHealth, InjectionStats};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
+use serde::value::{Value, ValueError};
 use serde::{Deserialize, Serialize};
 
 /// Statistics of one training iteration.
@@ -30,6 +32,9 @@ pub enum RunError {
     /// The UM driver or GPU engine aborted the run (capacity exhausted
     /// mid-kernel, bookkeeping invariant broken).
     Driver(String),
+    /// A hard fault could not be recovered: no usable checkpoint, a
+    /// restore failed validation, or the restore budget ran out.
+    Recovery(String),
 }
 
 impl core::fmt::Display for RunError {
@@ -38,6 +43,7 @@ impl core::fmt::Display for RunError {
             RunError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
             RunError::Unsupported(m) => write!(f, "unsupported: {m}"),
             RunError::Driver(m) => write!(f, "driver error: {m}"),
+            RunError::Recovery(m) => write!(f, "recovery failed: {m}"),
         }
     }
 }
@@ -56,7 +62,12 @@ pub struct HealthReport {
 }
 
 /// The outcome of running a workload under one memory system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are written by hand (not derived) so that
+/// the `recovery` member is *omitted* when `None` instead of rendering
+/// as `null`: reports of runs without hard-fault machinery stay
+/// byte-identical to reports produced before checkpointing existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name (`"gpt2-xl/b7"`).
     pub workload: String,
@@ -74,6 +85,52 @@ pub struct RunReport {
     pub table_bytes: Option<u64>,
     /// Injected-fault and degradation summary, when applicable.
     pub health: Option<HealthReport>,
+    /// Checkpoint/restore summary; `Some` only when the run had hard
+    /// faults scheduled or an explicit checkpoint cadence.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("workload".to_string(), self.workload.to_value()),
+            ("system".to_string(), self.system.to_value()),
+            ("iters".to_string(), self.iters.to_value()),
+            ("total".to_string(), self.total.to_value()),
+            ("energy_joules".to_string(), self.energy_joules.to_value()),
+            ("counters".to_string(), self.counters.to_value()),
+            ("table_bytes".to_string(), self.table_bytes.to_value()),
+            ("health".to_string(), self.health.to_value()),
+        ];
+        if let Some(rec) = &self.recovery {
+            members.push(("recovery".to_string(), rec.to_value()));
+        }
+        Value::Object(members)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &Value) -> Result<Self, ValueError> {
+        fn member<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ValueError> {
+            v.get(key)
+                .ok_or_else(|| ValueError::msg(format!("RunReport is missing member `{key}`")))
+        }
+        let recovery = match v.get("recovery") {
+            None | Some(Value::Null) => None,
+            Some(rec) => Some(RecoveryReport::from_value(rec)?),
+        };
+        Ok(RunReport {
+            workload: String::from_value(member(v, "workload")?)?,
+            system: String::from_value(member(v, "system")?)?,
+            iters: Vec::from_value(member(v, "iters")?)?,
+            total: Ns::from_value(member(v, "total")?)?,
+            energy_joules: f64::from_value(member(v, "energy_joules")?)?,
+            counters: Counters::from_value(member(v, "counters")?)?,
+            table_bytes: Option::from_value(member(v, "table_bytes")?)?,
+            health: Option::from_value(member(v, "health")?)?,
+            recovery,
+        })
+    }
 }
 
 impl RunReport {
@@ -170,6 +227,7 @@ mod tests {
             counters: Counters::default(),
             table_bytes: None,
             health: None,
+            recovery: None,
         }
     }
 
@@ -198,6 +256,35 @@ mod tests {
         let slow = report(&[50, 30, 30]);
         assert!((fast.speedup_over(&slow) - 3.0).abs() < 1e-9);
         assert!((slow.speedup_over(&fast) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_free_report_omits_recovery_member() {
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(!json.contains("recovery"));
+        // The rendered form matches what the derived impl produced
+        // before the member existed: `health` last, rendered as null.
+        assert!(json.trim_end_matches('}').ends_with("\"health\":null"));
+        let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn recovery_member_round_trips() {
+        let mut r = report(&[10, 10]);
+        r.recovery = Some(RecoveryReport {
+            checkpoints: 3,
+            snapshot_bytes: 4096,
+            replay_kernels: 17,
+            downtime_ns: 2_000_000,
+            ecc_poisonings: 0,
+            restores: 2,
+        });
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"recovery\""));
+        let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct RunParams {
     /// Empty (the default) keeps runs bit-identical to a build without
     /// the fault-injection layer; swap baselines ignore it.
     pub plan: InjectionPlan,
+    /// Checkpoint cadence in kernel launches for UM-based systems.
+    /// `None` (the default) checkpoints only when `plan` schedules hard
+    /// faults; swap baselines ignore it.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl RunParams {
@@ -91,6 +95,7 @@ impl RunParams {
             iters,
             seed,
             plan: InjectionPlan::default(),
+            checkpoint_every: None,
         }
     }
 
@@ -102,6 +107,7 @@ impl RunParams {
             iters,
             seed,
             plan: InjectionPlan::default(),
+            checkpoint_every: None,
         }
     }
 }
@@ -148,6 +154,7 @@ fn um_cfg(params: &RunParams) -> UmRunConfig {
         seed: params.seed,
         plan: params.plan.clone(),
         validate_after_drain: false,
+        checkpoint_every: params.checkpoint_every,
     }
 }
 
@@ -182,6 +189,7 @@ mod tests {
             iters: 2,
             seed: 1,
             plan: InjectionPlan::default(),
+            checkpoint_every: None,
         };
         for system in [
             System::Um,
@@ -217,6 +225,7 @@ mod tests {
             iters: 1,
             seed: 1,
             plan: InjectionPlan::default(),
+            checkpoint_every: None,
         };
         let r = run_system(&System::deepum(), &w, &params).unwrap();
         assert!(r.table_bytes.unwrap() > 0);

@@ -1,0 +1,201 @@
+//! Crash-recovery soak: N seeds × random hard-fault schedules.
+//!
+//! For every seed the harness derives a random crash schedule (device
+//! resets by kernel sequence, driver crashes by drain ordinal, and for
+//! odd seeds an uncorrectable-ECC rate), runs naive UM and DeepUM under
+//! it, and checks the recovery contract:
+//!
+//! * the run either **converges** — crash-only schedules must match the
+//!   uninterrupted run byte-for-byte modulo the recovery section — or
+//!   fails with a *typed* [`RunError`];
+//! * no run panics (each executes under `catch_unwind`);
+//! * ECC schedules may diverge (poisoned tables change prefetching) but
+//!   must still complete every iteration and report the poisonings.
+//!
+//! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]`.
+//! The wall-clock budget stops the sweep early without failing it, so a
+//! fixed seed grid can run under CI time limits (`./ci.sh --soak`).
+
+use std::time::Instant;
+
+use deepum_baselines::report::{RunError, RunReport};
+use deepum_baselines::suite::{run_system, RunParams, System};
+use deepum_sim::costs::CostModel;
+use deepum_sim::faultinject::InjectionPlan;
+use deepum_sim::rng::DetRng;
+use deepum_torch::models::ModelKind;
+use deepum_torch::perf::PerfModel;
+use deepum_torch::step::Workload;
+
+struct ChaosOpts {
+    seeds: u64,
+    budget_secs: u64,
+    iters: usize,
+}
+
+fn parse_opts() -> ChaosOpts {
+    let mut opts = ChaosOpts {
+        seeds: 8,
+        budget_secs: 120,
+        iters: 2,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} expects an integer value"))
+        };
+        match arg.as_str() {
+            "--seeds" => opts.seeds = value("--seeds"),
+            "--budget-secs" => opts.budget_secs = value("--budget-secs"),
+            "--iters" => opts.iters = value("--iters") as usize,
+            other => panic!("unknown option {other} (try --seeds, --budget-secs, --iters)"),
+        }
+    }
+    opts
+}
+
+/// A random hard-fault schedule derived deterministically from `seed`.
+fn chaos_plan(seed: u64) -> InjectionPlan {
+    let mut rng = DetRng::seed(seed ^ 0xC4A0_5C4A_05C4_A05C);
+    let resets = (0..rng.below(3)).map(|_| rng.below(170)).collect();
+    let crashes = (0..rng.below(3)).map(|_| rng.below(40)).collect();
+    InjectionPlan {
+        seed,
+        device_reset_at: resets,
+        driver_crash_at: crashes,
+        // Odd seeds add uncorrectable ECC: those runs legitimately
+        // diverge from the clean run, so only completion is checked.
+        ecc_rate: if seed % 2 == 1 { 0.01 } else { 0.0 },
+        ..InjectionPlan::default()
+    }
+}
+
+fn params(iters: usize, plan: InjectionPlan) -> RunParams {
+    RunParams {
+        costs: CostModel::v100_32gb()
+            .with_device_memory(80 << 20)
+            .with_host_memory(8 << 30),
+        perf: PerfModel::v100(),
+        iters,
+        seed: 0x5eed,
+        plan,
+        checkpoint_every: None,
+    }
+}
+
+fn strip_recovery(mut r: RunReport) -> RunReport {
+    r.recovery = None;
+    r
+}
+
+/// Runs one system under one plan, absorbing panics into a failure
+/// description. Panics are the one outcome the contract forbids.
+fn soak_run(
+    system: &System,
+    workload: &Workload,
+    p: &RunParams,
+) -> Result<Result<RunReport, RunError>, String> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_system(system, workload, p)
+    }));
+    outcome.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".to_string())
+    })
+}
+
+fn main() {
+    let opts = parse_opts();
+    let workload = ModelKind::MobileNet.build(48);
+    let started = Instant::now();
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+
+    for seed in 0..opts.seeds {
+        if started.elapsed().as_secs() >= opts.budget_secs {
+            println!(
+                "[budget] wall-clock budget of {}s reached after {ran} seeds; stopping early",
+                opts.budget_secs
+            );
+            break;
+        }
+        let plan = chaos_plan(seed);
+        let has_ecc = plan.ecc_rate > 0.0;
+        println!(
+            "[seed {seed}] resets={:?} crashes={:?} ecc={}",
+            plan.device_reset_at, plan.driver_crash_at, plan.ecc_rate
+        );
+        for system in [System::Um, System::deepum()] {
+            let label = system.label();
+            let clean = match soak_run(
+                &system,
+                &workload,
+                &params(opts.iters, InjectionPlan::default()),
+            ) {
+                Ok(Ok(r)) => r,
+                Ok(Err(e)) => {
+                    println!("  FAIL {label}: clean run errored: {e}");
+                    failures += 1;
+                    continue;
+                }
+                Err(msg) => {
+                    println!("  FAIL {label}: clean run panicked: {msg}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            match soak_run(&system, &workload, &params(opts.iters, plan.clone())) {
+                Ok(Ok(report)) => {
+                    let rec = report.recovery;
+                    let diverged = !has_ecc
+                        && serde_json::to_string(&strip_recovery(report.clone())).ok()
+                            != serde_json::to_string(&clean).ok();
+                    if diverged {
+                        println!("  FAIL {label}: crash-only run diverged from the clean run");
+                        failures += 1;
+                    } else if report.iters.len() != opts.iters {
+                        println!(
+                            "  FAIL {label}: completed {}/{} iterations",
+                            report.iters.len(),
+                            opts.iters
+                        );
+                        failures += 1;
+                    } else {
+                        let rec = rec.unwrap_or_default();
+                        println!(
+                            "  ok   {label}: converged (restores={}, replay={}, ecc={}, downtime={}ns)",
+                            rec.restores, rec.replay_kernels, rec.ecc_poisonings, rec.downtime_ns
+                        );
+                    }
+                }
+                // A typed recovery failure is an allowed outcome; any
+                // other typed error under a pure hard-fault plan is not.
+                Ok(Err(RunError::Recovery(msg))) => {
+                    println!("  ok   {label}: typed recovery failure: {msg}");
+                }
+                Ok(Err(e)) => {
+                    println!("  FAIL {label}: unexpected error class: {e}");
+                    failures += 1;
+                }
+                Err(msg) => {
+                    println!("  FAIL {label}: PANIC: {msg}");
+                    failures += 1;
+                }
+            }
+            ran += 1;
+        }
+    }
+
+    println!(
+        "deepum-chaos: {ran} runs, {failures} failures, {:.1}s wall",
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

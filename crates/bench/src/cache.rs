@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics change enough to
 /// invalidate stored reports.
-const VERSION: &str = "v9";
+const VERSION: &str = "v10";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -106,6 +106,7 @@ mod tests {
             counters: Counters::default(),
             table_bytes: None,
             health: None,
+            recovery: None,
         }
     }
 

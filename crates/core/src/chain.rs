@@ -18,6 +18,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use deepum_mem::BlockNum;
 use deepum_runtime::exec_table::ExecId;
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 use crate::correlation::{BlockCorrelationTable, ExecCorrelationTable};
 use crate::queues::PrefetchCommand;
@@ -181,6 +182,72 @@ impl ChainWalk {
                 self.frontier.clear();
             }
         }
+    }
+
+    /// Writes the whole walk state into a checkpoint payload; block lists
+    /// keep their queue order so a restored walk resumes identically.
+    pub(crate) fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u32(self.exec.0);
+        for h in self.history {
+            w.u32(h.0);
+        }
+        w.block(self.origin);
+        w.bool(self.seeded);
+        w.bool(self.pending_transition);
+        w.bool(self.paused);
+        w.bool(self.ended);
+        w.u64(deepum_mem::u64_from_usize(self.kernels_ahead));
+        for list in [&self.emit_q, &self.frontier] {
+            w.u64(deepum_mem::u64_from_usize(list.len()));
+            for &b in list {
+                w.block(b);
+            }
+        }
+        w.u64(deepum_mem::u64_from_usize(self.visited.len()));
+        for &b in &self.visited {
+            w.block(b);
+        }
+    }
+
+    /// Reads a walk written by [`ChainWalk::encode_into`].
+    pub(crate) fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let exec = ExecId(r.u32()?);
+        let mut history = [ExecId(0); 3];
+        for h in &mut history {
+            *h = ExecId(r.u32()?);
+        }
+        let origin = r.block()?;
+        let seeded = r.bool()?;
+        let pending_transition = r.bool()?;
+        let paused = r.bool()?;
+        let ended = r.bool()?;
+        let kernels_ahead = usize::try_from(r.u64()?)
+            .map_err(|_| SnapshotError::Corrupt("kernels_ahead overflows usize".to_string()))?;
+        let mut emit_q = VecDeque::new();
+        for _ in 0..r.len_prefix(8)? {
+            emit_q.push_back(r.block()?);
+        }
+        let mut frontier = VecDeque::new();
+        for _ in 0..r.len_prefix(8)? {
+            frontier.push_back(r.block()?);
+        }
+        let mut visited = BTreeSet::new();
+        for _ in 0..r.len_prefix(8)? {
+            visited.insert(r.block()?);
+        }
+        Ok(ChainWalk {
+            exec,
+            history,
+            origin,
+            seeded,
+            pending_transition,
+            paused,
+            ended,
+            kernels_ahead,
+            emit_q,
+            frontier,
+            visited,
+        })
     }
 
     fn transition(

@@ -1,6 +1,7 @@
 //! The UM block correlation table (paper Fig. 7).
 
 use deepum_mem::BlockNum;
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// One way of a set: a tagged block and its MRU-ordered successors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +164,89 @@ impl BlockCorrelationTable {
     /// Lifetime pair-record updates.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Writes the table — geometry, anchors, counters, and every way's
+    /// MRU-ordered successor list — into a checkpoint payload.
+    pub(crate) fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u64(deepum_mem::u64_from_usize(self.rows.len()));
+        w.u64(deepum_mem::u64_from_usize(self.assoc));
+        w.u64(deepum_mem::u64_from_usize(self.num_succs));
+        for opt in [self.start, self.end] {
+            w.bool(opt.is_some());
+            if let Some(b) = opt {
+                w.block(b);
+            }
+        }
+        w.u64(self.lookups);
+        w.u64(self.updates);
+        for row in &self.rows {
+            w.u64(deepum_mem::u64_from_usize(row.ways.len()));
+            for way in &row.ways {
+                w.block(way.tag);
+                w.u64(deepum_mem::u64_from_usize(way.succs.len()));
+                for &s in &way.succs {
+                    w.block(s);
+                }
+            }
+        }
+    }
+
+    /// Reads a table written by [`BlockCorrelationTable::encode_into`].
+    pub(crate) fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let geometry: Vec<usize> = (0..3)
+            .map(|_| {
+                r.u64().and_then(|v| {
+                    usize::try_from(v).map_err(|_| {
+                        SnapshotError::Corrupt(format!("table geometry {v} overflows usize"))
+                    })
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let (num_rows, assoc, num_succs) = (geometry[0], geometry[1], geometry[2]);
+        if num_rows == 0 || assoc == 0 || num_succs == 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "degenerate table geometry ({num_rows}, {assoc}, {num_succs})"
+            )));
+        }
+        let start = if r.bool()? { Some(r.block()?) } else { None };
+        let end = if r.bool()? { Some(r.block()?) } else { None };
+        let lookups = r.u64()?;
+        let updates = r.u64()?;
+        let mut rows = Vec::with_capacity(num_rows);
+        for _ in 0..num_rows {
+            let num_ways = r.len_prefix(16)?;
+            if num_ways > assoc {
+                return Err(SnapshotError::Corrupt(format!(
+                    "row has {num_ways} ways, associativity is {assoc}"
+                )));
+            }
+            let mut ways = Vec::with_capacity(num_ways);
+            for _ in 0..num_ways {
+                let tag = r.block()?;
+                let count = r.len_prefix(8)?;
+                if count > num_succs {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "way has {count} successors, limit is {num_succs}"
+                    )));
+                }
+                let mut succs = Vec::with_capacity(num_succs);
+                for _ in 0..count {
+                    succs.push(r.block()?);
+                }
+                ways.push(Way { tag, succs });
+            }
+            rows.push(Row { ways });
+        }
+        Ok(BlockCorrelationTable {
+            rows,
+            assoc,
+            num_succs,
+            start,
+            end,
+            lookups,
+            updates,
+        })
     }
 
     /// Full-capacity memory footprint of the table, matching how the real

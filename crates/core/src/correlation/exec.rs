@@ -1,6 +1,7 @@
 //! The execution ID correlation table (paper Fig. 6).
 
 use deepum_runtime::exec_table::ExecId;
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
 
 /// One record in an execution-table entry: "the first three IDs represent
@@ -102,6 +103,44 @@ impl ExecCorrelationTable {
     /// Total records across all entries.
     pub fn total_records(&self) -> usize {
         self.records
+    }
+
+    /// Writes every entry's MRU-ordered records into a checkpoint
+    /// payload.
+    pub(crate) fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u64(deepum_mem::u64_from_usize(self.entries.len()));
+        for entry in &self.entries {
+            w.u64(deepum_mem::u64_from_usize(entry.len()));
+            for rec in entry {
+                for id in rec.prev {
+                    w.u32(id.0);
+                }
+                w.u32(rec.next.0);
+            }
+        }
+    }
+
+    /// Reads a table written by [`ExecCorrelationTable::encode_into`];
+    /// the record count is recomputed from the decoded entries.
+    pub(crate) fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let num_entries = r.len_prefix(8)?;
+        let mut entries = Vec::with_capacity(num_entries);
+        let mut records = 0usize;
+        for _ in 0..num_entries {
+            let count = r.len_prefix(16)?;
+            let mut entry = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut prev = [ExecId(0); 3];
+                for id in &mut prev {
+                    *id = ExecId(r.u32()?);
+                }
+                let next = ExecId(r.u32()?);
+                entry.push(ExecRecord { prev, next });
+            }
+            records += entry.len();
+            entries.push(entry);
+        }
+        Ok(ExecCorrelationTable { entries, records })
     }
 
     /// Approximate memory footprint, for Table 4 accounting.

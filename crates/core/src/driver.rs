@@ -53,52 +53,59 @@ const NO_EXEC: ExecId = ExecId(u32::MAX);
 /// [`deepum_runtime::interpose::CudaRuntime`].
 #[derive(Debug)]
 pub struct DeepumDriver {
-    um: UmDriver,
+    pub(crate) um: UmDriver,
     cfg: DeepumConfig,
     costs: CostModel,
 
     // Correlation state (correlator thread).
-    exec_corr: ExecCorrelationTable,
-    block_tables: Vec<Option<BlockCorrelationTable>>,
-    footprints: FootprintMap,
+    pub(crate) exec_corr: ExecCorrelationTable,
+    pub(crate) block_tables: Vec<Option<BlockCorrelationTable>>,
+    pub(crate) footprints: FootprintMap,
 
     // Execution context.
-    current_exec: Option<ExecId>,
-    history: [ExecId; 3],
-    first_fault_pending: bool,
-    prev_fault_block: Option<BlockNum>,
-    last_fault_block: Option<BlockNum>,
-    pending_prediction: Option<ExecId>,
+    pub(crate) current_exec: Option<ExecId>,
+    pub(crate) history: [ExecId; 3],
+    pub(crate) first_fault_pending: bool,
+    pub(crate) prev_fault_block: Option<BlockNum>,
+    pub(crate) last_fault_block: Option<BlockNum>,
+    pub(crate) pending_prediction: Option<ExecId>,
 
     // Prefetching thread state.
-    chain: Option<ChainWalk>,
-    prefetch_q: SpscQueue<PrefetchCommand>,
+    pub(crate) chain: Option<ChainWalk>,
+    pub(crate) prefetch_q: SpscQueue<PrefetchCommand>,
     /// Blocks currently sitting in the prefetch queue; chain restarts
     /// re-discover the same blocks, and duplicate commands would starve
     /// the far look-ahead out of the bounded queue.
-    enqueued: std::collections::BTreeSet<BlockNum>,
-    protected: SharedBlockSet,
-    predicted_window: VecDeque<(u64, BlockNum)>,
-    kernel_seq: u64,
+    pub(crate) enqueued: std::collections::BTreeSet<BlockNum>,
+    pub(crate) protected: SharedBlockSet,
+    pub(crate) predicted_window: VecDeque<(u64, BlockNum)>,
+    pub(crate) kernel_seq: u64,
 
     // Migration thread state: overlap time owed from commands whose
     // transfers outlasted the compute slices that started them. PCIe is
     // full duplex, so host→device prefetch traffic and device→host
     // pre-eviction write-backs are budgeted independently.
-    h2d_debt: Ns,
-    d2h_debt: Ns,
+    pub(crate) h2d_debt: Ns,
+    pub(crate) d2h_debt: Ns,
 
     // Graceful degradation: the prefetch-accuracy watchdog throttles,
     // then disables, correlation prefetching when the misprediction rate
     // crosses its thresholds (re-enabling after a cooldown). The deltas
     // remember the counter values at the previous watchdog feeding.
     injector: Option<SharedInjector>,
-    watchdog: Option<PrefetchWatchdog>,
-    wd_last_prefetched: u64,
-    wd_last_wasted: u64,
-    window_dropped: u64,
+    pub(crate) watchdog: Option<PrefetchWatchdog>,
+    pub(crate) wd_last_prefetched: u64,
+    pub(crate) wd_last_wasted: u64,
+    pub(crate) window_dropped: u64,
 
-    local: Counters,
+    // Hard-fault state: an uncorrectable ECC error on the correlation
+    // tables poisons them permanently for the run. Neither field is
+    // rewound by a checkpoint restore — a fault that already happened
+    // stays happened.
+    pub(crate) poisoned: bool,
+    pub(crate) ecc_poisonings: u64,
+
+    pub(crate) local: Counters,
 }
 
 impl DeepumDriver {
@@ -144,6 +151,8 @@ impl DeepumDriver {
             wd_last_prefetched: 0,
             wd_last_wasted: 0,
             window_dropped: 0,
+            poisoned: false,
+            ecc_poisonings: 0,
             local: Counters::new(),
         }
     }
@@ -218,13 +227,42 @@ impl DeepumDriver {
     const PUMP_STEP_BUDGET: usize = 512;
 
     /// Whether correlation prefetching is currently allowed to run: the
-    /// config switch, minus a watchdog disable.
+    /// config switch, minus a watchdog disable or an ECC poisoning.
     fn prefetch_active(&self) -> bool {
         self.cfg.enable_prefetch
+            && !self.poisoned
             && self
                 .watchdog
                 .as_ref()
                 .is_none_or(|w| w.state() != DegradationState::Disabled)
+    }
+
+    /// True once an uncorrectable ECC error has poisoned the correlation
+    /// tables; the driver then runs in pure demand-paging mode.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Number of ECC poisonings observed (0 or 1 per run today; counted
+    /// for the recovery report).
+    pub fn ecc_poisonings(&self) -> u64 {
+        self.ecc_poisonings
+    }
+
+    /// Uncorrectable ECC on correlation-table memory: throw away every
+    /// learned structure and fall back to pure demand paging. Counters
+    /// and the UM driver survive — only the prediction state is lost.
+    fn poison_tables(&mut self) {
+        self.poisoned = true;
+        self.ecc_poisonings += 1;
+        self.exec_corr = ExecCorrelationTable::new();
+        self.block_tables.clear();
+        self.chain = None;
+        self.prefetch_q.clear();
+        self.enqueued.clear();
+        self.predicted_window.clear();
+        self.protected.clear();
+        self.pending_prediction = None;
     }
 
     /// Runs the prefetching thread: advance the chain walk and enqueue
@@ -360,10 +398,13 @@ impl DeepumDriver {
     /// history plus predicted-window backpressure drops.
     pub fn health(&self) -> BackendHealth {
         BackendHealth {
-            watchdog_state: self
-                .watchdog
-                .as_ref()
-                .map_or(DegradationState::Normal, PrefetchWatchdog::state),
+            watchdog_state: if self.poisoned {
+                DegradationState::Disabled
+            } else {
+                self.watchdog
+                    .as_ref()
+                    .map_or(DegradationState::Normal, PrefetchWatchdog::state)
+            },
             watchdog_transitions: self
                 .watchdog
                 .as_ref()
@@ -376,6 +417,17 @@ impl DeepumDriver {
 impl LaunchObserver for DeepumDriver {
     fn on_kernel_launch(&mut self, _now: Ns, exec: ExecId, _kernel: &KernelLaunch) {
         self.local.kernels_launched += 1;
+
+        // Poisoned tables stay dead: track the launch position (other
+        // subsystems key off `kernel_seq`) but learn and predict nothing.
+        if self.poisoned {
+            self.current_exec = Some(exec);
+            self.first_fault_pending = true;
+            self.prev_fault_block = None;
+            self.last_fault_block = None;
+            self.kernel_seq += 1;
+            return;
+        }
 
         if let Some(cur) = self.current_exec {
             // Correlator thread: record (history, next) under the kernel
@@ -451,8 +503,26 @@ impl UmBackend for DeepumDriver {
     fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
         let groups = group_faults(faults);
 
+        // Injected uncorrectable ECC: the sampled victim is one of this
+        // drain's faulted blocks, whose table row is being written right
+        // now. Correlation state is advisory, so the driver does not
+        // crash — it poisons the tables and degrades to demand paging.
+        if !groups.is_empty() && !self.poisoned {
+            let ecc_hit = match &self.injector {
+                Some(inj) => inj.borrow_mut().roll_ecc(groups.len()).is_some(),
+                None => false,
+            };
+            if ecc_hit {
+                self.poison_tables();
+            }
+        }
+
         // Correlator thread: learn footprints, start/end anchors, and
-        // block-successor pairs from the fault stream.
+        // block-successor pairs from the fault stream. Poisoned tables
+        // stay dead — learning into them would fake integrity.
+        if self.poisoned {
+            return self.um.handle_faults(now, faults);
+        }
         if let Some(cur) = self.current_exec {
             self.ensure_block_table(cur);
             // First pass: footprints and injected pair-drop rolls. The
@@ -580,6 +650,18 @@ impl UmBackend for DeepumDriver {
 
     fn health(&self) -> BackendHealth {
         DeepumDriver::health(self)
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(crate::recovery::snapshot_deepum(self))
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        crate::recovery::restore_deepum(self, bytes).map_err(|e| e.to_string())
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.um.resident_pages()
     }
 }
 

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use deepum_mem::{BlockNum, PageMask};
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Map from UM block to the union of pages ever observed in use.
 ///
@@ -64,6 +65,32 @@ impl FootprintMap {
     /// True if nothing is tracked.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Writes the footprint map into a checkpoint payload, ascending by
+    /// block (the `BTreeMap` iteration order).
+    pub(crate) fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u64(deepum_mem::u64_from_usize(self.map.len()));
+        for (block, mask) in &self.map {
+            w.block(*block);
+            w.mask(mask);
+        }
+    }
+
+    /// Reads a map written by [`FootprintMap::encode_into`].
+    pub(crate) fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.len_prefix(72)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let block = r.block()?;
+            let mask = r.mask()?;
+            if map.insert(block, mask).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{block} appears twice in the footprint map"
+                )));
+            }
+        }
+        Ok(FootprintMap { map })
     }
 
     /// Approximate memory footprint (Table 4 accounting).

@@ -34,6 +34,7 @@ pub mod correlation;
 pub mod driver;
 pub mod footprint;
 pub mod queues;
+pub mod recovery;
 pub mod watchdog;
 
 pub use config::DeepumConfig;
@@ -41,4 +42,5 @@ pub use correlation::{BlockCorrelationTable, ExecCorrelationTable};
 pub use driver::DeepumDriver;
 pub use footprint::FootprintMap;
 pub use queues::{PrefetchCommand, SpscQueue};
+pub use recovery::{JournalEntry, LaunchJournal, RecoveryReport};
 pub use watchdog::PrefetchWatchdog;

@@ -14,6 +14,7 @@
 
 use deepum_mem::BlockNum;
 use deepum_runtime::exec_table::ExecId;
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
 
 /// One prefetch command: which block to bring in, and for which predicted
@@ -139,6 +140,65 @@ impl<T> SpscQueue<T> {
     /// Lifetime count of accepted pushes.
     pub fn total_pushed(&self) -> u64 {
         self.total_pushed
+    }
+
+    /// Queued items oldest first, without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..self.len).filter_map(move |i| {
+            let idx = (self.head + i) % self.buf.len();
+            self.buf.get(idx).and_then(Option::as_ref)
+        })
+    }
+}
+
+impl SpscQueue<PrefetchCommand> {
+    /// Writes the queue — capacity, lifetime counters, and queued
+    /// commands oldest first — into a checkpoint payload.
+    pub(crate) fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u64(deepum_mem::u64_from_usize(self.buf.len()));
+        w.u64(self.rejected);
+        w.u64(self.total_pushed);
+        w.u64(deepum_mem::u64_from_usize(self.len));
+        for cmd in self.iter() {
+            w.block(cmd.block);
+            w.u32(cmd.exec.0);
+        }
+    }
+
+    /// Reads a queue written by [`SpscQueue::encode_into`].
+    pub(crate) fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let capacity = r.u64()?;
+        let rejected = r.u64()?;
+        let total_pushed = r.u64()?;
+        let capacity = usize::try_from(capacity)
+            .ok()
+            .filter(|&c| c > 0)
+            .ok_or_else(|| {
+                SnapshotError::Corrupt(format!("bad prefetch queue capacity {capacity}"))
+            })?;
+        let len = r.len_prefix(12)?;
+        if len > capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "queue length {len} exceeds capacity {capacity}"
+            )));
+        }
+        let mut q = SpscQueue::new(capacity);
+        for _ in 0..len {
+            let cmd = PrefetchCommand {
+                block: r.block()?,
+                exec: ExecId(r.u32()?),
+            };
+            if q.try_push(cmd).is_err() {
+                return Err(SnapshotError::Corrupt(
+                    "queue overflow while restoring".to_string(),
+                ));
+            }
+        }
+        // Lifetime counters are restored verbatim; the pushes above must
+        // not count twice.
+        q.rejected = rejected;
+        q.total_pushed = total_pushed;
+        Ok(q)
     }
 }
 

@@ -21,6 +21,26 @@
 //! of float drift.
 
 use deepum_sim::faultinject::{DegradationState, WatchdogTransition};
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+
+fn state_tag(s: DegradationState) -> u8 {
+    match s {
+        DegradationState::Normal => 0,
+        DegradationState::Throttled => 1,
+        DegradationState::Disabled => 2,
+    }
+}
+
+fn state_from_tag(tag: u8) -> Result<DegradationState, SnapshotError> {
+    match tag {
+        0 => Ok(DegradationState::Normal),
+        1 => Ok(DegradationState::Throttled),
+        2 => Ok(DegradationState::Disabled),
+        other => Err(SnapshotError::Corrupt(format!(
+            "unknown degradation state tag {other}"
+        ))),
+    }
+}
 
 /// Sliding-window misprediction watchdog over the prefetcher.
 ///
@@ -134,6 +154,59 @@ impl PrefetchWatchdog {
         }
         self.reset_window();
         self.state
+    }
+
+    /// Writes the full watchdog — thresholds, window accumulators, and
+    /// transition history — into a checkpoint payload.
+    pub(crate) fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u64(self.window_kernels);
+        w.u64(self.throttle_pct);
+        w.u64(self.disable_pct);
+        w.u64(self.cooldown_kernels);
+        w.u8(state_tag(self.state));
+        w.u64(self.kernels_in_window);
+        w.u64(self.window_prefetched);
+        w.u64(self.window_wasted);
+        w.u64(self.cooldown_left);
+        w.u64(deepum_mem::u64_from_usize(self.transitions.len()));
+        for t in &self.transitions {
+            w.u64(t.kernel_seq);
+            w.u8(state_tag(t.from));
+            w.u8(state_tag(t.to));
+        }
+    }
+
+    /// Reads a watchdog written by [`PrefetchWatchdog::encode_into`].
+    pub(crate) fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let window_kernels = r.u64()?;
+        let throttle_pct = r.u64()?;
+        let disable_pct = r.u64()?;
+        let cooldown_kernels = r.u64()?;
+        let state = state_from_tag(r.u8()?)?;
+        let kernels_in_window = r.u64()?;
+        let window_prefetched = r.u64()?;
+        let window_wasted = r.u64()?;
+        let cooldown_left = r.u64()?;
+        let mut transitions = Vec::new();
+        for _ in 0..r.len_prefix(10)? {
+            transitions.push(WatchdogTransition {
+                kernel_seq: r.u64()?,
+                from: state_from_tag(r.u8()?)?,
+                to: state_from_tag(r.u8()?)?,
+            });
+        }
+        Ok(PrefetchWatchdog {
+            window_kernels: window_kernels.max(1),
+            throttle_pct,
+            disable_pct,
+            cooldown_kernels: cooldown_kernels.max(1),
+            state,
+            kernels_in_window,
+            window_prefetched,
+            window_wasted,
+            cooldown_left,
+            transitions,
+        })
     }
 
     fn transition(&mut self, kernel_seq: u64, to: DegradationState) {

@@ -47,6 +47,13 @@ pub enum BackendError {
     /// an internal inconsistency, reported instead of a panic so the
     /// simulation can surface it as a failed run.
     MissingBlock(BlockNum),
+    /// **Hard fault.** The driver crashed mid-fault-drain (injected via
+    /// a scheduled [`InjectionPlan::driver_crash_at`] entry) before
+    /// mutating any driver state. Device-side residency is lost; the
+    /// session must restore the last checkpoint and replay.
+    ///
+    /// [`InjectionPlan::driver_crash_at`]: deepum_sim::faultinject::InjectionPlan::driver_crash_at
+    DriverCrash,
 }
 
 impl fmt::Display for BackendError {
@@ -61,6 +68,9 @@ impl fmt::Display for BackendError {
             ),
             BackendError::MissingBlock(block) => {
                 write!(f, "driver bookkeeping lost track of {block}")
+            }
+            BackendError::DriverCrash => {
+                write!(f, "driver crashed mid-fault-drain (injected hard fault)")
             }
         }
     }
@@ -163,6 +173,34 @@ pub trait UmBackend {
     fn health(&self) -> BackendHealth {
         BackendHealth::default()
     }
+
+    /// Serializes the backend's recoverable state into a versioned,
+    /// checksummed binary snapshot (see `deepum_um::snapshot`). Returns
+    /// `None` for backends without checkpoint support; the session then
+    /// cannot recover this backend from hard faults.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`UmBackend::snapshot_state`]. After a
+    /// successful restore the backend must pass [`UmBackend::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the decode failure (bad magic, version
+    /// mismatch, checksum mismatch, truncation) or a capability error
+    /// for backends without snapshot support.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let _ = bytes;
+        Err("this backend does not support snapshot/restore".into())
+    }
+
+    /// Pages currently resident on the device, used by the recovery
+    /// protocol to charge the demand-only re-migration of the restored
+    /// resident set to downtime.
+    fn resident_pages(&self) -> u64 {
+        0
+    }
 }
 
 /// Statistics for one kernel execution.
@@ -191,6 +229,17 @@ impl KernelRunStats {
         self.faults += other.faults;
         self.fault_batches += other.fault_batches;
     }
+}
+
+/// The engine-side slice of a run checkpoint: the SM round-robin cursor
+/// and the fault buffer's lifetime counters. Captured at kernel
+/// boundaries, where the fault buffer is always empty, so buffered
+/// entries need no snapshotting.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    next_sm: u16,
+    total_pushed: u64,
+    total_dropped: u64,
 }
 
 /// The simulated GPU front end.
@@ -265,6 +314,24 @@ impl GpuEngine {
     /// Lifetime page-fault entries accepted by the fault buffer.
     pub fn total_faults(&self) -> u64 {
         self.fault_buffer.total_pushed()
+    }
+
+    /// Captures the engine state a recovery checkpoint needs. Call only
+    /// at kernel boundaries (the fault buffer must be drained).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            next_sm: self.next_sm,
+            total_pushed: self.fault_buffer.total_pushed(),
+            total_dropped: self.fault_buffer.total_dropped(),
+        }
+    }
+
+    /// Restores state captured by [`GpuEngine::snapshot`], dropping any
+    /// buffered fault entries (they died with the device).
+    pub fn restore(&mut self, snap: &EngineSnapshot) {
+        self.next_sm = snap.next_sm;
+        self.fault_buffer
+            .reset_for_restore(snap.total_pushed, snap.total_dropped);
     }
 
     fn next_sm(&mut self) -> SmId {

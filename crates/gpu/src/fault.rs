@@ -157,6 +157,16 @@ impl FaultBuffer {
     pub fn total_dropped(&self) -> u64 {
         self.total_dropped
     }
+
+    /// Recovery hook: drops any buffered entries (they died with the
+    /// device), clears the overflow flag, and rewinds the lifetime
+    /// counters to the checkpointed values.
+    pub(crate) fn reset_for_restore(&mut self, total_pushed: u64, total_dropped: u64) {
+        self.entries.clear();
+        self.overflowed = false;
+        self.total_pushed = total_pushed;
+        self.total_dropped = total_dropped;
+    }
 }
 
 impl Default for FaultBuffer {

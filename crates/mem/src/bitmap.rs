@@ -176,6 +176,20 @@ impl PageMask {
         }
     }
 
+    /// The raw backing words, least-significant page first. Paired with
+    /// [`PageMask::from_words`] for binary snapshot encoding.
+    #[inline]
+    pub const fn to_words(&self) -> [u64; WORDS] {
+        self.words
+    }
+
+    /// Rebuilds a mask from raw backing words produced by
+    /// [`PageMask::to_words`].
+    #[inline]
+    pub const fn from_words(words: [u64; WORDS]) -> Self {
+        PageMask { words }
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> IterOnes<'_> {
         IterOnes {
@@ -296,6 +310,15 @@ mod tests {
     #[should_panic(expected = "range out of bounds")]
     fn from_range_validates() {
         let _ = PageMask::from_range(0..513);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut m = PageMask::empty();
+        for i in [0usize, 63, 64, 200, 511] {
+            m.set(i);
+        }
+        assert_eq!(PageMask::from_words(m.to_words()), m);
     }
 
     #[test]

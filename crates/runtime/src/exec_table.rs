@@ -11,6 +11,7 @@ use core::fmt;
 use std::collections::BTreeMap;
 
 use deepum_gpu::kernel::ExecSignature;
+use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
 
 /// Identifier assigned to a (kernel name, arguments) combination.
@@ -90,6 +91,49 @@ impl ExecutionIdTable {
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
     }
+
+    /// Writes the table into a checkpoint payload as `(signature, id)`
+    /// pairs, ascending by signature (the `BTreeMap` iteration order, so
+    /// the encoding is deterministic).
+    pub fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.u64(deepum_mem::u64_from_usize(self.ids.len()));
+        for (sig, id) in &self.ids {
+            w.u64(sig.0);
+            w.u32(id.0);
+        }
+    }
+
+    /// Reads a table written by [`ExecutionIdTable::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Any decode [`SnapshotError`], or [`SnapshotError::Corrupt`] when
+    /// the pairs repeat a signature or the IDs are not dense `0..len`
+    /// (the invariant [`ExecutionIdTable::lookup_or_assign`] relies on to
+    /// hand out the next ID).
+    pub fn decode_from(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.len_prefix(12)?;
+        let mut ids = BTreeMap::new();
+        let mut seen_ids = vec![false; len];
+        for _ in 0..len {
+            let sig = ExecSignature(r.u64()?);
+            let id = ExecId(r.u32()?);
+            match seen_ids.get_mut(id.index()) {
+                Some(slot) if !*slot => *slot = true,
+                _ => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "exec table id {id} repeated or out of dense range 0..{len}"
+                    )))
+                }
+            }
+            if ids.insert(sig, id).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "exec table signature {sig} appears twice"
+                )));
+            }
+        }
+        Ok(ExecutionIdTable { ids })
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +176,46 @@ mod tests {
         let (a, _) = t.lookup_or_assign(ExecSignature::of("k", &[1]));
         let (b, _) = t.lookup_or_assign(ExecSignature::of("k", &[2]));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let mut t = ExecutionIdTable::new();
+        for name in ["a", "b", "c"] {
+            t.lookup_or_assign(ExecSignature::of(name, &[7]));
+        }
+        let mut w = SnapshotWriter::new();
+        t.encode_into(&mut w);
+        let bytes = w.finish();
+
+        let mut r = SnapshotReader::new(&bytes).expect("valid envelope");
+        let restored = ExecutionIdTable::decode_from(&mut r).expect("decodes");
+        r.finish().expect("fully consumed");
+        assert_eq!(restored.len(), 3);
+        for name in ["a", "b", "c"] {
+            let sig = ExecSignature::of(name, &[7]);
+            assert_eq!(restored.get(sig), t.get(sig));
+        }
+        // Restored table keeps assigning dense IDs past the snapshot.
+        let mut restored = restored;
+        let (next, new) = restored.lookup_or_assign(ExecSignature::of("d", &[]));
+        assert!(new);
+        assert_eq!(next, ExecId(3));
+    }
+
+    #[test]
+    fn non_dense_ids_are_corrupt() {
+        let mut w = SnapshotWriter::new();
+        w.u64(2);
+        w.u64(ExecSignature::of("a", &[]).0);
+        w.u32(0);
+        w.u64(ExecSignature::of("b", &[]).0);
+        w.u32(0); // repeated ID
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).expect("valid envelope");
+        assert!(matches!(
+            ExecutionIdTable::decode_from(&mut r),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 }

@@ -26,12 +26,17 @@
 //!    injector installed at all.
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::rng::DetRng;
 use crate::time::Ns;
+
+/// Salt xor-ed into [`InjectionPlan::seed`] to derive the hard-fault RNG
+/// stream, so ECC sampling never perturbs the transient roll stream.
+const HARD_FAULT_SEED_SALT: u64 = 0x4845_4343_5245_5345; // "HECCRESE"
 
 /// Declarative description of the faults to inject into one run.
 ///
@@ -95,6 +100,28 @@ pub struct InjectionPlan {
     pub max_retries: u32,
     /// First retry backoff; doubles per attempt (simulated time).
     pub backoff_base: Ns,
+    /// Ceiling on a single retry backoff. Doubling is saturating and
+    /// clamps here, so pathological retry storms cannot overflow `Ns`
+    /// or charge unbounded stall time per attempt.
+    pub max_backoff: Ns,
+    /// **Hard fault.** Global kernel-launch sequence numbers (0-based)
+    /// at which the device resets *before* that launch executes. Each
+    /// entry fires exactly once per run, even across recovery replays.
+    pub device_reset_at: Vec<u64>,
+    /// **Hard fault.** Fault-buffer drain ordinals (0-based, cumulative
+    /// across the whole run including replays) at which the UM driver
+    /// crashes mid-drain, before touching any driver state. Each entry
+    /// fires exactly once.
+    pub driver_crash_at: Vec<u64>,
+    /// **Hard fault.** Probability per fault-buffer drain that an
+    /// uncorrectable ECC error hits the correlation state backing one
+    /// sampled block of the drained batch. Rolled on a dedicated RNG
+    /// stream (seeded from [`Self::seed`] xor a fixed salt) so enabling
+    /// ECC never disturbs the transient fault trace.
+    pub ecc_rate: f64,
+    /// Fixed downtime charged for one device reset (bus re-init,
+    /// context re-creation), on top of re-migrating the resident set.
+    pub reset_penalty: Ns,
 }
 
 impl Default for InjectionPlan {
@@ -112,20 +139,40 @@ impl Default for InjectionPlan {
             launch_delay: Ns::from_micros(50),
             max_retries: 4,
             backoff_base: Ns::from_micros(2),
+            max_backoff: Ns::from_millis(10),
+            device_reset_at: Vec::new(),
+            driver_crash_at: Vec::new(),
+            ecc_rate: 0.0,
+            reset_penalty: Ns::from_millis(2),
         }
     }
 }
 
 impl InjectionPlan {
-    /// True if every fault class is disabled: installing an injector for
-    /// an empty plan changes nothing about a run.
+    /// True if every fault class — transient and hard — is disabled:
+    /// installing an injector for an empty plan changes nothing about a
+    /// run.
     pub fn is_empty(&self) -> bool {
-        self.dma_h2d_fail_rate <= 0.0
-            && self.dma_d2h_fail_rate <= 0.0
-            && self.host_oom_rate <= 0.0
-            && self.storm_rate <= 0.0
-            && self.corr_drop_rate <= 0.0
-            && self.launch_delay_rate <= 0.0
+        !self.has_transients() && !self.has_hard_faults()
+    }
+
+    /// True if any transient (recoverable-in-place) fault class is
+    /// enabled. Drives the health-report gate: hard-only plans draw no
+    /// transient randomness, so their reports stay byte-identical to a
+    /// fault-free run modulo the recovery section.
+    pub fn has_transients(&self) -> bool {
+        self.dma_h2d_fail_rate > 0.0
+            || self.dma_d2h_fail_rate > 0.0
+            || self.host_oom_rate > 0.0
+            || self.storm_rate > 0.0
+            || self.corr_drop_rate > 0.0
+            || self.launch_delay_rate > 0.0
+    }
+
+    /// True if any hard (crash-class) fault is scheduled or enabled:
+    /// device resets, driver crashes, or uncorrectable ECC.
+    pub fn has_hard_faults(&self) -> bool {
+        !self.device_reset_at.is_empty() || !self.driver_crash_at.is_empty() || self.ecc_rate > 0.0
     }
 
     /// Builds the shared injector handle the executor threads through
@@ -173,6 +220,21 @@ pub struct InjectionStats {
 /// RNG stream is what makes the fault trace reproducible.
 pub type SharedInjector = Rc<RefCell<FaultInjector>>;
 
+/// Transient slice of a [`FaultInjector`]'s state, captured into run
+/// checkpoints so that replay after a device reset re-draws the exact
+/// transient fault trace the original execution saw.
+///
+/// Hard-fault bookkeeping (fired reset/crash schedules, the drain
+/// ordinal, the hard-fault RNG) is deliberately *not* part of this
+/// snapshot: scheduled hard faults are consumed-once, so rewinding the
+/// simulation never re-fires the crash that triggered the rewind.
+#[derive(Debug, Clone)]
+pub struct TransientInjectorState {
+    rng: DetRng,
+    stats: InjectionStats,
+    storm_drains_left: u32,
+}
+
 /// The seeded roll engine behind an [`InjectionPlan`].
 #[derive(Debug)]
 pub struct FaultInjector {
@@ -180,18 +242,57 @@ pub struct FaultInjector {
     rng: DetRng,
     stats: InjectionStats,
     storm_drains_left: u32,
+    /// Dedicated RNG for hard-fault sampling (ECC block choice), so a
+    /// non-zero `ecc_rate` never perturbs the transient roll stream.
+    hard_rng: DetRng,
+    /// Kernel sequence numbers whose scheduled device reset already
+    /// fired (consumed-once; survives recovery rewinds).
+    resets_fired: BTreeSet<u64>,
+    /// Drain ordinals whose scheduled driver crash already fired.
+    crashes_fired: BTreeSet<u64>,
+    /// Cumulative fault-buffer drain count, across replays; never
+    /// rewound, so crash schedules cannot re-fire during recovery.
+    drain_ordinal: u64,
+    /// Uncorrectable ECC hits rolled so far (hard-fault bookkeeping,
+    /// never rewound; reported via the recovery section, not
+    /// [`InjectionStats`]).
+    ecc_hits: u64,
 }
 
 impl FaultInjector {
     /// Creates an injector for `plan`, seeding its RNG from `plan.seed`.
     pub fn new(plan: InjectionPlan) -> Self {
         let rng = DetRng::seed(plan.seed);
+        let hard_rng = DetRng::seed(plan.seed ^ HARD_FAULT_SEED_SALT);
         FaultInjector {
             plan,
             rng,
             stats: InjectionStats::default(),
             storm_drains_left: 0,
+            hard_rng,
+            resets_fired: BTreeSet::new(),
+            crashes_fired: BTreeSet::new(),
+            drain_ordinal: 0,
+            ecc_hits: 0,
         }
+    }
+
+    /// Captures the transient slice of the injector for a checkpoint.
+    pub fn transient_snapshot(&self) -> TransientInjectorState {
+        TransientInjectorState {
+            rng: self.rng.clone(),
+            stats: self.stats,
+            storm_drains_left: self.storm_drains_left,
+        }
+    }
+
+    /// Restores the transient slice captured by
+    /// [`Self::transient_snapshot`]. Hard-fault bookkeeping is left
+    /// untouched (see [`TransientInjectorState`]).
+    pub fn restore_transient(&mut self, state: &TransientInjectorState) {
+        self.rng = state.rng.clone();
+        self.stats = state.stats;
+        self.storm_drains_left = state.storm_drains_left;
     }
 
     /// The plan in effect.
@@ -282,10 +383,62 @@ impl FaultInjector {
         base
     }
 
-    /// Records one retry attempt and its backoff delay.
+    /// Records one retry attempt and its backoff delay. Accumulation is
+    /// saturating: a pathological retry storm pins the counters at their
+    /// maxima instead of wrapping.
     pub fn note_retry(&mut self, backoff: Ns) {
-        self.stats.migration_retries += 1;
-        self.stats.backoff_time += backoff;
+        self.stats.migration_retries = self.stats.migration_retries.saturating_add(1);
+        self.stats.backoff_time = self.stats.backoff_time.saturating_add(backoff);
+    }
+
+    /// Next backoff after a failed attempt: saturating doubling, capped
+    /// at the plan's [`InjectionPlan::max_backoff`].
+    pub fn next_backoff(&self, current: Ns) -> Ns {
+        current.saturating_mul(2).min(self.plan.max_backoff)
+    }
+
+    /// Consumes a device reset scheduled for kernel-launch sequence
+    /// number `seq`, if one is pending. Draws no randomness. Each
+    /// scheduled reset fires exactly once per run: replaying `seq` after
+    /// recovery does not re-fire it.
+    pub fn take_scheduled_reset(&mut self, seq: u64) -> bool {
+        if self.plan.device_reset_at.contains(&seq) && self.resets_fired.insert(seq) {
+            return true;
+        }
+        false
+    }
+
+    /// Advances the drain ordinal and consumes a driver crash scheduled
+    /// for it, if any. Called once at the top of every UM fault-buffer
+    /// drain, *before* the driver mutates any state. Draws no
+    /// randomness; the ordinal is never rewound, so a crash cannot
+    /// re-fire while its own drain is replayed.
+    pub fn take_scheduled_driver_crash(&mut self) -> bool {
+        let ordinal = self.drain_ordinal;
+        self.drain_ordinal = self.drain_ordinal.saturating_add(1);
+        self.plan.driver_crash_at.contains(&ordinal) && self.crashes_fired.insert(ordinal)
+    }
+
+    /// Rolls an uncorrectable ECC hit for one fault-buffer drain over
+    /// `num_blocks` distinct faulted blocks; returns the index of the
+    /// victim block within the drained batch. Uses the dedicated
+    /// hard-fault RNG, so the transient roll stream is untouched even
+    /// when `ecc_rate > 0`.
+    pub fn roll_ecc(&mut self, num_blocks: usize) -> Option<usize> {
+        if self.plan.ecc_rate <= 0.0 || num_blocks == 0 {
+            return None;
+        }
+        if self.plan.ecc_rate < 1.0 && self.hard_rng.unit_f64() >= self.plan.ecc_rate {
+            return None;
+        }
+        let idx = self.hard_rng.below(num_blocks as u64);
+        self.ecc_hits += 1;
+        Some(idx as usize)
+    }
+
+    /// Uncorrectable ECC hits rolled over the run (never rewound).
+    pub fn ecc_hits(&self) -> u64 {
+        self.ecc_hits
     }
 
     /// Records a prefetch migration abandoned after retry exhaustion.
@@ -448,5 +601,159 @@ mod tests {
         let h = BackendHealth::default();
         assert_eq!(h.watchdog_state, DegradationState::Normal);
         assert!(h.watchdog_transitions.is_empty());
+    }
+
+    #[test]
+    fn hard_only_plan_is_not_empty_but_has_no_transients() {
+        let plan = InjectionPlan {
+            device_reset_at: vec![3],
+            ..InjectionPlan::default()
+        };
+        assert!(!plan.is_empty());
+        assert!(!plan.has_transients());
+        assert!(plan.has_hard_faults());
+        assert!(InjectionPlan::default().is_empty());
+    }
+
+    #[test]
+    fn scheduled_hard_faults_draw_no_randomness() {
+        let plan = InjectionPlan {
+            seed: 11,
+            device_reset_at: vec![0, 2],
+            driver_crash_at: vec![1],
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.take_scheduled_reset(0));
+        assert!(!inj.take_scheduled_driver_crash()); // ordinal 0
+        assert!(inj.take_scheduled_driver_crash()); // ordinal 1
+        assert!(inj.roll_ecc(8).is_none()); // rate 0: no draw
+        let mut pristine = DetRng::seed(11);
+        assert_eq!(inj.rng.next_u64(), pristine.next_u64());
+    }
+
+    #[test]
+    fn scheduled_resets_fire_exactly_once() {
+        let plan = InjectionPlan {
+            device_reset_at: vec![5],
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.take_scheduled_reset(4));
+        assert!(inj.take_scheduled_reset(5));
+        // Replaying the same launch after recovery must not re-fire.
+        assert!(!inj.take_scheduled_reset(5));
+    }
+
+    #[test]
+    fn drain_ordinal_survives_transient_restore() {
+        let plan = InjectionPlan {
+            driver_crash_at: vec![2],
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        let snap = inj.transient_snapshot();
+        assert!(!inj.take_scheduled_driver_crash()); // 0
+        assert!(!inj.take_scheduled_driver_crash()); // 1
+        assert!(inj.take_scheduled_driver_crash()); // 2 fires
+        inj.restore_transient(&snap);
+        // Ordinal and fired set are not rewound: no re-fire on replay.
+        assert!(!inj.take_scheduled_driver_crash()); // 3
+        assert!(!inj.take_scheduled_driver_crash()); // 4
+    }
+
+    #[test]
+    fn ecc_uses_dedicated_rng_stream() {
+        let base = InjectionPlan {
+            seed: 9,
+            dma_h2d_fail_rate: 0.5,
+            ..InjectionPlan::default()
+        };
+        let with_ecc = InjectionPlan {
+            ecc_rate: 1.0,
+            ..base.clone()
+        };
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(with_ecc);
+        for _ in 0..64 {
+            let victim = b.roll_ecc(16);
+            assert!(matches!(victim, Some(i) if i < 16));
+            // The transient stream must be identical with and without ECC.
+            assert_eq!(a.roll_h2d_failure(), b.roll_h2d_failure());
+        }
+    }
+
+    #[test]
+    fn transient_restore_replays_identical_rolls() {
+        let plan = InjectionPlan {
+            seed: 21,
+            dma_h2d_fail_rate: 0.4,
+            storm_rate: 0.2,
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        for _ in 0..10 {
+            inj.roll_h2d_failure();
+            inj.effective_fault_batch(64);
+        }
+        let snap = inj.transient_snapshot();
+        let first: Vec<(bool, usize)> = (0..32)
+            .map(|_| (inj.roll_h2d_failure(), inj.effective_fault_batch(64)))
+            .collect();
+        let stats_after = *inj.stats();
+        inj.restore_transient(&snap);
+        let replay: Vec<(bool, usize)> = (0..32)
+            .map(|_| (inj.roll_h2d_failure(), inj.effective_fault_batch(64)))
+            .collect();
+        assert_eq!(first, replay);
+        assert_eq!(*inj.stats(), stats_after);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_at_plan_max() {
+        let plan = InjectionPlan {
+            backoff_base: Ns::from_micros(2),
+            max_backoff: Ns::from_micros(5),
+            ..InjectionPlan::default()
+        };
+        let inj = FaultInjector::new(plan);
+        let b1 = inj.next_backoff(Ns::from_micros(2));
+        assert_eq!(b1, Ns::from_micros(4));
+        let b2 = inj.next_backoff(b1);
+        assert_eq!(b2, Ns::from_micros(5)); // capped
+        assert_eq!(inj.next_backoff(b2), Ns::from_micros(5));
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_overflow_boundary() {
+        let plan = InjectionPlan {
+            max_backoff: Ns::MAX,
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        // Doubling from just below the top must saturate, not wrap.
+        let near_max = Ns::from_nanos(u64::MAX - 1);
+        assert_eq!(inj.next_backoff(near_max), Ns::MAX);
+        assert_eq!(inj.next_backoff(Ns::MAX), Ns::MAX);
+        // Stats accumulation saturates too.
+        inj.note_retry(Ns::MAX);
+        inj.note_retry(Ns::MAX);
+        assert_eq!(inj.stats().backoff_time, Ns::MAX);
+        assert_eq!(inj.stats().migration_retries, 2);
+    }
+
+    #[test]
+    fn extended_plan_round_trips_through_serde() {
+        let plan = InjectionPlan {
+            seed: 5,
+            device_reset_at: vec![1, 9],
+            driver_crash_at: vec![4],
+            ecc_rate: 0.25,
+            max_backoff: Ns::from_micros(500),
+            ..InjectionPlan::default()
+        };
+        let v = serde::Serialize::to_value(&plan);
+        let back: InjectionPlan = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, plan);
     }
 }

@@ -108,6 +108,14 @@ impl Ns {
         Ns(self.0.saturating_add(rhs.0))
     }
 
+    /// Saturating multiplication by a scalar: never overflows past
+    /// [`Ns::MAX`]. Use this (not `Mul<u64>`) for geometric backoff
+    /// schedules, where the factor can grow without bound.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> Ns {
+        Ns(self.0.saturating_mul(rhs))
+    }
+
     /// Returns the larger of two durations.
     #[inline]
     pub fn max(self, other: Ns) -> Ns {

@@ -82,18 +82,18 @@ impl EvictCost {
 #[derive(Debug)]
 pub struct UmDriver {
     costs: CostModel,
-    capacity_pages: u64,
-    resident_pages: u64,
-    blocks: BTreeMap<BlockNum, BlockState>,
-    lru: LruMigrated,
+    pub(crate) capacity_pages: u64,
+    pub(crate) resident_pages: u64,
+    pub(crate) blocks: BTreeMap<BlockNum, BlockState>,
+    pub(crate) lru: LruMigrated,
     protected: SharedBlockSet,
-    counters: Counters,
+    pub(crate) counters: Counters,
     injector: Option<SharedInjector>,
     /// Monotone drain-batch epoch; bumps whenever a migration happens at
     /// a different virtual time than the previous one.
-    migrate_epoch: u64,
+    pub(crate) migrate_epoch: u64,
     /// Virtual time of the current epoch's migrations.
-    epoch_now: Ns,
+    pub(crate) epoch_now: Ns,
 }
 
 impl UmDriver {
@@ -242,6 +242,14 @@ impl UmDriver {
         if faults.is_empty() {
             return Ok(Ns::ZERO);
         }
+        // Injected hard fault: a scheduled driver crash fires before any
+        // driver state is touched, so the snapshot/replay recovery sees
+        // a consistent (pre-drain) world.
+        if let Some(inj) = &self.injector {
+            if inj.borrow_mut().take_scheduled_driver_crash() {
+                return Err(BackendError::DriverCrash);
+            }
+        }
         self.counters.gpu_page_faults += u64_from_usize(faults.len());
         self.counters.fault_batches += 1;
 
@@ -336,7 +344,7 @@ impl UmDriver {
                 while inj.roll_h2d_failure() {
                     inj.note_retry(backoff);
                     cost += backoff;
-                    backoff = backoff.saturating_add(backoff);
+                    backoff = inj.next_backoff(backoff);
                     failures += 1;
                     if failures > max_retries {
                         match path {
@@ -571,7 +579,7 @@ impl UmDriver {
                 while failures < max_retries && inj.roll_d2h_failure() {
                     inj.note_retry(backoff);
                     writeback_cost += backoff;
-                    backoff = backoff.saturating_add(backoff);
+                    backoff = inj.next_backoff(backoff);
                     failures += 1;
                 }
                 if host_oom {
@@ -708,6 +716,18 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
 
     fn validate(&self) -> Result<(), String> {
         UmDriver::validate(self)
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(crate::snapshot::snapshot_driver(self))
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        crate::snapshot::restore_driver(self, bytes).map_err(|e| e.to_string())
+    }
+
+    fn resident_pages(&self) -> u64 {
+        UmDriver::resident_pages(self)
     }
 }
 

@@ -96,6 +96,18 @@ impl SharedBlockSet {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshot of the current contents, ascending. Used by the
+    /// checkpoint codec; the set is restored via
+    /// [`SharedBlockSet::replace`].
+    pub fn to_vec(&self) -> Vec<BlockNum> {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect()
+    }
 }
 
 /// Least-recently-migrated ordering over blocks.

@@ -26,9 +26,11 @@
 pub mod block;
 pub mod driver;
 pub mod evict;
+pub mod snapshot;
 pub mod space;
 
 pub use block::BlockState;
 pub use driver::{EvictCost, MigratePath, UmDriver};
 pub use evict::SharedBlockSet;
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use space::{UmAllocError, UmSpace};

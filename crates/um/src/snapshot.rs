@@ -1,0 +1,746 @@
+//! Versioned, checksummed, serde-free binary snapshots of driver state.
+//!
+//! The crash-recovery protocol (DESIGN.md §11) periodically checkpoints
+//! the simulated UM stack so a hard fault — device reset, driver crash —
+//! can restore the last consistent state and replay forward. Snapshots
+//! use a hand-rolled binary codec rather than the serde shim because the
+//! format must be (a) byte-stable across runs (the recovery proptests
+//! compare snapshots byte-for-byte), (b) self-validating (a snapshot
+//! that survived a crash may itself be damaged), and (c) versioned so a
+//! stale snapshot from an older layout is rejected, not misparsed.
+//!
+//! # Envelope layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DUMSNAP\0"
+//! 8       4     version (u32 LE)
+//! 12      n     payload (codec-defined, all integers u64/u32 LE)
+//! 12+n    8     FNV-1a-64 checksum (u64 LE) over bytes [0, 12+n)
+//! ```
+//!
+//! [`SnapshotWriter`] builds the envelope; [`SnapshotReader`] verifies
+//! magic, version, and checksum *before* any field is decoded, so a
+//! corrupt snapshot fails loudly with [`SnapshotError`] instead of
+//! reconstructing garbage state. Every decode path is panic-free: bad
+//! input can only produce an error value.
+
+use core::fmt;
+
+use deepum_mem::{BlockNum, PageMask};
+use deepum_sim::metrics::Counters;
+use deepum_sim::time::Ns;
+
+use crate::block::BlockState;
+use crate::driver::UmDriver;
+use crate::evict::LruMigrated;
+
+/// Leading magic of every snapshot envelope.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DUMSNAP\0";
+
+/// Current snapshot format version. Bump on any payload layout change;
+/// readers reject other versions instead of misparsing them.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 12; // magic + version
+const TRAILER_LEN: usize = 8; // checksum
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The snapshot was written by a different format version.
+    BadVersion {
+        /// Version found in the envelope.
+        found: u32,
+    },
+    /// The checksum trailer does not match the envelope contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        expected: u64,
+        /// Checksum computed over the envelope.
+        found: u64,
+    },
+    /// The payload ended before a field could be read.
+    Truncated,
+    /// Decoding finished with payload bytes left over.
+    TrailingBytes(usize),
+    /// A field decoded, but its value is inconsistent with the state
+    /// being restored (e.g. a capacity mismatch).
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "snapshot has bad magic"),
+            SnapshotError::BadVersion { found } => write!(
+                f,
+                "snapshot version {found} != supported version {SNAPSHOT_VERSION}"
+            ),
+            SnapshotError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: trailer {expected:#018x}, computed {found:#018x}"
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot truncated mid-field"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} trailing payload bytes")
+            }
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit over `bytes`. Dependency-free and byte-order stable;
+/// this guards against torn or bit-flipped snapshots, not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds one snapshot envelope. Field writers are infallible; the
+/// checksum trailer is appended by [`SnapshotWriter::finish`].
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts an envelope: magic and version are written immediately.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        SnapshotWriter { buf }
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends an [`Ns`] as raw nanoseconds.
+    pub fn ns(&mut self, v: Ns) {
+        self.u64(v.as_nanos());
+    }
+
+    /// Appends a [`BlockNum`] as its raw index.
+    pub fn block(&mut self, b: BlockNum) {
+        self.u64(b.index());
+    }
+
+    /// Appends a [`PageMask`] as its eight backing words.
+    pub fn mask(&mut self, m: &PageMask) {
+        for word in m.to_words() {
+            self.u64(word);
+        }
+    }
+
+    /// Payload bytes written so far (header excluded).
+    pub fn payload_len(&self) -> usize {
+        self.buf.len().saturating_sub(HEADER_LEN)
+    }
+
+    /// Seals the envelope: computes the checksum over everything written
+    /// and appends it as the trailer.
+    pub fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf
+    }
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> Self {
+        SnapshotWriter::new()
+    }
+}
+
+/// Decodes one snapshot envelope. Construction verifies magic, version,
+/// and checksum up front; field readers then walk the payload.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    /// Envelope bytes with the checksum trailer stripped.
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the envelope of `bytes` and positions the reader at the
+    /// first payload byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the buffer is shorter than an
+    /// empty envelope, [`SnapshotError::ChecksumMismatch`] /
+    /// [`SnapshotError::BadMagic`] / [`SnapshotError::BadVersion`] for a
+    /// damaged or foreign envelope.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        let split = bytes.len() - TRAILER_LEN;
+        let body = bytes.get(..split).ok_or(SnapshotError::Truncated)?;
+        let trailer = bytes.get(split..).ok_or(SnapshotError::Truncated)?;
+        let expected = u64::from_le_bytes(to_array8(trailer)?);
+        let found = fnv1a64(body);
+        if expected != found {
+            return Err(SnapshotError::ChecksumMismatch { expected, found });
+        }
+        let magic = body.get(..8).ok_or(SnapshotError::Truncated)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version_bytes = body.get(8..HEADER_LEN).ok_or(SnapshotError::Truncated)?;
+        let version = u32::from_le_bytes(to_array4(version_bytes)?);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion { found: version });
+        }
+        Ok(SnapshotReader {
+            buf: body,
+            pos: HEADER_LEN,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than eight bytes remain.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(to_array8(self.take(8)?)?))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than four bytes remain.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(to_array4(self.take(4)?)?))
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of payload.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
+    }
+
+    /// Reads a bool; any nonzero byte decodes as `true`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] at end of payload.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads an [`Ns`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than eight bytes remain.
+    pub fn ns(&mut self) -> Result<Ns, SnapshotError> {
+        Ok(Ns::from_nanos(self.u64()?))
+    }
+
+    /// Reads a [`BlockNum`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than eight bytes remain.
+    pub fn block(&mut self) -> Result<BlockNum, SnapshotError> {
+        Ok(BlockNum::new(self.u64()?))
+    }
+
+    /// Reads a [`PageMask`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if fewer than 64 bytes remain.
+    pub fn mask(&mut self) -> Result<PageMask, SnapshotError> {
+        let mut words = [0u64; 8];
+        for w in &mut words {
+            *w = self.u64()?;
+        }
+        Ok(PageMask::from_words(words))
+    }
+
+    /// Reads a length prefix for a collection, bounds-checked against
+    /// the bytes that could possibly remain so a corrupt count cannot
+    /// drive a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the prefix is missing,
+    /// [`SnapshotError::Corrupt`] if the count exceeds the remaining
+    /// payload at `min_item_bytes` per item.
+    pub fn len_prefix(&mut self, min_item_bytes: usize) -> Result<usize, SnapshotError> {
+        let raw = self.u64()?;
+        let remaining = self.buf.len().saturating_sub(self.pos);
+        let max_items = remaining / min_item_bytes.max(1);
+        if raw > deepum_mem::u64_from_usize(max_items) {
+            return Err(SnapshotError::Corrupt(format!(
+                "length prefix {raw} exceeds remaining payload ({remaining} bytes)"
+            )));
+        }
+        // deepum-tidy: allow(cast-safety) -- raw <= max_items, which is a usize
+        Ok(raw as usize)
+    }
+
+    /// Asserts the payload is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        let left = self.buf.len().saturating_sub(self.pos);
+        if left != 0 {
+            return Err(SnapshotError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+fn to_array8(slice: &[u8]) -> Result<[u8; 8], SnapshotError> {
+    let mut a = [0u8; 8];
+    if slice.len() != a.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    a.copy_from_slice(slice);
+    Ok(a)
+}
+
+fn to_array4(slice: &[u8]) -> Result<[u8; 4], SnapshotError> {
+    let mut a = [0u8; 4];
+    if slice.len() != a.len() {
+        return Err(SnapshotError::Truncated);
+    }
+    a.copy_from_slice(slice);
+    Ok(a)
+}
+
+/// Writes all twenty [`Counters`] fields. The full destructuring makes
+/// this fail to compile when a field is added, forcing the codec (and a
+/// [`SNAPSHOT_VERSION`] bump) to keep up.
+pub fn write_counters(c: &Counters, w: &mut SnapshotWriter) {
+    let Counters {
+        gpu_page_faults,
+        fault_batches,
+        faulted_blocks,
+        pages_faulted_in,
+        pages_prefetched,
+        prefetch_commands,
+        prefetch_hits,
+        prefetch_wasted,
+        prefetch_dropped,
+        pages_evicted_demand,
+        pages_preevicted,
+        pages_invalidated,
+        bytes_h2d,
+        bytes_d2h,
+        kernels_launched,
+        exec_predictions,
+        exec_mispredictions,
+        chain_walks,
+        block_table_lookups,
+        block_table_updates,
+    } = *c;
+    for v in [
+        gpu_page_faults,
+        fault_batches,
+        faulted_blocks,
+        pages_faulted_in,
+        pages_prefetched,
+        prefetch_commands,
+        prefetch_hits,
+        prefetch_wasted,
+        prefetch_dropped,
+        pages_evicted_demand,
+        pages_preevicted,
+        pages_invalidated,
+        bytes_h2d,
+        bytes_d2h,
+        kernels_launched,
+        exec_predictions,
+        exec_mispredictions,
+        chain_walks,
+        block_table_lookups,
+        block_table_updates,
+    ] {
+        w.u64(v);
+    }
+}
+
+/// Reads the twenty [`Counters`] fields written by [`write_counters`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Truncated`] if the payload ends early.
+pub fn read_counters(r: &mut SnapshotReader<'_>) -> Result<Counters, SnapshotError> {
+    let mut c = Counters::default();
+    let Counters {
+        gpu_page_faults,
+        fault_batches,
+        faulted_blocks,
+        pages_faulted_in,
+        pages_prefetched,
+        prefetch_commands,
+        prefetch_hits,
+        prefetch_wasted,
+        prefetch_dropped,
+        pages_evicted_demand,
+        pages_preevicted,
+        pages_invalidated,
+        bytes_h2d,
+        bytes_d2h,
+        kernels_launched,
+        exec_predictions,
+        exec_mispredictions,
+        chain_walks,
+        block_table_lookups,
+        block_table_updates,
+    } = &mut c;
+    for field in [
+        gpu_page_faults,
+        fault_batches,
+        faulted_blocks,
+        pages_faulted_in,
+        pages_prefetched,
+        prefetch_commands,
+        prefetch_hits,
+        prefetch_wasted,
+        prefetch_dropped,
+        pages_evicted_demand,
+        pages_preevicted,
+        pages_invalidated,
+        bytes_h2d,
+        bytes_d2h,
+        kernels_launched,
+        exec_predictions,
+        exec_mispredictions,
+        chain_walks,
+        block_table_lookups,
+        block_table_updates,
+    ] {
+        *field = r.u64()?;
+    }
+    Ok(c)
+}
+
+/// Writes the [`UmDriver`] residency/LRU payload into `w`:
+/// capacity, resident-page count, drain epochs, counters, and every
+/// block's full [`BlockState`] in ascending block order. The LRU order
+/// is *not* written: it is a function of the block states (`validate()`
+/// pins LRU keys to `last_migrated`) and is rebuilt on restore.
+pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
+    w.u64(d.capacity_pages);
+    w.u64(d.resident_pages);
+    w.u64(d.migrate_epoch);
+    w.ns(d.epoch_now);
+    write_counters(&d.counters, w);
+    w.u64(deepum_mem::u64_from_usize(d.blocks.len()));
+    for (block, state) in &d.blocks {
+        let BlockState {
+            resident,
+            last_migrated,
+            last_epoch,
+            prefetched_untouched,
+            invalidatable,
+            host_valid,
+        } = state;
+        w.block(*block);
+        w.mask(resident);
+        w.ns(*last_migrated);
+        w.u64(*last_epoch);
+        w.mask(prefetched_untouched);
+        w.mask(invalidatable);
+        w.mask(host_valid);
+    }
+}
+
+/// Minimum encoded size of one block record in the driver payload.
+const BLOCK_RECORD_BYTES: usize = 8 + 64 + 8 + 8 + 64 + 64 + 64;
+
+/// Restores [`UmDriver`] state written by [`write_driver_state`],
+/// replacing the block map, rebuilding the LRU order, and overwriting
+/// the counters and epochs. The protected set and injector handles are
+/// left untouched (they are shared with the prefetcher and the engine).
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] from decoding, or
+/// [`SnapshotError::Corrupt`] when the snapshot's device capacity does
+/// not match the driver being restored.
+pub fn read_driver_state(
+    d: &mut UmDriver,
+    r: &mut SnapshotReader<'_>,
+) -> Result<(), SnapshotError> {
+    let capacity_pages = r.u64()?;
+    if capacity_pages != d.capacity_pages {
+        return Err(SnapshotError::Corrupt(format!(
+            "snapshot device capacity {capacity_pages} pages != driver capacity {} pages",
+            d.capacity_pages
+        )));
+    }
+    let resident_pages = r.u64()?;
+    let migrate_epoch = r.u64()?;
+    let epoch_now = r.ns()?;
+    let counters = read_counters(r)?;
+    let num_blocks = r.len_prefix(BLOCK_RECORD_BYTES)?;
+
+    let mut blocks = std::collections::BTreeMap::new();
+    let mut lru = LruMigrated::new();
+    for _ in 0..num_blocks {
+        let block = r.block()?;
+        let state = BlockState {
+            resident: r.mask()?,
+            last_migrated: r.ns()?,
+            last_epoch: r.u64()?,
+            prefetched_untouched: r.mask()?,
+            invalidatable: r.mask()?,
+            host_valid: r.mask()?,
+        };
+        if !state.resident.is_empty() {
+            lru.record_migration(block, None, state.last_migrated);
+        }
+        if blocks.insert(block, state).is_some() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{block} appears twice in the snapshot"
+            )));
+        }
+    }
+
+    d.resident_pages = resident_pages;
+    d.migrate_epoch = migrate_epoch;
+    d.epoch_now = epoch_now;
+    d.counters = counters;
+    d.blocks = blocks;
+    d.lru = lru;
+    Ok(())
+}
+
+/// Serializes a [`UmDriver`] into one standalone snapshot envelope.
+pub fn snapshot_driver(d: &UmDriver) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    write_driver_state(d, &mut w);
+    w.finish()
+}
+
+/// Restores a [`UmDriver`] from an envelope built by [`snapshot_driver`].
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] from envelope validation or payload decode.
+pub fn restore_driver(d: &mut UmDriver, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    read_driver_state(d, &mut r)?;
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepum_gpu::fault::{AccessKind, FaultEntry, SmId};
+    use deepum_mem::BLOCK_SIZE;
+    use deepum_sim::costs::CostModel;
+
+    fn driver_with_history(capacity_blocks: u64) -> UmDriver {
+        let costs = CostModel::v100_32gb().with_device_memory(capacity_blocks * BLOCK_SIZE as u64);
+        let mut d = UmDriver::new(costs);
+        for b in 0..4u64 {
+            let faults: Vec<FaultEntry> = (0..200)
+                .map(|i| FaultEntry {
+                    page: BlockNum::new(b).page(i),
+                    kind: AccessKind::Read,
+                    sm: SmId(0),
+                })
+                .collect();
+            d.handle_faults(Ns::from_nanos(b + 1), &faults)
+                .expect("faults handled");
+        }
+        d.prefetch_into_gpu(Ns::from_nanos(9), BlockNum::new(7), &PageMask::first_n(64));
+        d
+    }
+
+    #[test]
+    fn writer_reader_round_trip_primitives() {
+        let mut w = SnapshotWriter::new();
+        w.u64(u64::MAX);
+        w.u32(7);
+        w.u8(255);
+        w.bool(true);
+        w.ns(Ns::from_micros(3));
+        w.block(BlockNum::new(42));
+        w.mask(&PageMask::first_n(100));
+        let bytes = w.finish();
+
+        let mut r = SnapshotReader::new(&bytes).expect("valid envelope");
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u8().unwrap(), 255);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.ns().unwrap(), Ns::from_micros(3));
+        assert_eq!(r.block().unwrap(), BlockNum::new(42));
+        assert_eq!(r.mask().unwrap(), PageMask::first_n(100));
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn driver_round_trip_preserves_state_and_validates() {
+        let d = driver_with_history(3);
+        let bytes = snapshot_driver(&d);
+
+        let costs = CostModel::v100_32gb().with_device_memory(3 * BLOCK_SIZE as u64);
+        let mut restored = UmDriver::new(costs);
+        restore_driver(&mut restored, &bytes).expect("restore succeeds");
+
+        restored.validate().expect("restored driver validates");
+        assert_eq!(restored.resident_pages(), d.resident_pages());
+        assert_eq!(restored.counters(), d.counters());
+        for b in 0..8u64 {
+            let block = BlockNum::new(b);
+            assert_eq!(restored.resident_mask(block), d.resident_mask(block));
+        }
+        // A second snapshot of the restored driver is byte-identical.
+        assert_eq!(snapshot_driver(&restored), bytes);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let d = driver_with_history(3);
+        let mut bytes = snapshot_driver(&d);
+        let mid = bytes.len() / 2;
+        if let Some(b) = bytes.get_mut(mid) {
+            *b ^= 0x40;
+        }
+        assert!(matches!(
+            SnapshotReader::new(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let d = driver_with_history(3);
+        let bytes = snapshot_driver(&d);
+        for cut in [0, 5, HEADER_LEN, bytes.len() - 1] {
+            let sliced = &bytes[..cut];
+            let err = SnapshotReader::new(sliced).expect_err("truncated envelope must fail");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "unexpected error {err:?} at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.u64(1);
+        let mut bytes = w.finish();
+        // Rewrite the version field and re-seal the checksum.
+        bytes.truncate(bytes.len() - TRAILER_LEN);
+        bytes[8..HEADER_LEN].copy_from_slice(&99u32.to_le_bytes());
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::new(&bytes).err(),
+            Some(SnapshotError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let w = SnapshotWriter::new();
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - TRAILER_LEN);
+        bytes[0] = b'X';
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::new(&bytes).err(),
+            Some(SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.u64(1);
+        w.u64(2);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).expect("valid envelope");
+        assert_eq!(r.u64().unwrap(), 1);
+        assert_eq!(r.finish(), Err(SnapshotError::TrailingBytes(8)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let mut w = SnapshotWriter::new();
+        w.u64(u64::MAX); // claims u64::MAX items follow
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).expect("valid envelope");
+        assert!(matches!(
+            r.len_prefix(BLOCK_RECORD_BYTES),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_mismatch_is_corrupt() {
+        let d = driver_with_history(3);
+        let bytes = snapshot_driver(&d);
+        let costs = CostModel::v100_32gb().with_device_memory(5 * BLOCK_SIZE as u64);
+        let mut other = UmDriver::new(costs);
+        assert!(matches!(
+            restore_driver(&mut other, &bytes),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let a = snapshot_driver(&driver_with_history(3));
+        let b = snapshot_driver(&driver_with_history(3));
+        assert_eq!(a, b);
+    }
+}

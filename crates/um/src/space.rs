@@ -212,6 +212,72 @@ impl UmSpace {
     pub fn free_extents(&self) -> usize {
         self.free.len()
     }
+
+    /// Writes the full allocator state (capacity, bump pointer, free and
+    /// live extent maps) into a snapshot payload. Extents are written in
+    /// ascending address order, so equal allocator states always encode
+    /// to identical bytes.
+    pub fn encode_into(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.u64(self.capacity);
+        w.u64(self.allocated);
+        w.u64(self.next);
+        w.u64(deepum_mem::u64_from_usize(self.free.len()));
+        for (&start, &len) in &self.free {
+            w.u64(start);
+            w.u64(len);
+        }
+        w.u64(deepum_mem::u64_from_usize(self.live.len()));
+        for (&start, &len) in &self.live {
+            w.u64(start);
+            w.u64(len);
+        }
+    }
+
+    /// Reconstructs an allocator from a payload written by
+    /// [`UmSpace::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`](crate::snapshot::SnapshotError) from
+    /// decoding, or `Corrupt` when the extent maps disagree with the
+    /// byte accounting.
+    pub fn decode_from(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+
+        let capacity = r.u64()?;
+        let allocated = r.u64()?;
+        let next = r.u64()?;
+        let mut free = BTreeMap::new();
+        let num_free = r.len_prefix(16)?;
+        for _ in 0..num_free {
+            let start = r.u64()?;
+            let len = r.u64()?;
+            free.insert(start, len);
+        }
+        let mut live = BTreeMap::new();
+        let mut live_total = 0u64;
+        let num_live = r.len_prefix(16)?;
+        for _ in 0..num_live {
+            let start = r.u64()?;
+            let len = r.u64()?;
+            live_total = live_total.saturating_add(len);
+            live.insert(start, len);
+        }
+        if live_total != allocated {
+            return Err(SnapshotError::Corrupt(format!(
+                "live extents sum to {live_total} bytes but allocated counter is {allocated}"
+            )));
+        }
+        Ok(UmSpace {
+            capacity,
+            allocated,
+            next,
+            free,
+            live,
+        })
+    }
 }
 
 fn round_up(v: u64, to: u64) -> u64 {
@@ -294,6 +360,30 @@ mod tests {
         assert!(s.alloc(PAGE_SIZE as u64).is_err());
         s.free(a);
         assert!(s.alloc(4 * PAGE_SIZE as u64).is_ok());
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips() {
+        let mut s = UmSpace::new(1 << 20);
+        let a = s.alloc(3 * PAGE_SIZE as u64).unwrap();
+        let _b = s.alloc(5 * PAGE_SIZE as u64).unwrap();
+        s.free(a); // leave a free extent behind
+
+        let mut w = crate::snapshot::SnapshotWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.finish();
+        let mut r = crate::snapshot::SnapshotReader::new(&bytes).unwrap();
+        let back = UmSpace::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(back.capacity_bytes(), s.capacity_bytes());
+        assert_eq!(back.allocated_bytes(), s.allocated_bytes());
+        assert_eq!(back.live_allocations(), s.live_allocations());
+        assert_eq!(back.free_extents(), s.free_extents());
+        // Re-encoding the decoded state is byte-identical.
+        let mut w2 = crate::snapshot::SnapshotWriter::new();
+        back.encode_into(&mut w2);
+        assert_eq!(w2.finish(), bytes);
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub struct Session {
     perf: PerfModel,
     seed: u64,
     plan: InjectionPlan,
+    checkpoint_every: Option<u64>,
 }
 
 impl Session {
@@ -99,6 +100,7 @@ impl Session {
             perf: PerfModel::v100(),
             seed: 0x5eed,
             plan: InjectionPlan::default(),
+            checkpoint_every: None,
         }
     }
 
@@ -152,6 +154,20 @@ impl Session {
         self
     }
 
+    /// Sets the checkpoint cadence (kernel launches between
+    /// checkpoints) for UM-based systems.
+    ///
+    /// By default checkpoints are taken only when the injection plan
+    /// schedules hard faults (device resets, driver crashes,
+    /// uncorrectable ECC); this forces them on for any run. The run's
+    /// [`RunReport::recovery`] section is `Some` whenever checkpointing
+    /// is active. Swap baselines ignore the cadence.
+    pub fn checkpoint_every(mut self, kernels: u64) -> Self {
+        assert!(kernels >= 1, "cadence must be at least one kernel");
+        self.checkpoint_every = Some(kernels);
+        self
+    }
+
     /// Builds the workload this session runs.
     pub fn workload(&self) -> Workload {
         self.model.build(self.batch)
@@ -184,6 +200,7 @@ impl Session {
             iters: self.iterations,
             seed: self.seed,
             plan: self.plan.clone(),
+            checkpoint_every: self.checkpoint_every,
         };
         run_system(system, &self.workload(), &params)
     }

@@ -135,6 +135,111 @@ fn watchdog_survives_chaos_and_reports_state() {
     assert!(r.health.is_some());
 }
 
+/// Drops the recovery section so a recovered run can be compared
+/// byte-for-byte against an uninterrupted one.
+fn strip_recovery(
+    mut r: deepum::baselines::report::RunReport,
+) -> deepum::baselines::report::RunReport {
+    r.recovery = None;
+    r
+}
+
+#[test]
+fn device_reset_recovery_matches_uninterrupted_run() {
+    for kind in [SystemKind::DeepUm, SystemKind::Um] {
+        let clean = small().run(kind).unwrap();
+        let interrupted = small()
+            .injection_plan(InjectionPlan {
+                device_reset_at: vec![3, 41],
+                ..InjectionPlan::default()
+            })
+            .run(kind)
+            .unwrap();
+        let rec = interrupted
+            .recovery
+            .expect("hard-fault plan => recovery section");
+        assert_eq!(rec.restores, 2, "both scheduled resets fire once");
+        assert!(rec.checkpoints > 0);
+        assert!(rec.downtime_ns > 0, "resets cost downtime");
+        assert_eq!(rec.ecc_poisonings, 0);
+        // The acceptance bar: final residency, allocator state, and
+        // metrics identical to the uninterrupted run, byte-for-byte,
+        // modulo the recovery section.
+        assert_eq!(
+            serde_json::to_string(&clean).unwrap(),
+            serde_json::to_string(&strip_recovery(interrupted)).unwrap(),
+            "{kind:?} reset-interrupted run must converge to the uninterrupted one"
+        );
+    }
+}
+
+#[test]
+fn driver_crash_mid_drain_recovers() {
+    let clean = small().run(SystemKind::DeepUm).unwrap();
+    let crashed = small()
+        .injection_plan(InjectionPlan {
+            driver_crash_at: vec![2, 17],
+            ..InjectionPlan::default()
+        })
+        .run(SystemKind::DeepUm)
+        .unwrap();
+    let rec = crashed
+        .recovery
+        .expect("hard-fault plan => recovery section");
+    assert_eq!(rec.restores, 2);
+    assert!(
+        rec.replay_kernels > 0,
+        "a mid-drain crash replays journaled work"
+    );
+    assert_eq!(
+        serde_json::to_string(&clean).unwrap(),
+        serde_json::to_string(&strip_recovery(crashed)).unwrap()
+    );
+}
+
+#[test]
+fn explicit_cadence_on_crash_free_plan_changes_nothing() {
+    let base = small().run(SystemKind::DeepUm).unwrap();
+    let checked = small().checkpoint_every(4).run(SystemKind::DeepUm).unwrap();
+    let rec = checked
+        .recovery
+        .expect("explicit cadence => recovery section");
+    assert!(rec.checkpoints > 1);
+    assert_eq!(rec.restores, 0);
+    assert_eq!(rec.replay_kernels, 0);
+    assert_eq!(rec.downtime_ns, 0);
+    assert!(rec.snapshot_bytes > 0);
+    assert_eq!(
+        serde_json::to_string(&base).unwrap(),
+        serde_json::to_string(&strip_recovery(checked)).unwrap(),
+        "checkpointing must be observation-free"
+    );
+}
+
+#[test]
+fn ecc_poisoning_degrades_to_demand_paging() {
+    let r = small()
+        .injection_plan(InjectionPlan {
+            seed: 5,
+            ecc_rate: 0.02,
+            ..InjectionPlan::default()
+        })
+        .run(SystemKind::DeepUm)
+        .unwrap();
+    let rec = r.recovery.expect("ecc plan => recovery section");
+    assert!(
+        rec.ecc_poisonings > 0,
+        "2% per drain over an oversubscribed run must hit"
+    );
+    let h = r.health.expect("poisoned tables => degraded health");
+    assert_eq!(
+        h.backend.watchdog_state,
+        deepum::sim::faultinject::DegradationState::Disabled
+    );
+    // The run still completes every iteration on pure demand paging.
+    assert_eq!(r.iters.len(), 2);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -173,5 +278,45 @@ proptest! {
         let report = run_um(&workload, &mut driver, "deepum", &cfg, |d| d.counters()).unwrap();
         prop_assert!(driver.validate().is_ok());
         prop_assert!(report.total > deepum::sim::time::Ns::ZERO);
+    }
+
+    /// Any random crash schedule (device resets by kernel seq, driver
+    /// crashes by drain ordinal) recovers to the exact state of an
+    /// uninterrupted run, and two recovered runs of the same plan
+    /// serialize byte-identically.
+    #[test]
+    fn random_crash_schedules_recover_deterministically(
+        resets in proptest::collection::vec(0u64..170, 0..3),
+        crashes in proptest::collection::vec(0u64..40, 0..3),
+        cadence in 2u64..16,
+    ) {
+        // Duplicate schedule entries are fine: a scheduled hard fault
+        // fires at most once per seq/ordinal.
+        let plan = InjectionPlan {
+            device_reset_at: resets,
+            driver_crash_at: crashes,
+            ..InjectionPlan::default()
+        };
+        let interrupted = || {
+            small()
+                .checkpoint_every(cadence)
+                .injection_plan(plan.clone())
+                .run(SystemKind::DeepUm)
+                .unwrap()
+        };
+        let a = interrupted();
+        let b = interrupted();
+        // (b) identical plans => byte-identical reports, recovery included.
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // (a) recovery converges to the uninterrupted run's final
+        // residency, allocator state, and metrics.
+        let clean = small().run(SystemKind::DeepUm).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&clean).unwrap(),
+            serde_json::to_string(&strip_recovery(a)).unwrap()
+        );
     }
 }
