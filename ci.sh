@@ -3,16 +3,23 @@
 # committed Cargo.lock so results are reproducible offline.
 #
 # Optional stages:
-#   --soak   run the deepum-chaos crash-recovery soak (fixed seed grid,
-#            wall-clock budgeted). Off by default: tier-1 stays fast.
+#   --soak      run the deepum-chaos crash-recovery soak (fixed seed
+#               grid, wall-clock budgeted). Off by default: tier-1
+#               stays fast.
+#   --coverage  run cargo llvm-cov over the workspace and compare line
+#               coverage against ci/coverage-baseline.txt (recording the
+#               baseline on the first run). Skipped with a notice when
+#               cargo-llvm-cov is not installed.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 SOAK=0
+COVERAGE=0
 for arg in "$@"; do
   case "$arg" in
     --soak) SOAK=1 ;;
-    *) echo "unknown option: $arg (known: --soak)" >&2; exit 2 ;;
+    --coverage) COVERAGE=1 ;;
+    *) echo "unknown option: $arg (known: --soak, --coverage)" >&2; exit 2 ;;
   esac
 done
 
@@ -35,6 +42,35 @@ if [ "$SOAK" -eq 1 ]; then
   echo "== chaos soak =="
   cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
     --seeds 16 --budget-secs 300 --iters 2
+fi
+
+if [ "$COVERAGE" -eq 1 ]; then
+  echo "== coverage =="
+  if cargo llvm-cov --version >/dev/null 2>&1; then
+    BASELINE_FILE=ci/coverage-baseline.txt
+    # Line coverage percentage, truncated to an integer so the gate is
+    # robust against sub-percent jitter.
+    PCT=$(cargo llvm-cov --locked --workspace --summary-only 2>/dev/null \
+      | awk '/^TOTAL/ { gsub(/%/, "", $10); printf "%d", $10 }')
+    if [ -z "$PCT" ]; then
+      echo "coverage: could not parse llvm-cov summary output" >&2
+      exit 1
+    fi
+    if [ -f "$BASELINE_FILE" ]; then
+      BASE=$(cat "$BASELINE_FILE")
+      echo "coverage: ${PCT}% lines (baseline ${BASE}%)"
+      if [ "$PCT" -lt "$BASE" ]; then
+        echo "coverage regressed below the recorded baseline; raise tests or re-bless $BASELINE_FILE" >&2
+        exit 1
+      fi
+    else
+      mkdir -p "$(dirname "$BASELINE_FILE")"
+      echo "$PCT" > "$BASELINE_FILE"
+      echo "coverage: ${PCT}% lines (baseline recorded in $BASELINE_FILE)"
+    fi
+  else
+    echo "coverage: cargo-llvm-cov is not installed; skipping (install with 'cargo install cargo-llvm-cov')"
+  fi
 fi
 
 echo "CI OK"

@@ -33,6 +33,10 @@ pub const LINTS: &[Lint] = &[
         summary: "flag `as usize`/`as u64` in address/page arithmetic (mem, um); use typed helpers or try_into",
     },
     Lint {
+        id: "trace-determinism",
+        summary: "forbid string formatting and wall-clock reads on the trace-event hot path (crates/trace, cold-path export module exempt)",
+    },
+    Lint {
         id: "unsafe-attr",
         summary: "every non-shim crate root must carry #![forbid(unsafe_code)]",
     },
@@ -82,6 +86,16 @@ const PANIC_FILES: &[&str] = &[
 /// Patterns for `panic-safety`. `[&` catches `map[&key]` indexing, which
 /// panics on a missing key.
 const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "[&"];
+
+/// Cold-path files of the trace crate, exempt from `trace-determinism`:
+/// rendering runs after the simulation, so allocation and formatting
+/// there cannot perturb event content or timing.
+const TRACE_COLD_FILES: &[&str] = &["crates/trace/src/export.rs"];
+
+/// Patterns for `trace-determinism`. Event construction must be plain
+/// integer/enum moves: formatting allocates per event, and wall clocks
+/// would leak host time into what must be a virtual-time-only stream.
+const TRACE_PATTERNS: &[&str] = &["format!", "Instant::now", "SystemTime"];
 
 /// Crates doing address/page arithmetic for `cast-safety`.
 const CAST_CRATES: &[&str] = &["mem", "um"];
@@ -187,6 +201,20 @@ pub fn check_line(
                 line: line_no,
                 lint: "panic-safety",
                 message: format!("`{pat}` can abort the fault-drain/eviction path; {steer}"),
+            });
+        }
+    }
+    if enabled("trace-determinism")
+        && scope.crate_name == "trace"
+        && !TRACE_COLD_FILES.contains(&scope.rel_path.as_str())
+    {
+        if let Some(pat) = first_hit(code, TRACE_PATTERNS) {
+            out.push(Candidate {
+                line: line_no,
+                lint: "trace-determinism",
+                message: format!(
+                    "`{pat}` on the trace hot path; build events from plain integers and render strings in the cold export module after the run"
+                ),
             });
         }
     }

@@ -47,6 +47,11 @@ const CASES: &[(&str, &str, &str)] = &[
         "panic-safety",
     ),
     ("cast_safety.rs", "crates/mem/src/fixture.rs", "cast-safety"),
+    (
+        "trace_determinism.rs",
+        "crates/trace/src/fixture.rs",
+        "trace-determinism",
+    ),
     ("unsafe_attr.rs", "crates/um/src/lib.rs", "unsafe-attr"),
     (
         "suppression_hygiene.rs",

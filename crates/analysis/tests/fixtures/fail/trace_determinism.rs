@@ -1,0 +1,14 @@
+//! Bad: the emit path formats a string per event, so tracing allocates
+//! and perturbs what must be a zero-overhead-when-off layer.
+
+pub struct Event {
+    pub label: String,
+    pub t: u64,
+}
+
+pub fn make_event(seq: u64, t: u64) -> Event {
+    Event {
+        label: format!("kernel-{seq}"),
+        t,
+    }
+}

@@ -1,0 +1,11 @@
+//! Good: events carry plain integers; any human-readable rendering
+//! happens in the cold export module after the run.
+
+pub struct Event {
+    pub seq: u64,
+    pub t: u64,
+}
+
+pub fn make_event(seq: u64, t: u64) -> Event {
+    Event { seq, t }
+}

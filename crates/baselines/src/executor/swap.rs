@@ -201,6 +201,7 @@ pub fn run_swap(
         table_bytes: None,
         health: None,
         recovery: None,
+        trace: None,
     })
 }
 

@@ -34,6 +34,7 @@ use deepum_sim::time::Ns;
 use deepum_torch::alloc::{AllocError, CachingAllocator, PtEvent};
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
+use deepum_trace::{InjectKind, SharedTracer, TraceEvent};
 
 use crate::report::{HealthReport, IterStats, RunError, RunReport};
 
@@ -69,6 +70,10 @@ pub struct UmRunConfig {
     /// [`DEFAULT_CHECKPOINT_EVERY`]); `Some(n)` forces a checkpoint
     /// every `n` launches regardless of the plan.
     pub checkpoint_every: Option<u64>,
+    /// Structured-event tracer. `None` (the default) leaves every layer
+    /// untraced and the report without a trace section — byte-identical
+    /// to a build that never heard of tracing.
+    pub tracer: Option<SharedTracer>,
 }
 
 impl UmRunConfig {
@@ -82,6 +87,7 @@ impl UmRunConfig {
             plan: InjectionPlan::default(),
             validate_after_drain: false,
             checkpoint_every: None,
+            tracer: None,
         }
     }
 
@@ -139,6 +145,13 @@ struct Checkpoint {
 impl Checkpoint {
     fn bytes(&self) -> u64 {
         (self.backend.len() + self.runtime.len() + self.allocator.len()) as u64
+    }
+}
+
+/// Emits one trace event when the run is traced.
+fn emit(tracer: &Option<SharedTracer>, now: Ns, event: TraceEvent) {
+    if let Some(tr) = tracer {
+        tr.borrow_mut().emit(now.as_nanos(), event);
     }
 }
 
@@ -241,6 +254,10 @@ where
         engine.set_injector(inj.clone());
     }
     engine.set_validate_after_drain(cfg.validate_after_drain);
+    if let Some(tr) = &cfg.tracer {
+        backend.install_tracer(tr.clone());
+        engine.set_tracer(tr.clone());
+    }
 
     let mut tensors: TensorMap = HashMap::new();
     let mut events = Vec::new();
@@ -311,6 +328,11 @@ where
                 rec.checkpoints += 1;
                 rec.snapshot_bytes = cp.bytes();
             }
+            emit(
+                &cfg.tracer,
+                st.clock.now(),
+                TraceEvent::Checkpoint { bytes: cp.bytes() },
+            );
             journal.clear();
             checkpoint = Some(cp);
         }
@@ -340,10 +362,18 @@ where
                     .as_ref()
                     .is_some_and(|inj| inj.borrow_mut().take_scheduled_reset(st.kernel_seq));
                 if reset {
+                    emit(
+                        &cfg.tracer,
+                        st.clock.now(),
+                        TraceEvent::InjectedFault {
+                            kind: InjectKind::DeviceReset,
+                        },
+                    );
                     let cp = checkpoint.as_ref().ok_or_else(|| {
                         RunError::Recovery("device reset before the first checkpoint".into())
                     })?;
                     let rec = recovery.as_mut().expect("recovery active with injector");
+                    let replayed = journal.len() as u64;
                     recover(
                         cp,
                         &mut st,
@@ -358,6 +388,11 @@ where
                         rec,
                         "scheduled device reset",
                     )?;
+                    emit(
+                        &cfg.tracer,
+                        st.clock.now(),
+                        TraceEvent::Restored { replayed },
+                    );
                     continue;
                 }
                 // A full journal means too much un-checkpointed work:
@@ -384,19 +419,51 @@ where
                 st.clock.advance(intercept);
                 if let Some(inj) = &injector {
                     if let Some(delay) = inj.borrow_mut().roll_launch_delay() {
+                        emit(
+                            &cfg.tracer,
+                            st.clock.now(),
+                            TraceEvent::InjectedFault {
+                                kind: InjectKind::LaunchDelay,
+                            },
+                        );
                         st.clock.advance(delay);
                     }
                 }
+                emit(
+                    &cfg.tracer,
+                    st.clock.now(),
+                    TraceEvent::KernelBegin {
+                        seq: st.kernel_seq,
+                        name: launch.name.to_string(),
+                    },
+                );
                 match engine.execute(&launch, &mut st.clock, backend, &mut st.energy) {
                     Ok(stats) => {
                         st.compute += stats.compute;
                         st.stall += stats.stall;
+                        emit(
+                            &cfg.tracer,
+                            st.clock.now(),
+                            TraceEvent::KernelEnd {
+                                seq: st.kernel_seq,
+                                faults: stats.faults,
+                                stall_ns: stats.stall.as_nanos(),
+                            },
+                        );
                     }
                     Err(EngineError::Backend(BackendError::DriverCrash)) => {
+                        emit(
+                            &cfg.tracer,
+                            st.clock.now(),
+                            TraceEvent::InjectedFault {
+                                kind: InjectKind::DriverCrash,
+                            },
+                        );
                         let cp = checkpoint.as_ref().ok_or_else(|| {
                             RunError::Recovery("driver crash before the first checkpoint".into())
                         })?;
                         let rec = recovery.as_mut().expect("recovery active with injector");
+                        let replayed = journal.len() as u64;
                         recover(
                             cp,
                             &mut st,
@@ -411,6 +478,11 @@ where
                             rec,
                             "driver crash during fault drain",
                         )?;
+                        emit(
+                            &cfg.tracer,
+                            st.clock.now(),
+                            TraceEvent::Restored { replayed },
+                        );
                         continue;
                     }
                     Err(e) => return Err(RunError::Driver(e.to_string())),
@@ -474,6 +546,7 @@ where
         table_bytes: None,
         health,
         recovery,
+        trace: cfg.tracer.as_ref().map(|t| t.borrow_mut().report()),
     })
 }
 

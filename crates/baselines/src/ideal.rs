@@ -48,6 +48,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         table_bytes: None,
         health: None,
         recovery: None,
+        trace: None,
     }
 }
 

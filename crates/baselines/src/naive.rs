@@ -10,6 +10,7 @@ use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
+use deepum_trace::SharedTracer;
 use deepum_um::driver::UmDriver;
 use deepum_um::snapshot::{SnapshotReader, SnapshotWriter};
 
@@ -68,6 +69,10 @@ impl UmBackend for NaiveUm {
 
     fn install_injector(&mut self, injector: SharedInjector) {
         self.um.install_injector(injector);
+    }
+
+    fn install_tracer(&mut self, tracer: SharedTracer) {
+        self.um.set_tracer(tracer);
     }
 
     fn validate(&self) -> Result<(), String> {

@@ -4,6 +4,7 @@ use deepum_core::recovery::RecoveryReport;
 use deepum_sim::faultinject::{BackendHealth, InjectionStats};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
+use deepum_trace::TraceReport;
 use serde::value::{Value, ValueError};
 use serde::{Deserialize, Serialize};
 
@@ -64,9 +65,10 @@ pub struct HealthReport {
 /// The outcome of running a workload under one memory system.
 ///
 /// `Serialize`/`Deserialize` are written by hand (not derived) so that
-/// the `recovery` member is *omitted* when `None` instead of rendering
-/// as `null`: reports of runs without hard-fault machinery stay
-/// byte-identical to reports produced before checkpointing existed.
+/// the `recovery` and `trace` members are *omitted* when `None` instead
+/// of rendering as `null`: reports of runs without hard-fault machinery
+/// or tracing stay byte-identical to reports produced before those
+/// subsystems existed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Workload name (`"gpt2-xl/b7"`).
@@ -88,6 +90,9 @@ pub struct RunReport {
     /// Checkpoint/restore summary; `Some` only when the run had hard
     /// faults scheduled or an explicit checkpoint cadence.
     pub recovery: Option<RecoveryReport>,
+    /// Structured-event trace summary; `Some` only when the run had a
+    /// tracer installed.
+    pub trace: Option<TraceReport>,
 }
 
 impl Serialize for RunReport {
@@ -105,6 +110,9 @@ impl Serialize for RunReport {
         if let Some(rec) = &self.recovery {
             members.push(("recovery".to_string(), rec.to_value()));
         }
+        if let Some(trace) = &self.trace {
+            members.push(("trace".to_string(), trace.to_value()));
+        }
         Value::Object(members)
     }
 }
@@ -119,6 +127,10 @@ impl Deserialize for RunReport {
             None | Some(Value::Null) => None,
             Some(rec) => Some(RecoveryReport::from_value(rec)?),
         };
+        let trace = match v.get("trace") {
+            None | Some(Value::Null) => None,
+            Some(tr) => Some(TraceReport::from_value(tr)?),
+        };
         Ok(RunReport {
             workload: String::from_value(member(v, "workload")?)?,
             system: String::from_value(member(v, "system")?)?,
@@ -129,6 +141,7 @@ impl Deserialize for RunReport {
             table_bytes: Option::from_value(member(v, "table_bytes")?)?,
             health: Option::from_value(member(v, "health")?)?,
             recovery,
+            trace,
         })
     }
 }
@@ -228,6 +241,7 @@ mod tests {
             table_bytes: None,
             health: None,
             recovery: None,
+            trace: None,
         }
     }
 
@@ -283,6 +297,39 @@ mod tests {
         });
         let json = serde_json::to_string(&r).expect("report serializes");
         assert!(json.contains("\"recovery\""));
+        let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn untraced_report_omits_trace_member() {
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(!json.contains("\"trace\""));
+    }
+
+    #[test]
+    fn trace_member_round_trips() {
+        let mut r = report(&[10, 10]);
+        let mut tracer = deepum_trace::Tracer::export();
+        tracer.emit(
+            10,
+            deepum_trace::TraceEvent::KernelBegin {
+                seq: 0,
+                name: "gemm".into(),
+            },
+        );
+        tracer.emit(
+            25,
+            deepum_trace::TraceEvent::KernelEnd {
+                seq: 0,
+                faults: 3,
+                stall_ns: 5,
+            },
+        );
+        r.trace = Some(tracer.report());
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"trace\""));
         let back: RunReport = serde_json::from_str(&json).expect("report parses");
         assert_eq!(back, r);
     }

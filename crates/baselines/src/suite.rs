@@ -15,6 +15,7 @@ use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::InjectionPlan;
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::Workload;
+use deepum_trace::SharedTracer;
 use serde::{Deserialize, Serialize};
 
 /// A memory system under evaluation.
@@ -84,6 +85,10 @@ pub struct RunParams {
     /// `None` (the default) checkpoints only when `plan` schedules hard
     /// faults; swap baselines ignore it.
     pub checkpoint_every: Option<u64>,
+    /// Structured-event tracer for UM-based systems (`Um` / `DeepUm`).
+    /// `None` (the default) keeps runs untraced and reports without a
+    /// trace section; swap baselines ignore it.
+    pub tracer: Option<SharedTracer>,
 }
 
 impl RunParams {
@@ -96,6 +101,7 @@ impl RunParams {
             seed,
             plan: InjectionPlan::default(),
             checkpoint_every: None,
+            tracer: None,
         }
     }
 
@@ -108,6 +114,7 @@ impl RunParams {
             seed,
             plan: InjectionPlan::default(),
             checkpoint_every: None,
+            tracer: None,
         }
     }
 }
@@ -155,6 +162,7 @@ fn um_cfg(params: &RunParams) -> UmRunConfig {
         plan: params.plan.clone(),
         validate_after_drain: false,
         checkpoint_every: params.checkpoint_every,
+        tracer: params.tracer.clone(),
     }
 }
 
@@ -190,6 +198,7 @@ mod tests {
             seed: 1,
             plan: InjectionPlan::default(),
             checkpoint_every: None,
+            tracer: None,
         };
         for system in [
             System::Um,
@@ -226,6 +235,7 @@ mod tests {
             seed: 1,
             plan: InjectionPlan::default(),
             checkpoint_every: None,
+            tracer: None,
         };
         let r = run_system(&System::deepum(), &w, &params).unwrap();
         assert!(r.table_bytes.unwrap() > 0);

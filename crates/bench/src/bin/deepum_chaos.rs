@@ -82,6 +82,7 @@ fn params(iters: usize, plan: InjectionPlan) -> RunParams {
         seed: 0x5eed,
         plan,
         checkpoint_every: None,
+        tracer: None,
     }
 }
 

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics change enough to
 /// invalidate stored reports.
-const VERSION: &str = "v10";
+const VERSION: &str = "v11";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -107,6 +107,7 @@ mod tests {
             table_bytes: None,
             health: None,
             recovery: None,
+            trace: None,
         }
     }
 

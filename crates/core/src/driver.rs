@@ -31,6 +31,7 @@ use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::{BackendHealth, DegradationState, SharedInjector};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
+use deepum_trace::{InjectKind, SharedTracer, TraceEvent, WatchdogMode};
 use deepum_um::driver::{group_faults, UmDriver};
 use deepum_um::evict::SharedBlockSet;
 
@@ -43,6 +44,24 @@ use crate::watchdog::PrefetchWatchdog;
 
 /// Sentinel for "no kernel yet" in execution history.
 const NO_EXEC: ExecId = ExecId(u32::MAX);
+
+/// Emits one trace event when a tracer is installed. Free function (not
+/// a method) so emit sites inside loops that hold field borrows (the
+/// chain walk in `pump_chain`) can still reach the tracer field.
+fn emit(tracer: &Option<SharedTracer>, now: Ns, event: TraceEvent) {
+    if let Some(tr) = tracer {
+        tr.borrow_mut().emit(now.as_nanos(), event);
+    }
+}
+
+/// Watchdog state as the dependency-free trace vocabulary.
+fn watchdog_mode(state: DegradationState) -> WatchdogMode {
+    match state {
+        DegradationState::Normal => WatchdogMode::Normal,
+        DegradationState::Throttled => WatchdogMode::Throttled,
+        DegradationState::Disabled => WatchdogMode::Disabled,
+    }
+}
 
 /// The DeepUM driver: correlation prefetching plus the two fault-handling
 /// optimizations, layered over the simulated NVIDIA UM driver.
@@ -93,6 +112,11 @@ pub struct DeepumDriver {
     // crosses its thresholds (re-enabling after a cooldown). The deltas
     // remember the counter values at the previous watchdog feeding.
     injector: Option<SharedInjector>,
+    tracer: Option<SharedTracer>,
+    /// Virtual time of the latest backend/observer entry point, so
+    /// internal threads without a `now` parameter (`pump_chain`) can
+    /// stamp their events.
+    trace_now: Ns,
     pub(crate) watchdog: Option<PrefetchWatchdog>,
     pub(crate) wd_last_prefetched: u64,
     pub(crate) wd_last_wasted: u64,
@@ -147,6 +171,8 @@ impl DeepumDriver {
             h2d_debt: Ns::ZERO,
             d2h_debt: Ns::ZERO,
             injector: None,
+            tracer: None,
+            trace_now: Ns::ZERO,
             watchdog,
             wd_last_prefetched: 0,
             wd_last_wasted: 0,
@@ -287,6 +313,14 @@ impl DeepumDriver {
             match chain.step(&self.block_tables, &self.exec_corr, degree) {
                 ChainStep::Emit(cmd) => {
                     self.local.block_table_lookups += 1;
+                    emit(
+                        &self.tracer,
+                        self.trace_now,
+                        TraceEvent::ChainFollow {
+                            block: cmd.block.index(),
+                            depth: chain.kernels_ahead() as u64,
+                        },
+                    );
                     // Every predicted block is protected from (pre-)
                     // eviction for the look-ahead window, but only
                     // blocks that are neither queued already nor fully
@@ -311,6 +345,14 @@ impl DeepumDriver {
                     }
                     if self.prefetch_q.try_push(cmd).is_ok() {
                         self.enqueued.insert(cmd.block);
+                        emit(
+                            &self.tracer,
+                            self.trace_now,
+                            TraceEvent::PrefetchEnqueue {
+                                block: cmd.block.index(),
+                                pages: footprint.count() as u64,
+                            },
+                        );
                     }
                 }
                 ChainStep::Transition { predicted, ahead } => {
@@ -370,6 +412,13 @@ impl DeepumDriver {
             // block will fault on demand instead (and that fault pays for
             // eviction on the critical path).
             self.local.prefetch_dropped += 1;
+            emit(
+                &self.tracer,
+                now,
+                TraceEvent::PrefetchDrop {
+                    block: cmd.block.index(),
+                },
+            );
         }
         (h2d.max(self.costs.prefetch_cmd_cost), d2h)
     }
@@ -415,7 +464,8 @@ impl DeepumDriver {
 }
 
 impl LaunchObserver for DeepumDriver {
-    fn on_kernel_launch(&mut self, _now: Ns, exec: ExecId, _kernel: &KernelLaunch) {
+    fn on_kernel_launch(&mut self, now: Ns, exec: ExecId, _kernel: &KernelLaunch) {
+        self.trace_now = now;
         self.local.kernels_launched += 1;
 
         // Poisoned tables stay dead: track the launch position (other
@@ -442,6 +492,13 @@ impl LaunchObserver for DeepumDriver {
                 if predicted != exec {
                     self.local.exec_mispredictions += 1;
                 }
+                emit(
+                    &self.tracer,
+                    now,
+                    TraceEvent::CorrelationPredict {
+                        hit: predicted == exec,
+                    },
+                );
             }
             self.history = [self.history[1], self.history[2], cur];
         }
@@ -464,6 +521,16 @@ impl LaunchObserver for DeepumDriver {
             self.wd_last_wasted = c.prefetch_wasted;
             let before = wd.state();
             let after = wd.observe(self.kernel_seq, prefetched, wasted);
+            if before != after {
+                emit(
+                    &self.tracer,
+                    now,
+                    TraceEvent::WatchdogTransition {
+                        from: watchdog_mode(before),
+                        to: watchdog_mode(after),
+                    },
+                );
+            }
             if after == DegradationState::Disabled && before != after {
                 while self.prefetch_q.pop().is_some() {}
                 self.enqueued.clear();
@@ -501,6 +568,7 @@ impl UmBackend for DeepumDriver {
     }
 
     fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
+        self.trace_now = now;
         let groups = group_faults(faults);
 
         // Injected uncorrectable ECC: the sampled victim is one of this
@@ -509,10 +577,26 @@ impl UmBackend for DeepumDriver {
         // crash — it poisons the tables and degrades to demand paging.
         if !groups.is_empty() && !self.poisoned {
             let ecc_hit = match &self.injector {
-                Some(inj) => inj.borrow_mut().roll_ecc(groups.len()).is_some(),
-                None => false,
+                Some(inj) => inj.borrow_mut().roll_ecc(groups.len()),
+                None => None,
             };
-            if ecc_hit {
+            if let Some(idx) = ecc_hit {
+                emit(
+                    &self.tracer,
+                    now,
+                    TraceEvent::InjectedFault {
+                        kind: InjectKind::EccError,
+                    },
+                );
+                if let Some(&(block, _)) = groups.get(idx) {
+                    emit(
+                        &self.tracer,
+                        now,
+                        TraceEvent::TablesPoisoned {
+                            block: block.index(),
+                        },
+                    );
+                }
                 self.poison_tables();
             }
         }
@@ -594,6 +678,7 @@ impl UmBackend for DeepumDriver {
     }
 
     fn overlap_compute(&mut self, now: Ns, dur: Ns) -> Ns {
+        self.trace_now = now;
         // Migration thread: consume prefetch commands while the GPU
         // computes. Each DMA direction has `dur` of budget (full
         // duplex); debts carry transfers that outlasted earlier slices.
@@ -633,7 +718,8 @@ impl UmBackend for DeepumDriver {
         (dur - h2d_left).max(dur - d2h_left)
     }
 
-    fn kernel_finished(&mut self, _now: Ns) {
+    fn kernel_finished(&mut self, now: Ns) {
+        self.trace_now = now;
         // "The prefetching thread resumes after the currently executing
         // kernel finishes."
         self.pump_chain();
@@ -642,6 +728,11 @@ impl UmBackend for DeepumDriver {
     fn install_injector(&mut self, injector: SharedInjector) {
         self.um.install_injector(injector.clone());
         self.injector = Some(injector);
+    }
+
+    fn install_tracer(&mut self, tracer: SharedTracer) {
+        self.um.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     fn validate(&self) -> Result<(), String> {

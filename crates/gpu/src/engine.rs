@@ -21,6 +21,7 @@ use deepum_sim::clock::SimClock;
 use deepum_sim::energy::{EnergyMeter, PowerState};
 use deepum_sim::faultinject::{BackendHealth, SharedInjector};
 use deepum_sim::time::Ns;
+use deepum_trace::{InjectKind, SharedTracer, TraceEvent};
 
 use core::fmt;
 
@@ -156,6 +157,13 @@ pub trait UmBackend {
         let _ = injector;
     }
 
+    /// Installs a shared tracer; the backend then emits structured
+    /// events (migrations, evictions, prefetch activity) into it.
+    /// Backends without traced paths ignore the handle.
+    fn install_tracer(&mut self, tracer: SharedTracer) {
+        let _ = tracer;
+    }
+
     /// Checks the backend's internal invariants (residency accounting,
     /// LRU consistency). The engine asserts this after every fault drain
     /// when validation is enabled; injection tests lean on it to prove
@@ -255,6 +263,7 @@ pub struct GpuEngine {
     next_sm: u16,
     demand_batch: usize,
     injector: Option<SharedInjector>,
+    tracer: Option<SharedTracer>,
     validate_after_drain: bool,
     scratch: Vec<FaultEntry>,
 }
@@ -292,6 +301,7 @@ impl GpuEngine {
             next_sm: 0,
             demand_batch,
             injector: None,
+            tracer: None,
             validate_after_drain: false,
             scratch: Vec::new(),
         }
@@ -301,6 +311,12 @@ impl GpuEngine {
     /// effective demand batch for the storm's duration.
     pub fn set_injector(&mut self, injector: SharedInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Installs a shared tracer; fault-buffer drains and the resulting
+    /// TLB stalls are then emitted as structured events.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// When enabled, the engine checks [`UmBackend::validate`] after
@@ -399,10 +415,35 @@ impl GpuEngine {
                 fault_buffer.drain_into(scratch);
                 stats.faults += scratch.len() as u64;
                 stats.fault_batches += 1;
-                let stall = backend.handle_faults(clock.now(), scratch)?;
+                if let Some(tr) = &self.tracer {
+                    let mut tr = tr.borrow_mut();
+                    if batch_limit < self.demand_batch {
+                        tr.emit(
+                            clock.now().as_nanos(),
+                            TraceEvent::InjectedFault {
+                                kind: InjectKind::FaultStorm,
+                            },
+                        );
+                    }
+                    tr.emit(
+                        clock.now().as_nanos(),
+                        TraceEvent::FaultBufferDrain {
+                            entries: self.scratch.len() as u64,
+                        },
+                    );
+                }
+                let stall = backend.handle_faults(clock.now(), &self.scratch)?;
                 clock.advance(stall);
                 energy.accumulate(PowerState::Transfer, stall);
                 stats.stall += stall;
+                if let Some(tr) = &self.tracer {
+                    tr.borrow_mut().emit(
+                        clock.now().as_nanos(),
+                        TraceEvent::TlbStall {
+                            ns: stall.as_nanos(),
+                        },
+                    );
+                }
                 if self.validate_after_drain {
                     if let Err(msg) = backend.validate() {
                         return Err(EngineError::InvariantViolated(msg));

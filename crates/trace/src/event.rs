@@ -1,0 +1,242 @@
+//! The structured event vocabulary of the tracing layer.
+//!
+//! Every variant carries only integers, booleans, small enums, and (for
+//! kernel names) pre-existing strings — no floats, so rendered traces
+//! are byte-stable across platforms, and no `format!` on the emit path.
+//! Timestamps are *virtual* nanoseconds ([`deepum_sim::time::Ns`]
+//! values passed as raw `u64`), never wall clock.
+
+use serde::{Deserialize, Serialize};
+
+/// Why an eviction victim was selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictReason {
+    /// Oldest-epoch LRU block on the demand fault path.
+    LruDemand,
+    /// Oldest-epoch LRU block chosen by off-path pre-eviction.
+    LruPre,
+    /// Host OOM on write-back: a fully invalidatable victim was
+    /// preferred so no backing-store copy is needed.
+    HostOomInvalidatable,
+    /// Second pass: the protected (predicted-window) set had to be
+    /// overridden because nothing unprotected was left to evict.
+    ProtectedOverride,
+}
+
+/// Degradation level of the prefetch watchdog, mirrored from
+/// `deepum_sim::faultinject::DegradationState` so this crate stays
+/// dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WatchdogMode {
+    /// Prefetching at full configured degree.
+    Normal,
+    /// Prefetch degree halved.
+    Throttled,
+    /// Correlation prefetching off until cooldown.
+    Disabled,
+}
+
+/// Kind of an injected (chaos) fault observed by the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectKind {
+    /// Host-to-device DMA failure.
+    DmaH2d,
+    /// Device-to-host DMA failure.
+    DmaD2h,
+    /// Host backing store refused a write-back.
+    HostOom,
+    /// Fault-buffer storm (batch limit shrunk).
+    FaultStorm,
+    /// Correlation-table record dropped.
+    CorrDrop,
+    /// Kernel launch delayed.
+    LaunchDelay,
+    /// Device reset (hard fault).
+    DeviceReset,
+    /// UM driver crash (hard fault).
+    DriverCrash,
+    /// Uncorrectable ECC error poisoning correlation state.
+    EccError,
+}
+
+/// One structured trace event.
+///
+/// Block numbers are raw `u64` indices (`BlockNum::index()`), page and
+/// byte quantities are totals for the event, and `*_ns` durations are
+/// virtual nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A kernel launch entered the GPU engine.
+    KernelBegin {
+        /// Per-run launch ordinal.
+        seq: u64,
+        /// Kernel name from the launch spec.
+        name: String,
+    },
+    /// The launch finished (all fault rounds drained, compute retired).
+    KernelEnd {
+        /// Per-run launch ordinal (matches the open `KernelBegin`).
+        seq: u64,
+        /// Page faults the launch generated.
+        faults: u64,
+        /// Fault-handling stall within the launch.
+        stall_ns: u64,
+    },
+    /// The fault buffer was drained into the UM driver.
+    FaultBufferDrain {
+        /// Entries handed to the fault handler.
+        entries: u64,
+    },
+    /// SMs stalled on address translation while faults were serviced.
+    TlbStall {
+        /// Stall duration charged to the clock.
+        ns: u64,
+    },
+    /// Pages of one UM block migrated host → device.
+    PageMigration {
+        /// UM block index.
+        block: u64,
+        /// Pages moved.
+        pages: u64,
+        /// True when moved by the prefetcher, false on the fault path.
+        prefetch: bool,
+        /// Bytes transferred over the interconnect.
+        bytes: u64,
+    },
+    /// One DMA transfer completed (either direction).
+    DmaTransfer {
+        /// Bytes moved.
+        bytes: u64,
+        /// Direction: true = host → device.
+        to_device: bool,
+        /// Injected failures retried before success.
+        retries: u64,
+    },
+    /// An eviction victim was chosen.
+    EvictVictim {
+        /// UM block index of the victim.
+        block: u64,
+        /// Why this block.
+        reason: EvictReason,
+    },
+    /// Pages dropped without write-back (inactive PT block).
+    Invalidate {
+        /// UM block index.
+        block: u64,
+        /// Pages invalidated.
+        pages: u64,
+    },
+    /// Dirty pages written back device → host.
+    WriteBack {
+        /// UM block index.
+        block: u64,
+        /// Pages written back.
+        pages: u64,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// The GPU touched pages that the prefetcher had staged.
+    PrefetchHit {
+        /// UM block index.
+        block: u64,
+        /// Previously-untouched prefetched pages now used.
+        pages: u64,
+    },
+    /// The execution-ID table predicted the next kernel.
+    CorrelationPredict {
+        /// True when the prediction matched the actual launch.
+        hit: bool,
+    },
+    /// The chain walk followed a correlation edge.
+    ChainFollow {
+        /// UM block the walk emitted a command for.
+        block: u64,
+        /// Kernels ahead of execution the walk currently is.
+        depth: u64,
+    },
+    /// A prefetch command entered the migration queue.
+    PrefetchEnqueue {
+        /// UM block index.
+        block: u64,
+        /// Pages the command covers.
+        pages: u64,
+    },
+    /// A prefetch command was dropped (queue full / no space).
+    PrefetchDrop {
+        /// UM block index.
+        block: u64,
+    },
+    /// The prefetch watchdog changed state.
+    WatchdogTransition {
+        /// State before.
+        from: WatchdogMode,
+        /// State after.
+        to: WatchdogMode,
+    },
+    /// ECC poisoning degraded DeepUM to pure demand paging.
+    TablesPoisoned {
+        /// UM block whose correlation state was poisoned.
+        block: u64,
+    },
+    /// The chaos layer injected a fault here.
+    InjectedFault {
+        /// What was injected.
+        kind: InjectKind,
+    },
+    /// The executor captured a checkpoint.
+    Checkpoint {
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A hard fault was recovered by restoring a checkpoint. The sim
+    /// clock rewinds here, so timestamps are monotone only *between*
+    /// `Restored` markers.
+    Restored {
+        /// Journaled kernels replayed after the restore.
+        replayed: u64,
+    },
+}
+
+/// An event stamped with its virtual-time nanosecond timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Virtual time of emission, nanoseconds.
+    pub t: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_serde() {
+        let records = vec![
+            TraceRecord {
+                t: 0,
+                event: TraceEvent::KernelBegin {
+                    seq: 1,
+                    name: "conv".to_string(),
+                },
+            },
+            TraceRecord {
+                t: 5,
+                event: TraceEvent::EvictVictim {
+                    block: 3,
+                    reason: EvictReason::HostOomInvalidatable,
+                },
+            },
+            TraceRecord {
+                t: 9,
+                event: TraceEvent::WatchdogTransition {
+                    from: WatchdogMode::Normal,
+                    to: WatchdogMode::Throttled,
+                },
+            },
+        ];
+        let v = serde::Serialize::to_value(&records);
+        let back: Vec<TraceRecord> = serde::Deserialize::from_value(&v).expect("round trip");
+        assert_eq!(back, records);
+    }
+}

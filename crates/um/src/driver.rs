@@ -23,6 +23,7 @@ use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
+use deepum_trace::{EvictReason, InjectKind, SharedTracer, TraceEvent};
 
 use crate::block::BlockState;
 use crate::evict::{LruMigrated, SharedBlockSet};
@@ -89,6 +90,7 @@ pub struct UmDriver {
     protected: SharedBlockSet,
     pub(crate) counters: Counters,
     injector: Option<SharedInjector>,
+    tracer: Option<SharedTracer>,
     /// Monotone drain-batch epoch; bumps whenever a migration happens at
     /// a different virtual time than the previous one.
     pub(crate) migrate_epoch: u64,
@@ -109,6 +111,7 @@ impl UmDriver {
             protected: SharedBlockSet::new(),
             counters: Counters::new(),
             injector: None,
+            tracer: None,
             migrate_epoch: 0,
             epoch_now: Ns::ZERO,
         }
@@ -120,6 +123,22 @@ impl UmDriver {
     /// need no write-back).
     pub fn install_injector(&mut self, injector: SharedInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Installs a shared tracer. Migrations, eviction victim choices,
+    /// invalidations, write-backs, DMA transfers, and prefetch hits are
+    /// then emitted as structured events stamped with the fault drain's
+    /// virtual time.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Emits one event when a tracer is installed: a single branch
+    /// otherwise, keeping untraced runs at pre-tracing cost.
+    fn trace(&self, now: Ns, event: TraceEvent) {
+        if let Some(tr) = &self.tracer {
+            tr.borrow_mut().emit(now.as_nanos(), event);
+        }
     }
 
     /// Device capacity in pages.
@@ -181,12 +200,19 @@ impl UmDriver {
 
     /// Records a successful device access: clears prefetch provenance
     /// (those prefetches were useful).
-    pub fn touch(&mut self, _now: Ns, block: BlockNum, pages: &PageMask) {
+    pub fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask) {
         if let Some(state) = self.blocks.get_mut(&block) {
             let hits = state.prefetched_untouched.intersect(pages);
             if !hits.is_empty() {
                 state.prefetched_untouched.subtract_with(&hits);
                 self.counters.prefetch_hits += hits.count_u64();
+                self.trace(
+                    now,
+                    TraceEvent::PrefetchHit {
+                        block: block.index(),
+                        pages: hits.count_u64(),
+                    },
+                );
             }
         }
     }
@@ -316,6 +342,12 @@ impl UmDriver {
                 // demand instead).
                 MigratePath::Prefetch => {
                     self.counters.prefetch_dropped += 1;
+                    self.trace(
+                        now,
+                        TraceEvent::PrefetchDrop {
+                            block: block.index(),
+                        },
+                    );
                     return Ok(cost);
                 }
             }
@@ -335,6 +367,7 @@ impl UmDriver {
         // (simulated time). When retries run out, a demand migration is
         // forced through — the replay loop cannot abandon a faulted page —
         // while a prefetch is abandoned and left to the demand path.
+        let mut dma_retries = 0u64;
         if bytes > 0 {
             if let Some(handle) = self.injector.clone() {
                 let mut inj = handle.borrow_mut();
@@ -346,6 +379,7 @@ impl UmDriver {
                     cost += backoff;
                     backoff = inj.next_backoff(backoff);
                     failures += 1;
+                    dma_retries += 1;
                     if failures > max_retries {
                         match path {
                             MigratePath::Demand => break,
@@ -353,12 +387,32 @@ impl UmDriver {
                                 inj.note_prefetch_abandoned();
                                 drop(inj);
                                 self.counters.prefetch_dropped += 1;
+                                self.trace(
+                                    now,
+                                    TraceEvent::InjectedFault {
+                                        kind: InjectKind::DmaH2d,
+                                    },
+                                );
+                                self.trace(
+                                    now,
+                                    TraceEvent::PrefetchDrop {
+                                        block: block.index(),
+                                    },
+                                );
                                 return Ok(cost);
                             }
                         }
                     }
                 }
             }
+        }
+        if dma_retries > 0 {
+            self.trace(
+                now,
+                TraceEvent::InjectedFault {
+                    kind: InjectKind::DmaH2d,
+                },
+            );
         }
 
         cost += self.costs.populate_page_cost * count;
@@ -397,6 +451,25 @@ impl UmDriver {
         self.lru.record_migration(block, prev_key, now);
         self.resident_pages += count;
         self.counters.bytes_h2d += bytes;
+        self.trace(
+            now,
+            TraceEvent::PageMigration {
+                block: block.index(),
+                pages: count,
+                prefetch: path == MigratePath::Prefetch,
+                bytes,
+            },
+        );
+        if bytes > 0 {
+            self.trace(
+                now,
+                TraceEvent::DmaTransfer {
+                    bytes,
+                    to_device: true,
+                    retries: dma_retries,
+                },
+            );
+        }
         Ok(cost)
     }
 
@@ -450,6 +523,12 @@ impl UmDriver {
             None => false,
         };
         if host_oom {
+            self.trace(
+                now,
+                TraceEvent::InjectedFault {
+                    kind: InjectKind::HostOom,
+                },
+            );
             for (key, block) in self.lru.iter() {
                 if freed >= needed {
                     break;
@@ -464,7 +543,7 @@ impl UmDriver {
                 if pages == 0 || !state.resident.subtract(&state.invalidatable).is_empty() {
                     continue;
                 }
-                victims.push((key, block));
+                victims.push((key, block, EvictReason::HostOomInvalidatable));
                 freed += pages;
             }
             if !victims.is_empty() {
@@ -482,7 +561,7 @@ impl UmDriver {
             }
             if Some(block) == exclude
                 || self.protected.contains(block)
-                || victims.iter().any(|&(_, b)| b == block)
+                || victims.iter().any(|&(_, b, _)| b == block)
             {
                 continue;
             }
@@ -493,7 +572,11 @@ impl UmDriver {
             if pages == 0 {
                 continue;
             }
-            victims.push((key, block));
+            let reason = match path {
+                EvictPath::Demand => EvictReason::LruDemand,
+                EvictPath::Pre => EvictReason::LruPre,
+            };
+            victims.push((key, block, reason));
             freed += pages;
         }
         // Second pass (demand only): correctness over prediction — if
@@ -505,7 +588,7 @@ impl UmDriver {
                 if freed >= needed {
                     break;
                 }
-                if Some(block) == exclude || victims.iter().any(|&(_, b)| b == block) {
+                if Some(block) == exclude || victims.iter().any(|&(_, b, _)| b == block) {
                     continue;
                 }
                 let Some(state) = self.blocks.get(&block) else {
@@ -515,13 +598,20 @@ impl UmDriver {
                 if pages == 0 {
                     continue;
                 }
-                victims.push((key, block));
+                victims.push((key, block, EvictReason::ProtectedOverride));
                 freed += pages;
             }
         }
 
         let mut cost = EvictCost::default();
-        for (key, block) in victims {
+        for (key, block, reason) in victims {
+            self.trace(
+                now,
+                TraceEvent::EvictVictim {
+                    block: block.index(),
+                    reason,
+                },
+            );
             let c = self.evict_block(now, block, key, path, host_oom)?;
             cost.bookkeeping += c.bookkeeping;
             cost.writeback += c.writeback;
@@ -531,7 +621,7 @@ impl UmDriver {
 
     fn evict_block(
         &mut self,
-        _now: Ns,
+        now: Ns,
         block: BlockNum,
         lru_key: Ns,
         path: EvictPath,
@@ -565,6 +655,17 @@ impl UmDriver {
         }
         self.counters.bytes_d2h += writeback_bytes;
 
+        if !invalidated.is_empty() {
+            self.trace(
+                now,
+                TraceEvent::Invalidate {
+                    block: block.index(),
+                    pages: invalidated.count_u64(),
+                },
+            );
+        }
+
+        let mut dma_retries = 0u64;
         let mut writeback_cost = self.costs.transfer_time(writeback_bytes);
         if writeback_bytes > 0 {
             if let Some(handle) = self.injector.clone() {
@@ -581,12 +682,37 @@ impl UmDriver {
                     writeback_cost += backoff;
                     backoff = inj.next_backoff(backoff);
                     failures += 1;
+                    dma_retries += 1;
                 }
                 if host_oom {
                     // Host page reclaim stalls this write-back once.
                     writeback_cost += inj.plan().backoff_base;
                 }
             }
+            if dma_retries > 0 {
+                self.trace(
+                    now,
+                    TraceEvent::InjectedFault {
+                        kind: InjectKind::DmaD2h,
+                    },
+                );
+            }
+            self.trace(
+                now,
+                TraceEvent::WriteBack {
+                    block: block.index(),
+                    pages: writeback.count_u64(),
+                    bytes: writeback_bytes,
+                },
+            );
+            self.trace(
+                now,
+                TraceEvent::DmaTransfer {
+                    bytes: writeback_bytes,
+                    to_device: false,
+                    retries: dma_retries,
+                },
+            );
         }
 
         Ok(EvictCost {
@@ -712,6 +838,10 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
 
     fn install_injector(&mut self, injector: SharedInjector) {
         UmDriver::install_injector(self, injector)
+    }
+
+    fn install_tracer(&mut self, tracer: SharedTracer) {
+        UmDriver::set_tracer(self, tracer)
     }
 
     fn validate(&self) -> Result<(), String> {

@@ -23,7 +23,10 @@
 //! * [`torch`] — mini-PyTorch: caching allocator and the nine DNN
 //!   workload generators of Table 2;
 //! * [`baselines`] — IBM LMS, vDNN, AutoTM, SwapAdvisor, Capuchin,
-//!   Sentinel, and the executors that drive everything.
+//!   Sentinel, and the executors that drive everything;
+//! * [`trace`] — deterministic structured-event tracing (virtual-time
+//!   timestamps, ring/export sinks, JSONL + Chrome `trace_event`
+//!   export).
 //!
 //! # Quickstart
 //!
@@ -54,10 +57,12 @@ pub use deepum_mem as mem;
 pub use deepum_runtime as runtime;
 pub use deepum_sim as sim;
 pub use deepum_torch as torch;
+pub use deepum_trace as trace;
 pub use deepum_um as um;
 
 pub mod session;
 
 pub use deepum_baselines::report::HealthReport;
 pub use deepum_sim::faultinject::InjectionPlan;
+pub use deepum_trace::{shared, TraceEvent, TraceReport, Tracer};
 pub use session::{Session, SystemKind};

@@ -9,6 +9,7 @@ use deepum_sim::faultinject::InjectionPlan;
 use deepum_torch::models::ModelKind;
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::Workload;
+use deepum_trace::SharedTracer;
 
 /// Which memory system a [`Session`] run uses.
 ///
@@ -86,6 +87,7 @@ pub struct Session {
     seed: u64,
     plan: InjectionPlan,
     checkpoint_every: Option<u64>,
+    tracer: Option<SharedTracer>,
 }
 
 impl Session {
@@ -101,6 +103,7 @@ impl Session {
             seed: 0x5eed,
             plan: InjectionPlan::default(),
             checkpoint_every: None,
+            tracer: None,
         }
     }
 
@@ -168,6 +171,21 @@ impl Session {
         self
     }
 
+    /// Installs a structured-event tracer for UM-based systems
+    /// ([`SystemKind::Um`] / [`SystemKind::DeepUm`]).
+    ///
+    /// Construct one with [`deepum_trace::shared`] around a
+    /// [`deepum_trace::Tracer`] (ring or export sink), keep a clone, and
+    /// read the trace after the run — or take the summary straight from
+    /// the report's [`RunReport::trace`] section, which is `Some`
+    /// exactly when a tracer was installed. Without this call, runs and
+    /// reports are byte-identical to a build without tracing. Swap
+    /// baselines ignore the tracer.
+    pub fn tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the workload this session runs.
     pub fn workload(&self) -> Workload {
         self.model.build(self.batch)
@@ -201,6 +219,7 @@ impl Session {
             seed: self.seed,
             plan: self.plan.clone(),
             checkpoint_every: self.checkpoint_every,
+            tracer: self.tracer.clone(),
         };
         run_system(system, &self.workload(), &params)
     }

@@ -1,0 +1,203 @@
+//! Differential trace tests: run the same workload under naive UM and
+//! DeepUM with tracing on, then cross-check the two event streams.
+//!
+//! The baseline trace tells us what the workload *demands*; the DeepUM
+//! trace must account for all of it (coverage), must not sabotage the
+//! running kernel (no eviction of a block the in-flight kernel then
+//! faults back), and must not claim more prefetch hits than the chain
+//! predicted or the prefetcher delivered (no phantom hits).
+
+use std::collections::BTreeSet;
+
+use deepum::baselines::suite::{run_system, RunParams, System};
+use deepum::core::config::DeepumConfig;
+use deepum::sim::costs::CostModel;
+use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
+use deepum::trace::{shared, TraceEvent, TraceRecord, Tracer};
+
+/// A layered workload oversubscribing the small device below.
+fn workload() -> Workload {
+    let mut b = WorkloadBuilder::new("diff/b1", "diff", 1);
+    let weights: Vec<TensorId> = (0..8).map(|_| b.persistent(2 << 20)).collect();
+    let mut x = b.alloc(1 << 20);
+    b.kernel("load").writes(&[x]).flops(1e6).launch();
+    for (i, w) in weights.iter().enumerate() {
+        let y = b.alloc(1 << 20);
+        b.kernel(format!("layer{i}"))
+            .args(&[i as u64])
+            .reads(&[x, *w])
+            .writes(&[y])
+            .flops(1e10)
+            .launch();
+        b.free(x);
+        x = y;
+    }
+    b.free(x);
+    let w = b.build();
+    w.validate().expect("workload is valid");
+    w
+}
+
+fn params() -> RunParams {
+    let mut p = RunParams::v100_32gb(3, 7);
+    p.costs = CostModel::v100_32gb()
+        .with_device_memory(8 << 20)
+        .with_host_memory(1 << 30);
+    p
+}
+
+fn trace_of(system: &System) -> Vec<TraceRecord> {
+    let tracer = shared(Tracer::export());
+    let mut p = params();
+    p.tracer = Some(tracer.clone());
+    run_system(system, &workload(), &p).expect("traced run completes");
+    let mut t = tracer.borrow_mut();
+    t.records().to_vec()
+}
+
+fn deepum() -> System {
+    System::DeepUm(DeepumConfig::default().with_prefetch_degree(8))
+}
+
+/// Blocks that arrived on the demand path.
+fn faulted_blocks(trace: &[TraceRecord]) -> BTreeSet<u64> {
+    trace
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::PageMigration {
+                block,
+                prefetch: false,
+                ..
+            } => Some(block),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Blocks that arrived on the prefetch path.
+fn prefetched_blocks(trace: &[TraceRecord]) -> BTreeSet<u64> {
+    trace
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::PageMigration {
+                block,
+                prefetch: true,
+                ..
+            } => Some(block),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn deepum_covers_every_baseline_faulted_block() {
+    let base = trace_of(&System::Um);
+    let dm = trace_of(&deepum());
+
+    let base_faulted = faulted_blocks(&base);
+    assert!(!base_faulted.is_empty(), "baseline must fault");
+    let mut covered = faulted_blocks(&dm);
+    covered.extend(prefetched_blocks(&dm));
+
+    let missing: Vec<u64> = base_faulted.difference(&covered).copied().collect();
+    assert!(
+        missing.is_empty(),
+        "blocks {missing:?} faulted under naive UM but were neither \
+         faulted nor prefetched under DeepUM — DeepUM skipped work"
+    );
+}
+
+#[test]
+fn no_demand_eviction_of_a_block_the_inflight_kernel_used() {
+    // Within one kernel's begin/end window, demand eviction (the path
+    // that *must* free pages to serve a fault) never picks a block the
+    // kernel already used this launch — one it demand-migrated in or
+    // landed a prefetch hit on. Stealing such a block would fault it
+    // straight back and livelock the drain. Pre-eviction (`LruPre`) is
+    // exempt: it is best-effort, runs off the critical path, and a bad
+    // pick there costs bandwidth, not correctness.
+    use deepum::trace::EvictReason;
+    let dm = trace_of(&deepum());
+    let mut in_kernel = false;
+    let mut demand_evictions = 0u64;
+    let mut used_now: BTreeSet<u64> = BTreeSet::new();
+    for r in &dm {
+        match r.event {
+            TraceEvent::KernelBegin { .. } => {
+                in_kernel = true;
+                used_now.clear();
+            }
+            TraceEvent::KernelEnd { .. } => {
+                in_kernel = false;
+            }
+            TraceEvent::PageMigration { block, .. } | TraceEvent::PrefetchHit { block, .. }
+                if in_kernel =>
+            {
+                used_now.insert(block);
+            }
+            TraceEvent::EvictVictim { block, reason }
+                if in_kernel && reason != EvictReason::LruPre =>
+            {
+                demand_evictions += 1;
+                assert!(
+                    !used_now.contains(&block),
+                    "block {block} was used by the in-flight kernel and then \
+                     demand-evicted within the same launch (t={}, {reason:?})",
+                    r.t
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        demand_evictions > 0,
+        "the oversubscribed run must exercise demand eviction"
+    );
+}
+
+#[test]
+fn prefetch_hits_never_exceed_chain_predictions() {
+    let dm = trace_of(&deepum());
+    let mut hit_pages = 0u64;
+    let mut predicted_pages = 0u64;
+    let mut prefetched_pages = 0u64;
+    for r in &dm {
+        match r.event {
+            TraceEvent::PrefetchHit { pages, .. } => hit_pages += pages,
+            TraceEvent::PrefetchEnqueue { pages, .. } => predicted_pages += pages,
+            TraceEvent::PageMigration {
+                pages,
+                prefetch: true,
+                ..
+            } => prefetched_pages += pages,
+            _ => {}
+        }
+    }
+    assert!(hit_pages > 0, "DeepUM should land prefetch hits here");
+    assert!(
+        hit_pages <= predicted_pages,
+        "{hit_pages} hit pages exceed the {predicted_pages} pages the chain predicted"
+    );
+    assert!(
+        hit_pages <= prefetched_pages,
+        "{hit_pages} hit pages exceed the {prefetched_pages} pages actually prefetched"
+    );
+}
+
+#[test]
+fn baseline_trace_is_prefetch_free_and_deepum_is_not() {
+    let base = trace_of(&System::Um);
+    assert!(
+        prefetched_blocks(&base).is_empty(),
+        "naive UM must never prefetch"
+    );
+    assert!(base.iter().all(|r| !matches!(
+        r.event,
+        TraceEvent::ChainFollow { .. }
+            | TraceEvent::PrefetchEnqueue { .. }
+            | TraceEvent::PrefetchHit { .. }
+            | TraceEvent::CorrelationPredict { .. }
+    )));
+    let dm = trace_of(&deepum());
+    assert!(!prefetched_blocks(&dm).is_empty(), "DeepUM must prefetch");
+}

@@ -1,0 +1,143 @@
+//! Golden-trace suite: three canonical workloads render to canonical
+//! JSONL traces committed under `tests/golden/`.
+//!
+//! Each check runs the workload twice in-process and demands the two
+//! traces be byte-identical (the determinism half), then compares the
+//! bytes against the committed golden file (the schema/behaviour half).
+//! Regenerate the goldens after an intentional behaviour change with:
+//!
+//! ```text
+//! DEEPUM_BLESS=1 cargo test --test golden_trace
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use deepum::baselines::suite::{run_system, RunParams, System};
+use deepum::core::config::DeepumConfig;
+use deepum::sim::costs::CostModel;
+use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
+use deepum::trace::{shared, Tracer};
+
+const BLESS_ENV: &str = "DEEPUM_BLESS";
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// A short layered model: `n` weight tensors of 2 MiB, one kernel per
+/// layer reading its weight and the previous activation. Small enough
+/// that the golden trace stays reviewable, large enough to exercise
+/// faulting, migration, and (under a small device) eviction.
+fn layered(name: &str, n: usize) -> Workload {
+    let mut b = WorkloadBuilder::new(name, "golden", 1);
+    let weights: Vec<TensorId> = (0..n).map(|_| b.persistent(2 << 20)).collect();
+    let mut x = b.alloc(1 << 20);
+    b.kernel("load").writes(&[x]).flops(1e6).launch();
+    for (i, w) in weights.iter().enumerate() {
+        let y = b.alloc(1 << 20);
+        // Long enough kernels (hundreds of µs of compute) that the
+        // migration thread's overlap budget can complete prefetches
+        // before the demand fault would win the race.
+        b.kernel(format!("layer{i}"))
+            .args(&[i as u64])
+            .reads(&[x, *w])
+            .writes(&[y])
+            .flops(1e10)
+            .launch();
+        b.free(x);
+        x = y;
+    }
+    b.free(x);
+    let w = b.build();
+    w.validate().expect("golden workload is valid");
+    w
+}
+
+fn params(device_mb: u64, iters: usize) -> RunParams {
+    let mut p = RunParams::v100_32gb(iters, 7);
+    p.costs = CostModel::v100_32gb()
+        .with_device_memory(device_mb << 20)
+        .with_host_memory(1 << 30);
+    p
+}
+
+/// Runs `system` over `workload` with an export tracer and returns the
+/// JSONL rendering of the full event stream.
+fn run_traced(system: &System, workload: &Workload, params: &RunParams) -> String {
+    let tracer = shared(Tracer::export());
+    let mut p = params.clone();
+    p.tracer = Some(tracer.clone());
+    let report = run_system(system, workload, &p).expect("traced golden run completes");
+    let summary = report.trace.expect("traced run reports a trace section");
+    assert_eq!(summary.events_dropped, 0, "export sink never drops");
+    let jsonl = tracer.borrow_mut().jsonl();
+    jsonl
+}
+
+fn check_golden(file: &str, system: &System, workload: &Workload, params: &RunParams) {
+    let a = run_traced(system, workload, params);
+    let b = run_traced(system, workload, params);
+    assert_eq!(a, b, "{file}: trace must replay byte-identical");
+    assert!(!a.is_empty(), "{file}: trace must not be empty");
+
+    // Round-trip through the parser so a golden file is guaranteed
+    // loadable by tooling, not just comparable as bytes.
+    let records = deepum::trace::export::parse_jsonl(&a).expect("golden trace parses");
+    assert_eq!(records.len(), a.lines().count());
+
+    let path = golden_path(file);
+    if std::env::var(BLESS_ENV).is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &a).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}; regenerate with {BLESS_ENV}=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    assert_eq!(
+        a, golden,
+        "{file}: trace diverged from the golden copy; if the change is \
+         intentional, re-bless with {BLESS_ENV}=1 cargo test --test golden_trace"
+    );
+}
+
+#[test]
+fn golden_demand_only() {
+    // Naive UM: every migration is a demand fault; ample device memory
+    // keeps eviction out of the picture.
+    let w = layered("golden-demand/b1", 4);
+    check_golden("demand_only.jsonl", &System::Um, &w, &params(64, 2));
+}
+
+#[test]
+fn golden_prefetch_heavy() {
+    // DeepUM (prefetch + pre-eviction) on a device holding ~half the
+    // working set: after the cold iteration the correlation chain keeps
+    // re-fetching evicted blocks ahead of their kernels.
+    let w = layered("golden-prefetch/b1", 6);
+    let cfg = DeepumConfig::prefetch_preevict().with_prefetch_degree(8);
+    check_golden(
+        "prefetch_heavy.jsonl",
+        &System::DeepUm(cfg),
+        &w,
+        &params(8, 3),
+    );
+}
+
+#[test]
+fn golden_eviction_pressure() {
+    // Full DeepUM on a device holding ~half the working set: every
+    // iteration migrates, pre-evicts, writes back, and invalidates.
+    let w = layered("golden-evict/b1", 8);
+    check_golden(
+        "eviction_pressure.jsonl",
+        &System::DeepUm(DeepumConfig::default().with_prefetch_degree(4)),
+        &w,
+        &params(8, 2),
+    );
+}

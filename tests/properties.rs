@@ -8,7 +8,9 @@ use deepum::core::driver::DeepumDriver;
 use deepum::gpu::engine::UmBackend as _;
 use deepum::sim::costs::CostModel;
 use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
+use deepum::trace::{shared, TraceEvent, TraceRecord, Tracer};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// Builds a random-but-valid layered workload: `layers` kernels, each
 /// reading the previous activation and one weight, with sizes drawn from
@@ -43,6 +45,87 @@ fn platform(device_kb: u64) -> CostModel {
     CostModel::v100_32gb()
         .with_device_memory((device_kb << 10).max(8 << 20))
         .with_host_memory(1 << 30)
+}
+
+/// Runs DeepUM over a random workload with the given tracer installed
+/// and hands back the tracer once the run completes.
+fn traced_run(
+    workload: &Workload,
+    costs: CostModel,
+    degree: usize,
+    tracer: deepum::trace::SharedTracer,
+) {
+    let cfg = UmRunConfig {
+        costs: costs.clone(),
+        seed: 7,
+        tracer: Some(tracer),
+        ..UmRunConfig::new(2)
+    };
+    let dcfg = DeepumConfig::default().with_prefetch_degree(degree);
+    let mut driver = DeepumDriver::new(costs, dcfg);
+    run_um(workload, &mut driver, "deepum", &cfg, |d| d.counters()).unwrap();
+}
+
+/// Checks the structural invariants every trace must satisfy. Returns
+/// an error string instead of panicking so proptest can shrink on it.
+fn check_trace_invariants(records: &[TraceRecord]) -> Result<(), String> {
+    // 1. Virtual timestamps are monotone non-decreasing, except across a
+    //    `Restored` marker, where the sim clock legitimately rewinds.
+    let mut last_t = 0u64;
+    // 2. Kernel begin/end events balance: ends match the one open begin
+    //    by seq, launches never nest, and nothing is left open.
+    let mut open: Option<u64> = None;
+    // 3. Every migration is matched by a residency change: pages leaving
+    //    a block (write-back or invalidate) never exceed the pages that
+    //    migrated in, at every prefix of the stream, per block.
+    let mut resident: BTreeMap<u64, i64> = BTreeMap::new();
+
+    for r in records {
+        if r.t < last_t {
+            return Err(format!("timestamp went backwards: {} after {last_t}", r.t));
+        }
+        last_t = r.t;
+        match &r.event {
+            TraceEvent::KernelBegin { seq, .. } => {
+                if let Some(inner) = open {
+                    return Err(format!("kernel {seq} began inside open kernel {inner}"));
+                }
+                open = Some(*seq);
+            }
+            TraceEvent::KernelEnd { seq, .. } => {
+                if open != Some(*seq) {
+                    return Err(format!("kernel {seq} ended but open was {open:?}"));
+                }
+                open = None;
+            }
+            TraceEvent::PageMigration { block, pages, .. } => {
+                if *pages == 0 || *pages > 512 {
+                    return Err(format!("migration of {pages} pages on block {block}"));
+                }
+                *resident.entry(*block).or_insert(0) += *pages as i64;
+            }
+            TraceEvent::Invalidate { block, pages }
+            | TraceEvent::WriteBack { block, pages, .. } => {
+                let r = resident.entry(*block).or_insert(0);
+                *r -= *pages as i64;
+                if *r < 0 {
+                    return Err(format!(
+                        "block {block}: {pages} pages left without ever migrating in"
+                    ));
+                }
+            }
+            TraceEvent::Restored { .. } => {
+                // Clock rewinds to the checkpoint; later timestamps only
+                // need to be monotone from here on.
+                last_t = 0;
+            }
+            _ => {}
+        }
+    }
+    if let Some(seq) = open {
+        return Err(format!("kernel {seq} never ended"));
+    }
+    Ok(())
 }
 
 proptest! {
@@ -105,6 +188,51 @@ proptest! {
         }
         // DeepUM never loses to UM by more than scheduling noise.
         prop_assert!(dm_r.total <= um_r.total.scale(1.10));
+    }
+
+    /// Any traced DeepUM run yields a structurally well-formed event
+    /// stream: monotone virtual timestamps, balanced kernel begin/end
+    /// pairs, and no block losing pages it never gained.
+    #[test]
+    fn traces_are_well_formed(
+        layers in 2usize..10,
+        sizes_kb in prop::collection::vec(64u64..4096, 1..5),
+        device_mb in 8u64..64,
+        degree in 1usize..32,
+    ) {
+        let workload = build_workload(layers, &sizes_kb);
+        let tracer = shared(Tracer::export());
+        traced_run(&workload, platform(device_mb << 10), degree, tracer.clone());
+        let mut t = tracer.borrow_mut();
+        prop_assert_eq!(t.dropped(), 0, "export sink never drops");
+        prop_assert!(t.emitted() > 0, "a traced run emits events");
+        if let Err(e) = check_trace_invariants(t.records()) {
+            return Err(proptest::test_runner::TestCaseError::fail(e));
+        }
+    }
+
+    /// A ring sink smaller than the event stream must overflow loudly:
+    /// the dropped counter rises and the report carries the marker,
+    /// while the ring itself holds at most `capacity` records.
+    #[test]
+    fn ring_overflow_sets_the_dropped_marker(
+        capacity in 1usize..32,
+        layers in 3usize..8,
+    ) {
+        let workload = build_workload(layers, &[1024]);
+        let tracer = shared(Tracer::ring(capacity));
+        traced_run(&workload, platform(8 << 10), 8, tracer.clone());
+        let mut t = tracer.borrow_mut();
+        prop_assert!(
+            t.emitted() > capacity as u64,
+            "workload must outgrow the ring ({} events, capacity {capacity})",
+            t.emitted()
+        );
+        prop_assert!(t.records().len() <= capacity);
+        prop_assert_eq!(t.dropped(), t.emitted() - t.records().len() as u64);
+        let report = t.report();
+        prop_assert_eq!(report.events_dropped, t.dropped());
+        prop_assert!(report.events_dropped > 0, "overflow must be marked");
     }
 
     /// After a run, the DeepUM driver's UM state is still sane enough to
