@@ -4,7 +4,8 @@
 #
 # Optional stages:
 #   --soak      run the deepum-chaos crash-recovery soak (fixed seed
-#               grid, wall-clock budgeted). Off by default: tier-1
+#               grid, wall-clock budgeted) plus the governed
+#               oversubscription sweep. Off by default: tier-1
 #               stays fast.
 #   --coverage  run cargo llvm-cov over the workspace and compare line
 #               coverage against ci/coverage-baseline.txt (recording the
@@ -42,6 +43,11 @@ if [ "$SOAK" -eq 1 ]; then
   echo "== chaos soak =="
   cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
     --seeds 16 --budget-secs 300 --iters 2
+  echo "== oversubscription soak =="
+  for ratio in 150 250 400; do
+    cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
+      --oversub "$ratio" --seeds 8 --budget-secs 120 --iters 2
+  done
 fi
 
 if [ "$COVERAGE" -eq 1 ]; then

@@ -78,6 +78,7 @@ const PANIC_FILES: &[&str] = &[
     "crates/um/src/driver.rs",
     "crates/um/src/evict.rs",
     "crates/um/src/snapshot.rs",
+    "crates/um/src/pressure.rs",
     "crates/gpu/src/engine.rs",
     "crates/core/src/driver.rs",
     "crates/core/src/recovery.rs",

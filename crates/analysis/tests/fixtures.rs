@@ -46,6 +46,11 @@ const CASES: &[(&str, &str, &str)] = &[
         "crates/core/src/recovery.rs",
         "panic-safety",
     ),
+    (
+        "pressure_panic.rs",
+        "crates/um/src/pressure.rs",
+        "panic-safety",
+    ),
     ("cast_safety.rs", "crates/mem/src/fixture.rs", "cast-safety"),
     (
         "trace_determinism.rs",

@@ -1,0 +1,12 @@
+//! Bad: the governor's refault lookup indexes per-block history that
+//! may have been pruned, so a thrashing episode aborts the run the
+//! governor exists to save.
+
+use std::collections::BTreeMap;
+
+pub fn refault_age(evicted_at: &BTreeMap<u64, u64>, block: u64, now_kernel: u64) -> u64 {
+    let at = evicted_at[&block];
+    now_kernel
+        .checked_sub(at)
+        .expect("eviction stamp is in the past")
+}

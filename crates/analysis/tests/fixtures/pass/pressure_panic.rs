@@ -1,0 +1,9 @@
+//! Good: the governor treats pruned refault history as "no refault"
+//! and stays on the mitigation path instead of aborting under pressure.
+
+use std::collections::BTreeMap;
+
+pub fn refault_age(evicted_at: &BTreeMap<u64, u64>, block: u64, now_kernel: u64) -> Option<u64> {
+    let at = evicted_at.get(&block)?;
+    now_kernel.checked_sub(*at)
+}

@@ -202,6 +202,7 @@ pub fn run_swap(
         health: None,
         recovery: None,
         trace: None,
+        pressure: None,
     })
 }
 

@@ -36,7 +36,7 @@ use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
 use deepum_trace::{InjectKind, SharedTracer, TraceEvent};
 
-use crate::report::{HealthReport, IterStats, RunError, RunReport};
+use crate::report::{HealthReport, IterStats, PressureReport, RunError, RunReport};
 
 /// Kernel boundaries the journal holds before a checkpoint is forced.
 const JOURNAL_CAPACITY: usize = 256;
@@ -485,6 +485,18 @@ where
                         );
                         continue;
                     }
+                    // One kernel pinned more pages than the device holds:
+                    // no eviction order fixes that, so surface the typed
+                    // terminal error instead of looping on faults.
+                    Err(EngineError::Backend(BackendError::CapacityExceeded {
+                        needed_pages,
+                        capacity_pages,
+                    })) => {
+                        return Err(RunError::WorkingSetExceedsDevice {
+                            needed_pages,
+                            capacity_pages,
+                        })
+                    }
                     Err(e) => return Err(RunError::Driver(e.to_string())),
                 }
                 st.kernel_seq += 1;
@@ -547,6 +559,14 @@ where
         health,
         recovery,
         trace: cfg.tracer.as_ref().map(|t| t.borrow_mut().report()),
+        pressure: backend.pressure().map(|s| PressureReport {
+            final_level: s.level,
+            peak_score_pct: s.peak_score_pct,
+            refaults: s.refaults,
+            cooldown_skips: s.cooldown_skips,
+            level_changes: s.level_changes,
+            window_resizes: s.window_resizes,
+        }),
     })
 }
 

@@ -49,6 +49,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         health: None,
         recovery: None,
         trace: None,
+        pressure: None,
     }
 }
 

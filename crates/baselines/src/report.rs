@@ -4,7 +4,7 @@ use deepum_core::recovery::RecoveryReport;
 use deepum_sim::faultinject::{BackendHealth, InjectionStats};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
-use deepum_trace::TraceReport;
+use deepum_trace::{PressureLevel, TraceReport};
 use serde::value::{Value, ValueError};
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +36,16 @@ pub enum RunError {
     /// A hard fault could not be recovered: no usable checkpoint, a
     /// restore failed validation, or the restore budget ran out.
     Recovery(String),
+    /// A single kernel's minimum working set is larger than device
+    /// memory: no eviction order can make it fit, so the run terminates
+    /// with this typed error instead of looping on faults forever (the
+    /// liveness bound of the pressure governor's in-flight pins).
+    WorkingSetExceedsDevice {
+        /// Pages the in-flight kernel needed resident at once.
+        needed_pages: u64,
+        /// Device capacity in pages.
+        capacity_pages: u64,
+    },
 }
 
 impl core::fmt::Display for RunError {
@@ -45,6 +55,14 @@ impl core::fmt::Display for RunError {
             RunError::Unsupported(m) => write!(f, "unsupported: {m}"),
             RunError::Driver(m) => write!(f, "driver error: {m}"),
             RunError::Recovery(m) => write!(f, "recovery failed: {m}"),
+            RunError::WorkingSetExceedsDevice {
+                needed_pages,
+                capacity_pages,
+            } => write!(
+                f,
+                "working set exceeds device: one kernel needs {needed_pages} \
+                 resident pages but the device holds {capacity_pages}"
+            ),
         }
     }
 }
@@ -60,6 +78,25 @@ pub struct HealthReport {
     pub injected: InjectionStats,
     /// Backend-side degradation (watchdog transitions, backpressure).
     pub backend: BackendHealth,
+}
+
+/// Memory-pressure section of a run report: what the governor saw and
+/// did. `None` on [`RunReport`] when the run had no governor installed,
+/// so ungoverned reports stay byte-identical to pre-governor builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PressureReport {
+    /// Pressure classification at the end of the run.
+    pub final_level: PressureLevel,
+    /// Highest EWMA refault score seen, integer percent.
+    pub peak_score_pct: u64,
+    /// Evicted-then-demand-refaulted blocks (ping-pong events).
+    pub refaults: u64,
+    /// Eviction-scan skips forced by victim cooldown.
+    pub cooldown_skips: u64,
+    /// Pressure-level transitions over the run.
+    pub level_changes: u64,
+    /// Predicted-window (look-ahead) resizes the driver performed.
+    pub window_resizes: u64,
 }
 
 /// The outcome of running a workload under one memory system.
@@ -93,6 +130,9 @@ pub struct RunReport {
     /// Structured-event trace summary; `Some` only when the run had a
     /// tracer installed.
     pub trace: Option<TraceReport>,
+    /// Memory-pressure governor summary; `Some` only when the backend
+    /// ran with a governor installed.
+    pub pressure: Option<PressureReport>,
 }
 
 impl Serialize for RunReport {
@@ -113,6 +153,9 @@ impl Serialize for RunReport {
         if let Some(trace) = &self.trace {
             members.push(("trace".to_string(), trace.to_value()));
         }
+        if let Some(pressure) = &self.pressure {
+            members.push(("pressure".to_string(), pressure.to_value()));
+        }
         Value::Object(members)
     }
 }
@@ -131,6 +174,10 @@ impl Deserialize for RunReport {
             None | Some(Value::Null) => None,
             Some(tr) => Some(TraceReport::from_value(tr)?),
         };
+        let pressure = match v.get("pressure") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(PressureReport::from_value(p)?),
+        };
         Ok(RunReport {
             workload: String::from_value(member(v, "workload")?)?,
             system: String::from_value(member(v, "system")?)?,
@@ -142,6 +189,7 @@ impl Deserialize for RunReport {
             health: Option::from_value(member(v, "health")?)?,
             recovery,
             trace,
+            pressure,
         })
     }
 }
@@ -242,6 +290,7 @@ mod tests {
             health: None,
             recovery: None,
             trace: None,
+            pressure: None,
         }
     }
 
@@ -332,6 +381,41 @@ mod tests {
         assert!(json.contains("\"trace\""));
         let back: RunReport = serde_json::from_str(&json).expect("report parses");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn ungoverned_report_omits_pressure_member() {
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(!json.contains("\"pressure\""));
+    }
+
+    #[test]
+    fn pressure_member_round_trips() {
+        let mut r = report(&[10, 10]);
+        r.pressure = Some(PressureReport {
+            final_level: PressureLevel::Thrashing,
+            peak_score_pct: 61,
+            refaults: 42,
+            cooldown_skips: 7,
+            level_changes: 3,
+            window_resizes: 2,
+        });
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"pressure\""));
+        assert!(json.contains("Thrashing"));
+        let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn working_set_error_formats_both_sizes() {
+        let e = RunError::WorkingSetExceedsDevice {
+            needed_pages: 1536,
+            capacity_pages: 1024,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1536") && msg.contains("1024"), "{msg}");
     }
 
     #[test]

@@ -12,14 +12,25 @@
 //! * ECC schedules may diverge (poisoned tables change prefetching) but
 //!   must still complete every iteration and report the poisonings.
 //!
-//! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]`.
-//! The wall-clock budget stops the sweep early without failing it, so a
-//! fixed seed grid can run under CI time limits (`./ci.sh --soak`).
+//! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]
+//! [--oversub PCT]`. The wall-clock budget stops the sweep early without
+//! failing it, so a fixed seed grid can run under CI time limits
+//! (`./ci.sh --soak`).
+//!
+//! With `--oversub PCT` the harness switches to an oversubscription
+//! sweep: the device is sized to `peak_bytes * 100 / PCT` (so 250 means
+//! the working set is 2.5× device memory), the DeepUM run enables the
+//! memory-pressure governor, and each seed's hard-fault schedule is
+//! crossed with moderate soft-fault rates. Under that combined pressure
+//! the contract is liveness, not convergence-with-clean: every run must
+//! finish all iterations or fail with a typed [`RunError`], never
+//! panic, and two runs of the same schedule must match byte-for-byte.
 
 use std::time::Instant;
 
 use deepum_baselines::report::{RunError, RunReport};
 use deepum_baselines::suite::{run_system, RunParams, System};
+use deepum_core::config::DeepumConfig;
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::InjectionPlan;
 use deepum_sim::rng::DetRng;
@@ -31,6 +42,9 @@ struct ChaosOpts {
     seeds: u64,
     budget_secs: u64,
     iters: usize,
+    /// Oversubscription ratio in percent (working set / device memory);
+    /// `Some` switches to the governed oversubscription sweep.
+    oversub: Option<u64>,
 }
 
 fn parse_opts() -> ChaosOpts {
@@ -38,6 +52,7 @@ fn parse_opts() -> ChaosOpts {
         seeds: 8,
         budget_secs: 120,
         iters: 2,
+        oversub: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,7 +65,17 @@ fn parse_opts() -> ChaosOpts {
             "--seeds" => opts.seeds = value("--seeds"),
             "--budget-secs" => opts.budget_secs = value("--budget-secs"),
             "--iters" => opts.iters = value("--iters") as usize,
-            other => panic!("unknown option {other} (try --seeds, --budget-secs, --iters)"),
+            "--oversub" => {
+                let pct = value("--oversub");
+                assert!(
+                    pct >= 100,
+                    "--oversub expects a percentage >= 100 (e.g. 250 = 2.5x oversubscription)"
+                );
+                opts.oversub = Some(pct);
+            }
+            other => {
+                panic!("unknown option {other} (try --seeds, --budget-secs, --iters, --oversub)")
+            }
         }
     }
     opts
@@ -73,9 +98,13 @@ fn chaos_plan(seed: u64) -> InjectionPlan {
 }
 
 fn params(iters: usize, plan: InjectionPlan) -> RunParams {
+    params_with_device(iters, plan, 80 << 20)
+}
+
+fn params_with_device(iters: usize, plan: InjectionPlan, device_bytes: u64) -> RunParams {
     RunParams {
         costs: CostModel::v100_32gb()
-            .with_device_memory(80 << 20)
+            .with_device_memory(device_bytes)
             .with_host_memory(8 << 30),
         perf: PerfModel::v100(),
         iters,
@@ -110,8 +139,115 @@ fn soak_run(
     })
 }
 
+/// Oversubscription sweep: governed DeepUM on a device deliberately too
+/// small for the working set, under combined hard + soft fault plans.
+///
+/// The clean-run convergence check of the default mode does not apply
+/// here (soft faults legitimately change migration timing), so the
+/// contract is liveness and determinism: finish every iteration or fail
+/// with a typed error, never panic, and reproduce byte-for-byte when the
+/// same schedule runs twice.
+fn oversub_sweep(opts: &ChaosOpts, ratio_pct: u64) -> (u64, u64) {
+    let workload = ModelKind::MobileNet.build(48);
+    let device = (workload.peak_bytes() * 100 / ratio_pct).max(16 << 20);
+    let system = System::DeepUm(DeepumConfig::default().with_pressure_governor(8, 4, 15, 35));
+    let started = Instant::now();
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+    println!(
+        "[oversub] ratio={ratio_pct}% peak={}MiB device={}MiB",
+        workload.peak_bytes() >> 20,
+        device >> 20
+    );
+
+    for seed in 0..opts.seeds {
+        if started.elapsed().as_secs() >= opts.budget_secs {
+            println!(
+                "[budget] wall-clock budget of {}s reached after {ran} seeds; stopping early",
+                opts.budget_secs
+            );
+            break;
+        }
+        // Hard faults from the usual schedule, crossed with moderate
+        // soft-fault rates so eviction, retry, and governor paths all
+        // run hot at once.
+        let plan = InjectionPlan {
+            dma_h2d_fail_rate: 0.05,
+            host_oom_rate: 0.02,
+            corr_drop_rate: 0.10,
+            ..chaos_plan(seed)
+        };
+        println!(
+            "[seed {seed}] resets={:?} crashes={:?} ecc={}",
+            plan.device_reset_at, plan.driver_crash_at, plan.ecc_rate
+        );
+        let outcomes: Vec<_> = (0..2)
+            .map(|_| {
+                soak_run(
+                    &system,
+                    &workload,
+                    &params_with_device(opts.iters, plan.clone(), device),
+                )
+            })
+            .collect();
+        match (&outcomes[0], &outcomes[1]) {
+            (Ok(Ok(a)), Ok(Ok(b))) => {
+                if a.iters.len() != opts.iters {
+                    println!(
+                        "  FAIL deepum: completed {}/{} iterations",
+                        a.iters.len(),
+                        opts.iters
+                    );
+                    failures += 1;
+                } else if a.pressure.is_none() {
+                    println!("  FAIL deepum: governed run reported no pressure section");
+                    failures += 1;
+                } else if serde_json::to_string(a).ok() != serde_json::to_string(b).ok() {
+                    println!("  FAIL deepum: two runs of the same schedule diverged");
+                    failures += 1;
+                } else {
+                    let p = a.pressure.as_ref().map(|p| (p.refaults, p.level_changes));
+                    let (refaults, level_changes) = p.unwrap_or((0, 0));
+                    println!(
+                        "  ok   deepum: live (refaults={refaults}, level_changes={level_changes})"
+                    );
+                }
+            }
+            (Ok(Err(a)), Ok(Err(b))) if a.to_string() == b.to_string() => {
+                println!("  ok   deepum: typed failure (deterministic): {a}");
+            }
+            (Ok(Err(a)), Ok(Err(b))) => {
+                println!("  FAIL deepum: nondeterministic typed failures: {a} vs {b}");
+                failures += 1;
+            }
+            (Ok(_), Ok(_)) => {
+                println!("  FAIL deepum: one run completed, the other errored");
+                failures += 1;
+            }
+            (Err(msg), _) | (_, Err(msg)) => {
+                println!("  FAIL deepum: PANIC: {msg}");
+                failures += 1;
+            }
+        }
+        ran += 1;
+    }
+    (ran, failures)
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(ratio_pct) = opts.oversub {
+        let started = Instant::now();
+        let (ran, failures) = oversub_sweep(&opts, ratio_pct);
+        println!(
+            "deepum-chaos --oversub {ratio_pct}: {ran} runs, {failures} failures, {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     let workload = ModelKind::MobileNet.build(48);
     let started = Instant::now();
     let mut failures = 0u64;

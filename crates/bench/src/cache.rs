@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics change enough to
 /// invalidate stored reports.
-const VERSION: &str = "v11";
+const VERSION: &str = "v12";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -108,6 +108,7 @@ mod tests {
             health: None,
             recovery: None,
             trace: None,
+            pressure: None,
         }
     }
 

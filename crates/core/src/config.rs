@@ -70,6 +70,25 @@ pub struct DeepumConfig {
     /// normal runs never hit it — it is a safety valve against
     /// pathological chain churn, not a tuning knob.
     pub predicted_window_capacity: usize,
+    /// Memory-pressure governor on/off. Off by default: governed runs
+    /// change eviction order, so the toggle keeps untouched runs
+    /// byte-identical to pre-governor builds.
+    pub enable_pressure_governor: bool,
+    /// Kernel launches within which an evicted-then-demand-refaulted
+    /// block counts as a refault (ping-pong).
+    pub pressure_refault_window: u64,
+    /// Kernel launches a refaulted block stays out of first-pass victim
+    /// selection.
+    pub pressure_cooldown_kernels: u64,
+    /// EWMA refault score (integer percent) at which pressure is
+    /// classified `Elevated`.
+    pub pressure_elevated_pct: u64,
+    /// EWMA refault score (integer percent) at which pressure is
+    /// classified `Thrashing` and the prefetch window starts shrinking.
+    pub pressure_thrashing_pct: u64,
+    /// EWMA weight shift: each kernel's refault-ratio sample carries
+    /// weight `1 / 2^shift`.
+    pub pressure_ewma_shift: u32,
 }
 
 impl DeepumConfig {
@@ -129,6 +148,24 @@ impl DeepumConfig {
         self.watchdog_cooldown_kernels = cooldown_kernels;
         self
     }
+
+    /// Enables the memory-pressure governor with explicit refault
+    /// window, victim cooldown, and classification thresholds (integer
+    /// percent of the EWMA refault score).
+    pub fn with_pressure_governor(
+        mut self,
+        refault_window: u64,
+        cooldown_kernels: u64,
+        elevated_pct: u64,
+        thrashing_pct: u64,
+    ) -> Self {
+        self.enable_pressure_governor = true;
+        self.pressure_refault_window = refault_window;
+        self.pressure_cooldown_kernels = cooldown_kernels;
+        self.pressure_elevated_pct = elevated_pct;
+        self.pressure_thrashing_pct = thrashing_pct;
+        self
+    }
 }
 
 impl Default for DeepumConfig {
@@ -149,6 +186,12 @@ impl Default for DeepumConfig {
             watchdog_disable_pct: 90,
             watchdog_cooldown_kernels: 16,
             predicted_window_capacity: 1 << 20,
+            enable_pressure_governor: false,
+            pressure_refault_window: 8,
+            pressure_cooldown_kernels: 4,
+            pressure_elevated_pct: 15,
+            pressure_thrashing_pct: 35,
+            pressure_ewma_shift: 2,
         }
     }
 }
@@ -184,6 +227,17 @@ mod tests {
             (c.block_table_assoc, c.block_table_succs, c.block_table_rows),
             (4, 8, 512)
         );
+    }
+
+    #[test]
+    fn pressure_governor_defaults_off_and_builder_enables() {
+        assert!(!DeepumConfig::default().enable_pressure_governor);
+        let c = DeepumConfig::default().with_pressure_governor(4, 2, 10, 25);
+        assert!(c.enable_pressure_governor);
+        assert_eq!(c.pressure_refault_window, 4);
+        assert_eq!(c.pressure_cooldown_kernels, 2);
+        assert_eq!(c.pressure_elevated_pct, 10);
+        assert_eq!(c.pressure_thrashing_pct, 25);
     }
 
     #[test]

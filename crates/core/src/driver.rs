@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 
-use deepum_gpu::engine::{BackendError, UmBackend};
+use deepum_gpu::engine::{BackendError, PressureStats, UmBackend};
 use deepum_gpu::fault::FaultEntry;
 use deepum_gpu::kernel::KernelLaunch;
 use deepum_mem::{BlockNum, ByteRange, PageMask, PAGES_PER_BLOCK};
@@ -31,9 +31,10 @@ use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::{BackendHealth, DegradationState, SharedInjector};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
-use deepum_trace::{InjectKind, SharedTracer, TraceEvent, WatchdogMode};
+use deepum_trace::{InjectKind, PressureLevel, SharedTracer, TraceEvent, WatchdogMode};
 use deepum_um::driver::{group_faults, UmDriver};
 use deepum_um::evict::SharedBlockSet;
+use deepum_um::pressure::PressureConfig;
 
 use crate::chain::{ChainStep, ChainWalk};
 use crate::config::DeepumConfig;
@@ -122,6 +123,16 @@ pub struct DeepumDriver {
     pub(crate) wd_last_wasted: u64,
     pub(crate) window_dropped: u64,
 
+    // Memory-pressure response: under `Thrashing` the effective prefetch
+    // look-ahead shrinks by right-shifting the configured degree; it
+    // regrows one step per `Normal` kernel. This composes with the
+    // watchdog ladder (which halves on *misprediction*): the watchdog
+    // answers "are predictions wrong?", the governor answers "is the
+    // device too small for this working set?" — both shrink the same
+    // degree, for different reasons.
+    pub(crate) pressure_shrink: u32,
+    pub(crate) window_resizes: u64,
+
     // Hard-fault state: an uncorrectable ECC error on the correlation
     // tables poisons them permanently for the run. Neither field is
     // rewound by a checkpoint restore — a fault that already happened
@@ -136,7 +147,16 @@ impl DeepumDriver {
     /// Creates a DeepUM driver over a fresh UM driver for the platform
     /// described by `costs`.
     pub fn new(costs: CostModel, cfg: DeepumConfig) -> Self {
-        let um = UmDriver::new(costs.clone());
+        let mut um = UmDriver::new(costs.clone());
+        if cfg.enable_pressure_governor {
+            um.install_pressure_governor(PressureConfig {
+                refault_window: cfg.pressure_refault_window,
+                cooldown_kernels: cfg.pressure_cooldown_kernels,
+                ewma_shift: cfg.pressure_ewma_shift,
+                elevated_pct: cfg.pressure_elevated_pct,
+                thrashing_pct: cfg.pressure_thrashing_pct,
+            });
+        }
         let protected = um.protected_set();
         let prefetch_q = SpscQueue::new(cfg.prefetch_queue_capacity);
         let watchdog = if cfg.enable_watchdog {
@@ -177,6 +197,8 @@ impl DeepumDriver {
             wd_last_prefetched: 0,
             wd_last_wasted: 0,
             window_dropped: 0,
+            pressure_shrink: 0,
+            window_resizes: 0,
             poisoned: false,
             ecc_poisonings: 0,
             local: Counters::new(),
@@ -252,6 +274,24 @@ impl DeepumDriver {
     /// cheap on fault-storm workloads like DLRM.
     const PUMP_STEP_BUDGET: usize = 512;
 
+    /// Upper bound on the pressure shrink shift: the look-ahead never
+    /// drops below `prefetch_degree / 8` (and never below 1 kernel), so
+    /// prefetching keeps probing even under sustained thrash and the
+    /// governor can observe recovery.
+    const MAX_PRESSURE_SHRINK: u32 = 3;
+
+    /// The look-ahead degree in effect for the next chain pump: the
+    /// configured `N`, halved by a throttled watchdog, then
+    /// right-shifted by the pressure governor's shrink level. Always at
+    /// least one kernel.
+    fn effective_degree(&self) -> usize {
+        let degree = match self.watchdog.as_ref().map(PrefetchWatchdog::state) {
+            Some(DegradationState::Throttled) => (self.cfg.prefetch_degree / 2).max(1),
+            _ => self.cfg.prefetch_degree,
+        };
+        (degree >> self.pressure_shrink).max(1)
+    }
+
     /// Whether correlation prefetching is currently allowed to run: the
     /// config switch, minus a watchdog disable or an ECC poisoning.
     fn prefetch_active(&self) -> bool {
@@ -298,12 +338,10 @@ impl DeepumDriver {
         if !self.prefetch_active() {
             return;
         }
-        // A throttled watchdog halves the look-ahead: a wrong chain does
-        // half the damage while the tables relearn.
-        let degree = match self.watchdog.as_ref().map(PrefetchWatchdog::state) {
-            Some(DegradationState::Throttled) => (self.cfg.prefetch_degree / 2).max(1),
-            _ => self.cfg.prefetch_degree,
-        };
+        // A throttled watchdog halves the look-ahead (a wrong chain does
+        // half the damage while the tables relearn); memory pressure
+        // shrinks it further still.
+        let degree = self.effective_degree();
         let Some(chain) = self.chain.as_mut() else {
             return;
         };
@@ -538,6 +576,35 @@ impl LaunchObserver for DeepumDriver {
             }
         }
 
+        // Memory-pressure response: shrink the predicted look-ahead one
+        // shift per kernel launched under `Thrashing`, regrow one shift
+        // per kernel under `Normal`, hold under `Elevated` (the
+        // classification hysteresis lives in the governor; this ladder
+        // only follows it).
+        if self.cfg.enable_pressure_governor {
+            let level = self.um.pressure_level();
+            let old = self.pressure_shrink;
+            let new = match level {
+                PressureLevel::Thrashing => (old + 1).min(Self::MAX_PRESSURE_SHRINK),
+                PressureLevel::Elevated => old,
+                PressureLevel::Normal => old.saturating_sub(1),
+            };
+            if new != old {
+                let base = self.cfg.prefetch_degree;
+                self.pressure_shrink = new;
+                self.window_resizes += 1;
+                emit(
+                    &self.tracer,
+                    now,
+                    TraceEvent::PredictedWindowResized {
+                        from_degree: (base >> old).max(1) as u64,
+                        to_degree: (base >> new).max(1) as u64,
+                        level,
+                    },
+                );
+            }
+        }
+
         // The look-ahead window slides by one kernel.
         if let Some(chain) = self.chain.as_mut() {
             chain.on_kernel_advanced();
@@ -720,6 +787,9 @@ impl UmBackend for DeepumDriver {
 
     fn kernel_finished(&mut self, now: Ns) {
         self.trace_now = now;
+        // Close the governor's per-kernel refault window (and release
+        // the minimum-resident pins) before the prefetcher runs.
+        self.um.pressure_kernel_tick(now);
         // "The prefetching thread resumes after the currently executing
         // kernel finishes."
         self.pump_chain();
@@ -753,6 +823,15 @@ impl UmBackend for DeepumDriver {
 
     fn resident_pages(&self) -> u64 {
         self.um.resident_pages()
+    }
+
+    fn pressure(&self) -> Option<PressureStats> {
+        // The governor lives in the UM driver; the look-ahead resize
+        // count is DeepUM's contribution to the same story.
+        self.um.pressure_stats().map(|mut s| {
+            s.window_resizes = self.window_resizes;
+            s
+        })
     }
 }
 
@@ -1089,6 +1168,52 @@ mod tests {
             loop_iteration(&mut clean, 0, &mut now);
         }
         assert_eq!(clean.health().predicted_window_dropped, 0);
+    }
+
+    #[test]
+    fn pressure_governor_shrinks_lookahead_under_thrash() {
+        // 8-block working set on a 4-block device: every iteration's
+        // blocks are evicted before they repeat, so demand arrivals are
+        // dominated by refaults until prefetching absorbs them.
+        // Aggressive thresholds (Elevated at 1%, Thrashing at 2%) make
+        // the governor classify that churn as Thrashing within a kernel
+        // or two, and the launch hook must answer by shrinking the
+        // effective look-ahead.
+        let cfg = DeepumConfig::default()
+            .with_prefetch_degree(8)
+            .with_pressure_governor(8, 2, 1, 2);
+        let mut d = driver(4, cfg);
+        let mut now = Ns::ZERO;
+        let mut max_shrink = 0;
+        for _ in 0..10 {
+            loop_iteration(&mut d, 0, &mut now);
+            max_shrink = max_shrink.max(d.pressure_shrink);
+        }
+        assert!(max_shrink > 0, "thrash never shrank the look-ahead");
+        assert!(max_shrink <= DeepumDriver::MAX_PRESSURE_SHRINK);
+        assert!(d.window_resizes > 0);
+        let stats = UmBackend::pressure(&d).expect("governed driver reports pressure");
+        assert_eq!(stats.window_resizes, d.window_resizes);
+        assert!(stats.refaults > 0, "oversubscribed loop must refault");
+        assert!(stats.level_changes > 0);
+        d.validate().expect("governed run leaves state consistent");
+
+        // Ungoverned drivers report no pressure section at all.
+        assert!(UmBackend::pressure(&driver(4, DeepumConfig::default())).is_none());
+    }
+
+    #[test]
+    fn effective_degree_composes_watchdog_and_pressure() {
+        let cfg = DeepumConfig::default().with_prefetch_degree(16);
+        let mut d = driver(16, cfg);
+        assert_eq!(d.effective_degree(), 16);
+        d.pressure_shrink = 2;
+        assert_eq!(d.effective_degree(), 4);
+        // The shift floors at one kernel of look-ahead.
+        d.pressure_shrink = DeepumDriver::MAX_PRESSURE_SHRINK;
+        let mut tiny = driver(16, DeepumConfig::default().with_prefetch_degree(2));
+        tiny.pressure_shrink = DeepumDriver::MAX_PRESSURE_SHRINK;
+        assert_eq!(tiny.effective_degree(), 1);
     }
 
     #[test]

@@ -213,6 +213,8 @@ pub fn snapshot_deepum(d: &DeepumDriver) -> Vec<u8> {
     w.u64(d.wd_last_prefetched);
     w.u64(d.wd_last_wasted);
     w.u64(d.window_dropped);
+    w.u32(d.pressure_shrink);
+    w.u64(d.window_resizes);
     deepum_um::snapshot::write_counters(&d.local, &mut w);
     w.finish()
 }
@@ -284,6 +286,8 @@ pub fn restore_deepum(d: &mut DeepumDriver, bytes: &[u8]) -> Result<(), Snapshot
     let wd_last_prefetched = r.u64()?;
     let wd_last_wasted = r.u64()?;
     let window_dropped = r.u64()?;
+    let pressure_shrink = r.u32()?;
+    let window_resizes = r.u64()?;
     let local = deepum_um::snapshot::read_counters(&mut r)?;
     r.finish()?;
 
@@ -310,6 +314,8 @@ pub fn restore_deepum(d: &mut DeepumDriver, bytes: &[u8]) -> Result<(), Snapshot
     d.wd_last_prefetched = wd_last_prefetched;
     d.wd_last_wasted = wd_last_wasted;
     d.window_dropped = window_dropped;
+    d.pressure_shrink = pressure_shrink;
+    d.window_resizes = window_resizes;
     d.local = local;
     Ok(())
 }
@@ -483,6 +489,45 @@ mod tests {
         assert_eq!(delta.chain_walks, 0);
         assert_eq!(delta.block_table_updates, 0);
         d.validate().expect("poisoned driver stays consistent");
+    }
+
+    #[test]
+    fn governed_driver_round_trips_pressure_state() {
+        // 3-block rotation on a 2-block device with a hair-trigger
+        // governor: refaults, cooldowns, a non-Normal level, and at
+        // least one look-ahead resize are all live state when the
+        // snapshot is taken mid-churn.
+        let costs = CostModel::v100_32gb().with_device_memory(2 * BLOCK_SIZE as u64);
+        let cfg = DeepumConfig::default().with_pressure_governor(8, 4, 1, 2);
+        let k = KernelLaunch::new("A", &[], vec![], Ns::from_micros(10));
+        let mut d = DeepumDriver::new(costs.clone(), cfg.clone());
+        let mut now = Ns::ZERO;
+        for i in 0..8u64 {
+            d.on_kernel_launch(now, ExecId(0), &k);
+            let b = i % 3;
+            let entries: Vec<FaultEntry> = (0..512)
+                .map(|p| FaultEntry {
+                    page: BlockNum::new(b).page(p),
+                    kind: AccessKind::Read,
+                    sm: SmId(0),
+                })
+                .collect();
+            d.handle_faults(now, &entries).expect("faults handled");
+            d.touch(now, BlockNum::new(b), &PageMask::full());
+            d.kernel_finished(now);
+            now += Ns::from_millis(1);
+        }
+        let stats = UmBackend::pressure(&d).expect("governed driver reports pressure");
+        assert!(stats.refaults > 0, "rotation must refault");
+        assert!(stats.window_resizes > 0, "thrash must resize the window");
+
+        let bytes = snapshot_deepum(&d);
+        let mut restored = DeepumDriver::new(costs, cfg);
+        restore_deepum(&mut restored, &bytes).expect("restore succeeds");
+        restored.validate().expect("restored driver validates");
+        assert_eq!(UmBackend::pressure(&restored), Some(stats));
+        assert_eq!(restored.counters(), d.counters());
+        assert_eq!(snapshot_deepum(&restored), bytes);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use deepum_sim::clock::SimClock;
 use deepum_sim::energy::{EnergyMeter, PowerState};
 use deepum_sim::faultinject::{BackendHealth, SharedInjector};
 use deepum_sim::time::Ns;
-use deepum_trace::{InjectKind, SharedTracer, TraceEvent};
+use deepum_trace::{InjectKind, PressureLevel, SharedTracer, TraceEvent};
 
 use core::fmt;
 
@@ -208,6 +208,46 @@ pub trait UmBackend {
     /// resident set to downtime.
     fn resident_pages(&self) -> u64 {
         0
+    }
+
+    /// Cumulative memory-pressure governor statistics, `None` when no
+    /// governor is installed (the default). The report layer maps this
+    /// to the omitted-not-null `RunReport.pressure` section.
+    fn pressure(&self) -> Option<PressureStats> {
+        None
+    }
+}
+
+/// Cumulative statistics of the memory-pressure governor
+/// (`deepum_um::pressure`). Defined next to [`UmBackend`] so backends
+/// can report it without the report layer depending on the um crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureStats {
+    /// Final steady-state pressure classification.
+    pub level: PressureLevel,
+    /// Blocks demand-migrated back within the refault window of their
+    /// eviction (ping-pong events).
+    pub refaults: u64,
+    /// Eviction victims passed over because of refault cooldown.
+    pub cooldown_skips: u64,
+    /// Pressure-level transitions over the run.
+    pub level_changes: u64,
+    /// Prefetch-window resizes driven by the governor.
+    pub window_resizes: u64,
+    /// Highest EWMA thrash score observed, whole percent.
+    pub peak_score_pct: u64,
+}
+
+impl Default for PressureStats {
+    fn default() -> Self {
+        PressureStats {
+            level: PressureLevel::Normal,
+            refaults: 0,
+            cooldown_skips: 0,
+            level_changes: 0,
+            window_resizes: 0,
+            peak_score_pct: 0,
+        }
     }
 }
 

@@ -36,6 +36,20 @@ pub enum WatchdogMode {
     Disabled,
 }
 
+/// Steady-state memory-pressure classification of the pressure
+/// governor. Defined here (rather than in `deepum_um::pressure`) so
+/// trace events can carry it while this crate stays dependency-free;
+/// the governor uses the type directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PressureLevel {
+    /// Refault ratio below the elevated threshold; no mitigation.
+    Normal,
+    /// Refault ratio elevated; victim cooldown active, window held.
+    Elevated,
+    /// Sustained ping-pong; prefetch window shrunk until pressure drops.
+    Thrashing,
+}
+
 /// Kind of an injected (chaos) fault observed by the stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InjectKind {
@@ -182,6 +196,31 @@ pub enum TraceEvent {
     InjectedFault {
         /// What was injected.
         kind: InjectKind,
+    },
+    /// The memory-pressure governor reclassified steady-state pressure.
+    PressureLevelChanged {
+        /// Level before.
+        from: PressureLevel,
+        /// Level after.
+        to: PressureLevel,
+        /// EWMA refault score (percent) that drove the transition.
+        score_pct: u64,
+    },
+    /// Victim selection passed over a block in refault cooldown.
+    VictimCooldownSkip {
+        /// UM block index that was spared.
+        block: u64,
+        /// Kernel launches left until its cooldown expires.
+        remaining_kernels: u64,
+    },
+    /// The governor resized the effective prefetch window.
+    PredictedWindowResized {
+        /// Effective prefetch degree before.
+        from_degree: u64,
+        /// Effective prefetch degree after.
+        to_degree: u64,
+        /// Pressure level that drove the resize.
+        level: PressureLevel,
     },
     /// The executor captured a checkpoint.
     Checkpoint {

@@ -16,17 +16,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use deepum_gpu::engine::BackendError;
+use deepum_gpu::engine::{BackendError, PressureStats};
 use deepum_gpu::fault::FaultEntry;
 use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, PAGE_BYTES};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
-use deepum_trace::{EvictReason, InjectKind, SharedTracer, TraceEvent};
+use deepum_trace::{EvictReason, InjectKind, PressureLevel, SharedTracer, TraceEvent};
 
 use crate::block::BlockState;
-use crate::evict::{LruMigrated, SharedBlockSet};
+use crate::evict::{demand_candidates, LruMigrated, SharedBlockSet, VictimPolicy};
+use crate::pressure::{PressureConfig, PressureGovernor};
 
 /// Which path a host→device migration took; determines counter
 /// attribution and prefetch-provenance tracking.
@@ -96,6 +97,10 @@ pub struct UmDriver {
     pub(crate) migrate_epoch: u64,
     /// Virtual time of the current epoch's migrations.
     pub(crate) epoch_now: Ns,
+    /// Memory-pressure governor; `None` (the default) means the thrash
+    /// detection and mitigation code paths are absent entirely, keeping
+    /// ungoverned runs byte-identical to pre-governor builds.
+    pub(crate) pressure: Option<PressureGovernor>,
 }
 
 impl UmDriver {
@@ -114,6 +119,48 @@ impl UmDriver {
             tracer: None,
             migrate_epoch: 0,
             epoch_now: Ns::ZERO,
+            pressure: None,
+        }
+    }
+
+    /// Installs the memory-pressure governor: refault tracking, victim
+    /// cooldown, in-flight pinning. Off by default — an ungoverned
+    /// driver runs exactly the pre-governor code.
+    pub fn install_pressure_governor(&mut self, cfg: PressureConfig) {
+        self.pressure = Some(PressureGovernor::new(cfg));
+    }
+
+    /// Current pressure classification; `Normal` when no governor is
+    /// installed.
+    pub fn pressure_level(&self) -> PressureLevel {
+        self.pressure
+            .as_ref()
+            .map_or(PressureLevel::Normal, PressureGovernor::level)
+    }
+
+    /// Governor statistics, `None` when no governor is installed.
+    pub fn pressure_stats(&self) -> Option<PressureStats> {
+        self.pressure.as_ref().map(PressureGovernor::stats)
+    }
+
+    /// Retires the in-flight kernel in the governor: folds the kernel's
+    /// refault ratio into the thrash score, advances the kernel clock,
+    /// and releases the in-flight pins. Emits `PressureLevelChanged`
+    /// when the classification moved. No-op without a governor.
+    pub fn pressure_kernel_tick(&mut self, now: Ns) {
+        let change = match self.pressure.as_mut() {
+            Some(g) => g.end_kernel(),
+            None => return,
+        };
+        if let Some(c) = change {
+            self.trace(
+                now,
+                TraceEvent::PressureLevelChanged {
+                    from: c.from,
+                    to: c.to,
+                    score_pct: c.score_pct,
+                },
+            );
         }
     }
 
@@ -201,6 +248,11 @@ impl UmDriver {
     /// Records a successful device access: clears prefetch provenance
     /// (those prefetches were useful).
     pub fn touch(&mut self, now: Ns, block: BlockNum, pages: &PageMask) {
+        if let Some(g) = self.pressure.as_mut() {
+            // Minimum-resident guarantee: the in-flight kernel's blocks
+            // stay pinned until it retires.
+            g.pin_inflight(block);
+        }
         if let Some(state) = self.blocks.get_mut(&block) {
             let hits = state.prefetched_untouched.intersect(pages);
             if !hits.is_empty() {
@@ -445,6 +497,25 @@ impl UmDriver {
                 self.counters.pages_prefetched += count;
             }
         }
+        if let Some(g) = self.pressure.as_mut() {
+            match path {
+                MigratePath::Demand => {
+                    if was_resident {
+                        // Partial arrival of an already-resident block:
+                        // no fresh arrival to classify, but the kernel
+                        // is touching it — pin it.
+                        g.pin_inflight(block);
+                    } else {
+                        g.note_demand_arrival(block);
+                    }
+                }
+                MigratePath::Prefetch => {
+                    if !was_resident {
+                        g.note_prefetch_arrival(block);
+                    }
+                }
+            }
+        }
         let prev_key = if was_resident { prev_key } else { None };
         state.last_migrated = now;
         state.last_epoch = epoch;
@@ -513,6 +584,13 @@ impl UmDriver {
     ) -> Result<EvictCost, BackendError> {
         let mut victims = Vec::new();
         let mut freed = 0u64;
+        // Victim eligibility: protection, in-flight pins, and refault
+        // cooldowns live in one policy shared with `validate()`.
+        let policy = VictimPolicy {
+            protected: &self.protected,
+            governor: self.pressure.as_ref(),
+        };
+        let mut cooldown_skips: Vec<(BlockNum, u64)> = Vec::new();
 
         // Injected transient host OOM: the host cannot take write-back
         // pages right now, so victim selection first prefers blocks whose
@@ -533,7 +611,7 @@ impl UmDriver {
                 if freed >= needed {
                     break;
                 }
-                if Some(block) == exclude || self.protected.contains(block) {
+                if Some(block) == exclude || !policy.first_pass_eligible(block) {
                     continue;
                 }
                 let Some(state) = self.blocks.get(&block) else {
@@ -554,15 +632,21 @@ impl UmDriver {
             }
         }
 
-        // First pass: honour the protected set.
+        // First pass: honour the protected set — and, under the
+        // governor, in-flight pins and refault cooldowns. A block
+        // passed over purely for its cooldown is recorded for tracing.
         for (key, block) in self.lru.iter() {
             if freed >= needed {
                 break;
             }
-            if Some(block) == exclude
-                || self.protected.contains(block)
-                || victims.iter().any(|&(_, b, _)| b == block)
-            {
+            if Some(block) == exclude || victims.iter().any(|&(_, b, _)| b == block) {
+                continue;
+            }
+            if !policy.first_pass_eligible(block) {
+                if policy.skipped_for_cooldown(block) {
+                    let remaining = policy.governor.map_or(0, |g| g.cooldown_remaining(block));
+                    cooldown_skips.push((block, remaining));
+                }
                 continue;
             }
             let Some(state) = self.blocks.get(&block) else {
@@ -580,15 +664,21 @@ impl UmDriver {
             freed += pages;
         }
         // Second pass (demand only): correctness over prediction — if
-        // protected blocks are all that remain, evict them anyway (LRU
-        // order). Pre-eviction is best-effort and never touches blocks
-        // the predictor says are about to be used.
+        // protected or cooling blocks are all that remain, evict them
+        // anyway (LRU order). Only the in-flight kernel's pins keep
+        // their immunity: evicting those would refault the kernel's own
+        // working set and livelock the replay loop. Pre-eviction is
+        // best-effort and never touches blocks the predictor says are
+        // about to be used.
         if freed < needed && path == EvictPath::Demand {
             for (key, block) in self.lru.iter() {
                 if freed >= needed {
                     break;
                 }
-                if Some(block) == exclude || victims.iter().any(|&(_, b, _)| b == block) {
+                if Some(block) == exclude
+                    || !policy.override_eligible(block)
+                    || victims.iter().any(|&(_, b, _)| b == block)
+                {
                     continue;
                 }
                 let Some(state) = self.blocks.get(&block) else {
@@ -600,6 +690,23 @@ impl UmDriver {
                 }
                 victims.push((key, block, EvictReason::ProtectedOverride));
                 freed += pages;
+            }
+        }
+
+        if !cooldown_skips.is_empty() {
+            if let Some(g) = self.pressure.as_mut() {
+                for _ in &cooldown_skips {
+                    g.note_cooldown_skip();
+                }
+            }
+            for (block, remaining) in &cooldown_skips {
+                self.trace(
+                    now,
+                    TraceEvent::VictimCooldownSkip {
+                        block: block.index(),
+                        remaining_kernels: *remaining,
+                    },
+                );
             }
         }
 
@@ -647,6 +754,9 @@ impl UmDriver {
         state.host_valid.union_with(&writeback);
         self.lru.remove(block, lru_key);
         self.resident_pages -= count;
+        if let Some(g) = self.pressure.as_mut() {
+            g.note_eviction(block);
+        }
 
         self.counters.pages_invalidated += invalidated.count_u64();
         match path {
@@ -810,6 +920,25 @@ impl UmDriver {
                 }
             }
         }
+        // Pressure-governor invariant: the first-pass demand-eviction
+        // candidate list must be disjoint from the victim-cooldown set —
+        // a cooling block that still reaches the candidate list means
+        // the scan and the governor clock have drifted apart.
+        if let Some(g) = &self.pressure {
+            let policy = VictimPolicy {
+                protected: &self.protected,
+                governor: Some(g),
+            };
+            for block in demand_candidates(&self.lru, &policy) {
+                if g.in_cooldown(block) {
+                    return Err(format!(
+                        "{block} is an eviction candidate while in victim cooldown \
+                         ({} kernels remaining)",
+                        g.cooldown_remaining(block)
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -834,7 +963,9 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
         Ns::ZERO
     }
 
-    fn kernel_finished(&mut self, _now: Ns) {}
+    fn kernel_finished(&mut self, now: Ns) {
+        UmDriver::pressure_kernel_tick(self, now)
+    }
 
     fn install_injector(&mut self, injector: SharedInjector) {
         UmDriver::install_injector(self, injector)
@@ -858,6 +989,10 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
 
     fn resident_pages(&self) -> u64 {
         UmDriver::resident_pages(self)
+    }
+
+    fn pressure(&self) -> Option<PressureStats> {
+        UmDriver::pressure_stats(self)
     }
 }
 
@@ -1326,6 +1461,104 @@ mod tests {
             .expect("faults handled");
         let err = d.validate().expect_err("regressed clock must be caught");
         assert!(err.contains("drain batches"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn cooldown_shifts_eviction_to_colder_blocks() {
+        // Device holds 2 blocks. Block 0 ping-pongs: evicted, then
+        // demand-refaulted → enters cooldown. The next eviction must
+        // pick block 1 (newer, but not cooling) instead of block 0.
+        let mut d = small_driver(2);
+        d.install_pressure_governor(PressureConfig::default());
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        d.pressure_kernel_tick(Ns::from_nanos(3)); // kernel 0 retires
+        d.handle_faults(Ns::from_nanos(4), &faults_for(2, 0..512))
+            .expect("faults handled"); // evicts block 0 (LRU)
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        d.pressure_kernel_tick(Ns::from_nanos(5)); // kernel 1 retires
+        d.handle_faults(Ns::from_nanos(6), &faults_for(0, 0..512))
+            .expect("faults handled"); // refault of block 0 → cooldown
+        d.pressure_kernel_tick(Ns::from_nanos(7)); // kernel 2 retires
+        let stats = d.pressure_stats().expect("governor installed");
+        assert_eq!(stats.refaults, 1);
+
+        // Age block 0 back to LRU-oldest: a fresh block 3 evicts the
+        // non-cooling block 2 first.
+        d.handle_faults(Ns::from_nanos(8), &faults_for(3, 0..512))
+            .expect("faults handled");
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
+        d.pressure_kernel_tick(Ns::from_nanos(9)); // kernel 3 retires
+
+        // Without the governor, block 0 (oldest stamp) would be the
+        // victim now. Cooldown shifts the eviction to block 3.
+        d.handle_faults(Ns::from_nanos(10), &faults_for(4, 0..512))
+            .expect("faults handled");
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
+        assert!(d.resident_mask(BlockNum::new(3)).is_empty());
+        let stats = d.pressure_stats().expect("governor installed");
+        assert!(stats.cooldown_skips >= 1);
+        d.validate().expect("governed driver stays consistent");
+    }
+
+    #[test]
+    fn pinned_working_set_overflow_is_capacity_exceeded() {
+        // Device holds 2 blocks; one kernel touches 3. With the
+        // governor's in-flight pins, the third demand migration cannot
+        // evict the kernel's own blocks and must surface the typed
+        // capacity error instead of thrashing.
+        let mut d = small_driver(2);
+        d.install_pressure_governor(PressureConfig::default());
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        let err = d
+            .handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect_err("working set exceeds the device");
+        assert_eq!(
+            err,
+            BackendError::CapacityExceeded {
+                needed_pages: 512,
+                capacity_pages: 1024,
+            }
+        );
+    }
+
+    #[test]
+    fn ungoverned_driver_reports_no_pressure() {
+        let d = small_driver(2);
+        assert_eq!(d.pressure_stats(), None);
+        assert_eq!(d.pressure_level(), deepum_trace::PressureLevel::Normal);
+    }
+
+    #[test]
+    fn kernel_tick_emits_level_change_trace() {
+        use deepum_trace::{shared, Tracer};
+        let mut d = small_driver(2);
+        d.install_pressure_governor(PressureConfig {
+            elevated_pct: 1,
+            thrashing_pct: 2,
+            ewma_shift: 1,
+            ..PressureConfig::default()
+        });
+        let tracer = shared(Tracer::export());
+        d.set_tracer(tracer.clone());
+        // Ping-pong blocks 0 and 1 in a 2-block device by cycling a
+        // third block through, retiring a kernel each round.
+        for round in 0..4u64 {
+            let t = Ns::from_nanos(10 * round + 1);
+            d.handle_faults(t, &faults_for(round % 3, 0..512))
+                .expect("faults handled");
+            d.pressure_kernel_tick(Ns::from_nanos(10 * round + 5));
+        }
+        let jsonl = tracer.borrow_mut().jsonl();
+        assert!(
+            jsonl.contains("PressureLevelChanged"),
+            "expected a level change in:\n{jsonl}"
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@ use std::sync::{Arc, PoisonError, RwLock};
 use deepum_mem::BlockNum;
 use deepum_sim::time::Ns;
 
+use crate::pressure::PressureGovernor;
+
 /// A set of UM blocks the eviction scan must avoid, shared between the
 /// DeepUM prefetcher (writer) and the UM driver (reader).
 ///
@@ -155,9 +157,74 @@ impl LruMigrated {
     }
 }
 
+/// Victim-eligibility policy shared by the eviction scan and
+/// `UmDriver::validate()`. One owner for the rules keeps the scan and
+/// the invariant checker from drifting apart: a block the scan would
+/// skip can never appear on the candidate list validate() inspects.
+#[derive(Debug, Clone, Copy)]
+pub struct VictimPolicy<'a> {
+    /// The DeepUM predicted-window protected set.
+    pub protected: &'a SharedBlockSet,
+    /// The memory-pressure governor, `None` when not installed.
+    pub governor: Option<&'a PressureGovernor>,
+}
+
+impl VictimPolicy<'_> {
+    /// May `block` be selected by the first (protection-honouring)
+    /// eviction pass? Skips protected blocks, blocks pinned by the
+    /// in-flight kernel (minimum-resident guarantee), and blocks inside
+    /// their refault-cooldown window (anti-thrash hysteresis).
+    pub fn first_pass_eligible(&self, block: BlockNum) -> bool {
+        if self.protected.contains(block) {
+            return false;
+        }
+        match self.governor {
+            Some(g) => !g.is_pinned(block) && !g.in_cooldown(block),
+            None => true,
+        }
+    }
+
+    /// May `block` be selected by the demand-only override pass?
+    /// Protection and cooldown yield to correctness, but blocks pinned
+    /// by the in-flight kernel stay untouchable: evicting them would
+    /// refault the kernel's own working set and livelock the replay
+    /// loop.
+    pub fn override_eligible(&self, block: BlockNum) -> bool {
+        match self.governor {
+            Some(g) => !g.is_pinned(block),
+            None => true,
+        }
+    }
+
+    /// True when the *only* reason `block` is first-pass ineligible is
+    /// its refault cooldown — the case the tracer reports as a
+    /// `VictimCooldownSkip`.
+    pub fn skipped_for_cooldown(&self, block: BlockNum) -> bool {
+        if self.protected.contains(block) {
+            return false;
+        }
+        match self.governor {
+            Some(g) => !g.is_pinned(block) && g.in_cooldown(block),
+            None => false,
+        }
+    }
+}
+
+/// First-pass demand-eviction candidate list: blocks in
+/// least-recently-migrated order that [`VictimPolicy::first_pass_eligible`]
+/// admits. `UmDriver::validate()` cross-checks this list against the
+/// governor's cooldown set — the two must never intersect.
+pub fn demand_candidates(lru: &LruMigrated, policy: &VictimPolicy<'_>) -> Vec<BlockNum> {
+    lru.iter()
+        .map(|(_, block)| block)
+        .filter(|&block| policy.first_pass_eligible(block))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pressure::PressureConfig;
 
     #[test]
     fn shared_set_round_trip() {
@@ -208,5 +275,66 @@ mod tests {
         lru.record_migration(BlockNum::new(1), None, Ns::from_nanos(1));
         lru.remove(BlockNum::new(1), Ns::from_nanos(1));
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn policy_without_governor_only_honours_protection() {
+        let protected = SharedBlockSet::new();
+        protected.insert(BlockNum::new(1));
+        let policy = VictimPolicy {
+            protected: &protected,
+            governor: None,
+        };
+        assert!(!policy.first_pass_eligible(BlockNum::new(1)));
+        assert!(policy.first_pass_eligible(BlockNum::new(2)));
+        assert!(policy.override_eligible(BlockNum::new(1)));
+        assert!(!policy.skipped_for_cooldown(BlockNum::new(2)));
+    }
+
+    #[test]
+    fn policy_with_governor_skips_cooldown_and_pins() {
+        let protected = SharedBlockSet::new();
+        let mut g = PressureGovernor::new(PressureConfig::default());
+        g.note_eviction(BlockNum::new(1));
+        assert!(g.note_demand_arrival(BlockNum::new(1))); // refault → cooldown
+        g.pin_inflight(BlockNum::new(2));
+        let policy = VictimPolicy {
+            protected: &protected,
+            governor: Some(&g),
+        };
+        // Block 1: refaulted → cooling down and (this kernel) pinned.
+        assert!(!policy.first_pass_eligible(BlockNum::new(1)));
+        // Block 2: pinned only — not a cooldown skip, and the override
+        // pass must still refuse it.
+        assert!(!policy.first_pass_eligible(BlockNum::new(2)));
+        assert!(!policy.skipped_for_cooldown(BlockNum::new(2)));
+        assert!(!policy.override_eligible(BlockNum::new(2)));
+        // Block 3: free to evict everywhere.
+        assert!(policy.first_pass_eligible(BlockNum::new(3)));
+        assert!(policy.override_eligible(BlockNum::new(3)));
+    }
+
+    #[test]
+    fn demand_candidates_exclude_cooling_blocks() {
+        let protected = SharedBlockSet::new();
+        let mut lru = LruMigrated::new();
+        lru.record_migration(BlockNum::new(1), None, Ns::from_nanos(1));
+        lru.record_migration(BlockNum::new(2), None, Ns::from_nanos(2));
+        lru.record_migration(BlockNum::new(3), None, Ns::from_nanos(3));
+        let mut g = PressureGovernor::new(PressureConfig::default());
+        g.note_eviction(BlockNum::new(2));
+        assert!(g.note_demand_arrival(BlockNum::new(2)));
+        g.end_kernel(); // release the in-flight pin, keep the cooldown
+        let policy = VictimPolicy {
+            protected: &protected,
+            governor: Some(&g),
+        };
+        assert!(policy.skipped_for_cooldown(BlockNum::new(2)));
+        let candidates = demand_candidates(&lru, &policy);
+        assert_eq!(
+            candidates,
+            vec![BlockNum::new(1), BlockNum::new(3)],
+            "cooling block must not be a candidate"
+        );
     }
 }

@@ -26,11 +26,13 @@
 pub mod block;
 pub mod driver;
 pub mod evict;
+pub mod pressure;
 pub mod snapshot;
 pub mod space;
 
 pub use block::BlockState;
 pub use driver::{EvictCost, MigratePath, UmDriver};
 pub use evict::SharedBlockSet;
+pub use pressure::{PressureConfig, PressureGovernor};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use space::{UmAllocError, UmSpace};

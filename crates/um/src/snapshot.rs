@@ -40,7 +40,9 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DUMSNAP\0";
 
 /// Current snapshot format version. Bump on any payload layout change;
 /// readers reject other versions instead of misparsing them.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2: appended the optional pressure-governor state to the driver
+/// payload.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 12; // magic + version
 const TRAILER_LEN: usize = 8; // checksum
@@ -492,6 +494,15 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
         w.mask(invalidatable);
         w.mask(host_valid);
     }
+    // v2: optional pressure-governor state (config + full bookkeeping),
+    // so a restore resumes thrash detection exactly where it crashed.
+    match &d.pressure {
+        Some(g) => {
+            w.bool(true);
+            g.encode_into(w);
+        }
+        None => w.bool(false),
+    }
 }
 
 /// Minimum encoded size of one block record in the driver payload.
@@ -546,12 +557,19 @@ pub fn read_driver_state(
         }
     }
 
+    let pressure = if r.bool()? {
+        Some(crate::pressure::PressureGovernor::decode_from(r)?)
+    } else {
+        None
+    };
+
     d.resident_pages = resident_pages;
     d.migrate_epoch = migrate_epoch;
     d.epoch_now = epoch_now;
     d.counters = counters;
     d.blocks = blocks;
     d.lru = lru;
+    d.pressure = pressure;
     Ok(())
 }
 
@@ -742,5 +760,61 @@ mod tests {
         let a = snapshot_driver(&driver_with_history(3));
         let b = snapshot_driver(&driver_with_history(3));
         assert_eq!(a, b);
+    }
+
+    fn governed_driver_with_churn() -> UmDriver {
+        let costs = CostModel::v100_32gb().with_device_memory(2 * BLOCK_SIZE as u64);
+        let mut d = UmDriver::new(costs);
+        d.install_pressure_governor(crate::pressure::PressureConfig::default());
+        // Ping-pong through a 2-block device to accumulate evictions,
+        // refaults, cooldowns, and in-flight pins mid-kernel.
+        for k in 0..6u64 {
+            let block = k % 3;
+            let faults: Vec<FaultEntry> = (0..512)
+                .map(|i| FaultEntry {
+                    page: BlockNum::new(block).page(i),
+                    kind: AccessKind::Read,
+                    sm: SmId(0),
+                })
+                .collect();
+            d.handle_faults(Ns::from_nanos(10 * k + 1), &faults)
+                .expect("faults handled");
+            if k < 5 {
+                d.pressure_kernel_tick(Ns::from_nanos(10 * k + 5));
+            }
+            // k == 5 leaves a kernel in flight: pins and window samples
+            // must survive the snapshot too.
+        }
+        d
+    }
+
+    #[test]
+    fn governed_driver_round_trips_governor_state() {
+        let d = governed_driver_with_churn();
+        let stats = d.pressure_stats().expect("governor installed");
+        assert!(stats.refaults > 0, "churn must produce refaults");
+        let bytes = snapshot_driver(&d);
+
+        let costs = CostModel::v100_32gb().with_device_memory(2 * BLOCK_SIZE as u64);
+        let mut restored = UmDriver::new(costs);
+        restore_driver(&mut restored, &bytes).expect("restore succeeds");
+        restored.validate().expect("restored driver validates");
+        assert_eq!(restored.pressure_stats(), Some(stats));
+        assert_eq!(restored.pressure_level(), d.pressure_level());
+        // Re-snapshot is byte-identical: the governor codec is stable.
+        assert_eq!(snapshot_driver(&restored), bytes);
+    }
+
+    #[test]
+    fn ungoverned_snapshot_restores_without_governor() {
+        let d = driver_with_history(3);
+        let bytes = snapshot_driver(&d);
+        let costs = CostModel::v100_32gb().with_device_memory(3 * BLOCK_SIZE as u64);
+        let mut restored = UmDriver::new(costs);
+        // Restoring an ungoverned snapshot clears any installed governor:
+        // the checkpoint is the source of truth.
+        restored.install_pressure_governor(crate::pressure::PressureConfig::default());
+        restore_driver(&mut restored, &bytes).expect("restore succeeds");
+        assert_eq!(restored.pressure_stats(), None);
     }
 }

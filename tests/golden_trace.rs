@@ -130,6 +130,40 @@ fn golden_prefetch_heavy() {
 }
 
 #[test]
+fn golden_thrash_pressure() {
+    // Governed DeepUM on a device holding ~half the working set, with
+    // thresholds low enough that the refault loop escalates the
+    // governor: this trace pins the three pressure event kinds —
+    // level transitions, cooldown skips during victim selection, and
+    // predicted-window resizes.
+    let w = layered("golden-thrash/b1", 8);
+    let cfg = DeepumConfig::default()
+        .with_prefetch_degree(4)
+        .with_pressure_governor(8, 4, 5, 15);
+    check_golden(
+        "thrash_pressure.jsonl",
+        &System::DeepUm(cfg),
+        &w,
+        &params(8, 3),
+    );
+
+    // The golden copy must actually exercise all three new kinds; a
+    // regression that silences one of them should fail loudly here, not
+    // just shrink the file.
+    let golden = std::fs::read_to_string(golden_path("thrash_pressure.jsonl")).expect("golden");
+    for kind in [
+        "PressureLevelChanged",
+        "VictimCooldownSkip",
+        "PredictedWindowResized",
+    ] {
+        assert!(
+            golden.contains(kind),
+            "thrash_pressure.jsonl must contain a {kind} event"
+        );
+    }
+}
+
+#[test]
 fn golden_eviction_pressure() {
     // Full DeepUM on a device holding ~half the working set: every
     // iteration migrates, pre-evicts, writes back, and invalidates.

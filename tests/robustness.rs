@@ -198,6 +198,44 @@ fn driver_crash_mid_drain_recovers() {
 }
 
 #[test]
+fn governed_crash_recovery_matches_uninterrupted_run() {
+    // Device small enough that the governor actually cycles levels, and
+    // thresholds low enough that the crash lands while it is elevated —
+    // the restore must rebuild refault history, cooldowns, and the EWMA
+    // score, not just residency.
+    let cfg = DeepumConfig::default().with_pressure_governor(8, 4, 5, 15);
+    let sess = || {
+        Session::new(ModelKind::MobileNet, 48)
+            .iterations(2)
+            .device_memory(48 << 20)
+            .host_memory(8 << 30)
+    };
+    let clean = sess().run_configured(cfg.clone()).unwrap();
+    let p = clean.pressure.expect("governed run reports pressure");
+    assert!(
+        p.level_changes > 0,
+        "the session must actually cycle pressure levels"
+    );
+    let interrupted = sess()
+        .injection_plan(InjectionPlan {
+            device_reset_at: vec![7],
+            driver_crash_at: vec![23],
+            ..InjectionPlan::default()
+        })
+        .run_configured(cfg)
+        .unwrap();
+    let rec = interrupted
+        .recovery
+        .expect("hard-fault plan => recovery section");
+    assert_eq!(rec.restores, 2, "both scheduled hard faults fire once");
+    assert_eq!(
+        serde_json::to_string(&clean).unwrap(),
+        serde_json::to_string(&strip_recovery(interrupted)).unwrap(),
+        "governor state must survive crash/restore bit-exactly"
+    );
+}
+
+#[test]
 fn explicit_cadence_on_crash_free_plan_changes_nothing() {
     let base = small().run(SystemKind::DeepUm).unwrap();
     let checked = small().checkpoint_every(4).run(SystemKind::DeepUm).unwrap();
