@@ -5,8 +5,11 @@
 # Optional stages:
 #   --soak      run the deepum-chaos crash-recovery soak (fixed seed
 #               grid, wall-clock budgeted) plus the governed
-#               oversubscription sweep. Off by default: tier-1
-#               stays fast.
+#               oversubscription sweep and the multi-tenant scheduler
+#               sweep. Off by default: tier-1 stays fast.
+#   --bench     run deepum_mtbench and emit BENCH_multitenant.json
+#               (simulated-kernels/sec and wall-clock, solo vs 2/4/8
+#               tenants) in the repository root.
 #   --coverage  run cargo llvm-cov over the workspace and compare line
 #               coverage against ci/coverage-baseline.txt (recording the
 #               baseline on the first run). Skipped with a notice when
@@ -15,12 +18,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 SOAK=0
+BENCH=0
 COVERAGE=0
 for arg in "$@"; do
   case "$arg" in
     --soak) SOAK=1 ;;
+    --bench) BENCH=1 ;;
     --coverage) COVERAGE=1 ;;
-    *) echo "unknown option: $arg (known: --soak, --coverage)" >&2; exit 2 ;;
+    *) echo "unknown option: $arg (known: --soak, --bench, --coverage)" >&2; exit 2 ;;
   esac
 done
 
@@ -48,6 +53,16 @@ if [ "$SOAK" -eq 1 ]; then
     cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
       --oversub "$ratio" --seeds 8 --budget-secs 120 --iters 2
   done
+  echo "== multi-tenant soak =="
+  for tenants in 2 4 8; do
+    cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
+      --tenants "$tenants" --seeds 8 --budget-secs 120 --iters 2
+  done
+fi
+
+if [ "$BENCH" -eq 1 ]; then
+  echo "== multi-tenant bench =="
+  cargo run -q --locked --release -p deepum-bench --bin deepum_mtbench
 fi
 
 if [ "$COVERAGE" -eq 1 ]; then

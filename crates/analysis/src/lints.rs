@@ -52,7 +52,7 @@ pub fn is_known(id: &str) -> bool {
 }
 
 /// Crates whose containers must iterate deterministically.
-const CONTAINER_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime"];
+const CONTAINER_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime", "sched"];
 
 /// Identifier patterns for `determinism-container`.
 const CONTAINER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
@@ -73,7 +73,9 @@ const WALLCLOCK_PATTERNS: &[&str] = &[
 /// Files on the fault-drain / eviction / recovery critical path for
 /// `panic-safety`. The snapshot codec and the restore path run while
 /// the simulated system is already degraded, so a panic there turns a
-/// recoverable hard fault into an abort.
+/// recoverable hard fault into an abort. The multi-tenant scheduler is
+/// held to the same bar: one tenant's failure must surface as a typed
+/// error, never abort its co-tenants.
 const PANIC_FILES: &[&str] = &[
     "crates/um/src/driver.rs",
     "crates/um/src/evict.rs",
@@ -82,6 +84,9 @@ const PANIC_FILES: &[&str] = &[
     "crates/gpu/src/engine.rs",
     "crates/core/src/driver.rs",
     "crates/core/src/recovery.rs",
+    "crates/sched/src/scheduler.rs",
+    "crates/sched/src/tenant.rs",
+    "crates/sched/src/spec.rs",
 ];
 
 /// Patterns for `panic-safety`. `[&` catches `map[&key]` indexing, which

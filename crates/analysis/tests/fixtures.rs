@@ -51,6 +51,16 @@ const CASES: &[(&str, &str, &str)] = &[
         "crates/um/src/pressure.rs",
         "panic-safety",
     ),
+    (
+        "sched_panic.rs",
+        "crates/sched/src/scheduler.rs",
+        "panic-safety",
+    ),
+    (
+        "sched_container.rs",
+        "crates/sched/src/fixture.rs",
+        "determinism-container",
+    ),
     ("cast_safety.rs", "crates/mem/src/fixture.rs", "cast-safety"),
     (
         "trace_determinism.rs",

@@ -1,0 +1,12 @@
+//! Bad: hash-ordered tenant iteration makes the victim charge order —
+//! and therefore every multi-tenant trace — differ across replays.
+
+use std::collections::HashMap;
+
+pub fn charge_order(overages: &HashMap<u32, u64>) -> Vec<u32> {
+    overages
+        .iter()
+        .filter(|(_, o)| **o > 0)
+        .map(|(t, _)| *t)
+        .collect()
+}

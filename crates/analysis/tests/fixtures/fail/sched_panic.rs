@@ -1,0 +1,13 @@
+//! Bad: the scheduler indexes a tenant ledger that admission control
+//! may never have created, so one refused tenant aborts every admitted
+//! co-tenant's run — the opposite of fault isolation.
+
+use std::collections::BTreeMap;
+
+pub fn charge_eviction(ledgers: &mut BTreeMap<u32, u64>, tenant: u32, pages: u64) -> u64 {
+    let charged = ledgers[&tenant] + pages;
+    ledgers
+        .insert(tenant, charged)
+        .expect("tenant was registered");
+    charged
+}

@@ -1,0 +1,12 @@
+//! Good: tenant ledgers live in a BTreeMap, so the charge order is the
+//! same on every replay.
+
+use std::collections::BTreeMap;
+
+pub fn charge_order(overages: &BTreeMap<u32, u64>) -> Vec<u32> {
+    overages
+        .iter()
+        .filter(|(_, o)| **o > 0)
+        .map(|(t, _)| *t)
+        .collect()
+}

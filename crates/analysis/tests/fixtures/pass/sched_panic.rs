@@ -1,0 +1,16 @@
+//! Good: a missing ledger is a typed per-tenant condition the caller
+//! decides about; admitted co-tenants keep running.
+
+use std::collections::BTreeMap;
+
+pub fn charge_eviction(
+    ledgers: &mut BTreeMap<u32, u64>,
+    tenant: u32,
+    pages: u64,
+) -> Result<u64, String> {
+    let Some(entry) = ledgers.get_mut(&tenant) else {
+        return Err(format!("tenant t{tenant} is not registered"));
+    };
+    *entry += pages;
+    Ok(*entry)
+}

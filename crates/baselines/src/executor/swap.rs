@@ -203,6 +203,7 @@ pub fn run_swap(
         recovery: None,
         trace: None,
         pressure: None,
+        tenants: None,
     })
 }
 

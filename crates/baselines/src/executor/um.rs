@@ -567,6 +567,7 @@ where
             level_changes: s.level_changes,
             window_resizes: s.window_resizes,
         }),
+        tenants: None,
     })
 }
 

@@ -50,6 +50,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         recovery: None,
         trace: None,
         pressure: None,
+        tenants: None,
     }
 }
 

@@ -46,6 +46,18 @@ pub enum RunError {
         /// Device capacity in pages.
         capacity_pages: u64,
     },
+    /// Multi-tenant admission control refused the tenant: its requested
+    /// guaranteed floor cannot be met without breaking the floors of
+    /// already-admitted tenants. The tenant never runs a kernel; the
+    /// admitted tenants are unaffected.
+    AdmissionDenied {
+        /// The refused tenant's id.
+        tenant: u32,
+        /// Floor pages the tenant requested.
+        need: u64,
+        /// Floor pages still unreserved on the device.
+        avail: u64,
+    },
 }
 
 impl core::fmt::Display for RunError {
@@ -62,6 +74,15 @@ impl core::fmt::Display for RunError {
                 f,
                 "working set exceeds device: one kernel needs {needed_pages} \
                  resident pages but the device holds {capacity_pages}"
+            ),
+            RunError::AdmissionDenied {
+                tenant,
+                need,
+                avail,
+            } => write!(
+                f,
+                "admission denied: tenant t{tenant} requested a floor of \
+                 {need} pages but only {avail} remain unreserved"
             ),
         }
     }
@@ -99,6 +120,48 @@ pub struct PressureReport {
     pub window_resizes: u64,
 }
 
+/// Per-tenant section of a multi-tenant run report: one entry per
+/// tenant that *arrived* at the scheduler, admitted or not, in tenant-id
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant id (the `t<n>` in traces).
+    pub tenant: u32,
+    /// Human-readable job name.
+    pub name: String,
+    /// Scheduling priority (≥ 1).
+    pub priority: u32,
+    /// Guaranteed resident floor the tenant requested, pages.
+    pub floor_pages: u64,
+    /// Whether admission control let the tenant run.
+    pub admitted: bool,
+    /// Whether the tenant's job ran to completion.
+    pub completed: bool,
+    /// Terminal error, if the tenant was denied or died mid-run.
+    pub error: Option<String>,
+    /// Kernels the tenant launched.
+    pub kernels: u64,
+    /// GPU page faults taken during the tenant's slots.
+    pub faults: u64,
+    /// Pages migrated host→device for this tenant.
+    pub pages_migrated: u64,
+    /// Pages evicted from this tenant's residency.
+    pub pages_evicted: u64,
+    /// Host→device DMA bytes.
+    pub bytes_h2d: u64,
+    /// Device→host DMA bytes.
+    pub bytes_d2h: u64,
+    /// Evicted-then-refaulted blocks (ping-pong) charged to the tenant.
+    pub refaults: u64,
+    /// Eviction victims the fair-share scan charged to this tenant.
+    pub evictions_charged: u64,
+    /// Write-back time from evictions charged during other tenants'
+    /// slots, paid on this tenant's clock at its next slot start (ns).
+    pub reclaim_debt_ns: u64,
+    /// Virtual time from the tenant's arrival to its completion.
+    pub elapsed: Ns,
+}
+
 /// The outcome of running a workload under one memory system.
 ///
 /// `Serialize`/`Deserialize` are written by hand (not derived) so that
@@ -133,6 +196,9 @@ pub struct RunReport {
     /// Memory-pressure governor summary; `Some` only when the backend
     /// ran with a governor installed.
     pub pressure: Option<PressureReport>,
+    /// Per-tenant summaries; `Some` only for multi-tenant scheduler
+    /// runs, so solo reports stay byte-identical to pre-tenancy builds.
+    pub tenants: Option<Vec<TenantReport>>,
 }
 
 impl Serialize for RunReport {
@@ -156,6 +222,9 @@ impl Serialize for RunReport {
         if let Some(pressure) = &self.pressure {
             members.push(("pressure".to_string(), pressure.to_value()));
         }
+        if let Some(tenants) = &self.tenants {
+            members.push(("tenants".to_string(), tenants.to_value()));
+        }
         Value::Object(members)
     }
 }
@@ -178,6 +247,10 @@ impl Deserialize for RunReport {
             None | Some(Value::Null) => None,
             Some(p) => Some(PressureReport::from_value(p)?),
         };
+        let tenants = match v.get("tenants") {
+            None | Some(Value::Null) => None,
+            Some(t) => Some(Vec::from_value(t)?),
+        };
         Ok(RunReport {
             workload: String::from_value(member(v, "workload")?)?,
             system: String::from_value(member(v, "system")?)?,
@@ -190,6 +263,7 @@ impl Deserialize for RunReport {
             recovery,
             trace,
             pressure,
+            tenants,
         })
     }
 }
@@ -291,6 +365,7 @@ mod tests {
             recovery: None,
             trace: None,
             pressure: None,
+            tenants: None,
         }
     }
 
@@ -406,6 +481,56 @@ mod tests {
         assert!(json.contains("Thrashing"));
         let back: RunReport = serde_json::from_str(&json).expect("report parses");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn solo_report_omits_tenants_member() {
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(!json.contains("\"tenants\""));
+    }
+
+    #[test]
+    fn tenants_member_round_trips() {
+        let mut r = report(&[10, 10]);
+        r.tenants = Some(vec![TenantReport {
+            tenant: 0,
+            name: "trainer".into(),
+            priority: 2,
+            floor_pages: 4096,
+            admitted: true,
+            completed: true,
+            error: None,
+            kernels: 120,
+            faults: 33,
+            pages_migrated: 9000,
+            pages_evicted: 4000,
+            bytes_h2d: 1 << 24,
+            bytes_d2h: 1 << 22,
+            refaults: 5,
+            evictions_charged: 7,
+            reclaim_debt_ns: 12_345,
+            elapsed: Ns::from_millis(90),
+        }]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"tenants\""));
+        assert!(json.contains("trainer"));
+        let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn admission_denied_formats_need_and_avail() {
+        let e = RunError::AdmissionDenied {
+            tenant: 2,
+            need: 2048,
+            avail: 512,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("t2") && msg.contains("2048") && msg.contains("512"),
+            "{msg}"
+        );
     }
 
     #[test]

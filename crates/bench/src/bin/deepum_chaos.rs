@@ -13,9 +13,9 @@
 //!   must still complete every iteration and report the poisonings.
 //!
 //! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]
-//! [--oversub PCT]`. The wall-clock budget stops the sweep early without
-//! failing it, so a fixed seed grid can run under CI time limits
-//! (`./ci.sh --soak`).
+//! [--oversub PCT] [--tenants N]`. The wall-clock budget stops the
+//! sweep early without failing it, so a fixed seed grid can run under
+//! CI time limits (`./ci.sh --soak`).
 //!
 //! With `--oversub PCT` the harness switches to an oversubscription
 //! sweep: the device is sized to `peak_bytes * 100 / PCT` (so 250 means
@@ -25,12 +25,23 @@
 //! the contract is liveness, not convergence-with-clean: every run must
 //! finish all iterations or fail with a typed [`RunError`], never
 //! panic, and two runs of the same schedule must match byte-for-byte.
+//!
+//! With `--tenants N` the harness runs the multi-tenant scheduler soak:
+//! N tenants (a mix of training and inference jobs with seeded arrival
+//! cycles and priorities) time-share one under-provisioned device, and
+//! one tenant per seed carries the chaos fault plan crossed with soft
+//! faults. The contract is the multi-tenant one: no panic, the shared
+//! driver's invariant sweep stays clean every cycle, every tenant
+//! either completes or fails with a typed [`RunError`], and the full
+//! aggregate report reproduces byte-for-byte across two runs.
 
 use std::time::Instant;
 
 use deepum_baselines::report::{RunError, RunReport};
 use deepum_baselines::suite::{run_system, RunParams, System};
 use deepum_core::config::DeepumConfig;
+use deepum_sched::scheduler::MultiTenant;
+use deepum_sched::spec::{seeded_arrivals, JobKind, TenantSpec};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::InjectionPlan;
 use deepum_sim::rng::DetRng;
@@ -45,6 +56,8 @@ struct ChaosOpts {
     /// Oversubscription ratio in percent (working set / device memory);
     /// `Some` switches to the governed oversubscription sweep.
     oversub: Option<u64>,
+    /// Tenant count; `Some` switches to the multi-tenant scheduler soak.
+    tenants: Option<usize>,
 }
 
 fn parse_opts() -> ChaosOpts {
@@ -53,6 +66,7 @@ fn parse_opts() -> ChaosOpts {
         budget_secs: 120,
         iters: 2,
         oversub: None,
+        tenants: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,8 +87,19 @@ fn parse_opts() -> ChaosOpts {
                 );
                 opts.oversub = Some(pct);
             }
+            "--tenants" => {
+                let n = value("--tenants");
+                assert!(
+                    (2..=64).contains(&n),
+                    "--tenants expects a tenant count in 2..=64"
+                );
+                opts.tenants = Some(n as usize);
+            }
             other => {
-                panic!("unknown option {other} (try --seeds, --budget-secs, --iters, --oversub)")
+                panic!(
+                    "unknown option {other} \
+                     (try --seeds, --budget-secs, --iters, --oversub, --tenants)"
+                )
             }
         }
     }
@@ -234,8 +259,168 @@ fn oversub_sweep(opts: &ChaosOpts, ratio_pct: u64) -> (u64, u64) {
     (ran, failures)
 }
 
+/// Multi-tenant scheduler soak: `n` tenants (alternating training and
+/// inference jobs, seeded arrivals and priorities) share one device
+/// sized to cover every resident floor but not the aggregate working
+/// set, and the last tenant carries the seed's chaos plan crossed with
+/// soft faults plus the memory-pressure governor.
+///
+/// The contract is the multi-tenant one: no panic, the shared driver's
+/// per-cycle invariant sweep stays clean, every tenant either completes
+/// or fails with a typed error, one tenant's faults never abort the
+/// others, and two runs of the same schedule produce byte-identical
+/// aggregate reports (tenant sections included).
+fn tenant_sweep(opts: &ChaosOpts, n: usize) -> (u64, u64) {
+    let page = deepum_mem::PAGE_SIZE as u64;
+    let started = Instant::now();
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+
+    for seed in 0..opts.seeds {
+        if started.elapsed().as_secs() >= opts.budget_secs {
+            println!(
+                "[budget] wall-clock budget of {}s reached after {ran} seeds; stopping early",
+                opts.budget_secs
+            );
+            break;
+        }
+        let arrivals = seeded_arrivals(seed ^ 0x7e17_a175, n, 4);
+        let mut rng = DetRng::seed(seed ^ 0x5c4e_d01e);
+        let chaos = InjectionPlan {
+            dma_h2d_fail_rate: 0.05,
+            dma_d2h_fail_rate: 0.02,
+            storm_rate: 0.05,
+            ..chaos_plan(seed)
+        };
+        println!(
+            "[seed {seed}] resets={:?} crashes={:?} ecc={} storms",
+            chaos.device_reset_at, chaos.driver_crash_at, chaos.ecc_rate
+        );
+
+        let mut specs = Vec::new();
+        let mut floor_total = 0u64;
+        let mut max_peak = 0u64;
+        for (idx, &arrival) in arrivals.iter().enumerate() {
+            let job = if idx % 2 == 0 {
+                JobKind::Training {
+                    model: ModelKind::MobileNet,
+                    batch: 4,
+                    iterations: opts.iters,
+                }
+            } else {
+                JobKind::Inference {
+                    model: ModelKind::MobileNet,
+                    batch: 2,
+                    requests: opts.iters * 2,
+                }
+            };
+            let peak_pages = job.workload().peak_bytes().div_ceil(page);
+            let floor = peak_pages / 4;
+            floor_total += floor;
+            max_peak = max_peak.max(peak_pages);
+            let mut spec = TenantSpec::new(format!("soak-t{idx}"), job)
+                .priority(1 + rng.below(4) as u32)
+                .floor_pages(floor)
+                .arrival(arrival)
+                .seed(seed.wrapping_mul(0x9e37).wrapping_add(idx as u64));
+            // The last tenant is the chaotic one: private fault plan and
+            // a hair-trigger governor, so its recovery and shedding
+            // paths run while the others time-share the same device.
+            if idx == n - 1 {
+                spec = spec
+                    .plan(chaos.clone())
+                    .config(DeepumConfig::default().with_pressure_governor(8, 4, 15, 35));
+            }
+            specs.push(spec);
+        }
+        // Every floor fits (admission succeeds) but the aggregate
+        // working set does not: eviction and the fair-share charge
+        // order stay hot for the whole schedule.
+        let device_bytes = (floor_total + max_peak / 2).max(4096) * page;
+        let costs = CostModel::v100_32gb()
+            .with_device_memory(device_bytes)
+            .with_host_memory(8 << 30);
+
+        let run_once = || {
+            let mut mt = MultiTenant::new(costs.clone(), PerfModel::v100());
+            for spec in specs.iter().cloned() {
+                mt = mt.tenant(spec);
+            }
+            mt.run()
+        };
+        let outcomes: Vec<_> = (0..2)
+            .map(|_| std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once)))
+            .collect();
+        match (&outcomes[0], &outcomes[1]) {
+            (Ok(a), Ok(b)) => {
+                let errs = |o: &deepum_sched::scheduler::ScheduleOutcome| {
+                    o.errors
+                        .iter()
+                        .map(|(t, e)| (*t, e.to_string()))
+                        .collect::<Vec<_>>()
+                };
+                let stuck = a
+                    .report
+                    .tenants
+                    .as_deref()
+                    .unwrap_or_default()
+                    .iter()
+                    .find(|t| t.admitted && !t.completed && t.error.is_none());
+                if let Err(msg) = a.validation.as_ref().and(b.validation.as_ref()) {
+                    println!("  FAIL sched: shared-driver invariant violated: {msg}");
+                    failures += 1;
+                } else if serde_json::to_string(&a.report).ok()
+                    != serde_json::to_string(&b.report).ok()
+                    || errs(a) != errs(b)
+                {
+                    println!("  FAIL sched: two runs of the same schedule diverged");
+                    failures += 1;
+                } else if let Some(t) = stuck {
+                    println!(
+                        "  FAIL sched: tenant t{} ({}) neither completed nor failed typed",
+                        t.tenant, t.name
+                    );
+                    failures += 1;
+                } else {
+                    let tenants = a.report.tenants.as_deref().unwrap_or_default();
+                    let done = tenants.iter().filter(|t| t.completed).count();
+                    let charged: u64 = tenants.iter().map(|t| t.evictions_charged).sum();
+                    println!(
+                        "  ok   sched: {done}/{n} completed, {} typed failures, \
+                         {charged} evictions charged",
+                        a.errors.len()
+                    );
+                }
+            }
+            (Err(msg), _) | (_, Err(msg)) => {
+                let msg = msg
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| msg.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".to_string());
+                println!("  FAIL sched: PANIC: {msg}");
+                failures += 1;
+            }
+        }
+        ran += 1;
+    }
+    (ran, failures)
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(n) = opts.tenants {
+        let started = Instant::now();
+        let (ran, failures) = tenant_sweep(&opts, n);
+        println!(
+            "deepum-chaos --tenants {n}: {ran} runs, {failures} failures, {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Some(ratio_pct) = opts.oversub {
         let started = Instant::now();
         let (ran, failures) = oversub_sweep(&opts, ratio_pct);

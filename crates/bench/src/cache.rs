@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics change enough to
 /// invalidate stored reports.
-const VERSION: &str = "v12";
+const VERSION: &str = "v13";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -109,6 +109,7 @@ mod tests {
             recovery: None,
             trace: None,
             pressure: None,
+            tenants: None,
         }
     }
 

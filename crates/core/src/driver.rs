@@ -215,6 +215,52 @@ impl DeepumDriver {
         &self.um
     }
 
+    /// Swaps the underlying UM driver with `other`. The multi-tenant
+    /// scheduler time-shares one device by swapping the shared UM
+    /// driver into a tenant's DeepUM driver for the tenant's kernel
+    /// slot and back out at the slot end; correlation state, prefetch
+    /// queues, and the watchdog stay with the tenant.
+    pub fn swap_um(&mut self, other: &mut UmDriver) {
+        std::mem::swap(&mut self.um, other);
+    }
+
+    /// The driver's eviction-protected (predicted-window) block set.
+    /// Clones share state: the multi-tenant scheduler registers this
+    /// set as the tenant's ledger set, so predictions made here steer
+    /// victim selection in the shared driver during the tenant's slot.
+    pub fn protected_set(&self) -> SharedBlockSet {
+        self.protected.clone()
+    }
+
+    /// Removes and returns the pressure governor installed on the
+    /// (current) underlying UM driver. The multi-tenant scheduler parks
+    /// each tenant's governor in its ledger at registration; the shared
+    /// driver swaps it in for the tenant's slots.
+    pub fn take_pressure_governor(&mut self) -> Option<deepum_um::pressure::PressureGovernor> {
+        self.um.take_pressure_governor()
+    }
+
+    /// DeepUM-side counters only — what [`DeepumDriver::counters`] adds
+    /// on top of the UM driver. Multi-tenant reports combine this with
+    /// the tenant's ledger counters, because the UM driver underneath a
+    /// tenant changes across slots.
+    pub fn local_counters(&self) -> Counters {
+        let mut c = self.local;
+        c.prefetch_commands = self.prefetch_q.total_pushed();
+        c
+    }
+
+    /// Multi-tenant load shedding: a system-wide pressure broadcast
+    /// asks the tenant to shrink its prefetch look-ahead one step — the
+    /// same ladder its local governor drives — regardless of what its
+    /// own governor currently believes. No-op once fully shrunk.
+    pub fn shed_load(&mut self) {
+        if self.pressure_shrink < Self::MAX_PRESSURE_SHRINK {
+            self.pressure_shrink += 1;
+            self.window_resizes += 1;
+        }
+    }
+
     /// Merged event counters: UM driver + DeepUM-specific.
     pub fn counters(&self) -> Counters {
         let mut c = self.um.counters();
@@ -439,7 +485,7 @@ impl DeepumDriver {
             h2d += self
                 .costs
                 .transfer_time(transferable * deepum_mem::PAGE_SIZE as u64);
-        } else if self.um.free_pages() >= needed {
+        } else if self.um.effective_free_pages() >= needed {
             let transferable = self.um.host_valid(cmd.block, &missing).count() as u64;
             self.um.prefetch_into_gpu(now, cmd.block, &mask);
             h2d += self
@@ -552,7 +598,9 @@ impl LaunchObserver for DeepumDriver {
         // a fresh disable, flush every in-flight prediction so the queue
         // stops competing with demand traffic immediately.
         if let Some(wd) = self.watchdog.as_mut() {
-            let c = self.um.counters();
+            // `active_counters` so a multi-tenant slot feeds the watchdog
+            // this tenant's own deltas; solo it is the plain counters.
+            let c = self.um.active_counters();
             let prefetched = c.pages_prefetched - self.wd_last_prefetched;
             let wasted = c.prefetch_wasted - self.wd_last_wasted;
             self.wd_last_prefetched = c.pages_prefetched;

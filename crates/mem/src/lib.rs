@@ -66,3 +66,26 @@ pub const fn u64_from_usize(n: usize) -> u64 {
     // deepum-tidy: allow(cast-safety) -- usize -> u64 is a widening cast on all supported targets
     n as u64
 }
+
+/// Identity of one tenant sharing a UM address space.
+///
+/// Defined here — the workspace's dependency root — so block ownership
+/// tags (`deepum_um`), per-tenant ledgers, and the scheduler can all
+/// name tenants without new cross-crate edges. The raw `u32` doubles as
+/// the wire form in trace events and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The raw index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}

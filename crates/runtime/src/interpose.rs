@@ -87,6 +87,18 @@ impl CudaRuntime {
         }
     }
 
+    /// Creates a runtime whose UM space starts allocating at `va_base`
+    /// (block-aligned) instead of address zero. Multi-tenant runs give
+    /// each tenant a disjoint VA region of the shared driver's address
+    /// space, so block numbers never collide across tenants.
+    pub fn with_va_base(host_capacity: u64, va_base: u64, launch_intercept_cost: Ns) -> Self {
+        CudaRuntime {
+            space: UmSpace::with_base(host_capacity, va_base),
+            exec_table: ExecutionIdTable::new(),
+            launch_intercept_cost,
+        }
+    }
+
     /// Allocates managed (UM) memory.
     ///
     /// # Errors

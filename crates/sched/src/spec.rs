@@ -1,0 +1,201 @@
+//! Tenant job specifications and seeded arrival generation.
+
+use deepum_core::config::DeepumConfig;
+use deepum_sim::faultinject::InjectionPlan;
+use deepum_sim::rng::DetRng;
+use deepum_torch::models::ModelKind;
+use deepum_torch::step::Workload;
+
+/// What a tenant runs on its share of the device.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// A training job: `iterations` full forward/backward/optimizer
+    /// iterations of `model` at `batch`.
+    Training {
+        /// Model configuration.
+        model: ModelKind,
+        /// Training batch size.
+        batch: usize,
+        /// Iterations to run (the first is the cold warm-up).
+        iterations: usize,
+    },
+    /// An inference-serving job: `requests` replays of the step program
+    /// at a (typically small) batch. The simulator's workloads are step
+    /// programs, so serving is modeled as repeated execution — the
+    /// memory behavior that matters here (small working set, latency-
+    /// sensitive, re-touching the same weights) is preserved.
+    Inference {
+        /// Model configuration.
+        model: ModelKind,
+        /// Serving batch size.
+        batch: usize,
+        /// Requests (program replays) to serve.
+        requests: usize,
+    },
+    /// A hand-built step program (integration tests, golden traces).
+    Custom {
+        /// The program to replay.
+        workload: Workload,
+        /// Times to replay it.
+        repetitions: usize,
+    },
+}
+
+impl JobKind {
+    /// Builds the job's workload.
+    pub fn workload(&self) -> Workload {
+        match self {
+            JobKind::Training { model, batch, .. } | JobKind::Inference { model, batch, .. } => {
+                model.build(*batch)
+            }
+            JobKind::Custom { workload, .. } => workload.clone(),
+        }
+    }
+
+    /// Program repetitions the job runs to completion.
+    pub fn repetitions(&self) -> usize {
+        match self {
+            JobKind::Training { iterations, .. } => *iterations,
+            JobKind::Inference { requests, .. } => *requests,
+            JobKind::Custom { repetitions, .. } => *repetitions,
+        }
+    }
+}
+
+/// Everything the scheduler needs to know about one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Human-readable job name (appears in the tenant report).
+    pub name: String,
+    /// The job to run.
+    pub job: JobKind,
+    /// Scheduling priority (≥ 1): consecutive kernel slots per
+    /// scheduler cycle, and the weight dividing the tenant's overage in
+    /// the fair-share eviction charge order.
+    pub priority: u32,
+    /// Guaranteed resident floor in pages. Admission control refuses
+    /// the tenant when the floor cannot be met; fair-share eviction
+    /// never charges the tenant below it while another tenant is over
+    /// quota.
+    pub floor_pages: u64,
+    /// Scheduler cycle at which the tenant arrives.
+    pub arrival_cycle: u64,
+    /// Seed for the tenant's data-dependent gathers.
+    pub seed: u64,
+    /// The tenant's private fault-injection (chaos) plan.
+    pub plan: InjectionPlan,
+    /// The tenant's DeepUM driver configuration.
+    pub config: DeepumConfig,
+    /// Install a structured-event tracer on the tenant's stack.
+    pub traced: bool,
+}
+
+impl TenantSpec {
+    /// A spec with neutral defaults: priority 1, no floor, arrival at
+    /// cycle 0, no injection plan, default DeepUM config, untraced.
+    pub fn new(name: impl Into<String>, job: JobKind) -> Self {
+        TenantSpec {
+            name: name.into(),
+            job,
+            priority: 1,
+            floor_pages: 0,
+            arrival_cycle: 0,
+            seed: 0x5eed,
+            plan: InjectionPlan::default(),
+            config: DeepumConfig::default(),
+            traced: false,
+        }
+    }
+
+    /// Sets the scheduling priority (clamped to ≥ 1).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority.max(1);
+        self
+    }
+
+    /// Sets the guaranteed resident floor, in pages.
+    pub fn floor_pages(mut self, pages: u64) -> Self {
+        self.floor_pages = pages;
+        self
+    }
+
+    /// Sets the arrival cycle.
+    pub fn arrival(mut self, cycle: u64) -> Self {
+        self.arrival_cycle = cycle;
+        self
+    }
+
+    /// Sets the gather seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the tenant's fault-injection plan.
+    pub fn plan(mut self, plan: InjectionPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the tenant's DeepUM configuration.
+    pub fn config(mut self, config: DeepumConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a structured-event tracer on the tenant's stack.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+}
+
+/// Deterministic seeded arrival cycles: `n` arrivals drawn uniformly
+/// from `0..spread` (all zero when `spread` is zero). The same seed
+/// always produces the same schedule — the property the multi-tenant
+/// determinism tests lean on.
+pub fn seeded_arrivals(seed: u64, n: usize, spread: u64) -> Vec<u64> {
+    let mut rng = DetRng::seed(seed);
+    (0..n)
+        .map(|_| if spread == 0 { 0 } else { rng.below(spread) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_arrivals_are_deterministic_and_bounded() {
+        let a = seeded_arrivals(42, 8, 5);
+        let b = seeded_arrivals(42, 8, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|&c| c < 5));
+        let c = seeded_arrivals(43, 8, 5);
+        assert_ne!(a, c, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn zero_spread_means_simultaneous_arrival() {
+        assert_eq!(seeded_arrivals(7, 3, 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn job_kinds_build_their_workload() {
+        let t = JobKind::Training {
+            model: ModelKind::MobileNet,
+            batch: 4,
+            iterations: 3,
+        };
+        assert_eq!(t.repetitions(), 3);
+        assert!(t.workload().kernel_count() > 0);
+        let i = JobKind::Inference {
+            model: ModelKind::MobileNet,
+            batch: 1,
+            requests: 5,
+        };
+        assert_eq!(i.repetitions(), 5);
+        assert_eq!(i.workload().batch, 1);
+    }
+}

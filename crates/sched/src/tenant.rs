@@ -1,0 +1,693 @@
+//! One tenant's private stack and its resumable stepper.
+//!
+//! A [`TenantRun`] owns everything a solo UM-path run owns — DeepUM
+//! driver, interposed CUDA runtime (at a disjoint VA base), caching
+//! allocator, GPU engine, virtual clock, energy meter, RNG, injector,
+//! tracer, and the checkpoint/journal recovery machinery — but executes
+//! its step program incrementally: the scheduler calls
+//! [`TenantRun::step`] while the tenant's kernel slot is open (the
+//! shared UM driver swapped into the tenant's DeepUM driver), and the
+//! stepper performs exactly one unit of work. The loop body mirrors the
+//! solo executor (`deepum_baselines::executor`) step for step, which is
+//! what makes the tenant-isolation differential test meaningful: a
+//! tenant that is never charged by its co-tenants replays the same
+//! event sequence it would produce alone.
+
+use std::collections::BTreeMap;
+
+use deepum_baselines::report::{IterStats, RunError};
+use deepum_core::driver::DeepumDriver;
+use deepum_core::recovery::{JournalEntry, LaunchJournal, RecoveryReport};
+use deepum_gpu::engine::{BackendError, EngineError, EngineSnapshot, GpuEngine, UmBackend};
+use deepum_gpu::fault::AccessKind;
+use deepum_gpu::kernel::{BlockAccess, KernelLaunch};
+use deepum_mem::{BlockNum, ByteRange, PageMask, TenantId, PAGE_SIZE};
+use deepum_runtime::interpose::CudaRuntime;
+use deepum_sim::clock::SimClock;
+use deepum_sim::costs::CostModel;
+use deepum_sim::energy::EnergyMeter;
+use deepum_sim::faultinject::{SharedInjector, TransientInjectorState};
+use deepum_sim::metrics::Counters;
+use deepum_sim::rng::DetRng;
+use deepum_sim::time::Ns;
+use deepum_torch::alloc::{AllocError, CachingAllocator, PtBlockId, PtEvent};
+use deepum_torch::perf::PerfModel;
+use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
+use deepum_trace::{shared, InjectKind, SharedTracer, TraceEvent, Tracer};
+
+use crate::spec::TenantSpec;
+
+/// Kernel boundaries the journal holds before a checkpoint is forced.
+const JOURNAL_CAPACITY: usize = 256;
+
+/// Restores a tenant survives before reporting a typed recovery failure.
+const MAX_RESTORES: u64 = 64;
+
+/// Default checkpoint cadence (kernel launches) when the tenant's plan
+/// schedules hard faults.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
+
+/// Each tenant's UM allocations live in a disjoint 1 TiB region of the
+/// shared driver's virtual address space, so block numbers never
+/// collide across tenants.
+const VA_STRIDE: u64 = 1 << 40;
+
+/// What one [`TenantRun::step`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One unit of work ran; `kernel` is true when it launched (or
+    /// replay-restored across) a kernel — the unit the scheduler's
+    /// priority quota counts.
+    Ran {
+        /// Whether the unit consumed a kernel slot.
+        kernel: bool,
+    },
+    /// The job already ran to completion; nothing was done.
+    Done,
+    /// The job terminated with an error (see [`TenantRun::error`]).
+    Failed,
+}
+
+/// Everything the stepper mutates that lives outside the driver,
+/// runtime, allocator, and engine. Cloning it is the in-memory half of
+/// a checkpoint.
+#[derive(Clone)]
+struct LoopState {
+    clock: SimClock,
+    energy: EnergyMeter,
+    rng: DetRng,
+    tensors: BTreeMap<TensorId, (PtBlockId, ByteRange)>,
+    gather_cache: BTreeMap<TensorId, Vec<BlockAccess>>,
+    iters: Vec<IterStats>,
+    iter: usize,
+    step: usize,
+    t0: Ns,
+    c0: Counters,
+    compute: Ns,
+    stall: Ns,
+    kernel_seq: u64,
+}
+
+/// A full tenant checkpoint: cloned loop state plus binary images of
+/// the stateful components. The backend image is a *tenant-scoped* UM
+/// snapshot (v3): restoring it touches only this tenant's blocks on the
+/// shared driver, never a co-tenant's residency.
+struct Checkpoint {
+    state: LoopState,
+    backend: Vec<u8>,
+    runtime: Vec<u8>,
+    allocator: Vec<u8>,
+    engine: EngineSnapshot,
+    transient: Option<TransientInjectorState>,
+}
+
+impl Checkpoint {
+    fn bytes(&self) -> u64 {
+        (self.backend.len() + self.runtime.len() + self.allocator.len()) as u64
+    }
+}
+
+fn emit(tracer: &Option<SharedTracer>, now: Ns, event: TraceEvent) {
+    if let Some(tr) = tracer {
+        tr.borrow_mut().emit(now.as_nanos(), event);
+    }
+}
+
+/// One tenant's private execution stack.
+pub struct TenantRun {
+    /// The spec this tenant was admitted under.
+    pub spec: TenantSpec,
+    /// The tenant's identity on the shared driver.
+    pub tid: TenantId,
+    /// The tenant's DeepUM driver. Between slots it wraps a placeholder
+    /// UM driver; during the tenant's slot the scheduler swaps the
+    /// shared UM driver in.
+    pub driver: DeepumDriver,
+    workload: Workload,
+    repetitions: usize,
+    runtime: CudaRuntime,
+    allocator: CachingAllocator,
+    engine: GpuEngine,
+    costs: CostModel,
+    perf: PerfModel,
+    injector: Option<SharedInjector>,
+    tracer: Option<SharedTracer>,
+    st: LoopState,
+    events: Vec<PtEvent>,
+    cadence: Option<u64>,
+    recovery: Option<RecoveryReport>,
+    checkpoint: Option<Checkpoint>,
+    checkpoint_due: bool,
+    journal: LaunchJournal,
+    persistent_done: bool,
+    done: bool,
+    error: Option<RunError>,
+}
+
+impl TenantRun {
+    /// Builds the tenant's private stack. No driver work happens here —
+    /// every driver-touching operation (including persistent-tensor
+    /// allocation) is deferred to [`TenantRun::step`], which only runs
+    /// while the shared UM driver is swapped in.
+    pub fn new(tid: TenantId, spec: TenantSpec, costs: CostModel, perf: PerfModel) -> Self {
+        let workload = spec.job.workload();
+        let repetitions = spec.job.repetitions();
+        let mut driver = DeepumDriver::new(costs.clone(), spec.config.clone());
+        let runtime = CudaRuntime::with_va_base(
+            costs.host_memory_bytes,
+            u64::from(tid.raw()) * VA_STRIDE,
+            costs.launch_intercept_cost,
+        );
+        let mut engine = GpuEngine::new();
+        let injector = if spec.plan.is_empty() {
+            None
+        } else {
+            Some(spec.plan.build_shared())
+        };
+        if let Some(inj) = &injector {
+            UmBackend::install_injector(&mut driver, inj.clone());
+            engine.set_injector(inj.clone());
+        }
+        let tracer = if spec.traced {
+            Some(shared(Tracer::export()))
+        } else {
+            None
+        };
+        if let Some(tr) = &tracer {
+            UmBackend::install_tracer(&mut driver, tr.clone());
+            engine.set_tracer(tr.clone());
+        }
+        let cadence = spec
+            .plan
+            .has_hard_faults()
+            .then_some(DEFAULT_CHECKPOINT_EVERY);
+        let seed = spec.seed;
+        TenantRun {
+            spec,
+            tid,
+            driver,
+            workload,
+            repetitions,
+            runtime,
+            allocator: CachingAllocator::new(),
+            engine,
+            costs,
+            perf,
+            injector,
+            tracer,
+            st: LoopState {
+                clock: SimClock::new(),
+                energy: EnergyMeter::new(),
+                rng: DetRng::seed(seed),
+                tensors: BTreeMap::new(),
+                gather_cache: BTreeMap::new(),
+                iters: Vec::new(),
+                iter: 0,
+                step: 0,
+                t0: Ns::ZERO,
+                c0: Counters::new(),
+                compute: Ns::ZERO,
+                stall: Ns::ZERO,
+                kernel_seq: 0,
+            },
+            events: Vec::new(),
+            recovery: cadence.map(|_| RecoveryReport::default()),
+            cadence,
+            checkpoint: None,
+            checkpoint_due: cadence.is_some(),
+            journal: LaunchJournal::new(JOURNAL_CAPACITY),
+            persistent_done: false,
+            done: false,
+            error: None,
+        }
+    }
+
+    /// The tenant's virtual time.
+    pub fn now(&self) -> Ns {
+        self.st.clock.now()
+    }
+
+    /// Advances the tenant's clock (reclaim-debt payment at slot start).
+    pub fn advance_clock(&mut self, delta: Ns) {
+        self.st.clock.advance(delta);
+    }
+
+    /// Whole-stack energy the tenant consumed so far, joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.st.energy.joules()
+    }
+
+    /// The tenant's tracer, if one was installed.
+    pub fn tracer(&self) -> Option<SharedTracer> {
+        self.tracer.clone()
+    }
+
+    /// The tenant's fault injector, if its plan is non-empty.
+    pub fn injector(&self) -> Option<SharedInjector> {
+        self.injector.clone()
+    }
+
+    /// True once the job ran every repetition to completion.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Terminal error, if the job failed.
+    pub fn error(&self) -> Option<&RunError> {
+        self.error.as_ref()
+    }
+
+    /// Per-iteration statistics accumulated so far.
+    pub fn iters(&self) -> &[IterStats] {
+        &self.st.iters
+    }
+
+    /// Checkpoint/restore summary, when recovery machinery was active.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Counters scoped to this tenant: the shared driver's active-slot
+    /// view plus the DeepUM-side locals. Meaningful while the tenant's
+    /// slot is open (the scheduler folds the final value from the
+    /// ledger after the last slot closes).
+    pub fn counters(&self) -> Counters {
+        let mut c = self.driver.um().active_counters();
+        c.merge(&self.driver.local_counters());
+        c
+    }
+
+    /// Performs one unit of work. Must only be called while the
+    /// tenant's slot is open on the shared driver.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.error.is_some() {
+            return StepOutcome::Failed;
+        }
+        if self.done {
+            return StepOutcome::Done;
+        }
+        match self.try_step() {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.error = Some(e);
+                StepOutcome::Failed
+            }
+        }
+    }
+
+    fn try_step(&mut self) -> Result<StepOutcome, RunError> {
+        // Persistent tensors are allocated once, as the first unit of
+        // work, exactly like the solo executor's pre-loop allocation.
+        if !self.persistent_done {
+            for spec in &self.workload.persistent.clone() {
+                self.alloc_tensor(spec.id, spec.bytes)?;
+            }
+            self.persistent_done = true;
+            return Ok(StepOutcome::Ran { kernel: false });
+        }
+        if self.st.iter >= self.repetitions {
+            self.done = true;
+            return Ok(StepOutcome::Done);
+        }
+        if self.checkpoint_due {
+            self.take_checkpoint()?;
+        }
+
+        let step = match self.workload.steps.get(self.st.step) {
+            Some(s) => s.clone(),
+            None => {
+                return Err(RunError::Driver(format!(
+                    "step index {} out of bounds",
+                    self.st.step
+                )))
+            }
+        };
+        let mut ran_kernel = false;
+        match &step {
+            Step::Alloc(spec) => {
+                self.alloc_tensor(spec.id, spec.bytes)?;
+            }
+            Step::Free(id) => {
+                let (block, _) = self
+                    .st
+                    .tensors
+                    .remove(id)
+                    .ok_or_else(|| RunError::Driver(format!("free of unmapped tensor {id}")))?;
+                self.allocator.free(block, &mut self.events);
+                self.forward_events();
+            }
+            Step::Kernel(k) => {
+                // A scheduled device reset fires at this launch's
+                // tenant-local sequence number, before the kernel runs.
+                let reset = self
+                    .injector
+                    .as_ref()
+                    .is_some_and(|inj| inj.borrow_mut().take_scheduled_reset(self.st.kernel_seq));
+                if reset {
+                    emit(
+                        &self.tracer,
+                        self.st.clock.now(),
+                        TraceEvent::InjectedFault {
+                            kind: InjectKind::DeviceReset,
+                        },
+                    );
+                    let replayed = self.recover_from("scheduled device reset")?;
+                    emit(
+                        &self.tracer,
+                        self.st.clock.now(),
+                        TraceEvent::Restored { replayed },
+                    );
+                    return Ok(StepOutcome::Ran { kernel: false });
+                }
+                if self.cadence.is_some() {
+                    let entry = JournalEntry {
+                        seq: self.st.kernel_seq,
+                        iter: self.st.iter as u64,
+                        step: self.st.step as u64,
+                    };
+                    // A full journal means too much un-checkpointed
+                    // work: force a checkpoint, then record again.
+                    if !self.journal.record(entry) {
+                        self.checkpoint_due = true;
+                        self.take_checkpoint()?;
+                        if !self.journal.record(entry) {
+                            return Err(RunError::Driver(
+                                "launch journal rejected an entry after a checkpoint".into(),
+                            ));
+                        }
+                    }
+                }
+                let launch = self.build_launch(k)?;
+                let (_exec, intercept) =
+                    self.runtime
+                        .launch(self.st.clock.now(), &launch, &mut self.driver);
+                self.st.clock.advance(intercept);
+                if let Some(inj) = &self.injector {
+                    let delay = inj.borrow_mut().roll_launch_delay();
+                    if let Some(delay) = delay {
+                        emit(
+                            &self.tracer,
+                            self.st.clock.now(),
+                            TraceEvent::InjectedFault {
+                                kind: InjectKind::LaunchDelay,
+                            },
+                        );
+                        self.st.clock.advance(delay);
+                    }
+                }
+                emit(
+                    &self.tracer,
+                    self.st.clock.now(),
+                    TraceEvent::KernelBegin {
+                        seq: self.st.kernel_seq,
+                        name: launch.name.to_string(),
+                    },
+                );
+                match self.engine.execute(
+                    &launch,
+                    &mut self.st.clock,
+                    &mut self.driver,
+                    &mut self.st.energy,
+                ) {
+                    Ok(stats) => {
+                        self.st.compute += stats.compute;
+                        self.st.stall += stats.stall;
+                        emit(
+                            &self.tracer,
+                            self.st.clock.now(),
+                            TraceEvent::KernelEnd {
+                                seq: self.st.kernel_seq,
+                                faults: stats.faults,
+                                stall_ns: stats.stall.as_nanos(),
+                            },
+                        );
+                    }
+                    Err(EngineError::Backend(BackendError::DriverCrash)) => {
+                        emit(
+                            &self.tracer,
+                            self.st.clock.now(),
+                            TraceEvent::InjectedFault {
+                                kind: InjectKind::DriverCrash,
+                            },
+                        );
+                        let replayed = self.recover_from("driver crash during fault drain")?;
+                        emit(
+                            &self.tracer,
+                            self.st.clock.now(),
+                            TraceEvent::Restored { replayed },
+                        );
+                        return Ok(StepOutcome::Ran { kernel: false });
+                    }
+                    Err(EngineError::Backend(BackendError::CapacityExceeded {
+                        needed_pages,
+                        capacity_pages,
+                    })) => {
+                        return Err(RunError::WorkingSetExceedsDevice {
+                            needed_pages,
+                            capacity_pages,
+                        })
+                    }
+                    Err(e) => return Err(RunError::Driver(e.to_string())),
+                }
+                self.st.kernel_seq += 1;
+                ran_kernel = true;
+                if let Some(every) = self.cadence {
+                    if self.st.kernel_seq.is_multiple_of(every) {
+                        self.checkpoint_due = true;
+                    }
+                }
+            }
+        }
+
+        self.st.step += 1;
+        if self.st.step == self.workload.steps.len() {
+            let elapsed = self.st.clock.now() - self.st.t0;
+            let c = self.counters();
+            self.st.iters.push(IterStats {
+                elapsed,
+                compute: self.st.compute,
+                stall: self.st.stall,
+                counters: c.delta_since(&self.st.c0),
+            });
+            self.st.iter += 1;
+            self.st.step = 0;
+            self.st.t0 = self.st.clock.now();
+            self.st.c0 = c;
+            self.st.compute = Ns::ZERO;
+            self.st.stall = Ns::ZERO;
+            self.st.gather_cache.clear();
+            if self.st.iter >= self.repetitions {
+                if let (Some(rec), Some(inj)) = (self.recovery.as_mut(), self.injector.as_ref()) {
+                    rec.ecc_poisonings = inj.borrow().ecc_hits();
+                }
+                self.done = true;
+            }
+        }
+        Ok(StepOutcome::Ran { kernel: ran_kernel })
+    }
+
+    fn take_checkpoint(&mut self) -> Result<(), RunError> {
+        self.checkpoint_due = false;
+        let backend_image = UmBackend::snapshot_state(&self.driver).ok_or_else(|| {
+            RunError::Unsupported(
+                "backend does not support checkpointing, required by the hard-fault plan".into(),
+            )
+        })?;
+        let cp = Checkpoint {
+            state: self.st.clone(),
+            backend: backend_image,
+            runtime: self.runtime.snapshot(),
+            allocator: self.allocator.snapshot(),
+            engine: self.engine.snapshot(),
+            transient: self
+                .injector
+                .as_ref()
+                .map(|i| i.borrow().transient_snapshot()),
+        };
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.checkpoints += 1;
+            rec.snapshot_bytes = cp.bytes();
+        }
+        emit(
+            &self.tracer,
+            self.st.clock.now(),
+            TraceEvent::Checkpoint { bytes: cp.bytes() },
+        );
+        self.journal.clear();
+        self.checkpoint = Some(cp);
+        Ok(())
+    }
+
+    /// Rewinds the tenant to its latest checkpoint after a hard fault.
+    /// The backend restore is tenant-scoped: only this tenant's blocks
+    /// on the shared driver are touched. Returns the journaled kernel
+    /// count replayed.
+    fn recover_from(&mut self, reason: &str) -> Result<u64, RunError> {
+        let rec = self
+            .recovery
+            .as_mut()
+            .ok_or_else(|| RunError::Recovery("hard fault without recovery machinery".into()))?;
+        rec.restores += 1;
+        if rec.restores > MAX_RESTORES {
+            return Err(RunError::Recovery(format!(
+                "gave up after {MAX_RESTORES} restores (last hard fault: {reason})"
+            )));
+        }
+        let cp = self
+            .checkpoint
+            .as_ref()
+            .ok_or_else(|| RunError::Recovery(format!("{reason} before the first checkpoint")))?;
+        let replayed = self.journal.len() as u64;
+        rec.replay_kernels += replayed;
+        self.journal.clear();
+
+        self.st = cp.state.clone();
+        UmBackend::restore_state(&mut self.driver, &cp.backend)
+            .map_err(|e| RunError::Recovery(format!("backend restore failed: {e}")))?;
+        self.runtime
+            .restore(&cp.runtime)
+            .map_err(|e| RunError::Recovery(format!("runtime restore failed: {e}")))?;
+        self.allocator
+            .restore(&cp.allocator)
+            .map_err(|e| RunError::Recovery(format!("allocator restore failed: {e}")))?;
+        self.engine.restore(&cp.engine);
+        if let (Some(inj), Some(tr)) = (self.injector.as_ref(), &cp.transient) {
+            inj.borrow_mut().restore_transient(tr);
+        }
+        UmBackend::validate(&self.driver)
+            .map_err(|e| RunError::Recovery(format!("restored backend failed validation: {e}")))?;
+
+        // The reset wiped this tenant's device residency; it comes back
+        // over PCIe at demand granularity. Only the tenant's own pages
+        // are charged — co-tenant residency survived the scoped restore.
+        let resident = self
+            .driver
+            .um()
+            .tenant_ledger(self.tid)
+            .map_or_else(|| self.driver.um().resident_pages(), |l| l.resident_pages);
+        let refill = self.costs.transfer_time(resident * PAGE_SIZE as u64);
+        let rec = self
+            .recovery
+            .as_mut()
+            .ok_or_else(|| RunError::Recovery("recovery report vanished mid-restore".into()))?;
+        rec.downtime_ns = rec
+            .downtime_ns
+            .saturating_add(self.spec.plan.reset_penalty.as_nanos())
+            .saturating_add(refill.as_nanos());
+        Ok(replayed)
+    }
+
+    fn alloc_tensor(&mut self, id: TensorId, bytes: u64) -> Result<(), RunError> {
+        let (block, range) = self
+            .allocator
+            .alloc(bytes, &mut self.runtime, &mut self.events)
+            .map_err(|e| match e {
+                AllocError::OutOfMemory { requested } => RunError::OutOfMemory(format!(
+                    "tensor {id} of {requested} bytes exceeds the UM backing store"
+                )),
+                AllocError::ZeroSize => RunError::Unsupported("zero-size tensor".into()),
+            })?;
+        self.st.tensors.insert(id, (block, range));
+        self.forward_events();
+        Ok(())
+    }
+
+    /// Drains allocator events into driver notifications.
+    fn forward_events(&mut self) {
+        let now = self.st.clock.now();
+        for event in self.events.drain(..) {
+            match event {
+                PtEvent::Active(range) => {
+                    self.runtime
+                        .notify_pt_block(now, range, false, &mut self.driver)
+                }
+                PtEvent::Inactive(range) => {
+                    self.runtime
+                        .notify_pt_block(now, range, true, &mut self.driver)
+                }
+                PtEvent::Released(range) => {
+                    deepum_runtime::interpose::LaunchObserver::on_um_range_released(
+                        &mut self.driver,
+                        now,
+                        range,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Converts a kernel step into a concrete launch with block
+    /// accesses (the solo executor's `build_launch`, without panics).
+    fn build_launch(
+        &mut self,
+        k: &deepum_torch::step::KernelStep,
+    ) -> Result<KernelLaunch, RunError> {
+        let mut accesses = Vec::new();
+        let mut bytes = 0u64;
+        for (ids, kind) in [(&k.reads, AccessKind::Read), (&k.writes, AccessKind::Write)] {
+            for id in ids {
+                let (_, range) = self.st.tensors.get(id).ok_or_else(|| {
+                    RunError::Driver(format!("kernel reads unmapped tensor {id}"))
+                })?;
+                bytes += range.len();
+                for (block, mask) in range.block_footprints() {
+                    accesses.push(BlockAccess::new(block, mask, kind));
+                }
+            }
+        }
+        for g in &k.gathers {
+            if !self.st.gather_cache.contains_key(&g.table) {
+                let sample = sample_gather(g, &self.st.tensors, &mut self.st.rng)?;
+                self.st.gather_cache.insert(g.table, sample);
+            }
+            if let Some(sample) = self.st.gather_cache.get(&g.table) {
+                bytes += sample
+                    .iter()
+                    .map(|a| a.pages.count() as u64 * PAGE_SIZE as u64)
+                    .sum::<u64>();
+                accesses.extend(sample.iter().cloned());
+            }
+        }
+        Ok(KernelLaunch::new(
+            k.name.clone(),
+            &k.args,
+            accesses,
+            self.perf.kernel_time(k.flops, bytes),
+        ))
+    }
+}
+
+/// Samples the pages touched by a gather: `lookups` skewed random rows
+/// of the table, merged into per-block page masks. Matches the solo
+/// executor's sampling exactly (same RNG stream, same merge order).
+fn sample_gather(
+    g: &GatherAccess,
+    tensors: &BTreeMap<TensorId, (PtBlockId, ByteRange)>,
+    rng: &mut DetRng,
+) -> Result<Vec<BlockAccess>, RunError> {
+    let (_, range) = tensors
+        .get(&g.table)
+        .ok_or_else(|| RunError::Driver(format!("gather of unmapped table {}", g.table)))?;
+    let rows = range.len() / g.row_bytes as u64;
+    if rows == 0 {
+        return Ok(Vec::new());
+    }
+    let mut blocks: BTreeMap<BlockNum, PageMask> = BTreeMap::new();
+    for _ in 0..g.lookups {
+        let row = if g.skew > 0.0 {
+            rng.zipf_like(rows, g.skew)
+        } else {
+            rng.below(rows)
+        };
+        let byte = range.start().raw() + row * g.row_bytes as u64;
+        let addr = deepum_mem::UmAddr::new(byte);
+        blocks
+            .entry(addr.block())
+            .or_insert_with(PageMask::empty)
+            .set(addr.page().index_in_block());
+    }
+    Ok(blocks
+        .into_iter()
+        .map(|(b, m)| BlockAccess::new(b, m, AccessKind::Read))
+        .collect())
+}

@@ -234,6 +234,39 @@ pub enum TraceEvent {
         /// Journaled kernels replayed after the restore.
         replayed: u64,
     },
+    /// The scheduler admitted a tenant onto the shared device.
+    TenantAdmitted {
+        /// Raw tenant index.
+        tenant: u32,
+        /// Guaranteed resident floor granted, in pages.
+        floor_pages: u64,
+        /// Scheduling priority (higher = more kernel slots per cycle).
+        priority: u32,
+    },
+    /// Admission control refused a tenant whose floor cannot be met.
+    TenantDenied {
+        /// Raw tenant index.
+        tenant: u32,
+        /// Pages the tenant's guaranteed floor requires.
+        need: u64,
+        /// Pages of floor headroom actually available.
+        avail: u64,
+    },
+    /// Fair-share eviction charged a victim block against a tenant.
+    TenantEvictionCharged {
+        /// Raw tenant index the eviction was charged to.
+        tenant: u32,
+        /// UM block index of the victim.
+        block: u64,
+        /// Resident pages the victim gave up.
+        pages: u64,
+    },
+    /// The scheduler broadcast the system-wide pressure level to a
+    /// tenant so it can shed load (shrink prefetch, defer admission).
+    PressureSignal {
+        /// The broadcast level.
+        level: PressureLevel,
+    },
 }
 
 /// An event stamped with its virtual-time nanosecond timestamp.

@@ -1,6 +1,6 @@
 //! Per-UM-block driver state.
 
-use deepum_mem::PageMask;
+use deepum_mem::{PageMask, TenantId};
 use deepum_sim::time::Ns;
 
 /// Driver bookkeeping for one UM block (up to 512 pages).
@@ -34,6 +34,9 @@ pub struct BlockState {
     /// first GPU touch populates device memory directly, with no PCIe
     /// transfer (CUDA managed pages are allocated on first touch).
     pub host_valid: PageMask,
+    /// Tenant the block belongs to. `None` in single-tenant runs (the
+    /// default), so untenanted drivers never observe the field.
+    pub owner: Option<TenantId>,
 }
 
 impl BlockState {

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use deepum_gpu::engine::{BackendError, PressureStats};
 use deepum_gpu::fault::FaultEntry;
-use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, PAGE_BYTES};
+use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, TenantId, PAGE_BYTES};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::SharedInjector;
 use deepum_sim::metrics::Counters;
@@ -28,6 +28,7 @@ use deepum_trace::{EvictReason, InjectKind, PressureLevel, SharedTracer, TraceEv
 use crate::block::BlockState;
 use crate::evict::{demand_candidates, LruMigrated, SharedBlockSet, VictimPolicy};
 use crate::pressure::{PressureConfig, PressureGovernor};
+use crate::tenancy::{charge_order, Tenancy, TenantLedger};
 
 /// Which path a host→device migration took; determines counter
 /// attribution and prefetch-provenance tracking.
@@ -101,6 +102,10 @@ pub struct UmDriver {
     /// detection and mitigation code paths are absent entirely, keeping
     /// ungoverned runs byte-identical to pre-governor builds.
     pub(crate) pressure: Option<PressureGovernor>,
+    /// Multi-tenant ledgers; `None` (the default) keeps the tenancy
+    /// machinery absent entirely, so single-tenant runs stay
+    /// byte-identical to pre-tenancy builds.
+    pub(crate) tenancy: Option<Tenancy>,
 }
 
 impl UmDriver {
@@ -120,6 +125,7 @@ impl UmDriver {
             migrate_epoch: 0,
             epoch_now: Ns::ZERO,
             pressure: None,
+            tenancy: None,
         }
     }
 
@@ -287,6 +293,7 @@ impl UmDriver {
     /// to the system (e.g. a cached PyTorch segment was released), so any
     /// device residency is meaningless and is dropped without write-back.
     pub fn release_range(&mut self, range: ByteRange) {
+        let mut owner_drops: Vec<(TenantId, u64)> = Vec::new();
         for (block, mask) in range.block_footprints() {
             if let Some(state) = self.blocks.get_mut(&block) {
                 let dropped = state.resident.intersect(&mask);
@@ -296,12 +303,26 @@ impl UmDriver {
                     state.prefetched_untouched.subtract_with(&dropped);
                     state.resident.subtract_with(&dropped);
                     self.resident_pages -= dropped.count_u64();
+                    if let Some(tid) = state.owner {
+                        owner_drops.push((tid, dropped.count_u64()));
+                    }
                     if state.resident.is_empty() {
                         self.lru.remove(block, state.last_migrated);
                     }
                 }
                 state.invalidatable.subtract_with(&mask);
                 state.host_valid.subtract_with(&mask);
+            }
+        }
+        // Owners are only ever tagged while tenancy is active, so this
+        // stays a no-op (and allocation-free) for single-tenant runs.
+        if !owner_drops.is_empty() {
+            if let Some(t) = self.tenancy.as_mut() {
+                for (tid, n) in owner_drops {
+                    if let Some(l) = t.tenants.get_mut(&tid) {
+                        l.resident_pages = l.resident_pages.saturating_sub(n);
+                    }
+                }
             }
         }
     }
@@ -479,7 +500,12 @@ impl UmDriver {
             self.epoch_now = now;
         }
         let epoch = self.migrate_epoch;
+        let active_owner = self.tenancy.as_ref().and_then(|t| t.active);
         let state = self.blocks.entry(block).or_default();
+        if state.owner.is_none() {
+            state.owner = active_owner;
+        }
+        let block_owner = state.owner;
         let was_resident = !state.resident.is_empty();
         let prev_key = if was_resident || !state.prefetched_untouched.is_empty() {
             Some(state.last_migrated)
@@ -521,6 +547,13 @@ impl UmDriver {
         state.last_epoch = epoch;
         self.lru.record_migration(block, prev_key, now);
         self.resident_pages += count;
+        if let Some(tid) = block_owner {
+            if let Some(t) = self.tenancy.as_mut() {
+                if let Some(l) = t.tenants.get_mut(&tid) {
+                    l.resident_pages += count;
+                }
+            }
+        }
         self.counters.bytes_h2d += bytes;
         self.trace(
             now,
@@ -582,6 +615,12 @@ impl UmDriver {
         path: EvictPath,
         exclude: Option<BlockNum>,
     ) -> Result<EvictCost, BackendError> {
+        // With an active tenant slot, victim selection becomes a
+        // fair-share charge scan; the single-tenant scan below stays
+        // byte-identical for untenanted drivers.
+        if self.tenancy.as_ref().is_some_and(|t| t.active.is_some()) {
+            return self.evict_to_free_tenant(now, needed, path, exclude);
+        }
         let mut victims = Vec::new();
         let mut freed = 0u64;
         // Victim eligibility: protection, in-flight pins, and refault
@@ -831,6 +870,615 @@ impl UmDriver {
         })
     }
 
+    /// Fair-share eviction for multi-tenant runs. Victims are charged to
+    /// the tenant most over its priority-weighted fair share first; a
+    /// tenant within its guaranteed floor is never charged while another
+    /// is over quota, and only the *active* tenant may dip below its own
+    /// floor (its demand, its pages). Eligibility reuses the
+    /// single-tenant [`VictimPolicy`], instantiated per charged tenant
+    /// with that tenant's protected set and governor.
+    fn evict_to_free_tenant(
+        &mut self,
+        now: Ns,
+        needed: u64,
+        path: EvictPath,
+        exclude: Option<BlockNum>,
+    ) -> Result<EvictCost, BackendError> {
+        struct Pick {
+            key: Ns,
+            block: BlockNum,
+            charge: TenantId,
+            reason: EvictReason,
+            pages: u64,
+        }
+        let Some(active) = self.tenancy.as_ref().and_then(|t| t.active) else {
+            return Ok(EvictCost::default());
+        };
+
+        // Transient host OOM rolls on the active tenant's injector: the
+        // shortfall is the active tenant's demand, so its chaos plan
+        // owns the roll.
+        let host_oom = match &self.injector {
+            Some(inj) => inj.borrow_mut().roll_host_oom(),
+            None => false,
+        };
+        if host_oom {
+            self.trace(
+                now,
+                TraceEvent::InjectedFault {
+                    kind: InjectKind::HostOom,
+                },
+            );
+        }
+
+        let mut picks: Vec<Pick> = Vec::new();
+        let mut cooldown_skips: Vec<(TenantId, BlockNum, u64)> = Vec::new();
+        {
+            let Some(t) = self.tenancy.as_ref() else {
+                return Ok(EvictCost::default());
+            };
+            let mut freed = 0u64;
+            // Charge order: over-quota tenants first (priority-weighted),
+            // then the active tenant itself — its own demand may push it
+            // below its own floor, which is not a fairness violation.
+            let mut order = charge_order(&t.tenants);
+            if !order.contains(&active) {
+                order.push(active);
+            }
+            // Pass 0 (host OOM only): fully-invalidatable victims — they
+            // free device pages without touching host memory. Pass 1:
+            // first-pass policy (protection, pins, cooldowns). Pass 2:
+            // override — correctness over prediction, only in-flight pins
+            // keep immunity. Unlike the single-tenant scan, the override
+            // also runs when making room for a prefetch: abandoning the
+            // prefetch instead would leak a `PrefetchDrop` into the
+            // active tenant's trace that a solo run would not have.
+            for pass in 0..3u32 {
+                if pass == 0 && !host_oom {
+                    continue;
+                }
+                for &tid in &order {
+                    if freed >= needed {
+                        break;
+                    }
+                    let Some(ledger) = t.tenants.get(&tid) else {
+                        continue;
+                    };
+                    let picked: u64 = picks
+                        .iter()
+                        .filter(|p| p.charge == tid)
+                        .map(|p| p.pages)
+                        .sum();
+                    // Fair-share budget: a charged tenant never goes
+                    // below its floor. The active tenant is unbounded —
+                    // self-eviction below its own floor is allowed.
+                    let mut budget = if tid == active {
+                        u64::MAX
+                    } else {
+                        ledger.overage().saturating_sub(picked)
+                    };
+                    if budget == 0 {
+                        continue;
+                    }
+                    let governor = if tid == active {
+                        self.pressure.as_ref()
+                    } else {
+                        ledger.governor.as_ref()
+                    };
+                    let policy = VictimPolicy {
+                        protected: &ledger.protected,
+                        governor,
+                    };
+                    for (key, block) in self.lru.iter() {
+                        if freed >= needed || budget == 0 {
+                            break;
+                        }
+                        if Some(block) == exclude || picks.iter().any(|p| p.block == block) {
+                            continue;
+                        }
+                        let Some(state) = self.blocks.get(&block) else {
+                            return Err(BackendError::MissingBlock(block));
+                        };
+                        if state.owner != Some(tid) {
+                            continue;
+                        }
+                        let pages = state.resident.count_u64();
+                        // `pages > budget` would take the charged tenant
+                        // below its floor: block-granular floors are
+                        // exact, not advisory, so the scan moves on.
+                        if pages == 0 || pages > budget {
+                            continue;
+                        }
+                        let (eligible, reason) = match pass {
+                            0 => (
+                                policy.first_pass_eligible(block)
+                                    && state.resident.subtract(&state.invalidatable).is_empty(),
+                                EvictReason::HostOomInvalidatable,
+                            ),
+                            1 => (
+                                policy.first_pass_eligible(block),
+                                match path {
+                                    EvictPath::Demand => EvictReason::LruDemand,
+                                    EvictPath::Pre => EvictReason::LruPre,
+                                },
+                            ),
+                            _ => (
+                                policy.override_eligible(block),
+                                EvictReason::ProtectedOverride,
+                            ),
+                        };
+                        if !eligible {
+                            if pass == 1 && policy.skipped_for_cooldown(block) {
+                                let remaining = governor.map_or(0, |g| g.cooldown_remaining(block));
+                                cooldown_skips.push((tid, block, remaining));
+                            }
+                            continue;
+                        }
+                        picks.push(Pick {
+                            key,
+                            block,
+                            charge: tid,
+                            reason,
+                            pages,
+                        });
+                        freed += pages;
+                        budget = budget.saturating_sub(pages);
+                    }
+                }
+                if freed >= needed {
+                    break;
+                }
+            }
+        }
+
+        if host_oom {
+            let fallbacks = picks
+                .iter()
+                .filter(|p| p.reason == EvictReason::HostOomInvalidatable)
+                .count();
+            if fallbacks > 0 {
+                if let Some(inj) = &self.injector {
+                    inj.borrow_mut()
+                        .note_writeback_fallbacks(u64_from_usize(fallbacks));
+                }
+            }
+        }
+
+        // Cooldown feedback and traces go to the tenant whose governor
+        // spared the block.
+        for (tid, block, remaining) in &cooldown_skips {
+            if *tid == active {
+                if let Some(g) = self.pressure.as_mut() {
+                    g.note_cooldown_skip();
+                }
+            } else if let Some(t) = self.tenancy.as_mut() {
+                if let Some(l) = t.tenants.get_mut(tid) {
+                    if let Some(g) = l.governor.as_mut() {
+                        g.note_cooldown_skip();
+                    }
+                }
+            }
+            self.trace_for(
+                *tid,
+                active,
+                now,
+                TraceEvent::VictimCooldownSkip {
+                    block: block.index(),
+                    remaining_kernels: *remaining,
+                },
+            );
+        }
+
+        let mut cost = EvictCost::default();
+        for p in picks {
+            self.trace_for(
+                p.charge,
+                active,
+                now,
+                TraceEvent::EvictVictim {
+                    block: p.block.index(),
+                    reason: p.reason,
+                },
+            );
+            self.trace_for(
+                p.charge,
+                active,
+                now,
+                TraceEvent::TenantEvictionCharged {
+                    tenant: p.charge.raw(),
+                    block: p.block.index(),
+                    pages: p.pages,
+                },
+            );
+            let c =
+                self.evict_block_tenant(now, p.block, p.key, path, p.charge, active, host_oom)?;
+            cost.bookkeeping += c.bookkeeping;
+            cost.writeback += c.writeback;
+        }
+        Ok(cost)
+    }
+
+    /// Routes one event to the tenant it is charged to: the active
+    /// tenant's events go through the installed tracer at `now`; a
+    /// foreign tenant's events land in its own parked tracer, stamped
+    /// with the end of its last slot (its clock has not advanced since).
+    fn trace_for(&self, charge: TenantId, active: TenantId, now: Ns, event: TraceEvent) {
+        if charge == active {
+            self.trace(now, event);
+        } else if let Some(t) = self.tenancy.as_ref() {
+            if let Some(l) = t.tenants.get(&charge) {
+                if let Some(tr) = &l.tracer {
+                    tr.borrow_mut().emit(l.last_active_now.as_nanos(), event);
+                }
+            }
+        }
+    }
+
+    /// Evicts one victim on behalf of `charge`, routing governor
+    /// feedback, traces, per-tenant counters, and injected DMA faults to
+    /// the charged tenant. A foreign (non-active) charge accrues the
+    /// eviction cost as reclaim debt on its own ledger and costs the
+    /// active tenant nothing — a solo run of the active tenant would not
+    /// have performed that write-back.
+    #[allow(clippy::too_many_arguments)]
+    fn evict_block_tenant(
+        &mut self,
+        now: Ns,
+        block: BlockNum,
+        lru_key: Ns,
+        path: EvictPath,
+        charge: TenantId,
+        active: TenantId,
+        host_oom: bool,
+    ) -> Result<EvictCost, BackendError> {
+        let c_before = self.counters;
+        let Some(state) = self.blocks.get_mut(&block) else {
+            return Err(BackendError::MissingBlock(block));
+        };
+        let resident = state.resident;
+        let count = resident.count_u64();
+        debug_assert!(count > 0, "evicting empty block");
+
+        let wasted = state.prefetched_untouched.intersect(&resident);
+        self.counters.prefetch_wasted += wasted.count_u64();
+
+        let invalidated = resident.intersect(&state.invalidatable);
+        let writeback = resident.subtract(&invalidated);
+        let writeback_bytes = writeback.count_u64() * PAGE_BYTES;
+
+        state.resident = PageMask::empty();
+        state.prefetched_untouched = PageMask::empty();
+        state.host_valid.union_with(&writeback);
+        self.lru.remove(block, lru_key);
+        self.resident_pages -= count;
+
+        self.counters.pages_invalidated += invalidated.count_u64();
+        match path {
+            EvictPath::Demand => self.counters.pages_evicted_demand += writeback.count_u64(),
+            EvictPath::Pre => self.counters.pages_preevicted += writeback.count_u64(),
+        }
+        self.counters.bytes_d2h += writeback_bytes;
+
+        if !invalidated.is_empty() {
+            self.trace_for(
+                charge,
+                active,
+                now,
+                TraceEvent::Invalidate {
+                    block: block.index(),
+                    pages: invalidated.count_u64(),
+                },
+            );
+        }
+
+        // Write-back DMA faults roll on the *charged* tenant's chaos
+        // plan — a foreign tenant's flaky link cannot slow the active
+        // tenant's slot (or perturb its injector's RNG stream).
+        let injector = if charge == active {
+            self.injector.clone()
+        } else {
+            self.tenancy
+                .as_ref()
+                .and_then(|t| t.tenants.get(&charge))
+                .and_then(|l| l.injector.clone())
+        };
+        let mut dma_retries = 0u64;
+        let mut writeback_cost = self.costs.transfer_time(writeback_bytes);
+        if writeback_bytes > 0 {
+            if let Some(handle) = injector {
+                let mut inj = handle.borrow_mut();
+                let max_retries = inj.plan().max_retries;
+                let mut backoff = inj.plan().backoff_base;
+                let mut failures = 0u32;
+                while failures < max_retries && inj.roll_d2h_failure() {
+                    inj.note_retry(backoff);
+                    writeback_cost += backoff;
+                    backoff = inj.next_backoff(backoff);
+                    failures += 1;
+                    dma_retries += 1;
+                }
+                if host_oom {
+                    // Host page reclaim stalls this write-back once.
+                    writeback_cost += inj.plan().backoff_base;
+                }
+            }
+            if dma_retries > 0 {
+                self.trace_for(
+                    charge,
+                    active,
+                    now,
+                    TraceEvent::InjectedFault {
+                        kind: InjectKind::DmaD2h,
+                    },
+                );
+            }
+            self.trace_for(
+                charge,
+                active,
+                now,
+                TraceEvent::WriteBack {
+                    block: block.index(),
+                    pages: writeback.count_u64(),
+                    bytes: writeback_bytes,
+                },
+            );
+            self.trace_for(
+                charge,
+                active,
+                now,
+                TraceEvent::DmaTransfer {
+                    bytes: writeback_bytes,
+                    to_device: false,
+                    retries: dma_retries,
+                },
+            );
+        }
+
+        let cost = EvictCost {
+            bookkeeping: self.costs.evict_page_cost * count,
+            writeback: writeback_cost,
+        };
+
+        // Ledger updates: residency, charge accounting, governor
+        // feedback, and — for a foreign charge — per-tenant counters
+        // (also subtracted from the active tenant's slot delta so its
+        // counters stay solo-clean) plus reclaim debt.
+        let foreign = charge != active;
+        let delta = self.counters.delta_since(&c_before);
+        let over_elsewhere = self.tenancy.as_ref().is_some_and(|t| {
+            t.tenants
+                .iter()
+                .any(|(id, l)| *id != charge && l.overage() > 0)
+        });
+        if charge == active {
+            if let Some(g) = self.pressure.as_mut() {
+                g.note_eviction(block);
+            }
+        }
+        if let Some(t) = self.tenancy.as_mut() {
+            if foreign {
+                t.slot_foreign.merge(&delta);
+            }
+            if let Some(l) = t.tenants.get_mut(&charge) {
+                l.resident_pages = l.resident_pages.saturating_sub(count);
+                l.evictions_charged += 1;
+                if foreign {
+                    if let Some(g) = l.governor.as_mut() {
+                        g.note_eviction(block);
+                    }
+                    l.counters.merge(&delta);
+                    l.reclaim_debt += cost.total();
+                    l.reclaim_debt_total += cost.total();
+                    if l.resident_pages < l.floor_pages && over_elsewhere {
+                        l.floor_violations += 1;
+                    }
+                }
+            }
+        }
+        if foreign {
+            Ok(EvictCost::default())
+        } else {
+            Ok(cost)
+        }
+    }
+
+    // ----- multi-tenancy -------------------------------------------------
+
+    /// Registers a tenant on the shared driver, reserving `floor_pages`
+    /// of guaranteed residency. The tenant's protected set, governor,
+    /// tracer, and injector are parked in its ledger and installed on
+    /// the driver for the duration of each of its slots.
+    ///
+    /// # Errors
+    ///
+    /// Admission control: returns `Err((need, avail))` when the
+    /// requested floor exceeds the capacity left after the floors of
+    /// already-registered tenants — granting it could force another
+    /// tenant below its guarantee.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_tenant(
+        &mut self,
+        tid: TenantId,
+        floor_pages: u64,
+        priority: u32,
+        protected: SharedBlockSet,
+        governor: Option<PressureGovernor>,
+        tracer: Option<SharedTracer>,
+        injector: Option<SharedInjector>,
+    ) -> Result<(), (u64, u64)> {
+        let committed: u64 = self
+            .tenancy
+            .as_ref()
+            .map_or(0, |t| t.tenants.values().map(|l| l.floor_pages).sum());
+        let avail = self.capacity_pages.saturating_sub(committed);
+        if floor_pages > avail {
+            return Err((floor_pages, avail));
+        }
+        let t = self.tenancy.get_or_insert_with(Tenancy::default);
+        t.tenants.insert(
+            tid,
+            TenantLedger {
+                floor_pages,
+                priority: priority.max(1),
+                resident_pages: 0,
+                protected,
+                governor,
+                tracer,
+                injector,
+                counters: Counters::new(),
+                evictions_charged: 0,
+                reclaim_debt: Ns::ZERO,
+                reclaim_debt_total: Ns::ZERO,
+                last_active_now: Ns::ZERO,
+                floor_violations: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a tenant: any device residency it still holds is dropped
+    /// without write-back (the job is gone, its pages are meaningless)
+    /// and its floor reservation is released for later arrivals.
+    pub fn deregister_tenant(&mut self, now: Ns, tid: TenantId) {
+        if self.active_tenant() == Some(tid) {
+            self.end_tenant_slot(now);
+        }
+        let owned: Vec<BlockNum> = self
+            .blocks
+            .iter()
+            .filter(|(_, s)| s.owner == Some(tid))
+            .map(|(b, _)| *b)
+            .collect();
+        for block in owned {
+            if let Some(state) = self.blocks.remove(&block) {
+                let count = state.resident.count_u64();
+                if count > 0 {
+                    self.lru.remove(block, state.last_migrated);
+                    self.resident_pages -= count;
+                }
+            }
+        }
+        if let Some(t) = self.tenancy.as_mut() {
+            t.tenants.remove(&tid);
+        }
+    }
+
+    /// Opens `tid`'s kernel slot: installs the tenant's governor,
+    /// tracer, injector, and protected set on the driver (so every
+    /// existing emission and injection path routes to this tenant with
+    /// no per-site dispatch) and snapshots the counter baseline for
+    /// slot-delta accounting. Any slot still open is ended first.
+    pub fn set_active_tenant(&mut self, tid: TenantId, now: Ns) {
+        self.end_tenant_slot(now);
+        let c0 = self.counters;
+        let Some(t) = self.tenancy.as_mut() else {
+            return;
+        };
+        let Some(ledger) = t.tenants.get_mut(&tid) else {
+            return;
+        };
+        t.active = Some(tid);
+        t.slot_c0 = c0;
+        t.slot_foreign = Counters::new();
+        std::mem::swap(&mut self.pressure, &mut ledger.governor);
+        self.tracer = ledger.tracer.clone();
+        self.injector = ledger.injector.clone();
+        self.protected = ledger.protected.clone();
+    }
+
+    /// Closes the active tenant's slot: folds the slot's counter delta
+    /// (minus foreign-charged activity) into its ledger, parks its
+    /// governor, tracer, and injector, and detaches the protected set.
+    pub fn end_tenant_slot(&mut self, now: Ns) {
+        let counters = self.counters;
+        let Some(t) = self.tenancy.as_mut() else {
+            return;
+        };
+        let Some(prev) = t.active.take() else {
+            return;
+        };
+        if let Some(ledger) = t.tenants.get_mut(&prev) {
+            std::mem::swap(&mut self.pressure, &mut ledger.governor);
+            let own = counters
+                .delta_since(&t.slot_c0)
+                .delta_since(&t.slot_foreign);
+            ledger.counters.merge(&own);
+            ledger.last_active_now = now;
+            ledger.tracer = self.tracer.take();
+            ledger.injector = self.injector.take();
+        }
+        self.protected = SharedBlockSet::new();
+    }
+
+    /// Tenant whose slot is currently active, if any.
+    pub fn active_tenant(&self) -> Option<TenantId> {
+        self.tenancy.as_ref().and_then(|t| t.active)
+    }
+
+    /// Read access to a tenant's ledger.
+    pub fn tenant_ledger(&self, tid: TenantId) -> Option<&TenantLedger> {
+        self.tenancy.as_ref().and_then(|t| t.tenants.get(&tid))
+    }
+
+    /// Counters scoped to the active tenant: its ledger plus the live
+    /// slot delta (minus foreign-charged activity). Falls back to the
+    /// global counters when no slot is active, so single-tenant callers
+    /// see exactly the pre-tenancy values.
+    pub fn active_counters(&self) -> Counters {
+        let Some(t) = self.tenancy.as_ref() else {
+            return self.counters;
+        };
+        let Some(tid) = t.active else {
+            return self.counters;
+        };
+        let Some(ledger) = t.tenants.get(&tid) else {
+            return self.counters;
+        };
+        let mut c = ledger.counters;
+        let own = self
+            .counters
+            .delta_since(&t.slot_c0)
+            .delta_since(&t.slot_foreign);
+        c.merge(&own);
+        c
+    }
+
+    /// Free pages from the active tenant's point of view: headroom under
+    /// its guaranteed floor. Sizing prefetch against this (instead of
+    /// device-wide free space, which depends on the co-tenants) keeps a
+    /// tenant's prefetch decisions identical to a solo run at the same
+    /// interleaving. Falls back to the device-wide count when no slot is
+    /// active.
+    pub fn effective_free_pages(&self) -> u64 {
+        match self
+            .tenancy
+            .as_ref()
+            .and_then(|t| t.active.and_then(|tid| t.tenants.get(&tid)))
+        {
+            Some(l) => l.floor_pages.saturating_sub(l.resident_pages),
+            None => self.free_pages(),
+        }
+    }
+
+    /// Drains the write-back debt accrued against `tid` by evictions
+    /// performed during other tenants' slots. The scheduler advances the
+    /// tenant's clock by the returned amount at its next slot start, so
+    /// the reclaim work is paid by its cause, not by whoever was active.
+    pub fn take_reclaim_debt(&mut self, tid: TenantId) -> Ns {
+        match self.tenancy.as_mut().and_then(|t| t.tenants.get_mut(&tid)) {
+            Some(l) => std::mem::replace(&mut l.reclaim_debt, Ns::ZERO),
+            None => Ns::ZERO,
+        }
+    }
+
+    /// Removes and returns the installed pressure governor. Used at
+    /// tenant registration: a governor configured on the tenant's
+    /// per-job driver moves into its ledger, and the slot swap installs
+    /// it on the shared driver whenever the tenant runs.
+    pub fn take_pressure_governor(&mut self) -> Option<PressureGovernor> {
+        self.pressure.take()
+    }
+
     /// Checks the driver's internal invariants, returning the first
     /// violation found. The GPU engine asserts this after every fault
     /// drain when validation is enabled; injection tests use it to show
@@ -897,16 +1545,19 @@ impl UmDriver {
                 "{resident_blocks} resident blocks but {lru_len} LRU entries"
             ));
         }
-        // No two resident blocks may share an LRU timestamp unless they
-        // migrated in the same drain batch (same epoch). Equal stamps
-        // from different epochs mean virtual time regressed — exactly
-        // the nondeterminism symptom the D1 lints guard against.
-        let mut stamp_epochs: BTreeMap<Ns, (u64, BlockNum)> = BTreeMap::new();
+        // No two resident blocks of the same owner may share an LRU
+        // timestamp unless they migrated in the same drain batch (same
+        // epoch). Equal stamps from different epochs mean virtual time
+        // regressed — exactly the nondeterminism symptom the D1 lints
+        // guard against. The check is per owner because each tenant
+        // advances its own virtual clock: two tenants' drains may
+        // legitimately coincide on a nanosecond.
+        let mut stamp_epochs: BTreeMap<(Option<TenantId>, Ns), (u64, BlockNum)> = BTreeMap::new();
         for (block, state) in &self.blocks {
             if state.resident.is_empty() {
                 continue;
             }
-            match stamp_epochs.get(&state.last_migrated) {
+            match stamp_epochs.get(&(state.owner, state.last_migrated)) {
                 Some(&(epoch, first)) if epoch != state.last_epoch => {
                     return Err(format!(
                         "{first} and {block} share LRU timestamp {} but migrated \
@@ -916,7 +1567,10 @@ impl UmDriver {
                 }
                 Some(_) => {}
                 None => {
-                    stamp_epochs.insert(state.last_migrated, (state.last_epoch, *block));
+                    stamp_epochs.insert(
+                        (state.owner, state.last_migrated),
+                        (state.last_epoch, *block),
+                    );
                 }
             }
         }
@@ -935,6 +1589,49 @@ impl UmDriver {
                         "{block} is an eviction candidate while in victim cooldown \
                          ({} kernels remaining)",
                         g.cooldown_remaining(block)
+                    ));
+                }
+            }
+        }
+        // Multi-tenant invariants: floors must fit the device, each
+        // ledger's residency must equal the sum over its owned blocks,
+        // and fair-share eviction must never have pushed a tenant below
+        // its floor while another tenant was over quota.
+        if let Some(t) = &self.tenancy {
+            let mut owned: BTreeMap<TenantId, u64> = BTreeMap::new();
+            for state in self.blocks.values() {
+                if let Some(tid) = state.owner {
+                    *owned.entry(tid).or_insert(0) += state.resident.count_u64();
+                }
+            }
+            let mut floors = 0u64;
+            for (tid, l) in &t.tenants {
+                floors += l.floor_pages;
+                let sum = owned.remove(tid).unwrap_or(0);
+                if sum != l.resident_pages {
+                    return Err(format!(
+                        "tenant {tid}: ledger resident_pages {} != owned-block sum {sum}",
+                        l.resident_pages
+                    ));
+                }
+                if l.floor_violations > 0 {
+                    return Err(format!(
+                        "tenant {tid}: {} evictions charged below its guaranteed floor \
+                         while another tenant was over quota",
+                        l.floor_violations
+                    ));
+                }
+            }
+            if floors > self.capacity_pages {
+                return Err(format!(
+                    "tenant floors sum to {floors} pages, exceeding device capacity {}",
+                    self.capacity_pages
+                ));
+            }
+            for (tid, sum) in owned {
+                if sum > 0 {
+                    return Err(format!(
+                        "{sum} resident pages owned by unregistered tenant {tid}"
                     ));
                 }
             }

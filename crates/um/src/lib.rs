@@ -29,6 +29,7 @@ pub mod evict;
 pub mod pressure;
 pub mod snapshot;
 pub mod space;
+pub mod tenancy;
 
 pub use block::BlockState;
 pub use driver::{EvictCost, MigratePath, UmDriver};
@@ -36,3 +37,4 @@ pub use evict::SharedBlockSet;
 pub use pressure::{PressureConfig, PressureGovernor};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use space::{UmAllocError, UmSpace};
+pub use tenancy::{Tenancy, TenantLedger};

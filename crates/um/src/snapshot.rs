@@ -27,7 +27,7 @@
 
 use core::fmt;
 
-use deepum_mem::{BlockNum, PageMask};
+use deepum_mem::{BlockNum, PageMask, TenantId};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 
@@ -42,7 +42,9 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DUMSNAP\0";
 /// readers reject other versions instead of misparsing them.
 /// v2: appended the optional pressure-governor state to the driver
 /// payload.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// v3: leading tenant-scope marker on the driver payload, plus a tenant
+/// owner tag on every block record.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 const HEADER_LEN: usize = 12; // magic + version
 const TRAILER_LEN: usize = 8; // checksum
@@ -465,12 +467,102 @@ pub fn read_counters(r: &mut SnapshotReader<'_>) -> Result<Counters, SnapshotErr
     Ok(c)
 }
 
+/// Writes one block record: index, full [`BlockState`], and (v3) the
+/// tenant owner tag. The exhaustive destructuring makes this fail to
+/// compile when `BlockState` grows a field, forcing the codec (and a
+/// [`SNAPSHOT_VERSION`] bump) to keep up.
+fn write_block_record(block: BlockNum, state: &BlockState, w: &mut SnapshotWriter) {
+    let BlockState {
+        resident,
+        last_migrated,
+        last_epoch,
+        prefetched_untouched,
+        invalidatable,
+        host_valid,
+        owner,
+    } = state;
+    w.block(block);
+    w.mask(resident);
+    w.ns(*last_migrated);
+    w.u64(*last_epoch);
+    w.mask(prefetched_untouched);
+    w.mask(invalidatable);
+    w.mask(host_valid);
+    match owner {
+        Some(t) => {
+            w.bool(true);
+            w.u32(t.raw());
+        }
+        None => w.bool(false),
+    }
+}
+
+/// Reads one block record written by [`write_block_record`].
+fn read_block_record(r: &mut SnapshotReader<'_>) -> Result<(BlockNum, BlockState), SnapshotError> {
+    let block = r.block()?;
+    let resident = r.mask()?;
+    let last_migrated = r.ns()?;
+    let last_epoch = r.u64()?;
+    let prefetched_untouched = r.mask()?;
+    let invalidatable = r.mask()?;
+    let host_valid = r.mask()?;
+    let owner = if r.bool()? {
+        Some(TenantId(r.u32()?))
+    } else {
+        None
+    };
+    Ok((
+        block,
+        BlockState {
+            resident,
+            last_migrated,
+            last_epoch,
+            prefetched_untouched,
+            invalidatable,
+            host_valid,
+            owner,
+        },
+    ))
+}
+
 /// Writes the [`UmDriver`] residency/LRU payload into `w`:
 /// capacity, resident-page count, drain epochs, counters, and every
 /// block's full [`BlockState`] in ascending block order. The LRU order
 /// is *not* written: it is a function of the block states (`validate()`
 /// pins LRU keys to `last_migrated`) and is rebuilt on restore.
+///
+/// v3 prepends a scope marker. `false` — whole-driver snapshot, the
+/// only form that existed before tenancy. `true` — tenant-scoped: the
+/// driver has an active tenant slot, so the snapshot captures only that
+/// tenant's blocks, counters, and governor. A mid-slot checkpoint on a
+/// shared driver must not capture (and, on restore, must not rewind)
+/// the co-tenants' state.
 pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
+    if let Some(tid) = d.active_tenant() {
+        w.bool(true);
+        w.u64(d.capacity_pages);
+        w.u32(tid.raw());
+        w.u64(d.tenant_ledger(tid).map_or(0, |l| l.resident_pages));
+        write_counters(&d.active_counters(), w);
+        let owned: Vec<(&BlockNum, &BlockState)> = d
+            .blocks
+            .iter()
+            .filter(|(_, s)| s.owner == Some(tid))
+            .collect();
+        w.u64(deepum_mem::u64_from_usize(owned.len()));
+        for (block, state) in owned {
+            write_block_record(*block, state, w);
+        }
+        match &d.pressure {
+            Some(g) => {
+                w.bool(true);
+                g.encode_into(w);
+            }
+            None => w.bool(false),
+        }
+        return;
+    }
+    w.bool(false);
     w.u64(d.capacity_pages);
     w.u64(d.resident_pages);
     w.u64(d.migrate_epoch);
@@ -478,21 +570,7 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
     write_counters(&d.counters, w);
     w.u64(deepum_mem::u64_from_usize(d.blocks.len()));
     for (block, state) in &d.blocks {
-        let BlockState {
-            resident,
-            last_migrated,
-            last_epoch,
-            prefetched_untouched,
-            invalidatable,
-            host_valid,
-        } = state;
-        w.block(*block);
-        w.mask(resident);
-        w.ns(*last_migrated);
-        w.u64(*last_epoch);
-        w.mask(prefetched_untouched);
-        w.mask(invalidatable);
-        w.mask(host_valid);
+        write_block_record(*block, state, w);
     }
     // v2: optional pressure-governor state (config + full bookkeeping),
     // so a restore resumes thrash detection exactly where it crashed.
@@ -505,8 +583,9 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
     }
 }
 
-/// Minimum encoded size of one block record in the driver payload.
-const BLOCK_RECORD_BYTES: usize = 8 + 64 + 8 + 8 + 64 + 64 + 64;
+/// Minimum encoded size of one block record in the driver payload:
+/// index, four masks, two stamps, plus the v3 owner-tag byte.
+const BLOCK_RECORD_BYTES: usize = 8 + 64 + 8 + 8 + 64 + 64 + 64 + 1;
 
 /// Restores [`UmDriver`] state written by [`write_driver_state`],
 /// replacing the block map, rebuilding the LRU order, and overwriting
@@ -522,6 +601,9 @@ pub fn read_driver_state(
     d: &mut UmDriver,
     r: &mut SnapshotReader<'_>,
 ) -> Result<(), SnapshotError> {
+    if r.bool()? {
+        return read_tenant_scoped_state(d, r);
+    }
     let capacity_pages = r.u64()?;
     if capacity_pages != d.capacity_pages {
         return Err(SnapshotError::Corrupt(format!(
@@ -538,15 +620,7 @@ pub fn read_driver_state(
     let mut blocks = std::collections::BTreeMap::new();
     let mut lru = LruMigrated::new();
     for _ in 0..num_blocks {
-        let block = r.block()?;
-        let state = BlockState {
-            resident: r.mask()?,
-            last_migrated: r.ns()?,
-            last_epoch: r.u64()?,
-            prefetched_untouched: r.mask()?,
-            invalidatable: r.mask()?,
-            host_valid: r.mask()?,
-        };
+        let (block, state) = read_block_record(r)?;
         if !state.resident.is_empty() {
             lru.record_migration(block, None, state.last_migrated);
         }
@@ -570,6 +644,96 @@ pub fn read_driver_state(
     d.blocks = blocks;
     d.lru = lru;
     d.pressure = pressure;
+    Ok(())
+}
+
+/// Restores a tenant-scoped (mid-slot) snapshot: a *spill-to-host*
+/// restore. Only the snapshotted tenant's state is touched — its
+/// current blocks are removed, its snapshot blocks are reinserted with
+/// nothing device-resident (the host copy is the valid one, so the
+/// first post-restore touch refaults each page in-band), its ledger
+/// counters rewind to the checkpoint, and its governor is reinstalled.
+/// The co-tenants' blocks, ledgers, and the driver's global monotone
+/// counters are untouched: global counters do not rewind on a scoped
+/// restore, the tenant-scoped view does.
+fn read_tenant_scoped_state(
+    d: &mut UmDriver,
+    r: &mut SnapshotReader<'_>,
+) -> Result<(), SnapshotError> {
+    let capacity_pages = r.u64()?;
+    if capacity_pages != d.capacity_pages {
+        return Err(SnapshotError::Corrupt(format!(
+            "snapshot device capacity {capacity_pages} pages != driver capacity {} pages",
+            d.capacity_pages
+        )));
+    }
+    let tid = TenantId(r.u32()?);
+    // Ledger residency at snapshot time; informational only — after a
+    // spill-to-host restore the tenant has zero resident pages.
+    let _resident_at_snapshot = r.u64()?;
+    let counters = read_counters(r)?;
+    let num_blocks = r.len_prefix(BLOCK_RECORD_BYTES)?;
+    let mut snap_blocks = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        snap_blocks.push(read_block_record(r)?);
+    }
+    let pressure = if r.bool()? {
+        Some(crate::pressure::PressureGovernor::decode_from(r)?)
+    } else {
+        None
+    };
+
+    // Drop the tenant's current device residency: the snapshot replaces
+    // everything it owns.
+    let current: Vec<BlockNum> = d
+        .blocks
+        .iter()
+        .filter(|(_, s)| s.owner == Some(tid))
+        .map(|(b, _)| *b)
+        .collect();
+    let mut removed = 0u64;
+    for b in current {
+        if let Some(s) = d.blocks.remove(&b) {
+            let n = s.resident.count_u64();
+            if n > 0 {
+                d.lru.remove(b, s.last_migrated);
+                removed += n;
+            }
+        }
+    }
+    d.resident_pages = d.resident_pages.checked_sub(removed).ok_or_else(|| {
+        SnapshotError::Corrupt(format!(
+            "tenant {tid} held more resident pages than the device total"
+        ))
+    })?;
+
+    for (block, mut state) in snap_blocks {
+        if state.owner != Some(tid) {
+            return Err(SnapshotError::Corrupt(format!(
+                "{block} in tenant {tid}'s scoped snapshot has a different owner"
+            )));
+        }
+        state.host_valid.union_with(&state.resident);
+        state.resident = PageMask::empty();
+        state.prefetched_untouched = PageMask::empty();
+        if d.blocks.insert(block, state).is_some() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{block} collides with another tenant's block"
+            )));
+        }
+    }
+    d.pressure = pressure;
+    let global = d.counters;
+    if let Some(t) = d.tenancy.as_mut() {
+        // Reset slot-delta accounting: everything before this instant is
+        // already folded into (or rewound out of) the ledger.
+        t.slot_c0 = global;
+        t.slot_foreign = Counters::default();
+        if let Some(l) = t.tenants.get_mut(&tid) {
+            l.resident_pages = 0;
+            l.counters = counters;
+        }
+    }
     Ok(())
 }
 

@@ -82,6 +82,21 @@ impl UmSpace {
         }
     }
 
+    /// Creates a UM space whose virtual addresses start at `base`
+    /// instead of zero. Tenants sharing one device each get a disjoint
+    /// VA window this way, so their UM block numbers never collide in
+    /// the shared driver's block map. `base` must be block-aligned.
+    pub fn with_base(capacity: u64, base: u64) -> Self {
+        debug_assert_eq!(base % BLOCK_BYTES, 0, "VA base must be block-aligned");
+        UmSpace {
+            capacity,
+            allocated: 0,
+            next: base,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+        }
+    }
+
     /// Backing-store capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity

@@ -26,7 +26,9 @@
 //!   Sentinel, and the executors that drive everything;
 //! * [`trace`] — deterministic structured-event tracing (virtual-time
 //!   timestamps, ring/export sinks, JSONL + Chrome `trace_event`
-//!   export).
+//!   export);
+//! * [`sched`] — multi-tenant UM scheduler: tenant fault isolation,
+//!   fair-share eviction under pressure, and admission control.
 //!
 //! # Quickstart
 //!
@@ -55,6 +57,7 @@ pub use deepum_core as core;
 pub use deepum_gpu as gpu;
 pub use deepum_mem as mem;
 pub use deepum_runtime as runtime;
+pub use deepum_sched as sched;
 pub use deepum_sim as sim;
 pub use deepum_torch as torch;
 pub use deepum_trace as trace;

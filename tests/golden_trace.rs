@@ -14,7 +14,9 @@ use std::path::{Path, PathBuf};
 
 use deepum::baselines::suite::{run_system, RunParams, System};
 use deepum::core::config::DeepumConfig;
+use deepum::sched::{JobKind, MultiTenant, TenantSpec};
 use deepum::sim::costs::CostModel;
+use deepum::torch::perf::PerfModel;
 use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
 use deepum::trace::{shared, Tracer};
 
@@ -159,6 +161,121 @@ fn golden_thrash_pressure() {
         assert!(
             golden.contains(kind),
             "thrash_pressure.jsonl must contain a {kind} event"
+        );
+    }
+}
+
+/// Runs the canonical three-tenant schedule and returns the
+/// concatenation of the per-tenant JSONL streams in tenant-id order.
+fn run_multitenant_traced() -> String {
+    // 4608-page (18 MiB) device. Tenant 0 (priority 2, 512-page floor,
+    // thrash-prone governor) runs an 8-layer model far over its floor;
+    // tenant 1 (2560-page floor) fits a 3-layer model entirely inside
+    // its guarantee; tenant 2 arrives late asking for a 4096-page floor
+    // that the remaining 1536 pages cannot satisfy — denied.
+    let costs = CostModel::v100_32gb()
+        .with_device_memory(4608 * 4096)
+        .with_host_memory(1 << 30);
+    let noisy_cfg = DeepumConfig::default()
+        .with_prefetch_degree(4)
+        .with_pressure_governor(8, 4, 5, 15);
+    let outcome = MultiTenant::new(costs, PerfModel::v100())
+        .tenant(
+            TenantSpec::new(
+                "noisy",
+                JobKind::Custom {
+                    workload: layered("golden-mt-noisy/b1", 8),
+                    repetitions: 2,
+                },
+            )
+            .priority(2)
+            .floor_pages(512)
+            .config(noisy_cfg)
+            .traced(),
+        )
+        .tenant(
+            TenantSpec::new(
+                "steady",
+                JobKind::Custom {
+                    workload: layered("golden-mt-steady/b1", 3),
+                    repetitions: 2,
+                },
+            )
+            .floor_pages(2560)
+            .traced(),
+        )
+        .tenant(
+            TenantSpec::new(
+                "denied",
+                JobKind::Custom {
+                    workload: layered("golden-mt-denied/b1", 2),
+                    repetitions: 1,
+                },
+            )
+            .floor_pages(4096)
+            .arrival(2)
+            .traced(),
+        )
+        .run();
+    outcome.validation.expect("shared driver invariants hold");
+    let tenants = outcome
+        .report
+        .tenants
+        .as_deref()
+        .expect("tenant section present");
+    assert!(tenants[0].admitted && tenants[0].completed);
+    assert!(tenants[1].admitted && tenants[1].completed);
+    assert!(!tenants[2].admitted, "tenant 2 must be denied");
+
+    let mut streams = outcome.tracers;
+    streams.sort_by_key(|(tid, _)| *tid);
+    streams
+        .iter()
+        .map(|(_, tr)| tr.borrow_mut().jsonl())
+        .collect()
+}
+
+#[test]
+fn golden_multitenant_pressure() {
+    let a = run_multitenant_traced();
+    let b = run_multitenant_traced();
+    assert_eq!(a, b, "multitenant trace must replay byte-identical");
+    assert!(!a.is_empty());
+    let records = deepum::trace::export::parse_jsonl(&a).expect("golden trace parses");
+    assert_eq!(records.len(), a.lines().count());
+
+    let path = golden_path("multitenant_pressure.jsonl");
+    if std::env::var(BLESS_ENV).is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &a).expect("write golden");
+    } else {
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "read {}: {e}; regenerate with {BLESS_ENV}=1 cargo test --test golden_trace",
+                path.display()
+            )
+        });
+        assert_eq!(
+            a, golden,
+            "multitenant_pressure.jsonl: trace diverged from the golden copy; \
+             if the change is intentional, re-bless with {BLESS_ENV}=1 \
+             cargo test --test golden_trace"
+        );
+    }
+
+    // The golden copy must exercise all four tenancy event kinds; a
+    // regression that silences one should fail loudly here.
+    let golden =
+        std::fs::read_to_string(golden_path("multitenant_pressure.jsonl")).expect("golden");
+    for kind in [
+        "TenantAdmitted",
+        "TenantDenied",
+        "TenantEvictionCharged",
+        "PressureSignal",
+    ] {
+        assert!(
+            golden.contains(kind),
+            "multitenant_pressure.jsonl must contain a {kind} event"
         );
     }
 }

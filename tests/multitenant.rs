@@ -1,0 +1,234 @@
+//! Multi-tenant scheduler integration tests: the tenant-isolation
+//! differential, admission-control liveness, and property-based
+//! oversubscribed schedules.
+
+use deepum::baselines::report::RunError;
+use deepum::mem::PAGE_SIZE;
+use deepum::sched::{seeded_arrivals, JobKind, MultiTenant, TenantSpec};
+use deepum::sim::costs::CostModel;
+use deepum::sim::time::Ns;
+use deepum::torch::models::ModelKind;
+use deepum::torch::perf::PerfModel;
+use deepum::InjectionPlan;
+use proptest::prelude::*;
+
+fn pages(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE as u64)
+}
+
+fn platform(device_pages: u64) -> CostModel {
+    CostModel::v100_32gb()
+        .with_device_memory(device_pages * PAGE_SIZE as u64)
+        .with_host_memory(8 << 30)
+}
+
+fn training(name: &str, batch: usize, iterations: usize) -> TenantSpec {
+    TenantSpec::new(
+        name,
+        JobKind::Training {
+            model: ModelKind::MobileNet,
+            batch,
+            iterations,
+        },
+    )
+}
+
+/// A chaos plan throwing everything at its tenant: transient DMA
+/// failures, fault storms, ECC poisoning of correlation state, and a
+/// scheduled hard device reset (which exercises the tenant-scoped
+/// checkpoint/restore path).
+fn storm_plan() -> InjectionPlan {
+    InjectionPlan {
+        seed: 0xA11CE,
+        dma_h2d_fail_rate: 0.05,
+        dma_d2h_fail_rate: 0.05,
+        storm_rate: 0.10,
+        ecc_rate: 0.02,
+        device_reset_at: vec![10],
+        ..InjectionPlan::default()
+    }
+}
+
+/// **The tenant-isolation differential.** Tenant B (the bystander) runs
+/// within its guaranteed floor while tenant A suffers a fault storm,
+/// ECC poisoning, and a hard device reset with tenant-scoped
+/// checkpoint/restore. B's structured-event trace must be byte-for-byte
+/// identical to a solo run of B through the same scheduler — B must be
+/// unable to tell whether A exists.
+///
+/// B sits at spec position 0 in both runs so it gets the same tenant id
+/// (and therefore the same virtual-address base) both times.
+#[test]
+fn tenant_fault_storm_never_perturbs_a_bystander() {
+    let b_peak = pages(ModelKind::MobileNet.build(4).peak_bytes());
+    let b_floor = b_peak + 1024;
+    // Room for B's whole floor plus roughly a third of A's working set:
+    // A runs heavily oversubscribed and must evict constantly.
+    let a_peak = pages(ModelKind::MobileNet.build(16).peak_bytes());
+    let costs = platform(b_floor + a_peak / 3);
+
+    let bystander = || training("bystander", 4, 2).floor_pages(b_floor).traced();
+    let noisy = || training("noisy", 16, 2).plan(storm_plan());
+
+    let solo = MultiTenant::new(costs.clone(), PerfModel::v100())
+        .tenant(bystander())
+        .run();
+    let duo = MultiTenant::new(costs, PerfModel::v100())
+        .tenant(bystander())
+        .tenant(noisy())
+        .run();
+
+    solo.validation.clone().expect("solo invariants hold");
+    duo.validation.clone().expect("duo invariants hold");
+    assert!(solo.errors.is_empty(), "solo errors: {:?}", solo.errors);
+    assert!(duo.errors.is_empty(), "duo errors: {:?}", duo.errors);
+
+    let duo_tenants = duo.report.tenants.as_deref().expect("tenant section");
+    assert!(
+        duo_tenants.iter().all(|t| t.admitted && t.completed),
+        "both tenants drain despite the storm: {duo_tenants:?}"
+    );
+    // The noisy tenant, not the bystander, pays for the evictions its
+    // oversubscription forces.
+    assert_eq!(duo_tenants[0].evictions_charged, 0, "bystander charged");
+    assert!(
+        duo_tenants[1].pages_evicted > 0,
+        "noisy tenant never evicted — the device is not oversubscribed"
+    );
+
+    let solo_trace = solo
+        .tracers
+        .iter()
+        .find(|(tid, _)| *tid == 0)
+        .map(|(_, tr)| tr.borrow_mut().jsonl())
+        .expect("bystander tracer (solo)");
+    let duo_trace = duo
+        .tracers
+        .iter()
+        .find(|(tid, _)| *tid == 0)
+        .map(|(_, tr)| tr.borrow_mut().jsonl())
+        .expect("bystander tracer (duo)");
+    assert!(
+        solo_trace.contains("KernelEnd"),
+        "bystander trace is non-trivial"
+    );
+    assert_eq!(
+        solo_trace, duo_trace,
+        "bystander trace diverged from its solo run"
+    );
+}
+
+/// **Admission-control liveness.** A late tenant whose guaranteed floor
+/// cannot be met is refused with the typed error — and the refusal is
+/// the co-tenant's fault, not the job's: the identical spec admitted
+/// solo runs to completion. Meanwhile the admitted tenant is never
+/// disturbed by the denial.
+#[test]
+fn admission_denied_is_typed_and_admitted_tenants_drain() {
+    // 16384-page device; the greedy tenant reserves 15000 of it.
+    let costs = platform(16_384);
+    let late = || training("late", 4, 1).floor_pages(3_000).arrival(1);
+
+    let duo = MultiTenant::new(costs.clone(), PerfModel::v100())
+        .tenant(training("greedy", 4, 2).floor_pages(15_000))
+        .tenant(late())
+        .run();
+
+    assert_eq!(duo.errors.len(), 1);
+    match &duo.errors[0] {
+        (
+            1,
+            RunError::AdmissionDenied {
+                tenant,
+                need,
+                avail,
+            },
+        ) => {
+            assert_eq!(*tenant, 1);
+            assert_eq!(*need, 3_000);
+            assert_eq!(*avail, 16_384 - 15_000);
+        }
+        other => panic!("expected tenant 1 AdmissionDenied, got {other:?}"),
+    }
+    let tenants = duo.report.tenants.as_deref().expect("tenant section");
+    assert!(tenants[0].admitted && tenants[0].completed, "{tenants:?}");
+    assert!(tenants[0].kernels > 0);
+    assert!(!tenants[1].admitted && !tenants[1].completed);
+    assert_eq!(tenants[1].kernels, 0, "denied tenant ran a kernel");
+    assert_eq!(tenants[1].elapsed, Ns::ZERO);
+    duo.validation.clone().expect("invariants hold");
+
+    // Solo control: the same floor is satisfiable on an empty device.
+    let solo = MultiTenant::new(costs, PerfModel::v100())
+        .tenant(late())
+        .run();
+    assert!(solo.errors.is_empty(), "solo errors: {:?}", solo.errors);
+    let solo_tenants = solo.report.tenants.as_deref().expect("tenant section");
+    assert!(solo_tenants[0].admitted && solo_tenants[0].completed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seeded mix of arrivals, priorities, and 1.5x–3x
+    /// oversubscription drains with the shared driver's invariants
+    /// intact, every tenant admitted and completed, and the whole
+    /// outcome byte-identical across a double run.
+    #[test]
+    fn oversubscribed_schedules_drain_clean_and_deterministically(
+        seed in 0u64..1_000,
+        spread in 1u64..4,
+        prio_a in 1u32..4,
+        prio_b in 1u32..4,
+        oversub_pct in 150u64..300,
+    ) {
+        let peak = pages(ModelKind::MobileNet.build(4).peak_bytes());
+        // Three tenants of combined peak 3*peak on a device sized so
+        // the ratio (3*peak / device) is oversub_pct percent.
+        let device_pages = (3 * peak * 100) / oversub_pct;
+        let costs = platform(device_pages);
+        let arrivals = seeded_arrivals(seed, 3, spread);
+
+        let build = || MultiTenant::new(costs.clone(), PerfModel::v100())
+            .tenant(
+                training("a", 4, 2)
+                    .priority(prio_a)
+                    .arrival(arrivals[0])
+                    .seed(seed),
+            )
+            .tenant(
+                training("b", 4, 2)
+                    .priority(prio_b)
+                    .arrival(arrivals[1])
+                    .seed(seed ^ 0xFF),
+            )
+            .tenant(
+                TenantSpec::new(
+                    "c",
+                    JobKind::Inference { model: ModelKind::MobileNet, batch: 2, requests: 2 },
+                )
+                .arrival(arrivals[2]),
+            )
+            .run();
+
+        let first = build();
+        prop_assert!(
+            first.validation.is_ok(),
+            "invariants violated: {:?}",
+            first.validation
+        );
+        prop_assert!(first.errors.is_empty(), "errors: {:?}", first.errors);
+        let tenants = first.report.tenants.as_deref().unwrap_or_default();
+        prop_assert_eq!(tenants.len(), 3);
+        for t in tenants {
+            prop_assert!(t.admitted && t.completed, "tenant {:?}", t);
+            prop_assert!(t.kernels > 0);
+        }
+
+        let second = build();
+        let ja = serde_json::to_string(&first.report).ok();
+        let jb = serde_json::to_string(&second.report).ok();
+        prop_assert!(ja.is_some(), "report serializes");
+        prop_assert_eq!(ja, jb, "double run diverged");
+    }
+}
