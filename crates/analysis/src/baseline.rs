@@ -1,0 +1,362 @@
+//! The violation ratchet: `ci/tidy-baseline.json`.
+//!
+//! The baseline grandfathers known violations per `(lint, file)` so new
+//! lints can land before the codebase is fully clean, without letting
+//! the debt grow. Semantics are deliberately two-sided:
+//!
+//! * more violations than the entry records → the group is reported in
+//!   full plus a `baseline-ratchet` violation (new debt fails CI);
+//! * fewer violations than recorded (including zero) → a stale-entry
+//!   `baseline-ratchet` violation (the entry must be lowered/deleted,
+//!   so the recorded count only ever falls);
+//! * an exact match → the group is silently absorbed.
+//!
+//! `baseline-ratchet` is a synthetic id, deliberately absent from the
+//! lint registry: it cannot be `--skip`ped or suppressed.
+//!
+//! The file format is minimal JSON, `{ "<lint>": { "<file>": count } }`,
+//! parsed and rendered here by hand (the analyzer is dependency-free).
+
+use std::collections::BTreeMap;
+
+use crate::Violation;
+
+/// Grandfathered violation counts, keyed by lint then file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `lint -> file -> count`.
+    pub entries: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl Baseline {
+    /// Builds a baseline that grandfathers exactly `violations`.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry(v.lint.clone())
+                .or_default()
+                .entry(v.file.clone())
+                .or_default() += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Renders the baseline as stable, human-diffable JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (li, (lint, files)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  {}: {{\n", crate::json_str(lint)));
+            for (fi, (file, count)) in files.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {}: {}{}\n",
+                    crate::json_str(file),
+                    count,
+                    if fi + 1 < files.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "  }}{}\n",
+                if li + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses the baseline file format. Errors carry enough context to
+    /// fix the file by hand.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            i: 0,
+        };
+        p.skip_ws();
+        let mut entries: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        p.expect('{')?;
+        p.skip_ws();
+        if !p.eat('}') {
+            loop {
+                let lint = p.string()?;
+                p.skip_ws();
+                p.expect(':')?;
+                p.skip_ws();
+                p.expect('{')?;
+                let mut files: BTreeMap<String, usize> = BTreeMap::new();
+                p.skip_ws();
+                if !p.eat('}') {
+                    loop {
+                        let file = p.string()?;
+                        p.skip_ws();
+                        p.expect(':')?;
+                        p.skip_ws();
+                        let count = p.number()?;
+                        if files.insert(file.clone(), count).is_some() {
+                            return Err(format!("duplicate file `{file}` under `{lint}`"));
+                        }
+                        p.skip_ws();
+                        if p.eat('}') {
+                            break;
+                        }
+                        p.expect(',')?;
+                        p.skip_ws();
+                    }
+                }
+                if entries.insert(lint.clone(), files).is_some() {
+                    return Err(format!("duplicate lint `{lint}` in baseline"));
+                }
+                p.skip_ws();
+                if p.eat('}') {
+                    break;
+                }
+                p.expect(',')?;
+                p.skip_ws();
+            }
+        }
+        p.skip_ws();
+        if p.i != p.chars.len() {
+            return Err(format!("trailing content at offset {}", p.i));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Applies the ratchet to a violation list: absorbs exact-match
+    /// groups, reports overruns in full, and turns under-runs into
+    /// stale-entry errors. Output order follows the input plus appended
+    /// ratchet violations.
+    pub fn apply(&self, violations: Vec<Violation>) -> Vec<Violation> {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in &violations {
+            *counts.entry((v.lint.clone(), v.file.clone())).or_default() += 1;
+        }
+
+        let mut out: Vec<Violation> = Vec::new();
+        let mut overruns: Vec<Violation> = Vec::new();
+        let mut overrun_keys: std::collections::BTreeSet<(String, String)> =
+            std::collections::BTreeSet::new();
+        for v in violations {
+            let key = (v.lint.clone(), v.file.clone());
+            let actual = counts[&key];
+            match self.entries.get(&key.0).and_then(|f| f.get(&key.1)) {
+                None => out.push(v),
+                Some(&grand) if actual > grand => {
+                    // One ratchet summary per (lint, file), anchored on
+                    // the group's first violation; the raw hits follow
+                    // so the overrun is actionable.
+                    if overrun_keys.insert(key.clone()) {
+                        overruns.push(Violation {
+                            file: v.file.clone(),
+                            line: v.line,
+                            col: v.col,
+                            end_col: v.end_col,
+                            lint: "baseline-ratchet".to_string(),
+                            message: format!(
+                                "`{}` fires {} time(s) in this file but ci/tidy-baseline.json grandfathers {}; fix the new violation(s) — the baseline only ratchets down",
+                                key.0, actual, grand
+                            ),
+                        });
+                    }
+                    out.push(v);
+                }
+                Some(_) => {} // exact match or under-run: absorbed
+            }
+        }
+        out.extend(overruns);
+
+        for (lint, files) in &self.entries {
+            for (file, &grand) in files {
+                let actual = counts
+                    .get(&(lint.clone(), file.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                if actual < grand {
+                    out.push(Violation {
+                        file: file.clone(),
+                        line: 1,
+                        col: 1,
+                        end_col: 1,
+                        lint: "baseline-ratchet".to_string(),
+                        message: if actual == 0 {
+                            format!(
+                                "stale baseline entry: `{lint}` no longer fires in this file; delete the entry from ci/tidy-baseline.json to lock in the improvement"
+                            )
+                        } else {
+                            format!(
+                                "stale baseline entry: `{lint}` grandfathers {grand} violation(s) here but only {actual} remain; lower the entry to {actual}"
+                            )
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.i).is_some_and(|c| c.is_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.i,
+                self.chars.get(self.i)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.get(self.i) {
+                None => return Err("unterminated string in baseline".to_string()),
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.chars.get(self.i) {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('/') => s.push('/'),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?} in baseline")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    s.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.i;
+        while self.chars.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a count at offset {}", self.i));
+        }
+        self.chars[start..self.i]
+            .iter()
+            .collect::<String>()
+            .parse::<usize>()
+            .map_err(|e| format!("bad count at offset {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lint: &str, file: &str, line: usize) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            col: 1,
+            end_col: 2,
+            lint: lint.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let b = Baseline::from_violations(&[
+            v("hot-path-alloc", "crates/um/src/driver.rs", 3),
+            v("hot-path-alloc", "crates/um/src/driver.rs", 9),
+            v("hot-path-alloc", "crates/um/src/evict.rs", 1),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.entries["hot-path-alloc"]["crates/um/src/driver.rs"],
+            2
+        );
+    }
+
+    #[test]
+    fn parses_empty_object() {
+        assert!(Baseline::parse("{}\n").unwrap().entries.is_empty());
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"l\": {\"f\": }}").is_err());
+    }
+
+    #[test]
+    fn exact_match_is_absorbed() {
+        let b = Baseline::from_violations(&[v("hot-path-alloc", "a.rs", 1)]);
+        let out = b.apply(vec![v("hot-path-alloc", "a.rs", 1)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn overrun_reports_group_plus_ratchet() {
+        let b = Baseline::from_violations(&[v("hot-path-alloc", "a.rs", 1)]);
+        let out = b.apply(vec![
+            v("hot-path-alloc", "a.rs", 1),
+            v("hot-path-alloc", "a.rs", 7),
+        ]);
+        assert_eq!(out.iter().filter(|o| o.lint == "hot-path-alloc").count(), 2);
+        assert_eq!(
+            out.iter().filter(|o| o.lint == "baseline-ratchet").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn underrun_is_a_stale_entry() {
+        let b = Baseline::from_violations(&[
+            v("hot-path-alloc", "a.rs", 1),
+            v("hot-path-alloc", "a.rs", 2),
+        ]);
+        // One of the two was fixed but the entry still says 2.
+        let out = b.apply(vec![v("hot-path-alloc", "a.rs", 1)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "baseline-ratchet");
+        assert!(out[0].message.contains("lower the entry to 1"));
+    }
+
+    #[test]
+    fn fully_fixed_entry_must_be_deleted() {
+        let b = Baseline::from_violations(&[v("hot-path-alloc", "a.rs", 1)]);
+        let out = b.apply(Vec::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "baseline-ratchet");
+        assert!(out[0].message.contains("delete the entry"));
+    }
+
+    #[test]
+    fn unbaselined_violations_pass_through() {
+        let b = Baseline::default();
+        let out = b.apply(vec![v("panic-safety", "a.rs", 4)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, "panic-safety");
+    }
+}

@@ -2,10 +2,15 @@
 //! reproduction, in the spirit of rustc's `tidy`.
 //!
 //! The offline build has no `syn`, so everything here is lexical: a
-//! small scanner masks comments and string literals, tracks
-//! `#[cfg(test)]` regions, and the lints pattern-match the masked code.
-//! See DESIGN.md §10 for the contract this enforces and the suppression
-//! grammar:
+//! small token scanner ([`scan`]) masks comments and string literals
+//! with position-exact columns, tracks `#[cfg(test)]` regions, and the
+//! per-line lints ([`lints`]) pattern-match the masked code. On top of
+//! that, workspace passes ([`passes`]) check cross-file invariants
+//! (codec versions pinned by tests, trace vocabulary covered by golden
+//! traces, report `Option` fields omitted-not-null), and a ratcheted
+//! baseline ([`baseline`]) grandfathers existing debt while forbidding
+//! new debt. See DESIGN.md §10 and §15 for the contract and the
+//! suppression grammar:
 //!
 //! ```text
 //! // deepum-tidy: allow(<lint-id>) -- <non-empty reason>
@@ -13,11 +18,15 @@
 //!
 //! A trailing suppression covers its own line; a standalone comment
 //! covers the next code line. Suppressions that cover nothing are
-//! themselves violations (`suppression-hygiene`).
+//! themselves violations (`suppression-hygiene`). Workspace-pass
+//! violations are not suppressible — the fix is a test, a golden
+//! trace, an attribute, or a baseline entry.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod lints;
+pub mod passes;
 pub mod scan;
 
 use std::collections::BTreeSet;
@@ -33,7 +42,12 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Lint id (see [`lints::LINTS`]).
+    /// 1-based character column where the offending pattern starts.
+    pub col: usize,
+    /// Exclusive end column of the offending pattern.
+    pub end_col: usize,
+    /// Lint id (see [`lints::LINTS`]) or the synthetic
+    /// `baseline-ratchet`.
     pub lint: String,
     /// Explanation plus the steer toward the fix.
     pub message: String,
@@ -93,7 +107,8 @@ impl Config {
 enum FileClass {
     /// Shims, build output, lint fixtures: never analyzed.
     Skip,
-    /// Integration tests, benches, examples: lint-exempt.
+    /// Integration tests, benches, examples: exempt from per-line lints
+    /// but visible to workspace passes as test corpus.
     TestDir,
     /// Regular source, with its lint scope.
     Source(FileScope),
@@ -130,6 +145,17 @@ fn classify(rel: &str) -> FileClass {
         crate_name,
         crate_root,
     })
+}
+
+/// Crate a path belongs to, regardless of class (workspace passes need
+/// this for test-dir files too).
+fn crate_of(rel: &str) -> String {
+    let segments: Vec<&str> = rel.split('/').collect();
+    if segments.first() == Some(&"crates") && segments.len() > 1 {
+        segments[1].to_string()
+    } else {
+        "deepum".to_string()
+    }
 }
 
 /// A parsed suppression comment.
@@ -197,14 +223,9 @@ fn parse_suppression(comment: &str) -> ParsedComment {
     ParsedComment::Fine(lint)
 }
 
-/// Analyzes one file's source as if it lived at `rel_path` in the
-/// workspace. This is the entry the fixture tests use.
-pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
-    let scope = match classify(rel_path) {
-        FileClass::Skip | FileClass::TestDir => return Vec::new(),
-        FileClass::Source(scope) => scope,
-    };
-    let scanned = scan::scan(source);
+/// Per-file analysis over an already-scanned file: per-line lints, the
+/// file-level pass, and suppression resolution.
+fn analyze_scanned(scope: &FileScope, scanned: &scan::ScannedFile, cfg: &Config) -> Vec<Violation> {
     let enabled = |id: &str| cfg.is_enabled(id);
     let hygiene = cfg.is_enabled("suppression-hygiene");
 
@@ -228,6 +249,8 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violati
                     violations.push(Violation {
                         file: scope.rel_path.clone(),
                         line: line_no,
+                        col: 1,
+                        end_col: 1,
                         lint: "suppression-hygiene".to_string(),
                         message: why,
                     });
@@ -255,7 +278,7 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violati
     let mut candidates: Vec<lints::Candidate> = Vec::new();
     for (idx, line) in scanned.lines.iter().enumerate() {
         lints::check_line(
-            &scope,
+            scope,
             idx + 1,
             &line.code,
             line.in_test,
@@ -263,7 +286,7 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violati
             &mut candidates,
         );
     }
-    lints::check_file(&scope, &scanned.lines, &enabled, &mut candidates);
+    lints::check_file(scope, &scanned.lines, &enabled, &mut candidates);
 
     for cand in candidates {
         let suppressed = suppressions
@@ -275,6 +298,8 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violati
             violations.push(Violation {
                 file: scope.rel_path.clone(),
                 line: cand.line,
+                col: cand.col,
+                end_col: cand.end_col,
                 lint: cand.lint.to_string(),
                 message: cand.message,
             });
@@ -289,6 +314,8 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violati
                 violations.push(Violation {
                     file: scope.rel_path.clone(),
                     line: s.line,
+                    col: 1,
+                    end_col: 1,
                     lint: "suppression-hygiene".to_string(),
                     message: format!(
                         "stale suppression: `allow({})` does not match any violation on its target line",
@@ -303,20 +330,121 @@ pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violati
     violations
 }
 
-/// Walks `root` and analyzes every `.rs` file. Results are sorted by
-/// path, then line. IO failures surface as `Err` (exit code 2 land).
+/// Analyzes one file's source as if it lived at `rel_path` in the
+/// workspace. Per-file lints only; workspace passes need a
+/// [`WorkspaceInput`]. This is the entry the single-file fixture tests
+/// use.
+pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let scope = match classify(rel_path) {
+        FileClass::Skip | FileClass::TestDir => return Vec::new(),
+        FileClass::Source(scope) => scope,
+    };
+    let scanned = scan::scan(source);
+    analyze_scanned(&scope, &scanned, cfg)
+}
+
+/// One in-memory file handed to [`analyze_workspace`].
+pub struct InputFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// File contents.
+    pub source: String,
+}
+
+/// A whole workspace in memory: source files plus committed golden
+/// traces. [`analyze_tree`] builds one from disk; the workspace-pass
+/// fixture tests build synthetic ones.
+pub struct WorkspaceInput {
+    /// All `.rs` files (the classifier decides what to do with each).
+    pub files: Vec<InputFile>,
+    /// `tests/golden/*.jsonl` contents.
+    pub golden_traces: Vec<InputFile>,
+}
+
+/// Analyzes a full workspace: per-file lints on every source file, then
+/// the cross-file passes, with one scan per file shared by both stages.
+pub fn analyze_workspace(input: &WorkspaceInput, cfg: &Config) -> Vec<Violation> {
+    let mut all: Vec<Violation> = Vec::new();
+    let mut ws = passes::Workspace {
+        files: Vec::new(),
+        golden_traces: input
+            .golden_traces
+            .iter()
+            .map(|f| (f.rel_path.clone(), f.source.clone()))
+            .collect(),
+    };
+
+    for file in &input.files {
+        let class = classify(&file.rel_path);
+        if class == FileClass::Skip {
+            continue;
+        }
+        let scanned = scan::scan(&file.source);
+        if let FileClass::Source(scope) = &class {
+            all.extend(analyze_scanned(scope, &scanned, cfg));
+        }
+        ws.files.push(passes::WorkspaceFile {
+            rel_path: file.rel_path.clone(),
+            crate_name: crate_of(&file.rel_path),
+            raw_lines: file.source.split('\n').map(str::to_string).collect(),
+            scanned,
+            is_test_dir: class == FileClass::TestDir,
+        });
+    }
+
+    passes::run(&ws, &|id| cfg.is_enabled(id), &mut all);
+
+    all.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.lint.cmp(&b.lint))
+    });
+    all
+}
+
+/// Walks `root`, reads every `.rs` file plus the committed golden
+/// traces, and runs the full analysis. Results are sorted by path, then
+/// line. IO failures surface as `Err` (exit code 2 land).
 pub fn analyze_tree(root: &Path, cfg: &Config) -> Result<Vec<Violation>, String> {
     let mut files: Vec<String> = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut all = Vec::new();
+    let mut input = WorkspaceInput {
+        files: Vec::new(),
+        golden_traces: Vec::new(),
+    };
     for rel in &files {
         let full = root.join(rel);
         let source = fs::read_to_string(&full)
             .map_err(|e| format!("failed to read {}: {e}", full.display()))?;
-        all.extend(analyze_source(rel, &source, cfg));
+        input.files.push(InputFile {
+            rel_path: rel.clone(),
+            source,
+        });
     }
-    Ok(all)
+
+    let golden_dir = root.join("tests/golden");
+    if golden_dir.is_dir() {
+        let mut entries: Vec<_> = fs::read_dir(&golden_dir)
+            .map_err(|e| format!("failed to list {}: {e}", golden_dir.display()))?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("failed to list {}: {e}", golden_dir.display()))?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".jsonl") {
+                let source = fs::read_to_string(entry.path())
+                    .map_err(|e| format!("failed to read {}: {e}", entry.path().display()))?;
+                input.golden_traces.push(InputFile {
+                    rel_path: format!("tests/golden/{name}"),
+                    source,
+                });
+            }
+        }
+    }
+
+    Ok(analyze_workspace(&input, cfg))
 }
 
 /// Recursively lists `.rs` files under `dir` as root-relative
@@ -353,14 +481,14 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<()
     Ok(())
 }
 
-/// Renders violations for humans: one `path:line: [lint] message` per
-/// violation plus a summary line.
+/// Renders violations for humans: one `path:line:col: [lint] message`
+/// per violation plus a summary line.
 pub fn render_human(violations: &[Violation]) -> String {
     let mut out = String::new();
     for v in violations {
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n",
-            v.file, v.line, v.lint, v.message
+            "{}:{}:{}: [{}] {}\n",
+            v.file, v.line, v.col, v.lint, v.message
         ));
     }
     if violations.is_empty() {
@@ -376,7 +504,9 @@ pub fn render_human(violations: &[Violation]) -> String {
 }
 
 /// Renders violations as a single JSON object (hand-rolled: the analyzer
-/// is deliberately dependency-free, shims included).
+/// is deliberately dependency-free, shims included). Each violation
+/// carries `pass` (analysis phase), `file`, a `span` with 1-based
+/// line/col/end_col, plus the legacy `line`/`lint`/`message` fields.
 pub fn render_json(violations: &[Violation]) -> String {
     let mut out = String::from("{\"violations\":[");
     for (i, v) in violations.iter().enumerate() {
@@ -384,9 +514,13 @@ pub fn render_json(violations: &[Violation]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"file\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            "{{\"pass\":{},\"file\":{},\"line\":{},\"span\":{{\"line\":{},\"col\":{},\"end_col\":{}}},\"lint\":{},\"message\":{}}}",
+            json_str(lints::phase_of(&v.lint)),
             json_str(&v.file),
             v.line,
+            v.line,
+            v.col,
+            v.end_col,
             json_str(&v.lint),
             json_str(&v.message)
         ));
@@ -395,7 +529,7 @@ pub fn render_json(violations: &[Violation]) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -431,6 +565,8 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].lint, "determinism-container");
         assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].col, 23);
+        assert_eq!(v[0].end_col, 30);
     }
 
     #[test]
@@ -561,6 +697,29 @@ mod tests {
     }
 
     #[test]
+    fn result_discard_scoped_and_test_exempt() {
+        let src = "fn f(r: Result<u32, ()>) { let _ = r; }\n";
+        let v = analyze_source("crates/runtime/src/sample.rs", src, &Config::all());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "result-discard");
+        assert!(analyze_source("crates/baselines/src/sample.rs", src, &Config::all()).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f(r: Result<u32, ()>) { let _ = r; }\n}\n";
+        assert!(
+            analyze_source("crates/runtime/src/sample.rs", test_src, &Config::all()).is_empty()
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_scoped_to_hot_files() {
+        let src = "fn f() -> Vec<u64> { Vec::new() }\n";
+        let v = analyze_source("crates/um/src/evict.rs", src, &Config::all());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "hot-path-alloc");
+        assert!(analyze_source("crates/um/src/space.rs", src, &Config::all()).is_empty());
+    }
+
+    #[test]
     fn test_dirs_and_shims_are_skipped() {
         let src = "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert!(analyze_source("crates/um/tests/it.rs", src, &Config::all()).is_empty());
@@ -574,15 +733,40 @@ mod tests {
     }
 
     #[test]
-    fn json_rendering_escapes() {
+    fn workspace_passes_see_test_dirs_as_corpus() {
+        // The schema const is referenced only from an integration-test
+        // file; that must count as coverage.
+        let input = WorkspaceInput {
+            files: vec![
+                InputFile {
+                    rel_path: "crates/um/src/snapshot.rs".to_string(),
+                    source: "pub const SNAPSHOT_VERSION: u32 = 3;\n".to_string(),
+                },
+                InputFile {
+                    rel_path: "crates/um/tests/compat.rs".to_string(),
+                    source: "fn pin() { assert_eq!(deepum_um::snapshot::SNAPSHOT_VERSION, 3); }\n"
+                        .to_string(),
+                },
+            ],
+            golden_traces: Vec::new(),
+        };
+        assert!(analyze_workspace(&input, &Config::all()).is_empty());
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_carries_spans() {
         let v = vec![Violation {
             file: "a.rs".to_string(),
             line: 3,
+            col: 5,
+            end_col: 14,
             lint: "panic-safety".to_string(),
             message: "say \"no\"".to_string(),
         }];
         let j = render_json(&v);
         assert!(j.contains("\\\"no\\\""));
         assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\"pass\":\"line\""));
+        assert!(j.contains("\"span\":{\"line\":3,\"col\":5,\"end_col\":14}"));
     }
 }

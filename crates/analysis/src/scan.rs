@@ -1,11 +1,21 @@
-//! Lexical scanner: comment/string masking and test-region tracking.
+//! Token-level scanner: a small Rust lexer feeding comment/string
+//! masking and test-region tracking.
 //!
 //! The offline build has no `syn`, so `deepum-tidy` works at the token
-//! level. The scanner turns a source file into per-line records where
-//! string-literal and comment bytes are blanked out (so lint patterns
-//! never match inside them), line-comment text is kept aside (that is
-//! where suppressions live), and `#[cfg(test)]` regions are flagged so
-//! lints can exempt test code.
+//! level: [`tokenize`] turns a source file into a stream of [`Token`]s
+//! (identifiers, literals, comments, punctuation) with exact 1-based
+//! line/column positions, and [`scan`] folds that stream into per-line
+//! records where string-literal and comment bytes are blanked out (so
+//! lint patterns never match inside them), line-comment text is kept
+//! aside (that is where suppressions live), and `#[cfg(test)]` regions
+//! are flagged so lints can exempt test code.
+//!
+//! Masking is **position-exact**: every masked line has exactly the
+//! same character count as its source line, and every character is
+//! either the source character or a space. Violation columns computed
+//! on masked lines therefore point at the real source. Masking is also
+//! **idempotent**: string delimiters (`"`, `r#"`, `b"`, hashes) are
+//! kept in place, so re-scanning a masked file reproduces it.
 
 /// One scanned source line.
 #[derive(Debug, Clone, Default)]
@@ -27,205 +37,382 @@ pub struct ScannedFile {
     pub lines: Vec<Line>,
 }
 
+/// What a lexed token is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    Code,
-    LineComment,
-    BlockComment(u32),
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal, including suffixes (`0x1F`, `1_000u64`, `1.5`).
+    Number,
+    /// A single punctuation character.
+    Punct,
+    /// Plain string literal `"..."` (may span lines).
     Str,
-    RawStr(u32),
+    /// Byte string literal `b"..."`.
+    ByteStr,
+    /// Raw string literal `r"..."` / `r#"..."#` with its hash count.
+    RawStr {
+        /// Number of `#`s in the delimiter.
+        hashes: u32,
+    },
+    /// Raw byte string literal `br#"..."#` with its hash count.
+    RawByteStr {
+        /// Number of `#`s in the delimiter.
+        hashes: u32,
+    },
+    /// Character literal `'x'`, `'\n'`, `'\''`.
+    Char,
+    /// Byte character literal `b'x'`.
+    ByteChar,
+    /// `//` comment (text runs to end of line, newline excluded).
+    LineComment,
+    /// `/* ... */` comment, nesting-aware (may span lines).
+    BlockComment,
+    /// Run of whitespace, newlines included.
+    Whitespace,
+}
+
+/// One lexed token with its exact source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// A token plus its masked rendering (same character count as `text`;
+/// newlines preserved, masked characters replaced by spaces).
+struct LexedToken {
+    token: Token,
+    masked: String,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+/// Whether `c` can start an identifier.
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Whether `c` can continue an identifier.
+fn ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one character, keeping it verbatim in both the raw and
+    /// the masked text.
+    fn keep(&mut self, raw: &mut String, masked: &mut String) {
+        let c = self.chars[self.i];
+        raw.push(c);
+        masked.push(c);
+        self.advance(c);
+    }
+
+    /// Consumes one character, masking it (newlines stay, everything
+    /// else becomes a space).
+    fn mask(&mut self, raw: &mut String, masked: &mut String) {
+        let c = self.chars[self.i];
+        raw.push(c);
+        masked.push(if c == '\n' { '\n' } else { ' ' });
+        self.advance(c);
+    }
+
+    fn advance(&mut self, c: char) {
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    /// If the characters at `self.i + at` form `#* "` (zero or more
+    /// hashes then a quote), returns the hash count — the tail of a raw
+    /// string opener.
+    fn raw_str_hashes(&self, at: usize) -> Option<u32> {
+        let mut n = 0usize;
+        while self.peek(at + n) == Some('#') {
+            n += 1;
+        }
+        if self.peek(at + n) == Some('"') {
+            Some(n as u32)
+        } else {
+            None
+        }
+    }
+
+    fn next_token(&mut self) -> Option<LexedToken> {
+        let c = self.peek(0)?;
+        let (start_line, start_col) = (self.line, self.col);
+        let mut raw = String::new();
+        let mut masked = String::new();
+
+        let kind = if c.is_whitespace() {
+            while self.peek(0).is_some_and(|c| c.is_whitespace()) {
+                self.keep(&mut raw, &mut masked);
+            }
+            TokenKind::Whitespace
+        } else if c == '/' && self.peek(1) == Some('/') {
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.mask(&mut raw, &mut masked);
+            }
+            TokenKind::LineComment
+        } else if c == '/' && self.peek(1) == Some('*') {
+            self.lex_block_comment(&mut raw, &mut masked);
+            TokenKind::BlockComment
+        } else if c == '"' {
+            self.lex_str(0, &mut raw, &mut masked);
+            TokenKind::Str
+        } else if c == 'b' && self.peek(1) == Some('"') {
+            self.lex_str(1, &mut raw, &mut masked);
+            TokenKind::ByteStr
+        } else if c == 'b' && self.peek(1) == Some('\'') {
+            self.keep(&mut raw, &mut masked); // the `b` stays; quotes are masked below
+            self.lex_char(&mut raw, &mut masked);
+            TokenKind::ByteChar
+        } else if c == 'b' && self.peek(1) == Some('r') && self.raw_str_hashes(2).is_some() {
+            let hashes = self.raw_str_hashes(2).unwrap_or(0);
+            self.lex_raw_str(2, hashes, &mut raw, &mut masked);
+            TokenKind::RawByteStr { hashes }
+        } else if c == 'r' && self.raw_str_hashes(1).is_some() {
+            let hashes = self.raw_str_hashes(1).unwrap_or(0);
+            self.lex_raw_str(1, hashes, &mut raw, &mut masked);
+            TokenKind::RawStr { hashes }
+        } else if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(ident_start) {
+            // Raw identifier `r#type`.
+            self.keep(&mut raw, &mut masked);
+            self.keep(&mut raw, &mut masked);
+            while self.peek(0).is_some_and(ident_continue) {
+                self.keep(&mut raw, &mut masked);
+            }
+            TokenKind::Ident
+        } else if ident_start(c) {
+            while self.peek(0).is_some_and(ident_continue) {
+                self.keep(&mut raw, &mut masked);
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            self.lex_number(&mut raw, &mut masked);
+            TokenKind::Number
+        } else if c == '\'' {
+            // Char literal vs lifetime: `'x'` (third char closes) and
+            // `'\...` are literals; `'ident` not followed by a closing
+            // quote is a lifetime and stays in the code stream.
+            let n1 = self.peek(1);
+            if n1.is_some_and(ident_start) && n1 != Some('\\') && self.peek(2) != Some('\'') {
+                self.keep(&mut raw, &mut masked);
+                while self.peek(0).is_some_and(ident_continue) {
+                    self.keep(&mut raw, &mut masked);
+                }
+                TokenKind::Lifetime
+            } else {
+                self.lex_char(&mut raw, &mut masked);
+                TokenKind::Char
+            }
+        } else {
+            self.keep(&mut raw, &mut masked);
+            TokenKind::Punct
+        };
+
+        Some(LexedToken {
+            token: Token {
+                kind,
+                text: raw,
+                line: start_line,
+                col: start_col,
+            },
+            masked,
+        })
+    }
+
+    /// Lexes a nesting-aware block comment starting at `/*`. The whole
+    /// comment is masked; newlines survive so line structure holds.
+    fn lex_block_comment(&mut self, raw: &mut String, masked: &mut String) {
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.mask(raw, masked);
+                self.mask(raw, masked);
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.mask(raw, masked);
+                self.mask(raw, masked);
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.mask(raw, masked);
+            }
+        }
+    }
+
+    /// Lexes a plain or byte string. `prefix` characters (the `b`) are
+    /// kept; so are the delimiting quotes. Escapes may continue the
+    /// string across a newline; the newline itself is preserved in the
+    /// masked text.
+    fn lex_str(&mut self, prefix: usize, raw: &mut String, masked: &mut String) {
+        for _ in 0..prefix {
+            self.keep(raw, masked);
+        }
+        self.keep(raw, masked); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.mask(raw, masked);
+                if self.peek(0).is_some() {
+                    self.mask(raw, masked);
+                }
+            } else if c == '"' {
+                self.keep(raw, masked); // closing quote
+                return;
+            } else {
+                self.mask(raw, masked);
+            }
+        }
+    }
+
+    /// Lexes a raw (byte) string: `prefix` characters (`r` / `br`),
+    /// `hashes` hashes, the quotes, and the closing hashes are all kept
+    /// so that masking is idempotent; only the payload is masked.
+    fn lex_raw_str(&mut self, prefix: usize, hashes: u32, raw: &mut String, masked: &mut String) {
+        for _ in 0..prefix + hashes as usize {
+            self.keep(raw, masked);
+        }
+        self.keep(raw, masked); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (1..=hashes as usize).all(|k| self.peek(k) == Some('#')) {
+                self.keep(raw, masked); // closing quote
+                for _ in 0..hashes {
+                    self.keep(raw, masked);
+                }
+                return;
+            }
+            self.mask(raw, masked);
+        }
+    }
+
+    /// Lexes a char literal starting at `'`. The whole literal is
+    /// masked (quotes included), so a quote char `'"'` can never open a
+    /// string state. An unterminated literal stops *before* the newline
+    /// — the newline is never consumed, so line numbers stay exact.
+    fn lex_char(&mut self, raw: &mut String, masked: &mut String) {
+        self.mask(raw, masked); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                return; // unterminated; leave the newline alone
+            }
+            if c == '\\' {
+                self.mask(raw, masked);
+                if self.peek(0).is_some_and(|n| n != '\n') {
+                    self.mask(raw, masked);
+                }
+            } else if c == '\'' {
+                self.mask(raw, masked);
+                return;
+            } else {
+                self.mask(raw, masked);
+            }
+        }
+    }
+
+    /// Lexes a numeric literal: digits, `_`, suffix letters, hex/octal
+    /// payloads, and a decimal point when a digit follows (so ranges
+    /// like `1..10` and calls like `1.max(2)` are left alone).
+    fn lex_number(&mut self, raw: &mut String, masked: &mut String) {
+        while self.peek(0).is_some_and(ident_continue) {
+            self.keep(raw, masked);
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.keep(raw, masked);
+            while self.peek(0).is_some_and(ident_continue) {
+                self.keep(raw, masked);
+            }
+        }
+    }
+}
+
+fn lex(source: &str) -> Vec<LexedToken> {
+    let mut lexer = Lexer::new(source);
+    let mut out = Vec::new();
+    while let Some(t) = lexer.next_token() {
+        out.push(t);
+    }
+    out
+}
+
+/// Lexes `source` into a token stream with exact positions. Workspace
+/// passes use this to parse enum variants, struct fields, and const
+/// declarations without a full parser.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    lex(source).into_iter().map(|t| t.token).collect()
 }
 
 /// Scans `source` into masked lines.
 pub fn scan(source: &str) -> ScannedFile {
-    let chars: Vec<char> = source.chars().collect();
     let mut lines: Vec<Line> = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
     let mut has_comment = false;
-    let mut state = State::Code;
-    let mut i = 0usize;
 
-    macro_rules! flush_line {
-        () => {{
-            lines.push(Line {
-                code: std::mem::take(&mut code),
-                comment: if std::mem::take(&mut has_comment) {
-                    Some(std::mem::take(&mut comment))
-                } else {
-                    None
-                },
-                in_test: false,
-            });
-        }};
-    }
-
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            // Line comments end at the newline; strings legally continue.
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            flush_line!();
-            i += 1;
-            continue;
+    for lt in lex(source) {
+        if lt.token.kind == TokenKind::LineComment {
+            has_comment = true;
+            comment.extend(lt.token.text.chars().skip(2));
         }
-        match state {
-            State::Code => {
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    state = State::LineComment;
-                    has_comment = true;
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    state = State::BlockComment(1);
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    // A quote opens either a plain/byte string or, when
-                    // preceded by `r`/`br` (+ hashes), a raw string.
-                    if let Some(hashes) = raw_prefix(&chars, i) {
-                        state = State::RawStr(hashes);
+        for c in lt.masked.chars() {
+            if c == '\n' {
+                lines.push(Line {
+                    code: std::mem::take(&mut code),
+                    comment: if std::mem::take(&mut has_comment) {
+                        Some(std::mem::take(&mut comment))
                     } else {
-                        state = State::Str;
-                    }
-                    code.push('"');
-                    i += 1;
-                    continue;
-                }
-                if c == '\'' {
-                    // Char literal vs lifetime: a literal is `'x'` or an
-                    // escape; anything else (e.g. `'a` in generics) is a
-                    // lifetime and stays in the code stream.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        let mut j = i + 2;
-                        // Skip the escape payload up to the closing quote.
-                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
-                            j += 1;
-                        }
-                        for _ in i..=j.min(chars.len() - 1) {
-                            code.push(' ');
-                        }
-                        i = (j + 1).min(chars.len());
-                        continue;
-                    }
-                    if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
-                        code.push(' ');
-                        code.push(' ');
-                        code.push(' ');
-                        i += 3;
-                        continue;
-                    }
-                    code.push('\'');
-                    i += 1;
-                    continue;
-                }
+                        None
+                    },
+                    in_test: false,
+                });
+            } else {
                 code.push(c);
-                i += 1;
-            }
-            State::LineComment => {
-                comment.push(c);
-                code.push(' ');
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    state = State::BlockComment(depth + 1);
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    code.push(' ');
-                    code.push(' ');
-                    i += 2;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    code.push(' ');
-                    if chars.get(i + 1).is_some_and(|&n| n != '\n') {
-                        code.push(' ');
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                } else if c == '"' {
-                    state = State::Code;
-                    code.push('"');
-                    i += 1;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw(&chars, i, hashes) {
-                    for _ in 0..=hashes {
-                        code.push(' ');
-                    }
-                    code.pop();
-                    code.push('"');
-                    state = State::Code;
-                    i += 1 + hashes as usize;
-                } else {
-                    code.push(' ');
-                    i += 1;
-                }
             }
         }
     }
     if !code.is_empty() || has_comment {
-        flush_line!();
+        lines.push(Line {
+            code,
+            comment: if has_comment { Some(comment) } else { None },
+            in_test: false,
+        });
     }
 
     let mut file = ScannedFile { lines };
     mark_test_regions(&mut file);
     file
-}
-
-/// If the `"` at `chars[quote]` is the opening of a raw string literal
-/// (`r"`, `r#"`, `br##"` ...), returns the number of hashes.
-fn raw_prefix(chars: &[char], quote: usize) -> Option<u32> {
-    let mut j = quote;
-    let mut hashes = 0u32;
-    while j > 0 && chars[j - 1] == '#' {
-        hashes += 1;
-        j -= 1;
-    }
-    if j == 0 || chars[j - 1] != 'r' {
-        return None;
-    }
-    j -= 1;
-    if j > 0 && chars[j - 1] == 'b' {
-        j -= 1;
-    }
-    // The prefix must not be the tail of an identifier (`attr"` is not
-    // valid Rust anyway, but stay safe).
-    if j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
-        return None;
-    }
-    Some(hashes)
-}
-
-/// True if the `"` at `chars[quote]` is followed by `hashes` `#`s,
-/// closing a raw string.
-fn closes_raw(chars: &[char], quote: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(quote + k) == Some(&'#'))
 }
 
 /// Flags lines inside `#[cfg(test)]` items (typically `mod tests { .. }`)
@@ -270,6 +457,54 @@ fn mark_test_regions(file: &mut ScannedFile) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Masking invariant shared by the regression tests: same line
+    /// count as the source, same character count per line, and every
+    /// character either unchanged or a space.
+    fn assert_position_exact(src: &str) {
+        let f = scan(src);
+        let src_lines: Vec<&str> = {
+            let mut v: Vec<&str> = src.split('\n').collect();
+            if v.last() == Some(&"") {
+                v.pop();
+            }
+            v
+        };
+        assert_eq!(f.lines.len(), src_lines.len(), "line count for {src:?}");
+        for (i, (line, src_line)) in f.lines.iter().zip(&src_lines).enumerate() {
+            let masked: Vec<char> = line.code.chars().collect();
+            let original: Vec<char> = src_line.chars().collect();
+            assert_eq!(
+                masked.len(),
+                original.len(),
+                "line {} length for {src:?}",
+                i + 1
+            );
+            for (j, (&m, &o)) in masked.iter().zip(&original).enumerate() {
+                assert!(
+                    m == o || m == ' ',
+                    "line {} col {} changed {o:?} into {m:?} for {src:?}",
+                    i + 1,
+                    j + 1
+                );
+            }
+        }
+    }
+
+    /// Idempotence invariant: re-scanning the masked code reproduces it.
+    fn assert_idempotent(src: &str) {
+        let first = scan(src);
+        let joined: String = first
+            .lines
+            .iter()
+            .map(|l| l.code.clone() + "\n")
+            .collect::<String>();
+        let second = scan(&joined);
+        assert_eq!(first.lines.len(), second.lines.len(), "for {src:?}");
+        for (a, b) in first.lines.iter().zip(&second.lines) {
+            assert_eq!(a.code, b.code, "masking must be idempotent for {src:?}");
+        }
+    }
 
     #[test]
     fn strings_and_comments_are_masked() {
@@ -326,5 +561,139 @@ mod tests {
         let f = scan("let s = \"a\\\"HashMap\\\"b\"; let t = 2;\n");
         assert!(!f.lines[0].code.contains("HashMap"));
         assert!(f.lines[0].code.contains("let t = 2;"));
+    }
+
+    // ------------------------------------------------ lexer regressions
+    //
+    // Each case below pins an edge the pre-token-scanner masker got
+    // wrong (columns drifting inside raw-string closers, a consumed
+    // newline after an unterminated char escape) or never covered (byte
+    // strings, raw identifiers, near-miss raw closers).
+
+    #[test]
+    fn raw_string_delimiter_columns_are_exact() {
+        // The old masker emitted the closing quote of `"##` at the far
+        // end of the delimiter, shifting columns. Every character must
+        // now stay put.
+        assert_position_exact("let x = r##\"HashMap\"##; let y = 1;\n");
+        let f = scan("let x = r##\"HashMap\"##; let y = 1;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_string_near_miss_closer_is_masked() {
+        // `"#` inside an `r##` string does not close it; the content —
+        // including the lookalike closer — must be masked.
+        let f = scan("let s = r##\"a\"#HashMap\"##; let t = 3;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let t = 3;"));
+        assert_idempotent("let s = r##\"a\"#HashMap\"##; let t = 3;\n");
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_lines() {
+        let src = "let s = r#\"one\nHashMap two\n\"#; let z = 9;\n";
+        assert_position_exact(src);
+        let f = scan(src);
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[2].code.contains("let z = 9;"));
+    }
+
+    #[test]
+    fn nested_block_comments_across_lines() {
+        let src = "/* outer /* inner\nHashMap */ still\ncomment */ let a = 1;\n";
+        assert_position_exact(src);
+        let f = scan(src);
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("still"));
+        assert!(!f.lines[2].code.contains("comment"));
+        assert!(f.lines[2].code.contains("let a = 1;"));
+    }
+
+    #[test]
+    fn unterminated_char_escape_keeps_the_newline() {
+        // The old masker consumed the newline after `'\` at end of
+        // line, merging two source lines and shifting every later line
+        // number. The newline must survive.
+        let src = "let a = '\\\nlet b = HashMap;\n";
+        let f = scan(src);
+        assert_eq!(f.lines.len(), 2);
+        assert!(f.lines[1].code.contains("let b = HashMap;"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let f = scan("let a = b\"HashMap\"; let b2 = br#\"HashSet\"#; let c = 1;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[0].code.contains("HashSet"));
+        assert!(f.lines[0].code.contains("let c = 1;"));
+        assert_position_exact("let a = b\"HashMap\"; let b2 = br#\"HashSet\"#; let c = 1;\n");
+    }
+
+    #[test]
+    fn byte_char_literal_is_masked() {
+        let f = scan("let q = b'\"'; let d = \"HashMap\"; let e = 4;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let e = 4;"));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_in_code() {
+        let f = scan("let r#type = 1; let s = \"HashMap\";\n");
+        assert!(f.lines[0].code.contains("r#type"));
+        assert!(!f.lines[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn masking_is_idempotent_on_representative_sources() {
+        for src in [
+            "let x = \"a\\\"b\"; // trailing\n",
+            "let x = r#\"multi\nline\"#;\n",
+            "/* nested /* deep */ */ fn f() {}\n",
+            "let c = '\\n'; let l: &'static str = \"s\";\n",
+            "let a = b\"bytes\"; let b2 = br##\"raw\"##;\n",
+        ] {
+            assert_position_exact(src);
+            assert_idempotent(src);
+        }
+    }
+
+    #[test]
+    fn tokenize_reports_exact_positions() {
+        let toks = tokenize("fn f() {\n    let s = \"x\";\n}\n");
+        let s_lit = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("string token");
+        assert_eq!(s_lit.line, 2);
+        assert_eq!(s_lit.col, 13);
+        assert_eq!(s_lit.text, "\"x\"");
+        let f_ident = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text == "f")
+            .expect("ident token");
+        assert_eq!((f_ident.line, f_ident.col), (1, 4));
+    }
+
+    #[test]
+    fn tokenize_classifies_literals() {
+        let toks = tokenize("r#\"raw\"# b\"b\" b'q' 'c' 'life 1_000u64");
+        let kinds: Vec<TokenKind> = toks
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::RawStr { hashes: 1 },
+                TokenKind::ByteStr,
+                TokenKind::ByteChar,
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Number,
+            ]
+        );
     }
 }

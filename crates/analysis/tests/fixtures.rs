@@ -5,7 +5,10 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use deepum_analysis::{analyze_source, analyze_tree, Config, Violation};
+use deepum_analysis::baseline::Baseline;
+use deepum_analysis::{
+    analyze_source, analyze_tree, analyze_workspace, Config, InputFile, Violation, WorkspaceInput,
+};
 
 fn fixture(kind: &str, name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -73,7 +76,57 @@ const CASES: &[(&str, &str, &str)] = &[
         "crates/runtime/src/fixture.rs",
         "suppression-hygiene",
     ),
+    (
+        "result_discard.rs",
+        "crates/core/src/fixture.rs",
+        "result-discard",
+    ),
+    (
+        "hot_path_alloc.rs",
+        "crates/gpu/src/engine.rs",
+        "hot-path-alloc",
+    ),
 ];
+
+/// Workspace-pass fixtures: analyzed through [`analyze_workspace`] with
+/// one committed golden trace covering the `KernelRetire` event, since
+/// these lints look across files rather than at single lines.
+const WORKSPACE_CASES: &[(&str, &str, &str)] = &[
+    (
+        "schema_version.rs",
+        "crates/um/src/snapshot.rs",
+        "schema-version-discipline",
+    ),
+    (
+        "event_vocabulary.rs",
+        "crates/trace/src/event.rs",
+        "event-vocabulary-coverage",
+    ),
+    (
+        "report_section.rs",
+        "crates/baselines/src/report.rs",
+        "report-section-convention",
+    ),
+];
+
+fn analyze_fixture_workspace(
+    kind: &str,
+    file: &str,
+    as_path: &str,
+    cfg: &Config,
+) -> Vec<Violation> {
+    let input = WorkspaceInput {
+        files: vec![InputFile {
+            rel_path: as_path.to_string(),
+            source: fixture(kind, file),
+        }],
+        golden_traces: vec![InputFile {
+            rel_path: "tests/golden/fixture.jsonl".to_string(),
+            source: "{\"t\":0,\"event\":{\"kind\":\"KernelRetire\",\"seq\":1}}\n".to_string(),
+        }],
+    };
+    analyze_workspace(&input, cfg)
+}
 
 #[test]
 fn fail_fixtures_are_caught() {
@@ -122,12 +175,59 @@ fn fail_fixtures_are_quiet_when_their_lint_is_skipped() {
 }
 
 #[test]
-fn live_workspace_is_clean() {
+fn workspace_fail_fixtures_are_caught() {
+    let cfg = Config::all();
+    for (file, as_path, lint) in WORKSPACE_CASES {
+        let violations = analyze_fixture_workspace("fail", file, as_path, &cfg);
+        assert!(
+            lints_hit(&violations).contains(*lint),
+            "fail/{file} analyzed as {as_path} should trigger {lint}, got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn workspace_pass_fixtures_are_clean() {
+    let cfg = Config::all();
+    for (file, as_path, _lint) in WORKSPACE_CASES {
+        let violations = analyze_fixture_workspace("pass", file, as_path, &cfg);
+        assert!(
+            violations.is_empty(),
+            "pass/{file} analyzed as {as_path} should be clean, got: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn workspace_fail_fixtures_are_quiet_when_their_lint_is_skipped() {
+    for (file, as_path, lint) in WORKSPACE_CASES {
+        let cfg = Config::all()
+            .skip(&[(*lint).to_string()])
+            .expect("known lint id");
+        let violations = analyze_fixture_workspace("fail", file, as_path, &cfg);
+        assert!(
+            !lints_hit(&violations).contains(*lint),
+            "fail/{file} with {lint} skipped should not report it, got: {violations:?}"
+        );
+    }
+}
+
+/// The live workspace must be clean modulo the committed ratchet
+/// baseline — and the baseline itself must be tight: a stale entry
+/// (fixed violations still grandfathered) fails here too, enforcing the
+/// ratchet in both directions from tier-1.
+#[test]
+fn live_workspace_is_clean_modulo_baseline() {
     let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let violations = analyze_tree(&root, &Config::all()).expect("workspace scan succeeds");
+    let baseline_path = root.join("ci/tidy-baseline.json");
+    let baseline_src = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+    let baseline = Baseline::parse(&baseline_src).expect("committed baseline parses");
+    let violations = baseline.apply(violations);
     assert!(
         violations.is_empty(),
-        "the workspace must be deepum-tidy clean:\n{}",
+        "the workspace must be deepum-tidy clean modulo ci/tidy-baseline.json:\n{}",
         deepum_analysis::render_human(&violations)
     );
 }

@@ -1,0 +1,6 @@
+//! Bad: a TraceEvent variant no committed golden trace exercises.
+
+pub enum TraceEvent {
+    KernelRetire { seq: u64 },
+    GhostEvent { seq: u64 },
+}

@@ -1,0 +1,11 @@
+//! Bad: per-event allocations on the fault/eviction hot path.
+
+pub fn record(names: &[String], out: &mut Vec<String>) {
+    let mut batch = Vec::new();
+    for name in names {
+        batch.push(name.clone());
+    }
+    let header = format!("batch of {}", batch.len());
+    out.push(header);
+    out.extend(batch);
+}

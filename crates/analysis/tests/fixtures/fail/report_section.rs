@@ -1,0 +1,6 @@
+//! Bad: an Option section that serializes as null when absent.
+
+pub struct SummaryReport {
+    pub total: u64,
+    pub recovery: Option<u64>,
+}

@@ -1,0 +1,15 @@
+//! Bad: Results silently discarded in a driver-adjacent crate.
+
+pub fn drain(results: &mut Vec<Result<u64, String>>, sink: &mut Vec<u64>) -> u64 {
+    let _ = enqueue(sink, 7);
+    let first = results.pop().map(|r| r.unwrap_or_default());
+    if let Some(v) = results.pop().and_then(|r| r.ok()) {
+        sink.push(v);
+    }
+    first.map_or(0, |v| v)
+}
+
+fn enqueue(sink: &mut Vec<u64>, v: u64) -> Result<(), String> {
+    sink.push(v);
+    Ok(())
+}

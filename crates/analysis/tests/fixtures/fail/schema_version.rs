@@ -1,0 +1,8 @@
+//! Bad: a codec version const that no test pins.
+
+/// On-disk payload version for the fixture codec.
+pub const FIXTURE_VERSION: u32 = 9;
+
+pub fn header() -> u32 {
+    FIXTURE_VERSION
+}

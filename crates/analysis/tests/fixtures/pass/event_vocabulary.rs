@@ -1,0 +1,5 @@
+//! Good: every TraceEvent variant appears in a committed golden trace.
+
+pub enum TraceEvent {
+    KernelRetire { seq: u64 },
+}

@@ -1,0 +1,9 @@
+//! Good: the hot path reuses caller-provided scratch storage.
+
+pub fn record(pages: &[u64], scratch: &mut [u64], count: &mut usize) {
+    *count = 0;
+    for (slot, page) in scratch.iter_mut().zip(pages) {
+        *slot = *page;
+        *count += 1;
+    }
+}

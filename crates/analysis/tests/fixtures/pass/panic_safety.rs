@@ -1,10 +1,11 @@
-//! Good: hot-path lookups surface errors instead of panicking.
+//! Good: hot-path lookups surface errors instead of panicking, without
+//! allocating on the hot path.
 
 use std::collections::BTreeMap;
 
-pub fn lookup(map: &BTreeMap<u64, u64>, key: u64) -> Result<u64, String> {
+pub fn lookup(map: &BTreeMap<u64, u64>, key: u64) -> Result<u64, &'static str> {
     match map.get(&key) {
         Some(v) => Ok(*v),
-        None => Err(format!("missing key {key}")),
+        None => Err("missing key"),
     }
 }

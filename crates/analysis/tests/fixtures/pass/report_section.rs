@@ -1,0 +1,7 @@
+//! Good: absent Option sections are omitted from the JSON entirely.
+
+pub struct SummaryReport {
+    pub total: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<u64>,
+}

@@ -1,0 +1,18 @@
+//! Good: every Result is matched or propagated, never discarded.
+
+pub fn drain(results: &mut Vec<Result<u64, String>>, sink: &mut Vec<u64>) -> Result<u64, String> {
+    enqueue(sink, 7)?;
+    let mut total = 0;
+    while let Some(r) = results.pop() {
+        match r {
+            Ok(v) => total += v,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
+}
+
+fn enqueue(sink: &mut Vec<u64>, v: u64) -> Result<(), String> {
+    sink.push(v);
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Good: the codec version const is pinned by a decode-compat test.
+
+/// On-disk payload version for the fixture codec.
+pub const FIXTURE_VERSION: u32 = 9;
+
+pub fn header() -> u32 {
+    FIXTURE_VERSION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_is_pinned() {
+        assert_eq!(FIXTURE_VERSION, 9);
+    }
+}

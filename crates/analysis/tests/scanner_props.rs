@@ -1,0 +1,110 @@
+//! Property tests for the token-level masker: on arbitrary Rust-like
+//! sources stitched from a fragment pool, masking must preserve every
+//! line's exact width (so lint columns stay honest), change characters
+//! only to spaces, and be idempotent (re-scanning masked output is a
+//! fixed point).
+
+use deepum_analysis::scan::{scan, ScannedFile};
+use proptest::prelude::*;
+
+/// Fragment pool covering the lexer's hard cases: raw strings (with and
+/// without hashes), byte strings, nested block comments, char literals
+/// vs lifetimes, escapes, unterminated literals, and plain code. Joined
+/// by newlines, fragments compose into multi-line constructs too — a
+/// `/*` opener can be closed several fragments later.
+const FRAGMENTS: &[&str] = &[
+    "fn main() { let x = 1; }",
+    "let s = \"hello \\\" world\";",
+    "let r = r\"no escapes \\ here\";",
+    "let r = r#\"raw \" with # quote\"#;",
+    "let r = r##\"deeper \"# still\"##;",
+    "let b = b\"bytes \\x00\";",
+    "let b = br#\"raw bytes\"#;",
+    "let c = 'x';",
+    "let c = '\\'';",
+    "let c = '\\\\';",
+    "let c = b'q';",
+    "fn f<'a>(x: &'a str) -> &'a str { x }",
+    "let ok = x < 'z' && y > 'a';",
+    "// line comment with \" quote and 'tick",
+    "/* block comment",
+    "still inside? maybe */",
+    "/* nested /* inner */ outer */ let after = 1;",
+    "let n = 1..10;",
+    "let m = 1.max(2);",
+    "let f = 1.5e3_f64;",
+    "let big = 0xFF_u32;",
+    "#[cfg(test)]",
+    "mod tests {",
+    "}",
+    "",
+    "    ",
+    "let unterminated = \"runs to end of line",
+    "let tick = 'u",
+    "struct S<'de> { field: &'de str }",
+    "let q = r#ident_raw;",
+    "println!(\"value: {}\", 42);",
+];
+
+/// Stitches fragment indices into one source string.
+fn build_source(picks: &[usize]) -> String {
+    let parts: Vec<&str> = picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect();
+    parts.join("\n")
+}
+
+/// Reassembles the masked text from a scan, newline-separated — the
+/// inverse of how `scan` splits it.
+fn masked_text(file: &ScannedFile) -> String {
+    let codes: Vec<&str> = file.lines.iter().map(|l| l.code.as_str()).collect();
+    codes.join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Masking is position-exact: same number of lines, same width per
+    /// line, and every character is either unchanged or a space.
+    #[test]
+    fn masking_preserves_positions(picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..24)) {
+        let source = build_source(&picks);
+        let scanned = scan(&source);
+        let raw_lines: Vec<&str> = source.split('\n').collect();
+        // A trailing empty fragment (source ending in a newline, or an
+        // empty last fragment) yields no Line; everything else maps 1:1.
+        let expected = if raw_lines.last() == Some(&"") {
+            raw_lines.len() - 1
+        } else {
+            raw_lines.len()
+        };
+        prop_assert_eq!(scanned.lines.len(), expected);
+        for (i, line) in scanned.lines.iter().enumerate() {
+            let raw = raw_lines[i];
+            prop_assert_eq!(
+                line.code.chars().count(),
+                raw.chars().count(),
+                "line {} width changed:\nraw:    {:?}\nmasked: {:?}",
+                i + 1, raw, &line.code
+            );
+            for (m, r) in line.code.chars().zip(raw.chars()) {
+                prop_assert!(
+                    m == r || m == ' ',
+                    "line {}: masked char {:?} is neither the original {:?} nor a space",
+                    i + 1, m, r
+                );
+            }
+        }
+    }
+
+    /// Masking is idempotent: scanning already-masked text reproduces
+    /// it exactly (string delimiters survive, interiors stay blank).
+    #[test]
+    fn masking_is_idempotent(picks in prop::collection::vec(0usize..FRAGMENTS.len(), 1..24)) {
+        let source = build_source(&picks);
+        let once = masked_text(&scan(&source));
+        let twice = masked_text(&scan(&once));
+        prop_assert_eq!(&once, &twice, "source:\n{}", source);
+    }
+}

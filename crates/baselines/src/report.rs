@@ -5,7 +5,6 @@ use deepum_sim::faultinject::{BackendHealth, InjectionStats};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use deepum_trace::{PressureLevel, TraceReport};
-use serde::value::{Value, ValueError};
 use serde::{Deserialize, Serialize};
 
 /// Statistics of one training iteration.
@@ -138,6 +137,7 @@ pub struct TenantReport {
     /// Whether the tenant's job ran to completion.
     pub completed: bool,
     /// Terminal error, if the tenant was denied or died mid-run.
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
     /// Kernels the tenant launched.
     pub kernels: u64,
@@ -164,12 +164,16 @@ pub struct TenantReport {
 
 /// The outcome of running a workload under one memory system.
 ///
-/// `Serialize`/`Deserialize` are written by hand (not derived) so that
-/// the `recovery` and `trace` members are *omitted* when `None` instead
-/// of rendering as `null`: reports of runs without hard-fault machinery
-/// or tracing stay byte-identical to reports produced before those
-/// subsystems existed.
-#[derive(Debug, Clone, PartialEq)]
+/// Every optional section carries
+/// `#[serde(skip_serializing_if = "Option::is_none")]` (enforced
+/// workspace-wide by the `report-section-convention` tidy pass): an
+/// absent section is *omitted* from the JSON rather than rendered as
+/// `null`, so reports of runs without the corresponding subsystem stay
+/// byte-identical to reports produced before that subsystem existed.
+/// Deserialization still accepts explicit `null`s, so reports written
+/// by older builds (bench cache ≤ v13 emitted `"table_bytes":null` /
+/// `"health":null`) keep parsing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Workload name (`"gpt2-xl/b7"`).
     pub workload: String,
@@ -184,88 +188,27 @@ pub struct RunReport {
     /// Final counter totals.
     pub counters: Counters,
     /// Correlation-table memory, if the system keeps tables (Table 4).
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub table_bytes: Option<u64>,
     /// Injected-fault and degradation summary, when applicable.
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub health: Option<HealthReport>,
     /// Checkpoint/restore summary; `Some` only when the run had hard
     /// faults scheduled or an explicit checkpoint cadence.
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub recovery: Option<RecoveryReport>,
     /// Structured-event trace summary; `Some` only when the run had a
     /// tracer installed.
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub trace: Option<TraceReport>,
     /// Memory-pressure governor summary; `Some` only when the backend
     /// ran with a governor installed.
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub pressure: Option<PressureReport>,
     /// Per-tenant summaries; `Some` only for multi-tenant scheduler
     /// runs, so solo reports stay byte-identical to pre-tenancy builds.
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub tenants: Option<Vec<TenantReport>>,
-}
-
-impl Serialize for RunReport {
-    fn to_value(&self) -> Value {
-        let mut members = vec![
-            ("workload".to_string(), self.workload.to_value()),
-            ("system".to_string(), self.system.to_value()),
-            ("iters".to_string(), self.iters.to_value()),
-            ("total".to_string(), self.total.to_value()),
-            ("energy_joules".to_string(), self.energy_joules.to_value()),
-            ("counters".to_string(), self.counters.to_value()),
-            ("table_bytes".to_string(), self.table_bytes.to_value()),
-            ("health".to_string(), self.health.to_value()),
-        ];
-        if let Some(rec) = &self.recovery {
-            members.push(("recovery".to_string(), rec.to_value()));
-        }
-        if let Some(trace) = &self.trace {
-            members.push(("trace".to_string(), trace.to_value()));
-        }
-        if let Some(pressure) = &self.pressure {
-            members.push(("pressure".to_string(), pressure.to_value()));
-        }
-        if let Some(tenants) = &self.tenants {
-            members.push(("tenants".to_string(), tenants.to_value()));
-        }
-        Value::Object(members)
-    }
-}
-
-impl Deserialize for RunReport {
-    fn from_value(v: &Value) -> Result<Self, ValueError> {
-        fn member<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ValueError> {
-            v.get(key)
-                .ok_or_else(|| ValueError::msg(format!("RunReport is missing member `{key}`")))
-        }
-        let recovery = match v.get("recovery") {
-            None | Some(Value::Null) => None,
-            Some(rec) => Some(RecoveryReport::from_value(rec)?),
-        };
-        let trace = match v.get("trace") {
-            None | Some(Value::Null) => None,
-            Some(tr) => Some(TraceReport::from_value(tr)?),
-        };
-        let pressure = match v.get("pressure") {
-            None | Some(Value::Null) => None,
-            Some(p) => Some(PressureReport::from_value(p)?),
-        };
-        let tenants = match v.get("tenants") {
-            None | Some(Value::Null) => None,
-            Some(t) => Some(Vec::from_value(t)?),
-        };
-        Ok(RunReport {
-            workload: String::from_value(member(v, "workload")?)?,
-            system: String::from_value(member(v, "system")?)?,
-            iters: Vec::from_value(member(v, "iters")?)?,
-            total: Ns::from_value(member(v, "total")?)?,
-            energy_joules: f64::from_value(member(v, "energy_joules")?)?,
-            counters: Counters::from_value(member(v, "counters")?)?,
-            table_bytes: Option::from_value(member(v, "table_bytes")?)?,
-            health: Option::from_value(member(v, "health")?)?,
-            recovery,
-            trace,
-            pressure,
-            tenants,
-        })
-    }
 }
 
 impl RunReport {
@@ -401,10 +344,29 @@ mod tests {
         let r = report(&[10, 10]);
         let json = serde_json::to_string(&r).expect("report serializes");
         assert!(!json.contains("recovery"));
-        // The rendered form matches what the derived impl produced
-        // before the member existed: `health` last, rendered as null.
-        assert!(json.trim_end_matches('}').ends_with("\"health\":null"));
+        // Every absent optional section is omitted outright — no nulls
+        // anywhere in a minimal report (bench cache v14 format).
+        assert!(!json.contains("null"), "{json}");
+        assert!(!json.contains("table_bytes"));
+        assert!(!json.contains("health"));
         let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn legacy_null_members_still_parse() {
+        // Bench-cache files written before v14 rendered `table_bytes`
+        // and `health` as explicit nulls; those reports must keep
+        // deserializing (to `None`) even though we no longer emit them.
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        let with_nulls = json.replacen(
+            "\"total\":",
+            "\"table_bytes\":null,\"health\":null,\"total\":",
+            1,
+        );
+        assert_ne!(json, with_nulls, "splice must hit");
+        let back: RunReport = serde_json::from_str(&with_nulls).expect("legacy report parses");
         assert_eq!(back, r);
     }
 

@@ -11,9 +11,11 @@ use std::path::{Path, PathBuf};
 use deepum_baselines::report::{RunError, RunReport};
 use serde::{Deserialize, Serialize};
 
-/// Cache format version; bump when simulator semantics change enough to
-/// invalidate stored reports.
-const VERSION: &str = "v13";
+/// Cache format version; bump when simulator semantics or the report
+/// schema change enough to invalidate stored reports. v14: `RunReport`
+/// omits absent `table_bytes`/`health` members instead of emitting
+/// nulls.
+const VERSION: &str = "v14";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -173,5 +175,26 @@ mod tests {
         let p = cache.path("gpt2-xl/b7 um@32GB");
         let name = p.file_name().unwrap().to_str().unwrap();
         assert!(!name.contains('/') && !name.contains(' '));
+    }
+
+    #[test]
+    fn cache_filenames_pin_the_format_version() {
+        // Decode-compat guard: cache files are namespaced by VERSION, so
+        // a report-schema change must bump it or stale files would parse
+        // under the new schema. v14 = omitted-not-null table_bytes and
+        // health members.
+        assert_eq!(VERSION, "v14");
+        let cache = RunCache::new(Path::new("/tmp"));
+        let name = cache
+            .path("k")
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string();
+        assert!(name.starts_with("v14-"), "{name}");
+        // And the v14 minimal report really has no null members.
+        let body = serde_json::to_string(&dummy()).unwrap();
+        assert!(!body.contains("null"), "{body}");
     }
 }

@@ -170,12 +170,14 @@ impl SpscQueue<PrefetchCommand> {
         let capacity = r.u64()?;
         let rejected = r.u64()?;
         let total_pushed = r.u64()?;
-        let capacity = usize::try_from(capacity)
-            .ok()
-            .filter(|&c| c > 0)
-            .ok_or_else(|| {
-                SnapshotError::Corrupt(format!("bad prefetch queue capacity {capacity}"))
-            })?;
+        let capacity = match usize::try_from(capacity) {
+            Ok(c) if c > 0 => c,
+            Ok(_) | Err(_) => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bad prefetch queue capacity {capacity}"
+                )));
+            }
+        };
         let len = r.len_prefix(12)?;
         if len > capacity {
             return Err(SnapshotError::Corrupt(format!(

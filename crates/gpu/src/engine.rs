@@ -153,16 +153,12 @@ pub trait UmBackend {
     /// Installs a shared fault injector; the backend rolls its DMA /
     /// host-OOM / table-drop faults against it. Backends without
     /// injectable failure paths ignore the handle.
-    fn install_injector(&mut self, injector: SharedInjector) {
-        let _ = injector;
-    }
+    fn install_injector(&mut self, _injector: SharedInjector) {}
 
     /// Installs a shared tracer; the backend then emits structured
     /// events (migrations, evictions, prefetch activity) into it.
     /// Backends without traced paths ignore the handle.
-    fn install_tracer(&mut self, tracer: SharedTracer) {
-        let _ = tracer;
-    }
+    fn install_tracer(&mut self, _tracer: SharedTracer) {}
 
     /// Checks the backend's internal invariants (residency accounting,
     /// LRU consistency). The engine asserts this after every fault drain
@@ -198,8 +194,7 @@ pub trait UmBackend {
     /// Returns a description of the decode failure (bad magic, version
     /// mismatch, checksum mismatch, truncation) or a capability error
     /// for backends without snapshot support.
-    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
-        let _ = bytes;
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
         Err("this backend does not support snapshot/restore".into())
     }
 

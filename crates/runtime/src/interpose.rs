@@ -37,9 +37,7 @@ pub trait LaunchObserver {
     /// A cached segment was released back to the UM space (`cudaFree`):
     /// residency and learned state for `range` are stale and should be
     /// dropped. Default: ignore.
-    fn on_um_range_released(&mut self, now: Ns, range: ByteRange) {
-        let _ = (now, range);
-    }
+    fn on_um_range_released(&mut self, _now: Ns, _range: ByteRange) {}
 }
 
 /// Observer that ignores every notification (naive UM / baselines).

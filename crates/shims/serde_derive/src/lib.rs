@@ -23,7 +23,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -43,13 +43,22 @@ struct Variant {
     shape: VariantShape,
 }
 
+/// A named struct field plus the one field attribute the shim honors.
+struct Field {
+    name: String,
+    /// Set by `#[serde(skip_serializing_if = "Option::is_none")]`: the
+    /// member is omitted from the object when `None`, and an absent
+    /// member deserializes back to `None`.
+    skip_if_none: bool,
+}
+
 enum VariantShape {
     Unit,
     Tuple(usize),
     Named(Vec<String>),
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -57,7 +66,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -157,15 +166,46 @@ fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     out
 }
 
-/// Named-field list: `a: Ty, pub b: Ty, ...` → `["a", "b", ...]`.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Named-field list: `a: Ty, pub b: Ty, ...`, honoring the
+/// `skip_serializing_if = "Option::is_none"` serde attribute (the only
+/// field attribute the shim supports; any other `skip_serializing_if`
+/// predicate is rejected rather than silently ignored).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     split_top_level_commas(stream)
         .into_iter()
         .filter(|seg| !seg.is_empty())
         .map(|seg| {
+            let mut skip_if_none = false;
+            let mut j = 0;
+            while let Some(TokenTree::Punct(p)) = seg.get(j) {
+                if p.as_char() != '#' {
+                    break;
+                }
+                if let Some(TokenTree::Group(g)) = seg.get(j + 1) {
+                    let squashed: String = g
+                        .stream()
+                        .to_string()
+                        .chars()
+                        .filter(|c| !c.is_whitespace())
+                        .collect();
+                    if squashed.contains("skip_serializing_if") {
+                        if !squashed.contains("\"Option::is_none\"") {
+                            panic!(
+                                "serde shim derive: only skip_serializing_if = \
+                                 \"Option::is_none\" is supported, got `{squashed}`"
+                            );
+                        }
+                        skip_if_none = true;
+                    }
+                }
+                j += 2;
+            }
             let mut i = 0;
             skip_attrs_and_vis(&seg, &mut i);
-            expect_ident(&seg, &mut i)
+            Field {
+                name: expect_ident(&seg, &mut i),
+                skip_if_none,
+            }
         })
         .collect()
 }
@@ -190,7 +230,13 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                     VariantShape::Tuple(count_tuple_fields(g.stream()))
                 }
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                    VariantShape::Named(parse_named_fields(g.stream()))
+                    // Field attributes are not honored on enum variants.
+                    VariantShape::Named(
+                        parse_named_fields(g.stream())
+                            .into_iter()
+                            .map(|f| f.name)
+                            .collect(),
+                    )
                 }
                 _ => VariantShape::Unit,
             };
@@ -207,10 +253,20 @@ fn gen_serialize(item: &Item) -> String {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "__members.push((\"{f}\".to_string(), \
-                         ::serde::Serialize::to_value(&self.{f})));\n"
-                    )
+                    let fname = &f.name;
+                    if f.skip_if_none {
+                        format!(
+                            "if self.{fname}.is_some() {{\n\
+                                 __members.push((\"{fname}\".to_string(), \
+                                 ::serde::Serialize::to_value(&self.{fname})));\n\
+                             }}\n"
+                        )
+                    } else {
+                        format!(
+                            "__members.push((\"{fname}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{fname})));\n"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -314,7 +370,25 @@ fn gen_deserialize(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let builds: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?,\n"))
+                .map(|f| {
+                    let fname = &f.name;
+                    if f.skip_if_none {
+                        // An omitted member is `None`; a present one
+                        // (including an explicit null from the legacy
+                        // always-emit format) goes through from_value.
+                        format!(
+                            "{fname}: match __v.get(\"{fname}\") {{\n\
+                                 ::std::option::Option::None => ::std::option::Option::None,\n\
+                                 ::std::option::Option::Some(__x) => \
+                                     ::serde::Deserialize::from_value(__x)?,\n\
+                             }},\n"
+                        )
+                    } else {
+                        format!(
+                            "{fname}: ::serde::Deserialize::from_value(__v.field(\"{fname}\")?)?,\n"
+                        )
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\

@@ -594,6 +594,9 @@ impl UmDriver {
     /// split eviction cost: bookkeeping belongs on the migration
     /// thread's CPU budget and the write-back on the device→host DMA
     /// channel.
+    // The workspace result-discard lint bans `.unwrap_or_default()` in
+    // this crate; the explicit match keeps the swallowed error visible.
+    #[allow(clippy::manual_unwrap_or_default)]
     pub fn preevict(&mut self, now: Ns, target_free: u64) -> EvictCost {
         let target_free = target_free.min(self.capacity_pages);
         if self.free_pages() >= target_free {
@@ -604,8 +607,10 @@ impl UmDriver {
         // bookkeeping inconsistency (the only failure mode of the Pre
         // path) degrades to "freed nothing"; the next enabled
         // `validate()` pass reports the corruption itself.
-        self.evict_to_free(now, needed, EvictPath::Pre, None)
-            .unwrap_or_default()
+        match self.evict_to_free(now, needed, EvictPath::Pre, None) {
+            Ok(cost) => cost,
+            Err(_) => EvictCost::default(),
+        }
     }
 
     fn evict_to_free(

@@ -855,6 +855,23 @@ mod tests {
     }
 
     #[test]
+    fn envelope_pins_magic_and_version() {
+        // Decode-compat guard: the header layout is MAGIC (8 bytes)
+        // then VERSION (LE u32). Pinning the literal values here means
+        // a codec change cannot ship without touching this test — and
+        // without migration thought for snapshots already on disk.
+        assert_eq!(&SNAPSHOT_MAGIC, b"DUMSNAP\0");
+        assert_eq!(SNAPSHOT_VERSION, 3);
+        let bytes = SnapshotWriter::new().finish();
+        assert_eq!(&bytes[..8], &SNAPSHOT_MAGIC);
+        assert_eq!(
+            bytes[8..HEADER_LEN],
+            SNAPSHOT_VERSION.to_le_bytes(),
+            "version field must follow the magic"
+        );
+    }
+
+    #[test]
     fn wrong_version_is_rejected() {
         let mut w = SnapshotWriter::new();
         w.u64(1);

@@ -19,6 +19,7 @@ use deepum::sim::costs::CostModel;
 use deepum::torch::perf::PerfModel;
 use deepum::torch::step::{TensorId, Workload, WorkloadBuilder};
 use deepum::trace::{shared, Tracer};
+use deepum::InjectionPlan;
 
 const BLESS_ENV: &str = "DEEPUM_BLESS";
 
@@ -276,6 +277,84 @@ fn golden_multitenant_pressure() {
         assert!(
             golden.contains(kind),
             "multitenant_pressure.jsonl must contain a {kind} event"
+        );
+    }
+}
+
+/// The layered model plus a 4 MiB large-pool scratch tensor that is
+/// written once and freed: no later request matches its size, so the
+/// caching allocator keeps the PT block cached-inactive and the
+/// eviction pressure from the layers drops its pages via `Invalidate`
+/// instead of write-back (Section 5.2).
+fn chaos_workload(n: usize) -> Workload {
+    let mut b = WorkloadBuilder::new("golden-chaos/b1", "golden", 1);
+    let weights: Vec<TensorId> = (0..n).map(|_| b.persistent(2 << 20)).collect();
+    let scratch = b.alloc(4 << 20);
+    b.kernel("scratch_init")
+        .writes(&[scratch])
+        .flops(1e10)
+        .launch();
+    b.free(scratch);
+    let mut x = b.alloc(1 << 20);
+    b.kernel("load").writes(&[x]).flops(1e6).launch();
+    for (i, w) in weights.iter().enumerate() {
+        let y = b.alloc(1 << 20);
+        b.kernel(format!("layer{i}"))
+            .args(&[i as u64])
+            .reads(&[x, *w])
+            .writes(&[y])
+            .flops(1e10)
+            .launch();
+        b.free(x);
+        x = y;
+    }
+    b.free(x);
+    let w = b.build();
+    w.validate().expect("golden workload is valid");
+    w
+}
+
+#[test]
+fn golden_chaos_recovery() {
+    // Watchdogged DeepUM under a seeded fault storm with a checkpoint
+    // cadence and one scheduled device reset: this trace pins the
+    // resilience event kinds — injected soft faults, ECC table
+    // poisoning, watchdog state changes, inactive-page invalidation,
+    // and the checkpoint/restore pair around the hard fault.
+    let w = chaos_workload(8);
+    let cfg = DeepumConfig::default()
+        .with_prefetch_degree(4)
+        .with_watchdog(2, 1, 60, 2);
+    let mut p = params(8, 3);
+    p.checkpoint_every = Some(8);
+    p.plan = InjectionPlan {
+        // Seed chosen so the sampled ECC poisoning lands *after* the
+        // watchdog has cycled and wasted prefetches have accumulated; an
+        // early poisoning would disable prefetching and silence both.
+        seed: 7,
+        dma_h2d_fail_rate: 0.05,
+        corr_drop_rate: 0.5,
+        ecc_rate: 0.02,
+        device_reset_at: vec![12],
+        ..InjectionPlan::default()
+    };
+    check_golden("chaos_recovery.jsonl", &System::DeepUm(cfg), &w, &p);
+
+    // The golden copy must exercise every resilience event kind; a
+    // regression that silences one should fail loudly here, not just
+    // shrink the file.
+    let golden = std::fs::read_to_string(golden_path("chaos_recovery.jsonl")).expect("golden");
+    for kind in [
+        "Invalidate",
+        "WatchdogTransition",
+        "TablesPoisoned",
+        "InjectedFault",
+        "Checkpoint",
+        "Restored",
+    ] {
+        assert!(
+            golden.contains(kind),
+            "chaos_recovery.jsonl must contain a {kind} event"
         );
     }
 }
