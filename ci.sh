@@ -5,11 +5,14 @@
 # Optional stages:
 #   --soak      run the deepum-chaos crash-recovery soak (fixed seed
 #               grid, wall-clock budgeted) plus the governed
-#               oversubscription sweep and the multi-tenant scheduler
-#               sweep. Off by default: tier-1 stays fast.
+#               oversubscription sweep, the multi-tenant scheduler
+#               sweep, and the inference-serving sweep. Off by default:
+#               tier-1 stays fast.
 #   --bench     run deepum_mtbench and emit BENCH_multitenant.json
 #               (simulated-kernels/sec and wall-clock, solo vs 2/4/8
-#               tenants) in the repository root.
+#               tenants) plus BENCH_serving.json (requests/sec and
+#               simulated-kernels/sec at 1/2/4 endpoints) in the
+#               repository root.
 #   --coverage  run cargo llvm-cov over the workspace and compare line
 #               coverage against ci/coverage-baseline.txt (recording the
 #               baseline on the first run). Skipped with a notice when
@@ -60,11 +63,18 @@ if [ "$SOAK" -eq 1 ]; then
     cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
       --tenants "$tenants" --seeds 8 --budget-secs 120 --iters 2
   done
+  echo "== serving soak =="
+  for rps in 2 6; do
+    cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
+      --serve "$rps" --seeds 8 --budget-secs 120
+  done
 fi
 
 if [ "$BENCH" -eq 1 ]; then
   echo "== multi-tenant bench =="
   cargo run -q --locked --release -p deepum-bench --bin deepum_mtbench
+  echo "== inference-serving bench =="
+  cargo run -q --locked --release -p deepum-bench --bin deepum_mtbench -- --serve
 fi
 
 if [ "$COVERAGE" -eq 1 ]; then

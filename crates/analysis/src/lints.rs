@@ -103,7 +103,7 @@ pub fn phase_of(id: &str) -> &'static str {
 }
 
 /// Crates whose containers must iterate deterministically.
-const CONTAINER_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime", "sched"];
+const CONTAINER_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime", "sched", "serve"];
 
 /// Identifier patterns for `determinism-container`.
 const CONTAINER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
@@ -126,7 +126,8 @@ const WALLCLOCK_PATTERNS: &[&str] = &[
 /// the simulated system is already degraded, so a panic there turns a
 /// recoverable hard fault into an abort. The multi-tenant scheduler is
 /// held to the same bar: one tenant's failure must surface as a typed
-/// error, never abort its co-tenants.
+/// error, never abort its co-tenants. The serving layer too: a request
+/// must end as completed or a typed shed, never a panic.
 const PANIC_FILES: &[&str] = &[
     "crates/um/src/driver.rs",
     "crates/um/src/evict.rs",
@@ -138,6 +139,9 @@ const PANIC_FILES: &[&str] = &[
     "crates/sched/src/scheduler.rs",
     "crates/sched/src/tenant.rs",
     "crates/sched/src/spec.rs",
+    "crates/serve/src/endpoint.rs",
+    "crates/serve/src/ladder.rs",
+    "crates/serve/src/sim.rs",
 ];
 
 /// Patterns for `panic-safety`. `[&` catches `map[&key]` indexing, which
@@ -164,7 +168,7 @@ const CAST_PATTERNS: &[&str] = &[" as usize", " as u64"];
 /// `result-discard`. Same set as `determinism-container` plus sched:
 /// the simulation's error paths (eviction failure, snapshot corruption,
 /// tenant denial) carry recovery semantics a silent discard destroys.
-const RESULT_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime", "sched"];
+const RESULT_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime", "sched", "serve"];
 
 /// Patterns for `result-discard`. `let _ =` drops any value silently;
 /// `.ok()` and `.unwrap_or_default()` turn typed errors into `None` /

@@ -64,6 +64,16 @@ const CASES: &[(&str, &str, &str)] = &[
         "crates/sched/src/fixture.rs",
         "determinism-container",
     ),
+    (
+        "serve_panic.rs",
+        "crates/serve/src/endpoint.rs",
+        "panic-safety",
+    ),
+    (
+        "serve_container.rs",
+        "crates/serve/src/fixture.rs",
+        "determinism-container",
+    ),
     ("cast_safety.rs", "crates/mem/src/fixture.rs", "cast-safety"),
     (
         "trace_determinism.rs",

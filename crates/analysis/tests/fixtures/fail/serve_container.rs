@@ -1,0 +1,12 @@
+//! Bad: hash-ordered endpoint iteration makes the ladder observation
+//! order — and therefore every serving report — differ across replays.
+
+use std::collections::HashMap;
+
+pub fn overloaded_endpoints(miss_pct: &HashMap<u32, u64>, threshold: u64) -> Vec<u32> {
+    miss_pct
+        .iter()
+        .filter(|(_, pct)| **pct >= threshold)
+        .map(|(ep, _)| *ep)
+        .collect()
+}

@@ -1,0 +1,11 @@
+//! Bad: the serving layer panics mid-request, so one endpoint's bug
+//! aborts every co-scheduled tenant instead of ending the request as a
+//! typed shed.
+
+use std::collections::BTreeMap;
+
+pub fn record_latency(latencies: &mut BTreeMap<u64, u64>, request: u64) -> u64 {
+    let latency = latencies[&request];
+    assert!(latency > 0, "latency recorded");
+    latencies.remove(&request).unwrap()
+}

@@ -1,0 +1,12 @@
+//! Good: endpoint miss rates live in a BTreeMap, so the ladder observes
+//! endpoints in the same order on every replay.
+
+use std::collections::BTreeMap;
+
+pub fn overloaded_endpoints(miss_pct: &BTreeMap<u32, u64>, threshold: u64) -> Vec<u32> {
+    miss_pct
+        .iter()
+        .filter(|(_, pct)| **pct >= threshold)
+        .map(|(ep, _)| *ep)
+        .collect()
+}

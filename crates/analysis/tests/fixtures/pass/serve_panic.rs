@@ -1,0 +1,11 @@
+//! Good: a missing request record is a typed condition the caller
+//! decides about; the request ends as a typed shed, never a panic.
+
+use std::collections::BTreeMap;
+
+pub fn record_latency(latencies: &mut BTreeMap<u64, u64>, request: u64) -> Result<u64, String> {
+    match latencies.remove(&request) {
+        Some(latency) => Ok(latency),
+        None => Err(format!("request {request} was never timed")),
+    }
+}

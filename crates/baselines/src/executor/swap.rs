@@ -204,6 +204,7 @@ pub fn run_swap(
         trace: None,
         pressure: None,
         tenants: None,
+        serving: None,
     })
 }
 

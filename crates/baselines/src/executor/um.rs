@@ -568,6 +568,7 @@ where
             window_resizes: s.window_resizes,
         }),
         tenants: None,
+        serving: None,
     })
 }
 

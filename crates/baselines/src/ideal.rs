@@ -51,6 +51,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         trace: None,
         pressure: None,
         tenants: None,
+        serving: None,
     }
 }
 

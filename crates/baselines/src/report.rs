@@ -4,7 +4,7 @@ use deepum_core::recovery::RecoveryReport;
 use deepum_sim::faultinject::{BackendHealth, InjectionStats};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
-use deepum_trace::{PressureLevel, TraceReport};
+use deepum_trace::{PressureLevel, ServeLevel, TraceReport};
 use serde::{Deserialize, Serialize};
 
 /// Statistics of one training iteration.
@@ -162,6 +162,52 @@ pub struct TenantReport {
     pub elapsed: Ns,
 }
 
+/// Per-endpoint section of an inference-serving run report: request
+/// outcomes, virtual-latency percentiles, and degradation-ladder
+/// activity for one model endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointReport {
+    /// Human-readable endpoint name.
+    pub name: String,
+    /// Requests that arrived over the run (including shed ones).
+    pub requests: u64,
+    /// Requests that ran to completion (on time or late).
+    pub completed: u64,
+    /// Completed requests that met their deadline.
+    pub on_time: u64,
+    /// Completed requests that overran their deadline.
+    pub missed: u64,
+    /// Requests shed by the ladder or by retry exhaustion.
+    pub shed: u64,
+    /// Retry attempts spent on injected transient request failures.
+    pub retries: u64,
+    /// Median completed-request virtual latency, ns.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile completed-request virtual latency, ns.
+    pub p99_latency_ns: u64,
+    /// Ladder escalations (toward Shed) over the run.
+    pub escalations: u64,
+    /// Ladder de-escalations (toward Full) over the run.
+    pub deescalations: u64,
+    /// Worst degradation level the ladder reached.
+    pub worst_level: ServeLevel,
+}
+
+/// Inference-serving section of a run report. `None` on [`RunReport`]
+/// for training-only runs, so their reports stay byte-identical to
+/// pre-serving builds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Per-endpoint outcomes, in tenant-id order.
+    pub endpoints: Vec<EndpointReport>,
+    /// Requests arrived across all endpoints.
+    pub total_requests: u64,
+    /// Deadline misses across all endpoints.
+    pub total_missed: u64,
+    /// Sheds across all endpoints.
+    pub total_shed: u64,
+}
+
 /// The outcome of running a workload under one memory system.
 ///
 /// Every optional section carries
@@ -209,6 +255,11 @@ pub struct RunReport {
     /// runs, so solo reports stay byte-identical to pre-tenancy builds.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub tenants: Option<Vec<TenantReport>>,
+    /// Inference-serving summary; `Some` only for serving-simulator
+    /// runs, so training reports stay byte-identical to pre-serving
+    /// builds.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub serving: Option<ServingReport>,
 }
 
 impl RunReport {
@@ -309,6 +360,7 @@ mod tests {
             trace: None,
             pressure: None,
             tenants: None,
+            serving: None,
         }
     }
 

@@ -13,9 +13,9 @@
 //!   must still complete every iteration and report the poisonings.
 //!
 //! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]
-//! [--oversub PCT] [--tenants N]`. The wall-clock budget stops the
-//! sweep early without failing it, so a fixed seed grid can run under
-//! CI time limits (`./ci.sh --soak`).
+//! [--oversub PCT] [--tenants N] [--serve RPS]`. The wall-clock budget
+//! stops the sweep early without failing it, so a fixed seed grid can
+//! run under CI time limits (`./ci.sh --soak`).
 //!
 //! With `--oversub PCT` the harness switches to an oversubscription
 //! sweep: the device is sized to `peak_bytes * 100 / PCT` (so 250 means
@@ -34,6 +34,14 @@
 //! driver's invariant sweep stays clean every cycle, every tenant
 //! either completes or fails with a typed [`RunError`], and the full
 //! aggregate report reproduces byte-for-byte across two runs.
+//!
+//! With `--serve RPS` the harness runs the inference-serving soak: two
+//! endpoints under a diurnal curve with a 2× burst window and a seeded
+//! request soft-fault storm, once defended by the degradation ladder
+//! and once as the no-ladder control. The contract: no panic, the
+//! invariant sweep stays clean, every arrival terminates as completed
+//! or typed shed, the ladder never makes deadline misses worse, and
+//! both configurations reproduce byte-for-byte across two runs.
 
 use std::time::Instant;
 
@@ -42,9 +50,11 @@ use deepum_baselines::suite::{run_system, RunParams, System};
 use deepum_core::config::DeepumConfig;
 use deepum_sched::scheduler::MultiTenant;
 use deepum_sched::spec::{seeded_arrivals, JobKind, TenantSpec};
+use deepum_serve::{EndpointSpec, LadderConfig, LoadCurve, ServeSim, ServeSpec};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::InjectionPlan;
 use deepum_sim::rng::DetRng;
+use deepum_sim::time::Ns;
 use deepum_torch::models::ModelKind;
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::Workload;
@@ -58,6 +68,9 @@ struct ChaosOpts {
     oversub: Option<u64>,
     /// Tenant count; `Some` switches to the multi-tenant scheduler soak.
     tenants: Option<usize>,
+    /// Base requests per cycle; `Some` switches to the inference-serving
+    /// soak.
+    serve: Option<u64>,
 }
 
 fn parse_opts() -> ChaosOpts {
@@ -67,6 +80,7 @@ fn parse_opts() -> ChaosOpts {
         iters: 2,
         oversub: None,
         tenants: None,
+        serve: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -95,10 +109,18 @@ fn parse_opts() -> ChaosOpts {
                 );
                 opts.tenants = Some(n as usize);
             }
+            "--serve" => {
+                let rps = value("--serve");
+                assert!(
+                    (1..=256).contains(&rps),
+                    "--serve expects a base requests-per-cycle rate in 1..=256"
+                );
+                opts.serve = Some(rps);
+            }
             other => {
                 panic!(
                     "unknown option {other} \
-                     (try --seeds, --budget-secs, --iters, --oversub, --tenants)"
+                     (try --seeds, --budget-secs, --iters, --oversub, --tenants, --serve)"
                 )
             }
         }
@@ -407,8 +429,155 @@ fn tenant_sweep(opts: &ChaosOpts, n: usize) -> (u64, u64) {
     (ran, failures)
 }
 
+/// Inference-serving soak: per seed, a two-endpoint serving run under a
+/// diurnal curve with a 2× burst window, a soft-fault storm on the
+/// request path, and a training bystander — once ladder-defended, once
+/// as the no-ladder control.
+///
+/// The contract: no panic, the shared driver's invariant sweep stays
+/// clean, every arrival terminates as completed or typed shed (no
+/// request vanishes), the defended run never misses more deadlines than
+/// the control, and each configuration reproduces byte-for-byte when
+/// the same schedule runs twice.
+fn serve_sweep(opts: &ChaosOpts, rps: u64) -> (u64, u64) {
+    let page = deepum_mem::PAGE_SIZE as u64;
+    let started = Instant::now();
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+    println!("[serve] base={rps} req/cycle, burst 2x, fail-rate sweep");
+
+    for seed in 0..opts.seeds {
+        if started.elapsed().as_secs() >= opts.budget_secs {
+            println!(
+                "[budget] wall-clock budget of {}s reached after {ran} seeds; stopping early",
+                opts.budget_secs
+            );
+            break;
+        }
+        let mut rng = DetRng::seed(seed ^ 0x5e12_e50a);
+        let fail_pct = 5 + rng.below(11); // 5%..15% request soft faults
+        let bystander_floor = ModelKind::MobileNet.build(2).peak_bytes().div_ceil(page) + 1024;
+        let costs = CostModel::v100_32gb()
+            .with_device_memory((bystander_floor + (16 << 20) / page) * page)
+            .with_host_memory(8 << 30);
+        let endpoint = |name: &str| {
+            EndpointSpec::new(name)
+                .weights(16 << 20)
+                .layers(4)
+                .kv_per_token(128 << 10)
+                .tokens(4, 12)
+                .deadline(Ns::from_millis(10))
+        };
+        let spec = |ladder| {
+            ServeSpec::new()
+                .endpoint(endpoint("chat"))
+                .endpoint(endpoint("code"))
+                .cycles(24)
+                .load(LoadCurve::new(rps).period(8).burst(8, 16, 2))
+                .seed(seed ^ 0x10ad)
+                .plan(InjectionPlan {
+                    seed: seed ^ 0xF00D,
+                    request_fail_rate: fail_pct as f64 / 100.0,
+                    max_retries: 3,
+                    ..InjectionPlan::default()
+                })
+                .ladder(ladder)
+                .bystander(
+                    TenantSpec::new(
+                        "bystander",
+                        JobKind::Training {
+                            model: ModelKind::MobileNet,
+                            batch: 2,
+                            iterations: 1,
+                        },
+                    )
+                    .floor_pages(bystander_floor),
+                )
+        };
+        println!("[seed {seed}] request_fail_rate={fail_pct}%");
+
+        let mut misses = [0u64, 0];
+        let mut seed_failed = false;
+        for (idx, ladder) in [Some(LadderConfig::default()), None]
+            .into_iter()
+            .enumerate()
+        {
+            let label = if idx == 0 { "defended" } else { "control " };
+            let run_once =
+                || ServeSim::new(costs.clone(), PerfModel::v100(), spec(ladder.clone())).run();
+            let outcomes: Vec<_> = (0..2)
+                .map(|_| std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once)))
+                .collect();
+            match (&outcomes[0], &outcomes[1]) {
+                (Ok(a), Ok(b)) => {
+                    let serving = a.report.serving.as_ref();
+                    let terminated = serving.is_some_and(|s| {
+                        let completed: u64 = s.endpoints.iter().map(|e| e.completed).sum();
+                        completed + s.total_shed == s.total_requests
+                    });
+                    if let Err(msg) = a.validation.as_ref().and(b.validation.as_ref()) {
+                        println!("  FAIL {label}: shared-driver invariant violated: {msg}");
+                        seed_failed = true;
+                    } else if !a.errors.is_empty() {
+                        println!("  FAIL {label}: endpoint errors: {:?}", a.errors);
+                        seed_failed = true;
+                    } else if !terminated {
+                        println!("  FAIL {label}: a request neither completed nor shed typed");
+                        seed_failed = true;
+                    } else if serde_json::to_string(&a.report).ok()
+                        != serde_json::to_string(&b.report).ok()
+                    {
+                        println!("  FAIL {label}: two runs of the same schedule diverged");
+                        seed_failed = true;
+                    } else {
+                        let s = serving.expect("serving section checked above");
+                        misses[idx] = s.total_missed;
+                        println!(
+                            "  ok   {label}: {} requests, {} missed, {} shed",
+                            s.total_requests, s.total_missed, s.total_shed
+                        );
+                    }
+                }
+                (Err(msg), _) | (_, Err(msg)) => {
+                    let msg = msg
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| msg.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic with non-string payload".to_string());
+                    println!("  FAIL {label}: PANIC: {msg}");
+                    seed_failed = true;
+                }
+            }
+        }
+        if !seed_failed && misses[0] > misses[1] {
+            println!(
+                "  FAIL serve: ladder made misses worse ({} vs {})",
+                misses[0], misses[1]
+            );
+            seed_failed = true;
+        }
+        if seed_failed {
+            failures += 1;
+        }
+        ran += 1;
+    }
+    (ran, failures)
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(rps) = opts.serve {
+        let started = Instant::now();
+        let (ran, failures) = serve_sweep(&opts, rps);
+        println!(
+            "deepum-chaos --serve {rps}: {ran} runs, {failures} failures, {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Some(n) = opts.tenants {
         let started = Instant::now();
         let (ran, failures) = tenant_sweep(&opts, n);

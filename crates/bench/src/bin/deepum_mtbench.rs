@@ -8,19 +8,27 @@
 //! scheduling, fault-handling, and fair-share accounting work the
 //! simulator gets through, not a statement about simulated time.
 //!
-//! Usage: `deepum_mtbench [--out PATH]` (default
-//! `BENCH_multitenant.json` in the current directory, which under
-//! `./ci.sh --bench` is the repository root). Each configuration runs
-//! `REPEATS` times and the fastest wall-clock is kept, the usual
-//! best-of-N noise guard.
+//! With `--serve`, the datapoint is the inference-serving layer
+//! instead: the same deterministic endpoint workload at 1/2/4
+//! co-scheduled endpoints on one under-provisioned device, reporting
+//! requests served per host second alongside simulated-kernels/sec,
+//! written to `BENCH_serving.json`.
+//!
+//! Usage: `deepum_mtbench [--serve] [--out PATH]` (default
+//! `BENCH_multitenant.json`, or `BENCH_serving.json` with `--serve`,
+//! in the current directory, which under `./ci.sh --bench` is the
+//! repository root). Each configuration runs `REPEATS` times and the
+//! fastest wall-clock is kept, the usual best-of-N noise guard.
 
 use std::time::Instant;
 
 use deepum_baselines::suite::{run_system, RunParams, System};
 use deepum_sched::scheduler::MultiTenant;
 use deepum_sched::spec::{JobKind, TenantSpec};
+use deepum_serve::{EndpointSpec, LadderConfig, LoadCurve, ServeSim, ServeSpec};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::InjectionPlan;
+use deepum_sim::time::Ns;
 use deepum_torch::models::ModelKind;
 use deepum_torch::perf::PerfModel;
 use serde::Serialize;
@@ -55,6 +63,37 @@ struct Bench {
     /// Best-of-N repeats used per entry.
     repeats: usize,
     entries: Vec<Entry>,
+}
+
+#[derive(Serialize)]
+struct ServeEntry {
+    /// Configuration label (`endpoints-1`, ...).
+    label: String,
+    /// Concurrent serving endpoints.
+    endpoints: usize,
+    /// Requests arrived across the whole configuration.
+    requests: u64,
+    /// Simulated kernels launched across the whole configuration.
+    kernels: u64,
+    /// Fastest wall-clock over the repeats, seconds.
+    wall_secs: f64,
+    /// `requests / wall_secs` — the headline serving figure.
+    requests_per_sec: f64,
+    /// `kernels / wall_secs` — comparable to the training datapoint.
+    kernels_per_sec: f64,
+    /// Total simulated time, nanoseconds.
+    sim_ns: u64,
+}
+
+#[derive(Serialize)]
+struct ServeBench {
+    /// Schema version for downstream trajectory tooling.
+    version: u32,
+    /// What every configuration runs.
+    workload: String,
+    /// Best-of-N repeats used per entry.
+    repeats: usize,
+    entries: Vec<ServeEntry>,
 }
 
 fn costs_for(device_bytes: u64) -> CostModel {
@@ -131,6 +170,92 @@ fn tenants_once(n: usize) -> (u64, f64, u64) {
     )
 }
 
+/// One timed serving repeat at `n` endpoints: returns (requests,
+/// kernels, wall seconds, simulated ns). The device holds one
+/// endpoint's working set comfortably, so 2 and 4 endpoints price the
+/// hint-aware eviction and degradation machinery, not just batching.
+fn serve_once(n: usize) -> (u64, u64, f64, u64) {
+    let mut spec = ServeSpec::new()
+        .cycles(32)
+        .load(LoadCurve::new(4).period(8).burst(8, 8, 2))
+        .seed(0xbe7c)
+        .ladder(Some(LadderConfig::default()));
+    for idx in 0..n {
+        spec = spec.endpoint(
+            EndpointSpec::new(format!("ep-{idx}"))
+                .weights(16 << 20)
+                .layers(4)
+                .kv_per_token(128 << 10)
+                .tokens(4, 12)
+                .deadline(Ns::from_millis(10)),
+        );
+    }
+    let started = Instant::now();
+    let outcome = ServeSim::new(costs_for(48 << 20), PerfModel::v100(), spec).run();
+    let wall = started.elapsed().as_secs_f64();
+    if let Err(msg) = &outcome.validation {
+        eprintln!("endpoints-{n} bench run violated invariants: {msg}");
+        std::process::exit(1);
+    }
+    if let Some((tid, err)) = outcome.errors.first() {
+        eprintln!("endpoints-{n} bench run: tenant t{tid} failed: {err}");
+        std::process::exit(1);
+    }
+    let requests = match &outcome.report.serving {
+        Some(s) => s.total_requests,
+        None => {
+            eprintln!("endpoints-{n} bench run produced no serving section");
+            std::process::exit(1);
+        }
+    };
+    (
+        requests,
+        outcome.report.counters.kernels_launched,
+        wall,
+        outcome.report.total.as_nanos(),
+    )
+}
+
+/// Best-of-N wrapper for serving runs: keeps the fastest wall-clock,
+/// asserts the simulated side (requests, kernels, total ns) is
+/// identical across repeats.
+fn serve_entry(n: usize) -> ServeEntry {
+    let label = format!("endpoints-{n}");
+    let mut best: Option<(u64, u64, f64, u64)> = None;
+    for _ in 0..REPEATS {
+        let (requests, kernels, wall, sim_ns) = serve_once(n);
+        if let Some((r0, k0, w0, s0)) = &mut best {
+            if requests != *r0 || kernels != *k0 || sim_ns != *s0 {
+                eprintln!("{label}: repeats disagree on simulated work — not deterministic");
+                std::process::exit(1);
+            }
+            *w0 = w0.min(wall);
+        } else {
+            best = Some((requests, kernels, wall, sim_ns));
+        }
+    }
+    let (requests, kernels, wall_secs, sim_ns) = best.unwrap_or((0, 0, f64::INFINITY, 0));
+    let (requests_per_sec, kernels_per_sec) = if wall_secs > 0.0 {
+        (requests as f64 / wall_secs, kernels as f64 / wall_secs)
+    } else {
+        (0.0, 0.0)
+    };
+    println!(
+        "{label:<12} requests={requests:<5} kernels={kernels:<6} wall={wall_secs:.3}s  \
+         {requests_per_sec:.0} req/s  {kernels_per_sec:.0} kernels/s"
+    );
+    ServeEntry {
+        label,
+        endpoints: n,
+        requests,
+        kernels,
+        wall_secs,
+        requests_per_sec,
+        kernels_per_sec,
+        sim_ns,
+    }
+}
+
 /// Best-of-N wrapper: keeps the fastest wall-clock, asserts the
 /// simulated side (kernels, total ns) is identical across repeats.
 fn entry(label: &str, tenants: usize, run: impl Fn() -> (u64, f64, u64)) -> Entry {
@@ -167,25 +292,56 @@ fn entry(label: &str, tenants: usize, run: impl Fn() -> (u64, f64, u64)) -> Entr
     }
 }
 
+fn write_json(out: &str, json: Result<String, serde_json::Error>) {
+    let json = match json {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("serialize bench report: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
 fn main() {
-    let mut out = String::from("BENCH_multitenant.json");
+    let mut out: Option<String> = None;
+    let mut serve = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--serve" => serve = true,
             "--out" => match args.next() {
-                Some(path) => out = path,
+                Some(path) => out = Some(path),
                 None => {
                     eprintln!("--out expects a path");
                     std::process::exit(2);
                 }
             },
             other => {
-                eprintln!("unknown option {other} (try --out)");
+                eprintln!("unknown option {other} (try --serve, --out)");
                 std::process::exit(2);
             }
         }
     }
 
+    if serve {
+        let out = out.unwrap_or_else(|| String::from("BENCH_serving.json"));
+        let entries: Vec<ServeEntry> = [1usize, 2, 4].into_iter().map(serve_entry).collect();
+        let bench = ServeBench {
+            version: 1,
+            workload: "16MB-weight endpoints, 4 req/cycle base with 2x bursts, 32 cycles".into(),
+            repeats: REPEATS,
+            entries,
+        };
+        write_json(&out, serde_json::to_string_pretty(&bench));
+        return;
+    }
+
+    let out = out.unwrap_or_else(|| String::from("BENCH_multitenant.json"));
     let mut entries = vec![entry("solo", 1, solo_once)];
     for n in [2usize, 4, 8] {
         entries.push(entry(&format!("tenants-{n}"), n, || tenants_once(n)));
@@ -196,16 +352,5 @@ fn main() {
         repeats: REPEATS,
         entries,
     };
-    let json = match serde_json::to_string_pretty(&bench) {
-        Ok(j) => j,
-        Err(e) => {
-            eprintln!("serialize bench report: {e}");
-            std::process::exit(1);
-        }
-    };
-    if let Err(e) = std::fs::write(&out, json + "\n") {
-        eprintln!("write {out}: {e}");
-        std::process::exit(1);
-    }
-    println!("wrote {out}");
+    write_json(&out, serde_json::to_string_pretty(&bench));
 }

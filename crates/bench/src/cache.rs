@@ -12,10 +12,10 @@ use deepum_baselines::report::{RunError, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics or the report
-/// schema change enough to invalidate stored reports. v14: `RunReport`
-/// omits absent `table_bytes`/`health` members instead of emitting
-/// nulls.
-const VERSION: &str = "v14";
+/// schema change enough to invalidate stored reports. v15: `RunReport`
+/// gains the optional `serving` section (omitted when absent) and the
+/// hint-aware eviction order can shift simulated timings.
+const VERSION: &str = "v15";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -112,6 +112,7 @@ mod tests {
             trace: None,
             pressure: None,
             tenants: None,
+            serving: None,
         }
     }
 
@@ -181,9 +182,9 @@ mod tests {
     fn cache_filenames_pin_the_format_version() {
         // Decode-compat guard: cache files are namespaced by VERSION, so
         // a report-schema change must bump it or stale files would parse
-        // under the new schema. v14 = omitted-not-null table_bytes and
-        // health members.
-        assert_eq!(VERSION, "v14");
+        // under the new schema. v15 = the optional serving section plus
+        // hint-aware eviction ordering.
+        assert_eq!(VERSION, "v15");
         let cache = RunCache::new(Path::new("/tmp"));
         let name = cache
             .path("k")
@@ -192,8 +193,8 @@ mod tests {
             .to_str()
             .unwrap()
             .to_string();
-        assert!(name.starts_with("v14-"), "{name}");
-        // And the v14 minimal report really has no null members.
+        assert!(name.starts_with("v15-"), "{name}");
+        // And the v15 minimal report really has no null members.
         let body = serde_json::to_string(&dummy()).unwrap();
         assert!(!body.contains("null"), "{body}");
     }

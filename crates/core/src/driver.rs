@@ -34,6 +34,7 @@ use deepum_sim::time::Ns;
 use deepum_trace::{InjectKind, PressureLevel, SharedTracer, TraceEvent, WatchdogMode};
 use deepum_um::driver::{group_faults, UmDriver};
 use deepum_um::evict::SharedBlockSet;
+use deepum_um::hints::Advice;
 use deepum_um::pressure::PressureConfig;
 
 use crate::chain::{ChainStep, ChainWalk};
@@ -133,6 +134,11 @@ pub struct DeepumDriver {
     pub(crate) pressure_shrink: u32,
     pub(crate) window_resizes: u64,
 
+    // Serving degradation-ladder override: `DemandOnly` turns the
+    // correlation prefetcher off entirely (reversibly — unlike an ECC
+    // poisoning) while leaving learning and the watchdog untouched.
+    pub(crate) demand_only: bool,
+
     // Hard-fault state: an uncorrectable ECC error on the correlation
     // tables poisons them permanently for the run. Neither field is
     // rewound by a checkpoint restore — a fault that already happened
@@ -199,6 +205,7 @@ impl DeepumDriver {
             window_dropped: 0,
             pressure_shrink: 0,
             window_resizes: 0,
+            demand_only: false,
             poisoned: false,
             ecc_poisonings: 0,
             local: Counters::new(),
@@ -259,6 +266,24 @@ impl DeepumDriver {
             self.pressure_shrink += 1;
             self.window_resizes += 1;
         }
+    }
+
+    /// Inverse of [`DeepumDriver::shed_load`]: regrows the prefetch
+    /// look-ahead one step. The serving degradation ladder calls this
+    /// when de-escalating from `ReducedWindow` after its hysteresis
+    /// window of clean cycles. No-op at full width.
+    pub fn relax_load(&mut self) {
+        if self.pressure_shrink > 0 {
+            self.pressure_shrink -= 1;
+            self.window_resizes += 1;
+        }
+    }
+
+    /// Serving degradation ladder, `DemandOnly` rung: reversibly turns
+    /// correlation prefetching off (pure demand paging) without
+    /// touching learned state, the watchdog, or the governor.
+    pub fn set_demand_only(&mut self, on: bool) {
+        self.demand_only = on;
     }
 
     /// Merged event counters: UM driver + DeepUM-specific.
@@ -329,8 +354,9 @@ impl DeepumDriver {
     /// The look-ahead degree in effect for the next chain pump: the
     /// configured `N`, halved by a throttled watchdog, then
     /// right-shifted by the pressure governor's shrink level. Always at
-    /// least one kernel.
-    fn effective_degree(&self) -> usize {
+    /// least one kernel. Public so the serving ladder can report the
+    /// window it composed with.
+    pub fn effective_degree(&self) -> usize {
         let degree = match self.watchdog.as_ref().map(PrefetchWatchdog::state) {
             Some(DegradationState::Throttled) => (self.cfg.prefetch_degree / 2).max(1),
             _ => self.cfg.prefetch_degree,
@@ -339,10 +365,12 @@ impl DeepumDriver {
     }
 
     /// Whether correlation prefetching is currently allowed to run: the
-    /// config switch, minus a watchdog disable or an ECC poisoning.
+    /// config switch, minus a watchdog disable, an ECC poisoning, or
+    /// the serving ladder's `DemandOnly` override.
     fn prefetch_active(&self) -> bool {
         self.cfg.enable_prefetch
             && !self.poisoned
+            && !self.demand_only
             && self
                 .watchdog
                 .as_ref()
@@ -674,6 +702,10 @@ impl LaunchObserver for DeepumDriver {
                 self.footprints.forget(block);
             }
         }
+    }
+
+    fn on_mem_advise(&mut self, now: Ns, range: ByteRange, advice: Advice) {
+        self.um.advise(now, range, advice);
     }
 }
 
@@ -1262,6 +1294,48 @@ mod tests {
         let mut tiny = driver(16, DeepumConfig::default().with_prefetch_degree(2));
         tiny.pressure_shrink = DeepumDriver::MAX_PRESSURE_SHRINK;
         assert_eq!(tiny.effective_degree(), 1);
+    }
+
+    #[test]
+    fn relax_load_reverses_shed_load() {
+        let cfg = DeepumConfig::default().with_prefetch_degree(16);
+        let mut d = driver(16, cfg);
+        d.shed_load();
+        d.shed_load();
+        assert_eq!(d.effective_degree(), 4);
+        d.relax_load();
+        assert_eq!(d.effective_degree(), 8);
+        d.relax_load();
+        assert_eq!(d.effective_degree(), 16);
+        // Both ends saturate.
+        d.relax_load();
+        assert_eq!(d.effective_degree(), 16);
+        for _ in 0..8 {
+            d.shed_load();
+        }
+        assert_eq!(d.effective_degree(), 2);
+    }
+
+    #[test]
+    fn demand_only_gates_prefetch_reversibly() {
+        let mut d = driver(16, DeepumConfig::default().with_prefetch_degree(4));
+        train_loop(&mut d, 2);
+        assert!(d.prefetch_active());
+        d.set_demand_only(true);
+        assert!(!d.prefetch_active());
+        // Unlike ECC poisoning, the override lifts cleanly.
+        d.set_demand_only(false);
+        assert!(d.prefetch_active());
+        assert!(!d.is_poisoned());
+    }
+
+    #[test]
+    fn mem_advise_forwards_to_um() {
+        use deepum_runtime::interpose::LaunchObserver;
+        let mut d = driver(16, DeepumConfig::default());
+        let range = ByteRange::new(deepum_mem::UmAddr::new(0), 2 << 20);
+        d.on_mem_advise(Ns::ZERO, range, Advice::ReadMostly);
+        assert!(d.um().hints().is_read_mostly(BlockNum::new(0)));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use deepum_gpu::kernel::KernelLaunch;
 use deepum_mem::ByteRange;
 use deepum_sim::time::Ns;
+use deepum_um::hints::Advice;
 use deepum_um::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use deepum_um::space::{UmAllocError, UmSpace};
 
@@ -38,6 +39,11 @@ pub trait LaunchObserver {
     /// residency and learned state for `range` are stale and should be
     /// dropped. Default: ignore.
     fn on_um_range_released(&mut self, _now: Ns, _range: ByteRange) {}
+
+    /// The application advised the driver about `range`'s access
+    /// pattern (`cudaMemAdvise`). Default: ignore, so observers that
+    /// predate hints (and the naive baseline) need no changes.
+    fn on_mem_advise(&mut self, _now: Ns, _range: ByteRange, _advice: Advice) {}
 }
 
 /// Observer that ignores every notification (naive UM / baselines).
@@ -143,6 +149,19 @@ impl CudaRuntime {
         observer.on_pt_block_state(now, range, inactive);
     }
 
+    /// Forwards a `cudaMemAdvise` call to the driver. The runtime
+    /// itself keeps no hint state — advice is driver policy, so a
+    /// restore never has to reconcile it.
+    pub fn mem_advise<O: LaunchObserver + ?Sized>(
+        &mut self,
+        now: Ns,
+        range: ByteRange,
+        advice: Advice,
+        observer: &mut O,
+    ) {
+        observer.on_mem_advise(now, range, advice);
+    }
+
     /// The execution ID table (for table-size accounting, Table 4).
     pub fn exec_table(&self) -> &ExecutionIdTable {
         &self.exec_table
@@ -190,6 +209,7 @@ mod tests {
     struct Recorder {
         launches: Vec<ExecId>,
         pt_events: Vec<bool>,
+        advice: Vec<Advice>,
     }
 
     impl LaunchObserver for Recorder {
@@ -198,6 +218,9 @@ mod tests {
         }
         fn on_pt_block_state(&mut self, _now: Ns, _range: ByteRange, inactive: bool) {
             self.pt_events.push(inactive);
+        }
+        fn on_mem_advise(&mut self, _now: Ns, _range: ByteRange, advice: Advice) {
+            self.advice.push(advice);
         }
     }
 
@@ -227,6 +250,20 @@ mod tests {
         rt.notify_pt_block(Ns::ZERO, buf, true, &mut obs);
         rt.notify_pt_block(Ns::ZERO, buf, false, &mut obs);
         assert_eq!(obs.pt_events, vec![true, false]);
+    }
+
+    #[test]
+    fn mem_advise_reaches_observer() {
+        let mut rt = CudaRuntime::new(1 << 30);
+        let mut obs = Recorder::default();
+        let buf = rt.malloc_managed(1 << 20).unwrap();
+        rt.mem_advise(Ns::ZERO, buf, Advice::ReadMostly, &mut obs);
+        rt.mem_advise(Ns::ZERO, buf, Advice::AccessedBy, &mut obs);
+        assert_eq!(obs.advice, vec![Advice::ReadMostly, Advice::AccessedBy]);
+        // The default impl ignores advice — the naive baseline compiles
+        // and behaves exactly as before.
+        let mut null = NullObserver;
+        rt.mem_advise(Ns::ZERO, buf, Advice::PreferredLocation, &mut null);
     }
 
     #[test]

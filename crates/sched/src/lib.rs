@@ -59,9 +59,11 @@
 #![forbid(unsafe_code)]
 
 pub mod scheduler;
+pub mod slot;
 pub mod spec;
 pub mod tenant;
 
 pub use scheduler::{MultiTenant, ScheduleOutcome};
+pub use slot::{close_slot, open_slot};
 pub use spec::{seeded_arrivals, JobKind, TenantSpec};
 pub use tenant::{StepOutcome, TenantRun};

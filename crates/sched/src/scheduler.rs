@@ -253,6 +253,7 @@ impl MultiTenant {
             trace: None,
             pressure: None,
             tenants: Some(tenants),
+            serving: None,
         };
 
         ScheduleOutcome {
@@ -343,12 +344,11 @@ impl MultiTenant {
     /// closes the slot. Returns true when the tenant finished (done or
     /// failed) during the slot.
     fn slot(run: &mut TenantRun, shared: &mut UmDriver) -> bool {
-        shared.set_active_tenant(run.tid, run.now());
         // Write-back debt charged by fair-share evictions while other
         // tenants were active is paid here, by its cause.
-        let debt = shared.take_reclaim_debt(run.tid);
+        let (tid, now) = (run.tid, run.now());
+        let debt = crate::slot::open_slot(shared, &mut run.driver, tid, now);
         run.advance_clock(debt);
-        run.driver.swap_um(shared);
 
         let quota = u64::from(run.spec.priority);
         let mut kernels = 0u64;
@@ -373,8 +373,8 @@ impl MultiTenant {
             }
         }
 
-        run.driver.swap_um(shared);
-        shared.end_tenant_slot(run.now());
+        let now = run.now();
+        crate::slot::close_slot(shared, &mut run.driver, now);
         finished
     }
 }

@@ -1,0 +1,247 @@
+//! The graceful-degradation ladder: a hysteresis circuit breaker that
+//! steps an endpoint between service levels as its deadline-miss EWMA
+//! and the shared driver's pressure governor demand.
+//!
+//! Levels, in severity order (see [`ServeLevel`]):
+//!
+//! 1. `Full` — correlation prefetching at the configured window.
+//! 2. `ReducedWindow` — the prefetch look-ahead is shrunk one notch
+//!    (`DeepumDriver::shed_load`), reversed on de-escalation.
+//! 3. `DemandOnly` — prefetching is gated off entirely
+//!    (`DeepumDriver::set_demand_only`), reversibly.
+//! 4. `Shed` — new arrivals are refused with a typed
+//!    [`deepum_trace::TraceEvent::RequestShed`] instead of queuing.
+//!
+//! The breaker escalates one level per observation while the endpoint
+//! is overloaded (miss EWMA at or above the threshold, or the pressure
+//! governor elevated), and de-escalates one level only after a full
+//! hysteresis window of consecutive clean observations — so the ladder
+//! cannot flap between levels on alternating good/bad cycles.
+
+use deepum_trace::ServeLevel;
+
+/// Fixed-point scale for the miss EWMA (percent × 100).
+const EWMA_SCALE: u64 = 100;
+
+/// Degradation-ladder tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderConfig {
+    /// Miss-EWMA threshold, integer percent of a cycle's requests: at
+    /// or above it the breaker escalates.
+    pub miss_pct_threshold: u64,
+    /// Consecutive clean observations required before one de-escalation
+    /// step.
+    pub hysteresis_cycles: u64,
+    /// EWMA smoothing numerator (`alpha = num / den`).
+    pub ewma_num: u64,
+    /// EWMA smoothing denominator.
+    pub ewma_den: u64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            miss_pct_threshold: 25,
+            hysteresis_cycles: 3,
+            ewma_num: 1,
+            ewma_den: 2,
+        }
+    }
+}
+
+/// One escalation step toward `Shed`.
+fn up(level: ServeLevel) -> ServeLevel {
+    match level {
+        ServeLevel::Full => ServeLevel::ReducedWindow,
+        ServeLevel::ReducedWindow => ServeLevel::DemandOnly,
+        ServeLevel::DemandOnly | ServeLevel::Shed => ServeLevel::Shed,
+    }
+}
+
+/// One de-escalation step toward `Full`.
+fn down(level: ServeLevel) -> ServeLevel {
+    match level {
+        ServeLevel::Shed => ServeLevel::DemandOnly,
+        ServeLevel::DemandOnly => ServeLevel::ReducedWindow,
+        ServeLevel::ReducedWindow | ServeLevel::Full => ServeLevel::Full,
+    }
+}
+
+/// Per-endpoint ladder state.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    cfg: LadderConfig,
+    level: ServeLevel,
+    /// Miss EWMA in percent × [`EWMA_SCALE`] fixed point.
+    miss_ewma: u64,
+    clean_cycles: u64,
+    /// Escalation transitions taken.
+    pub escalations: u64,
+    /// De-escalation transitions taken.
+    pub deescalations: u64,
+    /// Worst level reached.
+    pub worst: ServeLevel,
+}
+
+impl DegradationLadder {
+    /// A ladder at `Full` with a zero EWMA.
+    pub fn new(cfg: LadderConfig) -> Self {
+        DegradationLadder {
+            cfg,
+            level: ServeLevel::Full,
+            miss_ewma: 0,
+            clean_cycles: 0,
+            escalations: 0,
+            deescalations: 0,
+            worst: ServeLevel::Full,
+        }
+    }
+
+    /// The current service level.
+    pub fn level(&self) -> ServeLevel {
+        self.level
+    }
+
+    /// The miss EWMA, integer percent (rounded down).
+    pub fn miss_ewma_pct(&self) -> u64 {
+        self.miss_ewma / EWMA_SCALE
+    }
+
+    /// Feeds one cycle's outcome into the breaker: `misses` deadline
+    /// misses out of `requests` arrivals, plus whether the pressure
+    /// governor is elevated-or-worse. Returns the transition taken this
+    /// observation, if any, as `(from, to)`.
+    pub fn observe_cycle(
+        &mut self,
+        misses: u64,
+        requests: u64,
+        pressured: bool,
+    ) -> Option<(ServeLevel, ServeLevel)> {
+        let pct_scaled = (misses.min(requests) * 100 * EWMA_SCALE)
+            .checked_div(requests)
+            .unwrap_or(0);
+        let den = self.cfg.ewma_den.max(1);
+        let num = self.cfg.ewma_num.min(den);
+        self.miss_ewma = (self.miss_ewma * (den - num) + pct_scaled * num) / den;
+
+        let overloaded = self.miss_ewma_pct() >= self.cfg.miss_pct_threshold || pressured;
+        if overloaded {
+            self.clean_cycles = 0;
+            let from = self.level;
+            let to = up(from);
+            if to != from {
+                self.level = to;
+                self.escalations += 1;
+                self.worst = self.worst.max(to);
+                return Some((from, to));
+            }
+            return None;
+        }
+        self.clean_cycles += 1;
+        if self.clean_cycles >= self.cfg.hysteresis_cycles.max(1) {
+            let from = self.level;
+            let to = down(from);
+            if to != from {
+                self.clean_cycles = 0;
+                self.level = to;
+                self.deescalations += 1;
+                return Some((from, to));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LadderConfig {
+        LadderConfig::default()
+    }
+
+    #[test]
+    fn escalates_one_level_per_overloaded_cycle() {
+        let mut l = DegradationLadder::new(cfg());
+        assert_eq!(
+            l.observe_cycle(10, 10, false),
+            Some((ServeLevel::Full, ServeLevel::ReducedWindow))
+        );
+        assert_eq!(
+            l.observe_cycle(10, 10, false),
+            Some((ServeLevel::ReducedWindow, ServeLevel::DemandOnly))
+        );
+        assert_eq!(
+            l.observe_cycle(10, 10, false),
+            Some((ServeLevel::DemandOnly, ServeLevel::Shed))
+        );
+        // Saturates at Shed.
+        assert_eq!(l.observe_cycle(10, 10, false), None);
+        assert_eq!(l.level(), ServeLevel::Shed);
+        assert_eq!(l.escalations, 3);
+        assert_eq!(l.worst, ServeLevel::Shed);
+    }
+
+    #[test]
+    fn governor_pressure_alone_escalates() {
+        let mut l = DegradationLadder::new(cfg());
+        assert_eq!(
+            l.observe_cycle(0, 10, true),
+            Some((ServeLevel::Full, ServeLevel::ReducedWindow))
+        );
+    }
+
+    #[test]
+    fn deescalation_waits_out_the_hysteresis_window() {
+        let mut l = DegradationLadder::new(cfg());
+        assert!(l.observe_cycle(10, 10, false).is_some());
+        // The miss EWMA (now 50%) keeps the breaker escalating one more
+        // cycle even though the input went clean; once it decays below
+        // the threshold, each de-escalation step still waits for a full
+        // hysteresis window of clean observations.
+        let mut transitions = Vec::new();
+        for _ in 0..10 {
+            if let Some(t) = l.observe_cycle(0, 10, false) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(
+            transitions,
+            vec![
+                (ServeLevel::ReducedWindow, ServeLevel::DemandOnly),
+                (ServeLevel::DemandOnly, ServeLevel::ReducedWindow),
+                (ServeLevel::ReducedWindow, ServeLevel::Full),
+            ]
+        );
+        assert_eq!(l.level(), ServeLevel::Full);
+        assert_eq!(l.deescalations, 2);
+    }
+
+    #[test]
+    fn flapping_input_never_deescalates() {
+        let mut l = DegradationLadder::new(cfg());
+        // Alternate hot and clean cycles: the clean streak never
+        // reaches the hysteresis window, so the ladder only ratchets up
+        // (until Shed) and never comes back down.
+        let mut downs = 0;
+        for i in 0..20 {
+            let misses = if i % 2 == 0 { 10 } else { 0 };
+            if let Some((from, to)) = l.observe_cycle(misses, 10, false) {
+                if to < from {
+                    downs += 1;
+                }
+            }
+        }
+        assert_eq!(downs, 0);
+    }
+
+    #[test]
+    fn zero_request_cycles_count_as_clean() {
+        let mut l = DegradationLadder::new(cfg());
+        assert!(l.observe_cycle(10, 10, false).is_some());
+        for _ in 0..8 {
+            l.observe_cycle(0, 0, false);
+        }
+        assert_eq!(l.level(), ServeLevel::Full);
+    }
+}

@@ -1,0 +1,38 @@
+//! SLO-aware inference serving on the DeepUM stack.
+//!
+//! This crate layers a deterministic, seeded inference-serving
+//! simulator over the multi-tenant UM scheduler substrate:
+//!
+//! * [`spec`] — endpoint and run specifications (weights, KV churn,
+//!   deadlines, floors);
+//! * [`load`] — integer diurnal load curves with burst windows and
+//!   per-cycle RNG streams for request lengths;
+//! * [`ladder`] — the graceful-degradation ladder: a hysteresis
+//!   circuit breaker stepping `Full → ReducedWindow → DemandOnly →
+//!   Shed` on deadline-miss EWMA and pressure-governor signals;
+//! * [`endpoint`] — one endpoint's private stack: cold-start weight
+//!   swap-in with `cudaMemAdvise`-modeled hints (`ReadMostly`,
+//!   `AccessedBy` on weights, `PreferredLocation` on KV caches),
+//!   per-request deadlines, and retry-with-backoff on injected soft
+//!   faults;
+//! * [`sim`] — the cycle loop: endpoint slots on the shared UM driver
+//!   via the scheduler's slot protocol, an optional co-scheduled
+//!   training bystander, ladder observation, and report aggregation.
+//!
+//! Everything is virtual-time and seeded; the same
+//! [`spec::ServeSpec`] always produces the same report and traces,
+//! byte for byte.
+
+#![forbid(unsafe_code)]
+
+pub mod endpoint;
+pub mod ladder;
+pub mod load;
+pub mod sim;
+pub mod spec;
+
+pub use endpoint::{EndpointRun, RequestOutcome};
+pub use ladder::{DegradationLadder, LadderConfig};
+pub use load::LoadCurve;
+pub use sim::{ServeOutcome, ServeSim};
+pub use spec::{EndpointSpec, ServeSpec};

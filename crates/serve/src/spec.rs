@@ -1,0 +1,207 @@
+//! Endpoint and serving-run specifications.
+
+use deepum_core::config::DeepumConfig;
+use deepum_sched::TenantSpec;
+use deepum_sim::faultinject::InjectionPlan;
+use deepum_sim::time::Ns;
+
+use crate::ladder::LadderConfig;
+use crate::load::LoadCurve;
+
+/// One model endpoint: a persistent weight set served by decode
+/// kernels, with a per-request KV cache and a virtual-time deadline.
+#[derive(Debug, Clone)]
+pub struct EndpointSpec {
+    /// Human-readable endpoint name (appears in reports and traces).
+    pub name: String,
+    /// Total persistent weight bytes, split evenly across `layers`
+    /// tensors. Cold start swaps these in on demand; they are advised
+    /// `ReadMostly` (duplicated) and `AccessedBy` (mapping survives
+    /// eviction) at allocation.
+    pub weight_bytes: u64,
+    /// Decode kernels per request; also the number of weight tensors.
+    pub layers: u32,
+    /// KV-cache bytes allocated per request token (freed at request
+    /// end — the grow/shrink churn of serving).
+    pub kv_bytes_per_token: u64,
+    /// Inclusive token-count bounds for generated request lengths.
+    pub min_tokens: u64,
+    /// See [`Self::min_tokens`].
+    pub max_tokens: u64,
+    /// Per-request virtual-time budget from arrival to completion.
+    pub deadline: Ns,
+    /// Guaranteed resident floor, pages (admission control input).
+    pub floor_pages: u64,
+    /// Fair-share priority on the shared UM driver (≥ 1).
+    pub priority: u32,
+    /// The endpoint's DeepUM driver configuration.
+    pub config: DeepumConfig,
+}
+
+impl EndpointSpec {
+    /// An endpoint with neutral defaults: 32 MiB of weights over 8
+    /// layers, 64 KiB of KV per token, requests of 4–16 tokens, a 50 ms
+    /// virtual deadline, no floor, priority 1.
+    pub fn new(name: impl Into<String>) -> Self {
+        EndpointSpec {
+            name: name.into(),
+            weight_bytes: 32 << 20,
+            layers: 8,
+            kv_bytes_per_token: 64 << 10,
+            min_tokens: 4,
+            max_tokens: 16,
+            deadline: Ns::from_millis(50),
+            floor_pages: 0,
+            priority: 1,
+            config: DeepumConfig::default(),
+        }
+    }
+
+    /// Sets the persistent weight footprint.
+    pub fn weights(mut self, bytes: u64) -> Self {
+        self.weight_bytes = bytes;
+        self
+    }
+
+    /// Sets the decode-kernel (and weight-tensor) count, clamped ≥ 1.
+    pub fn layers(mut self, layers: u32) -> Self {
+        self.layers = layers.max(1);
+        self
+    }
+
+    /// Sets the KV-cache bytes charged per request token.
+    pub fn kv_per_token(mut self, bytes: u64) -> Self {
+        self.kv_bytes_per_token = bytes;
+        self
+    }
+
+    /// Sets the request-length bounds (both clamped ≥ 1, max ≥ min).
+    pub fn tokens(mut self, min: u64, max: u64) -> Self {
+        self.min_tokens = min.max(1);
+        self.max_tokens = max.max(self.min_tokens);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn deadline(mut self, deadline: Ns) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the guaranteed resident floor, pages.
+    pub fn floor_pages(mut self, pages: u64) -> Self {
+        self.floor_pages = pages;
+        self
+    }
+
+    /// Sets the fair-share priority (clamped ≥ 1).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority.max(1);
+        self
+    }
+
+    /// Sets the endpoint's DeepUM configuration.
+    pub fn config(mut self, config: DeepumConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Everything one serving run needs: endpoints, the load curve, the
+/// degradation ladder (or `None` for the no-ladder control), soft-fault
+/// injection, and an optional co-scheduled training bystander.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Model endpoints, in tenant-id order.
+    pub endpoints: Vec<EndpointSpec>,
+    /// Scheduler cycles to simulate.
+    pub cycles: u64,
+    /// Request arrivals per cycle (diurnal shape plus burst windows).
+    pub load: LoadCurve,
+    /// Seed for request-length generation.
+    pub seed: u64,
+    /// Soft-fault plan shared by the endpoints (each endpoint derives
+    /// its own injector seed from it, xor its tenant id).
+    pub plan: InjectionPlan,
+    /// Degradation-ladder configuration; `None` runs the no-ladder
+    /// control (every arrival is served at full service).
+    pub ladder: Option<LadderConfig>,
+    /// Optional training tenant time-sharing the device with the
+    /// endpoints (the bystander of the isolation differential).
+    pub bystander: Option<TenantSpec>,
+    /// Install structured-event tracers on every endpoint stack.
+    pub traced: bool,
+}
+
+impl ServeSpec {
+    /// A serving spec with neutral defaults: no endpoints yet, 32
+    /// cycles, the default load curve, no injection, the default
+    /// ladder, no bystander, untraced.
+    pub fn new() -> Self {
+        ServeSpec {
+            endpoints: Vec::new(),
+            cycles: 32,
+            load: LoadCurve::default(),
+            seed: 0x5e12e,
+            plan: InjectionPlan::default(),
+            ladder: Some(LadderConfig::default()),
+            bystander: None,
+            traced: false,
+        }
+    }
+
+    /// Adds an endpoint. Tenant ids are assigned in call order.
+    #[must_use]
+    pub fn endpoint(mut self, spec: EndpointSpec) -> Self {
+        self.endpoints.push(spec);
+        self
+    }
+
+    /// Sets the cycle count.
+    pub fn cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Sets the load curve.
+    pub fn load(mut self, load: LoadCurve) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the request-length seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the endpoints' soft-fault plan.
+    pub fn plan(mut self, plan: InjectionPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the ladder configuration (`None` = no-ladder control).
+    pub fn ladder(mut self, ladder: Option<LadderConfig>) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Adds a co-scheduled training bystander.
+    pub fn bystander(mut self, spec: TenantSpec) -> Self {
+        self.bystander = Some(spec);
+        self
+    }
+
+    /// Installs tracers on every endpoint (and bystander) stack.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec::new()
+    }
+}

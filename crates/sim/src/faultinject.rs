@@ -94,6 +94,11 @@ pub struct InjectionPlan {
     /// Probability that a kernel launch hits a delay spike of
     /// [`Self::launch_delay`].
     pub launch_delay_rate: f64,
+    /// Probability that one serving-request execution step hits a
+    /// transient failure (models a flaky decode step under load); the
+    /// serving layer retries with backoff and sheds the request with a
+    /// typed reason once [`Self::max_retries`] is exhausted.
+    pub request_fail_rate: f64,
     /// Magnitude of an injected kernel-launch delay spike.
     pub launch_delay: Ns,
     /// Bounded retry attempts for transient DMA failures.
@@ -136,6 +141,7 @@ impl Default for InjectionPlan {
             storm_duration_drains: 4,
             corr_drop_rate: 0.0,
             launch_delay_rate: 0.0,
+            request_fail_rate: 0.0,
             launch_delay: Ns::from_micros(50),
             max_retries: 4,
             backoff_base: Ns::from_micros(2),
@@ -167,6 +173,7 @@ impl InjectionPlan {
             || self.storm_rate > 0.0
             || self.corr_drop_rate > 0.0
             || self.launch_delay_rate > 0.0
+            || self.request_fail_rate > 0.0
     }
 
     /// True if any hard (crash-class) fault is scheduled or enabled:
@@ -212,6 +219,8 @@ pub struct InjectionStats {
     /// Eviction victims chosen by the host-OOM fallback because they
     /// needed no write-back (fully invalidatable residency).
     pub writeback_fallbacks: u64,
+    /// Serving-request steps that hit an injected transient failure.
+    pub request_failures: u64,
 }
 
 /// Shared handle to one run's injector: the executor owns it and clones
@@ -349,6 +358,15 @@ impl FaultInjector {
         let hit = self.roll(self.plan.corr_drop_rate);
         if hit {
             self.stats.corr_records_dropped += 1;
+        }
+        hit
+    }
+
+    /// Rolls a transient failure for one serving-request step.
+    pub fn roll_request_failure(&mut self) -> bool {
+        let hit = self.roll(self.plan.request_fail_rate);
+        if hit {
+            self.stats.request_failures += 1;
         }
         hit
     }
@@ -504,6 +522,7 @@ mod tests {
         assert!(!inj.roll_d2h_failure());
         assert!(!inj.roll_host_oom());
         assert!(!inj.roll_corr_drop());
+        assert!(!inj.roll_request_failure());
         assert!(inj.roll_launch_delay().is_none());
         assert_eq!(inj.effective_fault_batch(256), 256);
         let mut pristine = DetRng::seed(0);
@@ -528,6 +547,19 @@ mod tests {
             assert_eq!(a.roll_launch_delay(), b.roll_launch_delay());
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn request_failure_rolls_count_and_gate_transients() {
+        let plan = InjectionPlan {
+            request_fail_rate: 1.0,
+            ..InjectionPlan::default()
+        };
+        assert!(plan.has_transients());
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.roll_request_failure());
+        assert!(inj.roll_request_failure());
+        assert_eq!(inj.stats().request_failures, 2);
     }
 
     #[test]

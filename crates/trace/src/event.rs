@@ -73,6 +73,45 @@ pub enum InjectKind {
     EccError,
 }
 
+/// `cudaMemAdvise`-modeled placement hint applied to a UM block.
+/// Mirrored from `deepum_um::hints::Advice` so this crate stays
+/// dependency-free; the hint table uses the type directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AdviceKind {
+    /// Data is mostly read: keep a host copy valid so eviction never
+    /// needs a write-back (duplicated read-mostly weight).
+    ReadMostly,
+    /// Preferred residency is the device: evict only as a last resort.
+    PreferredLocation,
+    /// Device accesses the range but need not keep it resident; re-fault
+    /// cost is reduced (mapping kept).
+    AccessedBy,
+}
+
+/// Degradation-ladder level of the SLO-aware serving layer. `Ord`
+/// follows severity: `Full < ReducedWindow < DemandOnly < Shed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServeLevel {
+    /// Correlation prefetching at full configured degree.
+    Full,
+    /// Prefetch window pressure-shrunk (`shed_load`).
+    ReducedWindow,
+    /// Correlation prefetching off; demand paging only.
+    DemandOnly,
+    /// New requests are refused with a typed `RequestShed`.
+    Shed,
+}
+
+/// Why a serving request was shed instead of executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The degradation ladder is at [`ServeLevel::Shed`]: the endpoint
+    /// refuses new work until pressure and miss-rate recover.
+    Overload,
+    /// Injected soft faults exhausted the per-request retry budget.
+    RetriesExhausted,
+}
+
 /// One structured trace event.
 ///
 /// Block numbers are raw `u64` indices (`BlockNum::index()`), page and
@@ -266,6 +305,62 @@ pub enum TraceEvent {
     PressureSignal {
         /// The broadcast level.
         level: PressureLevel,
+    },
+    /// A serving request entered an endpoint's queue.
+    RequestArrived {
+        /// Serving endpoint index.
+        endpoint: u32,
+        /// Per-run request ordinal.
+        request: u64,
+        /// Absolute virtual-time deadline (nanoseconds).
+        deadline_ns: u64,
+    },
+    /// A serving request finished all its decode kernels.
+    RequestCompleted {
+        /// Serving endpoint index.
+        endpoint: u32,
+        /// Per-run request ordinal.
+        request: u64,
+        /// Virtual latency from arrival to completion.
+        latency_ns: u64,
+        /// True when the request beat its deadline.
+        on_time: bool,
+    },
+    /// A completed request overran its virtual-time deadline.
+    DeadlineMissed {
+        /// Serving endpoint index.
+        endpoint: u32,
+        /// Per-run request ordinal.
+        request: u64,
+        /// Nanoseconds past the deadline at completion.
+        over_ns: u64,
+    },
+    /// A request was refused with a typed reason — never a panic.
+    RequestShed {
+        /// Serving endpoint index.
+        endpoint: u32,
+        /// Per-run request ordinal.
+        request: u64,
+        /// Why it was shed.
+        reason: ShedReason,
+    },
+    /// The degradation ladder moved between levels.
+    DegradationTransition {
+        /// Serving endpoint index.
+        endpoint: u32,
+        /// Level before.
+        from: ServeLevel,
+        /// Level after.
+        to: ServeLevel,
+        /// Deadline-miss EWMA (percent) that drove the transition.
+        miss_pct: u64,
+    },
+    /// A `cudaMemAdvise`-modeled hint was applied to a UM block.
+    HintApplied {
+        /// UM block index.
+        block: u64,
+        /// The advice.
+        advice: AdviceKind,
     },
 }
 

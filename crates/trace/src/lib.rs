@@ -39,7 +39,10 @@ pub mod report;
 pub mod sink;
 pub mod timeline;
 
-pub use event::{EvictReason, InjectKind, PressureLevel, TraceEvent, TraceRecord, WatchdogMode};
+pub use event::{
+    AdviceKind, EvictReason, InjectKind, PressureLevel, ServeLevel, ShedReason, TraceEvent,
+    TraceRecord, WatchdogMode,
+};
 pub use report::TraceReport;
 pub use sink::{shared, ExportSink, NullSink, RingSink, SharedTracer, TraceSink, Tracer};
 pub use timeline::{KernelTraceSummary, Timeline, CHAIN_DEPTH_BUCKETS};

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use deepum_gpu::engine::{BackendError, PressureStats};
-use deepum_gpu::fault::FaultEntry;
+use deepum_gpu::fault::{AccessKind, FaultEntry};
 use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, TenantId, PAGE_BYTES};
 use deepum_sim::costs::CostModel;
 use deepum_sim::faultinject::SharedInjector;
@@ -26,7 +26,10 @@ use deepum_sim::time::Ns;
 use deepum_trace::{EvictReason, InjectKind, PressureLevel, SharedTracer, TraceEvent};
 
 use crate::block::BlockState;
-use crate::evict::{demand_candidates, LruMigrated, SharedBlockSet, VictimPolicy};
+use crate::evict::{
+    demand_candidates, victim_scan_order, LruMigrated, SharedBlockSet, VictimPolicy,
+};
+use crate::hints::{Advice, HintTable};
 use crate::pressure::{PressureConfig, PressureGovernor};
 use crate::tenancy::{charge_order, Tenancy, TenantLedger};
 
@@ -106,6 +109,10 @@ pub struct UmDriver {
     /// machinery absent entirely, so single-tenant runs stay
     /// byte-identical to pre-tenancy builds.
     pub(crate) tenancy: Option<Tenancy>,
+    /// `cudaMemAdvise`-modeled hint table. Empty (the default) means
+    /// every hint query is one branch, keeping unhinted runs
+    /// byte-identical to pre-hint builds.
+    pub(crate) hints: HintTable,
 }
 
 impl UmDriver {
@@ -126,6 +133,7 @@ impl UmDriver {
             epoch_now: Ns::ZERO,
             pressure: None,
             tenancy: None,
+            hints: HintTable::new(),
         }
     }
 
@@ -275,6 +283,34 @@ impl UmDriver {
         }
     }
 
+    /// Applies a `cudaMemAdvise`-modeled hint to every UM block the
+    /// byte range touches (hints are block-granular). Emits one
+    /// `HintApplied` event per block whose flag was newly set and
+    /// returns that count. ReadMostly affects *future* migrations:
+    /// pages already resident when the hint lands were migrated
+    /// exclusively and stay so until re-migrated.
+    pub fn advise(&mut self, now: Ns, range: ByteRange, advice: Advice) -> u64 {
+        let mut applied = 0u64;
+        for (block, _mask) in range.block_footprints() {
+            if self.hints.advise(block, advice) {
+                applied += 1;
+                self.trace(
+                    now,
+                    TraceEvent::HintApplied {
+                        block: block.index(),
+                        advice,
+                    },
+                );
+            }
+        }
+        applied
+    }
+
+    /// Read access to the hint table (report material).
+    pub fn hints(&self) -> &HintTable {
+        &self.hints
+    }
+
     /// Marks (`invalid = true`) or unmarks the pages of `range` as
     /// belonging to an inactive PT block. Marked pages are dropped
     /// without write-back when evicted (Section 5.2).
@@ -312,6 +348,12 @@ impl UmDriver {
                 }
                 state.invalidatable.subtract_with(&mask);
                 state.host_valid.subtract_with(&mask);
+            }
+            // Hints are block-granular; a freed range drops every hint
+            // on the blocks it touches (the advice described memory
+            // that no longer exists).
+            if !self.hints.is_empty() {
+                self.hints.clear(block);
             }
         }
         // Owners are only ever tagged while tenancy is active, so this
@@ -351,6 +393,25 @@ impl UmDriver {
         }
         self.counters.gpu_page_faults += u64_from_usize(faults.len());
         self.counters.fault_batches += 1;
+
+        // A write fault to a ReadMostly block collapses the hint: the
+        // host copy is stale, the device copy becomes authoritative,
+        // and the overlap the duplication allowed is dropped
+        // (`cudaMemAdviseSetReadMostly` semantics). One branch when the
+        // table is empty.
+        if !self.hints.is_empty() {
+            for f in faults {
+                if f.kind == AccessKind::Write {
+                    let block = f.page.block();
+                    if self.hints.collapse_read_mostly(block) {
+                        if let Some(state) = self.blocks.get_mut(&block) {
+                            let stale = state.host_valid.intersect(&state.resident);
+                            state.host_valid.subtract_with(&stale);
+                        }
+                    }
+                }
+            }
+        }
 
         // (1) fetch from the fault buffer + (9) replay signal.
         let mut cost = self.costs.fault_batch_overhead + self.costs.tlb_lock_stall;
@@ -490,7 +551,11 @@ impl UmDriver {
 
         cost += self.costs.populate_page_cost * count;
         cost += self.costs.transfer_time(bytes);
-        cost += self.costs.map_page_cost * count;
+        // AccessedBy keeps the device mapping across eviction, so
+        // re-migration skips the page-map step.
+        if !self.hints.is_accessed_by(block) {
+            cost += self.costs.map_page_cost * count;
+        }
 
         // Migrations drained at the same virtual instant share an epoch;
         // a new `now` opens a new one. `validate()` leans on this to
@@ -501,6 +566,7 @@ impl UmDriver {
         }
         let epoch = self.migrate_epoch;
         let active_owner = self.tenancy.as_ref().and_then(|t| t.active);
+        let read_mostly = self.hints.is_read_mostly(block);
         let state = self.blocks.entry(block).or_default();
         if state.owner.is_none() {
             state.owner = active_owner;
@@ -513,7 +579,11 @@ impl UmDriver {
             None
         };
         state.resident.union_with(&missing);
-        state.host_valid.subtract_with(&missing);
+        // ReadMostly duplication: the host copy stays valid alongside
+        // the device copy, so a later eviction needs no write-back.
+        if !read_mostly {
+            state.host_valid.subtract_with(&missing);
+        }
         match path {
             MigratePath::Demand => {
                 self.counters.pages_faulted_in += count;
@@ -633,6 +703,7 @@ impl UmDriver {
         let policy = VictimPolicy {
             protected: &self.protected,
             governor: self.pressure.as_ref(),
+            hints: Some(&self.hints),
         };
         let mut cooldown_skips: Vec<(BlockNum, u64)> = Vec::new();
 
@@ -679,7 +750,10 @@ impl UmDriver {
         // First pass: honour the protected set — and, under the
         // governor, in-flight pins and refault cooldowns. A block
         // passed over purely for its cooldown is recorded for tracing.
-        for (key, block) in self.lru.iter() {
+        // ReadMostly-duplicated blocks scan last: a hot weight is never
+        // the victim while a cooler non-duplicated one exists (plain
+        // LRU order when no hints are set).
+        for (key, block) in victim_scan_order(&self.lru, &self.hints) {
             if freed >= needed {
                 break;
             }
@@ -778,6 +852,7 @@ impl UmDriver {
         path: EvictPath,
         host_oom: bool,
     ) -> Result<EvictCost, BackendError> {
+        let read_mostly = self.hints.is_read_mostly(block);
         let Some(state) = self.blocks.get_mut(&block) else {
             return Err(BackendError::MissingBlock(block));
         };
@@ -790,7 +865,13 @@ impl UmDriver {
 
         // Pages of inactive PT blocks are invalidated: no write-back.
         let invalidated = resident.intersect(&state.invalidatable);
-        let writeback = resident.subtract(&invalidated);
+        let mut writeback = resident.subtract(&invalidated);
+        // ReadMostly duplication: pages whose host copy is still valid
+        // drop off the device for free — the duplicate is the backing
+        // copy, so no transfer is owed.
+        if read_mostly {
+            writeback.subtract_with(&state.host_valid);
+        }
         let writeback_bytes = writeback.count_u64() * PAGE_BYTES;
 
         state.resident = PageMask::empty();
@@ -879,7 +960,10 @@ impl UmDriver {
     /// the tenant most over its priority-weighted fair share first; a
     /// tenant within its guaranteed floor is never charged while another
     /// is over quota, and only the *active* tenant may dip below its own
-    /// floor (its demand, its pages). Eligibility reuses the
+    /// floor (its demand, its pages) — and even then only after every
+    /// over-quota tenant has been drained through the override pass, so
+    /// hint- or cooldown-deferred over-quota blocks are taken before a
+    /// within-floor tenant loses a page. Eligibility reuses the
     /// single-tenant [`VictimPolicy`], instantiated per charged tenant
     /// with that tenant's protected set and governor.
     fn evict_to_free_tenant(
@@ -918,18 +1002,31 @@ impl UmDriver {
 
         let mut picks: Vec<Pick> = Vec::new();
         let mut cooldown_skips: Vec<(TenantId, BlockNum, u64)> = Vec::new();
+        // Pass 1 honours the hint partition (ReadMostly-duplicated
+        // blocks last); passes 0 and 2 stay pure LRU — host-OOM wants
+        // the cheapest victims and the override pass wants correctness.
+        // deepum-tidy: allow(hot-path-alloc) -- once per eviction batch, not per page; the scan re-reads the list across passes
+        let lru_order: Vec<(Ns, BlockNum)> = self.lru.iter().collect();
+        let scan1_order = victim_scan_order(&self.lru, &self.hints);
         {
             let Some(t) = self.tenancy.as_ref() else {
                 return Ok(EvictCost::default());
             };
             let mut freed = 0u64;
-            // Charge order: over-quota tenants first (priority-weighted),
-            // then the active tenant itself — its own demand may push it
-            // below its own floor, which is not a fairness violation.
-            let mut order = charge_order(&t.tenants);
-            if !order.contains(&active) {
-                order.push(active);
-            }
+            // Charge order: over-quota tenants first (priority-weighted).
+            // A within-floor active tenant joins only as a second stage,
+            // after every over-quota tenant has been drained through the
+            // override pass — its own demand may then push it below its
+            // own floor, which is not a fairness violation, but it never
+            // pre-empts an over-quota tenant's merely hint- or
+            // cooldown-deferred blocks.
+            let quota_order = charge_order(&t.tenants);
+            let self_stage = [active];
+            let active_order: &[TenantId] = if quota_order.contains(&active) {
+                &[]
+            } else {
+                &self_stage
+            };
             // Pass 0 (host OOM only): fully-invalidatable victims — they
             // free device pages without touching host memory. Pass 1:
             // first-pass policy (protection, pins, cooldowns). Pass 2:
@@ -938,100 +1035,105 @@ impl UmDriver {
             // also runs when making room for a prefetch: abandoning the
             // prefetch instead would leak a `PrefetchDrop` into the
             // active tenant's trace that a solo run would not have.
-            for pass in 0..3u32 {
-                if pass == 0 && !host_oom {
-                    continue;
-                }
-                for &tid in &order {
+            for order in [quota_order.as_slice(), active_order] {
+                for pass in 0..3u32 {
+                    if pass == 0 && !host_oom {
+                        continue;
+                    }
+                    for tid in order.iter().copied() {
+                        if freed >= needed {
+                            break;
+                        }
+                        let Some(ledger) = t.tenants.get(&tid) else {
+                            continue;
+                        };
+                        let picked: u64 = picks
+                            .iter()
+                            .filter(|p| p.charge == tid)
+                            .map(|p| p.pages)
+                            .sum();
+                        // Fair-share budget: a charged tenant never goes
+                        // below its floor. The active tenant is unbounded —
+                        // self-eviction below its own floor is allowed.
+                        let mut budget = if tid == active {
+                            u64::MAX
+                        } else {
+                            ledger.overage().saturating_sub(picked)
+                        };
+                        if budget == 0 {
+                            continue;
+                        }
+                        let governor = if tid == active {
+                            self.pressure.as_ref()
+                        } else {
+                            ledger.governor.as_ref()
+                        };
+                        let policy = VictimPolicy {
+                            protected: &ledger.protected,
+                            governor,
+                            hints: Some(&self.hints),
+                        };
+                        let order = if pass == 1 { &scan1_order } else { &lru_order };
+                        for &(key, block) in order {
+                            if freed >= needed || budget == 0 {
+                                break;
+                            }
+                            if Some(block) == exclude || picks.iter().any(|p| p.block == block) {
+                                continue;
+                            }
+                            let Some(state) = self.blocks.get(&block) else {
+                                return Err(BackendError::MissingBlock(block));
+                            };
+                            if state.owner != Some(tid) {
+                                continue;
+                            }
+                            let pages = state.resident.count_u64();
+                            // `pages > budget` would take the charged tenant
+                            // below its floor: block-granular floors are
+                            // exact, not advisory, so the scan moves on.
+                            if pages == 0 || pages > budget {
+                                continue;
+                            }
+                            let (eligible, reason) = match pass {
+                                0 => (
+                                    policy.first_pass_eligible(block)
+                                        && state.resident.subtract(&state.invalidatable).is_empty(),
+                                    EvictReason::HostOomInvalidatable,
+                                ),
+                                1 => (
+                                    policy.first_pass_eligible(block),
+                                    match path {
+                                        EvictPath::Demand => EvictReason::LruDemand,
+                                        EvictPath::Pre => EvictReason::LruPre,
+                                    },
+                                ),
+                                _ => (
+                                    policy.override_eligible(block),
+                                    EvictReason::ProtectedOverride,
+                                ),
+                            };
+                            if !eligible {
+                                if pass == 1 && policy.skipped_for_cooldown(block) {
+                                    let remaining =
+                                        governor.map_or(0, |g| g.cooldown_remaining(block));
+                                    cooldown_skips.push((tid, block, remaining));
+                                }
+                                continue;
+                            }
+                            picks.push(Pick {
+                                key,
+                                block,
+                                charge: tid,
+                                reason,
+                                pages,
+                            });
+                            freed += pages;
+                            budget = budget.saturating_sub(pages);
+                        }
+                    }
                     if freed >= needed {
                         break;
                     }
-                    let Some(ledger) = t.tenants.get(&tid) else {
-                        continue;
-                    };
-                    let picked: u64 = picks
-                        .iter()
-                        .filter(|p| p.charge == tid)
-                        .map(|p| p.pages)
-                        .sum();
-                    // Fair-share budget: a charged tenant never goes
-                    // below its floor. The active tenant is unbounded —
-                    // self-eviction below its own floor is allowed.
-                    let mut budget = if tid == active {
-                        u64::MAX
-                    } else {
-                        ledger.overage().saturating_sub(picked)
-                    };
-                    if budget == 0 {
-                        continue;
-                    }
-                    let governor = if tid == active {
-                        self.pressure.as_ref()
-                    } else {
-                        ledger.governor.as_ref()
-                    };
-                    let policy = VictimPolicy {
-                        protected: &ledger.protected,
-                        governor,
-                    };
-                    for (key, block) in self.lru.iter() {
-                        if freed >= needed || budget == 0 {
-                            break;
-                        }
-                        if Some(block) == exclude || picks.iter().any(|p| p.block == block) {
-                            continue;
-                        }
-                        let Some(state) = self.blocks.get(&block) else {
-                            return Err(BackendError::MissingBlock(block));
-                        };
-                        if state.owner != Some(tid) {
-                            continue;
-                        }
-                        let pages = state.resident.count_u64();
-                        // `pages > budget` would take the charged tenant
-                        // below its floor: block-granular floors are
-                        // exact, not advisory, so the scan moves on.
-                        if pages == 0 || pages > budget {
-                            continue;
-                        }
-                        let (eligible, reason) = match pass {
-                            0 => (
-                                policy.first_pass_eligible(block)
-                                    && state.resident.subtract(&state.invalidatable).is_empty(),
-                                EvictReason::HostOomInvalidatable,
-                            ),
-                            1 => (
-                                policy.first_pass_eligible(block),
-                                match path {
-                                    EvictPath::Demand => EvictReason::LruDemand,
-                                    EvictPath::Pre => EvictReason::LruPre,
-                                },
-                            ),
-                            _ => (
-                                policy.override_eligible(block),
-                                EvictReason::ProtectedOverride,
-                            ),
-                        };
-                        if !eligible {
-                            if pass == 1 && policy.skipped_for_cooldown(block) {
-                                let remaining = governor.map_or(0, |g| g.cooldown_remaining(block));
-                                cooldown_skips.push((tid, block, remaining));
-                            }
-                            continue;
-                        }
-                        picks.push(Pick {
-                            key,
-                            block,
-                            charge: tid,
-                            reason,
-                            pages,
-                        });
-                        freed += pages;
-                        budget = budget.saturating_sub(pages);
-                    }
-                }
-                if freed >= needed {
-                    break;
                 }
             }
         }
@@ -1137,6 +1239,7 @@ impl UmDriver {
         host_oom: bool,
     ) -> Result<EvictCost, BackendError> {
         let c_before = self.counters;
+        let read_mostly = self.hints.is_read_mostly(block);
         let Some(state) = self.blocks.get_mut(&block) else {
             return Err(BackendError::MissingBlock(block));
         };
@@ -1148,7 +1251,11 @@ impl UmDriver {
         self.counters.prefetch_wasted += wasted.count_u64();
 
         let invalidated = resident.intersect(&state.invalidatable);
-        let writeback = resident.subtract(&invalidated);
+        let mut writeback = resident.subtract(&invalidated);
+        // ReadMostly duplication: host-valid pages need no write-back.
+        if read_mostly {
+            writeback.subtract_with(&state.host_valid);
+        }
         let writeback_bytes = writeback.count_u64() * PAGE_BYTES;
 
         state.resident = PageMask::empty();
@@ -1503,9 +1610,12 @@ impl UmDriver {
             {
                 return Err(format!("{block}: prefetched_untouched pages not resident"));
             }
-            if !state.resident.intersect(&state.host_valid).is_empty() {
+            if !state.resident.intersect(&state.host_valid).is_empty()
+                && !self.hints.is_read_mostly(*block)
+            {
                 return Err(format!(
-                    "{block}: pages both device-resident and host-valid"
+                    "{block}: pages both device-resident and host-valid \
+                     without a ReadMostly hint"
                 ));
             }
         }
@@ -1587,6 +1697,7 @@ impl UmDriver {
             let policy = VictimPolicy {
                 protected: &self.protected,
                 governor: Some(g),
+                hints: Some(&self.hints),
             };
             for block in demand_candidates(&self.lru, &policy) {
                 if g.in_cooldown(block) {
@@ -1594,6 +1705,29 @@ impl UmDriver {
                         "{block} is an eviction candidate while in victim cooldown \
                          ({} kernels remaining)",
                         g.cooldown_remaining(block)
+                    ));
+                }
+            }
+        }
+        // Hint-ordering invariant: the first-pass candidate list must
+        // be partitioned — no ReadMostly-duplicated block may be
+        // ordered before a non-duplicated one, i.e. a duplicated hot
+        // weight is never the victim while a cooler victim exists.
+        if !self.hints.no_read_mostly() {
+            let policy = VictimPolicy {
+                protected: &self.protected,
+                governor: self.pressure.as_ref(),
+                hints: Some(&self.hints),
+            };
+            let mut seen_duplicated = false;
+            for block in demand_candidates(&self.lru, &policy) {
+                if self.hints.is_read_mostly(block) {
+                    seen_duplicated = true;
+                } else if seen_duplicated {
+                    // deepum-tidy: allow(hot-path-alloc) -- cold invariant sweep, runs per validate() call, not per fault
+                    return Err(format!(
+                        "{block} (non-duplicated) is ordered after a ReadMostly \
+                         candidate in the eviction scan"
                     ));
                 }
             }
@@ -2274,5 +2408,149 @@ mod tests {
         let e1 = d.blocks[&BlockNum::new(1)].last_epoch;
         assert!(e1 > e0, "distinct drain times must get distinct epochs");
         d.validate().expect("distinct stamps validate");
+    }
+
+    fn block_range(block: u64) -> ByteRange {
+        ByteRange::new(UmAddr::new(block * BLOCK_SIZE as u64), BLOCK_SIZE as u64)
+    }
+
+    /// Populates a block's host copy so a later demand migration has
+    /// something to transfer (and hence something to duplicate).
+    fn populate_host(d: &mut UmDriver, block: u64) {
+        // Fault in, then evict by faulting another large block: the
+        // write-back leaves the host copy valid.
+        d.handle_faults(Ns::from_nanos(1), &faults_for(block, 0..512))
+            .expect("faults handled");
+    }
+
+    #[test]
+    fn read_mostly_eviction_skips_writeback() {
+        let mut d = small_driver(1);
+        // Evict block 0 once (the write-back makes its host copy
+        // valid), then hint it ReadMostly and fault it back in: it is
+        // now duplicated on host and device.
+        populate_host(&mut d, 0);
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        assert_eq!(
+            d.advise(Ns::from_nanos(3), block_range(0), Advice::ReadMostly),
+            1
+        );
+        d.handle_faults(Ns::from_nanos(4), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.validate().expect("duplicated residency validates");
+        // Evicting the duplicated block costs no device→host bytes.
+        let d2h_before = d.counters().bytes_d2h;
+        d.handle_faults(Ns::from_nanos(5), &faults_for(2, 0..512))
+            .expect("faults handled");
+        assert!(d.resident_mask(BlockNum::new(0)).is_empty());
+        assert_eq!(
+            d.counters().bytes_d2h,
+            d2h_before,
+            "ReadMostly eviction must not write back"
+        );
+        d.validate().expect("post-eviction state validates");
+    }
+
+    #[test]
+    fn read_mostly_blocks_evict_after_cooler_victims() {
+        let mut d = small_driver(2);
+        // Block 0 is oldest and duplicated; block 1 newer, unhinted.
+        d.advise(Ns::ZERO, block_range(0), Advice::ReadMostly);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
+        // Despite being least recently migrated, the duplicated block
+        // survives; the cooler unhinted block 1 went instead.
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
+        assert!(d.resident_mask(BlockNum::new(1)).is_empty());
+        d.validate().expect("hint ordering validates");
+    }
+
+    #[test]
+    fn preferred_location_yields_only_to_override() {
+        let mut d = small_driver(2);
+        d.advise(Ns::ZERO, block_range(0), Advice::PreferredLocation);
+        d.handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        // First pass skips the preferred block: block 1 goes.
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
+        assert_eq!(d.resident_mask(BlockNum::new(0)).count(), 512);
+        assert!(d.resident_mask(BlockNum::new(1)).is_empty());
+        // Liveness: when preferred blocks are all that remain, demand
+        // eviction still proceeds (override pass).
+        d.advise(Ns::from_nanos(4), block_range(2), Advice::PreferredLocation);
+        d.handle_faults(Ns::from_nanos(5), &faults_for(3, 0..512))
+            .expect("faults handled despite preferred-only residency");
+        assert_eq!(d.resident_mask(BlockNum::new(3)).count(), 512);
+    }
+
+    #[test]
+    fn accessed_by_skips_map_cost_on_refault() {
+        let costs = CostModel::v100_32gb().with_device_memory(BLOCK_SIZE as u64);
+        let map_cost = costs.map_page_cost;
+        assert!(map_cost > Ns::ZERO);
+        let mut hinted = UmDriver::new(costs.clone());
+        hinted.advise(Ns::ZERO, block_range(0), Advice::AccessedBy);
+        let mut plain = UmDriver::new(costs);
+        let c_h = hinted
+            .handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        let c_p = plain
+            .handle_faults(Ns::from_nanos(1), &faults_for(0, 0..512))
+            .expect("faults handled");
+        assert_eq!(c_p - c_h, map_cost * 512, "AccessedBy skips the map step");
+    }
+
+    #[test]
+    fn write_fault_collapses_read_mostly() {
+        let mut d = small_driver(2);
+        populate_host(&mut d, 0);
+        d.handle_faults(Ns::from_nanos(2), &faults_for(1, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(3), &faults_for(2, 0..512))
+            .expect("faults handled");
+        d.advise(Ns::from_nanos(4), block_range(0), Advice::ReadMostly);
+        d.handle_faults(Ns::from_nanos(5), &faults_for(0, 0..512))
+            .expect("faults handled");
+        // A write fault to the duplicated block collapses the hint and
+        // drops the stale host copy.
+        let write = vec![FaultEntry {
+            page: BlockNum::new(0).page(0),
+            kind: AccessKind::Write,
+            sm: SmId(0),
+        }];
+        d.handle_faults(Ns::from_nanos(6), &write)
+            .expect("write fault handled");
+        assert!(!d.hints().is_read_mostly(BlockNum::new(0)));
+        assert_eq!(d.hints().collapsed, 1);
+        d.validate()
+            .expect("collapse restores the exclusive invariant");
+        // The next eviction of block 0 pays the write-back again.
+        let d2h_before = d.counters().bytes_d2h;
+        d.handle_faults(Ns::from_nanos(7), &faults_for(3, 0..512))
+            .expect("faults handled");
+        d.handle_faults(Ns::from_nanos(8), &faults_for(4, 0..512))
+            .expect("faults handled");
+        assert!(d.counters().bytes_d2h > d2h_before);
+    }
+
+    #[test]
+    fn advise_traces_hint_applied_once() {
+        use deepum_trace::{shared, Tracer};
+        let mut d = small_driver(2);
+        let tracer = shared(Tracer::export());
+        d.set_tracer(tracer.clone());
+        assert_eq!(d.advise(Ns::ZERO, block_range(1), Advice::ReadMostly), 1);
+        assert_eq!(d.advise(Ns::ZERO, block_range(1), Advice::ReadMostly), 0);
+        let jsonl = tracer.borrow_mut().jsonl();
+        assert_eq!(jsonl.matches("HintApplied").count(), 1, "{jsonl}");
     }
 }

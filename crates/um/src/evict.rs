@@ -14,6 +14,7 @@ use std::sync::{Arc, PoisonError, RwLock};
 use deepum_mem::BlockNum;
 use deepum_sim::time::Ns;
 
+use crate::hints::HintTable;
 use crate::pressure::PressureGovernor;
 
 /// A set of UM blocks the eviction scan must avoid, shared between the
@@ -167,15 +168,22 @@ pub struct VictimPolicy<'a> {
     pub protected: &'a SharedBlockSet,
     /// The memory-pressure governor, `None` when not installed.
     pub governor: Option<&'a PressureGovernor>,
+    /// `cudaMemAdvise`-modeled hint table, `None` when the caller has
+    /// no hints (identical to an empty table; both are free).
+    pub hints: Option<&'a HintTable>,
 }
 
 impl VictimPolicy<'_> {
     /// May `block` be selected by the first (protection-honouring)
-    /// eviction pass? Skips protected blocks, blocks pinned by the
-    /// in-flight kernel (minimum-resident guarantee), and blocks inside
-    /// their refault-cooldown window (anti-thrash hysteresis).
+    /// eviction pass? Skips protected blocks, PreferredLocation-hinted
+    /// blocks, blocks pinned by the in-flight kernel (minimum-resident
+    /// guarantee), and blocks inside their refault-cooldown window
+    /// (anti-thrash hysteresis).
     pub fn first_pass_eligible(&self, block: BlockNum) -> bool {
         if self.protected.contains(block) {
+            return false;
+        }
+        if self.hints.is_some_and(|h| h.is_preferred(block)) {
             return false;
         }
         match self.governor {
@@ -203,11 +211,38 @@ impl VictimPolicy<'_> {
         if self.protected.contains(block) {
             return false;
         }
+        if self.hints.is_some_and(|h| h.is_preferred(block)) {
+            return false;
+        }
         match self.governor {
             Some(g) => !g.is_pinned(block) && g.in_cooldown(block),
             None => false,
         }
     }
+
+    /// True when `block` is ReadMostly-duplicated: evicting it is
+    /// cheap (no write-back), but it is ordered *after* every
+    /// non-duplicated candidate so a hot weight stays resident while
+    /// a cooler victim exists.
+    pub fn is_read_mostly(&self, block: BlockNum) -> bool {
+        self.hints.is_some_and(|h| h.is_read_mostly(block))
+    }
+}
+
+/// Victim-scan order for the protection-honouring pass:
+/// least-recently-migrated order, with ReadMostly-duplicated blocks
+/// partitioned to the back (each partition keeps LRU order). With no
+/// ReadMostly hints this is exactly the LRU order, so unhinted runs
+/// stay byte-identical to pre-hint builds.
+pub fn victim_scan_order(lru: &LruMigrated, hints: &HintTable) -> Vec<(Ns, BlockNum)> {
+    let mut order: Vec<(Ns, BlockNum)> = Vec::with_capacity(lru.len());
+    if hints.no_read_mostly() {
+        order.extend(lru.iter());
+        return order;
+    }
+    order.extend(lru.iter().filter(|e| !hints.is_read_mostly(e.1)));
+    order.extend(lru.iter().filter(|e| hints.is_read_mostly(e.1)));
+    order
 }
 
 /// First-pass demand-eviction candidate list: blocks in
@@ -215,10 +250,21 @@ impl VictimPolicy<'_> {
 /// admits. `UmDriver::validate()` cross-checks this list against the
 /// governor's cooldown set — the two must never intersect.
 pub fn demand_candidates(lru: &LruMigrated, policy: &VictimPolicy<'_>) -> Vec<BlockNum> {
-    lru.iter()
-        .map(|(_, block)| block)
-        .filter(|&block| policy.first_pass_eligible(block))
-        .collect()
+    let mut candidates: Vec<BlockNum> = Vec::new();
+    // ReadMostly-duplicated blocks sort after every non-duplicated
+    // candidate (mirrors `victim_scan_order`): a hot duplicated weight
+    // is never the victim while a cooler one exists.
+    candidates.extend(
+        lru.iter()
+            .map(|(_, b)| b)
+            .filter(|&b| policy.first_pass_eligible(b) && !policy.is_read_mostly(b)),
+    );
+    candidates.extend(
+        lru.iter()
+            .map(|(_, b)| b)
+            .filter(|&b| policy.first_pass_eligible(b) && policy.is_read_mostly(b)),
+    );
+    candidates
 }
 
 #[cfg(test)]
@@ -284,6 +330,7 @@ mod tests {
         let policy = VictimPolicy {
             protected: &protected,
             governor: None,
+            hints: None,
         };
         assert!(!policy.first_pass_eligible(BlockNum::new(1)));
         assert!(policy.first_pass_eligible(BlockNum::new(2)));
@@ -301,6 +348,7 @@ mod tests {
         let policy = VictimPolicy {
             protected: &protected,
             governor: Some(&g),
+            hints: None,
         };
         // Block 1: refaulted → cooling down and (this kernel) pinned.
         assert!(!policy.first_pass_eligible(BlockNum::new(1)));
@@ -328,6 +376,7 @@ mod tests {
         let policy = VictimPolicy {
             protected: &protected,
             governor: Some(&g),
+            hints: None,
         };
         assert!(policy.skipped_for_cooldown(BlockNum::new(2)));
         let candidates = demand_candidates(&lru, &policy);

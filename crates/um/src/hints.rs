@@ -1,0 +1,219 @@
+//! `cudaMemAdvise`-modeled placement hints.
+//!
+//! The serving layer pins hot weights and KV blocks with the three
+//! advice kinds the CUDA runtime exposes (evaluated in arXiv
+//! 1910.09598); the driver consults them at migration and eviction
+//! time:
+//!
+//! * **ReadMostly** — the block is duplicated: the host copy stays
+//!   valid while pages are device-resident, so eviction never needs a
+//!   write-back. A *write fault* to the block collapses the hint (the
+//!   host copy is stale), matching `cudaMemAdviseSetReadMostly`
+//!   semantics.
+//! * **PreferredLocation** (device) — the victim scan's first pass
+//!   skips the block; the correctness-driven override pass may still
+//!   take it, so capacity demands can always be met.
+//! * **AccessedBy** — the device keeps the mapping across eviction, so
+//!   re-migration skips the page-map cost.
+//!
+//! Hints are block-granular: advising a byte range hints every UM
+//! block the range touches. An empty table is free — every query is a
+//! single `is_empty` branch, keeping unhinted (training) runs
+//! byte-identical to pre-hint builds.
+
+use std::collections::BTreeMap;
+
+use deepum_mem::BlockNum;
+
+/// The advice vocabulary, shared with the trace layer so `HintApplied`
+/// events carry the same type the table stores.
+pub use deepum_trace::AdviceKind as Advice;
+
+/// Per-block hint flags.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HintState {
+    /// Host copy stays valid while device-resident (no write-back).
+    pub read_mostly: bool,
+    /// Preferred residency is the device; evict only as a last resort.
+    pub preferred_device: bool,
+    /// Mapping survives eviction; re-migration skips the map cost.
+    pub accessed_by: bool,
+}
+
+impl HintState {
+    fn is_empty(&self) -> bool {
+        !(self.read_mostly || self.preferred_device || self.accessed_by)
+    }
+}
+
+/// The driver's hint table: block-granular advice flags plus lifetime
+/// counters for the serving report.
+#[derive(Debug, Default, Clone)]
+pub struct HintTable {
+    hints: BTreeMap<BlockNum, HintState>,
+    /// ReadMostly blocks currently hinted (fast partition check).
+    read_mostly_count: usize,
+    /// Hints applied over the run, by kind (report material).
+    pub applied_read_mostly: u64,
+    /// PreferredLocation hints applied over the run.
+    pub applied_preferred: u64,
+    /// AccessedBy hints applied over the run.
+    pub applied_accessed_by: u64,
+    /// ReadMostly hints collapsed by a write fault.
+    pub collapsed: u64,
+}
+
+impl HintTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no block carries any hint — the fast path every
+    /// query takes in unhinted runs.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    /// True when no block is currently ReadMostly-hinted; the victim
+    /// scan uses plain LRU order in that case.
+    pub fn no_read_mostly(&self) -> bool {
+        self.read_mostly_count == 0
+    }
+
+    /// Applies `advice` to `block`. Returns true when the flag was not
+    /// already set (i.e. the hint is new).
+    pub fn advise(&mut self, block: BlockNum, advice: Advice) -> bool {
+        let state = self.hints.entry(block).or_default();
+        match advice {
+            Advice::ReadMostly => {
+                let fresh = !state.read_mostly;
+                state.read_mostly = true;
+                if fresh {
+                    self.read_mostly_count += 1;
+                    self.applied_read_mostly += 1;
+                }
+                fresh
+            }
+            Advice::PreferredLocation => {
+                let fresh = !state.preferred_device;
+                state.preferred_device = true;
+                if fresh {
+                    self.applied_preferred += 1;
+                }
+                fresh
+            }
+            Advice::AccessedBy => {
+                let fresh = !state.accessed_by;
+                state.accessed_by = true;
+                if fresh {
+                    self.applied_accessed_by += 1;
+                }
+                fresh
+            }
+        }
+    }
+
+    /// Drops every hint on `block` (the backing range was freed).
+    pub fn clear(&mut self, block: BlockNum) {
+        if let Some(state) = self.hints.remove(&block) {
+            if state.read_mostly {
+                self.read_mostly_count -= 1;
+            }
+        }
+    }
+
+    /// Collapses a ReadMostly hint after a write fault: the host copy
+    /// is stale, so the duplication guarantee is gone. Other flags on
+    /// the block survive. Returns true when a hint was collapsed.
+    pub fn collapse_read_mostly(&mut self, block: BlockNum) -> bool {
+        let Some(state) = self.hints.get_mut(&block) else {
+            return false;
+        };
+        if !state.read_mostly {
+            return false;
+        }
+        state.read_mostly = false;
+        self.read_mostly_count -= 1;
+        self.collapsed += 1;
+        if state.is_empty() {
+            self.hints.remove(&block);
+        }
+        true
+    }
+
+    /// True when `block` is ReadMostly-duplicated.
+    pub fn is_read_mostly(&self, block: BlockNum) -> bool {
+        !self.hints.is_empty() && self.hints.get(&block).is_some_and(|s| s.read_mostly)
+    }
+
+    /// True when `block` prefers device residency.
+    pub fn is_preferred(&self, block: BlockNum) -> bool {
+        !self.hints.is_empty() && self.hints.get(&block).is_some_and(|s| s.preferred_device)
+    }
+
+    /// True when `block` keeps its device mapping across eviction.
+    pub fn is_accessed_by(&self, block: BlockNum) -> bool {
+        !self.hints.is_empty() && self.hints.get(&block).is_some_and(|s| s.accessed_by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_answers_false_everywhere() {
+        let t = HintTable::new();
+        assert!(t.is_empty());
+        assert!(t.no_read_mostly());
+        assert!(!t.is_read_mostly(BlockNum::new(1)));
+        assert!(!t.is_preferred(BlockNum::new(1)));
+        assert!(!t.is_accessed_by(BlockNum::new(1)));
+    }
+
+    #[test]
+    fn advise_sets_flags_and_counts_once() {
+        let mut t = HintTable::new();
+        assert!(t.advise(BlockNum::new(3), Advice::ReadMostly));
+        assert!(!t.advise(BlockNum::new(3), Advice::ReadMostly));
+        assert!(t.advise(BlockNum::new(3), Advice::AccessedBy));
+        assert!(t.is_read_mostly(BlockNum::new(3)));
+        assert!(t.is_accessed_by(BlockNum::new(3)));
+        assert!(!t.is_preferred(BlockNum::new(3)));
+        assert_eq!(t.applied_read_mostly, 1);
+        assert_eq!(t.applied_accessed_by, 1);
+        assert!(!t.no_read_mostly());
+    }
+
+    #[test]
+    fn write_collapse_drops_read_mostly_only() {
+        let mut t = HintTable::new();
+        t.advise(BlockNum::new(5), Advice::ReadMostly);
+        t.advise(BlockNum::new(5), Advice::PreferredLocation);
+        assert!(t.collapse_read_mostly(BlockNum::new(5)));
+        assert!(!t.collapse_read_mostly(BlockNum::new(5)));
+        assert!(!t.is_read_mostly(BlockNum::new(5)));
+        assert!(t.is_preferred(BlockNum::new(5)));
+        assert!(t.no_read_mostly());
+        assert_eq!(t.collapsed, 1);
+    }
+
+    #[test]
+    fn collapse_of_pure_read_mostly_empties_the_table() {
+        let mut t = HintTable::new();
+        t.advise(BlockNum::new(7), Advice::ReadMostly);
+        assert!(t.collapse_read_mostly(BlockNum::new(7)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_releases_all_flags() {
+        let mut t = HintTable::new();
+        t.advise(BlockNum::new(9), Advice::ReadMostly);
+        t.advise(BlockNum::new(9), Advice::AccessedBy);
+        t.clear(BlockNum::new(9));
+        assert!(t.is_empty());
+        assert!(t.no_read_mostly());
+    }
+}

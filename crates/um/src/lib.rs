@@ -26,6 +26,7 @@
 pub mod block;
 pub mod driver;
 pub mod evict;
+pub mod hints;
 pub mod pressure;
 pub mod snapshot;
 pub mod space;
@@ -34,6 +35,7 @@ pub mod tenancy;
 pub use block::BlockState;
 pub use driver::{EvictCost, MigratePath, UmDriver};
 pub use evict::SharedBlockSet;
+pub use hints::{Advice, HintTable};
 pub use pressure::{PressureConfig, PressureGovernor};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use space::{UmAllocError, UmSpace};

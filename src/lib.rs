@@ -28,7 +28,10 @@
 //!   timestamps, ring/export sinks, JSONL + Chrome `trace_event`
 //!   export);
 //! * [`sched`] — multi-tenant UM scheduler: tenant fault isolation,
-//!   fair-share eviction under pressure, and admission control.
+//!   fair-share eviction under pressure, and admission control;
+//! * [`serve`] — SLO-aware inference serving: virtual-time deadlines,
+//!   a hysteresis degradation ladder (prefetch shedding → demand-only
+//!   → request shedding), and `cudaMemAdvise`-modeled placement hints.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use deepum_gpu as gpu;
 pub use deepum_mem as mem;
 pub use deepum_runtime as runtime;
 pub use deepum_sched as sched;
+pub use deepum_serve as serve;
 pub use deepum_sim as sim;
 pub use deepum_torch as torch;
 pub use deepum_trace as trace;

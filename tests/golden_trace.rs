@@ -359,6 +359,96 @@ fn golden_chaos_recovery() {
     }
 }
 
+/// Runs the canonical serving-overload scenario and returns the
+/// endpoint's JSONL stream: one endpoint with a deadline tight enough
+/// that the burst overloads it, a soft-fault storm on the request path,
+/// and the default ladder defending it — so the trace pins every
+/// serving event kind, from arrival through escalation to typed sheds.
+fn run_serving_traced() -> String {
+    use deepum::serve::{EndpointSpec, LadderConfig, LoadCurve, ServeSim, ServeSpec};
+    use deepum::sim::time::Ns;
+
+    let costs = CostModel::v100_32gb()
+        .with_device_memory(24 << 20)
+        .with_host_memory(1 << 30);
+    let spec = ServeSpec::new()
+        .endpoint(
+            EndpointSpec::new("chat")
+                .weights(8 << 20)
+                .layers(4)
+                .kv_per_token(128 << 10)
+                .tokens(4, 8)
+                .deadline(Ns::from_nanos(150_000)),
+        )
+        .cycles(12)
+        .load(LoadCurve::new(3).period(8).burst(2, 10, 2))
+        .seed(0x601d)
+        .plan(InjectionPlan {
+            seed: 0xF00D,
+            request_fail_rate: 0.25,
+            max_retries: 2,
+            ..InjectionPlan::default()
+        })
+        .ladder(Some(LadderConfig::default()))
+        .traced();
+    let outcome = ServeSim::new(costs, PerfModel::v100(), spec).run();
+    outcome.validation.expect("shared driver invariants hold");
+    assert!(outcome.errors.is_empty(), "errors: {:?}", outcome.errors);
+    let mut streams = outcome.tracers;
+    streams.sort_by_key(|(tid, _)| *tid);
+    streams
+        .iter()
+        .map(|(_, tr)| tr.borrow_mut().jsonl())
+        .collect()
+}
+
+#[test]
+fn golden_serving_overload() {
+    let a = run_serving_traced();
+    let b = run_serving_traced();
+    assert_eq!(a, b, "serving trace must replay byte-identical");
+    assert!(!a.is_empty());
+    let records = deepum::trace::export::parse_jsonl(&a).expect("golden trace parses");
+    assert_eq!(records.len(), a.lines().count());
+
+    let path = golden_path("serving_overload.jsonl");
+    if std::env::var(BLESS_ENV).is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &a).expect("write golden");
+    } else {
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "read {}: {e}; regenerate with {BLESS_ENV}=1 cargo test --test golden_trace",
+                path.display()
+            )
+        });
+        assert_eq!(
+            a, golden,
+            "serving_overload.jsonl: trace diverged from the golden copy; \
+             if the change is intentional, re-bless with {BLESS_ENV}=1 \
+             cargo test --test golden_trace"
+        );
+    }
+
+    // The golden copy must exercise every serving event kind; a
+    // regression that silences one should fail loudly here, not just
+    // shrink the file.
+    let golden = std::fs::read_to_string(golden_path("serving_overload.jsonl")).expect("golden");
+    for kind in [
+        "RequestArrived",
+        "RequestCompleted",
+        "DeadlineMissed",
+        "RequestShed",
+        "DegradationTransition",
+        "HintApplied",
+    ] {
+        assert!(
+            golden.contains(kind),
+            "serving_overload.jsonl must contain a {kind} event"
+        );
+    }
+}
+
 #[test]
 fn golden_eviction_pressure() {
     // Full DeepUM on a device holding ~half the working set: every

@@ -252,3 +252,135 @@ proptest! {
         prop_assert!(miss.count() <= 512);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The degradation ladder is monotone: it escalates one level per
+    /// observation and only while overloaded (miss-EWMA at or above the
+    /// threshold, or the governor elevated), and de-escalates one level
+    /// only after a full hysteresis window of consecutive clean
+    /// observations.
+    #[test]
+    fn ladder_is_monotone_under_arbitrary_observations(
+        threshold in 1u64..80,
+        hysteresis in 1u64..6,
+        obs in prop::collection::vec((0u64..20, 0u64..20, prop::bool::ANY), 1..64),
+    ) {
+        use deepum::serve::{DegradationLadder, LadderConfig};
+        use deepum::trace::ServeLevel;
+
+        let cfg = LadderConfig {
+            miss_pct_threshold: threshold,
+            hysteresis_cycles: hysteresis,
+            ..LadderConfig::default()
+        };
+        let mut ladder = DegradationLadder::new(cfg);
+        // Severity rung, for the one-level-at-a-time checks.
+        let rung = |l: ServeLevel| match l {
+            ServeLevel::Full => 0u8,
+            ServeLevel::ReducedWindow => 1,
+            ServeLevel::DemandOnly => 2,
+            ServeLevel::Shed => 3,
+        };
+        // Shadow clean-streak counter, mirroring the documented rule.
+        let mut clean_streak = 0u64;
+        let mut ups = 0u64;
+        let mut downs = 0u64;
+        for (misses, extra, pressured) in obs {
+            let requests = misses + extra;
+            let transition = ladder.observe_cycle(misses, requests, pressured);
+            // Post-update overload signal, exactly what the breaker acts on.
+            let overloaded = ladder.miss_ewma_pct() >= threshold || pressured;
+            if overloaded {
+                clean_streak = 0;
+            } else {
+                clean_streak += 1;
+            }
+            match transition {
+                Some((from, to)) if to > from => {
+                    ups += 1;
+                    // Escalation only while overloaded, one level at a time.
+                    prop_assert!(overloaded);
+                    prop_assert_eq!(rung(to), rung(from) + 1);
+                }
+                Some((from, to)) => {
+                    downs += 1;
+                    // De-escalation only off the back of a full clean window.
+                    prop_assert!(!overloaded);
+                    prop_assert!(clean_streak >= hysteresis);
+                    prop_assert_eq!(rung(from), rung(to) + 1);
+                    clean_streak = 0;
+                }
+                None => {}
+            }
+            // The level is always a real rung and `worst` never trails it.
+            prop_assert!(ladder.level() >= ServeLevel::Full);
+            prop_assert!(ladder.level() <= ServeLevel::Shed);
+            prop_assert!(ladder.worst >= ladder.level() || ladder.deescalations > 0);
+        }
+        prop_assert_eq!(ladder.escalations, ups);
+        prop_assert_eq!(ladder.deescalations, downs);
+    }
+
+    /// Every request that arrives at a serving run terminates exactly
+    /// once: as an on-time completion, a deadline miss, or a typed
+    /// shed — never silently dropped, regardless of load, deadline
+    /// tightness, or injected soft faults.
+    #[test]
+    fn every_arrived_request_terminates(
+        endpoints in 1usize..4,
+        base_rps in 1u64..6,
+        deadline_us in 20u64..2_000,
+        fail_pct in 0u64..30,
+        device_mb in 24u64..64,
+        seed in 0u64..1_000,
+    ) {
+        use deepum::serve::{EndpointSpec, LadderConfig, LoadCurve, ServeSim, ServeSpec};
+        use deepum::sim::time::Ns;
+        use deepum::InjectionPlan;
+        use deepum::torch::perf::PerfModel;
+
+        let mut spec = ServeSpec::new()
+            .cycles(10)
+            .load(LoadCurve::new(base_rps).period(5).burst(3, 7, 2))
+            .seed(seed)
+            .plan(InjectionPlan {
+                seed: seed ^ 0xF00D,
+                request_fail_rate: fail_pct as f64 / 100.0,
+                max_retries: 2,
+                ..InjectionPlan::default()
+            })
+            .ladder(Some(LadderConfig::default()));
+        for idx in 0..endpoints {
+            spec = spec.endpoint(
+                EndpointSpec::new(format!("ep-{idx}"))
+                    .weights(8 << 20)
+                    .layers(3)
+                    .kv_per_token(64 << 10)
+                    .tokens(2, 8)
+                    .deadline(Ns::from_nanos(deadline_us * 1_000)),
+            );
+        }
+        let costs = CostModel::v100_32gb()
+            .with_device_memory(device_mb << 20)
+            .with_host_memory(1 << 30);
+        let outcome = ServeSim::new(costs, PerfModel::v100(), spec).run();
+
+        prop_assert!(outcome.validation.is_ok(), "{:?}", outcome.validation);
+        prop_assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+        let serving = outcome.report.serving.as_ref();
+        prop_assert!(serving.is_some());
+        if let Some(s) = serving {
+            for ep in &s.endpoints {
+                // Terminates exactly once, at both bookkeeping levels.
+                prop_assert_eq!(ep.completed + ep.shed, ep.requests, "{}", ep.name);
+                prop_assert_eq!(ep.on_time + ep.missed, ep.completed, "{}", ep.name);
+            }
+            let requests: u64 = s.endpoints.iter().map(|e| e.requests).sum();
+            let completed: u64 = s.endpoints.iter().map(|e| e.completed).sum();
+            prop_assert_eq!(requests, s.total_requests);
+            prop_assert_eq!(completed + s.total_shed, s.total_requests);
+        }
+    }
+}
