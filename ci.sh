@@ -6,9 +6,14 @@
 #   --soak      run the deepum-chaos crash-recovery soak (fixed seed
 #               grid, wall-clock budgeted) plus the governed
 #               oversubscription sweep, the multi-tenant scheduler
-#               sweep, and the inference-serving sweep. Off by default:
+#               sweep, the inference-serving sweep, and the
+#               serial-vs-parallel determinism sweep. Off by default:
 #               tier-1 stays fast.
-#   --bench     run deepum_mtbench and emit BENCH_multitenant.json
+#   --bench     run the full deepum_suite grid (serial + parallel with
+#               byte-identity asserted, gated against
+#               ci/bench-baseline.json for per-cell hash drift and
+#               >25% wall-clock regressions) emitting BENCH_suite.json,
+#               then deepum_mtbench emitting BENCH_multitenant.json
 #               (simulated-kernels/sec and wall-clock, solo vs 2/4/8
 #               tenants) plus BENCH_serving.json (requests/sec and
 #               simulated-kernels/sec at 1/2/4 endpoints) in the
@@ -68,9 +73,15 @@ if [ "$SOAK" -eq 1 ]; then
     cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
       --serve "$rps" --seeds 8 --budget-secs 120
   done
+  echo "== parallel determinism soak =="
+  cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
+    --parallel --seeds 16 --budget-secs 120 --iters 2
 fi
 
 if [ "$BENCH" -eq 1 ]; then
+  echo "== suite bench =="
+  cargo run -q --locked --release -p deepum-bench --bin deepum_suite -- \
+    --baseline ci/bench-baseline.json --out BENCH_suite.json
   echo "== multi-tenant bench =="
   cargo run -q --locked --release -p deepum-bench --bin deepum_mtbench
   echo "== inference-serving bench =="

@@ -13,9 +13,18 @@
 //!   must still complete every iteration and report the poisonings.
 //!
 //! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]
-//! [--oversub PCT] [--tenants N] [--serve RPS]`. The wall-clock budget
-//! stops the sweep early without failing it, so a fixed seed grid can
-//! run under CI time limits (`./ci.sh --soak`).
+//! [--oversub PCT] [--tenants N] [--serve RPS] [--parallel]`. The
+//! wall-clock budget stops the sweep early without failing it, so a
+//! fixed seed grid can run under CI time limits (`./ci.sh --soak`).
+//!
+//! With `--parallel` the harness runs the determinism sweep: every
+//! (seed, system) cell of the default chaos grid executes once on the
+//! current thread and once on the rayon pool, and the two outcomes must
+//! match byte-for-byte — a completed report reproduces its JSON
+//! exactly, a typed [`RunError`] reproduces its message exactly, and a
+//! panic in either pass fails the seed. This is the soak-shaped twin of
+//! the bench suite's serial-vs-parallel assertion: thread scheduling
+//! must never leak into simulated results.
 //!
 //! With `--oversub PCT` the harness switches to an oversubscription
 //! sweep: the device is sized to `peak_bytes * 100 / PCT` (so 250 means
@@ -47,6 +56,7 @@ use std::time::Instant;
 
 use deepum_baselines::report::{RunError, RunReport};
 use deepum_baselines::suite::{run_system, RunParams, System};
+use deepum_bench::suite::map_parallel;
 use deepum_core::config::DeepumConfig;
 use deepum_sched::scheduler::MultiTenant;
 use deepum_sched::spec::{seeded_arrivals, JobKind, TenantSpec};
@@ -71,6 +81,9 @@ struct ChaosOpts {
     /// Base requests per cycle; `Some` switches to the inference-serving
     /// soak.
     serve: Option<u64>,
+    /// Run the serial-vs-parallel determinism sweep instead of the
+    /// crash-recovery convergence sweep.
+    parallel: bool,
 }
 
 fn parse_opts() -> ChaosOpts {
@@ -81,6 +94,7 @@ fn parse_opts() -> ChaosOpts {
         oversub: None,
         tenants: None,
         serve: None,
+        parallel: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,10 +131,12 @@ fn parse_opts() -> ChaosOpts {
                 );
                 opts.serve = Some(rps);
             }
+            "--parallel" => opts.parallel = true,
             other => {
                 panic!(
                     "unknown option {other} \
-                     (try --seeds, --budget-secs, --iters, --oversub, --tenants, --serve)"
+                     (try --seeds, --budget-secs, --iters, --oversub, --tenants, --serve, \
+                     --parallel)"
                 )
             }
         }
@@ -184,6 +200,83 @@ fn soak_run(
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "panic with non-string payload".to_string())
     })
+}
+
+/// Flattens a soak outcome into comparable bytes: a completed run is
+/// its report JSON, a typed error is its message, a panic is tagged so
+/// it can never compare equal to a healthy outcome by accident.
+fn outcome_bytes(outcome: &Result<Result<RunReport, RunError>, String>) -> String {
+    match outcome {
+        Ok(Ok(report)) => {
+            serde_json::to_string(report).unwrap_or_else(|e| format!("<serialize error: {e}>"))
+        }
+        Ok(Err(e)) => format!("ERR: {e}"),
+        Err(msg) => format!("PANIC: {msg}"),
+    }
+}
+
+/// Serial-vs-parallel determinism sweep over the default chaos grid.
+///
+/// Each (seed, system) cell carries that seed's hard-fault schedule
+/// (ECC included — divergence-from-clean is not at issue here, only
+/// reproducibility). The cell runs once inline and once under
+/// `map_parallel` on the rayon pool; the flattened outcomes must match
+/// byte-for-byte, panics are failures in either pass, and any other
+/// outcome must be a completed report or a typed [`RunError`].
+fn parallel_sweep(opts: &ChaosOpts) -> (u64, u64) {
+    let workload = ModelKind::MobileNet.build(48);
+    let started = Instant::now();
+    let mut failures = 0u64;
+
+    let mut cells: Vec<(u64, System)> = Vec::new();
+    for seed in 0..opts.seeds {
+        if started.elapsed().as_secs() >= opts.budget_secs {
+            println!(
+                "[budget] wall-clock budget of {}s reached after {} seeds; stopping early",
+                opts.budget_secs, seed
+            );
+            break;
+        }
+        cells.push((seed, System::Um));
+        cells.push((seed, System::deepum()));
+    }
+    println!("[parallel] {} cells, serial pass first", cells.len());
+
+    let run_cell = |&(seed, ref system): &(u64, System)| {
+        outcome_bytes(&soak_run(
+            system,
+            &workload,
+            &params(opts.iters, chaos_plan(seed)),
+        ))
+    };
+    let serial: Vec<String> = cells.iter().map(run_cell).collect();
+    println!(
+        "[parallel] serial pass done in {:.1}s, parallel pass",
+        started.elapsed().as_secs_f64()
+    );
+    let parallel = map_parallel(cells.clone(), |cell| run_cell(&cell));
+
+    for (((seed, system), s), p) in cells.iter().zip(&serial).zip(&parallel) {
+        let label = system.label();
+        if s.starts_with("PANIC:") || p.starts_with("PANIC:") {
+            println!(
+                "  FAIL seed {seed} {label}: {}",
+                if s.starts_with("PANIC:") { s } else { p }
+            );
+            failures += 1;
+        } else if s != p {
+            println!("  FAIL seed {seed} {label}: parallel outcome != serial");
+            failures += 1;
+        } else {
+            let kind = if s.starts_with("ERR:") {
+                "typed error"
+            } else {
+                "report"
+            };
+            println!("  ok   seed {seed} {label}: {kind} reproduced byte-for-byte");
+        }
+    }
+    (cells.len() as u64, failures)
 }
 
 /// Oversubscription sweep: governed DeepUM on a device deliberately too
@@ -566,6 +659,18 @@ fn serve_sweep(opts: &ChaosOpts, rps: u64) -> (u64, u64) {
 
 fn main() {
     let opts = parse_opts();
+    if opts.parallel {
+        let started = Instant::now();
+        let (ran, failures) = parallel_sweep(&opts);
+        println!(
+            "deepum-chaos --parallel: {ran} runs, {failures} failures, {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     if let Some(rps) = opts.serve {
         let started = Instant::now();
         let (ran, failures) = serve_sweep(&opts, rps);

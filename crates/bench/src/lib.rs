@@ -35,6 +35,7 @@ pub mod cache;
 pub mod experiments;
 pub mod grids;
 pub mod opts;
+pub mod suite;
 pub mod systems;
 pub mod table;
 

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 use deepum_gpu::engine::{BackendError, PressureStats, UmBackend};
 use deepum_gpu::fault::FaultEntry;
 use deepum_gpu::kernel::KernelLaunch;
-use deepum_mem::{BlockNum, ByteRange, PageMask, PAGES_PER_BLOCK};
+use deepum_mem::{BlockNum, ByteRange, DenseBlockSet, PageMask, PAGES_PER_BLOCK};
 use deepum_runtime::exec_table::ExecId;
 use deepum_runtime::interpose::LaunchObserver;
 use deepum_sim::costs::CostModel;
@@ -32,10 +32,11 @@ use deepum_sim::faultinject::{BackendHealth, DegradationState, SharedInjector};
 use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use deepum_trace::{InjectKind, PressureLevel, SharedTracer, TraceEvent, WatchdogMode};
-use deepum_um::driver::{group_faults, UmDriver};
+use deepum_um::driver::UmDriver;
 use deepum_um::evict::SharedBlockSet;
 use deepum_um::hints::Advice;
 use deepum_um::pressure::PressureConfig;
+use deepum_um::scratch::group_faults_into;
 
 use crate::chain::{ChainStep, ChainWalk};
 use crate::config::DeepumConfig;
@@ -97,7 +98,10 @@ pub struct DeepumDriver {
     /// Blocks currently sitting in the prefetch queue; chain restarts
     /// re-discover the same blocks, and duplicate commands would starve
     /// the far look-ahead out of the bounded queue.
-    pub(crate) enqueued: std::collections::BTreeSet<BlockNum>,
+    pub(crate) enqueued: DenseBlockSet,
+    /// Reused per-drain fault-group buffer (block, pages); contents are
+    /// meaningless between drains, only the capacity persists.
+    pub(crate) fault_groups: Vec<(BlockNum, PageMask)>,
     pub(crate) protected: SharedBlockSet,
     pub(crate) predicted_window: VecDeque<(u64, BlockNum)>,
     pub(crate) kernel_seq: u64,
@@ -190,7 +194,8 @@ impl DeepumDriver {
             pending_prediction: None,
             chain: None,
             prefetch_q,
-            enqueued: std::collections::BTreeSet::new(),
+            enqueued: DenseBlockSet::new(),
+            fault_groups: Vec::new(),
             protected,
             predicted_window: VecDeque::new(),
             kernel_seq: 0,
@@ -446,7 +451,7 @@ impl DeepumDriver {
                     }
                     self.predicted_window.push_back((expires, cmd.block));
                     self.protected.insert(cmd.block);
-                    if self.enqueued.contains(&cmd.block) {
+                    if self.enqueued.contains(cmd.block) {
                         continue;
                     }
                     let footprint = self.footprints.get(cmd.block);
@@ -485,7 +490,7 @@ impl DeepumDriver {
     /// DMA engines and, as the paper notes, "does not incur significant
     /// [...] performance overhead"; it is not charged to either channel.
     fn process_prefetch(&mut self, now: Ns, cmd: PrefetchCommand) -> (Ns, Ns) {
-        self.enqueued.remove(&cmd.block);
+        self.enqueued.remove(cmd.block);
         let mask = self.footprints.get(cmd.block);
         if mask.is_empty() {
             return (self.costs.prefetch_cmd_cost, Ns::ZERO);
@@ -716,7 +721,8 @@ impl UmBackend for DeepumDriver {
 
     fn handle_faults(&mut self, now: Ns, faults: &[FaultEntry]) -> Result<Ns, BackendError> {
         self.trace_now = now;
-        let groups = group_faults(faults);
+        let mut groups = std::mem::take(&mut self.fault_groups);
+        group_faults_into(faults, &mut groups);
 
         // Injected uncorrectable ECC: the sampled victim is one of this
         // drain's faulted blocks, whose table row is being written right
@@ -752,6 +758,8 @@ impl UmBackend for DeepumDriver {
         // block-successor pairs from the fault stream. Poisoned tables
         // stay dead — learning into them would fake integrity.
         if self.poisoned {
+            groups.clear();
+            self.fault_groups = groups;
             return self.um.handle_faults(now, faults);
         }
         if let Some(cur) = self.current_exec {
@@ -816,6 +824,8 @@ impl UmBackend for DeepumDriver {
 
         // Fault handling thread: the fault queue has the highest
         // priority; hand the batch to the NVIDIA pipeline synchronously.
+        groups.clear();
+        self.fault_groups = groups;
         self.um.handle_faults(now, faults)
     }
 

@@ -189,7 +189,7 @@ pub fn snapshot_deepum(d: &DeepumDriver) -> Vec<u8> {
     }
     d.prefetch_q.encode_into(&mut w);
     w.u64(deepum_mem::u64_from_usize(d.enqueued.len()));
-    for &b in &d.enqueued {
+    for b in d.enqueued.iter() {
         w.block(b);
     }
     let protected = d.protected.to_vec();
@@ -260,7 +260,7 @@ pub fn restore_deepum(d: &mut DeepumDriver, bytes: &[u8]) -> Result<(), Snapshot
         None
     };
     let prefetch_q: SpscQueue<PrefetchCommand> = SpscQueue::decode_from(&mut r)?;
-    let mut enqueued = std::collections::BTreeSet::new();
+    let mut enqueued = deepum_mem::DenseBlockSet::new();
     for _ in 0..r.len_prefix(8)? {
         enqueued.insert(r.block()?);
     }

@@ -8,7 +8,8 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::PAGES_PER_BLOCK;
+use crate::addr::BlockNum;
+use crate::{u64_from_usize, PAGES_PER_BLOCK};
 
 const WORDS: usize = PAGES_PER_BLOCK / 64;
 
@@ -176,6 +177,23 @@ impl PageMask {
         }
     }
 
+    /// True if `self` and `other` share at least one set bit — the
+    /// allocation-free form of `!a.intersect(&b).is_empty()`.
+    #[inline]
+    pub fn intersects(&self, other: &PageMask) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every bit set in `self` is also set in `other` — the
+    /// allocation-free form of `a.subtract(&b).is_empty()`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &PageMask) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
     /// The raw backing words, least-significant page first. Paired with
     /// [`PageMask::from_words`] for binary snapshot encoding.
     #[inline]
@@ -238,6 +256,195 @@ impl Iterator for IterOnes<'_> {
             }
             self.bits = self.mask.words[self.word];
         }
+    }
+}
+
+/// Blocks per tenant VA stripe: stripes are 2^40 bytes apart, so their
+/// block indices differ in bits 19 and above (2^40 / 2 MiB = 2^19).
+/// Shared with the stripe-keyed block table in `deepum-um`.
+pub const STRIPE_BLOCK_SHIFT: u32 = 19;
+/// Mask selecting a block's offset within its VA stripe.
+pub const STRIPE_BLOCK_MASK: u64 = (1 << STRIPE_BLOCK_SHIFT) - 1;
+
+/// A dense, growable set of [`BlockNum`]s, keyed by VA stripe.
+///
+/// Block indices are *almost* dense: within a tenant's VA stripe the
+/// allocator hands out blocks from a small bump range, but stripes sit
+/// 2^40 bytes apart, so a single flat bitset over raw indices would be
+/// astronomically sparse. `DenseBlockSet` keeps one lazily grown bitset
+/// per touched stripe (a sorted, tiny list — one entry per tenant) and
+/// offers O(1) insert/remove/contains with ascending iteration, making
+/// it a drop-in replacement for the `BTreeSet<BlockNum>`s on the
+/// migration and eviction hot paths.
+#[derive(Debug, Default, Clone)]
+pub struct DenseBlockSet {
+    /// Per-stripe bitsets, sorted by stripe id.
+    stripes: Vec<StripeBits>,
+    /// Total set bits across all stripes.
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StripeBits {
+    id: u64,
+    words: Vec<u64>,
+}
+
+impl StripeBits {
+    /// Splits a within-stripe block offset into (word index, bit mask).
+    #[inline]
+    fn slot(offset: u64) -> (usize, u64) {
+        let word = usize::try_from(offset >> 6).unwrap_or(usize::MAX);
+        (word, 1u64 << (offset & 63))
+    }
+}
+
+impl DenseBlockSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DenseBlockSet::default()
+    }
+
+    #[inline]
+    fn split(block: BlockNum) -> (u64, u64) {
+        let idx = block.index();
+        (idx >> STRIPE_BLOCK_SHIFT, idx & STRIPE_BLOCK_MASK)
+    }
+
+    #[inline]
+    fn stripe(&self, id: u64) -> Option<&StripeBits> {
+        match self.stripes.binary_search_by_key(&id, |s| s.id) {
+            Ok(i) => Some(&self.stripes[i]),
+            Err(_) => None,
+        }
+    }
+
+    #[inline]
+    fn stripe_mut(&mut self, id: u64) -> &mut StripeBits {
+        let i = match self.stripes.binary_search_by_key(&id, |s| s.id) {
+            Ok(i) => i,
+            Err(i) => {
+                self.stripes.insert(
+                    i,
+                    StripeBits {
+                        id,
+                        words: Vec::new(),
+                    },
+                );
+                i
+            }
+        };
+        &mut self.stripes[i]
+    }
+
+    /// Inserts `block`; true if it was not already present.
+    pub fn insert(&mut self, block: BlockNum) -> bool {
+        let (id, offset) = Self::split(block);
+        let (word, bit) = StripeBits::slot(offset);
+        let stripe = self.stripe_mut(id);
+        if stripe.words.len() <= word {
+            stripe.words.resize(word + 1, 0);
+        }
+        let fresh = stripe.words[word] & bit == 0;
+        stripe.words[word] |= bit;
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes `block`; true if it was present.
+    pub fn remove(&mut self, block: BlockNum) -> bool {
+        let (id, offset) = Self::split(block);
+        let (word, bit) = StripeBits::slot(offset);
+        let Ok(i) = self.stripes.binary_search_by_key(&id, |s| s.id) else {
+            return false;
+        };
+        let words = &mut self.stripes[i].words;
+        if word >= words.len() || words[word] & bit == 0 {
+            return false;
+        }
+        words[word] &= !bit;
+        self.len -= 1;
+        true
+    }
+
+    /// True if `block` is in the set.
+    #[inline]
+    pub fn contains(&self, block: BlockNum) -> bool {
+        let (id, offset) = Self::split(block);
+        let (word, bit) = StripeBits::slot(offset);
+        self.stripe(id)
+            .and_then(|s| s.words.get(word))
+            .is_some_and(|w| w & bit != 0)
+    }
+
+    /// Removes every block, keeping the word storage for reuse.
+    pub fn clear(&mut self) {
+        for stripe in &mut self.stripes {
+            stripe.words.iter_mut().for_each(|w| *w = 0);
+        }
+        self.len = 0;
+    }
+
+    /// Number of blocks in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no block is in the set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterator over the blocks in ascending [`BlockNum`] order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockNum> + '_ {
+        self.stripes.iter().flat_map(|stripe| {
+            let base = stripe.id << STRIPE_BLOCK_SHIFT;
+            stripe
+                .words
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| **w != 0)
+                .flat_map(move |(wi, w)| {
+                    let word_base = base + (u64_from_usize(wi) << 6);
+                    BitIndices(*w).map(move |bit| BlockNum::new(word_base + bit))
+                })
+        })
+    }
+
+    /// The blocks in ascending order, collected.
+    pub fn to_vec(&self) -> Vec<BlockNum> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<BlockNum> for DenseBlockSet {
+    fn from_iter<I: IntoIterator<Item = BlockNum>>(iter: I) -> Self {
+        let mut set = DenseBlockSet::new();
+        for block in iter {
+            set.insert(block);
+        }
+        set
+    }
+}
+
+/// Iterator over the set-bit positions of one `u64`, ascending.
+#[derive(Debug, Clone)]
+struct BitIndices(u64);
+
+impl Iterator for BitIndices {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.0 == 0 {
+            return None;
+        }
+        let tz = u64::from(self.0.trailing_zeros());
+        self.0 &= self.0 - 1;
+        Some(tz)
     }
 }
 
@@ -324,5 +531,59 @@ mod tests {
     #[test]
     fn debug_shows_count() {
         assert_eq!(format!("{:?}", PageMask::first_n(3)), "PageMask(3 set)");
+    }
+
+    #[test]
+    fn intersects_and_subset_match_the_algebra() {
+        let a = PageMask::from_range(0..100);
+        let b = PageMask::from_range(50..150);
+        let c = PageMask::from_range(200..300);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!PageMask::empty().intersects(&PageMask::full()));
+        assert!(PageMask::from_range(10..20).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+        assert!(PageMask::empty().is_subset_of(&PageMask::empty()));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn dense_set_insert_remove_contains() {
+        let mut s = DenseBlockSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(BlockNum::new(3)));
+        assert!(!s.insert(BlockNum::new(3)));
+        assert!(s.insert(BlockNum::new(4096)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(BlockNum::new(3)));
+        assert!(!s.contains(BlockNum::new(2)));
+        assert!(s.remove(BlockNum::new(3)));
+        assert!(!s.remove(BlockNum::new(3)));
+        assert!(!s.remove(BlockNum::new(999_999)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn dense_set_iterates_ascending_across_stripes() {
+        // Stripe 1 starts at block 2^19; insert out of order across the
+        // stripe boundary and within one stripe.
+        let blocks = [1u64 << 19, 5, (1 << 19) + 70, 63, 64, 0];
+        let s: DenseBlockSet = blocks.iter().map(|&b| BlockNum::new(b)).collect();
+        let got: Vec<u64> = s.iter().map(BlockNum::index).collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 1 << 19, (1 << 19) + 70]);
+        assert_eq!(s.to_vec().len(), s.len());
+    }
+
+    #[test]
+    fn dense_set_clear_keeps_working() {
+        let mut s = DenseBlockSet::new();
+        for i in 0..200 {
+            s.insert(BlockNum::new(i * 7));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.insert(BlockNum::new(42)));
+        assert_eq!(s.to_vec(), vec![BlockNum::new(42)]);
     }
 }

@@ -30,7 +30,7 @@ pub mod bitmap;
 pub mod range;
 
 pub use addr::{BlockNum, PageNum, UmAddr};
-pub use bitmap::PageMask;
+pub use bitmap::{DenseBlockSet, PageMask};
 pub use range::{BlockRange, ByteRange, PageRange};
 
 /// Size of a UM page in bytes (4 KiB).

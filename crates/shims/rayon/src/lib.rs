@@ -1,0 +1,192 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of rayon the workspace uses: `vec.into_par_iter().map(f)
+//! .collect::<Vec<_>>()` over a pool of scoped worker threads. Results
+//! are returned in the input's index order regardless of which worker
+//! finished first, so parallel execution is observationally identical to
+//! the serial `vec.into_iter().map(f).collect()` whenever `f` is pure —
+//! exactly the contract the bench drivers assert.
+//!
+//! Differences from the real crate:
+//!
+//! * Only `IntoParallelIterator` for `Vec<T>`, `map`, and `collect` are
+//!   provided (plus [`current_num_threads`]).
+//! * Work distribution is a shared LIFO queue, not work stealing; for
+//!   the coarse-grained cells the bench drivers run, queue contention is
+//!   negligible.
+//! * A panic in the closure propagates out of `collect` via scoped-join,
+//!   as in rayon, but without rayon's panic-payload aggregation.
+
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel `collect` will use: the
+/// `RAYON_NUM_THREADS` override if set, otherwise the host's available
+/// parallelism, floored at two so single-core machines still exercise
+/// real cross-thread interleaving.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
+        })
+}
+
+/// Everything parallel-iterator call sites need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (the `Vec<T>` slice of rayon's
+/// trait of the same name).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A parallel iterator: a recipe that can be driven to a `Vec` of
+/// results in input order.
+pub trait ParallelIterator: Sized {
+    /// Element type this iterator yields.
+    type Item: Send;
+
+    /// Runs the recipe and returns every element, in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` (applied on worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Drives the iterator and collects the results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over the elements of a `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        // No closure to run yet; the elements are already materialized.
+        self.items
+    }
+}
+
+/// A mapped parallel iterator (the stage that actually fans out).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        par_apply(self.base.drive(), &self.f)
+    }
+}
+
+/// Applies `f` to every item on a pool of scoped threads, returning
+/// results in input order.
+fn par_apply<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Shared LIFO work queue, reversed so workers pop in input order.
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = work.lock().expect("work queue lock poisoned").pop();
+                let Some((idx, item)) = next else {
+                    break;
+                };
+                let out = f(item);
+                done.lock().expect("result lock poisoned").push((idx, out));
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("result lock poisoned");
+    out.sort_by_key(|&(idx, _)| idx);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map_exactly() {
+        let v: Vec<u64> = (0..257).rev().collect();
+        let serial: Vec<String> = v.iter().map(|x| format!("{x:04}")).collect();
+        let parallel: Vec<String> = v.into_par_iter().map(|x| format!("{x:04}")).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn at_least_two_threads_by_default() {
+        assert!(super::current_num_threads() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let v: Vec<u32> = (0..16).collect();
+        let _: Vec<u32> = v
+            .into_par_iter()
+            .map(|x| if x == 9 { panic!("boom") } else { x })
+            .collect();
+    }
+}

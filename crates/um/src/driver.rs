@@ -14,8 +14,6 @@
 //! * [`UmDriver::mark_invalidatable`] — pages of inactive PT blocks that
 //!   may be dropped without write-back (Section 5.2).
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use deepum_gpu::engine::{BackendError, PressureStats};
 use deepum_gpu::fault::{AccessKind, FaultEntry};
 use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, TenantId, PAGE_BYTES};
@@ -25,12 +23,11 @@ use deepum_sim::metrics::Counters;
 use deepum_sim::time::Ns;
 use deepum_trace::{EvictReason, InjectKind, PressureLevel, SharedTracer, TraceEvent};
 
-use crate::block::BlockState;
-use crate::evict::{
-    demand_candidates, victim_scan_order, LruMigrated, SharedBlockSet, VictimPolicy,
-};
+use crate::evict::{victim_scan, LruMigrated, SharedBlockSet, VictimPolicy};
 use crate::hints::{Advice, HintTable};
 use crate::pressure::{PressureConfig, PressureGovernor};
+use crate::scratch::{group_faults_into, DrainScratch};
+use crate::table::BlockTable;
 use crate::tenancy::{charge_order, Tenancy, TenantLedger};
 
 /// Which path a host→device migration took; determines counter
@@ -90,9 +87,11 @@ pub struct UmDriver {
     costs: CostModel,
     pub(crate) capacity_pages: u64,
     pub(crate) resident_pages: u64,
-    pub(crate) blocks: BTreeMap<BlockNum, BlockState>,
+    pub(crate) blocks: BlockTable,
     pub(crate) lru: LruMigrated,
-    protected: SharedBlockSet,
+    /// Reusable buffers for the fault-drain and eviction hot paths.
+    scratch: DrainScratch,
+    pub(crate) protected: SharedBlockSet,
     pub(crate) counters: Counters,
     injector: Option<SharedInjector>,
     tracer: Option<SharedTracer>,
@@ -123,8 +122,9 @@ impl UmDriver {
             costs,
             capacity_pages,
             resident_pages: 0,
-            blocks: BTreeMap::new(),
+            blocks: BlockTable::new(),
             lru: LruMigrated::new(),
+            scratch: DrainScratch::default(),
             protected: SharedBlockSet::new(),
             counters: Counters::new(),
             injector: None,
@@ -235,7 +235,7 @@ impl UmDriver {
 
     /// Subset of `pages` in `block` not resident on the device.
     pub fn resident_miss(&self, block: BlockNum, pages: &PageMask) -> PageMask {
-        match self.blocks.get(&block) {
+        match self.blocks.get(block) {
             Some(state) => pages.subtract(&state.resident),
             None => *pages,
         }
@@ -245,7 +245,7 @@ impl UmDriver {
     /// only these — cost a PCIe transfer to migrate in; the rest of a
     /// miss is unpopulated and populates on device for free).
     pub fn host_valid(&self, block: BlockNum, pages: &PageMask) -> PageMask {
-        match self.blocks.get(&block) {
+        match self.blocks.get(block) {
             Some(state) => pages.intersect(&state.host_valid),
             None => PageMask::empty(),
         }
@@ -254,7 +254,7 @@ impl UmDriver {
     /// Resident-page mask of `block` (empty if never migrated).
     pub fn resident_mask(&self, block: BlockNum) -> PageMask {
         self.blocks
-            .get(&block)
+            .get(block)
             .map(|s| s.resident)
             .unwrap_or_else(PageMask::empty)
     }
@@ -267,7 +267,7 @@ impl UmDriver {
             // stay pinned until it retires.
             g.pin_inflight(block);
         }
-        if let Some(state) = self.blocks.get_mut(&block) {
+        if let Some(state) = self.blocks.get_mut(block) {
             let hits = state.prefetched_untouched.intersect(pages);
             if !hits.is_empty() {
                 state.prefetched_untouched.subtract_with(&hits);
@@ -316,7 +316,7 @@ impl UmDriver {
     /// without write-back when evicted (Section 5.2).
     pub fn mark_invalidatable(&mut self, range: ByteRange, invalid: bool) {
         for (block, mask) in range.block_footprints() {
-            let state = self.blocks.entry(block).or_default();
+            let state = self.blocks.ensure(block);
             if invalid {
                 state.invalidatable.union_with(&mask);
             } else {
@@ -329,9 +329,10 @@ impl UmDriver {
     /// to the system (e.g. a cached PyTorch segment was released), so any
     /// device residency is meaningless and is dropped without write-back.
     pub fn release_range(&mut self, range: ByteRange) {
-        let mut owner_drops: Vec<(TenantId, u64)> = Vec::new();
+        let mut owner_drops = std::mem::take(&mut self.scratch.owner_drops);
+        owner_drops.clear();
         for (block, mask) in range.block_footprints() {
-            if let Some(state) = self.blocks.get_mut(&block) {
+            if let Some(state) = self.blocks.get_mut(block) {
                 let dropped = state.resident.intersect(&mask);
                 if !dropped.is_empty() {
                     let untouched = state.prefetched_untouched.intersect(&dropped);
@@ -360,13 +361,15 @@ impl UmDriver {
         // stays a no-op (and allocation-free) for single-tenant runs.
         if !owner_drops.is_empty() {
             if let Some(t) = self.tenancy.as_mut() {
-                for (tid, n) in owner_drops {
+                for &(tid, n) in &owner_drops {
                     if let Some(l) = t.tenants.get_mut(&tid) {
                         l.resident_pages = l.resident_pages.saturating_sub(n);
                     }
                 }
             }
         }
+        owner_drops.clear();
+        self.scratch.owner_drops = owner_drops;
     }
 
     /// The Figure-3 fault-handling pipeline. Returns the GPU-visible
@@ -404,7 +407,7 @@ impl UmDriver {
                 if f.kind == AccessKind::Write {
                     let block = f.page.block();
                     if self.hints.collapse_read_mostly(block) {
-                        if let Some(state) = self.blocks.get_mut(&block) {
+                        if let Some(state) = self.blocks.get_mut(block) {
                             let stale = state.host_valid.intersect(&state.resident);
                             state.host_valid.subtract_with(&stale);
                         }
@@ -417,14 +420,17 @@ impl UmDriver {
         let mut cost = self.costs.fault_batch_overhead + self.costs.tlb_lock_stall;
         // (2) preprocess: dedup + group by UM block, order preserved.
         cost += self.costs.fault_entry_cost * u64_from_usize(faults.len());
-        let groups = group_faults(faults);
+        let mut groups = std::mem::take(&mut self.scratch.groups);
+        group_faults_into(faults, &mut groups);
         self.counters.faulted_blocks += u64_from_usize(groups.len());
 
         // (3)-(8) per faulted UM block.
-        for (block, mask) in groups {
+        for &(block, ref mask) in &groups {
             cost += self.costs.fault_block_overhead;
-            cost += self.migrate_into_gpu(now, block, &mask, MigratePath::Demand)?;
+            cost += self.migrate_into_gpu(now, block, mask, MigratePath::Demand)?;
         }
+        groups.clear();
+        self.scratch.groups = groups;
         Ok(cost)
     }
 
@@ -492,7 +498,7 @@ impl UmDriver {
         // allocated device-side on first touch (no transfer).
         let transferable = self
             .blocks
-            .get(&block)
+            .get(block)
             .map(|s| missing.intersect(&s.host_valid))
             .unwrap_or_else(PageMask::empty);
         let bytes = transferable.count_u64() * PAGE_BYTES;
@@ -503,6 +509,7 @@ impl UmDriver {
         // while a prefetch is abandoned and left to the demand path.
         let mut dma_retries = 0u64;
         if bytes > 0 {
+            // deepum-tidy: allow(hot-path-alloc) -- Rc handle clone (refcount bump) to release the borrow of self, no heap allocation
             if let Some(handle) = self.injector.clone() {
                 let mut inj = handle.borrow_mut();
                 let max_retries = inj.plan().max_retries;
@@ -567,7 +574,7 @@ impl UmDriver {
         let epoch = self.migrate_epoch;
         let active_owner = self.tenancy.as_ref().and_then(|t| t.active);
         let read_mostly = self.hints.is_read_mostly(block);
-        let state = self.blocks.entry(block).or_default();
+        let state = self.blocks.ensure(block);
         if state.owner.is_none() {
             state.owner = active_owner;
         }
@@ -696,16 +703,20 @@ impl UmDriver {
         if self.tenancy.as_ref().is_some_and(|t| t.active.is_some()) {
             return self.evict_to_free_tenant(now, needed, path, exclude);
         }
-        let mut victims = Vec::new();
+        let mut victims = std::mem::take(&mut self.scratch.victims);
+        victims.clear();
         let mut freed = 0u64;
         // Victim eligibility: protection, in-flight pins, and refault
-        // cooldowns live in one policy shared with `validate()`.
+        // cooldowns live in one policy shared with `validate()`. The
+        // protected set is read-locked once for the whole scan.
+        let protected = self.protected.read();
         let policy = VictimPolicy {
-            protected: &self.protected,
+            protected: &protected,
             governor: self.pressure.as_ref(),
             hints: Some(&self.hints),
         };
-        let mut cooldown_skips: Vec<(BlockNum, u64)> = Vec::new();
+        let mut cooldown_skips = std::mem::take(&mut self.scratch.cooldown_skips);
+        cooldown_skips.clear();
 
         // Injected transient host OOM: the host cannot take write-back
         // pages right now, so victim selection first prefers blocks whose
@@ -729,7 +740,7 @@ impl UmDriver {
                 if Some(block) == exclude || !policy.first_pass_eligible(block) {
                     continue;
                 }
-                let Some(state) = self.blocks.get(&block) else {
+                let Some(state) = self.blocks.get(block) else {
                     return Err(BackendError::MissingBlock(block));
                 };
                 let pages = state.resident.count_u64();
@@ -753,7 +764,7 @@ impl UmDriver {
         // ReadMostly-duplicated blocks scan last: a hot weight is never
         // the victim while a cooler non-duplicated one exists (plain
         // LRU order when no hints are set).
-        for (key, block) in victim_scan_order(&self.lru, &self.hints) {
+        for (key, block) in victim_scan(&self.lru, &self.hints) {
             if freed >= needed {
                 break;
             }
@@ -767,7 +778,7 @@ impl UmDriver {
                 }
                 continue;
             }
-            let Some(state) = self.blocks.get(&block) else {
+            let Some(state) = self.blocks.get(block) else {
                 return Err(BackendError::MissingBlock(block));
             };
             let pages = state.resident.count_u64();
@@ -799,7 +810,7 @@ impl UmDriver {
                 {
                     continue;
                 }
-                let Some(state) = self.blocks.get(&block) else {
+                let Some(state) = self.blocks.get(block) else {
                     return Err(BackendError::MissingBlock(block));
                 };
                 let pages = state.resident.count_u64();
@@ -810,6 +821,9 @@ impl UmDriver {
                 freed += pages;
             }
         }
+        // Release the protected-set read lock before the mutation
+        // phase: evicting a victim may update the set.
+        drop(protected);
 
         if !cooldown_skips.is_empty() {
             if let Some(g) = self.pressure.as_mut() {
@@ -828,8 +842,11 @@ impl UmDriver {
             }
         }
 
+        cooldown_skips.clear();
+        self.scratch.cooldown_skips = cooldown_skips;
+
         let mut cost = EvictCost::default();
-        for (key, block, reason) in victims {
+        for &(key, block, reason) in &victims {
             self.trace(
                 now,
                 TraceEvent::EvictVictim {
@@ -841,6 +858,8 @@ impl UmDriver {
             cost.bookkeeping += c.bookkeeping;
             cost.writeback += c.writeback;
         }
+        victims.clear();
+        self.scratch.victims = victims;
         Ok(cost)
     }
 
@@ -853,7 +872,7 @@ impl UmDriver {
         host_oom: bool,
     ) -> Result<EvictCost, BackendError> {
         let read_mostly = self.hints.is_read_mostly(block);
-        let Some(state) = self.blocks.get_mut(&block) else {
+        let Some(state) = self.blocks.get_mut(block) else {
             return Err(BackendError::MissingBlock(block));
         };
         let resident = state.resident;
@@ -903,6 +922,7 @@ impl UmDriver {
         let mut dma_retries = 0u64;
         let mut writeback_cost = self.costs.transfer_time(writeback_bytes);
         if writeback_bytes > 0 {
+            // deepum-tidy: allow(hot-path-alloc) -- Rc handle clone (refcount bump) to release the borrow of self, no heap allocation
             if let Some(handle) = self.injector.clone() {
                 let mut inj = handle.borrow_mut();
                 // A write-back can never be abandoned — that would lose
@@ -1000,14 +1020,17 @@ impl UmDriver {
             );
         }
 
+        // deepum-tidy: allow(hot-path-alloc) -- multi-tenant-only path, once per eviction batch, not per page
         let mut picks: Vec<Pick> = Vec::new();
+        // deepum-tidy: allow(hot-path-alloc) -- multi-tenant-only path, once per eviction batch, not per page
         let mut cooldown_skips: Vec<(TenantId, BlockNum, u64)> = Vec::new();
         // Pass 1 honours the hint partition (ReadMostly-duplicated
         // blocks last); passes 0 and 2 stay pure LRU — host-OOM wants
         // the cheapest victims and the override pass wants correctness.
         // deepum-tidy: allow(hot-path-alloc) -- once per eviction batch, not per page; the scan re-reads the list across passes
         let lru_order: Vec<(Ns, BlockNum)> = self.lru.iter().collect();
-        let scan1_order = victim_scan_order(&self.lru, &self.hints);
+        // deepum-tidy: allow(hot-path-alloc) -- materialized once per eviction batch; the charge scan re-reads it per tenant per pass
+        let scan1_order: Vec<(Ns, BlockNum)> = victim_scan(&self.lru, &self.hints).collect();
         {
             let Some(t) = self.tenancy.as_ref() else {
                 return Ok(EvictCost::default());
@@ -1068,8 +1091,9 @@ impl UmDriver {
                         } else {
                             ledger.governor.as_ref()
                         };
+                        let protected = ledger.protected.read();
                         let policy = VictimPolicy {
-                            protected: &ledger.protected,
+                            protected: &protected,
                             governor,
                             hints: Some(&self.hints),
                         };
@@ -1081,7 +1105,7 @@ impl UmDriver {
                             if Some(block) == exclude || picks.iter().any(|p| p.block == block) {
                                 continue;
                             }
-                            let Some(state) = self.blocks.get(&block) else {
+                            let Some(state) = self.blocks.get(block) else {
                                 return Err(BackendError::MissingBlock(block));
                             };
                             if state.owner != Some(tid) {
@@ -1240,7 +1264,7 @@ impl UmDriver {
     ) -> Result<EvictCost, BackendError> {
         let c_before = self.counters;
         let read_mostly = self.hints.is_read_mostly(block);
-        let Some(state) = self.blocks.get_mut(&block) else {
+        let Some(state) = self.blocks.get_mut(block) else {
             return Err(BackendError::MissingBlock(block));
         };
         let resident = state.resident;
@@ -1287,11 +1311,13 @@ impl UmDriver {
         // plan — a foreign tenant's flaky link cannot slow the active
         // tenant's slot (or perturb its injector's RNG stream).
         let injector = if charge == active {
+            // deepum-tidy: allow(hot-path-alloc) -- Rc handle clone (refcount bump) to release the borrow of self, no heap allocation
             self.injector.clone()
         } else {
             self.tenancy
                 .as_ref()
                 .and_then(|t| t.tenants.get(&charge))
+                // deepum-tidy: allow(hot-path-alloc) -- Rc handle clone (refcount bump) to release the borrow of self, no heap allocation
                 .and_then(|l| l.injector.clone())
         };
         let mut dma_retries = 0u64;
@@ -1455,14 +1481,16 @@ impl UmDriver {
         if self.active_tenant() == Some(tid) {
             self.end_tenant_slot(now);
         }
-        let owned: Vec<BlockNum> = self
-            .blocks
-            .iter()
-            .filter(|(_, s)| s.owner == Some(tid))
-            .map(|(b, _)| *b)
-            .collect();
-        for block in owned {
-            if let Some(state) = self.blocks.remove(&block) {
+        let mut owned = std::mem::take(&mut self.scratch.owned_blocks);
+        owned.clear();
+        owned.extend(
+            self.blocks
+                .iter()
+                .filter(|(_, s)| s.owner == Some(tid))
+                .map(|(b, _)| b),
+        );
+        for &block in &owned {
+            if let Some(state) = self.blocks.remove(block) {
                 let count = state.resident.count_u64();
                 if count > 0 {
                     self.lru.remove(block, state.last_migrated);
@@ -1470,6 +1498,8 @@ impl UmDriver {
                 }
             }
         }
+        owned.clear();
+        self.scratch.owned_blocks = owned;
         if let Some(t) = self.tenancy.as_mut() {
             t.tenants.remove(&tid);
         }
@@ -1600,182 +1630,7 @@ impl UmDriver {
     ///
     /// Returns a human-readable description of the violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        let mut total = 0u64;
-        for (block, state) in &self.blocks {
-            total += state.resident.count_u64();
-            if !state
-                .prefetched_untouched
-                .subtract(&state.resident)
-                .is_empty()
-            {
-                return Err(format!("{block}: prefetched_untouched pages not resident"));
-            }
-            if !state.resident.intersect(&state.host_valid).is_empty()
-                && !self.hints.is_read_mostly(*block)
-            {
-                return Err(format!(
-                    "{block}: pages both device-resident and host-valid \
-                     without a ReadMostly hint"
-                ));
-            }
-        }
-        if total != self.resident_pages {
-            return Err(format!(
-                "resident_pages counter {} != per-block sum {total}",
-                self.resident_pages
-            ));
-        }
-        if self.resident_pages > self.capacity_pages {
-            return Err(format!(
-                "resident_pages {} exceeds capacity {}",
-                self.resident_pages, self.capacity_pages
-            ));
-        }
-        let mut lru_blocks = BTreeSet::new();
-        let mut lru_len = 0usize;
-        for (key, block) in self.lru.iter() {
-            lru_len += 1;
-            if !lru_blocks.insert(block) {
-                return Err(format!("{block} appears twice in the LRU order"));
-            }
-            match self.blocks.get(&block) {
-                Some(state) if !state.resident.is_empty() => {
-                    if state.last_migrated != key {
-                        return Err(format!(
-                            "{block}: LRU key {key} != last_migrated {}",
-                            state.last_migrated
-                        ));
-                    }
-                }
-                _ => return Err(format!("{block} in LRU but not resident")),
-            }
-        }
-        let resident_blocks = self
-            .blocks
-            .values()
-            .filter(|s| !s.resident.is_empty())
-            .count();
-        if resident_blocks != lru_len {
-            return Err(format!(
-                "{resident_blocks} resident blocks but {lru_len} LRU entries"
-            ));
-        }
-        // No two resident blocks of the same owner may share an LRU
-        // timestamp unless they migrated in the same drain batch (same
-        // epoch). Equal stamps from different epochs mean virtual time
-        // regressed — exactly the nondeterminism symptom the D1 lints
-        // guard against. The check is per owner because each tenant
-        // advances its own virtual clock: two tenants' drains may
-        // legitimately coincide on a nanosecond.
-        let mut stamp_epochs: BTreeMap<(Option<TenantId>, Ns), (u64, BlockNum)> = BTreeMap::new();
-        for (block, state) in &self.blocks {
-            if state.resident.is_empty() {
-                continue;
-            }
-            match stamp_epochs.get(&(state.owner, state.last_migrated)) {
-                Some(&(epoch, first)) if epoch != state.last_epoch => {
-                    return Err(format!(
-                        "{first} and {block} share LRU timestamp {} but migrated \
-                         in different drain batches (epochs {epoch} vs {})",
-                        state.last_migrated, state.last_epoch
-                    ));
-                }
-                Some(_) => {}
-                None => {
-                    stamp_epochs.insert(
-                        (state.owner, state.last_migrated),
-                        (state.last_epoch, *block),
-                    );
-                }
-            }
-        }
-        // Pressure-governor invariant: the first-pass demand-eviction
-        // candidate list must be disjoint from the victim-cooldown set —
-        // a cooling block that still reaches the candidate list means
-        // the scan and the governor clock have drifted apart.
-        if let Some(g) = &self.pressure {
-            let policy = VictimPolicy {
-                protected: &self.protected,
-                governor: Some(g),
-                hints: Some(&self.hints),
-            };
-            for block in demand_candidates(&self.lru, &policy) {
-                if g.in_cooldown(block) {
-                    return Err(format!(
-                        "{block} is an eviction candidate while in victim cooldown \
-                         ({} kernels remaining)",
-                        g.cooldown_remaining(block)
-                    ));
-                }
-            }
-        }
-        // Hint-ordering invariant: the first-pass candidate list must
-        // be partitioned — no ReadMostly-duplicated block may be
-        // ordered before a non-duplicated one, i.e. a duplicated hot
-        // weight is never the victim while a cooler victim exists.
-        if !self.hints.no_read_mostly() {
-            let policy = VictimPolicy {
-                protected: &self.protected,
-                governor: self.pressure.as_ref(),
-                hints: Some(&self.hints),
-            };
-            let mut seen_duplicated = false;
-            for block in demand_candidates(&self.lru, &policy) {
-                if self.hints.is_read_mostly(block) {
-                    seen_duplicated = true;
-                } else if seen_duplicated {
-                    // deepum-tidy: allow(hot-path-alloc) -- cold invariant sweep, runs per validate() call, not per fault
-                    return Err(format!(
-                        "{block} (non-duplicated) is ordered after a ReadMostly \
-                         candidate in the eviction scan"
-                    ));
-                }
-            }
-        }
-        // Multi-tenant invariants: floors must fit the device, each
-        // ledger's residency must equal the sum over its owned blocks,
-        // and fair-share eviction must never have pushed a tenant below
-        // its floor while another tenant was over quota.
-        if let Some(t) = &self.tenancy {
-            let mut owned: BTreeMap<TenantId, u64> = BTreeMap::new();
-            for state in self.blocks.values() {
-                if let Some(tid) = state.owner {
-                    *owned.entry(tid).or_insert(0) += state.resident.count_u64();
-                }
-            }
-            let mut floors = 0u64;
-            for (tid, l) in &t.tenants {
-                floors += l.floor_pages;
-                let sum = owned.remove(tid).unwrap_or(0);
-                if sum != l.resident_pages {
-                    return Err(format!(
-                        "tenant {tid}: ledger resident_pages {} != owned-block sum {sum}",
-                        l.resident_pages
-                    ));
-                }
-                if l.floor_violations > 0 {
-                    return Err(format!(
-                        "tenant {tid}: {} evictions charged below its guaranteed floor \
-                         while another tenant was over quota",
-                        l.floor_violations
-                    ));
-                }
-            }
-            if floors > self.capacity_pages {
-                return Err(format!(
-                    "tenant floors sum to {floors} pages, exceeding device capacity {}",
-                    self.capacity_pages
-                ));
-            }
-            for (tid, sum) in owned {
-                if sum > 0 {
-                    return Err(format!(
-                        "{sum} resident pages owned by unregistered tenant {tid}"
-                    ));
-                }
-            }
-        }
-        Ok(())
+        crate::invariants::validate(self)
     }
 }
 
@@ -1833,18 +1688,12 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
 }
 
 /// Deduplicates fault entries and groups them per UM block, preserving
-/// first-fault order of blocks (step 2 of Fig. 3).
+/// first-fault order of blocks (step 2 of Fig. 3). Allocating
+/// convenience wrapper around [`group_faults_into`]; the driver's drain
+/// path reuses a scratch buffer instead.
 pub fn group_faults(faults: &[FaultEntry]) -> Vec<(BlockNum, PageMask)> {
-    let mut index: BTreeMap<BlockNum, usize> = BTreeMap::new();
-    let mut groups: Vec<(BlockNum, PageMask)> = Vec::new();
-    for f in faults {
-        let block = f.page.block();
-        let slot = *index.entry(block).or_insert_with(|| {
-            groups.push((block, PageMask::empty()));
-            groups.len() - 1
-        });
-        groups[slot].1.set(f.page.index_in_block());
-    }
+    let mut groups = Vec::with_capacity(faults.len().min(8));
+    group_faults_into(faults, &mut groups);
     groups
 }
 

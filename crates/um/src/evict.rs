@@ -8,10 +8,9 @@
 //! it as a shared *protected set* of blocks consulted at victim-selection
 //! time.
 
-use std::collections::BTreeSet;
 use std::sync::{Arc, PoisonError, RwLock};
 
-use deepum_mem::BlockNum;
+use deepum_mem::{BlockNum, DenseBlockSet};
 use deepum_sim::time::Ns;
 
 use crate::hints::HintTable;
@@ -20,8 +19,9 @@ use crate::pressure::PressureGovernor;
 /// A set of UM blocks the eviction scan must avoid, shared between the
 /// DeepUM prefetcher (writer) and the UM driver (reader).
 ///
-/// A `BTreeSet` keeps membership checks deterministic to iterate (the
-/// driver never iterates it today, but D1 keeps the door shut), and a
+/// Backed by a [`DenseBlockSet`] bitset so the membership check the
+/// victim scan performs per candidate is two array indexations instead
+/// of a `BTreeSet` walk; iteration stays ascending and deterministic. A
 /// poisoned lock is recovered by taking the inner set: every mutation
 /// below leaves the set valid, so a panic mid-write cannot corrupt it.
 ///
@@ -39,7 +39,7 @@ use crate::pressure::PressureGovernor;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct SharedBlockSet {
-    inner: Arc<RwLock<BTreeSet<BlockNum>>>,
+    inner: Arc<RwLock<DenseBlockSet>>,
 }
 
 impl SharedBlockSet {
@@ -61,14 +61,16 @@ impl SharedBlockSet {
         self.inner
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .remove(&block);
+            .remove(block);
     }
 
-    /// Replaces the whole set in one write.
+    /// Replaces the whole set in one write, reusing the bit storage.
     pub fn replace<I: IntoIterator<Item = BlockNum>>(&self, blocks: I) {
         let mut guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         guard.clear();
-        guard.extend(blocks);
+        for block in blocks {
+            guard.insert(block);
+        }
     }
 
     /// Empties the set.
@@ -84,7 +86,16 @@ impl SharedBlockSet {
         self.inner
             .read()
             .unwrap_or_else(PoisonError::into_inner)
-            .contains(&block)
+            .contains(block)
+    }
+
+    /// One read-lock for a whole scan. The eviction scan checks
+    /// membership once per LRU candidate, thousands of times per call;
+    /// a lock acquisition per check (not the bitset probe itself)
+    /// dominated the suite profile, so scans borrow the underlying set
+    /// once and probe it directly.
+    pub fn read(&self) -> impl std::ops::Deref<Target = DenseBlockSet> + '_ {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of protected blocks.
@@ -107,9 +118,7 @@ impl SharedBlockSet {
         self.inner
             .read()
             .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-            .copied()
-            .collect()
+            .to_vec()
     }
 }
 
@@ -164,8 +173,10 @@ impl LruMigrated {
 /// skip can never appear on the candidate list validate() inspects.
 #[derive(Debug, Clone, Copy)]
 pub struct VictimPolicy<'a> {
-    /// The DeepUM predicted-window protected set.
-    pub protected: &'a SharedBlockSet,
+    /// The DeepUM predicted-window protected set, borrowed once per
+    /// scan via [`SharedBlockSet::read`] so each candidate check is a
+    /// direct bitset probe, not a lock acquisition.
+    pub protected: &'a DenseBlockSet,
     /// The memory-pressure governor, `None` when not installed.
     pub governor: Option<&'a PressureGovernor>,
     /// `cudaMemAdvise`-modeled hint table, `None` when the caller has
@@ -234,15 +245,25 @@ impl VictimPolicy<'_> {
 /// partitioned to the back (each partition keeps LRU order). With no
 /// ReadMostly hints this is exactly the LRU order, so unhinted runs
 /// stay byte-identical to pre-hint builds.
-pub fn victim_scan_order(lru: &LruMigrated, hints: &HintTable) -> Vec<(Ns, BlockNum)> {
-    let mut order: Vec<(Ns, BlockNum)> = Vec::with_capacity(lru.len());
-    if hints.no_read_mostly() {
-        order.extend(lru.iter());
-        return order;
-    }
-    order.extend(lru.iter().filter(|e| !hints.is_read_mostly(e.1)));
-    order.extend(lru.iter().filter(|e| hints.is_read_mostly(e.1)));
-    order
+///
+/// Yielded lazily: the eviction scan usually stops after a handful of
+/// victims, so materializing the whole order (the old `Vec` form) paid
+/// an O(resident-blocks) allocation and copy per eviction call for a
+/// prefix that is almost never consumed. The chain below visits the
+/// exact same sequence — when `no_read_mostly()` the first filter
+/// passes everything and the second passes nothing, which only walks
+/// the LRU a second time in the rare scan-exhausted case.
+pub fn victim_scan<'a>(
+    lru: &'a LruMigrated,
+    hints: &'a HintTable,
+) -> impl Iterator<Item = (Ns, BlockNum)> + 'a {
+    let plain = hints.no_read_mostly();
+    lru.iter()
+        .filter(move |e| plain || !hints.is_read_mostly(e.1))
+        .chain(
+            lru.iter()
+                .filter(move |e| !plain && hints.is_read_mostly(e.1)),
+        )
 }
 
 /// First-pass demand-eviction candidate list: blocks in
@@ -250,10 +271,13 @@ pub fn victim_scan_order(lru: &LruMigrated, hints: &HintTable) -> Vec<(Ns, Block
 /// admits. `UmDriver::validate()` cross-checks this list against the
 /// governor's cooldown set — the two must never intersect.
 pub fn demand_candidates(lru: &LruMigrated, policy: &VictimPolicy<'_>) -> Vec<BlockNum> {
+    // validate()-only cold path; the hot eviction scan walks
+    // `victim_scan` lazily and never materializes this list.
+    // deepum-tidy: allow(hot-path-alloc) -- invariant-checker candidate list, built only inside validate()
     let mut candidates: Vec<BlockNum> = Vec::new();
     // ReadMostly-duplicated blocks sort after every non-duplicated
-    // candidate (mirrors `victim_scan_order`): a hot duplicated weight
-    // is never the victim while a cooler one exists.
+    // candidate (mirrors `victim_scan`): a hot duplicated weight is
+    // never the victim while a cooler one exists.
     candidates.extend(
         lru.iter()
             .map(|(_, b)| b)
@@ -327,6 +351,7 @@ mod tests {
     fn policy_without_governor_only_honours_protection() {
         let protected = SharedBlockSet::new();
         protected.insert(BlockNum::new(1));
+        let protected = protected.read();
         let policy = VictimPolicy {
             protected: &protected,
             governor: None,
@@ -345,6 +370,7 @@ mod tests {
         g.note_eviction(BlockNum::new(1));
         assert!(g.note_demand_arrival(BlockNum::new(1))); // refault → cooldown
         g.pin_inflight(BlockNum::new(2));
+        let protected = protected.read();
         let policy = VictimPolicy {
             protected: &protected,
             governor: Some(&g),
@@ -363,6 +389,30 @@ mod tests {
     }
 
     #[test]
+    fn victim_scan_matches_eager_partition() {
+        use crate::hints::{Advice, HintTable};
+        let mut lru = LruMigrated::new();
+        for i in 0..16u64 {
+            lru.record_migration(BlockNum::new(i), None, Ns::from_nanos(100 - i));
+        }
+        // No hints: the scan is exactly the LRU order.
+        let plain = HintTable::new();
+        let scanned: Vec<_> = victim_scan(&lru, &plain).collect();
+        assert_eq!(scanned, lru.iter().collect::<Vec<_>>());
+        // ReadMostly blocks partition to the back, each half LRU-ordered.
+        let mut hints = HintTable::new();
+        for b in [2u64, 5, 11] {
+            hints.advise(BlockNum::new(b), Advice::ReadMostly);
+        }
+        let mut eager: Vec<(Ns, BlockNum)> = Vec::new();
+        eager.extend(lru.iter().filter(|e| !hints.is_read_mostly(e.1)));
+        eager.extend(lru.iter().filter(|e| hints.is_read_mostly(e.1)));
+        let lazy: Vec<_> = victim_scan(&lru, &hints).collect();
+        assert_eq!(lazy, eager);
+        assert_eq!(lazy.len(), lru.len());
+    }
+
+    #[test]
     fn demand_candidates_exclude_cooling_blocks() {
         let protected = SharedBlockSet::new();
         let mut lru = LruMigrated::new();
@@ -373,6 +423,7 @@ mod tests {
         g.note_eviction(BlockNum::new(2));
         assert!(g.note_demand_arrival(BlockNum::new(2)));
         g.end_kernel(); // release the in-flight pin, keep the cooldown
+        let protected = protected.read();
         let policy = VictimPolicy {
             protected: &protected,
             governor: Some(&g),

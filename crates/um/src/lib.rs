@@ -27,9 +27,12 @@ pub mod block;
 pub mod driver;
 pub mod evict;
 pub mod hints;
+mod invariants;
 pub mod pressure;
+pub mod scratch;
 pub mod snapshot;
 pub mod space;
+pub mod table;
 pub mod tenancy;
 
 pub use block::BlockState;
@@ -37,6 +40,8 @@ pub use driver::{EvictCost, MigratePath, UmDriver};
 pub use evict::SharedBlockSet;
 pub use hints::{Advice, HintTable};
 pub use pressure::{PressureConfig, PressureGovernor};
+pub use scratch::DrainScratch;
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use space::{UmAllocError, UmSpace};
+pub use table::BlockTable;
 pub use tenancy::{Tenancy, TenantLedger};

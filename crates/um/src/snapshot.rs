@@ -544,14 +544,14 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
         w.u32(tid.raw());
         w.u64(d.tenant_ledger(tid).map_or(0, |l| l.resident_pages));
         write_counters(&d.active_counters(), w);
-        let owned: Vec<(&BlockNum, &BlockState)> = d
+        let owned: Vec<(BlockNum, &BlockState)> = d
             .blocks
             .iter()
             .filter(|(_, s)| s.owner == Some(tid))
             .collect();
         w.u64(deepum_mem::u64_from_usize(owned.len()));
         for (block, state) in owned {
-            write_block_record(*block, state, w);
+            write_block_record(block, state, w);
         }
         match &d.pressure {
             Some(g) => {
@@ -569,8 +569,8 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
     w.ns(d.epoch_now);
     write_counters(&d.counters, w);
     w.u64(deepum_mem::u64_from_usize(d.blocks.len()));
-    for (block, state) in &d.blocks {
-        write_block_record(*block, state, w);
+    for (block, state) in d.blocks.iter() {
+        write_block_record(block, state, w);
     }
     // v2: optional pressure-governor state (config + full bookkeeping),
     // so a restore resumes thrash detection exactly where it crashed.
@@ -617,7 +617,7 @@ pub fn read_driver_state(
     let counters = read_counters(r)?;
     let num_blocks = r.len_prefix(BLOCK_RECORD_BYTES)?;
 
-    let mut blocks = std::collections::BTreeMap::new();
+    let mut blocks = crate::table::BlockTable::new();
     let mut lru = LruMigrated::new();
     for _ in 0..num_blocks {
         let (block, state) = read_block_record(r)?;
@@ -689,11 +689,11 @@ fn read_tenant_scoped_state(
         .blocks
         .iter()
         .filter(|(_, s)| s.owner == Some(tid))
-        .map(|(b, _)| *b)
+        .map(|(b, _)| b)
         .collect();
     let mut removed = 0u64;
     for b in current {
-        if let Some(s) = d.blocks.remove(&b) {
+        if let Some(s) = d.blocks.remove(b) {
             let n = s.resident.count_u64();
             if n > 0 {
                 d.lru.remove(b, s.last_migrated);

@@ -8,9 +8,49 @@
 //! block-aligned, matching how PyTorch's large-pool segments map onto UM
 //! blocks.
 
-use std::collections::BTreeMap;
-
 use deepum_mem::{ByteRange, UmAddr, BLOCK_BYTES, PAGE_BYTES};
+
+/// Sorted-by-start extent list `(start, len)`. Replaces the former
+/// `BTreeMap<u64, u64>`: the lists are short and scanned front-to-back
+/// by first-fit anyway, so a flat vector with binary-searched inserts
+/// beats a node-allocating tree on every operation — and iteration
+/// order (ascending start) is identical, keeping snapshot encodes
+/// byte-for-byte stable.
+#[derive(Debug, Clone, Default)]
+struct ExtentList(Vec<(u64, u64)>);
+
+impl ExtentList {
+    fn new() -> Self {
+        ExtentList(Vec::new())
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Index of `start`, or where it would insert.
+    fn position(&self, start: u64) -> Result<usize, usize> {
+        self.0.binary_search_by_key(&start, |&(s, _)| s)
+    }
+
+    fn insert(&mut self, start: u64, len: u64) {
+        match self.position(start) {
+            Ok(i) => self.0[i].1 = len,
+            Err(i) => self.0.insert(i, (start, len)),
+        }
+    }
+
+    fn remove(&mut self, start: u64) -> Option<u64> {
+        match self.position(start) {
+            Ok(i) => Some(self.0.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.0.iter().copied()
+    }
+}
 
 /// Error returned when a UM allocation cannot be satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,9 +105,9 @@ pub struct UmSpace {
     /// High-water bump pointer; fresh VA comes from here.
     next: u64,
     /// Free extents `start -> len`, kept coalesced.
-    free: BTreeMap<u64, u64>,
+    free: ExtentList,
     /// Live allocations `start -> len`, for validation on free.
-    live: BTreeMap<u64, u64>,
+    live: ExtentList,
 }
 
 impl UmSpace {
@@ -77,8 +117,8 @@ impl UmSpace {
             capacity,
             allocated: 0,
             next: 0,
-            free: BTreeMap::new(),
-            live: BTreeMap::new(),
+            free: ExtentList::new(),
+            live: ExtentList::new(),
         }
     }
 
@@ -92,8 +132,8 @@ impl UmSpace {
             capacity,
             allocated: 0,
             next: base,
-            free: BTreeMap::new(),
-            live: BTreeMap::new(),
+            free: ExtentList::new(),
+            live: ExtentList::new(),
         }
     }
 
@@ -169,7 +209,7 @@ impl UmSpace {
     pub fn free(&mut self, range: ByteRange) {
         let len = self
             .live
-            .remove(&range.start().raw())
+            .remove(range.start().raw())
             .expect("free of unknown UM range");
         assert_eq!(len, range.len(), "free with mismatched length");
         self.allocated -= len;
@@ -180,7 +220,7 @@ impl UmSpace {
         // First fit: smallest start whose extent can host an aligned
         // allocation of `size`.
         let mut found = None;
-        for (&start, &len) in &self.free {
+        for (start, len) in self.free.iter() {
             let aligned = round_up(start, align);
             let pad = aligned - start;
             if len >= pad + size {
@@ -189,7 +229,7 @@ impl UmSpace {
             }
         }
         let (start, len, aligned, pad) = found?;
-        self.free.remove(&start);
+        self.free.remove(start);
         if pad > 0 {
             self.free.insert(start, pad);
         }
@@ -204,19 +244,29 @@ impl UmSpace {
         if len == 0 {
             return;
         }
+        // `i` is where (start, len) would slot into the sorted list;
+        // the extent at `i - 1` is the predecessor, the one at `i` the
+        // successor (a hit at `i` cannot happen: `start` was allocated,
+        // so no free extent begins there).
+        let i = match self.free.position(start) {
+            Ok(i) | Err(i) => i,
+        };
         // Coalesce with predecessor.
-        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+        if let Some(&(pstart, plen)) = i.checked_sub(1).and_then(|p| self.free.0.get(p)) {
             debug_assert!(pstart + plen <= start, "overlapping free extents");
             if pstart + plen == start {
-                self.free.remove(&pstart);
+                self.free.remove(pstart);
                 start = pstart;
                 len += plen;
             }
         }
         // Coalesce with successor.
-        if let Some((&nstart, &nlen)) = self.free.range(start + len..).next() {
+        let j = match self.free.position(start + len) {
+            Ok(j) | Err(j) => j,
+        };
+        if let Some(&(nstart, nlen)) = self.free.0.get(j) {
             if start + len == nstart {
-                self.free.remove(&nstart);
+                self.free.remove(nstart);
                 len += nlen;
             }
         }
@@ -237,12 +287,12 @@ impl UmSpace {
         w.u64(self.allocated);
         w.u64(self.next);
         w.u64(deepum_mem::u64_from_usize(self.free.len()));
-        for (&start, &len) in &self.free {
+        for (start, len) in self.free.iter() {
             w.u64(start);
             w.u64(len);
         }
         w.u64(deepum_mem::u64_from_usize(self.live.len()));
-        for (&start, &len) in &self.live {
+        for (start, len) in self.live.iter() {
             w.u64(start);
             w.u64(len);
         }
@@ -264,14 +314,14 @@ impl UmSpace {
         let capacity = r.u64()?;
         let allocated = r.u64()?;
         let next = r.u64()?;
-        let mut free = BTreeMap::new();
+        let mut free = ExtentList::new();
         let num_free = r.len_prefix(16)?;
         for _ in 0..num_free {
             let start = r.u64()?;
             let len = r.u64()?;
             free.insert(start, len);
         }
-        let mut live = BTreeMap::new();
+        let mut live = ExtentList::new();
         let mut live_total = 0u64;
         let num_live = r.len_prefix(16)?;
         for _ in 0..num_live {

@@ -1,0 +1,113 @@
+//! Differential equivalence harness for the hot-path rewrite and the
+//! parallel bench driver.
+//!
+//! The suite's byte-identity contract has two faces:
+//!
+//! * **Self-identity** — a cell is a sealed deterministic world, so
+//!   running it twice on the same thread must reproduce the `RunReport`
+//!   JSON and the full JSONL trace byte for byte. This catches
+//!   iteration-order leaks (e.g. a hash map smuggled into the driver)
+//!   at the finest grain.
+//! * **Serial-vs-parallel identity** — running the same cells on the
+//!   rayon pool must produce exactly the bytes the serial driver
+//!   produced, cell by cell. Cells share no mutable state; the pool
+//!   only changes *when* a cell runs, which must never change *what*
+//!   it computes.
+//!
+//! `deepum_suite` asserts the digest form of this contract over the
+//! full 176-cell grid; these tests assert the byte form (reports AND
+//! traces, not digests) over a small fast slice of the same grid so
+//! tier-1 stays quick.
+
+use deepum_bench::suite::{
+    cell_report_json, cell_traced, map_parallel, run_parallel, run_serial, suite_cells, SuiteCell,
+};
+
+/// A fast slice of the real suite grid: every system under one small
+/// (model, batch) cell plus a couple of cheap foreign-model cells, so
+/// the naive-UM, DeepUM, planner, and OOM report paths all appear.
+fn fast_cells() -> Vec<SuiteCell> {
+    let cells: Vec<SuiteCell> = suite_cells()
+        .into_iter()
+        .filter(|c| {
+            c.key.starts_with("bert-large-b14-")
+                || c.key == "gpt2-xl-b3-lms-i2"
+                || c.key == "gpt2-l-b3-ideal-i2"
+        })
+        .collect();
+    assert_eq!(
+        cells.len(),
+        7,
+        "the fast slice should cover 5 systems + 2 foreign cells"
+    );
+    cells
+}
+
+#[test]
+fn serial_rerun_is_byte_identical() {
+    for cell in fast_cells() {
+        let first = cell_report_json(&cell);
+        let second = cell_report_json(&cell);
+        assert_eq!(
+            first, second,
+            "{}: report JSON differs across reruns",
+            cell.key
+        );
+    }
+}
+
+#[test]
+fn serial_rerun_traces_are_byte_identical() {
+    // The trace is the finest observable: every migration, eviction,
+    // and prefetch decision in virtual-time order.
+    let mut any_events = false;
+    for cell in fast_cells() {
+        let (report_a, trace_a) = cell_traced(&cell);
+        let (report_b, trace_b) = cell_traced(&cell);
+        assert_eq!(report_a, report_b, "{}: traced report differs", cell.key);
+        assert_eq!(trace_a, trace_b, "{}: JSONL trace differs", cell.key);
+        any_events |= !trace_a.is_empty();
+    }
+    // Planner-style systems may emit no migration events; the UM and
+    // DeepUM cells in the slice must.
+    assert!(any_events, "no cell in the fast slice emitted trace events");
+}
+
+#[test]
+fn parallel_reports_match_serial_bytes() {
+    let cells = fast_cells();
+    let serial: Vec<String> = cells.iter().map(cell_report_json).collect();
+    let parallel = map_parallel(cells.clone(), |c| cell_report_json(&c));
+    for ((cell, s), p) in cells.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(s, p, "{}: parallel report JSON != serial", cell.key);
+    }
+}
+
+#[test]
+fn parallel_traces_match_serial_bytes() {
+    let cells = fast_cells();
+    let serial: Vec<(String, String)> = cells.iter().map(cell_traced).collect();
+    let parallel = map_parallel(cells.clone(), |c| cell_traced(&c));
+    for ((cell, s), p) in cells.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(s.0, p.0, "{}: parallel traced report != serial", cell.key);
+        assert_eq!(s.1, p.1, "{}: parallel JSONL trace != serial", cell.key);
+    }
+}
+
+#[test]
+fn parallel_outcomes_match_serial_digests() {
+    // The exact contract `deepum_suite` enforces over the whole grid,
+    // on the fast slice: digests and simulated results line up cell by
+    // cell, in input order.
+    let cells = fast_cells();
+    let serial = run_serial(&cells);
+    let parallel = run_parallel(&cells);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.key, p.key, "drivers enumerated different cells");
+        assert_eq!(s.hash, p.hash, "{}: digest diverged", s.key);
+        assert_eq!(s.kernels, p.kernels, "{}: kernel count diverged", s.key);
+        assert_eq!(s.sim_ns, p.sim_ns, "{}: simulated time diverged", s.key);
+        assert_eq!(s.ok, p.ok, "{}: outcome kind diverged", s.key);
+    }
+}

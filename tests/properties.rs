@@ -384,3 +384,184 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `PageMask` set algebra agrees with a naive `BTreeSet<usize>`
+    /// shadow model under arbitrary op sequences: membership, counts,
+    /// union/intersect/subtract, subset/overlap predicates, and the
+    /// ascending `iter_ones` order the migration engine depends on.
+    #[test]
+    fn page_mask_matches_btreeset_shadow(
+        ops in prop::collection::vec(
+            (0u8..6, 0usize..deepum::mem::PAGES_PER_BLOCK, 0usize..deepum::mem::PAGES_PER_BLOCK),
+            1..96,
+        ),
+    ) {
+        use deepum::mem::{PageMask, PAGES_PER_BLOCK};
+        use std::collections::BTreeSet;
+
+        let mut mask = PageMask::empty();
+        let mut shadow: BTreeSet<usize> = BTreeSet::new();
+        // A second (mask, shadow) pair for the binary ops.
+        let mut other = PageMask::empty();
+        let mut other_shadow: BTreeSet<usize> = BTreeSet::new();
+
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    mask.set(a);
+                    shadow.insert(a);
+                }
+                1 => {
+                    mask.clear(a);
+                    shadow.remove(&a);
+                }
+                2 => {
+                    other.set(b);
+                    other_shadow.insert(b);
+                }
+                3 => {
+                    mask.union_with(&other);
+                    shadow.extend(other_shadow.iter().copied());
+                }
+                4 => {
+                    mask.subtract_with(&other);
+                    shadow = shadow.difference(&other_shadow).copied().collect();
+                }
+                5 => {
+                    let lo = a.min(b);
+                    let hi = a.max(b);
+                    mask = PageMask::from_range(lo..hi);
+                    shadow = (lo..hi).collect();
+                }
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(mask.count(), shadow.len());
+            prop_assert_eq!(mask.is_empty(), shadow.is_empty());
+            prop_assert_eq!(mask.is_full(), shadow.len() == PAGES_PER_BLOCK);
+            prop_assert_eq!(mask.get(a), shadow.contains(&a));
+            prop_assert_eq!(
+                mask.intersects(&other),
+                !shadow.is_disjoint(&other_shadow)
+            );
+            prop_assert_eq!(
+                mask.is_subset_of(&other),
+                shadow.is_subset(&other_shadow)
+            );
+            let inter: BTreeSet<usize> =
+                shadow.intersection(&other_shadow).copied().collect();
+            prop_assert_eq!(mask.intersect(&other).count(), inter.len());
+            // iter_ones yields exactly the shadow members, ascending.
+            let ones: Vec<usize> = mask.iter_ones().collect();
+            let want: Vec<usize> = shadow.iter().copied().collect();
+            prop_assert_eq!(ones, want);
+            // Word round-trip is lossless.
+            prop_assert_eq!(PageMask::from_words(mask.to_words()), mask);
+        }
+    }
+
+    /// `DenseBlockSet` agrees with a naive `BTreeSet<BlockNum>` shadow
+    /// model under arbitrary insert/remove/clear sequences, including
+    /// across VA-stripe boundaries, and iterates in the same ascending
+    /// order `BTreeSet` did before the rewrite.
+    #[test]
+    fn dense_block_set_matches_btreeset_shadow(
+        ops in prop::collection::vec(
+            (0u8..3, 0u64..3, 0u64..600),
+            1..128,
+        ),
+    ) {
+        use deepum::mem::bitmap::STRIPE_BLOCK_SHIFT;
+        use deepum::mem::{BlockNum, DenseBlockSet};
+        use std::collections::BTreeSet;
+
+        let mut set = DenseBlockSet::new();
+        let mut shadow: BTreeSet<BlockNum> = BTreeSet::new();
+        for (op, stripe, offset) in ops {
+            let block = BlockNum::new((stripe << STRIPE_BLOCK_SHIFT) + offset);
+            match op {
+                0 => {
+                    prop_assert_eq!(set.insert(block), shadow.insert(block));
+                }
+                1 => {
+                    prop_assert_eq!(set.remove(block), shadow.remove(&block));
+                }
+                2 => {
+                    set.clear();
+                    shadow.clear();
+                }
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(set.len(), shadow.len());
+            prop_assert_eq!(set.is_empty(), shadow.is_empty());
+            prop_assert_eq!(set.contains(block), shadow.contains(&block));
+            let got: Vec<BlockNum> = set.iter().collect();
+            let want: Vec<BlockNum> = shadow.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// `BlockTable` dense ids are first-touch-stable across arbitrary
+    /// evict/re-fault churn: once a block gets an id it keeps it
+    /// forever, ids are consecutive in first-touch order, live contents
+    /// match a `BTreeMap` shadow, and iteration stays ascending.
+    #[test]
+    fn block_table_ids_stable_across_evict_refault(
+        ops in prop::collection::vec(
+            (0u8..3, 0u64..3, 0u64..200),
+            1..128,
+        ),
+    ) {
+        use deepum::mem::bitmap::STRIPE_BLOCK_SHIFT;
+        use deepum::mem::BlockNum;
+        use deepum::um::BlockTable;
+        use std::collections::BTreeMap;
+
+        let mut table = BlockTable::new();
+        // block → (first-touch id, live?) plus a touch counter for the
+        // next id, mirroring the documented allocation rule.
+        let mut ids: BTreeMap<BlockNum, u32> = BTreeMap::new();
+        let mut live: BTreeMap<BlockNum, u64> = BTreeMap::new();
+        let mut next_id = 0u32;
+
+        for (op, stripe, offset) in ops {
+            let block = BlockNum::new((stripe << STRIPE_BLOCK_SHIFT) + offset);
+            match op {
+                // Fault the block in (entry-or-default) and stamp it.
+                0 => {
+                    let epoch = u64::from(next_id) + 1;
+                    table.ensure(block).last_epoch = epoch;
+                    ids.entry(block).or_insert_with(|| {
+                        let id = next_id;
+                        next_id += 1;
+                        id
+                    });
+                    live.insert(block, epoch);
+                }
+                // Evict: state goes away, the id must not.
+                1 => {
+                    prop_assert_eq!(table.remove(block).is_some(), live.remove(&block).is_some());
+                }
+                // Probe without mutating.
+                2 => {
+                    prop_assert_eq!(table.contains_key(block), live.contains_key(&block));
+                }
+                _ => unreachable!(),
+            }
+            // Ids: assigned first-touch, never recycled, never moved.
+            for (&b, &id) in &ids {
+                prop_assert_eq!(table.dense_id(b), Some(id), "{} lost its dense id", b);
+            }
+            prop_assert_eq!(table.len(), live.len());
+            // Live contents and ascending iteration match the shadow.
+            let got: Vec<(BlockNum, u64)> =
+                table.iter().map(|(b, s)| (b, s.last_epoch)).collect();
+            let want: Vec<(BlockNum, u64)> =
+                live.iter().map(|(&b, &e)| (b, e)).collect();
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(u64::from(next_id), ids.len() as u64);
+    }
+}
