@@ -6,7 +6,8 @@
 #   --soak      run the deepum-chaos crash-recovery soak (fixed seed
 #               grid, wall-clock budgeted) plus the governed
 #               oversubscription sweep, the multi-tenant scheduler
-#               sweep, the inference-serving sweep, and the
+#               sweep, the inference-serving sweep, the device-wear
+#               sweep (two retirement rates), and the
 #               serial-vs-parallel determinism sweep. Off by default:
 #               tier-1 stays fast.
 #   --bench     run the full deepum_suite grid (serial + parallel with
@@ -72,6 +73,11 @@ if [ "$SOAK" -eq 1 ]; then
   for rps in 2 6; do
     cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
       --serve "$rps" --seeds 8 --budget-secs 120
+  done
+  echo "== device-wear soak =="
+  for ppm in 500 50000; do
+    cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \
+      --wear "$ppm" --seeds 8 --budget-secs 120 --iters 2
   done
   echo "== parallel determinism soak =="
   cargo run -q --locked --release -p deepum-bench --bin deepum_chaos -- \

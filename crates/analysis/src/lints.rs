@@ -127,13 +127,19 @@ const WALLCLOCK_PATTERNS: &[&str] = &[
 /// recoverable hard fault into an abort. The multi-tenant scheduler is
 /// held to the same bar: one tenant's failure must surface as a typed
 /// error, never abort its co-tenants. The serving layer too: a request
-/// must end as completed or a typed shed, never a panic.
+/// must end as completed or a typed shed, never a panic. The checkpoint
+/// ring and the wear extent map joined the set with ECC retirement:
+/// both run exactly when the simulated device is failing, where an
+/// abort would erase the typed `RecoveryError`/`FloorLost` outcomes
+/// the robustness contract promises.
 const PANIC_FILES: &[&str] = &[
     "crates/um/src/driver.rs",
     "crates/um/src/evict.rs",
     "crates/um/src/snapshot.rs",
     "crates/um/src/pressure.rs",
+    "crates/um/src/wear.rs",
     "crates/gpu/src/engine.rs",
+    "crates/core/src/ckpt.rs",
     "crates/core/src/driver.rs",
     "crates/core/src/recovery.rs",
     "crates/sched/src/scheduler.rs",
@@ -176,14 +182,19 @@ const RESULT_CRATES: &[&str] = &["sim", "core", "um", "gpu", "runtime", "sched",
 const RESULT_PATTERNS: &[&str] = &["let _ =", "let _=", ".ok()", ".unwrap_or_default()"];
 
 /// Hot modules for `hot-path-alloc`: the per-fault / per-eviction inner
-/// loops the ROADMAP's flat-table rewrite targets. The committed
-/// baseline (`ci/tidy-baseline.json`) grandfathers today's counts; the
-/// lint is the scoreboard that only lets them fall.
+/// loops the ROADMAP's flat-table rewrite targets, plus the wear extent
+/// map and the checkpoint ring — retirement sampling consults the wear
+/// map on every fault drain, and the ring's store runs inside the
+/// checkpoint cadence. The committed baseline
+/// (`ci/tidy-baseline.json`) grandfathers today's counts; the lint is
+/// the scoreboard that only lets them fall.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/um/src/driver.rs",
     "crates/um/src/evict.rs",
     "crates/um/src/pressure.rs",
+    "crates/um/src/wear.rs",
     "crates/gpu/src/engine.rs",
+    "crates/core/src/ckpt.rs",
 ];
 
 /// Allocation patterns for `hot-path-alloc`. `.collect` (no parens)

@@ -49,6 +49,18 @@ const CASES: &[(&str, &str, &str)] = &[
         "crates/core/src/recovery.rs",
         "panic-safety",
     ),
+    ("ckpt_panic.rs", "crates/core/src/ckpt.rs", "panic-safety"),
+    (
+        "ckpt_container.rs",
+        "crates/core/src/ckpt.rs",
+        "determinism-container",
+    ),
+    ("wear_panic.rs", "crates/um/src/wear.rs", "panic-safety"),
+    (
+        "wear_hot_alloc.rs",
+        "crates/um/src/wear.rs",
+        "hot-path-alloc",
+    ),
     (
         "pressure_panic.rs",
         "crates/um/src/pressure.rs",

@@ -1,0 +1,8 @@
+//! Bad: checkpoint generations keyed by a default-hasher map; walk
+//! order (and so the replayed journal) varies run to run.
+
+use std::collections::HashMap;
+
+pub fn newest(generations: &HashMap<u64, u64>) -> Option<u64> {
+    generations.keys().copied().max()
+}

@@ -1,0 +1,9 @@
+//! Bad: the restore walk aborts on an empty or fully-corrupt ring
+//! instead of surfacing a typed recovery error.
+
+pub fn newest_mark(marks: &[u64]) -> u64 {
+    if marks.is_empty() {
+        panic!("no checkpoint generation retained");
+    }
+    marks[0]
+}

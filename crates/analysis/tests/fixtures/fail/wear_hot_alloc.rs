@@ -1,0 +1,11 @@
+//! Bad: per-retirement allocation while filtering the usable extents.
+
+pub fn exclude(extents: &[(u64, u64)], frame: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &(s, e) in extents {
+        if frame < s || frame >= e {
+            out.push((s, e));
+        }
+    }
+    out
+}

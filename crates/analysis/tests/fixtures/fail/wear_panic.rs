@@ -1,0 +1,10 @@
+//! Bad: retirement unwraps the extent lookup; a frame outside every
+//! usable extent aborts the fault drain instead of being reported.
+
+pub fn take_extent(extents: &mut Vec<(u64, u64)>, frame: u64) -> (u64, u64) {
+    let idx = extents
+        .iter()
+        .position(|&(s, e)| frame >= s && frame < e)
+        .unwrap();
+    extents.remove(idx)
+}

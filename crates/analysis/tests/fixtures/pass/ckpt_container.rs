@@ -1,0 +1,8 @@
+//! Good: generations in a BTreeMap; walk order is the storage order,
+//! bit-identical across replays.
+
+use std::collections::BTreeMap;
+
+pub fn newest(generations: &BTreeMap<u64, u64>) -> Option<u64> {
+    generations.keys().next_back().copied()
+}

@@ -1,0 +1,6 @@
+//! Good: an empty ring is a typed miss the recovery protocol can act
+//! on, never an abort.
+
+pub fn newest_mark(marks: &[u64]) -> Option<u64> {
+    marks.first().copied()
+}

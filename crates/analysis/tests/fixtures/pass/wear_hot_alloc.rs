@@ -1,0 +1,6 @@
+//! Good: retirement rewrites the extent list in place, no per-drain
+//! allocation.
+
+pub fn exclude(extents: &mut Vec<(u64, u64)>, frame: u64) {
+    extents.retain(|&(s, e)| frame < s || frame >= e);
+}

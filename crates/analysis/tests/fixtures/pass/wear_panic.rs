@@ -1,0 +1,9 @@
+//! Good: a frame outside every usable extent is a typed miss the
+//! caller can act on, never an abort.
+
+pub fn take_extent(extents: &mut Vec<(u64, u64)>, frame: u64) -> Option<(u64, u64)> {
+    let idx = extents
+        .iter()
+        .position(|&(s, e)| frame >= s && frame < e)?;
+    Some(extents.remove(idx))
+}

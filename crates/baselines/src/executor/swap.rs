@@ -205,6 +205,7 @@ pub fn run_swap(
         pressure: None,
         tenants: None,
         serving: None,
+        wear: None,
     })
 }
 

@@ -16,11 +16,12 @@
 
 use std::collections::HashMap;
 
+use deepum_core::ckpt::{CheckpointRing, Generation, RecoveryError, DEFAULT_RING_DEPTH};
 use deepum_core::recovery::{JournalEntry, LaunchJournal, RecoveryReport};
 use deepum_gpu::engine::{BackendError, EngineError, EngineSnapshot, GpuEngine, UmBackend};
 use deepum_gpu::fault::AccessKind;
 use deepum_gpu::kernel::{BlockAccess, KernelLaunch};
-use deepum_mem::{BlockNum, ByteRange, PageMask, PAGE_SIZE};
+use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, UmAddr, PAGE_SIZE};
 use deepum_runtime::interpose::{CudaRuntime, LaunchObserver};
 use deepum_sim::clock::SimClock;
 use deepum_sim::costs::CostModel;
@@ -31,12 +32,15 @@ use deepum_sim::faultinject::{
 use deepum_sim::metrics::Counters;
 use deepum_sim::rng::DetRng;
 use deepum_sim::time::Ns;
-use deepum_torch::alloc::{AllocError, CachingAllocator, PtEvent};
+use deepum_torch::alloc::{AllocError, CachingAllocator, PtBlockId, PtEvent};
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
 use deepum_trace::{InjectKind, SharedTracer, TraceEvent};
+use deepum_um::snapshot::{
+    read_counters, write_counters, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 
-use crate::report::{HealthReport, IterStats, PressureReport, RunError, RunReport};
+use crate::report::{HealthReport, IterStats, PressureReport, RunError, RunReport, WearReport};
 
 /// Kernel boundaries the journal holds before a checkpoint is forced.
 const JOURNAL_CAPACITY: usize = 256;
@@ -131,21 +135,205 @@ struct LoopState {
     kernel_seq: u64,
 }
 
-/// A full checkpoint: the cloned loop state plus binary images of the
-/// stateful components and the transient slice of the injector.
-struct Checkpoint {
-    state: LoopState,
-    backend: Vec<u8>,
-    runtime: Vec<u8>,
-    allocator: Vec<u8>,
-    engine: EngineSnapshot,
-    transient: Option<TransientInjectorState>,
+/// Serializes a full checkpoint — the component images plus the loop
+/// state — into one self-validating snapshot envelope. This is the
+/// durable image a [`CheckpointRing`] generation stores; everything the
+/// run needs to resume round-trips through these bytes, so a corruption
+/// of the stored image is always caught by the envelope checksum at
+/// restore time.
+fn encode_checkpoint(
+    st: &LoopState,
+    backend: &[u8],
+    runtime: &[u8],
+    allocator: &[u8],
+    engine: &EngineSnapshot,
+) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.blob(backend);
+    w.blob(runtime);
+    w.blob(allocator);
+    let mut eng = Vec::with_capacity(EngineSnapshot::ENCODED_LEN);
+    engine.encode_into(&mut eng);
+    w.blob(&eng);
+    encode_loop_state(st, &mut w);
+    w.finish()
 }
 
-impl Checkpoint {
-    fn bytes(&self) -> u64 {
-        (self.backend.len() + self.runtime.len() + self.allocator.len()) as u64
+/// Appends the loop state — clock, energy accumulators, RNG, tensor
+/// map, gather cache, finished iterations, and the run position — to a
+/// checkpoint image. Maps are written in sorted key order so the image
+/// is byte-stable across runs.
+fn encode_loop_state(st: &LoopState, w: &mut SnapshotWriter) {
+    w.ns(st.clock.now());
+    let (joules_bits, times) = st.energy.accum_state();
+    w.u64(joules_bits);
+    for t in times {
+        w.u64(t);
     }
+    for word in st.rng.state() {
+        w.u64(word);
+    }
+
+    let mut tensors: Vec<(TensorId, (PtBlockId, ByteRange))> =
+        st.tensors.iter().map(|(k, v)| (*k, *v)).collect();
+    tensors.sort_unstable_by_key(|(id, _)| id.0);
+    w.u64(u64_from_usize(tensors.len()));
+    for (id, (block, range)) in tensors {
+        w.u32(id.0);
+        w.u64(block.raw());
+        w.u64(range.start().raw());
+        w.u64(range.len());
+    }
+
+    let mut gathers: Vec<(TensorId, &Vec<BlockAccess>)> =
+        st.gather_cache.iter().map(|(k, v)| (*k, v)).collect();
+    gathers.sort_unstable_by_key(|(id, _)| id.0);
+    w.u64(u64_from_usize(gathers.len()));
+    for (id, accesses) in gathers {
+        w.u32(id.0);
+        w.u64(u64_from_usize(accesses.len()));
+        for a in accesses {
+            w.block(a.block);
+            w.mask(&a.pages);
+            w.bool(a.kind == AccessKind::Write);
+        }
+    }
+
+    w.u64(u64_from_usize(st.iters.len()));
+    for i in &st.iters {
+        w.ns(i.elapsed);
+        w.ns(i.compute);
+        w.ns(i.stall);
+        write_counters(&i.counters, w);
+    }
+
+    w.u64(u64_from_usize(st.iter));
+    w.u64(u64_from_usize(st.step));
+    w.ns(st.t0);
+    write_counters(&st.c0, w);
+    w.ns(st.compute);
+    w.ns(st.stall);
+    w.u64(st.kernel_seq);
+}
+
+/// Decodes the loop state written by [`encode_loop_state`].
+fn decode_loop_state(r: &mut SnapshotReader<'_>) -> Result<LoopState, SnapshotError> {
+    let mut clock = SimClock::new();
+    clock.advance_to(r.ns()?);
+    let mut energy = EnergyMeter::new();
+    let joules_bits = r.u64()?;
+    let mut times = [0u64; 4];
+    for t in &mut times {
+        *t = r.u64()?;
+    }
+    energy.restore_accum(joules_bits, times);
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.u64()?;
+    }
+    let rng = DetRng::from_state(rng_state);
+
+    let num_tensors = r.len_prefix(4 + 8 + 8 + 8)?;
+    let mut tensors = TensorMap::with_capacity(num_tensors);
+    for _ in 0..num_tensors {
+        let id = TensorId(r.u32()?);
+        let block = PtBlockId::from_raw(r.u64()?);
+        let start = UmAddr::new(r.u64()?);
+        let len = r.u64()?;
+        tensors.insert(id, (block, ByteRange::new(start, len)));
+    }
+
+    let num_gathers = r.len_prefix(4 + 8)?;
+    let mut gather_cache = HashMap::with_capacity(num_gathers);
+    for _ in 0..num_gathers {
+        let id = TensorId(r.u32()?);
+        let num_accesses = r.len_prefix(8 + 64 + 1)?;
+        let mut accesses = Vec::with_capacity(num_accesses);
+        for _ in 0..num_accesses {
+            let block = r.block()?;
+            let pages = r.mask()?;
+            let kind = if r.bool()? {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            accesses.push(BlockAccess::new(block, pages, kind));
+        }
+        gather_cache.insert(id, accesses);
+    }
+
+    let num_iters = r.len_prefix(8 * 3)?;
+    let mut iters = Vec::with_capacity(num_iters);
+    for _ in 0..num_iters {
+        let elapsed = r.ns()?;
+        let compute = r.ns()?;
+        let stall = r.ns()?;
+        let counters = read_counters(r)?;
+        iters.push(IterStats {
+            elapsed,
+            compute,
+            stall,
+            counters,
+        });
+    }
+
+    let iter = r.u64()? as usize;
+    let step = r.u64()? as usize;
+    let t0 = r.ns()?;
+    let c0 = read_counters(r)?;
+    let compute = r.ns()?;
+    let stall = r.ns()?;
+    let kernel_seq = r.u64()?;
+    Ok(LoopState {
+        clock,
+        energy,
+        rng,
+        tensors,
+        gather_cache,
+        iters,
+        iter,
+        step,
+        t0,
+        c0,
+        compute,
+        stall,
+        kernel_seq,
+    })
+}
+
+/// Restores every run component from one stored checkpoint image. The
+/// envelope checksum is verified before anything is mutated, so a
+/// corrupt generation fails cleanly and the caller can fall back to an
+/// older one.
+fn try_restore_image<B: UmBackend + LaunchObserver>(
+    image: &[u8],
+    backend: &mut B,
+    runtime: &mut CudaRuntime,
+    allocator: &mut CachingAllocator,
+    engine: &mut GpuEngine,
+) -> Result<LoopState, String> {
+    let mut r = SnapshotReader::new(image).map_err(|e| e.to_string())?;
+    let backend_image = r.blob().map_err(|e| e.to_string())?;
+    let runtime_image = r.blob().map_err(|e| e.to_string())?;
+    let allocator_image = r.blob().map_err(|e| e.to_string())?;
+    let engine_image = r.blob().map_err(|e| e.to_string())?;
+    backend
+        .restore_state(backend_image)
+        .map_err(|e| format!("backend restore failed: {e}"))?;
+    runtime
+        .restore(runtime_image)
+        .map_err(|e| format!("runtime restore failed: {e}"))?;
+    allocator
+        .restore(allocator_image)
+        .map_err(|e| format!("allocator restore failed: {e}"))?;
+    let engine_snap = EngineSnapshot::decode_from(engine_image)?;
+    engine.restore(&engine_snap);
+    let state = decode_loop_state(&mut r).map_err(|e| e.to_string())?;
+    r.finish().map_err(|e| e.to_string())?;
+    backend
+        .validate()
+        .map_err(|e| format!("restored backend failed validation: {e}"))?;
+    Ok(state)
 }
 
 /// Emits one trace event when the run is traced.
@@ -155,13 +343,23 @@ fn emit(tracer: &Option<SharedTracer>, now: Ns, event: TraceEvent) {
     }
 }
 
-/// Rewinds the whole run to `cp` after a hard fault and charges the
-/// downtime (reset penalty + demand-only refill of the checkpoint's
-/// resident set) to the recovery report, out of band of the simulation
-/// clock so recovered runs stay byte-comparable to uninterrupted ones.
+/// Rewinds the whole run to the newest restorable checkpoint generation
+/// after a hard fault and charges the downtime (reset penalty +
+/// demand-only refill of the restored resident set) to the recovery
+/// report, out of band of the simulation clock so recovered runs stay
+/// byte-comparable to uninterrupted ones.
+///
+/// The ring is walked newest-first: a generation whose stored image
+/// fails its envelope checksum (torn write, truncation, bit flip) is
+/// traced as [`TraceEvent::CheckpointCorrupt`] and the next-older one
+/// is tried, replaying a correspondingly longer journal segment. Every
+/// generation failing surfaces the typed
+/// [`RunError::AllCheckpointsCorrupt`].
+///
+/// Returns the journaled launches the chosen generation replays.
 #[allow(clippy::too_many_arguments)]
 fn recover<B: UmBackend + LaunchObserver>(
-    cp: &Checkpoint,
+    ring: &CheckpointRing<Option<TransientInjectorState>>,
     st: &mut LoopState,
     backend: &mut B,
     runtime: &mut CudaRuntime,
@@ -172,34 +370,62 @@ fn recover<B: UmBackend + LaunchObserver>(
     costs: &CostModel,
     journal: &mut LaunchJournal,
     rec: &mut RecoveryReport,
+    fallback_generations: &mut u64,
+    tracer: &Option<SharedTracer>,
     reason: &str,
-) -> Result<(), RunError> {
+) -> Result<u64, RunError> {
     rec.restores += 1;
     if rec.restores > MAX_RESTORES {
         return Err(RunError::Recovery(format!(
             "gave up after {MAX_RESTORES} restores (last hard fault: {reason})"
         )));
     }
-    rec.replay_kernels += journal.len() as u64;
-    journal.clear();
+    // Corrupt-generation events are stamped at crash time; the clock has
+    // not been rewound yet.
+    let crash_now = st.clock.now();
+    let restored = ring.restore_with(
+        |generation| {
+            try_restore_image(&generation.image, backend, runtime, allocator, engine)
+                .map(|state| (state, generation.journal_mark, generation.extra.clone()))
+        },
+        |index, _err| {
+            emit(
+                tracer,
+                crash_now,
+                TraceEvent::CheckpointCorrupt { generation: index },
+            );
+        },
+    );
+    let (generation, (state, mark, transient)) = match restored {
+        Ok(ok) => ok,
+        Err(RecoveryError::NoCheckpoint) => {
+            return Err(RunError::Recovery(format!(
+                "{reason} before the first checkpoint"
+            )))
+        }
+        Err(RecoveryError::AllCheckpointsCorrupt { generations }) => {
+            return Err(RunError::AllCheckpointsCorrupt { generations })
+        }
+    };
 
-    *st = cp.state.clone();
-    backend
-        .restore_state(&cp.backend)
-        .map_err(|e| RunError::Recovery(format!("backend restore failed: {e}")))?;
-    runtime
-        .restore(&cp.runtime)
-        .map_err(|e| RunError::Recovery(format!("runtime restore failed: {e}")))?;
-    allocator
-        .restore(&cp.allocator)
-        .map_err(|e| RunError::Recovery(format!("allocator restore failed: {e}")))?;
-    engine.restore(&cp.engine);
-    if let (Some(inj), Some(tr)) = (injector, &cp.transient) {
+    let replayed = u64_from_usize(journal.since(mark));
+    rec.replay_kernels += replayed;
+    journal.truncate_to(mark);
+    *st = state;
+    if let (Some(inj), Some(tr)) = (injector, &transient) {
         inj.borrow_mut().restore_transient(tr);
     }
-    backend
-        .validate()
-        .map_err(|e| RunError::Recovery(format!("restored backend failed validation: {e}")))?;
+    if generation > 0 {
+        *fallback_generations += generation;
+        emit(
+            tracer,
+            st.clock.now(),
+            TraceEvent::RecoveryFellBack {
+                generations: generation,
+                replayed,
+            },
+        );
+    }
 
     // The reset wiped device memory: every page the checkpoint had
     // resident comes back over PCIe at demand-paging granularity before
@@ -209,7 +435,7 @@ fn recover<B: UmBackend + LaunchObserver>(
         .downtime_ns
         .saturating_add(plan.reset_penalty.as_nanos())
         .saturating_add(refill.as_nanos());
-    Ok(())
+    Ok(replayed)
 }
 
 /// Runs `workload` against `backend` (naive UM, DeepUM, or an ablation).
@@ -281,9 +507,12 @@ where
     // to a plain nested iteration/step walk.
     let cadence = cfg.checkpoint_cadence();
     let mut recovery = cadence.map(|_| RecoveryReport::default());
-    let mut checkpoint: Option<Checkpoint> = None;
+    let mut ring: CheckpointRing<Option<TransientInjectorState>> =
+        CheckpointRing::new(DEFAULT_RING_DEPTH);
     let mut checkpoint_due = cadence.is_some();
     let mut journal = LaunchJournal::new(JOURNAL_CAPACITY);
+    // Extra generations consumed by restores skipping corrupt images.
+    let mut fallback_generations = 0u64;
 
     let mut st = LoopState {
         t0: clock.now(),
@@ -316,25 +545,51 @@ where
                      required by the hard-fault plan"
                 ))
             })?;
-            let cp = Checkpoint {
-                state: st.clone(),
-                backend: backend_image,
-                runtime: runtime.snapshot(),
-                allocator: allocator.snapshot(),
-                engine: engine.snapshot(),
-                transient: injector.as_ref().map(|i| i.borrow().transient_snapshot()),
-            };
+            let runtime_image = runtime.snapshot();
+            let allocator_image = allocator.snapshot();
+            // The reported checkpoint size keeps its pre-ring lens — the
+            // component images — so crash-free traces stay byte-stable.
+            let section_bytes =
+                u64_from_usize(backend_image.len() + runtime_image.len() + allocator_image.len());
+            let mut image = encode_checkpoint(
+                &st,
+                &backend_image,
+                &runtime_image,
+                &allocator_image,
+                &engine.snapshot(),
+            );
+            // A scheduled or sampled storage fault damages the image
+            // *silently*, like a real torn write; nothing notices until
+            // a restore validates the envelope.
+            if let Some(inj) = &injector {
+                if let Some(c) = inj
+                    .borrow_mut()
+                    .take_ckpt_corruption(u64_from_usize(image.len()))
+                {
+                    c.apply(&mut image);
+                }
+            }
+            ring.store(Generation {
+                image,
+                journal_mark: st.kernel_seq,
+                extra: injector.as_ref().map(|i| i.borrow().transient_snapshot()),
+            });
             if let Some(rec) = recovery.as_mut() {
                 rec.checkpoints += 1;
-                rec.snapshot_bytes = cp.bytes();
+                rec.snapshot_bytes = section_bytes;
             }
             emit(
                 &cfg.tracer,
                 st.clock.now(),
-                TraceEvent::Checkpoint { bytes: cp.bytes() },
+                TraceEvent::Checkpoint {
+                    bytes: section_bytes,
+                },
             );
-            journal.clear();
-            checkpoint = Some(cp);
+            // Journal entries older than the oldest retained generation
+            // can never be replayed again.
+            if let Some(mark) = ring.oldest_mark() {
+                journal.evict_before(mark);
+            }
         }
 
         match &workload.steps[st.step] {
@@ -369,13 +624,14 @@ where
                             kind: InjectKind::DeviceReset,
                         },
                     );
-                    let cp = checkpoint.as_ref().ok_or_else(|| {
-                        RunError::Recovery("device reset before the first checkpoint".into())
-                    })?;
+                    if ring.is_empty() {
+                        return Err(RunError::Recovery(
+                            "device reset before the first checkpoint".into(),
+                        ));
+                    }
                     let rec = recovery.as_mut().expect("recovery active with injector");
-                    let replayed = journal.len() as u64;
-                    recover(
-                        cp,
+                    let replayed = recover(
+                        &ring,
                         &mut st,
                         backend,
                         &mut runtime,
@@ -386,6 +642,8 @@ where
                         &cfg.costs,
                         &mut journal,
                         rec,
+                        &mut fallback_generations,
+                        &cfg.tracer,
                         "scheduled device reset",
                     )?;
                     emit(
@@ -459,13 +717,14 @@ where
                                 kind: InjectKind::DriverCrash,
                             },
                         );
-                        let cp = checkpoint.as_ref().ok_or_else(|| {
-                            RunError::Recovery("driver crash before the first checkpoint".into())
-                        })?;
+                        if ring.is_empty() {
+                            return Err(RunError::Recovery(
+                                "driver crash before the first checkpoint".into(),
+                            ));
+                        }
                         let rec = recovery.as_mut().expect("recovery active with injector");
-                        let replayed = journal.len() as u64;
-                        recover(
-                            cp,
+                        let replayed = recover(
+                            &ring,
                             &mut st,
                             backend,
                             &mut runtime,
@@ -476,6 +735,8 @@ where
                             &cfg.costs,
                             &mut journal,
                             rec,
+                            &mut fallback_generations,
+                            &cfg.tracer,
                             "driver crash during fault drain",
                         )?;
                         emit(
@@ -548,6 +809,21 @@ where
         None
     };
 
+    // The wear section appears when the device actually wore (a page
+    // was retired) or a restore fell back past a corrupt generation;
+    // otherwise it is omitted and the report stays byte-identical to
+    // pre-wear builds.
+    let wear_stats = backend.wear();
+    let wear = if wear_stats.is_some() || fallback_generations > 0 {
+        Some(WearReport {
+            retired_pages: wear_stats.map_or(0, |w| w.retired_pages),
+            remigrations: wear_stats.map_or(0, |w| w.remigrated_pages),
+            recovery_generations: fallback_generations,
+        })
+    } else {
+        None
+    };
+
     Ok(RunReport {
         workload: workload.name.clone(),
         system: system.into(),
@@ -569,6 +845,7 @@ where
         }),
         tenants: None,
         serving: None,
+        wear,
     })
 }
 

@@ -52,6 +52,7 @@ pub fn run_ideal(workload: &Workload, iterations: usize, perf: &PerfModel) -> Ru
         pressure: None,
         tenants: None,
         serving: None,
+        wear: None,
     }
 }
 

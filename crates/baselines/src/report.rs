@@ -57,6 +57,26 @@ pub enum RunError {
         /// Floor pages still unreserved on the device.
         avail: u64,
     },
+    /// ECC page retirement shrank the device below the sum of admitted
+    /// floors and the capacity refit revoked this tenant's guaranteed
+    /// floor. The tenant's run ends with this typed error instead of
+    /// livelocking on a guarantee the worn device can no longer honor;
+    /// other tenants keep running.
+    FloorLost {
+        /// The tenant whose floor was revoked.
+        tenant: u32,
+        /// Floor pages the tenant had been guaranteed.
+        floor_pages: u64,
+        /// Effective device capacity (pages) after the shrink.
+        capacity_pages: u64,
+    },
+    /// Every retained checkpoint generation failed validation during a
+    /// hard-fault restore: the stored images were all torn, truncated,
+    /// or bit-flipped beyond their checksums.
+    AllCheckpointsCorrupt {
+        /// Generations tried (ring occupancy at restore time).
+        generations: u64,
+    },
 }
 
 impl core::fmt::Display for RunError {
@@ -82,6 +102,21 @@ impl core::fmt::Display for RunError {
                 f,
                 "admission denied: tenant t{tenant} requested a floor of \
                  {need} pages but only {avail} remain unreserved"
+            ),
+            RunError::FloorLost {
+                tenant,
+                floor_pages,
+                capacity_pages,
+            } => write!(
+                f,
+                "floor lost: ECC page retirement shrank the device to \
+                 {capacity_pages} pages, revoking tenant t{tenant}'s \
+                 guaranteed floor of {floor_pages} pages"
+            ),
+            RunError::AllCheckpointsCorrupt { generations } => write!(
+                f,
+                "recovery failed: all {generations} retained checkpoint \
+                 generation(s) are corrupt"
             ),
         }
     }
@@ -208,6 +243,21 @@ pub struct ServingReport {
     pub total_shed: u64,
 }
 
+/// Device-wear section of a run report: permanent ECC page retirement
+/// and its fallout. `None` on [`RunReport`] when no page was retired and
+/// no restore fell back a generation, so wear-free reports stay
+/// byte-identical to pre-wear builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearReport {
+    /// Device page frames permanently retired (ECC blacklist size).
+    pub retired_pages: u64,
+    /// Pages live-migrated off retiring frames (out-of-band DMA).
+    pub remigrations: u64,
+    /// Extra checkpoint generations consumed by restores falling back
+    /// past corrupt images (0 = every restore used the newest).
+    pub recovery_generations: u64,
+}
+
 /// The outcome of running a workload under one memory system.
 ///
 /// Every optional section carries
@@ -260,6 +310,11 @@ pub struct RunReport {
     /// builds.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub serving: Option<ServingReport>,
+    /// Device-wear summary; `Some` only when ECC retirement fired or a
+    /// restore consumed a fallback checkpoint generation, so wear-free
+    /// reports stay byte-identical to pre-wear builds.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub wear: Option<WearReport>,
 }
 
 impl RunReport {
@@ -361,6 +416,7 @@ mod tests {
             pressure: None,
             tenants: None,
             serving: None,
+            wear: None,
         }
     }
 
@@ -531,6 +587,60 @@ mod tests {
         assert!(json.contains("trainer"));
         let back: RunReport = serde_json::from_str(&json).expect("report parses");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wear_free_report_omits_wear_member() {
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(!json.contains("\"wear\""));
+    }
+
+    #[test]
+    fn wear_member_round_trips() {
+        let mut r = report(&[10, 10]);
+        r.wear = Some(WearReport {
+            retired_pages: 3,
+            remigrations: 1200,
+            recovery_generations: 1,
+        });
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(json.contains("\"wear\""));
+        assert!(json.contains("retired_pages"));
+        let back: RunReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_wear_report_without_member_still_parses() {
+        // Bench-cache files written before v16 have no `wear` key at
+        // all; they must keep deserializing (to `None`).
+        let r = report(&[10, 10]);
+        let json = serde_json::to_string(&r).expect("report serializes");
+        assert!(!json.contains("\"wear\""), "{json}");
+        let back: RunReport = serde_json::from_str(&json).expect("pre-wear report parses");
+        assert_eq!(back.wear, None);
+    }
+
+    #[test]
+    fn floor_lost_formats_tenant_and_sizes() {
+        let e = RunError::FloorLost {
+            tenant: 1,
+            floor_pages: 4096,
+            capacity_pages: 3500,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("t1") && msg.contains("4096") && msg.contains("3500"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_formats_generation_count() {
+        let e = RunError::AllCheckpointsCorrupt { generations: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("corrupt"), "{msg}");
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //!   must still complete every iteration and report the poisonings.
 //!
 //! Usage: `deepum_chaos [--seeds N] [--budget-secs S] [--iters N]
-//! [--oversub PCT] [--tenants N] [--serve RPS] [--parallel]`. The
-//! wall-clock budget stops the sweep early without failing it, so a
-//! fixed seed grid can run under CI time limits (`./ci.sh --soak`).
+//! [--oversub PCT] [--tenants N] [--serve RPS] [--wear PPM]
+//! [--parallel]`. The wall-clock budget stops the sweep early without
+//! failing it, so a fixed seed grid can run under CI time limits
+//! (`./ci.sh --soak`).
 //!
 //! With `--parallel` the harness runs the determinism sweep: every
 //! (seed, system) cell of the default chaos grid executes once on the
@@ -44,6 +45,15 @@
 //! either completes or fails with a typed [`RunError`], and the full
 //! aggregate report reproduces byte-for-byte across two runs.
 //!
+//! With `--wear PPM` the harness runs the device-wear soak: each fault
+//! drain retires a page with probability PPM parts-per-million (plus
+//! two scheduled retirements per seed), crossed with a checkpoint-image
+//! corruption storm. The contract: no panic, the backend invariant
+//! sweep — retired-frame / extent / residency disjointness included —
+//! stays clean after every drain and after the run, every run finishes
+//! or fails with a typed [`RunError`], and two runs of the same
+//! schedule match byte-for-byte.
+//!
 //! With `--serve RPS` the harness runs the inference-serving soak: two
 //! endpoints under a diurnal curve with a 2× burst window and a seeded
 //! request soft-fault storm, once defended by the degradation ladder
@@ -56,8 +66,11 @@ use std::time::Instant;
 
 use deepum_baselines::report::{RunError, RunReport};
 use deepum_baselines::suite::{run_system, RunParams, System};
+use deepum_baselines::{run_um, NaiveUm, UmRunConfig};
 use deepum_bench::suite::map_parallel;
 use deepum_core::config::DeepumConfig;
+use deepum_core::driver::DeepumDriver;
+use deepum_gpu::engine::UmBackend;
 use deepum_sched::scheduler::MultiTenant;
 use deepum_sched::spec::{seeded_arrivals, JobKind, TenantSpec};
 use deepum_serve::{EndpointSpec, LadderConfig, LoadCurve, ServeSim, ServeSpec};
@@ -81,6 +94,10 @@ struct ChaosOpts {
     /// Base requests per cycle; `Some` switches to the inference-serving
     /// soak.
     serve: Option<u64>,
+    /// ECC page-retirement probability per fault drain, in parts per
+    /// million; `Some` switches to the device-wear soak (retirement
+    /// storm + checkpoint-image corruption).
+    wear: Option<u64>,
     /// Run the serial-vs-parallel determinism sweep instead of the
     /// crash-recovery convergence sweep.
     parallel: bool,
@@ -94,6 +111,7 @@ fn parse_opts() -> ChaosOpts {
         oversub: None,
         tenants: None,
         serve: None,
+        wear: None,
         parallel: false,
     };
     let mut args = std::env::args().skip(1);
@@ -131,12 +149,20 @@ fn parse_opts() -> ChaosOpts {
                 );
                 opts.serve = Some(rps);
             }
+            "--wear" => {
+                let ppm = value("--wear");
+                assert!(
+                    (1..=1_000_000).contains(&ppm),
+                    "--wear expects a per-drain retirement rate in parts per million (1..=1000000)"
+                );
+                opts.wear = Some(ppm);
+            }
             "--parallel" => opts.parallel = true,
             other => {
                 panic!(
                     "unknown option {other} \
                      (try --seeds, --budget-secs, --iters, --oversub, --tenants, --serve, \
-                     --parallel)"
+                     --wear, --parallel)"
                 )
             }
         }
@@ -522,6 +548,153 @@ fn tenant_sweep(opts: &ChaosOpts, n: usize) -> (u64, u64) {
     (ran, failures)
 }
 
+/// Device-wear soak: an ECC page-retirement storm crossed with
+/// checkpoint-image corruption, on a device deliberately too small for
+/// the working set.
+///
+/// Retirement permanently shrinks capacity mid-run and corruption makes
+/// restores fall back across checkpoint generations, so the contract is
+/// survival, not convergence: every run finishes all iterations or
+/// fails with a typed [`RunError`], never panics, the backend's full
+/// invariant sweep (retired-frame / extent / residency disjointness
+/// included) stays clean after every fault drain *and* after the run,
+/// and two runs of the same schedule match byte-for-byte.
+fn wear_sweep(opts: &ChaosOpts, ppm: u64) -> (u64, u64) {
+    let workload = ModelKind::MobileNet.build(48);
+    // ~1.4x oversubscription keeps wear, eviction, and remigration hot.
+    let device = (workload.peak_bytes() * 100 / 140).max(16 << 20);
+    let started = Instant::now();
+    let mut failures = 0u64;
+    let mut ran = 0u64;
+    println!(
+        "[wear] rate={ppm}ppm/drain peak={}MiB device={}MiB",
+        workload.peak_bytes() >> 20,
+        device >> 20
+    );
+
+    for seed in 0..opts.seeds {
+        if started.elapsed().as_secs() >= opts.budget_secs {
+            println!(
+                "[budget] wall-clock budget of {}s reached after {ran} seeds; stopping early",
+                opts.budget_secs
+            );
+            break;
+        }
+        // The seed's crash schedule crossed with wear: sampled
+        // retirements at the requested rate plus two scheduled ones (so
+        // even tiny rates exercise the shrink path), and a corruption
+        // storm that always claims the second stored generation and
+        // samples the rest — restores fall back rather than die at the
+        // first crash, though an unlucky seed losing every retained
+        // generation is still a legal (typed) outcome.
+        let plan = InjectionPlan {
+            ecc_retire_rate: ppm as f64 / 1e6,
+            retire_pages_at: vec![seed % 7, 9 + seed % 11],
+            ckpt_corrupt_rate: 0.1,
+            ckpt_corrupt_at: vec![1],
+            ..chaos_plan(seed)
+        };
+        println!(
+            "[seed {seed}] resets={:?} crashes={:?} ecc={}",
+            plan.device_reset_at, plan.driver_crash_at, plan.ecc_rate
+        );
+        for deepum in [false, true] {
+            let label = if deepum { "deepum" } else { "um    " };
+            let cfg = UmRunConfig {
+                iterations: opts.iters,
+                costs: CostModel::v100_32gb()
+                    .with_device_memory(device)
+                    .with_host_memory(8 << 30),
+                perf: PerfModel::v100(),
+                seed: 0x5eed,
+                plan: plan.clone(),
+                validate_after_drain: true,
+                checkpoint_every: None,
+                tracer: None,
+            };
+            // One pass: the run outcome, the backend's post-run
+            // invariant sweep, and whether the report carries a wear
+            // section — flattened to bytes for the double-run check.
+            let run_once = || -> (Result<RunReport, RunError>, Result<(), String>, bool) {
+                if deepum {
+                    let dcfg = DeepumConfig::default().with_pressure_governor(8, 4, 15, 35);
+                    let mut b = DeepumDriver::new(cfg.costs.clone(), dcfg);
+                    let r = run_um(&workload, &mut b, "deepum", &cfg, |b| b.counters());
+                    let v = UmBackend::validate(&b).map_err(|e| e.to_string());
+                    let worn = UmBackend::wear(&b).is_some();
+                    (r, v, worn)
+                } else {
+                    let mut b = NaiveUm::new(cfg.costs.clone());
+                    let r = run_um(&workload, &mut b, "um", &cfg, |b| b.counters());
+                    let v = UmBackend::validate(&b).map_err(|e| e.to_string());
+                    let worn = UmBackend::wear(&b).is_some();
+                    (r, v, worn)
+                }
+            };
+            let outcomes: Vec<_> = (0..2)
+                .map(|_| std::panic::catch_unwind(std::panic::AssertUnwindSafe(&run_once)))
+                .collect();
+            match (&outcomes[0], &outcomes[1]) {
+                (Ok((ra, va, worn_a)), Ok((rb, vb, _))) => {
+                    let bytes = |r: &Result<RunReport, RunError>| match r {
+                        Ok(rep) => serde_json::to_string(rep)
+                            .unwrap_or_else(|e| format!("<serialize error: {e}>")),
+                        Err(e) => format!("ERR: {e}"),
+                    };
+                    if let Err(msg) = va.as_ref().and(vb.as_ref()) {
+                        println!("  FAIL {label}: post-run invariant sweep: {msg}");
+                        failures += 1;
+                    } else if bytes(ra) != bytes(rb) {
+                        println!("  FAIL {label}: two runs of the same schedule diverged");
+                        failures += 1;
+                    } else {
+                        match ra {
+                            Ok(rep) if rep.iters.len() != opts.iters => {
+                                println!(
+                                    "  FAIL {label}: completed {}/{} iterations",
+                                    rep.iters.len(),
+                                    opts.iters
+                                );
+                                failures += 1;
+                            }
+                            Ok(rep) if *worn_a && rep.wear.is_none() => {
+                                println!(
+                                    "  FAIL {label}: device wore but the report has no wear section"
+                                );
+                                failures += 1;
+                            }
+                            Ok(rep) => {
+                                let w = rep.wear.as_ref();
+                                println!(
+                                    "  ok   {label}: live (retired={}, remigrations={}, \
+                                     fallback_generations={})",
+                                    w.map_or(0, |w| w.retired_pages),
+                                    w.map_or(0, |w| w.remigrations),
+                                    w.map_or(0, |w| w.recovery_generations)
+                                );
+                            }
+                            Err(e) => {
+                                println!("  ok   {label}: typed failure (deterministic): {e}");
+                            }
+                        }
+                    }
+                }
+                (Err(msg), _) | (_, Err(msg)) => {
+                    let msg = msg
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| msg.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic with non-string payload".to_string());
+                    println!("  FAIL {label}: PANIC: {msg}");
+                    failures += 1;
+                }
+            }
+            ran += 1;
+        }
+    }
+    (ran, failures)
+}
+
 /// Inference-serving soak: per seed, a two-endpoint serving run under a
 /// diurnal curve with a 2× burst window, a soft-fault storm on the
 /// request path, and a training bystander — once ladder-defended, once
@@ -664,6 +837,18 @@ fn main() {
         let (ran, failures) = parallel_sweep(&opts);
         println!(
             "deepum-chaos --parallel: {ran} runs, {failures} failures, {:.1}s wall",
+            started.elapsed().as_secs_f64()
+        );
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(ppm) = opts.wear {
+        let started = Instant::now();
+        let (ran, failures) = wear_sweep(&opts, ppm);
+        println!(
+            "deepum-chaos --wear {ppm}: {ran} runs, {failures} failures, {:.1}s wall",
             started.elapsed().as_secs_f64()
         );
         if failures > 0 {

@@ -12,10 +12,10 @@ use deepum_baselines::report::{RunError, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// Cache format version; bump when simulator semantics or the report
-/// schema change enough to invalidate stored reports. v15: `RunReport`
-/// gains the optional `serving` section (omitted when absent) and the
-/// hint-aware eviction order can shift simulated timings.
-const VERSION: &str = "v15";
+/// schema change enough to invalidate stored reports. v16: `RunReport`
+/// gains the optional `wear` section (omitted when absent) for ECC page
+/// retirement and multi-generation checkpoint recovery.
+const VERSION: &str = "v16";
 
 #[derive(Debug, Serialize, Deserialize)]
 enum Cached {
@@ -113,6 +113,7 @@ mod tests {
             pressure: None,
             tenants: None,
             serving: None,
+            wear: None,
         }
     }
 
@@ -182,9 +183,8 @@ mod tests {
     fn cache_filenames_pin_the_format_version() {
         // Decode-compat guard: cache files are namespaced by VERSION, so
         // a report-schema change must bump it or stale files would parse
-        // under the new schema. v15 = the optional serving section plus
-        // hint-aware eviction ordering.
-        assert_eq!(VERSION, "v15");
+        // under the new schema. v16 = the optional wear section.
+        assert_eq!(VERSION, "v16");
         let cache = RunCache::new(Path::new("/tmp"));
         let name = cache
             .path("k")
@@ -193,9 +193,23 @@ mod tests {
             .to_str()
             .unwrap()
             .to_string();
-        assert!(name.starts_with("v15-"), "{name}");
-        // And the v15 minimal report really has no null members.
+        assert!(name.starts_with("v16-"), "{name}");
+        // And the v16 minimal report really has no null members.
         let body = serde_json::to_string(&dummy()).unwrap();
         assert!(!body.contains("null"), "{body}");
+    }
+
+    #[test]
+    fn pre_wear_cache_bodies_still_parse() {
+        // A wear-free cached body is byte-identical to a v15-era one
+        // (the `wear` member is omitted, not null), so the new schema
+        // must keep parsing it.
+        let legacy = serde_json::to_string(&Cached::Ok(Box::new(dummy()))).unwrap();
+        assert!(!legacy.contains("wear"), "{legacy}");
+        let parsed: Cached = serde_json::from_str(&legacy).unwrap();
+        match parsed {
+            Cached::Ok(r) => assert!(r.wear.is_none()),
+            Cached::Err(e) => panic!("expected Ok, got {e:?}"),
+        }
     }
 }

@@ -923,6 +923,10 @@ impl UmBackend for DeepumDriver {
             s
         })
     }
+
+    fn wear(&self) -> Option<deepum_gpu::engine::WearStats> {
+        UmBackend::wear(&self.um)
+    }
 }
 
 #[cfg(test)]

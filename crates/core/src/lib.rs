@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chain;
+pub mod ckpt;
 pub mod config;
 pub mod correlation;
 pub mod driver;

@@ -140,6 +140,24 @@ impl LaunchJournal {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Entries with launch sequence number `>= mark` — the launches a
+    /// restore to the checkpoint generation stored at `mark` replays.
+    pub fn since(&self, mark: u64) -> usize {
+        self.entries.iter().filter(|e| e.seq >= mark).count()
+    }
+
+    /// Drops entries with `seq >= mark`: the run was rewound to `mark`
+    /// and will re-journal those launches as it replays them.
+    pub fn truncate_to(&mut self, mark: u64) {
+        self.entries.retain(|e| e.seq < mark);
+    }
+
+    /// Drops entries with `seq < mark`: the oldest retained checkpoint
+    /// generation was stored at `mark`, so no restore can need them.
+    pub fn evict_before(&mut self, mark: u64) {
+        self.entries.retain(|e| e.seq >= mark);
+    }
 }
 
 fn write_opt_u32(w: &mut SnapshotWriter, v: Option<u32>) {
@@ -157,7 +175,10 @@ fn read_opt_u32(r: &mut SnapshotReader<'_>) -> Result<Option<u32>, SnapshotError
 /// UM driver, correlation tables, footprints, execution context, and
 /// every piece of prefetching-thread state — into one snapshot envelope.
 pub fn snapshot_deepum(d: &DeepumDriver) -> Vec<u8> {
-    let mut w = SnapshotWriter::new();
+    // The envelope version follows the nested UM driver: v3 while the
+    // device is pristine (byte-identical to pre-wear builds), v4 once
+    // any page has been retired.
+    let mut w = deepum_um::snapshot::driver_snapshot_writer(&d.um);
     deepum_um::snapshot::write_driver_state(&d.um, &mut w);
     d.exec_corr.encode_into(&mut w);
 

@@ -211,6 +211,26 @@ pub trait UmBackend {
     fn pressure(&self) -> Option<PressureStats> {
         None
     }
+
+    /// Cumulative device-wear statistics (ECC page retirement), `None`
+    /// when no frame was ever retired (the default). The report layer
+    /// maps this to the omitted-not-null `RunReport.wear` section.
+    fn wear(&self) -> Option<WearStats> {
+        None
+    }
+}
+
+/// Cumulative device-wear statistics: permanent ECC page-frame
+/// retirement and the live migrations it forced. Defined next to
+/// [`UmBackend`] so backends can report it without the report layer
+/// depending on the um crate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WearStats {
+    /// Device page frames permanently retired (blacklisted).
+    pub retired_pages: u64,
+    /// Pages live-migrated off the device because a frame retired or
+    /// the shrunk capacity no longer held them.
+    pub remigrated_pages: u64,
 }
 
 /// Cumulative statistics of the memory-pressure governor
@@ -278,11 +298,52 @@ impl KernelRunStats {
 /// and the fault buffer's lifetime counters. Captured at kernel
 /// boundaries, where the fault buffer is always empty, so buffered
 /// entries need no snapshotting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineSnapshot {
     next_sm: u16,
     total_pushed: u64,
     total_dropped: u64,
+}
+
+impl EngineSnapshot {
+    /// Appends the snapshot's fields to a binary checkpoint image.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.next_sm.to_le_bytes());
+        out.extend_from_slice(&self.total_pushed.to_le_bytes());
+        out.extend_from_slice(&self.total_dropped.to_le_bytes());
+    }
+
+    /// Number of bytes [`Self::encode_into`] appends.
+    pub const ENCODED_LEN: usize = 2 + 8 + 8;
+
+    /// Decodes a snapshot encoded by [`Self::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `bytes` is shorter than
+    /// [`Self::ENCODED_LEN`].
+    pub fn decode_from(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < Self::ENCODED_LEN {
+            // deepum-tidy: allow(hot-path-alloc) -- error formatting on
+            // the cold checkpoint-restore path, never during a drain.
+            return Err(format!(
+                "engine snapshot truncated: {} of {} bytes",
+                bytes.len(),
+                Self::ENCODED_LEN
+            ));
+        }
+        let mut sm = [0u8; 2];
+        sm.copy_from_slice(&bytes[0..2]);
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&bytes[2..10]);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[10..18]);
+        Ok(EngineSnapshot {
+            next_sm: u16::from_le_bytes(sm),
+            total_pushed: u64::from_le_bytes(a),
+            total_dropped: u64::from_le_bytes(b),
+        })
+    }
 }
 
 /// The simulated GPU front end.

@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use deepum_baselines::report::{RunError, RunReport, TenantReport};
+use deepum_baselines::report::{RunError, RunReport, TenantReport, WearReport};
 use deepum_mem::TenantId;
 use deepum_sim::costs::CostModel;
 use deepum_sim::metrics::Counters;
@@ -162,6 +162,19 @@ impl MultiTenant {
                 let Some(run) = runs.get_mut(idx).and_then(Option::as_mut) else {
                     continue;
                 };
+                // ECC retirement may have shrunk the device past this
+                // tenant's guaranteed floor since its last slot; surface
+                // the typed error instead of running it on a reservation
+                // it no longer holds (never a livelock).
+                if shared.floor_lost(run.tid) && !run.is_done() {
+                    run.fail(RunError::FloorLost {
+                        tenant: run.tid.raw(),
+                        floor_pages: run.spec.floor_pages,
+                        capacity_pages: shared.capacity_pages(),
+                    });
+                    finished.push(idx);
+                    continue;
+                }
                 if Self::slot(run, &mut shared) {
                     finished.push(idx);
                 }
@@ -240,6 +253,25 @@ impl MultiTenant {
             energy += run.energy_joules();
         }
         let tenants: Vec<TenantReport> = reports.into_iter().flatten().collect();
+        // The wear section appears only when the device actually wore
+        // or some tenant's restore fell back past a corrupt checkpoint
+        // generation; untouched schedules keep the report byte-identical
+        // to pre-wear builds.
+        let recovery_generations: u64 = runs
+            .iter()
+            .flatten()
+            .map(|run| run.recovery_generations())
+            .sum();
+        let wear_state = shared.wear();
+        let wear = if !wear_state.is_pristine() || recovery_generations > 0 {
+            Some(WearReport {
+                retired_pages: wear_state.retired_pages(),
+                remigrations: wear_state.remigrated_pages(),
+                recovery_generations,
+            })
+        } else {
+            None
+        };
         let report = RunReport {
             workload: "multitenant".into(),
             system: "deepum-sched".into(),
@@ -254,6 +286,7 @@ impl MultiTenant {
             pressure: None,
             tenants: Some(tenants),
             serving: None,
+            wear,
         };
 
         ScheduleOutcome {
@@ -511,6 +544,61 @@ mod tests {
         assert!(tenants[0].admitted && tenants[0].completed);
         assert!(!tenants[1].admitted && !tenants[1].completed);
         outcome.validation.clone().expect("invariants hold");
+    }
+
+    #[test]
+    fn ecc_retirement_revokes_the_loosest_floor_with_a_typed_error() {
+        // 64 MiB device = 16384 pages; the floors commit 16350 of them,
+        // so a few dozen single-page retirements shrink the device below
+        // the commitment. Tenant 0 wears the device (every one of its
+        // fault drains retires a page); the lower-priority tenant 1
+        // loses its floor and gets the typed error while tenant 0 keeps
+        // running — never a livelock.
+        let plan = deepum_sim::faultinject::InjectionPlan {
+            ecc_retire_rate: 1.0,
+            ..deepum_sim::faultinject::InjectionPlan::default()
+        };
+        let outcome = MultiTenant::new(costs(64, 8192), PerfModel::v100())
+            .tenant(
+                training("wearing")
+                    .floor_pages(8_100)
+                    .priority(2)
+                    .plan(plan),
+            )
+            .tenant(inference("victim").floor_pages(8_250))
+            .run();
+        outcome.validation.clone().expect("invariants hold");
+        let (tid, err) = outcome
+            .errors
+            .iter()
+            .find(|(_, e)| matches!(e, RunError::FloorLost { .. }))
+            .expect("a FloorLost error");
+        assert_eq!(*tid, 1);
+        match err {
+            RunError::FloorLost {
+                tenant,
+                floor_pages,
+                capacity_pages,
+            } => {
+                assert_eq!(*tenant, 1);
+                assert_eq!(*floor_pages, 8_250);
+                assert!(*capacity_pages < 16_350, "capacity {capacity_pages}");
+            }
+            other => panic!("expected FloorLost, got {other:?}"),
+        }
+        let tenants = outcome.report.tenants.as_deref().expect("tenant section");
+        assert!(
+            tenants[0].admitted && tenants[0].completed,
+            "{:?}",
+            tenants[0]
+        );
+        assert!(
+            tenants[1].admitted && !tenants[1].completed,
+            "{:?}",
+            tenants[1]
+        );
+        let wear = outcome.report.wear.expect("wear section");
+        assert!(wear.retired_pages >= 35, "retired {}", wear.retired_pages);
     }
 
     #[test]

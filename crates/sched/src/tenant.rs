@@ -16,12 +16,13 @@
 use std::collections::BTreeMap;
 
 use deepum_baselines::report::{IterStats, RunError};
+use deepum_core::ckpt::{CheckpointRing, Generation, RecoveryError, DEFAULT_RING_DEPTH};
 use deepum_core::driver::DeepumDriver;
 use deepum_core::recovery::{JournalEntry, LaunchJournal, RecoveryReport};
 use deepum_gpu::engine::{BackendError, EngineError, EngineSnapshot, GpuEngine, UmBackend};
 use deepum_gpu::fault::AccessKind;
 use deepum_gpu::kernel::{BlockAccess, KernelLaunch};
-use deepum_mem::{BlockNum, ByteRange, PageMask, TenantId, PAGE_SIZE};
+use deepum_mem::{u64_from_usize, BlockNum, ByteRange, PageMask, TenantId, UmAddr, PAGE_SIZE};
 use deepum_runtime::interpose::CudaRuntime;
 use deepum_sim::clock::SimClock;
 use deepum_sim::costs::CostModel;
@@ -34,6 +35,9 @@ use deepum_torch::alloc::{AllocError, CachingAllocator, PtBlockId, PtEvent};
 use deepum_torch::perf::PerfModel;
 use deepum_torch::step::{GatherAccess, Step, TensorId, Workload};
 use deepum_trace::{shared, InjectKind, SharedTracer, TraceEvent, Tracer};
+use deepum_um::snapshot::{
+    read_counters, write_counters, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 
 use crate::spec::TenantSpec;
 
@@ -88,23 +92,197 @@ struct LoopState {
     kernel_seq: u64,
 }
 
-/// A full tenant checkpoint: cloned loop state plus binary images of
-/// the stateful components. The backend image is a *tenant-scoped* UM
-/// snapshot (v3): restoring it touches only this tenant's blocks on the
-/// shared driver, never a co-tenant's residency.
-struct Checkpoint {
-    state: LoopState,
-    backend: Vec<u8>,
-    runtime: Vec<u8>,
-    allocator: Vec<u8>,
-    engine: EngineSnapshot,
-    transient: Option<TransientInjectorState>,
+/// Serializes a full tenant checkpoint — the component images plus the
+/// loop state — into one self-validating snapshot envelope, the durable
+/// image a [`CheckpointRing`] generation stores. The backend image is a
+/// *tenant-scoped* UM snapshot: restoring it touches only this tenant's
+/// blocks on the shared driver, never a co-tenant's residency. Any
+/// corruption of the stored image is caught by the envelope checksum at
+/// restore time.
+fn encode_checkpoint(
+    st: &LoopState,
+    backend: &[u8],
+    runtime: &[u8],
+    allocator: &[u8],
+    engine: &EngineSnapshot,
+) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.blob(backend);
+    w.blob(runtime);
+    w.blob(allocator);
+    let mut eng = Vec::with_capacity(EngineSnapshot::ENCODED_LEN);
+    engine.encode_into(&mut eng);
+    w.blob(&eng);
+    encode_loop_state(st, &mut w);
+    w.finish()
 }
 
-impl Checkpoint {
-    fn bytes(&self) -> u64 {
-        (self.backend.len() + self.runtime.len() + self.allocator.len()) as u64
+/// Appends the loop state to a checkpoint image. The tensor and gather
+/// maps are `BTreeMap`s, so iteration — and therefore the image — is
+/// byte-stable across runs.
+fn encode_loop_state(st: &LoopState, w: &mut SnapshotWriter) {
+    w.ns(st.clock.now());
+    let (joules_bits, times) = st.energy.accum_state();
+    w.u64(joules_bits);
+    for t in times {
+        w.u64(t);
     }
+    for word in st.rng.state() {
+        w.u64(word);
+    }
+
+    w.u64(u64_from_usize(st.tensors.len()));
+    for (id, (block, range)) in &st.tensors {
+        w.u32(id.0);
+        w.u64(block.raw());
+        w.u64(range.start().raw());
+        w.u64(range.len());
+    }
+
+    w.u64(u64_from_usize(st.gather_cache.len()));
+    for (id, accesses) in &st.gather_cache {
+        w.u32(id.0);
+        w.u64(u64_from_usize(accesses.len()));
+        for a in accesses {
+            w.block(a.block);
+            w.mask(&a.pages);
+            w.bool(a.kind == AccessKind::Write);
+        }
+    }
+
+    w.u64(u64_from_usize(st.iters.len()));
+    for i in &st.iters {
+        w.ns(i.elapsed);
+        w.ns(i.compute);
+        w.ns(i.stall);
+        write_counters(&i.counters, w);
+    }
+
+    w.u64(u64_from_usize(st.iter));
+    w.u64(u64_from_usize(st.step));
+    w.ns(st.t0);
+    write_counters(&st.c0, w);
+    w.ns(st.compute);
+    w.ns(st.stall);
+    w.u64(st.kernel_seq);
+}
+
+/// Decodes the loop state written by [`encode_loop_state`].
+fn decode_loop_state(r: &mut SnapshotReader<'_>) -> Result<LoopState, SnapshotError> {
+    let mut clock = SimClock::new();
+    clock.advance_to(r.ns()?);
+    let mut energy = EnergyMeter::new();
+    let joules_bits = r.u64()?;
+    let mut times = [0u64; 4];
+    for t in &mut times {
+        *t = r.u64()?;
+    }
+    energy.restore_accum(joules_bits, times);
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.u64()?;
+    }
+    let rng = DetRng::from_state(rng_state);
+
+    let num_tensors = r.len_prefix(4 + 8 + 8 + 8)?;
+    let mut tensors = BTreeMap::new();
+    for _ in 0..num_tensors {
+        let id = TensorId(r.u32()?);
+        let block = PtBlockId::from_raw(r.u64()?);
+        let start = UmAddr::new(r.u64()?);
+        let len = r.u64()?;
+        tensors.insert(id, (block, ByteRange::new(start, len)));
+    }
+
+    let num_gathers = r.len_prefix(4 + 8)?;
+    let mut gather_cache = BTreeMap::new();
+    for _ in 0..num_gathers {
+        let id = TensorId(r.u32()?);
+        let num_accesses = r.len_prefix(8 + 64 + 1)?;
+        let mut accesses = Vec::with_capacity(num_accesses);
+        for _ in 0..num_accesses {
+            let block = r.block()?;
+            let pages = r.mask()?;
+            let kind = if r.bool()? {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            accesses.push(BlockAccess::new(block, pages, kind));
+        }
+        gather_cache.insert(id, accesses);
+    }
+
+    let num_iters = r.len_prefix(8 * 3)?;
+    let mut iters = Vec::with_capacity(num_iters);
+    for _ in 0..num_iters {
+        let elapsed = r.ns()?;
+        let compute = r.ns()?;
+        let stall = r.ns()?;
+        let counters = read_counters(r)?;
+        iters.push(IterStats {
+            elapsed,
+            compute,
+            stall,
+            counters,
+        });
+    }
+
+    let iter = r.u64()? as usize;
+    let step = r.u64()? as usize;
+    let t0 = r.ns()?;
+    let c0 = read_counters(r)?;
+    let compute = r.ns()?;
+    let stall = r.ns()?;
+    let kernel_seq = r.u64()?;
+    Ok(LoopState {
+        clock,
+        energy,
+        rng,
+        tensors,
+        gather_cache,
+        iters,
+        iter,
+        step,
+        t0,
+        c0,
+        compute,
+        stall,
+        kernel_seq,
+    })
+}
+
+/// Restores every tenant component from one stored checkpoint image.
+/// The envelope checksum is verified before anything is mutated, so a
+/// corrupt generation fails cleanly and the caller falls back to an
+/// older one.
+fn try_restore_image(
+    image: &[u8],
+    driver: &mut DeepumDriver,
+    runtime: &mut CudaRuntime,
+    allocator: &mut CachingAllocator,
+    engine: &mut GpuEngine,
+) -> Result<LoopState, String> {
+    let mut r = SnapshotReader::new(image).map_err(|e| e.to_string())?;
+    let backend_image = r.blob().map_err(|e| e.to_string())?;
+    let runtime_image = r.blob().map_err(|e| e.to_string())?;
+    let allocator_image = r.blob().map_err(|e| e.to_string())?;
+    let engine_image = r.blob().map_err(|e| e.to_string())?;
+    UmBackend::restore_state(driver, backend_image)
+        .map_err(|e| format!("backend restore failed: {e}"))?;
+    runtime
+        .restore(runtime_image)
+        .map_err(|e| format!("runtime restore failed: {e}"))?;
+    allocator
+        .restore(allocator_image)
+        .map_err(|e| format!("allocator restore failed: {e}"))?;
+    let engine_snap = EngineSnapshot::decode_from(engine_image)?;
+    engine.restore(&engine_snap);
+    let state = decode_loop_state(&mut r).map_err(|e| e.to_string())?;
+    r.finish().map_err(|e| e.to_string())?;
+    UmBackend::validate(&*driver)
+        .map_err(|e| format!("restored backend failed validation: {e}"))?;
+    Ok(state)
 }
 
 fn emit(tracer: &Option<SharedTracer>, now: Ns, event: TraceEvent) {
@@ -136,7 +314,10 @@ pub struct TenantRun {
     events: Vec<PtEvent>,
     cadence: Option<u64>,
     recovery: Option<RecoveryReport>,
-    checkpoint: Option<Checkpoint>,
+    ring: CheckpointRing<Option<TransientInjectorState>>,
+    /// Extra generations this tenant's restores consumed skipping
+    /// corrupt checkpoint images.
+    fallback_generations: u64,
     checkpoint_due: bool,
     journal: LaunchJournal,
     persistent_done: bool,
@@ -213,7 +394,8 @@ impl TenantRun {
             events: Vec::new(),
             recovery: cadence.map(|_| RecoveryReport::default()),
             cadence,
-            checkpoint: None,
+            ring: CheckpointRing::new(DEFAULT_RING_DEPTH),
+            fallback_generations: 0,
             checkpoint_due: cadence.is_some(),
             journal: LaunchJournal::new(JOURNAL_CAPACITY),
             persistent_done: false,
@@ -255,6 +437,21 @@ impl TenantRun {
     /// Terminal error, if the job failed.
     pub fn error(&self) -> Option<&RunError> {
         self.error.as_ref()
+    }
+
+    /// Terminates the run with a typed error the scheduler observed
+    /// outside a slot (floor revocation after ECC retirement). The
+    /// first error wins; a finished run is left alone.
+    pub fn fail(&mut self, e: RunError) {
+        if self.error.is_none() && !self.done {
+            self.error = Some(e);
+        }
+    }
+
+    /// Extra checkpoint generations this tenant's restores consumed
+    /// skipping corrupt images.
+    pub fn recovery_generations(&self) -> u64 {
+        self.fallback_generations
     }
 
     /// Per-iteration statistics accumulated so far.
@@ -493,35 +690,65 @@ impl TenantRun {
                 "backend does not support checkpointing, required by the hard-fault plan".into(),
             )
         })?;
-        let cp = Checkpoint {
-            state: self.st.clone(),
-            backend: backend_image,
-            runtime: self.runtime.snapshot(),
-            allocator: self.allocator.snapshot(),
-            engine: self.engine.snapshot(),
-            transient: self
+        let runtime_image = self.runtime.snapshot();
+        let allocator_image = self.allocator.snapshot();
+        // The reported checkpoint size keeps its pre-ring lens — the
+        // component images — so crash-free traces stay byte-stable.
+        let section_bytes =
+            u64_from_usize(backend_image.len() + runtime_image.len() + allocator_image.len());
+        let mut image = encode_checkpoint(
+            &self.st,
+            &backend_image,
+            &runtime_image,
+            &allocator_image,
+            &self.engine.snapshot(),
+        );
+        // A scheduled or sampled storage fault damages the image
+        // *silently*, like a real torn write; nothing notices until a
+        // restore validates the envelope.
+        if let Some(inj) = &self.injector {
+            if let Some(c) = inj
+                .borrow_mut()
+                .take_ckpt_corruption(u64_from_usize(image.len()))
+            {
+                c.apply(&mut image);
+            }
+        }
+        self.ring.store(Generation {
+            image,
+            journal_mark: self.st.kernel_seq,
+            extra: self
                 .injector
                 .as_ref()
                 .map(|i| i.borrow().transient_snapshot()),
-        };
+        });
         if let Some(rec) = self.recovery.as_mut() {
             rec.checkpoints += 1;
-            rec.snapshot_bytes = cp.bytes();
+            rec.snapshot_bytes = section_bytes;
         }
         emit(
             &self.tracer,
             self.st.clock.now(),
-            TraceEvent::Checkpoint { bytes: cp.bytes() },
+            TraceEvent::Checkpoint {
+                bytes: section_bytes,
+            },
         );
-        self.journal.clear();
-        self.checkpoint = Some(cp);
+        // Journal entries older than the oldest retained generation can
+        // never be replayed again.
+        if let Some(mark) = self.ring.oldest_mark() {
+            self.journal.evict_before(mark);
+        }
         Ok(())
     }
 
-    /// Rewinds the tenant to its latest checkpoint after a hard fault.
-    /// The backend restore is tenant-scoped: only this tenant's blocks
-    /// on the shared driver are touched. Returns the journaled kernel
-    /// count replayed.
+    /// Rewinds the tenant to the newest restorable checkpoint
+    /// generation after a hard fault. The backend restore is
+    /// tenant-scoped: only this tenant's blocks on the shared driver
+    /// are touched. The ring is walked newest-first: a generation whose
+    /// stored image fails its envelope checksum is traced as
+    /// [`TraceEvent::CheckpointCorrupt`] and the next-older one is
+    /// tried, replaying a correspondingly longer journal segment.
+    /// Returns the journaled kernel count replayed.
     fn recover_from(&mut self, reason: &str) -> Result<u64, RunError> {
         let rec = self
             .recovery
@@ -533,29 +760,63 @@ impl TenantRun {
                 "gave up after {MAX_RESTORES} restores (last hard fault: {reason})"
             )));
         }
-        let cp = self
-            .checkpoint
-            .as_ref()
-            .ok_or_else(|| RunError::Recovery(format!("{reason} before the first checkpoint")))?;
-        let replayed = self.journal.len() as u64;
-        rec.replay_kernels += replayed;
-        self.journal.clear();
+        // Corrupt-generation events are stamped at crash time; the
+        // clock has not been rewound yet.
+        let crash_now = self.st.clock.now();
+        let TenantRun {
+            ring,
+            driver,
+            runtime,
+            allocator,
+            engine,
+            tracer,
+            ..
+        } = self;
+        let restored = ring.restore_with(
+            |generation| {
+                try_restore_image(&generation.image, driver, runtime, allocator, engine)
+                    .map(|state| (state, generation.journal_mark, generation.extra.clone()))
+            },
+            |index, _err| {
+                emit(
+                    tracer,
+                    crash_now,
+                    TraceEvent::CheckpointCorrupt { generation: index },
+                );
+            },
+        );
+        let (generation, (state, mark, transient)) = match restored {
+            Ok(ok) => ok,
+            Err(RecoveryError::NoCheckpoint) => {
+                return Err(RunError::Recovery(format!(
+                    "{reason} before the first checkpoint"
+                )))
+            }
+            Err(RecoveryError::AllCheckpointsCorrupt { generations }) => {
+                return Err(RunError::AllCheckpointsCorrupt { generations })
+            }
+        };
 
-        self.st = cp.state.clone();
-        UmBackend::restore_state(&mut self.driver, &cp.backend)
-            .map_err(|e| RunError::Recovery(format!("backend restore failed: {e}")))?;
-        self.runtime
-            .restore(&cp.runtime)
-            .map_err(|e| RunError::Recovery(format!("runtime restore failed: {e}")))?;
-        self.allocator
-            .restore(&cp.allocator)
-            .map_err(|e| RunError::Recovery(format!("allocator restore failed: {e}")))?;
-        self.engine.restore(&cp.engine);
-        if let (Some(inj), Some(tr)) = (self.injector.as_ref(), &cp.transient) {
+        let replayed = u64_from_usize(self.journal.since(mark));
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.replay_kernels += replayed;
+        }
+        self.journal.truncate_to(mark);
+        self.st = state;
+        if let (Some(inj), Some(tr)) = (self.injector.as_ref(), &transient) {
             inj.borrow_mut().restore_transient(tr);
         }
-        UmBackend::validate(&self.driver)
-            .map_err(|e| RunError::Recovery(format!("restored backend failed validation: {e}")))?;
+        if generation > 0 {
+            self.fallback_generations += generation;
+            emit(
+                &self.tracer,
+                self.st.clock.now(),
+                TraceEvent::RecoveryFellBack {
+                    generations: generation,
+                    replayed,
+                },
+            );
+        }
 
         // The reset wiped this tenant's device residency; it comes back
         // over PCIe at demand granularity. Only the tenant's own pages

@@ -355,6 +355,7 @@ impl ServeSim {
                 total_missed,
                 total_shed,
             }),
+            wear: None,
         };
 
         ServeOutcome {

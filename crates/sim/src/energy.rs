@@ -122,6 +122,33 @@ impl EnergyMeter {
     pub fn total_time(&self) -> Ns {
         Ns::from_nanos(self.time_by_state.iter().map(|a| a.0).sum())
     }
+
+    /// Raw accumulator state `(joules as IEEE-754 bits, per-state
+    /// nanosecond totals)`, for binary checkpoint codecs. The power
+    /// model is run configuration, not state, and is excluded.
+    pub fn accum_state(&self) -> (u64, [u64; 4]) {
+        (
+            self.joules.to_bits(),
+            [
+                self.time_by_state[0].0,
+                self.time_by_state[1].0,
+                self.time_by_state[2].0,
+                self.time_by_state[3].0,
+            ],
+        )
+    }
+
+    /// Restores the accumulators captured by [`Self::accum_state`],
+    /// keeping the meter's configured power model.
+    pub fn restore_accum(&mut self, joules_bits: u64, times: [u64; 4]) {
+        self.joules = f64::from_bits(joules_bits);
+        self.time_by_state = [
+            NsAccum(times[0]),
+            NsAccum(times[1]),
+            NsAccum(times[2]),
+            NsAccum(times[3]),
+        ];
+    }
 }
 
 fn state_index(state: PowerState) -> usize {

@@ -127,6 +127,31 @@ pub struct InjectionPlan {
     /// Fixed downtime charged for one device reset (bus re-init,
     /// context re-creation), on top of re-migrating the resident set.
     pub reset_penalty: Ns,
+    /// **Wear.** Probability per fault-buffer drain that an
+    /// uncorrectable ECC error lands in a device page frame and retires
+    /// it permanently: the frame is blacklisted, effective device
+    /// capacity shrinks by one page, and any data on the frame is
+    /// live-migrated off. Rolled on the dedicated hard-fault RNG
+    /// stream; retirement is never rewound by recovery.
+    pub ecc_retire_rate: f64,
+    /// **Wear.** Fault-buffer drain ordinals (same numbering as
+    /// [`Self::driver_crash_at`]) at which exactly one device page
+    /// frame is retired deterministically (no RNG draw). Each entry
+    /// fires exactly once, even across recovery replays. A driver
+    /// crash scheduled at the same ordinal wins: the drain aborts
+    /// before the retirement is applied, and the entry is consumed.
+    pub retire_pages_at: Vec<u64>,
+    /// **Hard fault.** Probability that storing one checkpoint
+    /// generation corrupts the stored image — a bit flip, a torn write
+    /// (tail zeroed), or a truncation, sampled uniformly on the
+    /// hard-fault RNG stream. Detected only at restore time, when the
+    /// image's checksum is verified.
+    pub ckpt_corrupt_rate: f64,
+    /// **Hard fault.** Checkpoint ordinals (0-based count of stored
+    /// checkpoint images, across the whole run) whose stored image is
+    /// corrupted deterministically (one bit flipped mid-image, no RNG
+    /// draw). Each entry fires exactly once.
+    pub ckpt_corrupt_at: Vec<u64>,
 }
 
 impl Default for InjectionPlan {
@@ -150,6 +175,10 @@ impl Default for InjectionPlan {
             driver_crash_at: Vec::new(),
             ecc_rate: 0.0,
             reset_penalty: Ns::from_millis(2),
+            ecc_retire_rate: 0.0,
+            retire_pages_at: Vec::new(),
+            ckpt_corrupt_rate: 0.0,
+            ckpt_corrupt_at: Vec::new(),
         }
     }
 }
@@ -177,9 +206,26 @@ impl InjectionPlan {
     }
 
     /// True if any hard (crash-class) fault is scheduled or enabled:
-    /// device resets, driver crashes, or uncorrectable ECC.
+    /// device resets, driver crashes, uncorrectable ECC, device wear,
+    /// or checkpoint-image corruption.
     pub fn has_hard_faults(&self) -> bool {
-        !self.device_reset_at.is_empty() || !self.driver_crash_at.is_empty() || self.ecc_rate > 0.0
+        !self.device_reset_at.is_empty()
+            || !self.driver_crash_at.is_empty()
+            || self.ecc_rate > 0.0
+            || self.has_wear()
+            || self.has_ckpt_corruption()
+    }
+
+    /// True if device wear (permanent ECC page retirement) is enabled,
+    /// sampled or scheduled.
+    pub fn has_wear(&self) -> bool {
+        self.ecc_retire_rate > 0.0 || !self.retire_pages_at.is_empty()
+    }
+
+    /// True if stored checkpoint images can be corrupted, sampled or
+    /// scheduled.
+    pub fn has_ckpt_corruption(&self) -> bool {
+        self.ckpt_corrupt_rate > 0.0 || !self.ckpt_corrupt_at.is_empty()
     }
 
     /// Builds the shared injector handle the executor threads through
@@ -266,6 +312,64 @@ pub struct FaultInjector {
     /// never rewound; reported via the recovery section, not
     /// [`InjectionStats`]).
     ecc_hits: u64,
+    /// Drain ordinals whose scheduled page retirement already fired.
+    retires_fired: BTreeSet<u64>,
+    /// Cumulative drain count seen by [`Self::take_scheduled_retirement`];
+    /// advances in lock-step with `drain_ordinal` (both are called once
+    /// per drain) and is likewise never rewound.
+    retire_ordinal: u64,
+    /// Checkpoint ordinals whose scheduled corruption already fired.
+    ckpt_corruptions_fired: BTreeSet<u64>,
+    /// Cumulative count of stored checkpoint images; never rewound, so
+    /// a corruption schedule cannot re-fire after recovery.
+    ckpt_ordinal: u64,
+}
+
+/// The corruption applied to one stored checkpoint image. Produced by
+/// [`FaultInjector::take_ckpt_corruption`]; the checkpoint store applies
+/// it to the image bytes *after* sealing, so the damage is only
+/// detectable through the envelope checksum at restore time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptCorruption {
+    /// One bit flipped at a byte offset.
+    BitFlip {
+        /// Byte offset of the flipped bit (bit 0 of that byte).
+        offset: u64,
+    },
+    /// Torn write: everything from `valid` onward is zeroed (the tail
+    /// never reached stable storage).
+    Torn {
+        /// Bytes that survived the tear.
+        valid: u64,
+    },
+    /// Truncation: the image is cut to `len` bytes.
+    Truncated {
+        /// Surviving length.
+        len: u64,
+    },
+}
+
+impl CkptCorruption {
+    /// Applies the corruption to a stored image in place.
+    pub fn apply(&self, image: &mut Vec<u8>) {
+        match *self {
+            CkptCorruption::BitFlip { offset } => {
+                let len = image.len();
+                if len > 0 {
+                    image[(offset as usize).min(len - 1)] ^= 1;
+                }
+            }
+            CkptCorruption::Torn { valid } => {
+                let start = (valid as usize).min(image.len());
+                for b in &mut image[start..] {
+                    *b = 0;
+                }
+            }
+            CkptCorruption::Truncated { len } => {
+                image.truncate(len as usize);
+            }
+        }
+    }
 }
 
 impl FaultInjector {
@@ -283,6 +387,10 @@ impl FaultInjector {
             crashes_fired: BTreeSet::new(),
             drain_ordinal: 0,
             ecc_hits: 0,
+            retires_fired: BTreeSet::new(),
+            retire_ordinal: 0,
+            ckpt_corruptions_fired: BTreeSet::new(),
+            ckpt_ordinal: 0,
         }
     }
 
@@ -457,6 +565,72 @@ impl FaultInjector {
     /// Uncorrectable ECC hits rolled over the run (never rewound).
     pub fn ecc_hits(&self) -> u64 {
         self.ecc_hits
+    }
+
+    /// Advances the retirement drain ordinal and consumes a page
+    /// retirement scheduled for it, if any. Called once at the top of
+    /// every UM fault-buffer drain, immediately before
+    /// [`Self::take_scheduled_driver_crash`], so both schedules share
+    /// one drain numbering. Draws no randomness; the ordinal is never
+    /// rewound.
+    pub fn take_scheduled_retirement(&mut self) -> bool {
+        let ordinal = self.retire_ordinal;
+        self.retire_ordinal = self.retire_ordinal.saturating_add(1);
+        self.plan.retire_pages_at.contains(&ordinal) && self.retires_fired.insert(ordinal)
+    }
+
+    /// Rolls whether this drain's ECC error lands in a device page
+    /// frame and retires it (wear). Hard-fault RNG stream; a zero rate
+    /// draws nothing.
+    pub fn roll_page_retirement(&mut self) -> bool {
+        if self.plan.ecc_retire_rate <= 0.0 {
+            return false;
+        }
+        self.plan.ecc_retire_rate >= 1.0 || self.hard_rng.unit_f64() < self.plan.ecc_retire_rate
+    }
+
+    /// Samples which usable device frame a sampled retirement lands on,
+    /// as a rank in `[0, usable)`. Hard-fault RNG stream.
+    pub fn roll_retired_frame(&mut self, usable: u64) -> u64 {
+        if usable <= 1 {
+            return 0;
+        }
+        self.hard_rng.below(usable)
+    }
+
+    /// Advances the checkpoint ordinal and decides whether the image of
+    /// `len` bytes about to be stored is corrupted. Scheduled entries
+    /// ([`InjectionPlan::ckpt_corrupt_at`]) fire exactly once and flip a
+    /// bit mid-image without drawing randomness; sampled corruption
+    /// draws its kind and position from the hard-fault stream. The
+    /// ordinal is never rewound, so recovery cannot re-fire a schedule.
+    pub fn take_ckpt_corruption(&mut self, len: u64) -> Option<CkptCorruption> {
+        let ordinal = self.ckpt_ordinal;
+        self.ckpt_ordinal = self.ckpt_ordinal.saturating_add(1);
+        if self.plan.ckpt_corrupt_at.contains(&ordinal)
+            && self.ckpt_corruptions_fired.insert(ordinal)
+        {
+            return Some(CkptCorruption::BitFlip { offset: len / 2 });
+        }
+        if self.plan.ckpt_corrupt_rate <= 0.0 || len == 0 {
+            return None;
+        }
+        if self.plan.ckpt_corrupt_rate < 1.0
+            && self.hard_rng.unit_f64() >= self.plan.ckpt_corrupt_rate
+        {
+            return None;
+        }
+        Some(match self.hard_rng.below(3) {
+            0 => CkptCorruption::BitFlip {
+                offset: self.hard_rng.below(len),
+            },
+            1 => CkptCorruption::Torn {
+                valid: self.hard_rng.below(len),
+            },
+            _ => CkptCorruption::Truncated {
+                len: self.hard_rng.below(len),
+            },
+        })
     }
 
     /// Records a prefetch migration abandoned after retry exhaustion.
@@ -782,10 +956,128 @@ mod tests {
             driver_crash_at: vec![4],
             ecc_rate: 0.25,
             max_backoff: Ns::from_micros(500),
+            ecc_retire_rate: 0.125,
+            retire_pages_at: vec![2, 7],
+            ckpt_corrupt_rate: 0.5,
+            ckpt_corrupt_at: vec![1],
             ..InjectionPlan::default()
         };
         let v = serde::Serialize::to_value(&plan);
         let back: InjectionPlan = serde::Deserialize::from_value(&v).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn wear_only_plan_is_hard_but_not_transient() {
+        let plan = InjectionPlan {
+            retire_pages_at: vec![3],
+            ..InjectionPlan::default()
+        };
+        assert!(plan.has_wear());
+        assert!(plan.has_hard_faults());
+        assert!(!plan.has_transients());
+        assert!(!plan.is_empty());
+        let sampled = InjectionPlan {
+            ecc_retire_rate: 0.01,
+            ..InjectionPlan::default()
+        };
+        assert!(sampled.has_wear() && !sampled.is_empty());
+        let corrupting = InjectionPlan {
+            ckpt_corrupt_at: vec![0],
+            ..InjectionPlan::default()
+        };
+        assert!(corrupting.has_ckpt_corruption() && corrupting.has_hard_faults());
+    }
+
+    #[test]
+    fn scheduled_retirement_fires_once_and_draws_nothing() {
+        let plan = InjectionPlan {
+            seed: 13,
+            retire_pages_at: vec![1],
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.take_scheduled_retirement()); // ordinal 0
+        assert!(inj.take_scheduled_retirement()); // ordinal 1 fires
+        assert!(!inj.take_scheduled_retirement()); // ordinal 2
+                                                   // A zero retire rate draws nothing either.
+        assert!(!inj.roll_page_retirement());
+        let mut pristine = DetRng::seed(13);
+        assert_eq!(inj.rng.next_u64(), pristine.next_u64());
+        let mut hard_pristine = DetRng::seed(13 ^ HARD_FAULT_SEED_SALT);
+        assert_eq!(inj.hard_rng.next_u64(), hard_pristine.next_u64());
+    }
+
+    #[test]
+    fn retirement_rolls_use_the_hard_stream_only() {
+        let base = InjectionPlan {
+            seed: 9,
+            dma_h2d_fail_rate: 0.5,
+            ..InjectionPlan::default()
+        };
+        let wearing = InjectionPlan {
+            ecc_retire_rate: 1.0,
+            ..base.clone()
+        };
+        let mut a = FaultInjector::new(base);
+        let mut b = FaultInjector::new(wearing);
+        for _ in 0..64 {
+            assert!(b.roll_page_retirement());
+            assert!(b.roll_retired_frame(16) < 16);
+            // The transient stream must be untouched by wear rolls.
+            assert_eq!(a.roll_h2d_failure(), b.roll_h2d_failure());
+        }
+    }
+
+    #[test]
+    fn scheduled_ckpt_corruption_fires_once_mid_image() {
+        let plan = InjectionPlan {
+            ckpt_corrupt_at: vec![1],
+            ..InjectionPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.take_ckpt_corruption(100), None); // ordinal 0
+        assert_eq!(
+            inj.take_ckpt_corruption(100),
+            Some(CkptCorruption::BitFlip { offset: 50 })
+        );
+        assert_eq!(inj.take_ckpt_corruption(100), None); // consumed
+        let mut pristine = DetRng::seed(HARD_FAULT_SEED_SALT);
+        assert_eq!(inj.hard_rng.next_u64(), pristine.next_u64());
+    }
+
+    #[test]
+    fn sampled_ckpt_corruption_is_deterministic() {
+        let plan = InjectionPlan {
+            seed: 4,
+            ckpt_corrupt_rate: 1.0,
+            ..InjectionPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..32 {
+            let ca = a.take_ckpt_corruption(4096);
+            assert!(ca.is_some());
+            assert_eq!(ca, b.take_ckpt_corruption(4096));
+        }
+    }
+
+    #[test]
+    fn ckpt_corruption_applies_within_bounds() {
+        let mut img = vec![0xAAu8; 8];
+        CkptCorruption::BitFlip { offset: 3 }.apply(&mut img);
+        assert_eq!(img[3], 0xAB);
+        CkptCorruption::BitFlip { offset: 999 }.apply(&mut img);
+        assert_eq!(img[7], 0xAB); // clamped to the last byte
+        CkptCorruption::Torn { valid: 5 }.apply(&mut img);
+        assert_eq!(&img[5..], &[0, 0, 0]);
+        assert_eq!(img.len(), 8);
+        CkptCorruption::Truncated { len: 2 }.apply(&mut img);
+        assert_eq!(img.len(), 2);
+        let mut empty: Vec<u8> = Vec::new();
+        CkptCorruption::BitFlip { offset: 0 }.apply(&mut empty);
+        CkptCorruption::Torn { valid: 4 }.apply(&mut empty);
+        CkptCorruption::Truncated { len: 4 }.apply(&mut empty);
+        assert!(empty.is_empty());
     }
 }

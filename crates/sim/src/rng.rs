@@ -58,6 +58,17 @@ impl DetRng {
         Self::seed(self.next_u64())
     }
 
+    /// Raw generator state, for binary checkpoint codecs.
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a generator from [`Self::state`], resuming its stream
+    /// exactly where the snapshot left it.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        Self { state }
+    }
+
     /// Next raw 64-bit draw (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.state;

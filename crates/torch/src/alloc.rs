@@ -59,6 +59,20 @@ pub enum PoolKind {
 )]
 pub struct PtBlockId(u64);
 
+impl PtBlockId {
+    /// Raw id value, for checkpoint codecs.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id captured by [`Self::raw`]. Only meaningful for
+    /// ids that came from the same allocator state the checkpoint
+    /// restores.
+    pub fn from_raw(v: u64) -> Self {
+        PtBlockId(v)
+    }
+}
+
 /// Allocation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AllocError {

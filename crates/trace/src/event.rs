@@ -362,6 +362,48 @@ pub enum TraceEvent {
         /// The advice.
         advice: AdviceKind,
     },
+    /// An uncorrectable ECC error retired a device page frame: the frame
+    /// joins the blacklist permanently and effective capacity shrinks.
+    PageRetired {
+        /// Retired device frame number.
+        frame: u64,
+        /// Effective device capacity (pages) after the retirement.
+        capacity_pages: u64,
+    },
+    /// A resident block was live-migrated off the device because a frame
+    /// retirement shrank capacity below the resident set. The write-back
+    /// DMA is out-of-band: traced, but charged to no drain or slot.
+    BlockRemigrated {
+        /// UM block index of the remigrated block.
+        block: u64,
+        /// Resident pages moved back to the host.
+        pages: u64,
+    },
+    /// A stored checkpoint generation failed its integrity check at
+    /// restore (torn write, truncation, or bit flip).
+    CheckpointCorrupt {
+        /// Generation index, 0 = newest stored.
+        generation: u64,
+    },
+    /// Recovery restored from an older generation after newer ones
+    /// failed verification, replaying a correspondingly longer journal.
+    RecoveryFellBack {
+        /// Generations skipped before one verified (≥ 1).
+        generations: u64,
+        /// Journaled kernels replayed after the restore.
+        replayed: u64,
+    },
+    /// A capacity shrink revoked a tenant's floor guarantee: the floor
+    /// no longer fits the worn device and the scheduler surfaces a typed
+    /// floor-lost error instead of livelocking on it.
+    FloorLost {
+        /// Raw tenant index.
+        tenant: u32,
+        /// Floor pages the tenant had been guaranteed.
+        floor_pages: u64,
+        /// Effective device capacity (pages) at revocation.
+        capacity_pages: u64,
+    },
 }
 
 /// An event stamped with its virtual-time nanosecond timestamp.

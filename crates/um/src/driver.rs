@@ -29,6 +29,7 @@ use crate::pressure::{PressureConfig, PressureGovernor};
 use crate::scratch::{group_faults_into, DrainScratch};
 use crate::table::BlockTable;
 use crate::tenancy::{charge_order, Tenancy, TenantLedger};
+use crate::wear::DeviceWear;
 
 /// Which path a host→device migration took; determines counter
 /// attribution and prefetch-provenance tracking.
@@ -112,6 +113,10 @@ pub struct UmDriver {
     /// every hint query is one branch, keeping unhinted runs
     /// byte-identical to pre-hint builds.
     pub(crate) hints: HintTable,
+    /// ECC page-retirement blacklist and usable-frame map. Pristine (the
+    /// default) means the wear machinery is absence-of-code: capacity
+    /// never shrinks and no wear section is written to snapshots.
+    pub(crate) wear: DeviceWear,
 }
 
 impl UmDriver {
@@ -134,6 +139,7 @@ impl UmDriver {
             pressure: None,
             tenancy: None,
             hints: HintTable::new(),
+            wear: DeviceWear::new(capacity_pages),
         }
     }
 
@@ -386,12 +392,38 @@ impl UmDriver {
         if faults.is_empty() {
             return Ok(Ns::ZERO);
         }
-        // Injected hard fault: a scheduled driver crash fires before any
-        // driver state is touched, so the snapshot/replay recovery sees
-        // a consistent (pre-drain) world.
-        if let Some(inj) = &self.injector {
-            if inj.borrow_mut().take_scheduled_driver_crash() {
-                return Err(BackendError::DriverCrash);
+        // Injected hard faults. Retirement and crash schedules share the
+        // drain ordinal (each advances its own counter once per drain);
+        // a crash scheduled at the same ordinal wins, consuming the
+        // retirement un-applied — the crash fires before any driver
+        // state is touched, so the snapshot/replay recovery sees a
+        // consistent (pre-drain) world.
+        // deepum-tidy: allow(hot-path-alloc) -- Rc handle clone (refcount
+        // bump), needed to end the injector borrow before retirement
+        // mutates the driver.
+        if let Some(handle) = self.injector.clone() {
+            let retire = {
+                let mut inj = handle.borrow_mut();
+                let scheduled = inj.take_scheduled_retirement();
+                if inj.take_scheduled_driver_crash() {
+                    return Err(BackendError::DriverCrash);
+                }
+                let sampled = inj.roll_page_retirement();
+                if sampled {
+                    // Sampled ECC hit: uniform over *usable* frames, so
+                    // the distribution stays flat as the blacklist grows.
+                    Some(inj.roll_retired_frame(self.wear.usable_pages()))
+                } else if scheduled {
+                    // Scheduled retirements draw nothing from the hard
+                    // stream; the mid-device frame keeps them
+                    // deterministic regardless of sampling rates.
+                    Some(self.wear.usable_pages() / 2)
+                } else {
+                    None
+                }
+            };
+            if let Some(rank) = retire {
+                self.retire_device_page(now, rank)?;
             }
         }
         self.counters.gpu_page_faults += u64_from_usize(faults.len());
@@ -432,6 +464,146 @@ impl UmDriver {
         groups.clear();
         self.scratch.groups = groups;
         Ok(cost)
+    }
+
+    // ----- device wear ---------------------------------------------------
+
+    /// Wear state of the device: the ECC blacklist and remigration tally.
+    pub fn wear(&self) -> &DeviceWear {
+        &self.wear
+    }
+
+    /// Retires the usable frame with rank `rank` (0-based over usable
+    /// frames): blacklists it, shrinks effective capacity, live-migrates
+    /// any overflowing residency off the device, and re-fits tenant
+    /// floor guarantees against the shrunk device. The last usable frame
+    /// is never retired — a zero-capacity device could neither compute
+    /// nor absorb the migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::MissingBlock`] when the overflow
+    /// remigration hits inconsistent residency bookkeeping.
+    fn retire_device_page(&mut self, now: Ns, rank: u64) -> Result<(), BackendError> {
+        let usable = self.wear.usable_pages();
+        if usable <= 1 {
+            return Ok(());
+        }
+        let Some(frame) = self.wear.frame_at_rank(rank.min(usable - 1)) else {
+            return Ok(());
+        };
+        if !self.wear.retire_frame(frame) {
+            return Ok(());
+        }
+        self.capacity_pages = self.wear.usable_pages();
+        self.trace(
+            now,
+            TraceEvent::PageRetired {
+                frame,
+                capacity_pages: self.capacity_pages,
+            },
+        );
+        self.remigrate_overflow(now)?;
+        self.refit_tenant_floors(now);
+        Ok(())
+    }
+
+    /// Live-migrates blocks off the device until residency fits the
+    /// shrunk capacity. Victims go in least-recently-migrated order; the
+    /// write-back DMA is out-of-band (traced and counted, but charged to
+    /// no tenant slot and to no drain's critical path — the hardware
+    /// moves the data, not the faulting kernel).
+    fn remigrate_overflow(&mut self, now: Ns) -> Result<(), BackendError> {
+        while self.resident_pages > self.capacity_pages {
+            let Some((key, block)) = self.lru.iter().next() else {
+                // Resident pages with an empty LRU is a bookkeeping
+                // inconsistency; leave it for `validate()` to report
+                // rather than spin here.
+                break;
+            };
+            let owner = self.blocks.get(block).and_then(|s| s.owner);
+            let pages = self.blocks.get(block).map_or(0, |s| s.resident.count_u64());
+            if pages == 0 {
+                return Err(BackendError::MissingBlock(block));
+            }
+            let c_before = self.counters;
+            self.evict_block(now, block, key, EvictPath::Demand, false)?;
+            self.wear.note_remigrated(pages);
+            self.trace(
+                now,
+                TraceEvent::BlockRemigrated {
+                    block: block.index(),
+                    pages,
+                },
+            );
+            // Ledger hygiene: the owner loses the residency, and an
+            // active slot's counter delta stays clean of the out-of-band
+            // eviction (same mechanism as foreign charges).
+            let delta = self.counters.delta_since(&c_before);
+            if let Some(t) = self.tenancy.as_mut() {
+                if t.active.is_some() {
+                    t.slot_foreign.merge(&delta);
+                }
+                if let Some(l) = owner.and_then(|o| t.tenants.get_mut(&o)) {
+                    l.resident_pages = l.resident_pages.saturating_sub(pages);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-fits tenant floor guarantees after a capacity shrink: while
+    /// the committed floors exceed the shrunk device, the lowest-priority
+    /// tenant (ties broken against the higher id — the later arrival)
+    /// loses its floor entirely. Its ledger keeps running — zeroing the
+    /// floor rather than deregistering keeps residency accounting intact
+    /// — but the `floor_lost` flag is set for the scheduler to surface
+    /// as a typed error instead of a livelock.
+    fn refit_tenant_floors(&mut self, now: Ns) {
+        let capacity = self.capacity_pages;
+        let active = self.active_tenant();
+        loop {
+            let Some(t) = self.tenancy.as_mut() else {
+                return;
+            };
+            let committed: u64 = t.tenants.values().map(|l| l.floor_pages).sum();
+            if committed <= capacity {
+                return;
+            }
+            let victim = t
+                .tenants
+                .iter()
+                .filter(|(_, l)| l.floor_pages > 0)
+                .min_by_key(|(id, l)| (l.priority, std::cmp::Reverse(**id)))
+                .map(|(id, _)| *id);
+            let Some(tid) = victim else {
+                return;
+            };
+            let Some(l) = t.tenants.get_mut(&tid) else {
+                return;
+            };
+            let floor_pages = std::mem::replace(&mut l.floor_pages, 0);
+            l.floor_lost = true;
+            let ev = TraceEvent::FloorLost {
+                tenant: tid.raw(),
+                floor_pages,
+                capacity_pages: capacity,
+            };
+            match active {
+                Some(a) => self.trace_for(tid, a, now, ev),
+                None => self.trace(now, ev),
+            }
+        }
+    }
+
+    /// True when `tid`'s floor guarantee was revoked by a capacity
+    /// shrink. The scheduler surfaces this as a typed floor-lost error
+    /// at the tenant's next slot.
+    pub fn floor_lost(&self, tid: TenantId) -> bool {
+        self.tenancy
+            .as_ref()
+            .and_then(|t| t.tenants.get(&tid))
+            .is_some_and(|l| l.floor_lost)
     }
 
     /// Migrates `pages` of `block` to the device via `path`. Returns the
@@ -1469,6 +1641,7 @@ impl UmDriver {
                 reclaim_debt_total: Ns::ZERO,
                 last_active_now: Ns::ZERO,
                 floor_violations: 0,
+                floor_lost: false,
             },
         );
         Ok(())
@@ -1684,6 +1857,16 @@ impl deepum_gpu::engine::UmBackend for UmDriver {
 
     fn pressure(&self) -> Option<PressureStats> {
         UmDriver::pressure_stats(self)
+    }
+
+    fn wear(&self) -> Option<deepum_gpu::engine::WearStats> {
+        if self.wear.is_pristine() {
+            return None;
+        }
+        Some(deepum_gpu::engine::WearStats {
+            retired_pages: self.wear.retired_pages(),
+            remigrated_pages: self.wear.remigrated_pages(),
+        })
     }
 }
 

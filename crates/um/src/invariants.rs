@@ -47,6 +47,19 @@ pub(crate) fn validate(d: &UmDriver) -> Result<(), String> {
             d.resident_pages, d.capacity_pages
         ));
     }
+    // Wear invariants: the usable/retired extent lists must be sorted,
+    // coalesced, disjoint, and jointly cover the device — so no resident
+    // or free frame can overlap the ECC blacklist — and the effective
+    // capacity must equal the usable frame count (retirement shrinks
+    // capacity atomically with the blacklist insert).
+    d.wear.validate().map_err(|e| format!("wear map: {e}"))?;
+    if d.wear.usable_pages() != d.capacity_pages {
+        return Err(format!(
+            "capacity_pages {} != usable (non-retired) frames {}",
+            d.capacity_pages,
+            d.wear.usable_pages()
+        ));
+    }
     let mut lru_blocks = BTreeSet::new();
     let mut lru_len = 0usize;
     for (key, block) in d.lru.iter() {

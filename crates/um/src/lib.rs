@@ -34,6 +34,7 @@ pub mod snapshot;
 pub mod space;
 pub mod table;
 pub mod tenancy;
+pub mod wear;
 
 pub use block::BlockState;
 pub use driver::{EvictCost, MigratePath, UmDriver};
@@ -45,3 +46,4 @@ pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use space::{UmAllocError, UmSpace};
 pub use table::BlockTable;
 pub use tenancy::{Tenancy, TenantLedger};
+pub use wear::DeviceWear;

@@ -39,12 +39,22 @@ use crate::evict::LruMigrated;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DUMSNAP\0";
 
 /// Current snapshot format version. Bump on any payload layout change;
-/// readers reject other versions instead of misparsing them.
+/// readers reject unknown versions instead of misparsing them.
 /// v2: appended the optional pressure-governor state to the driver
 /// payload.
 /// v3: leading tenant-scope marker on the driver payload, plus a tenant
 /// owner tag on every block record.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// v4: appended the device-wear section (ECC retirement blacklist +
+/// remigration tally) to the driver payload. Writers emit v4 only when
+/// wear is present — [`driver_snapshot_writer`] — so pristine-device
+/// snapshots stay byte-identical to v3 and the wear machinery is
+/// absence-of-code on untouched runs.
+pub const SNAPSHOT_VERSION: u32 = 4;
+
+/// Oldest version readers still decode. v2 snapshots (pre-tenancy: no
+/// scope marker, no block owner tags) and v3 snapshots (pre-wear)
+/// restore through the same entry points as current ones.
+pub const SNAPSHOT_MIN_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 12; // magic + version
 const TRAILER_LEN: usize = 8; // checksum
@@ -81,7 +91,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "snapshot has bad magic"),
             SnapshotError::BadVersion { found } => write!(
                 f,
-                "snapshot version {found} != supported version {SNAPSHOT_VERSION}"
+                "snapshot version {found} outside supported range \
+                 {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION}"
             ),
             SnapshotError::ChecksumMismatch { expected, found } => write!(
                 f,
@@ -114,15 +125,31 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 #[derive(Debug)]
 pub struct SnapshotWriter {
     buf: Vec<u8>,
+    version: u32,
 }
 
 impl SnapshotWriter {
-    /// Starts an envelope: magic and version are written immediately.
+    /// Starts an envelope at the current [`SNAPSHOT_VERSION`]: magic and
+    /// version are written immediately.
     pub fn new() -> Self {
+        Self::with_version(SNAPSHOT_VERSION)
+    }
+
+    /// Starts an envelope at an explicit format version. Used to emit
+    /// the newest layout a snapshot actually needs — a pristine-device
+    /// driver snapshot is written as v3, byte-identical to pre-wear
+    /// builds — and by compat tests to fabricate legacy envelopes.
+    pub fn with_version(version: u32) -> Self {
         let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(&SNAPSHOT_MAGIC);
-        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        SnapshotWriter { buf }
+        buf.extend_from_slice(&version.to_le_bytes());
+        SnapshotWriter { buf, version }
+    }
+
+    /// The envelope version this writer emits; codecs branch on it to
+    /// include or omit version-gated sections.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Appends a `u64`, little-endian.
@@ -162,6 +189,13 @@ impl SnapshotWriter {
         }
     }
 
+    /// Appends a length-prefixed opaque byte blob (e.g. a nested
+    /// snapshot envelope embedded in a composite checkpoint image).
+    pub fn blob(&mut self, bytes: &[u8]) {
+        self.u64(deepum_mem::u64_from_usize(bytes.len()));
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Payload bytes written so far (header excluded).
     pub fn payload_len(&self) -> usize {
         self.buf.len().saturating_sub(HEADER_LEN)
@@ -189,6 +223,7 @@ pub struct SnapshotReader<'a> {
     /// Envelope bytes with the checksum trailer stripped.
     buf: &'a [u8],
     pos: usize,
+    version: u32,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -219,13 +254,20 @@ impl<'a> SnapshotReader<'a> {
         }
         let version_bytes = body.get(8..HEADER_LEN).ok_or(SnapshotError::Truncated)?;
         let version = u32::from_le_bytes(to_array4(version_bytes)?);
-        if version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion { found: version });
         }
         Ok(SnapshotReader {
             buf: body,
             pos: HEADER_LEN,
+            version,
         })
+    }
+
+    /// The envelope's format version; codecs branch on it to decode
+    /// version-gated sections.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
@@ -303,6 +345,19 @@ impl<'a> SnapshotReader<'a> {
             *w = self.u64()?;
         }
         Ok(PageMask::from_words(words))
+    }
+
+    /// Reads a length-prefixed byte blob written by
+    /// [`SnapshotWriter::blob`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the prefix is missing,
+    /// [`SnapshotError::Corrupt`] if the length exceeds the remaining
+    /// payload.
+    pub fn blob(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.len_prefix(1)?;
+        self.take(len)
     }
 
     /// Reads a length prefix for a collection, bounds-checked against
@@ -497,7 +552,9 @@ fn write_block_record(block: BlockNum, state: &BlockState, w: &mut SnapshotWrite
     }
 }
 
-/// Reads one block record written by [`write_block_record`].
+/// Reads one block record written by [`write_block_record`]. v2 records
+/// predate tenancy and carry no owner tag; their owner decodes as
+/// `None`.
 fn read_block_record(r: &mut SnapshotReader<'_>) -> Result<(BlockNum, BlockState), SnapshotError> {
     let block = r.block()?;
     let resident = r.mask()?;
@@ -506,7 +563,7 @@ fn read_block_record(r: &mut SnapshotReader<'_>) -> Result<(BlockNum, BlockState
     let prefetched_untouched = r.mask()?;
     let invalidatable = r.mask()?;
     let host_valid = r.mask()?;
-    let owner = if r.bool()? {
+    let owner = if r.version() >= 3 && r.bool()? {
         Some(TenantId(r.u32()?))
     } else {
         None
@@ -537,6 +594,11 @@ fn read_block_record(r: &mut SnapshotReader<'_>) -> Result<(BlockNum, BlockState
 /// tenant's blocks, counters, and governor. A mid-slot checkpoint on a
 /// shared driver must not capture (and, on restore, must not rewind)
 /// the co-tenants' state.
+///
+/// v4 appends the device-wear section (ECC blacklist + remigration
+/// tally) after the governor. It is written only into v4 envelopes —
+/// start the writer with [`driver_snapshot_writer`] so a pristine
+/// device keeps emitting byte-identical v3 snapshots.
 pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
     if let Some(tid) = d.active_tenant() {
         w.bool(true);
@@ -560,6 +622,9 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
             }
             None => w.bool(false),
         }
+        if w.version() >= 4 {
+            write_wear_section(d, w);
+        }
         return;
     }
     w.bool(false);
@@ -581,11 +646,132 @@ pub fn write_driver_state(d: &UmDriver, w: &mut SnapshotWriter) {
         }
         None => w.bool(false),
     }
+    if w.version() >= 4 {
+        write_wear_section(d, w);
+    }
+}
+
+/// Picks the envelope version for a driver snapshot and starts the
+/// writer: v3 (byte-identical to pre-wear builds) while the device is
+/// pristine, v4 once any frame has retired. Composed snapshots that
+/// embed [`write_driver_state`] must start from this writer.
+pub fn driver_snapshot_writer(d: &UmDriver) -> SnapshotWriter {
+    if d.wear().is_pristine() {
+        SnapshotWriter::with_version(3)
+    } else {
+        SnapshotWriter::new()
+    }
+}
+
+/// Writes the v4 device-wear section: initial frame count, remigration
+/// tally, and the retired (blacklisted) extents.
+fn write_wear_section(d: &UmDriver, w: &mut SnapshotWriter) {
+    let wear = d.wear();
+    w.u64(wear.initial_pages());
+    w.u64(wear.remigrated_pages());
+    w.u64(deepum_mem::u64_from_usize(wear.retired_extents().len()));
+    for &(start, end) in wear.retired_extents() {
+        w.u64(start);
+        w.u64(end);
+    }
+}
+
+/// Reads the v4 device-wear section and reconciles it against the
+/// driver's live wear state. Retirement is monotone hardware truth and
+/// is never rewound by a restore: the result is the *union* of the two
+/// blacklists — frames retired after the checkpoint stay retired, and a
+/// restore onto a fresh driver (tests, cold standby) adopts the
+/// snapshot's blacklist. The device identity (initial frame count) must
+/// match; effective capacity is recomputed from the merged map.
+fn read_wear_section(d: &mut UmDriver, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+    let initial_pages = r.u64()?;
+    let remigrated = r.u64()?;
+    let extents = r.len_prefix(16)?;
+    let mut retired = Vec::with_capacity(extents);
+    for _ in 0..extents {
+        let start = r.u64()?;
+        let end = r.u64()?;
+        retired.push((start, end));
+    }
+    let snap = crate::wear::DeviceWear::from_parts(initial_pages, retired, remigrated)
+        .map_err(SnapshotError::Corrupt)?;
+    if snap.initial_pages() != d.wear.initial_pages() {
+        return Err(SnapshotError::Corrupt(format!(
+            "snapshot device has {} initial frames, driver has {}",
+            snap.initial_pages(),
+            d.wear.initial_pages()
+        )));
+    }
+    for &(start, end) in snap.retired_extents() {
+        for frame in start..end {
+            if d.wear.is_usable(frame) {
+                d.wear.retire_frame(frame);
+            }
+        }
+    }
+    d.capacity_pages = d.wear.usable_pages();
+    // The remigration tally is monotone too: keep whichever side has
+    // seen more (the live driver on an in-place recovery, the snapshot
+    // on a fresh-driver restore).
+    let seen = d.wear.remigrated_pages();
+    if seen < snap.remigrated_pages() {
+        d.wear.note_remigrated(snap.remigrated_pages() - seen);
+    }
+    Ok(())
+}
+
+/// Spills least-recently-migrated blocks to the host until residency
+/// fits the (possibly shrunk-since-checkpoint) device. Restore-time
+/// analogue of the driver's live remigration: the host copy becomes the
+/// valid one and the pages refault on demand after recovery.
+fn spill_restore_overflow(d: &mut UmDriver) -> Result<(), SnapshotError> {
+    while d.resident_pages > d.capacity_pages {
+        let Some((key, block)) = d.lru.iter().next() else {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} resident pages exceed worn capacity {} with an empty LRU",
+                d.resident_pages, d.capacity_pages
+            )));
+        };
+        let Some(state) = d.blocks.get_mut(block) else {
+            return Err(SnapshotError::Corrupt(format!(
+                "{block} in LRU but absent from the block table"
+            )));
+        };
+        let pages = state.resident.count_u64();
+        if pages == 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{block} in LRU with no resident pages"
+            )));
+        }
+        let owner = state.owner;
+        state.host_valid.union_with(&state.resident);
+        state.resident = PageMask::empty();
+        state.prefetched_untouched = PageMask::empty();
+        d.lru.remove(block, key);
+        d.resident_pages -= pages;
+        d.wear.note_remigrated(pages);
+        if let Some(t) = d.tenancy.as_mut() {
+            if let Some(l) = owner.and_then(|o| t.tenants.get_mut(&o)) {
+                l.resident_pages = l.resident_pages.saturating_sub(pages);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Minimum encoded size of one block record in the driver payload:
 /// index, four masks, two stamps, plus the v3 owner-tag byte.
 const BLOCK_RECORD_BYTES: usize = 8 + 64 + 8 + 8 + 64 + 64 + 64 + 1;
+
+/// Minimum block-record size for the envelope version being decoded —
+/// v2 records carry no owner-tag byte.
+fn block_record_bytes(version: u32) -> usize {
+    if version >= 3 {
+        BLOCK_RECORD_BYTES
+    } else {
+        BLOCK_RECORD_BYTES - 1
+    }
+}
 
 /// Restores [`UmDriver`] state written by [`write_driver_state`],
 /// replacing the block map, rebuilding the LRU order, and overwriting
@@ -601,21 +787,60 @@ pub fn read_driver_state(
     d: &mut UmDriver,
     r: &mut SnapshotReader<'_>,
 ) -> Result<(), SnapshotError> {
-    if r.bool()? {
-        return read_tenant_scoped_state(d, r);
+    // v2 predates tenancy: no scope marker, whole-driver only.
+    let scoped = r.version() >= 3 && r.bool()?;
+    if scoped {
+        read_tenant_scoped_state(d, r)?;
+    } else {
+        read_whole_state(d, r)?;
     }
-    let capacity_pages = r.u64()?;
-    if capacity_pages != d.capacity_pages {
+    if r.version() >= 4 {
+        read_wear_section(d, r)?;
+    }
+    // The snapshot may predate retirements that shrank the device
+    // since (a v3 image from a pristine era, or a v4 image from a
+    // less-worn one): spill the overflow back to host (the pages
+    // refault on demand after recovery).
+    spill_restore_overflow(d)?;
+    Ok(())
+}
+
+/// Device-identity check on a payload's recorded capacity. Pre-wear
+/// snapshots (v2/v3) recorded the device's full capacity — which must
+/// equal the driver's *initial* frame count, even if retirements have
+/// shrunk effective capacity since. A v4 snapshot records the
+/// usable-frame count at checkpoint time, which can be anything up to
+/// the initial count; the wear section carries the exact identity
+/// check.
+fn check_snapshot_capacity(
+    d: &UmDriver,
+    r: &SnapshotReader<'_>,
+    capacity_pages: u64,
+) -> Result<(), SnapshotError> {
+    if r.version() < 4 && capacity_pages != d.wear.initial_pages() {
         return Err(SnapshotError::Corrupt(format!(
-            "snapshot device capacity {capacity_pages} pages != driver capacity {} pages",
-            d.capacity_pages
+            "snapshot device capacity {capacity_pages} pages != device's {} initial frames",
+            d.wear.initial_pages()
         )));
     }
+    if r.version() >= 4 && capacity_pages > d.wear.initial_pages() {
+        return Err(SnapshotError::Corrupt(format!(
+            "snapshot capacity {capacity_pages} pages exceeds device's {} initial frames",
+            d.wear.initial_pages()
+        )));
+    }
+    Ok(())
+}
+
+/// Restores a whole-driver (unscoped) payload.
+fn read_whole_state(d: &mut UmDriver, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+    let capacity_pages = r.u64()?;
+    check_snapshot_capacity(d, r, capacity_pages)?;
     let resident_pages = r.u64()?;
     let migrate_epoch = r.u64()?;
     let epoch_now = r.ns()?;
     let counters = read_counters(r)?;
-    let num_blocks = r.len_prefix(BLOCK_RECORD_BYTES)?;
+    let num_blocks = r.len_prefix(block_record_bytes(r.version()))?;
 
     let mut blocks = crate::table::BlockTable::new();
     let mut lru = LruMigrated::new();
@@ -661,18 +886,13 @@ fn read_tenant_scoped_state(
     r: &mut SnapshotReader<'_>,
 ) -> Result<(), SnapshotError> {
     let capacity_pages = r.u64()?;
-    if capacity_pages != d.capacity_pages {
-        return Err(SnapshotError::Corrupt(format!(
-            "snapshot device capacity {capacity_pages} pages != driver capacity {} pages",
-            d.capacity_pages
-        )));
-    }
+    check_snapshot_capacity(d, r, capacity_pages)?;
     let tid = TenantId(r.u32()?);
     // Ledger residency at snapshot time; informational only — after a
     // spill-to-host restore the tenant has zero resident pages.
     let _resident_at_snapshot = r.u64()?;
     let counters = read_counters(r)?;
-    let num_blocks = r.len_prefix(BLOCK_RECORD_BYTES)?;
+    let num_blocks = r.len_prefix(block_record_bytes(r.version()))?;
     let mut snap_blocks = Vec::with_capacity(num_blocks);
     for _ in 0..num_blocks {
         snap_blocks.push(read_block_record(r)?);
@@ -737,9 +957,10 @@ fn read_tenant_scoped_state(
     Ok(())
 }
 
-/// Serializes a [`UmDriver`] into one standalone snapshot envelope.
+/// Serializes a [`UmDriver`] into one standalone snapshot envelope:
+/// v3 while the device is pristine, v4 once wear is present.
 pub fn snapshot_driver(d: &UmDriver) -> Vec<u8> {
-    let mut w = SnapshotWriter::new();
+    let mut w = driver_snapshot_writer(d);
     write_driver_state(d, &mut w);
     w.finish()
 }
@@ -861,7 +1082,8 @@ mod tests {
         // a codec change cannot ship without touching this test — and
         // without migration thought for snapshots already on disk.
         assert_eq!(&SNAPSHOT_MAGIC, b"DUMSNAP\0");
-        assert_eq!(SNAPSHOT_VERSION, 3);
+        assert_eq!(SNAPSHOT_VERSION, 4);
+        assert_eq!(SNAPSHOT_MIN_VERSION, 2);
         let bytes = SnapshotWriter::new().finish();
         assert_eq!(&bytes[..8], &SNAPSHOT_MAGIC);
         assert_eq!(
@@ -997,5 +1219,256 @@ mod tests {
         restored.install_pressure_governor(crate::pressure::PressureConfig::default());
         restore_driver(&mut restored, &bytes).expect("restore succeeds");
         assert_eq!(restored.pressure_stats(), None);
+    }
+
+    /// A driver whose injector schedules page retirements at the given
+    /// drain ordinals, driven through `drains` fault drains.
+    fn worn_driver(retire_at: &[u64], drains: u64) -> UmDriver {
+        use deepum_sim::faultinject::{FaultInjector, InjectionPlan};
+        let costs = CostModel::v100_32gb().with_device_memory(3 * BLOCK_SIZE as u64);
+        let mut d = UmDriver::new(costs);
+        let plan = InjectionPlan {
+            retire_pages_at: retire_at.to_vec(),
+            ..InjectionPlan::default()
+        };
+        d.install_injector(std::rc::Rc::new(std::cell::RefCell::new(
+            FaultInjector::new(plan),
+        )));
+        for b in 0..drains {
+            let faults: Vec<FaultEntry> = (0..200)
+                .map(|i| FaultEntry {
+                    page: BlockNum::new(b % 4).page(i),
+                    kind: AccessKind::Read,
+                    sm: SmId(0),
+                })
+                .collect();
+            d.handle_faults(Ns::from_nanos(b + 1), &faults)
+                .expect("faults handled");
+        }
+        d
+    }
+
+    #[test]
+    fn pristine_snapshots_stay_v3() {
+        // Byte-compat: a device that never retired a frame keeps
+        // emitting the pre-wear v3 layout, so untouched runs (and their
+        // golden Checkpoint sizes) are unchanged by the v4 codec.
+        let bytes = snapshot_driver(&driver_with_history(3));
+        assert_eq!(bytes[8..HEADER_LEN], 3u32.to_le_bytes());
+        let r = SnapshotReader::new(&bytes).expect("valid envelope");
+        assert_eq!(r.version(), 3);
+    }
+
+    #[test]
+    fn worn_driver_round_trips_wear_state() {
+        let d = worn_driver(&[0, 2], 4);
+        assert_eq!(d.wear().retired_pages(), 2);
+        assert_eq!(d.capacity_pages(), d.wear().usable_pages());
+        let bytes = snapshot_driver(&d);
+        assert_eq!(bytes[8..HEADER_LEN], 4u32.to_le_bytes());
+
+        // A fresh driver adopts the snapshot's blacklist wholesale.
+        let costs = CostModel::v100_32gb().with_device_memory(3 * BLOCK_SIZE as u64);
+        let mut restored = UmDriver::new(costs);
+        restore_driver(&mut restored, &bytes).expect("restore succeeds");
+        restored.validate().expect("restored driver validates");
+        assert_eq!(
+            restored.wear().retired_extents(),
+            d.wear().retired_extents()
+        );
+        assert_eq!(restored.capacity_pages(), d.capacity_pages());
+        assert_eq!(restored.resident_pages(), d.resident_pages());
+        assert_eq!(snapshot_driver(&restored), bytes);
+    }
+
+    #[test]
+    fn post_checkpoint_retirement_survives_restore() {
+        // Snapshot after one retirement, retire again, then restore the
+        // older image in place: the blacklist is the union — the later
+        // retirement is hardware truth and never rewinds.
+        let mut d = worn_driver(&[0, 4], 4);
+        assert_eq!(d.wear().retired_pages(), 1);
+        let bytes = snapshot_driver(&d);
+        let faults: Vec<FaultEntry> = (0..200)
+            .map(|i| FaultEntry {
+                page: BlockNum::new(0).page(i),
+                kind: AccessKind::Read,
+                sm: SmId(0),
+            })
+            .collect();
+        d.handle_faults(Ns::from_nanos(99), &faults)
+            .expect("faults handled");
+        assert_eq!(d.wear().retired_pages(), 2);
+        restore_driver(&mut d, &bytes).expect("restore succeeds");
+        d.validate().expect("restored driver validates");
+        assert_eq!(d.wear().retired_pages(), 2);
+        assert_eq!(d.capacity_pages(), d.wear().usable_pages());
+    }
+
+    #[test]
+    fn pristine_era_snapshot_restores_onto_worn_driver() {
+        use deepum_sim::faultinject::{FaultInjector, InjectionPlan};
+        // Fill a one-block device completely, checkpoint while pristine
+        // (a v3 image), then retire a frame. Restoring the v3 image must
+        // succeed — identity is the initial frame count, not the shrunk
+        // capacity — and the overflowing residency spills to host.
+        let costs = CostModel::v100_32gb().with_device_memory(BLOCK_SIZE as u64);
+        let mut d = UmDriver::new(costs);
+        let plan = InjectionPlan {
+            retire_pages_at: vec![1],
+            ..InjectionPlan::default()
+        };
+        d.install_injector(std::rc::Rc::new(std::cell::RefCell::new(
+            FaultInjector::new(plan),
+        )));
+        let faults: Vec<FaultEntry> = (0..512)
+            .map(|i| FaultEntry {
+                page: BlockNum::new(0).page(i),
+                kind: AccessKind::Read,
+                sm: SmId(0),
+            })
+            .collect();
+        d.handle_faults(Ns::from_nanos(1), &faults)
+            .expect("faults handled");
+        assert_eq!(d.resident_pages(), 512);
+        let bytes = snapshot_driver(&d);
+        assert_eq!(bytes[8..HEADER_LEN], 3u32.to_le_bytes());
+
+        // Second drain fires the scheduled retirement: capacity shrinks
+        // and the full block is live-migrated off the device.
+        d.handle_faults(Ns::from_nanos(2), &faults[..1])
+            .expect("faults handled");
+        assert_eq!(d.wear().retired_pages(), 1);
+        assert!(d.capacity_pages() < 512);
+
+        restore_driver(&mut d, &bytes).expect("v3 restore onto worn driver");
+        d.validate().expect("restored driver validates");
+        assert!(d.resident_pages() <= d.capacity_pages());
+        assert_eq!(d.wear().retired_pages(), 1, "wear never rewinds");
+    }
+
+    #[test]
+    fn v2_snapshot_decodes_without_owner_tags() {
+        // Backward-compat pin: the v2 layout (pre-tenancy — no scope
+        // marker, no per-block owner tags) still restores through the
+        // current reader, with every owner decoding as `None`.
+        let d = driver_with_history(3);
+        let mut w = SnapshotWriter::with_version(2);
+        w.u64(d.capacity_pages());
+        w.u64(d.resident_pages());
+        w.u64(0); // migrate_epoch
+        w.ns(Ns::ZERO); // epoch_now
+        write_counters(&d.counters(), &mut w);
+        let blocks: Vec<(BlockNum, PageMask, Ns, u64)> = (0..4u64)
+            .map(|b| {
+                let block = BlockNum::new(b);
+                (block, d.resident_mask(block), Ns::from_nanos(b + 1), b + 1)
+            })
+            .chain(std::iter::once((
+                BlockNum::new(7),
+                d.resident_mask(BlockNum::new(7)),
+                Ns::from_nanos(9),
+                5,
+            )))
+            .collect();
+        w.u64(deepum_mem::u64_from_usize(blocks.len()));
+        for (block, resident, last_migrated, epoch) in blocks {
+            // v2 block record: no trailing owner tag.
+            w.block(block);
+            w.mask(&resident);
+            w.ns(last_migrated);
+            w.u64(epoch);
+            w.mask(&PageMask::empty()); // prefetched_untouched
+            w.mask(&PageMask::empty()); // invalidatable
+            w.mask(&PageMask::empty()); // host_valid
+        }
+        w.bool(false); // no governor
+        let bytes = w.finish();
+
+        let costs = CostModel::v100_32gb().with_device_memory(3 * BLOCK_SIZE as u64);
+        let mut restored = UmDriver::new(costs);
+        restore_driver(&mut restored, &bytes).expect("v2 restore succeeds");
+        restored.validate().expect("restored driver validates");
+        assert_eq!(restored.resident_pages(), d.resident_pages());
+        assert_eq!(restored.counters(), d.counters());
+        for b in 0..8u64 {
+            let block = BlockNum::new(b);
+            assert_eq!(restored.resident_mask(block), d.resident_mask(block));
+        }
+    }
+
+    #[test]
+    fn wear_device_identity_mismatch_is_corrupt() {
+        let d = worn_driver(&[0], 2);
+        let bytes = snapshot_driver(&d);
+        // A device with a different initial frame count is a different
+        // device, worn or not.
+        let costs = CostModel::v100_32gb().with_device_memory(5 * BLOCK_SIZE as u64);
+        let mut other = UmDriver::new(costs);
+        assert!(matches!(
+            restore_driver(&mut other, &bytes),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    mod decode_fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Decode-fuzz pin: arbitrary byte-level damage to a valid
+            /// v4 snapshot — bit flips, truncation, extension with
+            /// arbitrary bytes, zeroed spans — never panics the
+            /// decoder. Restore returns `Ok` only when the mutation
+            /// happened to be the identity (empty extension, truncate
+            /// to full length, zeroing already-zero bytes); every
+            /// actual change yields a typed [`SnapshotError`].
+            #[test]
+            fn mutated_v4_snapshots_never_panic(
+                op in 0u8..4,
+                at in 0usize..8192,
+                span in 1usize..64,
+                bit in 0u8..8,
+                fill in prop::collection::vec(0u8..=255u8, 0..48),
+            ) {
+                let d = worn_driver(&[0, 2], 4);
+                let original = snapshot_driver(&d);
+                prop_assert_eq!(&original[8..HEADER_LEN], &4u32.to_le_bytes()[..]);
+
+                let mut mutated = original.clone();
+                match op {
+                    0 => {
+                        let i = at % mutated.len();
+                        mutated[i] ^= 1 << bit;
+                    }
+                    1 => mutated.truncate(at % (mutated.len() + 1)),
+                    2 => mutated.extend_from_slice(&fill),
+                    _ => {
+                        let start = at % mutated.len();
+                        let end = (start + span).min(mutated.len());
+                        for b in &mut mutated[start..end] {
+                            *b = 0;
+                        }
+                    }
+                }
+
+                let costs =
+                    CostModel::v100_32gb().with_device_memory(3 * BLOCK_SIZE as u64);
+                let mut restored = UmDriver::new(costs);
+                let res = restore_driver(&mut restored, &mutated);
+                if mutated == original {
+                    prop_assert!(res.is_ok(), "identity mutation must restore: {:?}", res);
+                    prop_assert!(restored.validate().is_ok());
+                    prop_assert_eq!(snapshot_driver(&restored), original);
+                } else {
+                    prop_assert!(
+                        res.is_err(),
+                        "damaged snapshot must be rejected, not silently accepted"
+                    );
+                }
+            }
+        }
     }
 }

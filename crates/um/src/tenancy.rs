@@ -71,6 +71,12 @@ pub struct TenantLedger {
     /// charge scan keeps it zero by skipping blocks larger than the
     /// tenant's remaining overage.
     pub floor_violations: u64,
+    /// True once a device-capacity shrink (ECC page retirement) revoked
+    /// this tenant's floor guarantee. The floor is zeroed — the ledger
+    /// keeps running — and the scheduler surfaces a typed floor-lost
+    /// error at the tenant's next slot instead of livelocking on an
+    /// unsatisfiable guarantee.
+    pub floor_lost: bool,
 }
 
 impl TenantLedger {
@@ -136,6 +142,7 @@ mod tests {
             reclaim_debt_total: Ns::ZERO,
             last_active_now: Ns::ZERO,
             floor_violations: 0,
+            floor_lost: false,
         }
     }
 

@@ -449,6 +449,126 @@ fn golden_serving_overload() {
     }
 }
 
+/// Runs the canonical device-wear scenario and returns the
+/// concatenation of the per-tenant JSONL streams in tenant-id order.
+///
+/// A 4608-page device hosts two tenants whose floors sum to 4604
+/// pages, leaving 4 pages of slack. Tenant 0 ("wearing", priority 2)
+/// runs under a plan that retires five pages at scheduled drain
+/// ordinals — the fifth shrinks capacity below the floor sum, so the
+/// driver revokes the loosest floor (tenant 1, lower priority) and the
+/// scheduler fails it with the typed `FloorLost`. The same plan
+/// corrupts a stored checkpoint generation and then hard-resets the
+/// device, so recovery skips the damaged newest image and falls back a
+/// generation, replaying the longer journal.
+fn run_wear_recovery_traced() -> String {
+    let costs = CostModel::v100_32gb()
+        .with_device_memory(4608 * 4096)
+        .with_host_memory(1 << 30);
+    let wearing_cfg = DeepumConfig::default().with_prefetch_degree(4);
+    let outcome = MultiTenant::new(costs, PerfModel::v100())
+        .tenant(
+            TenantSpec::new(
+                "wearing",
+                JobKind::Custom {
+                    workload: layered("golden-wear-noisy/b1", 8),
+                    repetitions: 2,
+                },
+            )
+            .priority(2)
+            .floor_pages(2300)
+            .config(wearing_cfg)
+            .plan(InjectionPlan {
+                seed: 11,
+                retire_pages_at: vec![18, 22, 26, 30, 34],
+                device_reset_at: vec![17],
+                ckpt_corrupt_at: vec![2],
+                ..InjectionPlan::default()
+            })
+            .traced(),
+        )
+        .tenant(
+            TenantSpec::new(
+                "victim",
+                JobKind::Custom {
+                    workload: layered("golden-wear-victim/b1", 3),
+                    repetitions: 3,
+                },
+            )
+            .floor_pages(2304)
+            .traced(),
+        )
+        .run();
+    outcome.validation.expect("shared driver invariants hold");
+    let tenants = outcome
+        .report
+        .tenants
+        .as_deref()
+        .expect("tenant section present");
+    assert!(tenants[0].admitted && tenants[0].completed);
+    assert!(
+        !tenants[1].completed,
+        "the victim must lose its floor, got: {tenants:?}"
+    );
+    let wear = outcome.report.wear.as_ref().expect("wear section present");
+    assert_eq!(wear.retired_pages, 5);
+    assert_eq!(wear.remigrations, 512, "one full block remigrates");
+    assert!(wear.recovery_generations >= 1, "recovery must fall back");
+
+    let mut streams = outcome.tracers;
+    streams.sort_by_key(|(tid, _)| *tid);
+    streams
+        .iter()
+        .map(|(_, tr)| tr.borrow_mut().jsonl())
+        .collect()
+}
+
+#[test]
+fn golden_wear_recovery() {
+    let a = run_wear_recovery_traced();
+    let b = run_wear_recovery_traced();
+    assert_eq!(a, b, "wear trace must replay byte-identical");
+    assert!(!a.is_empty());
+    let records = deepum::trace::export::parse_jsonl(&a).expect("golden trace parses");
+    assert_eq!(records.len(), a.lines().count());
+
+    let path = golden_path("wear_recovery.jsonl");
+    if std::env::var(BLESS_ENV).is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &a).expect("write golden");
+    } else {
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "read {}: {e}; regenerate with {BLESS_ENV}=1 cargo test --test golden_trace",
+                path.display()
+            )
+        });
+        assert_eq!(
+            a, golden,
+            "wear_recovery.jsonl: trace diverged from the golden copy; \
+             if the change is intentional, re-bless with {BLESS_ENV}=1 \
+             cargo test --test golden_trace"
+        );
+    }
+
+    // The golden copy must exercise every wear/recovery event kind; a
+    // regression that silences one should fail loudly here, not just
+    // shrink the file.
+    let golden = std::fs::read_to_string(golden_path("wear_recovery.jsonl")).expect("golden");
+    for kind in [
+        "PageRetired",
+        "BlockRemigrated",
+        "CheckpointCorrupt",
+        "RecoveryFellBack",
+        "FloorLost",
+    ] {
+        assert!(
+            golden.contains(kind),
+            "wear_recovery.jsonl must contain a {kind} event"
+        );
+    }
+}
+
 #[test]
 fn golden_eviction_pressure() {
     // Full DeepUM on a device holding ~half the working set: every
